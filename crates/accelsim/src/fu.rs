@@ -1,0 +1,129 @@
+//! The functional-unit library: per-operation latency, energy, and area at
+//! the 45 nm / 32-bit / 1 GHz reference point.
+//!
+//! Values are calibrated to the published energy-per-operation tables the
+//! paper builds on (Galal & Horowitz for floating-point datapaths, the
+//! Aladdin FU models for the rest): single-cycle integer ALU ops around
+//! half a picojoule, multipliers a handful of picojoules and a few cycles,
+//! iterative divide/sqrt an order of magnitude above that, and SRAM-backed
+//! table lookups around a picojoule per access.
+
+use accelwall_dfg::Op;
+
+/// Static cost parameters of one functional-unit class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FuCost {
+    /// Latency in cycles at the reference clock (1 GHz, 45 nm, 32-bit).
+    pub latency_cycles: u32,
+    /// Dynamic energy per operation in picojoules at the reference point.
+    pub energy_pj: f64,
+    /// Area in normalized units (1.0 = one 32-bit adder) — the basis of
+    /// the leakage model.
+    pub area_units: f64,
+    /// Whether the unit is a single-cycle "simple" op eligible for
+    /// heterogeneous fusion into chains.
+    pub fusible: bool,
+}
+
+/// The cost entry for an operation.
+pub fn cost(op: Op) -> FuCost {
+    match op {
+        // Single-cycle integer/logic fabric.
+        Op::Add | Op::Sub | Op::Min | Op::Max | Op::Abs | Op::Neg => FuCost {
+            latency_cycles: 1,
+            energy_pj: 0.5,
+            area_units: 1.0,
+            fusible: true,
+        },
+        Op::And | Op::Or | Op::Xor | Op::Not | Op::Shl | Op::Shr => FuCost {
+            latency_cycles: 1,
+            energy_pj: 0.15,
+            area_units: 0.4,
+            fusible: true,
+        },
+        Op::CmpLt | Op::CmpEq | Op::Select | Op::Copy => FuCost {
+            latency_cycles: 1,
+            energy_pj: 0.3,
+            area_units: 0.6,
+            fusible: true,
+        },
+        // Pipelined multiplier.
+        Op::Mul => FuCost {
+            latency_cycles: 3,
+            energy_pj: 3.5,
+            area_units: 6.0,
+            fusible: false,
+        },
+        // Iterative units.
+        Op::Div | Op::Mod => FuCost {
+            latency_cycles: 12,
+            energy_pj: 8.0,
+            area_units: 8.0,
+            fusible: false,
+        },
+        Op::Sqrt => FuCost {
+            latency_cycles: 12,
+            energy_pj: 7.0,
+            area_units: 7.0,
+            fusible: false,
+        },
+        // Algorithm-specific activation unit (piecewise-linear sigmoid).
+        Op::Sigmoid => FuCost {
+            latency_cycles: 4,
+            energy_pj: 4.0,
+            area_units: 5.0,
+            fusible: false,
+        },
+        // SRAM-backed table lookup.
+        Op::Lut { .. } => FuCost {
+            latency_cycles: 1,
+            energy_pj: 1.0,
+            area_units: 3.0,
+            fusible: false,
+        },
+    }
+}
+
+/// Energy of one scratchpad/register-file access at the reference point
+/// (used for loading inputs and storing outputs), in picojoules.
+pub const ACCESS_ENERGY_PJ: f64 = 1.2;
+
+/// Area of one scratchpad word at the reference point, in adder units.
+pub const SRAM_WORD_AREA_UNITS: f64 = 0.5;
+
+/// Leakage power per area unit at the 45 nm reference, in microwatts.
+pub const LEAK_UW_PER_AREA_UNIT: f64 = 2.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ops_are_single_cycle_and_fusible() {
+        for op in [Op::Add, Op::Xor, Op::Min, Op::Select] {
+            let c = cost(op);
+            assert_eq!(c.latency_cycles, 1, "{op:?}");
+            assert!(c.fusible, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn complex_ops_cost_more() {
+        let add = cost(Op::Add);
+        for op in [Op::Mul, Op::Div, Op::Sqrt, Op::Sigmoid] {
+            let c = cost(op);
+            assert!(c.latency_cycles > add.latency_cycles, "{op:?}");
+            assert!(c.energy_pj > add.energy_pj, "{op:?}");
+            assert!(!c.fusible, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn energy_ordering_matches_hardware_intuition() {
+        // logic < alu < lut < mul < div
+        assert!(cost(Op::Xor).energy_pj < cost(Op::Add).energy_pj);
+        assert!(cost(Op::Add).energy_pj < cost(Op::Lut { table: 0 }).energy_pj);
+        assert!(cost(Op::Lut { table: 0 }).energy_pj < cost(Op::Mul).energy_pj);
+        assert!(cost(Op::Mul).energy_pj < cost(Op::Div).energy_pj);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the simulator and scheduler over randomly
+//! generated dataflow graphs and design points.
+
+use accelwall_accelsim::{schedule, simulate, DesignConfig};
+use accelwall_cmos::TechNode;
+use accelwall_dfg::{Dfg, DfgBuilder, NodeId, Op};
+use proptest::prelude::*;
+
+const OPS: [Op; 10] = [
+    Op::Add,
+    Op::Sub,
+    Op::Mul,
+    Op::Min,
+    Op::Max,
+    Op::Abs,
+    Op::Xor,
+    Op::Sqrt,
+    Op::Select,
+    Op::Copy,
+];
+
+fn build(inputs: usize, ops: &[(u8, u8, u8, u8)]) -> Dfg {
+    let mut b = DfgBuilder::new("random");
+    let mut nodes: Vec<NodeId> = (0..inputs).map(|i| b.input(format!("x{i}"))).collect();
+    for &(op_sel, a_sel, b_sel, c_sel) in ops {
+        let op = OPS[op_sel as usize % OPS.len()];
+        let pick = |sel: u8, n: usize| sel as usize % n;
+        let n = nodes.len();
+        let operands: Vec<NodeId> = (0..op.arity())
+            .map(|k| nodes[pick([a_sel, b_sel, c_sel][k], n)])
+            .collect();
+        nodes.push(b.op(op, &operands));
+    }
+    let tail = nodes.len().saturating_sub(2);
+    for (k, &n) in nodes[tail..].iter().enumerate() {
+        b.output(format!("o{k}"), n);
+    }
+    b.build().expect("random graphs are valid by construction")
+}
+
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u8, u8, u8, u8)>)> {
+    (1usize..6, prop::collection::vec(any::<(u8, u8, u8, u8)>(), 1..80))
+}
+
+fn arb_config() -> impl Strategy<Value = DesignConfig> {
+    (
+        prop::sample::select(TechNode::sweep_nodes().to_vec()),
+        0u32..16,
+        1u32..=13,
+        any::<bool>(),
+    )
+        .prop_map(|(node, p_exp, s, het)| DesignConfig::new(node, 1 << p_exp, s, het))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn simulate_is_total_and_sane((inputs, ops) in arb_graph(), config in arb_config()) {
+        let dfg = build(inputs, &ops);
+        let r = simulate(&dfg, &config).unwrap();
+        prop_assert!(r.cycles >= 1.0);
+        prop_assert!(r.runtime_s > 0.0);
+        prop_assert!(r.dynamic_energy_j > 0.0);
+        prop_assert!(r.leakage_w > 0.0);
+        prop_assert!(r.power_w().is_finite());
+        prop_assert!(r.cycles >= r.critical_path_cycles - 1e-9);
+        prop_assert_eq!(r.ops, dfg.stats().computes as u64);
+    }
+
+    #[test]
+    fn scheduler_is_total_and_dependence_safe(
+        (inputs, ops) in arb_graph(),
+        config in arb_config(),
+    ) {
+        let dfg = build(inputs, &ops);
+        let s = schedule(&dfg, &config).unwrap();
+        prop_assert!(s.respects_dependences(&dfg));
+        prop_assert!(s.makespan >= 1);
+        prop_assert!(s.peak_lanes_busy <= config.partition_factor);
+        prop_assert!(s.utilization > 0.0 && s.utilization <= 1.0 + 1e-9);
+        // Every node got a slot.
+        for id in dfg.ids() {
+            prop_assert!(s.finish_cycle[id.index()] > s.start_cycle[id.index()]);
+        }
+    }
+
+    #[test]
+    fn bound_lower_bounds_schedule_without_fusion(
+        (inputs, ops) in arb_graph(),
+        p_exp in 0u32..12,
+        s in 1u32..=13,
+    ) {
+        let dfg = build(inputs, &ops);
+        let config = DesignConfig::new(TechNode::N45, 1 << p_exp, s, false);
+        let bound = simulate(&dfg, &config).unwrap().cycles;
+        let actual = schedule(&dfg, &config).unwrap().makespan as f64;
+        prop_assert!(
+            actual >= bound * 0.99 - 1.0,
+            "scheduled {actual} below bound {bound}"
+        );
+        prop_assert!(
+            actual <= 2.0 * bound + 8.0,
+            "scheduled {actual} breaks Graham vs bound {bound}"
+        );
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_width(
+        (inputs, ops) in arb_graph(),
+        p_exp in 0u32..8,
+    ) {
+        // Halving the datapath (degree 9 = 16 bits) halves dynamic energy
+        // exactly in the model — until serialization multiplies passes.
+        let dfg = build(inputs, &ops);
+        let full = simulate(&dfg, &DesignConfig::new(TechNode::N45, 1 << p_exp, 1, false)).unwrap();
+        let s5 = simulate(&dfg, &DesignConfig::new(TechNode::N45, 1 << p_exp, 5, false)).unwrap();
+        // Width 24/32 = 0.75, same pass count.
+        prop_assert!((s5.dynamic_energy_j / full.dynamic_energy_j - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_independent_of_clock_schedule((inputs, ops) in arb_graph()) {
+        let dfg = build(inputs, &ops);
+        let a = simulate(&dfg, &DesignConfig::new(TechNode::N7, 4, 1, false)).unwrap();
+        let b = simulate(&dfg, &DesignConfig::new(TechNode::N7, 4, 1, true)).unwrap();
+        // Fusion changes cycles, not area/leakage.
+        prop_assert_eq!(a.leakage_w, b.leakage_w);
+        prop_assert_eq!(a.area_units, b.area_units);
+    }
+}

@@ -1,0 +1,177 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md.
+//!
+//! Each ablation both times the variant and *prints* the quantitative
+//! comparison once, so `cargo bench` doubles as the ablation report:
+//!
+//! * `attribution_order` — is the fixed Fig. 14 toggle order stable, or
+//!   does a Shapley-style average over orders tell a different story?
+//! * `budget_models` — how much does ignoring the TDP cap change the
+//!   potential model's conclusions (the Fig. 3d collapse)?
+//! * `dark_silicon_leakage` — the efficiency cost of leaking dark silicon.
+//! * `projection_models` — linear vs logarithmic wall sensitivity.
+
+use accelerator_wall::accelsim::attribution::Metric;
+use accelerator_wall::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Once;
+
+static REPORT: Once = Once::new();
+
+fn attribution_order(c: &mut Criterion) {
+    // The fixed order measures partitioning first. The reverse order
+    // (CMOS first) is the strongest alternative; if both attribute the
+    // same dominant source, the fixed order is stable.
+    let dfg = Workload::S3d.default_instance();
+    let space = SweepSpace::table3();
+    REPORT.call_once(|| {
+        let a = attribute_gains(&dfg, Metric::Performance, &space).unwrap();
+        let dominant = a
+            .contributions
+            .iter()
+            .max_by(|x, y| x.percent.partial_cmp(&y.percent).unwrap())
+            .unwrap();
+        // Reverse-order proxy: measure the partitioning factor last by
+        // comparing the full optimum against the optimum with P forced
+        // to 1 — its marginal contribution.
+        let best = a.best_config;
+        let no_part = DesignConfig::new(best.node, 1, best.simplification_degree, best.heterogeneity);
+        let full = simulate(&dfg, &best).unwrap().throughput();
+        let without = simulate(&dfg, &no_part).unwrap().throughput();
+        let marginal = full / without;
+        println!(
+            "[ablation attribution_order] S3D perf: first-order factor {:.1}x, \
+             last-order (marginal) factor {:.1}x, dominant source {}",
+            a.contributions[0].factor, marginal, dominant.source
+        );
+        assert!(
+            marginal > 2.0,
+            "partitioning stays a major factor in either order"
+        );
+    });
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("attribution_fixed_order", |b| {
+        b.iter(|| {
+            black_box(
+                attribute_gains(&dfg, Metric::Performance, &SweepSpace::coarse())
+                    .unwrap()
+                    .total_gain,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn budget_models(c: &mut Criterion) {
+    // Area-only vs TDP-capped potential: the Fig. 3d headline collapse.
+    let model = PotentialModel::paper();
+    let baseline = PotentialModel::reference_spec();
+    let spec = ChipSpec::new(TechNode::N5, 800.0, 1.0, 800.0);
+    let area_only =
+        model.area_limited_transistors(&spec) / model.area_limited_transistors(&baseline);
+    let capped = model.throughput_gain(&spec, &baseline);
+    println!(
+        "[ablation budget_models] 800mm2@5nm: area-only {area_only:.0}x vs TDP-capped {capped:.0}x \
+         ({:.0}% collapse)",
+        (1.0 - capped / area_only) * 100.0
+    );
+    c.bench_function("ablation/budget_both_models", |b| {
+        b.iter(|| {
+            black_box(
+                model.area_limited_transistors(&spec) + model.power_limited_transistors(&spec),
+            )
+        })
+    });
+}
+
+fn dark_silicon_leakage(c: &mut Criterion) {
+    let mut with = PotentialModel::paper();
+    with.dark_silicon_leakage = true;
+    let mut without = PotentialModel::paper();
+    without.dark_silicon_leakage = false;
+    let baseline = PotentialModel::reference_spec();
+    let spec = ChipSpec::new(TechNode::N5, 800.0, 1.0, 100.0);
+    println!(
+        "[ablation dark_silicon_leakage] 800mm2@5nm@100W efficiency gain: \
+         with dark leakage {:.1}x, without {:.1}x",
+        with.efficiency_gain(&spec, &baseline),
+        without.efficiency_gain(&spec, &baseline)
+    );
+    c.bench_function("ablation/dark_silicon_toggle", |b| {
+        b.iter(|| {
+            black_box(
+                with.energy_efficiency(&spec) + without.energy_efficiency(&spec),
+            )
+        })
+    });
+}
+
+fn projection_models(c: &mut Criterion) {
+    println!("[ablation projection_models] wall sensitivity, linear vs log:");
+    for &d in Domain::all() {
+        let w = accelerator_wall(d, TargetMetric::Performance).unwrap();
+        println!(
+            "  {:<22} linear {:.2e} vs log {:.2e} ({}, ratio {:.1})",
+            d.to_string(),
+            w.linear_wall,
+            w.log_wall,
+            d.unit(TargetMetric::Performance),
+            w.linear_wall / w.log_wall
+        );
+    }
+    c.bench_function("ablation/projection_models", |b| {
+        b.iter(|| black_box(accelwall_bench::all_walls()))
+    });
+}
+
+fn scheduler_fidelity(c: &mut Criterion) {
+    // Analytical bound vs cycle-accurate list schedule, per workload.
+    use accelerator_wall::accelsim::{schedule, simulate};
+    println!("[ablation scheduler_fidelity] bound vs list-scheduled cycles (P=64, s=1):");
+    let config = DesignConfig::new(TechNode::N45, 64, 1, false);
+    let mut worst: f64 = 1.0;
+    for &w in Workload::all() {
+        let dfg = w.default_instance();
+        let bound = simulate(&dfg, &config).unwrap().cycles;
+        let actual = schedule(&dfg, &config).unwrap().makespan as f64;
+        worst = worst.max(actual / bound);
+        println!(
+            "  {:<4} bound {bound:>8.0}  scheduled {actual:>8.0}  ratio {:.2}",
+            w.abbrev(),
+            actual / bound
+        );
+    }
+    println!("  worst-case fidelity ratio: {worst:.2} (Graham guarantees <= 2)");
+    let dfg = Workload::S3d.default_instance();
+    let mut group = c.benchmark_group("ablation");
+    group.bench_function("scheduler_list_s3d", |b| {
+        b.iter(|| black_box(schedule(&dfg, &config).unwrap().makespan))
+    });
+    group.bench_function("scheduler_bound_s3d", |b| {
+        b.iter(|| black_box(simulate(&dfg, &config).unwrap().cycles))
+    });
+    group.finish();
+}
+
+
+/// Shared fast-bench configuration: the regeneration paths are
+/// deterministic analytics, so a handful of samples with short warmup
+/// measures them faithfully while keeping `cargo bench` CI-friendly.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = ablations;
+    config = fast();
+    targets = attribution_order,
+    budget_models,
+    dark_silicon_leakage,
+    projection_models,
+    scheduler_fidelity
+}
+criterion_main!(ablations);

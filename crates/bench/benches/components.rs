@@ -1,0 +1,121 @@
+//! Microbenchmarks of the analysis kernels in isolation: the numbers a
+//! downstream user of the library cares about when embedding it.
+
+use accelerator_wall::prelude::*;
+use accelerator_wall::stats::{pareto_frontier, Polynomial, PowerLaw};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn stats_kernels(c: &mut Criterion) {
+    let xs: Vec<f64> = (1..=4096).map(|i| i as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x.powf(0.8) + x.sin()).collect();
+    c.bench_function("stats/powerlaw_fit_4096", |b| {
+        b.iter(|| black_box(PowerLaw::fit(&xs, &ys).unwrap().exponent))
+    });
+    c.bench_function("stats/quadratic_fit_4096", |b| {
+        b.iter(|| black_box(Polynomial::fit(&xs, &ys, 2).unwrap().r_squared))
+    });
+    c.bench_function("stats/pareto_frontier_4096", |b| {
+        b.iter(|| black_box(pareto_frontier(&xs, &ys).unwrap().len()))
+    });
+}
+
+fn corpus_generation(c: &mut Criterion) {
+    c.bench_function("chipdb/generate_paper_corpus", |b| {
+        b.iter(|| black_box(CorpusSpec::paper_scale().generate().len()))
+    });
+}
+
+fn potential_queries(c: &mut Criterion) {
+    let model = PotentialModel::paper();
+    let baseline = PotentialModel::reference_spec();
+    c.bench_function("potential/throughput_gain", |b| {
+        b.iter(|| {
+            let spec = ChipSpec::new(TechNode::N7, 350.0, 1.4, 280.0);
+            black_box(model.throughput_gain(&spec, &baseline))
+        })
+    });
+}
+
+fn workload_builds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads/build");
+    for &w in Workload::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(w.abbrev()), &w, |b, &w| {
+            b.iter(|| black_box(w.default_instance().stats().vertices))
+        });
+    }
+    group.finish();
+}
+
+fn simulator_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accelsim/simulate");
+    for &w in &[Workload::Trd, Workload::Fft, Workload::Aes, Workload::Mdy] {
+        let dfg = w.default_instance();
+        let config = DesignConfig::new(TechNode::N7, 256, 5, true);
+        group.bench_with_input(BenchmarkId::from_parameter(w.abbrev()), &dfg, |b, dfg| {
+            b.iter(|| black_box(simulate(dfg, &config).unwrap().cycles))
+        });
+    }
+    group.finish();
+}
+
+fn instance_scaling(c: &mut Criterion) {
+    // How simulation cost scales with problem size — the practical limit
+    // on how large a DFG the sweep can afford.
+    let mut group = c.benchmark_group("accelsim/scaling");
+    let config = DesignConfig::new(TechNode::N7, 64, 5, true);
+    for size in InstanceSize::all() {
+        let dfg = Workload::Gmm.instance(*size);
+        let vertices = dfg.stats().vertices;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("gmm_{size:?}_{vertices}v")),
+            &dfg,
+            |b, dfg| b.iter(|| black_box(simulate(dfg, &config).unwrap().cycles)),
+        );
+    }
+    group.finish();
+}
+
+fn relation_matrix(c: &mut Criterion) {
+    c.bench_function("csr/gpu_relation_matrix", |b| {
+        b.iter(|| {
+            black_box(
+                accelerator_wall::studies::gpu::arch_relation_matrix(false)
+                    .unwrap()
+                    .architectures()
+                    .len(),
+            )
+        })
+    });
+}
+
+fn wall_projection(c: &mut Criterion) {
+    c.bench_function("projection/all_walls", |b| {
+        b.iter(|| black_box(accelwall_bench::all_walls()))
+    });
+}
+
+
+/// Shared fast-bench configuration: the regeneration paths are
+/// deterministic analytics, so a handful of samples with short warmup
+/// measures them faithfully while keeping `cargo bench` CI-friendly.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = components;
+    config = fast();
+    targets = stats_kernels,
+    corpus_generation,
+    potential_queries,
+    workload_builds,
+    simulator_runs,
+    instance_scaling,
+    relation_matrix,
+    wall_projection
+}
+criterion_main!(components);

@@ -1,0 +1,201 @@
+//! One Criterion group per evaluation figure: each benchmark regenerates
+//! the figure's data series end to end, so `cargo bench` both times the
+//! analysis stack and proves every figure still reproduces.
+
+use accelerator_wall::prelude::*;
+use accelerator_wall::{cmos, studies};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig01_bitcoin_evolution(c: &mut Criterion) {
+    c.bench_function("fig01_bitcoin_evolution", |b| {
+        b.iter(|| {
+            let s = studies::bitcoin::fig1_series().unwrap();
+            assert!(s.peak_reported() > 300.0);
+            black_box(s.peak_csr())
+        })
+    });
+}
+
+fn fig03a_device_scaling(c: &mut Criterion) {
+    c.bench_function("fig03a_device_scaling", |b| {
+        b.iter(|| black_box(cmos::fig3a_series().len()))
+    });
+}
+
+fn fig03b_transistor_fit(c: &mut Criterion) {
+    // Corpus generation + log-log regression over 2613 records.
+    c.bench_function("fig03b_transistor_fit", |b| {
+        b.iter(|| {
+            let corpus = CorpusSpec::paper_scale().generate();
+            let fit =
+                accelerator_wall::chipdb::fit::transistor_density_fit(&corpus).unwrap();
+            assert!((fit.exponent - 0.877).abs() < 0.05);
+            black_box(fit.coefficient)
+        })
+    });
+}
+
+fn fig03c_tdp_fit(c: &mut Criterion) {
+    let corpus = CorpusSpec::paper_scale().generate();
+    c.bench_function("fig03c_tdp_fit", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &group in NodeGroup::all() {
+                if let Ok(fit) = accelerator_wall::chipdb::fit::tdp_fit(&corpus, group) {
+                    acc += fit.exponent;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn fig03d_chip_gains(c: &mut Criterion) {
+    let model = PotentialModel::paper();
+    c.bench_function("fig03d_chip_gains", |b| {
+        b.iter(|| {
+            let rows = fig3d_grid(&model);
+            assert_eq!(rows.len(), 144);
+            black_box(rows.last().unwrap().throughput_gain)
+        })
+    });
+}
+
+fn fig04_video_decoders(c: &mut Criterion) {
+    c.bench_function("fig04_video_decoders", |b| {
+        b.iter(|| {
+            let p = studies::video::performance_series().unwrap();
+            let e = studies::video::efficiency_series().unwrap();
+            black_box(p.peak_reported() + e.peak_reported())
+        })
+    });
+}
+
+fn fig05_gpu_frames(c: &mut Criterion) {
+    c.bench_function("fig05_gpu_frames", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for game in studies::gpu::fig5_games() {
+                acc += studies::gpu::performance_series(&game).unwrap().peak_reported();
+                acc += studies::gpu::efficiency_series(&game).unwrap().peak_reported();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn fig06_07_arch_matrix(c: &mut Criterion) {
+    c.bench_function("fig06_07_arch_matrix", |b| {
+        b.iter(|| {
+            let perf = studies::gpu::arch_relation_matrix(false).unwrap();
+            let ee = studies::gpu::arch_relation_matrix(true).unwrap();
+            assert_eq!(perf.architectures().len(), 10);
+            black_box(ee.gain("Pascal", "Tesla").unwrap())
+        })
+    });
+}
+
+fn fig08_fpga_cnn(c: &mut Criterion) {
+    use studies::fpga::CnnModel;
+    c.bench_function("fig08_fpga_cnn", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for model in [CnnModel::AlexNet, CnnModel::Vgg16] {
+                acc += studies::fpga::performance_series(model).unwrap().peak_csr();
+                acc += studies::fpga::efficiency_series(model).unwrap().peak_csr();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn fig09_bitcoin_platforms(c: &mut Criterion) {
+    c.bench_function("fig09_bitcoin_platforms", |b| {
+        b.iter(|| {
+            let p = studies::bitcoin::fig9_performance_series().unwrap();
+            let e = studies::bitcoin::fig9_efficiency_series().unwrap();
+            assert!(p.peak_reported() > 1e5);
+            black_box(e.peak_reported())
+        })
+    });
+}
+
+fn fig13_stencil_sweep(c: &mut Criterion) {
+    let dfg = Workload::S3d.default_instance();
+    let space = SweepSpace::table3();
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    group.bench_function("fig13_stencil_sweep", |b| {
+        b.iter(|| {
+            let points = run_sweep(&dfg, &space).unwrap();
+            assert_eq!(points.len(), 1820);
+            black_box(points.len())
+        })
+    });
+    group.finish();
+}
+
+fn fig14_attribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14");
+    group.sample_size(10);
+    group.bench_function("fig14_attribution_coarse", |b| {
+        b.iter(|| black_box(accelwall_bench::fig14_grid(&SweepSpace::coarse())))
+    });
+    group.finish();
+}
+
+fn fig15_16_projections(c: &mut Criterion) {
+    c.bench_function("fig15_perf_projection", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &d in Domain::all() {
+                acc += accelerator_wall(d, TargetMetric::Performance)
+                    .unwrap()
+                    .linear_wall;
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("fig16_ee_projection", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &d in Domain::all() {
+                acc += accelerator_wall(d, TargetMetric::EnergyEfficiency)
+                    .unwrap()
+                    .log_wall;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+
+/// Shared fast-bench configuration: the regeneration paths are
+/// deterministic analytics, so a handful of samples with short warmup
+/// measures them faithfully while keeping `cargo bench` CI-friendly.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = figures;
+    config = fast();
+    targets = fig01_bitcoin_evolution,
+    fig03a_device_scaling,
+    fig03b_transistor_fit,
+    fig03c_tdp_fit,
+    fig03d_chip_gains,
+    fig04_video_decoders,
+    fig05_gpu_frames,
+    fig06_07_arch_matrix,
+    fig08_fpga_cnn,
+    fig09_bitcoin_platforms,
+    fig13_stencil_sweep,
+    fig14_attribution,
+    fig15_16_projections
+}
+criterion_main!(figures);

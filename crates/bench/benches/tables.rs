@@ -1,0 +1,93 @@
+//! One benchmark per paper table.
+
+use accelerator_wall::dfg::{concepts, limits};
+use accelerator_wall::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn table1_concepts(c: &mut Criterion) {
+    c.bench_function("table1_tpu_concepts", |b| {
+        b.iter(|| {
+            let examples = concepts::tpu_examples();
+            assert_eq!(examples.len(), 9);
+            black_box(examples.iter().map(|e| e.index as u32).sum::<u32>())
+        })
+    });
+}
+
+fn table2_limits(c: &mut Criterion) {
+    // Evaluate all nine complexity bounds on every workload's graph.
+    let stats: Vec<_> = Workload::all()
+        .iter()
+        .map(|w| w.default_instance().stats())
+        .collect();
+    c.bench_function("table2_limits", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for cell in limits::table2() {
+                for s in &stats {
+                    acc += cell.time.evaluate(s).min(1e30);
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn table3_space(c: &mut Criterion) {
+    c.bench_function("table3_sweep_space", |b| {
+        b.iter(|| {
+            let space = SweepSpace::table3();
+            assert_eq!(space.len(), 1820);
+            black_box(space.configs().count())
+        })
+    });
+}
+
+fn table4_workloads(c: &mut Criterion) {
+    // Building all 16 DFGs is Table IV made executable.
+    c.bench_function("table4_build_all_workloads", |b| {
+        b.iter(|| {
+            let mut vertices = 0;
+            for &w in Workload::all() {
+                vertices += w.default_instance().stats().vertices;
+            }
+            black_box(vertices)
+        })
+    });
+}
+
+fn table5_domains(c: &mut Criterion) {
+    c.bench_function("table5_domain_limits", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &d in Domain::all() {
+                let l = d.limits();
+                acc += l.max_die_mm2 + l.tdp_w + l.freq_mhz;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+
+/// Shared fast-bench configuration: the regeneration paths are
+/// deterministic analytics, so a handful of samples with short warmup
+/// measures them faithfully while keeping `cargo bench` CI-friendly.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = tables;
+    config = fast();
+    targets = table1_concepts,
+    table2_limits,
+    table3_space,
+    table4_workloads,
+    table5_domains
+}
+criterion_main!(tables);

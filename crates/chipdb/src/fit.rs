@@ -1,0 +1,243 @@
+//! The two corpus regressions of Figs. 3b and 3c.
+
+use crate::ChipRecord;
+use accelwall_cmos::TechNode;
+use accelwall_stats::{PowerLaw, Result, StatsError};
+use std::fmt;
+
+/// The paper's published Fig. 3b fit: `TC(D) = 4.99e9 · D^0.877`.
+pub const PAPER_TC_COEFFICIENT: f64 = 4.99e9;
+/// Exponent of the published Fig. 3b fit.
+pub const PAPER_TC_EXPONENT: f64 = 0.877;
+
+/// The paper's published Fig. 3b transistor-count law as a [`PowerLaw`].
+pub static PAPER_TC_LAW: PowerLaw = PowerLaw {
+    coefficient: PAPER_TC_COEFFICIENT,
+    exponent: PAPER_TC_EXPONENT,
+    r_squared: 1.0,
+};
+
+/// Fits the Fig. 3b transistor-count law to a corpus: OLS over
+/// `(ln D, ln TC)` pairs.
+///
+/// # Errors
+///
+/// Propagates [`StatsError`] from the underlying power-law fit (fewer than
+/// two records, degenerate density factors, non-positive values).
+pub fn transistor_density_fit(corpus: &[ChipRecord]) -> Result<PowerLaw> {
+    let ds: Vec<f64> = corpus.iter().map(ChipRecord::density_factor).collect();
+    let tcs: Vec<f64> = corpus.iter().map(|r| r.transistors).collect();
+    PowerLaw::fit(&ds, &tcs)
+}
+
+/// The four node groups of Fig. 3c, newest first as in the figure legend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeGroup {
+    /// 10 nm – 5 nm (projection-era nodes).
+    N10ToN5,
+    /// 22 nm – 12 nm.
+    N22ToN12,
+    /// 32 nm – 28 nm.
+    N32ToN28,
+    /// 55 nm – 40 nm.
+    N55ToN40,
+}
+
+impl NodeGroup {
+    /// All groups, newest first (the order of the Fig. 3c legend).
+    pub fn all() -> &'static [NodeGroup] {
+        const ALL: [NodeGroup; 4] = [
+            NodeGroup::N10ToN5,
+            NodeGroup::N22ToN12,
+            NodeGroup::N32ToN28,
+            NodeGroup::N55ToN40,
+        ];
+        &ALL
+    }
+
+    /// The group a node belongs to, if any (65 nm and older chips predate
+    /// the TDP-limited regime the paper models).
+    pub fn of(node: TechNode) -> Option<NodeGroup> {
+        let nm = node.nanometers();
+        if (5.0..=10.0).contains(&nm) {
+            Some(NodeGroup::N10ToN5)
+        } else if (12.0..=22.0).contains(&nm) {
+            Some(NodeGroup::N22ToN12)
+        } else if (28.0..=32.0).contains(&nm) {
+            Some(NodeGroup::N32ToN28)
+        } else if (40.0..=55.0).contains(&nm) {
+            Some(NodeGroup::N55ToN40)
+        } else {
+            None
+        }
+    }
+
+    /// The paper's published Fig. 3c law for this group:
+    /// `transistors[G] × f[GHz] = c · TDP^e`.
+    pub fn paper_tdp_law(self) -> PowerLaw {
+        // Coefficients printed on Fig. 3c. Newer groups pack more switching
+        // capacity at a given TDP (larger c) but saturate faster with power
+        // (smaller e) — the dark-silicon squeeze.
+        let (c, e) = match self {
+            NodeGroup::N10ToN5 => (2.15, 0.402),
+            NodeGroup::N22ToN12 => (0.49, 0.557),
+            NodeGroup::N32ToN28 => (0.11, 0.729),
+            NodeGroup::N55ToN40 => (0.02, 0.869),
+        };
+        PowerLaw::new(c, e)
+    }
+
+    /// Representative node used when evaluating the group's law for
+    /// projections (the newest member, as the paper projects with 5 nm).
+    pub fn newest_node(self) -> TechNode {
+        match self {
+            NodeGroup::N10ToN5 => TechNode::N5,
+            NodeGroup::N22ToN12 => TechNode::N12,
+            NodeGroup::N32ToN28 => TechNode::N28,
+            NodeGroup::N55ToN40 => TechNode::N40,
+        }
+    }
+}
+
+impl fmt::Display for NodeGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeGroup::N10ToN5 => "10nm-5nm",
+            NodeGroup::N22ToN12 => "22nm-12nm",
+            NodeGroup::N32ToN28 => "32nm-28nm",
+            NodeGroup::N55ToN40 => "55nm-40nm",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Extension trait attaching group membership to records.
+pub trait GroupExt {
+    /// The Fig. 3c node group this record falls in, if any.
+    fn node_group(&self) -> Option<NodeGroup>;
+}
+
+impl GroupExt for ChipRecord {
+    fn node_group(&self) -> Option<NodeGroup> {
+        NodeGroup::of(self.node)
+    }
+}
+
+/// Fits the Fig. 3c TDP law for one node group over a corpus:
+/// OLS on `(ln TDP, ln (transistors[G] × f[GHz]))` restricted to the group.
+///
+/// # Errors
+///
+/// [`StatsError::NotEnoughData`] if fewer than two corpus records fall in
+/// the group; other [`StatsError`] values propagate from the fit.
+pub fn tdp_fit(corpus: &[ChipRecord], group: NodeGroup) -> Result<PowerLaw> {
+    let members: Vec<&ChipRecord> = corpus
+        .iter()
+        .filter(|r| NodeGroup::of(r.node) == Some(group))
+        .collect();
+    if members.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            provided: members.len(),
+            required: 2,
+        });
+    }
+    let tdps: Vec<f64> = members.iter().map(|r| r.tdp_w).collect();
+    let caps: Vec<f64> = members.iter().map(|r| r.switching_capacity()).collect();
+    PowerLaw::fit(&tdps, &caps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChipKind;
+
+    fn record(node: TechNode, area: f64, tc: f64, tdp: f64, mhz: f64) -> ChipRecord {
+        ChipRecord {
+            name: "r".into(),
+            kind: ChipKind::Cpu,
+            node,
+            die_area_mm2: area,
+            transistors: tc,
+            tdp_w: tdp,
+            freq_mhz: mhz,
+            year: 2015,
+        }
+    }
+
+    #[test]
+    fn paper_law_matches_published_examples() {
+        // Fig. 3b caption: large 5 nm chips (D ≈ 32) reach ~100G transistors.
+        let tc = PAPER_TC_LAW.eval(32.0);
+        assert!((9e10..1.2e11).contains(&tc), "TC(32) = {tc:e}");
+    }
+
+    #[test]
+    fn density_fit_recovers_noiseless_law() {
+        let corpus: Vec<ChipRecord> = (1..40)
+            .map(|i| {
+                let area = 20.0 + 20.0 * i as f64;
+                let node = if i % 2 == 0 { TechNode::N28 } else { TechNode::N14 };
+                let d = node.density_factor(area);
+                record(node, area, PAPER_TC_LAW.eval(d), 100.0, 2000.0)
+            })
+            .collect();
+        let fit = transistor_density_fit(&corpus).unwrap();
+        assert!((fit.exponent - PAPER_TC_EXPONENT).abs() < 1e-9);
+        assert!((fit.coefficient / PAPER_TC_COEFFICIENT - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_groups_partition_modern_nodes() {
+        assert_eq!(NodeGroup::of(TechNode::N5), Some(NodeGroup::N10ToN5));
+        assert_eq!(NodeGroup::of(TechNode::N16), Some(NodeGroup::N22ToN12));
+        assert_eq!(NodeGroup::of(TechNode::N28), Some(NodeGroup::N32ToN28));
+        assert_eq!(NodeGroup::of(TechNode::N45), Some(NodeGroup::N55ToN40));
+        assert_eq!(NodeGroup::of(TechNode::N65), None);
+        assert_eq!(NodeGroup::of(TechNode::N180), None);
+    }
+
+    #[test]
+    fn newer_groups_pack_more_capacity_at_same_tdp() {
+        // Evaluate each group's published law at 120 W: monotone in recency.
+        let caps: Vec<f64> = NodeGroup::all()
+            .iter()
+            .map(|g| g.paper_tdp_law().eval(120.0))
+            .collect();
+        assert!(
+            caps.windows(2).all(|w| w[0] > w[1]),
+            "capacity at 120W should decline with group age: {caps:?}"
+        );
+    }
+
+    #[test]
+    fn tdp_fit_recovers_group_law() {
+        let law = NodeGroup::N32ToN28.paper_tdp_law();
+        let corpus: Vec<ChipRecord> = (1..30)
+            .map(|i| {
+                let tdp = 20.0 + 25.0 * i as f64;
+                let freq_ghz = 2.5;
+                let cap = law.eval(tdp); // billions x GHz
+                let tc = cap / freq_ghz * 1e9;
+                record(TechNode::N28, 200.0, tc, tdp, freq_ghz * 1e3)
+            })
+            .collect();
+        let fit = tdp_fit(&corpus, NodeGroup::N32ToN28).unwrap();
+        assert!((fit.exponent - law.exponent).abs() < 1e-9);
+        assert!((fit.coefficient / law.coefficient - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tdp_fit_requires_group_members() {
+        let corpus = vec![record(TechNode::N180, 100.0, 1e8, 50.0, 500.0)];
+        assert!(matches!(
+            tdp_fit(&corpus, NodeGroup::N10ToN5),
+            Err(StatsError::NotEnoughData { .. })
+        ));
+    }
+
+    #[test]
+    fn group_display_matches_legend() {
+        assert_eq!(NodeGroup::N10ToN5.to_string(), "10nm-5nm");
+        assert_eq!(NodeGroup::N55ToN40.to_string(), "55nm-40nm");
+    }
+}

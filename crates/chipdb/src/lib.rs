@@ -1,0 +1,143 @@
+//! Chip datasheet corpus and the paper's transistor-budget regressions.
+//!
+//! Section III of the paper builds its application-independent *CMOS
+//! potential model* from the datasheets of 1612 CPUs and 1001 GPUs (CPU DB,
+//! TechPowerUp). The corpus is consumed through exactly two regressions:
+//!
+//! * **Fig. 3b** — transistor count as a function of the density factor
+//!   `D = area / node²`, fitted as the power law `TC(D) = 4.99e9 · D^0.877`
+//!   ("logarithmic regression with least mean square errors" — OLS in
+//!   log-log space). The sub-linear exponent captures design-complexity
+//!   underutilization of very large dies.
+//! * **Fig. 3c** — the power-limited budget: `transistors[G] × f[GHz] =
+//!   c · TDP^e` per node group, with newer groups enjoying larger `c` and
+//!   smaller `e` (power increasingly caps how much silicon can switch).
+//!
+//! The original corpora are proprietary scrapes, so this crate substitutes a
+//! **synthetic datasheet corpus** ([`corpus`]) whose generating process is
+//! the published law plus log-normal noise: fitting our corpus with the same
+//! estimator recovers the published coefficients, which is all the paper
+//! ever uses the data for. A small [`curated`] table of well-known real
+//! chips provides independent spot checks.
+//!
+//! # Example
+//!
+//! ```
+//! use accelwall_chipdb::{corpus::CorpusSpec, fit};
+//!
+//! let corpus = CorpusSpec::paper_scale().generate();
+//! assert_eq!(corpus.len(), 1612 + 1001);
+//! let law = fit::transistor_density_fit(&corpus).unwrap();
+//! // The fit recovers the paper's published exponent of 0.877.
+//! assert!((law.exponent - 0.877).abs() < 0.03);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod corpus;
+pub mod curated;
+pub mod fit;
+pub mod trends;
+
+pub use corpus::CorpusSpec;
+pub use fit::{NodeGroup, PAPER_TC_LAW};
+
+use accelwall_cmos::TechNode;
+use std::fmt;
+
+/// Broad class of a chip, as the case studies distinguish platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChipKind {
+    /// General-purpose processor.
+    Cpu,
+    /// Graphics processor.
+    Gpu,
+    /// Field-programmable gate array.
+    Fpga,
+    /// Application-specific integrated circuit.
+    Asic,
+}
+
+impl fmt::Display for ChipKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ChipKind::Cpu => "CPU",
+            ChipKind::Gpu => "GPU",
+            ChipKind::Fpga => "FPGA",
+            ChipKind::Asic => "ASIC",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One datasheet row: the physical facts the potential model consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipRecord {
+    /// Marketing or die name.
+    pub name: String,
+    /// Chip class.
+    pub kind: ChipKind,
+    /// Fabrication node.
+    pub node: TechNode,
+    /// Die area in mm².
+    pub die_area_mm2: f64,
+    /// Transistor count (absolute).
+    pub transistors: f64,
+    /// Thermal design power in watts.
+    pub tdp_w: f64,
+    /// Operating frequency in MHz.
+    pub freq_mhz: f64,
+    /// Introduction year.
+    pub year: u32,
+}
+
+impl ChipRecord {
+    /// The paper's density factor `D = area / node²` in mm²/nm².
+    pub fn density_factor(&self) -> f64 {
+        self.node.density_factor(self.die_area_mm2)
+    }
+
+    /// The Fig. 3c response variable: transistors (billions) × freq (GHz).
+    pub fn switching_capacity(&self) -> f64 {
+        (self.transistors / 1e9) * (self.freq_mhz / 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChipRecord {
+        ChipRecord {
+            name: "test".into(),
+            kind: ChipKind::Gpu,
+            node: TechNode::N16,
+            die_area_mm2: 314.0,
+            transistors: 7.2e9,
+            tdp_w: 180.0,
+            freq_mhz: 1607.0,
+            year: 2016,
+        }
+    }
+
+    #[test]
+    fn density_factor_units() {
+        // 314 mm2 at 16 nm: D = 314 / 256 ≈ 1.227 mm²/nm².
+        let r = sample();
+        assert!((r.density_factor() - 314.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn switching_capacity_units() {
+        // 7.2e9 transistors at 1.607 GHz: 7.2 * 1.607 ≈ 11.57 G·GHz.
+        let r = sample();
+        assert!((r.switching_capacity() - 7.2 * 1.607).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(ChipKind::Asic.to_string(), "ASIC");
+        assert_eq!(ChipKind::Cpu.to_string(), "CPU");
+    }
+}

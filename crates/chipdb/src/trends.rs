@@ -1,0 +1,144 @@
+//! Corpus-level scaling trends: Moore's law, made checkable.
+//!
+//! The paper's premise is the *slowdown* of transistor scaling. This
+//! module fits the classical exponential trends over a datasheet corpus —
+//! transistor count vs. year (Moore's law) and switching capacity vs.
+//! year — so the premise itself is measurable on the data the potential
+//! model is built from, and so projections can be sanity-checked against
+//! the historical doubling time.
+
+use crate::ChipRecord;
+use accelwall_stats::{Linear, Result, StatsError};
+
+/// An exponential trend `value = a · 2^((year − year₀) / doubling_years)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialTrend {
+    /// Years per doubling.
+    pub doubling_years: f64,
+    /// Compound annual growth rate (0.41 ≈ Moore's classical 2 years).
+    pub cagr: f64,
+    /// Coefficient of determination of the log-space fit.
+    pub r_squared: f64,
+}
+
+/// Fits the transistor-count-vs-year trend over a corpus.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] for corpora with fewer than two
+/// distinct years, and propagates other fit errors.
+pub fn moores_law(corpus: &[ChipRecord]) -> Result<ExponentialTrend> {
+    // Use the per-year *maximum* transistor count: Moore's law tracks the
+    // frontier, not the median product.
+    let mut frontier: std::collections::BTreeMap<u32, f64> = std::collections::BTreeMap::new();
+    for r in corpus {
+        let e = frontier.entry(r.year).or_insert(0.0);
+        *e = e.max(r.transistors);
+    }
+    fit_exponential(
+        frontier
+            .into_iter()
+            .map(|(y, tc)| (f64::from(y), tc))
+            .collect(),
+    )
+}
+
+/// Fits the switching-capacity (transistors × GHz) frontier vs. year.
+///
+/// # Errors
+///
+/// Same as [`moores_law`].
+pub fn capacity_trend(corpus: &[ChipRecord]) -> Result<ExponentialTrend> {
+    let mut frontier: std::collections::BTreeMap<u32, f64> = std::collections::BTreeMap::new();
+    for r in corpus {
+        let e = frontier.entry(r.year).or_insert(0.0);
+        *e = e.max(r.switching_capacity());
+    }
+    fit_exponential(
+        frontier
+            .into_iter()
+            .map(|(y, c)| (f64::from(y), c))
+            .collect(),
+    )
+}
+
+fn fit_exponential(points: Vec<(f64, f64)>) -> Result<ExponentialTrend> {
+    if points.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            provided: points.len(),
+            required: 2,
+        });
+    }
+    let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.1.max(1e-12).log2()).collect();
+    let fit = Linear::fit(&xs, &ys)?;
+    if fit.slope <= 0.0 {
+        return Err(StatsError::DomainViolation {
+            what: "trend is not growing; no doubling time exists",
+        });
+    }
+    Ok(ExponentialTrend {
+        doubling_years: 1.0 / fit.slope,
+        cagr: 2f64.powf(fit.slope) - 1.0,
+        r_squared: fit.r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CorpusSpec;
+
+    #[test]
+    fn corpus_recovers_a_moore_like_doubling_time() {
+        // The synthetic corpus spans 180 nm (1999) to 12 nm (2018); its
+        // frontier should double every ~1.5-3.5 years, bracketing the
+        // classical 2-year cadence.
+        let corpus = CorpusSpec::paper_scale().generate();
+        let trend = moores_law(&corpus).unwrap();
+        assert!(
+            (1.2..3.5).contains(&trend.doubling_years),
+            "doubling every {:.2} years",
+            trend.doubling_years
+        );
+        assert!(trend.r_squared > 0.7, "r2 {}", trend.r_squared);
+    }
+
+    #[test]
+    fn capacity_and_transistor_trends_are_commensurate() {
+        // Switching capacity compounds transistor count with the (slowing)
+        // frequency gains, so its CAGR sits above the transistor CAGR but
+        // within a factor of two — not on a runaway trajectory of its own.
+        let corpus = CorpusSpec::paper_scale().generate();
+        let tc = moores_law(&corpus).unwrap();
+        let cap = capacity_trend(&corpus).unwrap();
+        assert!(cap.cagr > tc.cagr * 0.8, "cap {:.2} vs tc {:.2}", cap.cagr, tc.cagr);
+        assert!(cap.cagr < tc.cagr * 2.0, "cap {:.2} vs tc {:.2}", cap.cagr, tc.cagr);
+    }
+
+    #[test]
+    fn synthetic_exact_exponential_recovered() {
+        let points: Vec<(f64, f64)> = (0..10)
+            .map(|i| (2000.0 + i as f64, 1e6 * 2f64.powf(i as f64 / 2.0)))
+            .collect();
+        let t = fit_exponential(points).unwrap();
+        assert!((t.doubling_years - 2.0).abs() < 1e-9);
+        assert!((t.r_squared - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn declining_trend_rejected() {
+        let points: Vec<(f64, f64)> = (0..5)
+            .map(|i| (2000.0 + i as f64, 1e6 / (i + 1) as f64))
+            .collect();
+        assert!(matches!(
+            fit_exponential(points),
+            Err(StatsError::DomainViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn tiny_corpus_rejected() {
+        assert!(moores_law(&[]).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! The Fig. 3a device-scaling series.
+//!
+//! The paper's Fig. 3a draws five per-node curves on a shared
+//! "Relative (×)" axis spanning roughly 0.25–1.0: leakage power,
+//! capacitance, VDD, frequency, and dynamic power. The four cost metrics
+//! decline with scaling and are normalized to 45 nm = 1.0; frequency
+//! improves with scaling and is normalized to its best (5 nm) value = 1.0 so
+//! that all five curves share the axis, as in the figure.
+
+use crate::TechNode;
+
+/// The five device metrics plotted in Fig. 3a.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalingMetric {
+    /// Leakage power per transistor (declining).
+    LeakagePower,
+    /// Gate capacitance (declining).
+    Capacitance,
+    /// Supply voltage (declining).
+    Vdd,
+    /// Switching frequency (improving; normalized to the 5 nm value).
+    Frequency,
+    /// Dynamic power at fixed frequency (declining).
+    DynamicPower,
+}
+
+impl ScalingMetric {
+    /// All five metrics in the order Fig. 3a presents them.
+    pub fn all() -> &'static [ScalingMetric] {
+        const ALL: [ScalingMetric; 5] = [
+            ScalingMetric::LeakagePower,
+            ScalingMetric::Capacitance,
+            ScalingMetric::Vdd,
+            ScalingMetric::Frequency,
+            ScalingMetric::DynamicPower,
+        ];
+        &ALL
+    }
+
+    /// Human-readable label matching the figure panels.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScalingMetric::LeakagePower => "Leakage Power",
+            ScalingMetric::Capacitance => "Capacitance",
+            ScalingMetric::Vdd => "VDD",
+            ScalingMetric::Frequency => "Frequency",
+            ScalingMetric::DynamicPower => "Dynamic Power",
+        }
+    }
+
+    /// The Fig. 3a-normalized value of this metric at `node`.
+    pub fn value(self, node: TechNode) -> f64 {
+        match self {
+            ScalingMetric::LeakagePower => {
+                node.leakage_rel() / TechNode::N45.leakage_rel()
+            }
+            ScalingMetric::Capacitance => {
+                node.params().capacitance_rel / TechNode::N45.params().capacitance_rel
+            }
+            ScalingMetric::Vdd => node.params().vdd_volts / TechNode::N45.params().vdd_volts,
+            ScalingMetric::Frequency => {
+                node.frequency_potential() / TechNode::N5.frequency_potential()
+            }
+            ScalingMetric::DynamicPower => {
+                node.dynamic_power_rel() / TechNode::N45.dynamic_power_rel()
+            }
+        }
+    }
+}
+
+/// The nodes Fig. 3a plots on its x axis.
+pub fn fig3a_nodes() -> &'static [TechNode] {
+    const NODES: [TechNode; 6] = [
+        TechNode::N45,
+        TechNode::N28,
+        TechNode::N16,
+        TechNode::N10,
+        TechNode::N7,
+        TechNode::N5,
+    ];
+    &NODES
+}
+
+/// Regenerates the full Fig. 3a data: one `(metric, series)` pair per panel,
+/// where each series is a `(node, relative value)` curve.
+///
+/// ```
+/// let series = accelwall_cmos::fig3a_series();
+/// assert_eq!(series.len(), 5);
+/// for (_, curve) in &series {
+///     assert!(curve.iter().all(|&(_, v)| v > 0.0 && v <= 1.0));
+/// }
+/// ```
+pub fn fig3a_series() -> Vec<(ScalingMetric, Vec<(TechNode, f64)>)> {
+    ScalingMetric::all()
+        .iter()
+        .map(|&metric| {
+            let curve = fig3a_nodes()
+                .iter()
+                .map(|&node| (node, metric.value(node)))
+                .collect();
+            (metric, curve)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_metrics_decline_monotonically() {
+        for &metric in &[
+            ScalingMetric::LeakagePower,
+            ScalingMetric::Capacitance,
+            ScalingMetric::Vdd,
+            ScalingMetric::DynamicPower,
+        ] {
+            let values: Vec<f64> = fig3a_nodes().iter().map(|&n| metric.value(n)).collect();
+            assert!(
+                values.windows(2).all(|w| w[0] >= w[1]),
+                "{metric:?} should decline: {values:?}"
+            );
+            assert!((values[0] - 1.0).abs() < 1e-12, "{metric:?} starts at 1.0");
+        }
+    }
+
+    #[test]
+    fn frequency_improves_to_unity() {
+        let values: Vec<f64> = fig3a_nodes()
+            .iter()
+            .map(|&n| ScalingMetric::Frequency.value(n))
+            .collect();
+        assert!(values.windows(2).all(|w| w[0] < w[1]));
+        assert!((values.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_values_fit_the_figure_axis() {
+        // All normalized values lie in (0, 1]; dynamic power falls furthest
+        // (the compounded C·V² product reaches ~0.05 at 5 nm).
+        for (metric, curve) in fig3a_series() {
+            for (node, v) in curve {
+                assert!(
+                    v > 0.0 && v <= 1.0 + 1e-12,
+                    "{metric:?} at {node} out of axis range: {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            ScalingMetric::all().iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), 5);
+    }
+
+    #[test]
+    fn dynamic_power_is_capacitance_times_vdd_squared() {
+        for &node in fig3a_nodes() {
+            let c = ScalingMetric::Capacitance.value(node);
+            let v = ScalingMetric::Vdd.value(node);
+            let p = ScalingMetric::DynamicPower.value(node);
+            assert!((p - c * v * v).abs() < 1e-9, "{node}: {p} vs {}", c * v * v);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! One-call domain reports: everything the reproduction knows about an
+//! accelerated domain, assembled across the study, projection, and
+//! trajectory layers.
+//!
+//! This is the API a downstream user actually wants: "tell me about GPU
+//! graphics" — dataset summary, CSR verdict, wall under both models with
+//! its confidence band, runway in years, and the parameter the wall is
+//! most sensitive to.
+
+use accelwall_csr::CsrSeries;
+use accelwall_projection::{
+    beyond_wall, wall_sensitivity, BeyondWall, Domain, Sensitivity, TargetMetric, WallProjection,
+};
+use accelwall_studies::{bitcoin, fpga, gpu, video};
+use std::fmt;
+
+/// Errors produced while assembling a report.
+#[derive(Debug)]
+pub enum ReportError {
+    /// The study layer failed.
+    Study(accelwall_studies::StudyError),
+    /// The projection layer failed.
+    Projection(accelwall_projection::ProjectionError),
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::Study(e) => write!(f, "study layer failed: {e}"),
+            ReportError::Projection(e) => write!(f, "projection layer failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl From<accelwall_studies::StudyError> for ReportError {
+    fn from(e: accelwall_studies::StudyError) -> Self {
+        ReportError::Study(e)
+    }
+}
+
+impl From<accelwall_projection::ProjectionError> for ReportError {
+    fn from(e: accelwall_projection::ProjectionError) -> Self {
+        ReportError::Projection(e)
+    }
+}
+
+/// The maturity verdict the paper assigns a domain (Section IV-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Maturity {
+    /// Returns plateaued or declining: the domain rides CMOS.
+    Mature,
+    /// CSR still climbing: algorithms still pay.
+    Emerging,
+}
+
+impl fmt::Display for Maturity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Maturity::Mature => f.write_str("mature"),
+            Maturity::Emerging => f.write_str("emerging"),
+        }
+    }
+}
+
+/// Everything the reproduction knows about one domain.
+#[derive(Debug)]
+pub struct DomainReport {
+    /// The domain.
+    pub domain: Domain,
+    /// The domain's performance CSR series (its headline study figure).
+    pub performance_series: CsrSeries,
+    /// Maturity verdict derived from the series.
+    pub maturity: Maturity,
+    /// Performance wall.
+    pub performance_wall: WallProjection,
+    /// Energy-efficiency wall.
+    pub efficiency_wall: WallProjection,
+    /// Trajectory analysis (growth rates, runway).
+    pub trajectory: BeyondWall,
+    /// Table V sensitivities of the performance wall.
+    pub sensitivities: Vec<Sensitivity>,
+}
+
+impl DomainReport {
+    /// Assembles the full report for a domain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates study and projection errors (none occur on the embedded
+    /// datasets).
+    ///
+    /// ```
+    /// use accelerator_wall::report::DomainReport;
+    /// use accelerator_wall::prelude::Domain;
+    ///
+    /// let report = DomainReport::generate(Domain::BitcoinMining)?;
+    /// assert_eq!(report.maturity.to_string(), "mature");
+    /// assert!(report.performance_wall.further_linear < 25.0);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn generate(domain: Domain) -> Result<Self, ReportError> {
+        let performance_series = match domain {
+            Domain::VideoDecoding => video::performance_series()?,
+            Domain::BitcoinMining => bitcoin::fig1_series()?,
+            Domain::FpgaCnn => fpga::performance_series(fpga::CnnModel::AlexNet)?,
+            Domain::GpuGraphics => {
+                let game = gpu::fig5_games()
+                    .into_iter()
+                    .next()
+                    .expect("fig5 games exist");
+                gpu::performance_series(&game)?
+            }
+        };
+        // The §IV-E rule: a domain is emerging while its peak CSR clearly
+        // exceeds what its best-performing chip achieves *and* keeps
+        // climbing (here: peak > 2.5, the CNN signature).
+        let maturity = if performance_series.peak_csr() > 2.5 {
+            Maturity::Emerging
+        } else {
+            Maturity::Mature
+        };
+        Ok(DomainReport {
+            domain,
+            maturity,
+            performance_wall: accelwall_projection::accelerator_wall(
+                domain,
+                TargetMetric::Performance,
+            )?,
+            efficiency_wall: accelwall_projection::accelerator_wall(
+                domain,
+                TargetMetric::EnergyEfficiency,
+            )?,
+            trajectory: beyond_wall(domain, TargetMetric::Performance)?,
+            sensitivities: wall_sensitivity(domain, TargetMetric::Performance)?,
+            performance_series,
+        })
+    }
+
+    /// The Table V parameter the performance wall is most sensitive to.
+    pub fn dominant_constraint(&self) -> &Sensitivity {
+        self.sensitivities
+            .iter()
+            .max_by(|a, b| {
+                a.elasticity
+                    .partial_cmp(&b.elasticity)
+                    .expect("finite elasticities")
+            })
+            .expect("three sensitivities per report")
+    }
+
+    /// A one-paragraph human-readable summary.
+    pub fn summary(&self) -> String {
+        let article = match self.maturity {
+            Maturity::Emerging => "an",
+            Maturity::Mature => "a",
+        };
+        let constraint = {
+            let c = self.dominant_constraint();
+            if c.elasticity < 0.05 {
+                "node physics alone (no Table V budget moves it)".to_string()
+            } else {
+                format!("{} (elasticity {:.2})", c.parameter, c.elasticity)
+            }
+        };
+        format!(
+            "{}: {article} {} domain that improved {:.0}x (of which {:.0}x was transistors); \
+             {:.1}-{:.1}x of headroom remains at 5 nm ({:.1}-{:.1}x in ops/J), \
+             roughly {:.1}-{:.1} years at its historical rate; the wall is \
+             gated by {constraint}.",
+            self.domain,
+            self.maturity,
+            self.performance_series.peak_reported(),
+            self.performance_series.peak_physical(),
+            self.performance_wall.further_log,
+            self.performance_wall.further_linear,
+            self.efficiency_wall.further_log,
+            self.efficiency_wall.further_linear,
+            self.trajectory.runway_years_log,
+            self.trajectory.runway_years_linear,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_generate_for_all_domains() {
+        for &d in Domain::all() {
+            let r = DomainReport::generate(d).unwrap();
+            assert_eq!(r.domain, d);
+            assert!(!r.performance_series.rows.is_empty());
+            assert_eq!(r.sensitivities.len(), 3);
+            let s = r.summary();
+            assert!(s.contains(&d.to_string()));
+            assert!(s.len() > 100);
+        }
+    }
+
+    #[test]
+    fn maturity_verdicts_match_the_paper() {
+        assert_eq!(
+            DomainReport::generate(Domain::VideoDecoding).unwrap().maturity,
+            Maturity::Mature
+        );
+        assert_eq!(
+            DomainReport::generate(Domain::GpuGraphics).unwrap().maturity,
+            Maturity::Mature
+        );
+        assert_eq!(
+            DomainReport::generate(Domain::BitcoinMining).unwrap().maturity,
+            Maturity::Mature
+        );
+        assert_eq!(
+            DomainReport::generate(Domain::FpgaCnn).unwrap().maturity,
+            Maturity::Emerging
+        );
+    }
+
+    #[test]
+    fn dominant_constraints_are_physical() {
+        // GPUs/FPGAs hinge on power; small ASICs on area or clock.
+        let gpu = DomainReport::generate(Domain::GpuGraphics).unwrap();
+        assert_eq!(gpu.dominant_constraint().parameter.to_string(), "TDP");
+        let video = DomainReport::generate(Domain::VideoDecoding).unwrap();
+        assert_ne!(video.dominant_constraint().parameter.to_string(), "TDP");
+    }
+}

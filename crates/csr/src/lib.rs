@@ -1,0 +1,331 @@
+//! Chip Specialization Return (CSR) — the paper's core metric.
+//!
+//! Eq. 1 defines CSR as the ratio between a chip's end-to-end gain on its
+//! target computation and the gain attributable to the chip's physical
+//! (CMOS-driven) capabilities alone:
+//!
+//! ```text
+//! CSR(Alg, Fwk, Plt, Eng) = Gain(Alg, Fwk, Plt, Eng, Phy) / Gain(Phy)
+//! ```
+//!
+//! Eq. 2 then factors any *reported* gain ratio between two chips into a
+//! specialization-driven part (the CSR ratio) and a CMOS-driven part (the
+//! physical-potential ratio). Eqs. 3 and 4 extend this to populations:
+//! the relative gain between two GPU architectures is the geometric mean of
+//! their per-application gain ratios over shared applications, and pairs
+//! with too few shared applications are connected transitively through
+//! intermediary architectures. This crate implements all four equations.
+//!
+//! # Example
+//!
+//! ```
+//! use accelwall_csr::{csr, decompose};
+//!
+//! // A chip reports 510x the baseline's gain while its transistors alone
+//! // account for 307x (the paper's Fig. 1 Bitcoin headline):
+//! let d = decompose(510.0, 307.0, 1.0).unwrap();
+//! assert!((d.specialization - 510.0 / 307.0).abs() < 1e-9);
+//! assert!((d.specialization * d.cmos - d.reported).abs() < 1e-9);
+//! assert!((csr(510.0, 307.0).unwrap() - d.specialization).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod relation;
+pub mod stack;
+
+pub use relation::{ArchObservations, RelationMatrix};
+pub use stack::StackLayer;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the CSR computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CsrError {
+    /// A gain or potential value was not strictly positive and finite.
+    InvalidGain {
+        /// Which quantity was invalid.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An architecture name was not present in the observations.
+    UnknownArchitecture(String),
+    /// Building the relation matrix found no connected observations.
+    EmptyObservations,
+}
+
+impl fmt::Display for CsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsrError::InvalidGain { what, value } => {
+                write!(f, "invalid gain: {what} = {value} (must be positive and finite)")
+            }
+            CsrError::UnknownArchitecture(name) => write!(f, "unknown architecture {name:?}"),
+            CsrError::EmptyObservations => write!(f, "no observations to build relations from"),
+        }
+    }
+}
+
+impl Error for CsrError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CsrError>;
+
+/// Eq. 1: the Chip Specialization Return of a design.
+///
+/// `reported_gain` is the end-to-end gain the chip achieves on its target
+/// computation relative to some baseline; `physical_gain` is the gain the
+/// CMOS potential model attributes to physics alone over the same baseline.
+///
+/// # Errors
+///
+/// Returns [`CsrError::InvalidGain`] if either argument is not strictly
+/// positive and finite.
+pub fn csr(reported_gain: f64, physical_gain: f64) -> Result<f64> {
+    validate("reported_gain", reported_gain)?;
+    validate("physical_gain", physical_gain)?;
+    Ok(reported_gain / physical_gain)
+}
+
+/// The Eq. 2 factorization of a reported gain ratio.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GainDecomposition {
+    /// The reported end-to-end gain ratio `Gain_A / Gain_B`.
+    pub reported: f64,
+    /// Specialization-driven part: `CSR_A / CSR_B`.
+    pub specialization: f64,
+    /// CMOS-driven part: `Gain(Phy_A) / Gain(Phy_B)`.
+    pub cmos: f64,
+}
+
+/// Eq. 2: factors a reported gain ratio between chips A and B into its
+/// specialization-driven and CMOS-driven parts, given each chip's physical
+/// potential over a common baseline.
+///
+/// The identity `reported = specialization × cmos` holds exactly.
+///
+/// # Errors
+///
+/// Returns [`CsrError::InvalidGain`] for non-positive or non-finite inputs.
+pub fn decompose(
+    reported_a_over_b: f64,
+    physical_a: f64,
+    physical_b: f64,
+) -> Result<GainDecomposition> {
+    validate("reported_a_over_b", reported_a_over_b)?;
+    validate("physical_a", physical_a)?;
+    validate("physical_b", physical_b)?;
+    let cmos = physical_a / physical_b;
+    Ok(GainDecomposition {
+        reported: reported_a_over_b,
+        specialization: reported_a_over_b / cmos,
+        cmos,
+    })
+}
+
+/// A time-indexed CSR series: the trajectory plots of Figs. 1, 4, 8, 9.
+///
+/// Each entry pairs a label (chip name, venue-year, intro date) with the
+/// chip's reported gain and physical gain over the series baseline; the
+/// CSR column is their ratio.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrSeries {
+    /// One row per chip, in presentation order.
+    pub rows: Vec<CsrPoint>,
+}
+
+/// One chip in a [`CsrSeries`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrPoint {
+    /// Display label for the chip.
+    pub label: String,
+    /// Reported end-to-end gain over the series baseline.
+    pub reported_gain: f64,
+    /// CMOS-driven (physical) gain over the series baseline.
+    pub physical_gain: f64,
+    /// Chip Specialization Return (Eq. 1).
+    pub csr: f64,
+}
+
+impl CsrSeries {
+    /// Builds a series from `(label, reported gain, physical gain)` rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsrError::InvalidGain`] if any gain is non-positive or
+    /// non-finite.
+    pub fn new<L: Into<String>>(rows: Vec<(L, f64, f64)>) -> Result<Self> {
+        let rows = rows
+            .into_iter()
+            .map(|(label, reported, physical)| {
+                Ok(CsrPoint {
+                    label: label.into(),
+                    reported_gain: reported,
+                    physical_gain: physical,
+                    csr: csr(reported, physical)?,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(CsrSeries { rows })
+    }
+
+    /// Maximum reported gain in the series.
+    pub fn peak_reported(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.reported_gain)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Maximum physical gain in the series.
+    pub fn peak_physical(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.physical_gain)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Maximum CSR in the series.
+    pub fn peak_csr(&self) -> f64 {
+        self.rows.iter().map(|r| r.csr).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Fits the quadratic trend curve the paper draws through its Fig. 5
+    /// scatter: `value ≈ c₀ + c₁·i + c₂·i²` over the series positions,
+    /// where `selector` picks the column (reported gain, CSR, ...).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsrError::EmptyObservations`] for series with fewer than
+    /// three rows (a quadratic needs three points).
+    pub fn fit_trend(
+        &self,
+        selector: impl Fn(&CsrPoint) -> f64,
+    ) -> Result<accelwall_stats::Polynomial> {
+        if self.rows.len() < 3 {
+            return Err(CsrError::EmptyObservations);
+        }
+        let xs: Vec<f64> = (0..self.rows.len()).map(|i| i as f64).collect();
+        let ys: Vec<f64> = self.rows.iter().map(selector).collect();
+        accelwall_stats::Polynomial::fit(&xs, &ys, 2).map_err(|_| CsrError::EmptyObservations)
+    }
+
+    /// CSR of the chip with the best reported gain — the paper repeatedly
+    /// observes that for mature domains this value is ≈ 1 or below even
+    /// when the peak CSR across the series is higher.
+    pub fn csr_of_best_chip(&self) -> f64 {
+        self.rows
+            .iter()
+            .max_by(|a, b| {
+                a.reported_gain
+                    .partial_cmp(&b.reported_gain)
+                    .expect("gains validated finite")
+            })
+            .map(|r| r.csr)
+            .unwrap_or(f64::NAN)
+    }
+}
+
+fn validate(what: &'static str, value: f64) -> Result<()> {
+    if value > 0.0 && value.is_finite() {
+        Ok(())
+    } else {
+        Err(CsrError::InvalidGain { what, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_is_gain_over_physical() {
+        assert_eq!(csr(100.0, 50.0).unwrap(), 2.0);
+        assert_eq!(csr(50.0, 100.0).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn csr_rejects_bad_inputs() {
+        assert!(csr(0.0, 1.0).is_err());
+        assert!(csr(1.0, -1.0).is_err());
+        assert!(csr(f64::NAN, 1.0).is_err());
+        assert!(csr(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn decompose_identity_exact() {
+        let d = decompose(64.0, 36.0, 1.0).unwrap();
+        assert_eq!(d.reported, d.specialization * d.cmos);
+        assert_eq!(d.cmos, 36.0);
+    }
+
+    #[test]
+    fn decompose_is_baseline_independent() {
+        // Scaling both physical potentials by the same factor changes
+        // nothing (only the ratio enters Eq. 2).
+        let d1 = decompose(10.0, 8.0, 2.0).unwrap();
+        let d2 = decompose(10.0, 80.0, 20.0).unwrap();
+        assert!((d1.specialization - d2.specialization).abs() < 1e-12);
+        assert!((d1.cmos - d2.cmos).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_fig1_bitcoin_headline() {
+        // Paper Fig. 1: performance 510x, transistor performance 307x,
+        // so CSR of the last chip is ~1.7.
+        let series = CsrSeries::new(vec![
+            ("baseline 130nm", 1.0, 1.0),
+            ("28nm miner", 180.0, 120.0),
+            ("16nm miner", 510.0, 307.4),
+        ])
+        .unwrap();
+        assert!((series.csr_of_best_chip() - 510.0 / 307.4).abs() < 1e-9);
+        assert_eq!(series.peak_reported(), 510.0);
+        assert_eq!(series.peak_physical(), 307.4);
+    }
+
+    #[test]
+    fn best_chip_csr_can_trail_peak_csr() {
+        // A mid-series chip can hold the CSR record while the newest chip
+        // merely rides physics — the paper's recurring observation.
+        let series = CsrSeries::new(vec![
+            ("a", 1.0, 1.0),
+            ("b", 6.0, 3.0),  // CSR 2.0
+            ("c", 10.0, 10.0), // CSR 1.0, best reported
+        ])
+        .unwrap();
+        assert_eq!(series.peak_csr(), 2.0);
+        assert_eq!(series.csr_of_best_chip(), 1.0);
+    }
+
+    #[test]
+    fn series_rejects_invalid_rows() {
+        assert!(CsrSeries::new(vec![("x", -1.0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn trend_fit_recovers_quadratic_growth() {
+        // Gains growing as 1 + i² with flat CSR: the fitted curvature of
+        // the gain column is positive, of the CSR column ~zero.
+        let rows: Vec<(String, f64, f64)> = (0..8)
+            .map(|i| {
+                let gain = 1.0 + (i * i) as f64;
+                (format!("chip{i}"), gain, gain)
+            })
+            .collect();
+        let s = CsrSeries::new(rows).unwrap();
+        let gain_trend = s.fit_trend(|r| r.reported_gain).unwrap();
+        assert!(gain_trend.coeffs[2] > 0.5, "{:?}", gain_trend.coeffs);
+        let csr_trend = s.fit_trend(|r| r.csr).unwrap();
+        assert!(csr_trend.coeffs[2].abs() < 1e-9);
+    }
+
+    #[test]
+    fn trend_fit_needs_three_points() {
+        let s = CsrSeries::new(vec![("a", 1.0, 1.0), ("b", 2.0, 1.0)]).unwrap();
+        assert!(s.fit_trend(|r| r.csr).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! The specialization stack (Fig. 2): the abstraction layers of an
+//! accelerator-centric architecture.
+//!
+//! The paper contrasts the traditional layer cake (application, algorithm,
+//! language, OS, ISA, RTL, gates, devices, technology) with its taxonomy
+//! for accelerated systems: a fixed computation domain on top, a fixed
+//! physical layer at the bottom, and four *specialization* layers in
+//! between whose co-optimization is what CSR measures (Eq. 1's
+//! `CSR(Alg, Fwk, Plt, Eng)`).
+
+use std::fmt;
+
+/// The layers of an accelerator-centric architecture, top to bottom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StackLayer {
+    /// The computation domain — fixed; what the gain is measured on
+    /// (e.g. deep learning, graph processing).
+    ComputationDomain,
+    /// Algorithm (e.g. AlexNet, VGG, BFS, PageRank).
+    Algorithm,
+    /// Programming framework (e.g. CUDA, OpenCL, HLS).
+    ProgrammingFramework,
+    /// Accelerator platform (e.g. ASIC, FPGA, GPU).
+    AcceleratorPlatform,
+    /// Chip engineering (microarchitecture, circuits, methodologies,
+    /// CAD tools).
+    ChipEngineering,
+    /// Physical properties — fixed budget (e.g. 45 nm CMOS, 100 mm² die).
+    Physical,
+}
+
+impl StackLayer {
+    /// All layers, top to bottom, as drawn in Fig. 2.
+    pub fn all() -> &'static [StackLayer] {
+        const ALL: [StackLayer; 6] = [
+            StackLayer::ComputationDomain,
+            StackLayer::Algorithm,
+            StackLayer::ProgrammingFramework,
+            StackLayer::AcceleratorPlatform,
+            StackLayer::ChipEngineering,
+            StackLayer::Physical,
+        ];
+        &ALL
+    }
+
+    /// Whether the layer belongs to the *specialization stack* — the
+    /// dashed box of Fig. 2, i.e. the arguments of Eq. 1's CSR.
+    pub fn is_specialization_layer(self) -> bool {
+        !matches!(
+            self,
+            StackLayer::ComputationDomain | StackLayer::Physical
+        )
+    }
+
+    /// The paper's Fig. 2 examples for this layer.
+    pub fn examples(self) -> &'static [&'static str] {
+        match self {
+            StackLayer::ComputationDomain => &["Deep Learning", "Graph Processing"],
+            StackLayer::Algorithm => &["AlexNet", "VGG", "LSTM", "BFS", "PageRank"],
+            StackLayer::ProgrammingFramework => &["CUDA", "OpenCL", "HLS"],
+            StackLayer::AcceleratorPlatform => &["ASIC", "FPGA", "GPU"],
+            StackLayer::ChipEngineering => &[
+                "Microarchitecture",
+                "Circuits",
+                "Design Methodologies",
+                "CAD Tools",
+            ],
+            StackLayer::Physical => &["45nm CMOS", "100mm2 Die"],
+        }
+    }
+
+    /// Which case study isolates this layer's contribution (Section IV).
+    pub fn isolating_study(self) -> Option<&'static str> {
+        match self {
+            StackLayer::Algorithm => Some("FPGA CNNs (Fig. 8)"),
+            StackLayer::ProgrammingFramework | StackLayer::ChipEngineering => {
+                Some("GPU architectures (Figs. 6-7)")
+            }
+            StackLayer::AcceleratorPlatform => Some("Bitcoin miners (Fig. 9)"),
+            StackLayer::ComputationDomain | StackLayer::Physical => None,
+        }
+    }
+}
+
+impl fmt::Display for StackLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StackLayer::ComputationDomain => "Computation Domain (fixed)",
+            StackLayer::Algorithm => "Algorithm",
+            StackLayer::ProgrammingFramework => "Programming Framework",
+            StackLayer::AcceleratorPlatform => "Accelerator Platform",
+            StackLayer::ChipEngineering => "Chip Engineering",
+            StackLayer::Physical => "Physical Properties (fixed budget)",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_layers_top_to_bottom() {
+        let layers = StackLayer::all();
+        assert_eq!(layers.len(), 6);
+        assert_eq!(layers[0], StackLayer::ComputationDomain);
+        assert_eq!(layers[5], StackLayer::Physical);
+        assert!(layers.windows(2).all(|w| w[0] < w[1]), "drawn order");
+    }
+
+    #[test]
+    fn exactly_four_specialization_layers() {
+        // Eq. 1: CSR(Alg, Fwk, Plt, Eng) — four free layers.
+        let free: Vec<_> = StackLayer::all()
+            .iter()
+            .filter(|l| l.is_specialization_layer())
+            .collect();
+        assert_eq!(free.len(), 4);
+    }
+
+    #[test]
+    fn every_specialization_layer_has_an_isolating_study() {
+        for layer in StackLayer::all() {
+            assert_eq!(
+                layer.isolating_study().is_some(),
+                layer.is_specialization_layer(),
+                "{layer}"
+            );
+        }
+    }
+
+    #[test]
+    fn examples_match_fig2() {
+        assert!(StackLayer::AcceleratorPlatform.examples().contains(&"ASIC"));
+        assert!(StackLayer::ProgrammingFramework.examples().contains(&"CUDA"));
+        assert!(StackLayer::Physical.examples().contains(&"45nm CMOS"));
+    }
+}

@@ -1,0 +1,263 @@
+//! Graph analyses: stages, depth, working sets, path counts.
+//!
+//! These compute exactly the quantities Section V-B defines on the DFG:
+//! the depth `D` (longest computation path, counted in vertices), the
+//! per-stage working sets `WS_s`, and the size of the computation-path set
+//! `P` (counted without enumeration — path counts grow exponentially).
+
+use crate::graph::{Dfg, NodeId, NodeKind};
+
+/// Summary statistics of a DFG, in the paper's notation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DfgStats {
+    /// `|V|` — total vertices.
+    pub vertices: usize,
+    /// `|E|` — total edges.
+    pub edges: usize,
+    /// `|V_IN|` — input variables.
+    pub inputs: usize,
+    /// `|V_OUT|` — output variables.
+    pub outputs: usize,
+    /// `|V_CMP|` — computation vertices.
+    pub computes: usize,
+    /// `D` — vertices on the longest input-to-output computation path.
+    pub depth: usize,
+    /// Number of *compute* stages (ASAP levels occupied by computation
+    /// vertices); the Fig. 11 example has 2.
+    pub compute_stages: usize,
+    /// `max_s |WS_s|` — the largest per-stage working set: the maximum
+    /// number of values that must be held concurrently between stages
+    /// (live values), which bounds both minimal storage and exploitable
+    /// parallelism (Table II).
+    pub max_working_set: usize,
+    /// Widest single stage (vertices scheduled at one ASAP level) — the
+    /// graph's intrinsic parallelism ceiling.
+    pub max_stage_width: usize,
+    /// `|P|` — number of computation paths, saturating at `u128::MAX`.
+    pub path_count: u128,
+}
+
+impl Dfg {
+    /// ASAP level of every node: inputs at level 0, every other node one
+    /// past its latest operand. Node ids ascend topologically, so one pass
+    /// suffices.
+    pub fn asap_levels(&self) -> Vec<usize> {
+        let mut levels = vec![0usize; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let base = node
+                .operands
+                .iter()
+                .map(|o| levels[o.index()])
+                .max()
+                .map(|m| m + 1)
+                .unwrap_or(0);
+            // Outputs sit at their operand's level + 1 like any consumer;
+            // they represent writing the variable out.
+            levels[i] = base;
+        }
+        levels
+    }
+
+    /// The paper's depth `D`: vertices on the longest path from an input
+    /// to an output (the Fig. 11 example has `D = 4`: input, two stages,
+    /// output).
+    pub fn depth(&self) -> usize {
+        self.asap_levels()
+            .iter()
+            .zip(&self.nodes)
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Output(_)))
+            .map(|(l, _)| l + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Nodes at each ASAP level, level-major.
+    pub fn stages(&self) -> Vec<Vec<NodeId>> {
+        let levels = self.asap_levels();
+        let max = levels.iter().copied().max().unwrap_or(0);
+        let mut stages = vec![Vec::new(); max + 1];
+        for (i, &l) in levels.iter().enumerate() {
+            stages[l].push(NodeId(i));
+        }
+        stages
+    }
+
+    /// The live working set after each stage: values produced at or before
+    /// stage `s` that are still consumed after `s`. The maximum over `s` is
+    /// the paper's `max |WS_s|`.
+    pub fn working_sets(&self) -> Vec<usize> {
+        let levels = self.asap_levels();
+        let max_level = levels.iter().copied().max().unwrap_or(0);
+        // last_use[i] = the latest level at which node i's value is consumed.
+        let mut last_use = vec![0usize; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for op in &node.operands {
+                last_use[op.index()] = last_use[op.index()].max(levels[i]);
+            }
+        }
+        (0..=max_level)
+            .map(|s| {
+                (0..self.nodes.len())
+                    .filter(|&i| {
+                        !matches!(self.nodes[i].kind, NodeKind::Output(_))
+                            && levels[i] <= s
+                            && last_use[i] > s
+                    })
+                    .count()
+            })
+            .collect()
+    }
+
+    /// Number of input-to-output computation paths `|P|`, by dynamic
+    /// programming over the topological order; saturates at `u128::MAX`.
+    pub fn path_count(&self) -> u128 {
+        let mut paths_to = vec![0u128; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            paths_to[i] = match node.kind {
+                NodeKind::Input(_) => 1,
+                _ => node
+                    .operands
+                    .iter()
+                    .fold(0u128, |acc, o| acc.saturating_add(paths_to[o.index()])),
+            };
+        }
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Output(_)))
+            .fold(0u128, |acc, (i, _)| acc.saturating_add(paths_to[i]))
+    }
+
+    /// All summary statistics in one pass.
+    pub fn stats(&self) -> DfgStats {
+        let levels = self.asap_levels();
+        let compute_levels: std::collections::BTreeSet<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Compute(_)))
+            .map(|(i, _)| levels[i])
+            .collect();
+        let mut width = std::collections::HashMap::new();
+        for &l in &levels {
+            *width.entry(l).or_insert(0usize) += 1;
+        }
+        DfgStats {
+            vertices: self.vertex_count(),
+            edges: self.edge_count(),
+            inputs: self.input_ids().len(),
+            outputs: self.output_ids().len(),
+            computes: self.compute_ids().len(),
+            depth: self.depth(),
+            compute_stages: compute_levels.len(),
+            max_working_set: self.working_sets().into_iter().max().unwrap_or(0),
+            max_stage_width: width.values().copied().max().unwrap_or(0),
+            path_count: self.path_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DfgBuilder, Op};
+
+    /// The Fig. 11 example: 3 inputs, 2 compute stages, 2 outputs.
+    fn fig11() -> Dfg {
+        let mut b = DfgBuilder::new("fig11");
+        let d1 = b.input("d1");
+        let d2 = b.input("d2");
+        let d3 = b.input("d3");
+        let s1a = b.op(Op::Add, &[d1, d2]);
+        let s1b = b.op(Op::Div, &[d2, d3]);
+        let s2a = b.op(Op::Sub, &[s1a, s1b]);
+        let s2b = b.op(Op::Add, &[s1b, d3]);
+        b.output("o1", s2a);
+        b.output("o2", s2b);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fig11_stats() {
+        let g = fig11();
+        let s = g.stats();
+        assert_eq!(s.vertices, 9);
+        assert_eq!(s.inputs, 3);
+        assert_eq!(s.outputs, 2);
+        assert_eq!(s.computes, 4);
+        assert_eq!(s.compute_stages, 2);
+        // Longest path: input -> stage1 -> stage2 -> output = 4 vertices.
+        assert_eq!(s.depth, 4);
+        assert_eq!(s.edges, 2 * 4 + 2);
+    }
+
+    #[test]
+    fn fig11_path_count() {
+        // Paths to o1: d1->s1a->s2a, d2->s1a->s2a, d2->s1b->s2a, d3->s1b->s2a.
+        // Paths to o2: d2->s1b->s2b, d3->s1b->s2b, d3->s2b.
+        assert_eq!(fig11().path_count(), 7);
+    }
+
+    #[test]
+    fn working_sets_track_live_values() {
+        let g = fig11();
+        let ws = g.working_sets();
+        // After stage 0 (inputs ready): d1, d2, d3 all still consumed.
+        assert_eq!(ws[0], 3);
+        // After stage 1: s1a, s1b live; d3 still feeds s2b.
+        assert_eq!(ws[1], 3);
+        // After stage 2: s2a, s2b live until written to outputs.
+        assert_eq!(ws[2], 2);
+        assert_eq!(g.stats().max_working_set, 3);
+    }
+
+    #[test]
+    fn chain_depth_counts_vertices() {
+        let mut b = DfgBuilder::new("chain");
+        let x = b.input("x");
+        let a = b.op(Op::Neg, &[x]);
+        let c = b.op(Op::Neg, &[a]);
+        let d = b.op(Op::Neg, &[c]);
+        b.output("o", d);
+        let g = b.build().unwrap();
+        assert_eq!(g.depth(), 5); // in, 3 ops, out
+        assert_eq!(g.path_count(), 1);
+        assert_eq!(g.stats().max_working_set, 1);
+    }
+
+    #[test]
+    fn wide_graph_stage_width() {
+        let mut b = DfgBuilder::new("wide");
+        let inputs: Vec<_> = (0..16).map(|i| b.input(format!("x{i}"))).collect();
+        let negs: Vec<_> = inputs.iter().map(|&i| b.op(Op::Neg, &[i])).collect();
+        for (i, &n) in negs.iter().enumerate() {
+            b.output(format!("o{i}"), n);
+        }
+        let g = b.build().unwrap();
+        let s = g.stats();
+        assert_eq!(s.max_stage_width, 16);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.max_working_set, 16);
+        assert_eq!(s.path_count, 16);
+    }
+
+    #[test]
+    fn diamond_reconvergence() {
+        let mut b = DfgBuilder::new("diamond");
+        let x = b.input("x");
+        let l = b.op(Op::Neg, &[x]);
+        let r = b.op(Op::Abs, &[x]);
+        let j = b.op(Op::Add, &[l, r]);
+        b.output("o", j);
+        let g = b.build().unwrap();
+        assert_eq!(g.path_count(), 2);
+        assert_eq!(g.depth(), 4);
+    }
+
+    #[test]
+    fn stages_cover_all_nodes() {
+        let g = fig11();
+        let total: usize = g.stages().iter().map(Vec::len).sum();
+        assert_eq!(total, g.vertex_count());
+    }
+}

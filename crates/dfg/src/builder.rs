@@ -1,0 +1,276 @@
+//! Acyclic-by-construction graph builder.
+
+use crate::graph::{Dfg, Node, NodeId, NodeKind, Op};
+use crate::{DfgError, Result};
+use std::collections::HashSet;
+
+/// Builds a [`Dfg`] incrementally. Operands must already exist when an
+/// operation references them, so cycles cannot be expressed; `build`
+/// performs the remaining structural checks (taxonomy, names, outputs).
+#[derive(Debug, Clone)]
+pub struct DfgBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    tables: Vec<[u8; 256]>,
+    errors: Vec<DfgError>,
+}
+
+impl DfgBuilder {
+    /// Starts an empty graph called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        DfgBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            tables: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// Adds an input variable and returns its id.
+    pub fn input(&mut self, name: impl Into<String>) -> NodeId {
+        self.push(Node {
+            kind: NodeKind::Input(name.into()),
+            operands: Vec::new(),
+        })
+    }
+
+    /// Adds a computation vertex applying `op` to `operands`.
+    ///
+    /// Arity and operand-existence violations are recorded and reported by
+    /// [`build`](Self::build); the returned id stays usable so call sites
+    /// can be written straight-line.
+    pub fn op(&mut self, op: Op, operands: &[NodeId]) -> NodeId {
+        if operands.len() != op.arity() {
+            self.errors.push(DfgError::ArityMismatch {
+                op,
+                given: operands.len(),
+                required: op.arity(),
+            });
+        }
+        for &o in operands {
+            self.check_operand(o);
+        }
+        self.push(Node {
+            kind: NodeKind::Compute(op),
+            operands: operands.to_vec(),
+        })
+    }
+
+    /// Convenience: a left-leaning reduction tree `op(op(a, b), c)...` over
+    /// two or more values, or a `Copy` of a single value.
+    pub fn reduce(&mut self, op: Op, values: &[NodeId]) -> NodeId {
+        match values {
+            [] => {
+                self.errors.push(DfgError::ArityMismatch {
+                    op,
+                    given: 0,
+                    required: op.arity(),
+                });
+                self.push(Node {
+                    kind: NodeKind::Compute(Op::Copy),
+                    operands: Vec::new(),
+                })
+            }
+            [single] => self.op(Op::Copy, &[*single]),
+            _ => {
+                // Balanced tree: keeps the DFG depth logarithmic, matching
+                // how a spatial reduction is actually specialized.
+                let mut layer = values.to_vec();
+                while layer.len() > 1 {
+                    let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                    for pair in layer.chunks(2) {
+                        match pair {
+                            [a, b] => next.push(self.op(op, &[*a, *b])),
+                            [a] => next.push(*a),
+                            _ => unreachable!("chunks(2)"),
+                        }
+                    }
+                    layer = next;
+                }
+                layer[0]
+            }
+        }
+    }
+
+    /// Marks `source`'s value as the output variable `name`.
+    pub fn output(&mut self, name: impl Into<String>, source: NodeId) -> NodeId {
+        self.check_operand(source);
+        self.push(Node {
+            kind: NodeKind::Output(name.into()),
+            operands: vec![source],
+        })
+    }
+
+    /// Registers a 256-entry lookup table and returns the id to use with
+    /// [`Op::Lut`].
+    pub fn register_table(&mut self, table: [u8; 256]) -> u8 {
+        self.tables.push(table);
+        (self.tables.len() - 1) as u8
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no nodes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first recorded construction error, or:
+    /// * [`DfgError::NoOutputs`] if no output vertex exists,
+    /// * [`DfgError::DuplicateName`] for repeated input or output names,
+    /// * [`DfgError::TaxonomyViolation`] if an output vertex is consumed as
+    ///   an operand.
+    pub fn build(mut self) -> Result<Dfg> {
+        if let Some(e) = self.errors.drain(..).next() {
+            return Err(e);
+        }
+        let mut names = HashSet::new();
+        let mut has_output = false;
+        for node in &self.nodes {
+            match &node.kind {
+                NodeKind::Input(name) | NodeKind::Output(name) => {
+                    if !names.insert(name.clone()) {
+                        return Err(DfgError::DuplicateName(name.clone()));
+                    }
+                    has_output |= matches!(node.kind, NodeKind::Output(_));
+                }
+                NodeKind::Compute(_) => {}
+            }
+            for &op in &node.operands {
+                if matches!(self.nodes[op.0].kind, NodeKind::Output(_)) {
+                    return Err(DfgError::TaxonomyViolation(
+                        "output vertex used as an operand",
+                    ));
+                }
+            }
+        }
+        if !has_output {
+            return Err(DfgError::NoOutputs);
+        }
+        Ok(Dfg {
+            name: self.name,
+            nodes: self.nodes,
+            tables: self.tables,
+        })
+    }
+
+    fn check_operand(&mut self, id: NodeId) {
+        if id.0 >= self.nodes.len() {
+            self.errors.push(DfgError::UnknownNode(id.0));
+        }
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        NodeId(self.nodes.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_graph() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let s = b.op(Op::Add, &[x, y]);
+        b.output("sum", s);
+        let g = b.build().unwrap();
+        assert_eq!(g.vertex_count(), 4);
+    }
+
+    #[test]
+    fn arity_mismatch_reported_at_build() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let s = b.op(Op::Add, &[x]); // missing an operand
+        b.output("o", s);
+        assert!(matches!(
+            b.build(),
+            Err(DfgError::ArityMismatch { op: Op::Add, given: 1, required: 2 })
+        ));
+    }
+
+    #[test]
+    fn forward_references_rejected() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let bogus = NodeId(99);
+        let s = b.op(Op::Add, &[x, bogus]);
+        b.output("o", s);
+        assert!(matches!(b.build(), Err(DfgError::UnknownNode(99))));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let _y = b.input("x");
+        b.output("o", x);
+        assert!(matches!(b.build(), Err(DfgError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn outputs_required() {
+        let mut b = DfgBuilder::new("g");
+        let _ = b.input("x");
+        assert!(matches!(b.build(), Err(DfgError::NoOutputs)));
+    }
+
+    #[test]
+    fn output_cannot_feed_compute() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let o = b.output("o", x);
+        let s = b.op(Op::Neg, &[o]);
+        b.output("o2", s);
+        assert!(matches!(b.build(), Err(DfgError::TaxonomyViolation(_))));
+    }
+
+    #[test]
+    fn reduce_builds_balanced_tree() {
+        let mut b = DfgBuilder::new("g");
+        let leaves: Vec<NodeId> = (0..8).map(|i| b.input(format!("x{i}"))).collect();
+        let r = b.reduce(Op::Add, &leaves);
+        b.output("sum", r);
+        let g = b.build().unwrap();
+        // 8 leaves -> 7 adds, depth 3 compute stages.
+        assert_eq!(g.compute_ids().len(), 7);
+        assert_eq!(g.stats().compute_stages, 3);
+    }
+
+    #[test]
+    fn reduce_single_value_copies() {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x");
+        let r = b.reduce(Op::Add, &[x]);
+        b.output("o", r);
+        let g = b.build().unwrap();
+        assert_eq!(g.compute_ids().len(), 1);
+    }
+
+    #[test]
+    fn reduce_empty_errors() {
+        let mut b = DfgBuilder::new("g");
+        let r = b.reduce(Op::Add, &[]);
+        b.output("o", r);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn len_tracks_nodes() {
+        let mut b = DfgBuilder::new("g");
+        assert!(b.is_empty());
+        b.input("x");
+        assert_eq!(b.len(), 1);
+    }
+}

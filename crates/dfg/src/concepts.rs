@@ -1,0 +1,191 @@
+//! The chip-specialization concept taxonomy (Section V-A, Table I).
+//!
+//! The paper identifies three concepts — simplification, partitioning, and
+//! heterogeneity — each applicable to each of the three processing
+//! components — memory, communication, and computation — and illustrates
+//! all nine cells on Google's TPU (Fig. 10 / Table I).
+
+use std::fmt;
+
+/// The three chip-specialization concepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecializationConcept {
+    /// Reducing structures to compute-essential complexity (narrow
+    /// datapaths, no OoO control, integer-only units).
+    Simplification,
+    /// Replicating paths that operate independently on data sub-portions
+    /// (SIMD, threading, banking, systolic arrays).
+    Partitioning,
+    /// Tailoring distinct paths to distinct functionality (fused units,
+    /// algorithm-specific function units, asymmetric hierarchies).
+    Heterogeneity,
+}
+
+impl SpecializationConcept {
+    /// All concepts in the paper's column order.
+    pub fn all() -> &'static [SpecializationConcept] {
+        const ALL: [SpecializationConcept; 3] = [
+            SpecializationConcept::Simplification,
+            SpecializationConcept::Partitioning,
+            SpecializationConcept::Heterogeneity,
+        ];
+        &ALL
+    }
+}
+
+impl fmt::Display for SpecializationConcept {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpecializationConcept::Simplification => "Simplification",
+            SpecializationConcept::Partitioning => "Partitioning",
+            SpecializationConcept::Heterogeneity => "Heterogeneity",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The three processing components specialization acts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// Storage hierarchy and access paths.
+    Memory,
+    /// On-chip interconnect and chip I/O.
+    Communication,
+    /// Functional units and datapaths.
+    Computation,
+}
+
+impl Component {
+    /// All components in the paper's row order.
+    pub fn all() -> &'static [Component] {
+        const ALL: [Component; 3] = [
+            Component::Memory,
+            Component::Communication,
+            Component::Computation,
+        ];
+        &ALL
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Component::Memory => "Memory",
+            Component::Communication => "Communication",
+            Component::Computation => "Computation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One Table I cell: a TPU design feature exemplifying a concept applied to
+/// a component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpuExample {
+    /// The component the feature specializes.
+    pub component: Component,
+    /// The concept it embodies.
+    pub concept: SpecializationConcept,
+    /// Circled index in Fig. 10 (1–9).
+    pub index: u8,
+    /// The paper's description of the feature.
+    pub description: &'static str,
+}
+
+/// The nine annotated TPU examples of Table I / Fig. 10.
+pub fn tpu_examples() -> &'static [TpuExample] {
+    use Component::*;
+    use SpecializationConcept::*;
+    const EXAMPLES: [TpuExample; 9] = [
+        TpuExample {
+            component: Memory,
+            concept: Simplification,
+            index: 1,
+            description: "Simple DDR3 chips, interfaces, and physical memory space",
+        },
+        TpuExample {
+            component: Memory,
+            concept: Partitioning,
+            index: 2,
+            description: "Memory module banking storing NN layer weights",
+        },
+        TpuExample {
+            component: Memory,
+            concept: Heterogeneity,
+            index: 3,
+            description: "Hybrid memory for input and intermediary results",
+        },
+        TpuExample {
+            component: Communication,
+            concept: Simplification,
+            index: 4,
+            description: "Simple FIFO communication",
+        },
+        TpuExample {
+            component: Communication,
+            concept: Partitioning,
+            index: 5,
+            description: "Concurrent FIFOs for weights and systolic array data",
+        },
+        TpuExample {
+            component: Communication,
+            concept: Heterogeneity,
+            index: 6,
+            description: "Software-defined DMA interface for chip I/O",
+        },
+        TpuExample {
+            component: Computation,
+            concept: Simplification,
+            index: 7,
+            description: "Multiply+add computation units with small precision (8-bit integers)",
+        },
+        TpuExample {
+            component: Computation,
+            concept: Partitioning,
+            index: 8,
+            description: "Parallel multiply+add paths and systolic array data reuse",
+        },
+        TpuExample {
+            component: Computation,
+            concept: Heterogeneity,
+            index: 9,
+            description: "Non-linear activation unit (e.g., ReLU)",
+        },
+    ];
+    &EXAMPLES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_examples_cover_the_grid() {
+        let examples = tpu_examples();
+        assert_eq!(examples.len(), 9);
+        let cells: std::collections::HashSet<_> = examples
+            .iter()
+            .map(|e| (e.component, e.concept))
+            .collect();
+        assert_eq!(cells.len(), 9);
+    }
+
+    #[test]
+    fn indices_are_one_through_nine() {
+        let mut idx: Vec<u8> = tpu_examples().iter().map(|e| e.index).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, (1..=9).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SpecializationConcept::Partitioning.to_string(), "Partitioning");
+        assert_eq!(Component::Communication.to_string(), "Communication");
+    }
+
+    #[test]
+    fn enumerations_are_complete() {
+        assert_eq!(SpecializationConcept::all().len(), 3);
+        assert_eq!(Component::all().len(), 3);
+    }
+}

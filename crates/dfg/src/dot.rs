@@ -1,0 +1,181 @@
+//! Graphviz DOT export for dataflow graphs.
+//!
+//! A released analysis library needs a way to *look* at the graphs it
+//! builds: `to_dot` renders any [`Dfg`] as a DOT digraph — inputs as
+//! houses, outputs as inverted houses, compute vertices as boxes colored
+//! by functional-unit class, optionally clustered by ASAP stage (which
+//! makes the Fig. 11 stage structure visible at a glance).
+
+use crate::graph::{Dfg, NodeKind, Op};
+use std::fmt::Write as _;
+
+/// Rendering options for [`Dfg::to_dot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DotOptions {
+    /// Group vertices into per-stage clusters (`rank=same`), making the
+    /// computation stages of Section V-B visible.
+    pub cluster_stages: bool,
+    /// Cap on rendered vertices; larger graphs are truncated with an
+    /// ellipsis node (DOT of a 5000-node FFT is not useful to a human).
+    pub max_vertices: usize,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            cluster_stages: true,
+            max_vertices: 400,
+        }
+    }
+}
+
+impl Dfg {
+    /// Renders the graph as a Graphviz DOT digraph.
+    ///
+    /// ```
+    /// use accelwall_dfg::{DfgBuilder, DotOptions, Op};
+    /// let mut b = DfgBuilder::new("tiny");
+    /// let x = b.input("x");
+    /// let y = b.op(Op::Neg, &[x]);
+    /// b.output("o", y);
+    /// let dot = b.build().unwrap().to_dot(DotOptions::default());
+    /// assert!(dot.starts_with("digraph"));
+    /// assert!(dot.contains("n0 -> n1"));
+    /// ```
+    pub fn to_dot(&self, options: DotOptions) -> String {
+        let mut out = String::new();
+        let shown = self.vertex_count().min(options.max_vertices);
+        writeln!(out, "digraph {:?} {{", self.name()).expect("string write");
+        writeln!(out, "  rankdir=TB;").expect("string write");
+        writeln!(out, "  node [fontname=\"monospace\"];").expect("string write");
+
+        let levels = self.asap_levels();
+        let max_level = levels.iter().take(shown).copied().max().unwrap_or(0);
+        for level in 0..=max_level {
+            if options.cluster_stages {
+                writeln!(out, "  {{ rank=same;").expect("string write");
+            }
+            for (i, node) in self.nodes().iter().enumerate().take(shown) {
+                if levels[i] != level {
+                    continue;
+                }
+                let (label, shape, color) = match &node.kind {
+                    NodeKind::Input(name) => (name.clone(), "house", "lightblue"),
+                    NodeKind::Output(name) => (name.clone(), "invhouse", "lightsalmon"),
+                    NodeKind::Compute(op) => {
+                        (format!("{op:?}"), "box", compute_color(*op))
+                    }
+                };
+                writeln!(
+                    out,
+                    "    n{i} [label=\"{label}\", shape={shape}, style=filled, fillcolor={color}];"
+                )
+                .expect("string write");
+            }
+            if options.cluster_stages {
+                writeln!(out, "  }}").expect("string write");
+            }
+        }
+
+        for (i, node) in self.nodes().iter().enumerate().take(shown) {
+            for op in &node.operands {
+                if op.index() < shown {
+                    writeln!(out, "  n{} -> n{i};", op.index()).expect("string write");
+                }
+            }
+        }
+        if shown < self.vertex_count() {
+            writeln!(
+                out,
+                "  truncated [label=\"… {} more vertices\", shape=plaintext];",
+                self.vertex_count() - shown
+            )
+            .expect("string write");
+        }
+        writeln!(out, "}}").expect("string write");
+        out
+    }
+}
+
+fn compute_color(op: Op) -> &'static str {
+    match op {
+        Op::Add | Op::Sub | Op::Min | Op::Max | Op::Abs | Op::Neg => "palegreen",
+        Op::And | Op::Or | Op::Xor | Op::Not | Op::Shl | Op::Shr => "khaki",
+        Op::CmpLt | Op::CmpEq | Op::Select | Op::Copy => "lightgrey",
+        Op::Mul => "gold",
+        Op::Div | Op::Mod | Op::Sqrt => "orange",
+        Op::Sigmoid => "plum",
+        Op::Lut { .. } => "lightcyan",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DfgBuilder;
+
+    fn fig11() -> Dfg {
+        let mut b = DfgBuilder::new("fig11");
+        let d1 = b.input("d1");
+        let d2 = b.input("d2");
+        let d3 = b.input("d3");
+        let s1a = b.op(Op::Add, &[d1, d2]);
+        let s1b = b.op(Op::Div, &[d2, d3]);
+        let s2a = b.op(Op::Sub, &[s1a, s1b]);
+        let s2b = b.op(Op::Add, &[s1b, d3]);
+        b.output("o1", s2a);
+        b.output("o2", s2b);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn renders_every_node_and_edge() {
+        let g = fig11();
+        let dot = g.to_dot(DotOptions::default());
+        for i in 0..g.vertex_count() {
+            assert!(dot.contains(&format!("n{i} ")), "missing n{i}");
+        }
+        assert_eq!(dot.matches(" -> ").count(), g.edge_count());
+        assert!(dot.contains("house"));
+        assert!(dot.contains("invhouse"));
+    }
+
+    #[test]
+    fn stage_clusters_optional() {
+        let g = fig11();
+        let with = g.to_dot(DotOptions {
+            cluster_stages: true,
+            max_vertices: 400,
+        });
+        let without = g.to_dot(DotOptions {
+            cluster_stages: false,
+            max_vertices: 400,
+        });
+        assert!(with.contains("rank=same"));
+        assert!(!without.contains("rank=same"));
+    }
+
+    #[test]
+    fn truncation_caps_large_graphs() {
+        let mut b = DfgBuilder::new("big");
+        let xs: Vec<_> = (0..50).map(|i| b.input(format!("x{i}"))).collect();
+        let r = b.reduce(Op::Add, &xs);
+        b.output("o", r);
+        let g = b.build().unwrap();
+        let dot = g.to_dot(DotOptions {
+            cluster_stages: false,
+            max_vertices: 10,
+        });
+        assert!(dot.contains("more vertices"));
+        assert!(!dot.contains("n40 "));
+        // Edges into truncated nodes are suppressed.
+        assert!(dot.matches(" -> ").count() < g.edge_count());
+    }
+
+    #[test]
+    fn output_is_balanced_dot() {
+        let dot = fig11().to_dot(DotOptions::default());
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,238 @@
+//! The DFG data structure: typed nodes, ordered operand edges.
+
+use std::fmt;
+
+/// Identifier of a node within one [`Dfg`]. Ids are dense and ascend in
+/// construction order, which is also a topological order (operands must
+/// exist before their consumers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The dense index of this node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Primitive operations a compute vertex can perform.
+///
+/// The set covers everything the 16 Table IV workloads need: arithmetic,
+/// comparisons and selection (sorting networks, KNN), bitwise logic and
+/// rotations (AES, SHA-like kernels), and the transcendental units
+/// (`Sigmoid` for RBM's activation, `Sqrt` for distances). `Lut` models an
+/// arbitrary byte-indexed table lookup (AES S-box) — the "super node"
+/// extreme of computation heterogeneity discussed in Section V-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Addition.
+    Add,
+    /// Subtraction (left minus right).
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (left over right).
+    Div,
+    /// Remainder (left modulo right).
+    Mod,
+    /// Minimum of two values.
+    Min,
+    /// Maximum of two values.
+    Max,
+    /// Absolute value.
+    Abs,
+    /// Negation.
+    Neg,
+    /// Square root.
+    Sqrt,
+    /// Bitwise AND (operands truncated to u64).
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise NOT (on the low 32 bits).
+    Not,
+    /// Left shift (left by right bits, mod 64).
+    Shl,
+    /// Logical right shift.
+    Shr,
+    /// Less-than comparison, producing 1.0 or 0.0.
+    CmpLt,
+    /// Equality comparison, producing 1.0 or 0.0.
+    CmpEq,
+    /// Ternary select: `cond != 0 ? a : b`.
+    Select,
+    /// Logistic sigmoid (RBM activation).
+    Sigmoid,
+    /// Byte-indexed lookup in a 256-entry table identified by `table`.
+    Lut {
+        /// Which registered table to index.
+        table: u8,
+    },
+    /// Identity / register copy.
+    Copy,
+}
+
+impl Op {
+    /// Number of operands the operation requires.
+    pub fn arity(self) -> usize {
+        match self {
+            Op::Abs | Op::Neg | Op::Sqrt | Op::Not | Op::Sigmoid | Op::Lut { .. } | Op::Copy => 1,
+            Op::Select => 3,
+            _ => 2,
+        }
+    }
+
+    /// Whether the unit is "complex" (multi-cycle in typical FU libraries).
+    pub fn is_complex(self) -> bool {
+        matches!(
+            self,
+            Op::Mul | Op::Div | Op::Mod | Op::Sqrt | Op::Sigmoid | Op::Lut { .. }
+        )
+    }
+}
+
+/// The paper's vertex taxonomy: inputs, outputs, and computation nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// An input variable (no incoming edges), with its name.
+    Input(String),
+    /// A computation vertex applying `Op` to its operands.
+    Compute(Op),
+    /// An output variable (no outgoing edges), with its name; forwards the
+    /// value of its single operand.
+    Output(String),
+}
+
+/// One vertex plus its ordered operand list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// What the vertex is.
+    pub kind: NodeKind,
+    /// Ordered operands (empty for inputs, one for outputs).
+    pub operands: Vec<NodeId>,
+}
+
+/// An immutable dataflow graph. Construct through
+/// [`DfgBuilder`](crate::DfgBuilder).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dfg {
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) tables: Vec<[u8; 256]>,
+}
+
+impl Dfg {
+    /// The graph's name (workload identifier).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All nodes, id order (a topological order).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The node behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id comes from a different graph and is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Iterator over node ids in topological order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Ids of the input vertices (`V_IN`).
+    pub fn input_ids(&self) -> Vec<NodeId> {
+        self.filter_ids(|k| matches!(k, NodeKind::Input(_)))
+    }
+
+    /// Ids of the output vertices (`V_OUT`).
+    pub fn output_ids(&self) -> Vec<NodeId> {
+        self.filter_ids(|k| matches!(k, NodeKind::Output(_)))
+    }
+
+    /// Ids of the computation vertices (`V_CMP`).
+    pub fn compute_ids(&self) -> Vec<NodeId> {
+        self.filter_ids(|k| matches!(k, NodeKind::Compute(_)))
+    }
+
+    /// Total vertex count `|V|`.
+    pub fn vertex_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total edge count `|E|` (sum of operand-list lengths).
+    pub fn edge_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.operands.len()).sum()
+    }
+
+    /// The lookup table registered under `table`, if any.
+    pub fn table(&self, table: u8) -> Option<&[u8; 256]> {
+        self.tables.get(table as usize)
+    }
+
+    fn filter_ids(&self, pred: impl Fn(&NodeKind) -> bool) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| pred(&n.kind))
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DfgBuilder;
+
+    #[test]
+    fn arities() {
+        assert_eq!(Op::Add.arity(), 2);
+        assert_eq!(Op::Sqrt.arity(), 1);
+        assert_eq!(Op::Select.arity(), 3);
+        assert_eq!(Op::Lut { table: 0 }.arity(), 1);
+    }
+
+    #[test]
+    fn complex_units() {
+        assert!(Op::Mul.is_complex());
+        assert!(Op::Div.is_complex());
+        assert!(!Op::Add.is_complex());
+        assert!(!Op::Xor.is_complex());
+    }
+
+    #[test]
+    fn vertex_sets_partition_nodes() {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.op(Op::Neg, &[a]);
+        b.output("o", c);
+        let g = b.build().unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(
+            g.input_ids().len() + g.compute_ids().len() + g.output_ids().len(),
+            g.vertex_count()
+        );
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.name(), "t");
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(4).to_string(), "n4");
+    }
+}

@@ -1,0 +1,213 @@
+//! A reference interpreter for DFGs.
+//!
+//! Executes a graph on `f64` values so workload generators can be validated
+//! functionally against plain-software implementations of the same kernels.
+//! Bitwise operations interpret their operands as unsigned 64-bit integers
+//! (every integer the workloads use is exactly representable in an `f64`).
+
+use crate::graph::{Dfg, NodeKind, Op};
+use crate::{DfgError, Result};
+use std::collections::HashMap;
+
+impl Dfg {
+    /// Evaluates the graph for one set of input values, keyed by input
+    /// variable name; returns the output variable values.
+    ///
+    /// # Errors
+    ///
+    /// * [`DfgError::MissingInput`] when `inputs` lacks a named input.
+    /// * [`DfgError::NonFiniteValue`] when an operation produces NaN or
+    ///   infinity (for example division by zero).
+    pub fn evaluate(&self, inputs: &HashMap<String, f64>) -> Result<HashMap<String, f64>> {
+        let mut values = vec![0.0f64; self.nodes.len()];
+        let mut outputs = HashMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let value = match &node.kind {
+                NodeKind::Input(name) => *inputs
+                    .get(name)
+                    .ok_or_else(|| DfgError::MissingInput(name.clone()))?,
+                NodeKind::Compute(op) => {
+                    let args: Vec<f64> =
+                        node.operands.iter().map(|o| values[o.index()]).collect();
+                    self.apply(*op, &args)
+                }
+                NodeKind::Output(name) => {
+                    let v = values[node.operands[0].index()];
+                    outputs.insert(name.clone(), v);
+                    v
+                }
+            };
+            if !value.is_finite() {
+                return Err(DfgError::NonFiniteValue { node: i });
+            }
+            values[i] = value;
+        }
+        Ok(outputs)
+    }
+
+    fn apply(&self, op: Op, args: &[f64]) -> f64 {
+        let bits = |x: f64| x as u64;
+        match op {
+            Op::Add => args[0] + args[1],
+            Op::Sub => args[0] - args[1],
+            Op::Mul => args[0] * args[1],
+            Op::Div => args[0] / args[1],
+            Op::Mod => args[0].rem_euclid(args[1]),
+            Op::Min => args[0].min(args[1]),
+            Op::Max => args[0].max(args[1]),
+            Op::Abs => args[0].abs(),
+            Op::Neg => -args[0],
+            Op::Sqrt => args[0].sqrt(),
+            Op::And => (bits(args[0]) & bits(args[1])) as f64,
+            Op::Or => (bits(args[0]) | bits(args[1])) as f64,
+            Op::Xor => (bits(args[0]) ^ bits(args[1])) as f64,
+            Op::Not => (!(bits(args[0]) as u32)) as f64,
+            Op::Shl => ((bits(args[0])) << (bits(args[1]) & 63)) as f64,
+            Op::Shr => ((bits(args[0])) >> (bits(args[1]) & 63)) as f64,
+            Op::CmpLt => f64::from(args[0] < args[1]),
+            Op::CmpEq => f64::from(args[0] == args[1]),
+            Op::Select => {
+                if args[0] != 0.0 {
+                    args[1]
+                } else {
+                    args[2]
+                }
+            }
+            Op::Sigmoid => 1.0 / (1.0 + (-args[0]).exp()),
+            Op::Lut { table } => {
+                let t = self.table(table).expect("lut table registered at build");
+                t[(bits(args[0]) & 0xff) as usize] as f64
+            }
+            Op::Copy => args[0],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DfgBuilder;
+
+    fn eval1(op: Op, args: &[f64]) -> f64 {
+        let mut b = DfgBuilder::new("t");
+        let ids: Vec<_> = args
+            .iter()
+            .enumerate()
+            .map(|(i, _)| b.input(format!("x{i}")))
+            .collect();
+        let r = b.op(op, &ids);
+        b.output("y", r);
+        let g = b.build().unwrap();
+        let inputs: HashMap<String, f64> = args
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (format!("x{i}"), v))
+            .collect();
+        g.evaluate(&inputs).unwrap()["y"]
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        assert_eq!(eval1(Op::Add, &[2.0, 3.0]), 5.0);
+        assert_eq!(eval1(Op::Sub, &[2.0, 3.0]), -1.0);
+        assert_eq!(eval1(Op::Mul, &[2.0, 3.0]), 6.0);
+        assert_eq!(eval1(Op::Div, &[7.0, 2.0]), 3.5);
+        assert_eq!(eval1(Op::Mod, &[7.0, 3.0]), 1.0);
+        assert_eq!(eval1(Op::Min, &[2.0, 3.0]), 2.0);
+        assert_eq!(eval1(Op::Max, &[2.0, 3.0]), 3.0);
+        assert_eq!(eval1(Op::Abs, &[-2.5]), 2.5);
+        assert_eq!(eval1(Op::Neg, &[2.5]), -2.5);
+        assert_eq!(eval1(Op::Sqrt, &[9.0]), 3.0);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        assert_eq!(eval1(Op::And, &[0b1100 as f64, 0b1010 as f64]), 0b1000 as f64);
+        assert_eq!(eval1(Op::Or, &[0b1100 as f64, 0b1010 as f64]), 0b1110 as f64);
+        assert_eq!(eval1(Op::Xor, &[0b1100 as f64, 0b1010 as f64]), 0b0110 as f64);
+        assert_eq!(eval1(Op::Shl, &[1.0, 4.0]), 16.0);
+        assert_eq!(eval1(Op::Shr, &[16.0, 4.0]), 1.0);
+        assert_eq!(eval1(Op::Not, &[0.0]), u32::MAX as f64);
+    }
+
+    #[test]
+    fn comparison_and_select() {
+        assert_eq!(eval1(Op::CmpLt, &[1.0, 2.0]), 1.0);
+        assert_eq!(eval1(Op::CmpLt, &[2.0, 1.0]), 0.0);
+        assert_eq!(eval1(Op::CmpEq, &[2.0, 2.0]), 1.0);
+        assert_eq!(eval1(Op::Select, &[1.0, 10.0, 20.0]), 10.0);
+        assert_eq!(eval1(Op::Select, &[0.0, 10.0, 20.0]), 20.0);
+    }
+
+    #[test]
+    fn sigmoid_midpoint() {
+        assert!((eval1(Op::Sigmoid, &[0.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lut_indexes_table() {
+        let mut b = DfgBuilder::new("t");
+        let mut table = [0u8; 256];
+        table[7] = 42;
+        let t = b.register_table(table);
+        let x = b.input("x");
+        let r = b.op(Op::Lut { table: t }, &[x]);
+        b.output("y", r);
+        let g = b.build().unwrap();
+        let out = g
+            .evaluate(&HashMap::from([("x".to_string(), 7.0)]))
+            .unwrap();
+        assert_eq!(out["y"], 42.0);
+    }
+
+    #[test]
+    fn missing_input_errors() {
+        let mut b = DfgBuilder::new("t");
+        let x = b.input("x");
+        b.output("y", x);
+        let g = b.build().unwrap();
+        assert!(matches!(
+            g.evaluate(&HashMap::new()),
+            Err(DfgError::MissingInput(_))
+        ));
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let mut b = DfgBuilder::new("t");
+        let x = b.input("x");
+        let z = b.input("z");
+        let d = b.op(Op::Div, &[x, z]);
+        b.output("y", d);
+        let g = b.build().unwrap();
+        let inputs = HashMap::from([("x".to_string(), 1.0), ("z".to_string(), 0.0)]);
+        assert!(matches!(
+            g.evaluate(&inputs),
+            Err(DfgError::NonFiniteValue { .. })
+        ));
+    }
+
+    #[test]
+    fn fig11_evaluates() {
+        let mut b = DfgBuilder::new("fig11");
+        let d1 = b.input("d1");
+        let d2 = b.input("d2");
+        let d3 = b.input("d3");
+        let s1a = b.op(Op::Add, &[d1, d2]);
+        let s1b = b.op(Op::Div, &[d2, d3]);
+        let s2a = b.op(Op::Sub, &[s1a, s1b]);
+        let s2b = b.op(Op::Add, &[s1b, d3]);
+        b.output("o1", s2a);
+        b.output("o2", s2b);
+        let g = b.build().unwrap();
+        let out = g
+            .evaluate(&HashMap::from([
+                ("d1".to_string(), 6.0),
+                ("d2".to_string(), 4.0),
+                ("d3".to_string(), 2.0),
+            ]))
+            .unwrap();
+        assert_eq!(out["o1"], (6.0 + 4.0) - 4.0 / 2.0);
+        assert_eq!(out["o2"], 4.0 / 2.0 + 2.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Dataflow-graph formalism for the Accelerator Wall reproduction.
+//!
+//! Section V of the paper models the target computation as a dataflow graph
+//! (DFG): a directed acyclic graph whose vertices are input variables,
+//! computation operations, and output variables, limited only by inherent
+//! data dependencies — not by any implementation medium. On this object the
+//! paper defines the quantities its limit study needs (Fig. 11):
+//!
+//! * `V_IN` / `V_OUT` / `V_CMP` — input, output, and compute vertex sets,
+//! * computation *paths* — input-to-output routes through the graph,
+//! * the *depth* `D` — length of the longest computation path,
+//! * per-stage *working sets* `WS_s` — the variables processed together,
+//!
+//! and derives the Table II time/space complexity limits of the three
+//! specialization concepts (simplification, partitioning, heterogeneity)
+//! applied to the three processing components (memory, communication,
+//! computation).
+//!
+//! The graph is built through [`DfgBuilder`], which guarantees acyclicity by
+//! construction (operands must already exist). A small interpreter
+//! ([`Dfg::evaluate`]) executes graphs on `f64` values so workload
+//! generators can be validated against reference software kernels.
+//!
+//! # Example: the Fig. 11 graph
+//!
+//! Three inputs, two computation stages, two outputs:
+//!
+//! ```
+//! use accelwall_dfg::{DfgBuilder, Op};
+//!
+//! let mut b = DfgBuilder::new("fig11");
+//! let d1 = b.input("d_in1");
+//! let d2 = b.input("d_in2");
+//! let d3 = b.input("d_in3");
+//! let s1a = b.op(Op::Add, &[d1, d2]);
+//! let s1b = b.op(Op::Div, &[d2, d3]);
+//! let s2a = b.op(Op::Sub, &[s1a, s1b]);
+//! let s2b = b.op(Op::Add, &[s1b, d3]);
+//! b.output("d_out1", s2a);
+//! b.output("d_out2", s2b);
+//! let g = b.build().unwrap();
+//!
+//! let stats = g.stats();
+//! assert_eq!(stats.inputs, 3);
+//! assert_eq!(stats.outputs, 2);
+//! assert_eq!(stats.compute_stages, 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod builder;
+pub mod concepts;
+pub mod dot;
+pub mod graph;
+pub mod interp;
+pub mod limits;
+
+pub use analysis::DfgStats;
+pub use builder::DfgBuilder;
+pub use concepts::{Component, SpecializationConcept};
+pub use dot::DotOptions;
+pub use graph::{Dfg, NodeId, NodeKind, Op};
+pub use limits::{concept_limit, Complexity, ConceptLimit};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DfgError {
+    /// An operation was given the wrong number of operands.
+    ArityMismatch {
+        /// The operation.
+        op: Op,
+        /// Operands supplied.
+        given: usize,
+        /// Operands required.
+        required: usize,
+    },
+    /// A node id did not belong to the graph under construction.
+    UnknownNode(usize),
+    /// Two inputs or two outputs share a name.
+    DuplicateName(String),
+    /// The graph has no outputs (nothing to compute).
+    NoOutputs,
+    /// An input value was missing at evaluation time.
+    MissingInput(String),
+    /// Evaluation produced a non-finite value (for example division by
+    /// zero), at the named node.
+    NonFiniteValue {
+        /// Node at which evaluation broke down.
+        node: usize,
+    },
+    /// An output vertex was used as an operand, or an input marked as
+    /// output — a structural violation of the paper's vertex taxonomy.
+    TaxonomyViolation(&'static str),
+}
+
+impl fmt::Display for DfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfgError::ArityMismatch { op, given, required } => {
+                write!(f, "{op:?} takes {required} operands, got {given}")
+            }
+            DfgError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            DfgError::DuplicateName(name) => write!(f, "duplicate variable name {name:?}"),
+            DfgError::NoOutputs => write!(f, "graph defines no outputs"),
+            DfgError::MissingInput(name) => write!(f, "missing input value {name:?}"),
+            DfgError::NonFiniteValue { node } => {
+                write!(f, "evaluation produced a non-finite value at node {node}")
+            }
+            DfgError::TaxonomyViolation(what) => write!(f, "taxonomy violation: {what}"),
+        }
+    }
+}
+
+impl Error for DfgError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DfgError>;

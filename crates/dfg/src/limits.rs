@@ -1,0 +1,249 @@
+//! Table II: the theoretical time/space complexity limits of the three
+//! chip-specialization concepts applied to the three processing components.
+//!
+//! Section V-B derives, for each (concept, component) pair, the asymptotic
+//! limit of the corresponding hardware structure in terms of DFG
+//! quantities: `|V|`, `|E|`, `|V_IN|`, `|V_OUT|`, depth `D`, and the
+//! largest working set `max|WS_s|`. This module encodes those bounds
+//! symbolically — so they can be printed exactly as the paper's Table II —
+//! and numerically, by evaluating the symbolic term on a concrete graph's
+//! [`DfgStats`].
+
+use crate::analysis::DfgStats;
+use crate::concepts::{Component, SpecializationConcept};
+use std::fmt;
+
+/// A symbolic complexity term over the paper's DFG quantities.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Complexity {
+    /// Constant: Θ(1).
+    One,
+    /// Θ(|V|).
+    V,
+    /// Θ(|E|).
+    E,
+    /// Θ(D).
+    D,
+    /// Θ(|V_IN|).
+    VIn,
+    /// Θ(max|WS_s|).
+    MaxWs,
+    /// Θ(log(max|WS_s|)).
+    LogMaxWs,
+    /// Θ(2^|V_IN| · |V_OUT|) — the exhaustive lookup-table "super node".
+    ExpInTimesOut,
+    /// Product of two terms.
+    Product(Box<Complexity>, Box<Complexity>),
+}
+
+impl Complexity {
+    /// Convenience product constructor.
+    pub fn product(a: Complexity, b: Complexity) -> Complexity {
+        Complexity::Product(Box::new(a), Box::new(b))
+    }
+
+    /// Evaluates the term on a concrete graph's statistics. Logarithms are
+    /// natural-log clamped below at 1 (a 1-entry working set still needs a
+    /// wire); the exponential term saturates at `f64::MAX`.
+    pub fn evaluate(&self, stats: &DfgStats) -> f64 {
+        match self {
+            Complexity::One => 1.0,
+            Complexity::V => stats.vertices as f64,
+            Complexity::E => stats.edges as f64,
+            Complexity::D => stats.depth as f64,
+            Complexity::VIn => stats.inputs as f64,
+            Complexity::MaxWs => stats.max_working_set as f64,
+            Complexity::LogMaxWs => (stats.max_working_set.max(2) as f64).ln().max(1.0),
+            Complexity::ExpInTimesOut => {
+                let bits = stats.inputs as f64;
+                if bits > 1000.0 {
+                    f64::MAX
+                } else {
+                    2f64.powf(bits) * stats.outputs as f64
+                }
+            }
+            Complexity::Product(a, b) => a.evaluate(stats) * b.evaluate(stats),
+        }
+    }
+}
+
+impl fmt::Display for Complexity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn inner(c: &Complexity, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match c {
+                Complexity::One => write!(f, "1"),
+                Complexity::V => write!(f, "|V|"),
+                Complexity::E => write!(f, "|E|"),
+                Complexity::D => write!(f, "D"),
+                Complexity::VIn => write!(f, "|V_IN|"),
+                Complexity::MaxWs => write!(f, "max|WS_s|"),
+                Complexity::LogMaxWs => write!(f, "log(max|WS_s|)"),
+                Complexity::ExpInTimesOut => write!(f, "2^|V_IN|·|V_OUT|"),
+                Complexity::Product(a, b) => {
+                    inner(a, f)?;
+                    write!(f, "·")?;
+                    inner(b, f)
+                }
+            }
+        }
+        write!(f, "Θ(")?;
+        inner(self, f)?;
+        write!(f, ")")
+    }
+}
+
+/// The time and space limit of one Table II cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConceptLimit {
+    /// Which concept the limit describes.
+    pub concept: SpecializationConcept,
+    /// Which processing component it is applied to.
+    pub component: Component,
+    /// Asymptotic time limit.
+    pub time: Complexity,
+    /// Asymptotic space limit.
+    pub space: Complexity,
+}
+
+/// Returns the Table II limit for a (concept, component) pair.
+///
+/// ```
+/// use accelwall_dfg::{concept_limit, Component, SpecializationConcept};
+///
+/// let l = concept_limit(SpecializationConcept::Heterogeneity, Component::Computation);
+/// assert_eq!(l.time.to_string(), "Θ(|V_IN|)");
+/// assert_eq!(l.space.to_string(), "Θ(2^|V_IN|·|V_OUT|)");
+/// ```
+pub fn concept_limit(concept: SpecializationConcept, component: Component) -> ConceptLimit {
+    use Complexity as C;
+    use Component::*;
+    use SpecializationConcept::*;
+    let (time, space) = match (component, concept) {
+        // Memory row.
+        (Memory, Simplification) => (C::product(C::V, C::LogMaxWs), C::MaxWs),
+        (Memory, Heterogeneity) => (C::D, C::E),
+        (Memory, Partitioning) => (C::product(C::D, C::LogMaxWs), C::MaxWs),
+        // Communication row.
+        (Communication, Simplification) => (C::E, C::V),
+        (Communication, Heterogeneity) => (C::D, C::E),
+        (Communication, Partitioning) => (C::D, C::MaxWs),
+        // Computation row.
+        (Computation, Simplification) => (C::E, C::One),
+        (Computation, Heterogeneity) => (C::VIn, C::ExpInTimesOut),
+        (Computation, Partitioning) => (C::D, C::MaxWs),
+    };
+    ConceptLimit {
+        concept,
+        component,
+        time,
+        space,
+    }
+}
+
+/// All nine Table II cells, row-major (memory, communication, computation)
+/// × (simplification, heterogeneity, partitioning).
+pub fn table2() -> Vec<ConceptLimit> {
+    Component::all()
+        .iter()
+        .flat_map(|&component| {
+            SpecializationConcept::all()
+                .iter()
+                .map(move |&concept| concept_limit(concept, component))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DfgBuilder, Op};
+
+    fn stats() -> DfgStats {
+        let mut b = DfgBuilder::new("t");
+        let xs: Vec<_> = (0..8).map(|i| b.input(format!("x{i}"))).collect();
+        let r = b.reduce(Op::Add, &xs);
+        b.output("o", r);
+        b.build().unwrap().stats()
+    }
+
+    #[test]
+    fn table_has_nine_cells() {
+        let t = table2();
+        assert_eq!(t.len(), 9);
+        let distinct: std::collections::HashSet<_> = t
+            .iter()
+            .map(|l| (format!("{:?}", l.concept), format!("{:?}", l.component)))
+            .collect();
+        assert_eq!(distinct.len(), 9);
+    }
+
+    #[test]
+    fn memory_simplification_formula() {
+        let l = concept_limit(SpecializationConcept::Simplification, Component::Memory);
+        assert_eq!(l.time.to_string(), "Θ(|V|·log(max|WS_s|))");
+        assert_eq!(l.space.to_string(), "Θ(max|WS_s|)");
+        let s = stats();
+        let t = l.time.evaluate(&s);
+        assert!(
+            (t - s.vertices as f64 * (s.max_working_set as f64).ln()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn computation_heterogeneity_is_exponential_in_inputs() {
+        let l = concept_limit(SpecializationConcept::Heterogeneity, Component::Computation);
+        let s = stats(); // 8 inputs, 1 output
+        assert_eq!(l.space.evaluate(&s), 256.0);
+        assert_eq!(l.time.evaluate(&s), 8.0);
+    }
+
+    #[test]
+    fn computation_simplification_constant_space() {
+        let l = concept_limit(SpecializationConcept::Simplification, Component::Computation);
+        assert_eq!(l.space, Complexity::One);
+        assert_eq!(l.space.evaluate(&stats()), 1.0);
+        assert_eq!(l.time, Complexity::E);
+    }
+
+    #[test]
+    fn partitioning_time_is_depth_everywhere() {
+        for &component in Component::all() {
+            let l = concept_limit(SpecializationConcept::Partitioning, component);
+            let time = l.time.to_string();
+            assert!(
+                time.starts_with("Θ(D"),
+                "{component:?} partitioning time should be depth-bound: {time}"
+            );
+        }
+    }
+
+    #[test]
+    fn heterogeneity_trades_space_for_depth_time() {
+        // For memory and communication, heterogeneity reaches Θ(D) time at
+        // Θ(|E|) space — strictly more space than partitioning's working-set
+        // bound on graphs with reconvergent fan-in.
+        for &component in &[Component::Memory, Component::Communication] {
+            let het = concept_limit(SpecializationConcept::Heterogeneity, component);
+            assert_eq!(het.time, Complexity::D);
+            assert_eq!(het.space, Complexity::E);
+        }
+    }
+
+    #[test]
+    fn exponential_term_saturates() {
+        let mut s = stats();
+        s.inputs = 5000;
+        let l = concept_limit(SpecializationConcept::Heterogeneity, Component::Computation);
+        assert_eq!(l.space.evaluate(&s), f64::MAX);
+    }
+
+    #[test]
+    fn display_round_trips_all_cells() {
+        for cell in table2() {
+            let t = cell.time.to_string();
+            let s = cell.space.to_string();
+            assert!(t.starts_with("Θ(") && t.ends_with(')'));
+            assert!(s.starts_with("Θ(") && s.ends_with(')'));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests over randomly generated dataflow graphs.
+
+use accelwall_dfg::{Dfg, DfgBuilder, NodeId, Op};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Ops safe for the interpreter on arbitrary positive inputs (no division
+/// by values that can be zero, no bit ops that lose f64 exactness).
+const SAFE_OPS: [Op; 8] = [
+    Op::Add,
+    Op::Sub,
+    Op::Mul,
+    Op::Min,
+    Op::Max,
+    Op::Abs,
+    Op::Neg,
+    Op::Copy,
+];
+
+/// A recipe for one random DAG: `(inputs, ops)` where each op is
+/// `(op selector, operand selectors)`; operands index *already existing*
+/// nodes, so the graph is a DAG by construction — mirroring the builder's
+/// own guarantee.
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u8, u8, u8, u8)>)> {
+    (1usize..8, prop::collection::vec(any::<(u8, u8, u8, u8)>(), 1..60))
+}
+
+fn build(inputs: usize, ops: &[(u8, u8, u8, u8)]) -> Dfg {
+    let mut b = DfgBuilder::new("random");
+    let mut nodes: Vec<NodeId> = (0..inputs).map(|i| b.input(format!("x{i}"))).collect();
+    for &(op_sel, a_sel, b_sel, c_sel) in ops {
+        let op = SAFE_OPS[op_sel as usize % SAFE_OPS.len()];
+        let pick = |sel: u8, n: usize| sel as usize % n;
+        let n = nodes.len();
+        let operands: Vec<NodeId> = match op.arity() {
+            1 => vec![nodes[pick(a_sel, n)]],
+            2 => vec![nodes[pick(a_sel, n)], nodes[pick(b_sel, n)]],
+            _ => vec![
+                nodes[pick(a_sel, n)],
+                nodes[pick(b_sel, n)],
+                nodes[pick(c_sel, n)],
+            ],
+        };
+        nodes.push(b.op(op, &operands));
+    }
+    // Expose the last few nodes as outputs so everything upstream counts.
+    let tail = nodes.len().saturating_sub(3);
+    for (k, &n) in nodes[tail..].iter().enumerate() {
+        b.output(format!("o{k}"), n);
+    }
+    b.build().expect("random graphs are valid by construction")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn stats_invariants_hold((inputs, ops) in arb_graph()) {
+        let g = build(inputs, &ops);
+        let s = g.stats();
+        // Partition of the vertex set.
+        prop_assert_eq!(s.inputs + s.computes + s.outputs, s.vertices);
+        // Depth is bounded by the vertex count and is at least in->out.
+        prop_assert!(s.depth >= 2);
+        prop_assert!(s.depth <= s.vertices);
+        // Edges: each compute has arity edges, each output one.
+        prop_assert!(s.edges >= s.computes + s.outputs);
+        // Paths reach every output.
+        prop_assert!(s.path_count >= s.outputs as u128);
+        // Working sets cannot exceed live values, which cannot exceed |V|.
+        prop_assert!(s.max_working_set <= s.vertices);
+        prop_assert!(s.max_stage_width <= s.vertices);
+    }
+
+    #[test]
+    fn stages_partition_the_graph((inputs, ops) in arb_graph()) {
+        let g = build(inputs, &ops);
+        let total: usize = g.stages().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.vertex_count());
+        // Every node's operands live at strictly lower levels.
+        let levels = g.asap_levels();
+        for id in g.ids() {
+            for op in &g.node(id).operands {
+                prop_assert!(levels[op.index()] < levels[id.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn interpreter_is_deterministic_and_total(
+        (inputs, ops) in arb_graph(),
+        seed in 1u32..1000,
+    ) {
+        let g = build(inputs, &ops);
+        let vals: HashMap<String, f64> = (0..inputs)
+            .map(|i| (format!("x{i}"), f64::from(seed + i as u32) * 0.37 + 1.0))
+            .collect();
+        let a = g.evaluate(&vals);
+        let b = g.evaluate(&vals);
+        prop_assert_eq!(&a, &b);
+        if let Ok(out) = a {
+            prop_assert!(!out.is_empty());
+            prop_assert!(out.values().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn copy_chains_do_not_change_depth_semantics((inputs, ops) in arb_graph()) {
+        // Appending a Copy to an output's source adds exactly one level.
+        let g = build(inputs, &ops);
+        let d1 = g.depth();
+        let mut b = DfgBuilder::new("wrapped");
+        let mut nodes: Vec<NodeId> = (0..inputs).map(|i| b.input(format!("x{i}"))).collect();
+        for &(op_sel, a_sel, b_sel, c_sel) in &ops {
+            let op = SAFE_OPS[op_sel as usize % SAFE_OPS.len()];
+            let pick = |sel: u8, n: usize| sel as usize % n;
+            let n = nodes.len();
+            let operands: Vec<NodeId> = match op.arity() {
+                1 => vec![nodes[pick(a_sel, n)]],
+                2 => vec![nodes[pick(a_sel, n)], nodes[pick(b_sel, n)]],
+                _ => vec![nodes[pick(a_sel, n)], nodes[pick(b_sel, n)], nodes[pick(c_sel, n)]],
+            };
+            nodes.push(b.op(op, &operands));
+        }
+        let tail = nodes.len().saturating_sub(3);
+        for (k, &n) in nodes[tail..].iter().enumerate() {
+            let c = b.op(Op::Copy, &[n]);
+            b.output(format!("o{k}"), c);
+        }
+        let wrapped = b.build().unwrap();
+        prop_assert_eq!(wrapped.depth(), d1 + 1);
+    }
+
+    #[test]
+    fn working_sets_bound_stage_widths_of_live_values((inputs, ops) in arb_graph()) {
+        let g = build(inputs, &ops);
+        let ws = g.working_sets();
+        // The final working set (before outputs) covers the output sources.
+        prop_assert!(ws.iter().all(|&w| w <= g.vertex_count()));
+    }
+}
+
+#[test]
+fn random_graphs_also_schedule() {
+    // Deterministic corner: a handful of fixed recipes must pass through
+    // the simulator stack (exercised more heavily in accelsim's tests).
+    let g = build(4, &[(0, 0, 1, 2), (2, 3, 2, 1), (1, 4, 4, 0), (7, 5, 0, 0)]);
+    assert!(g.stats().computes >= 4);
+}

@@ -1,0 +1,181 @@
+//! The Fig. 3d chip-gains grid: physical throughput and energy-efficiency
+//! gains across nodes, die sizes, and TDP zones at a fixed 1 GHz clock.
+
+use crate::model::{ChipSpec, PotentialModel};
+use accelwall_cmos::TechNode;
+use std::fmt;
+
+/// The four power-envelope zones of Fig. 3d.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TdpZone {
+    /// Below 50 W.
+    Below50W,
+    /// 50 W – 200 W.
+    W50To200,
+    /// 200 W – 800 W.
+    W200To800,
+    /// Above 800 W.
+    Above800W,
+}
+
+impl TdpZone {
+    /// All zones, coolest first (the figure's marker order).
+    pub fn all() -> &'static [TdpZone] {
+        const ALL: [TdpZone; 4] = [
+            TdpZone::Below50W,
+            TdpZone::W50To200,
+            TdpZone::W200To800,
+            TdpZone::Above800W,
+        ];
+        &ALL
+    }
+
+    /// The power budget used when evaluating a zone: its upper envelope
+    /// (1600 W stands in for the unbounded ">800 W" zone).
+    pub fn budget_w(self) -> f64 {
+        match self {
+            TdpZone::Below50W => 50.0,
+            TdpZone::W50To200 => 200.0,
+            TdpZone::W200To800 => 800.0,
+            TdpZone::Above800W => 1600.0,
+        }
+    }
+}
+
+impl fmt::Display for TdpZone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TdpZone::Below50W => "<50W",
+            TdpZone::W50To200 => "50W-200W",
+            TdpZone::W200To800 => "200W-800W",
+            TdpZone::Above800W => ">800W",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Die sizes swept by Fig. 3d, in mm².
+pub const FIG3D_DIES: [f64; 6] = [25.0, 50.0, 100.0, 200.0, 400.0, 800.0];
+
+/// Nodes swept by Fig. 3d.
+pub fn fig3d_nodes() -> &'static [TechNode] {
+    const NODES: [TechNode; 6] = [
+        TechNode::N45,
+        TechNode::N28,
+        TechNode::N16,
+        TechNode::N10,
+        TechNode::N7,
+        TechNode::N5,
+    ];
+    &NODES
+}
+
+/// One cell of the Fig. 3d grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig3dRow {
+    /// CMOS node of the cell.
+    pub node: TechNode,
+    /// Die area in mm².
+    pub die_mm2: f64,
+    /// Power-envelope zone.
+    pub zone: TdpZone,
+    /// Relative throughput vs the 25 mm² 45 nm reference.
+    pub throughput_gain: f64,
+    /// Relative energy efficiency vs the reference.
+    pub efficiency_gain: f64,
+}
+
+/// Regenerates the full Fig. 3d grid at `f_chip = 1 GHz`, normalized to the
+/// 25 mm² 45 nm reference as in the paper.
+///
+/// ```
+/// use accelwall_potential::{fig3d_grid, PotentialModel};
+/// let rows = fig3d_grid(&PotentialModel::paper());
+/// assert_eq!(rows.len(), 6 * 6 * 4); // nodes x dies x zones
+/// ```
+pub fn fig3d_grid(model: &PotentialModel) -> Vec<Fig3dRow> {
+    let baseline = PotentialModel::reference_spec();
+    let mut rows = Vec::new();
+    for &node in fig3d_nodes() {
+        for &die in &FIG3D_DIES {
+            for &zone in TdpZone::all() {
+                let spec = ChipSpec::new(node, die, 1.0, zone.budget_w());
+                rows.push(Fig3dRow {
+                    node,
+                    die_mm2: die,
+                    zone,
+                    throughput_gain: model.throughput_gain(&spec, &baseline),
+                    efficiency_gain: model.efficiency_gain(&spec, &baseline),
+                });
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape_and_positivity() {
+        let rows = fig3d_grid(&PotentialModel::paper());
+        assert_eq!(rows.len(), 144);
+        assert!(rows
+            .iter()
+            .all(|r| r.throughput_gain > 0.0 && r.efficiency_gain > 0.0));
+    }
+
+    #[test]
+    fn throughput_monotone_in_power_budget() {
+        // At fixed node and die, a larger envelope can only help.
+        let rows = fig3d_grid(&PotentialModel::paper());
+        for &node in fig3d_nodes() {
+            for &die in &FIG3D_DIES {
+                let cell: Vec<&Fig3dRow> = rows
+                    .iter()
+                    .filter(|r| r.node == node && r.die_mm2 == die)
+                    .collect();
+                assert!(cell
+                    .windows(2)
+                    .all(|w| w[0].throughput_gain <= w[1].throughput_gain + 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn power_constraints_cap_large_chip_gains() {
+        // Paper: "power constraints cap the gains of large chips."
+        let rows = fig3d_grid(&PotentialModel::paper());
+        let capped = rows
+            .iter()
+            .find(|r| {
+                r.node == TechNode::N5 && r.die_mm2 == 800.0 && r.zone == TdpZone::W200To800
+            })
+            .unwrap();
+        let open = rows
+            .iter()
+            .find(|r| {
+                r.node == TechNode::N5 && r.die_mm2 == 800.0 && r.zone == TdpZone::Above800W
+            })
+            .unwrap();
+        assert!(capped.throughput_gain < open.throughput_gain);
+        assert!(
+            (240.0..360.0).contains(&capped.throughput_gain),
+            "800 mm² 5 nm at 800 W should land near 300x: {}",
+            capped.throughput_gain
+        );
+    }
+
+    #[test]
+    fn zone_budgets_ascend() {
+        let budgets: Vec<f64> = TdpZone::all().iter().map(|z| z.budget_w()).collect();
+        assert!(budgets.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn zone_labels_match_figure() {
+        assert_eq!(TdpZone::Below50W.to_string(), "<50W");
+        assert_eq!(TdpZone::Above800W.to_string(), ">800W");
+    }
+}

@@ -1,0 +1,84 @@
+//! The CMOS potential model (paper Section III).
+//!
+//! This is the paper's central analytical instrument: an
+//! application-independent estimate of what a chip's *physics* alone can
+//! deliver — how many transistors fit on the die (Fig. 3b), how many of
+//! them a power budget lets switch (Fig. 3c), and therefore the chip's
+//! CMOS-driven throughput and energy-efficiency potential (Fig. 3d). Every
+//! case study divides a chip's *reported* gain by this *physical* gain to
+//! isolate the Chip Specialization Return.
+//!
+//! Inputs, as in the paper: CMOS node, die size (or transistor count),
+//! operating frequency, and TDP.
+//!
+//! # Example
+//!
+//! ```
+//! use accelwall_cmos::TechNode;
+//! use accelwall_potential::{ChipSpec, PotentialModel};
+//!
+//! let model = PotentialModel::paper();
+//! let baseline = PotentialModel::reference_spec(); // 25 mm², 45 nm, 1 GHz
+//! let big5nm = ChipSpec::new(TechNode::N5, 800.0, 1.0, 800.0);
+//!
+//! // Under an 800 W envelope the 800 mm² 5 nm chip delivers ~300x the
+//! // baseline throughput (the paper's Fig. 3d headline)...
+//! let gain = model.throughput_gain(&big5nm, &baseline);
+//! assert!((240.0..360.0).contains(&gain));
+//!
+//! // ...roughly 70% below its ~1000x area-limited potential.
+//! let unconstrained = model.area_limited_transistors(&big5nm)
+//!     / model.area_limited_transistors(&baseline);
+//! assert!((800.0..1200.0).contains(&unconstrained));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gains;
+pub mod model;
+pub mod roadmap;
+
+pub use gains::{fig3d_grid, Fig3dRow, TdpZone};
+pub use model::{ChipSpec, PotentialModel};
+pub use roadmap::{physical_roadmap, scaling_end_year, RoadmapPoint};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing a potential model from data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PotentialError {
+    /// The corpus fit for the transistor-count law failed.
+    DensityFit(accelwall_stats::StatsError),
+    /// A chip specification was physically meaningless.
+    InvalidSpec {
+        /// Which field was invalid.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for PotentialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PotentialError::DensityFit(e) => write!(f, "density-law fit failed: {e}"),
+            PotentialError::InvalidSpec { field, value } => {
+                write!(f, "invalid chip spec: {field} = {value}")
+            }
+        }
+    }
+}
+
+impl Error for PotentialError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PotentialError::DensityFit(e) => Some(e),
+            PotentialError::InvalidSpec { .. } => None,
+        }
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PotentialError>;

@@ -1,0 +1,406 @@
+//! The potential model proper: transistor budgets, throughput, power,
+//! and energy efficiency of a chip from its physical datasheet facts.
+
+use crate::{PotentialError, Result};
+use accelwall_chipdb::fit::{self, NodeGroup};
+use accelwall_chipdb::ChipRecord;
+use accelwall_cmos::TechNode;
+use accelwall_stats::PowerLaw;
+use std::collections::HashMap;
+
+/// Per-transistor dynamic power at the 45 nm reference, in watts per
+/// transistor per GHz of clock (≈ 0.1 fJ per switched transistor after
+/// activity weighting). Calibrated so the 25 mm² reference chip at 1 GHz
+/// dissipates ~10 W of dynamic power.
+const DYN_W_PER_TRANSISTOR_GHZ_45: f64 = 1e-7;
+
+/// Per-transistor leakage at the 45 nm reference, in watts (≈ 10 nW):
+/// about a tenth of the dynamic power at 1 GHz, matching the static/dynamic
+/// split of mid-2000s designs.
+const LEAK_W_PER_TRANSISTOR_45: f64 = 1e-8;
+
+/// TDP scale for nodes older than the Fig. 3c groups (pre-dark-silicon,
+/// where power tracked switched capacitance linearly): watts per
+/// (billion transistors × GHz), at 45 nm energy, before node scaling.
+/// Set to match the dynamic-power calibration above
+/// (1e-7 W per transistor per GHz = 100 W per billion·GHz).
+const CLASSIC_W_PER_CAP: f64 = 100.0;
+
+/// A chip's physical description — the four inputs of the paper's model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipSpec {
+    /// Fabrication node.
+    pub node: TechNode,
+    /// Die area in mm².
+    pub die_area_mm2: f64,
+    /// Operating frequency in GHz.
+    pub freq_ghz: f64,
+    /// Thermal design power in watts.
+    pub tdp_w: f64,
+}
+
+impl ChipSpec {
+    /// Creates a spec.
+    ///
+    /// Use [`ChipSpec::validate`] (or any [`PotentialModel`] method, which
+    /// validates internally via debug assertions) to check physical sanity.
+    pub fn new(node: TechNode, die_area_mm2: f64, freq_ghz: f64, tdp_w: f64) -> Self {
+        ChipSpec {
+            node,
+            die_area_mm2,
+            freq_ghz,
+            tdp_w,
+        }
+    }
+
+    /// Builds a spec from a datasheet record.
+    pub fn from_record(record: &ChipRecord) -> Self {
+        ChipSpec {
+            node: record.node,
+            die_area_mm2: record.die_area_mm2,
+            freq_ghz: record.freq_mhz / 1e3,
+            tdp_w: record.tdp_w,
+        }
+    }
+
+    /// Checks that every field is physically meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PotentialError::InvalidSpec`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.die_area_mm2 > 0.0 && self.die_area_mm2.is_finite()) {
+            return Err(PotentialError::InvalidSpec {
+                field: "die_area_mm2",
+                value: self.die_area_mm2,
+            });
+        }
+        if !(self.freq_ghz > 0.0 && self.freq_ghz.is_finite()) {
+            return Err(PotentialError::InvalidSpec {
+                field: "freq_ghz",
+                value: self.freq_ghz,
+            });
+        }
+        if !(self.tdp_w > 0.0 && self.tdp_w.is_finite()) {
+            return Err(PotentialError::InvalidSpec {
+                field: "tdp_w",
+                value: self.tdp_w,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The application-independent CMOS potential model.
+///
+/// Combines the Fig. 3b transistor-count law, the Fig. 3c power-budget laws,
+/// and the Fig. 3a device-scaling table into the physical throughput and
+/// energy-efficiency estimates of Fig. 3d.
+#[derive(Debug, Clone)]
+pub struct PotentialModel {
+    tc_law: PowerLaw,
+    tdp_laws: HashMap<NodeGroup, PowerLaw>,
+    /// Whether dark (power-gated-off) transistors still contribute leakage
+    /// to the power term of energy efficiency. On by default; the ablation
+    /// bench quantifies its effect.
+    pub dark_silicon_leakage: bool,
+}
+
+impl PotentialModel {
+    /// The model built from the paper's *published* fits — the canonical
+    /// configuration used by every figure reproduction.
+    pub fn paper() -> Self {
+        let tdp_laws = NodeGroup::all()
+            .iter()
+            .map(|&g| (g, g.paper_tdp_law()))
+            .collect();
+        PotentialModel {
+            tc_law: fit::PAPER_TC_LAW,
+            tdp_laws,
+            dark_silicon_leakage: true,
+        }
+    }
+
+    /// Builds the model by fitting a datasheet corpus, exactly as the paper
+    /// constructed its model from 2613 scraped datasheets. Node groups with
+    /// too few corpus members (e.g. the projection-only 10–5 nm group) fall
+    /// back to the published law.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PotentialError::DensityFit`] when the corpus cannot
+    /// support the Fig. 3b regression.
+    pub fn from_corpus(corpus: &[ChipRecord]) -> Result<Self> {
+        let tc_law = fit::transistor_density_fit(corpus).map_err(PotentialError::DensityFit)?;
+        let tdp_laws = NodeGroup::all()
+            .iter()
+            .map(|&g| {
+                let law = fit::tdp_fit(corpus, g).unwrap_or_else(|_| g.paper_tdp_law());
+                (g, law)
+            })
+            .collect();
+        Ok(PotentialModel {
+            tc_law,
+            tdp_laws,
+            dark_silicon_leakage: true,
+        })
+    }
+
+    /// The paper's normalization point: a 25 mm² die at 45 nm running at
+    /// 1 GHz with an effectively unconstrained power budget.
+    pub fn reference_spec() -> ChipSpec {
+        ChipSpec::new(TechNode::N45, 25.0, 1.0, 1e4)
+    }
+
+    /// The fitted transistor-count law (Fig. 3b).
+    pub fn tc_law(&self) -> &PowerLaw {
+        &self.tc_law
+    }
+
+    /// Area-limited transistor budget: `TC(D)` at the spec's density factor.
+    pub fn area_limited_transistors(&self, spec: &ChipSpec) -> f64 {
+        debug_assert!(spec.validate().is_ok(), "invalid spec: {spec:?}");
+        self.tc_law.eval(spec.node.density_factor(spec.die_area_mm2))
+    }
+
+    /// Power-limited transistor budget: the Fig. 3c law inverted for the
+    /// spec's TDP and frequency. Nodes older than the modeled groups use a
+    /// classical proportional power model (power tracked switched
+    /// capacitance before the dark-silicon era).
+    pub fn power_limited_transistors(&self, spec: &ChipSpec) -> f64 {
+        debug_assert!(spec.validate().is_ok(), "invalid spec: {spec:?}");
+        let cap = match NodeGroup::of(spec.node) {
+            Some(group) => {
+                let law = self.tdp_laws[&group];
+                law.eval(spec.tdp_w)
+            }
+            None => spec.tdp_w / (CLASSIC_W_PER_CAP * spec.node.dynamic_energy_rel()),
+        };
+        cap / spec.freq_ghz * 1e9
+    }
+
+    /// Active transistor count: the binding constraint of the two budgets.
+    pub fn active_transistors(&self, spec: &ChipSpec) -> f64 {
+        self.area_limited_transistors(spec)
+            .min(self.power_limited_transistors(spec))
+    }
+
+    /// Physical throughput proxy (arbitrary ops/s units): active
+    /// transistors × frequency. The paper treats throughput as the target
+    /// since accelerated workloads are highly parallel — silicon that can
+    /// switch maps directly to parallel compute.
+    pub fn throughput(&self, spec: &ChipSpec) -> f64 {
+        self.active_transistors(spec) * spec.freq_ghz
+    }
+
+    /// Chip power in watts: dynamic power of the active transistors plus
+    /// leakage of the full die (including dark silicon when
+    /// `dark_silicon_leakage` is set), clamped to the TDP when the dynamic
+    /// budget already binds.
+    pub fn power_w(&self, spec: &ChipSpec) -> f64 {
+        let active = self.active_transistors(spec);
+        let all = self.area_limited_transistors(spec);
+        let node = spec.node;
+        let dynamic =
+            active * spec.freq_ghz * DYN_W_PER_TRANSISTOR_GHZ_45 * node.dynamic_energy_rel();
+        let leaking = if self.dark_silicon_leakage { all } else { active };
+        let leakage = leaking * LEAK_W_PER_TRANSISTOR_45 * node.leakage_rel();
+        dynamic.min(spec.tdp_w) + leakage
+    }
+
+    /// Physical energy efficiency proxy (arbitrary ops/J units).
+    pub fn energy_efficiency(&self, spec: &ChipSpec) -> f64 {
+        self.throughput(spec) * 1e9 / self.power_w(spec)
+    }
+
+    /// Throughput gain of `spec` over `baseline` (Fig. 3d left panel, and
+    /// the "CMOS-driven gains" denominator of Eq. 2).
+    pub fn throughput_gain(&self, spec: &ChipSpec, baseline: &ChipSpec) -> f64 {
+        self.throughput(spec) / self.throughput(baseline)
+    }
+
+    /// Throughput-per-area gain — the metric the Bitcoin study uses, since
+    /// miners integrate wildly different chip counts and sizes.
+    pub fn throughput_per_area_gain(&self, spec: &ChipSpec, baseline: &ChipSpec) -> f64 {
+        (self.throughput(spec) / spec.die_area_mm2)
+            / (self.throughput(baseline) / baseline.die_area_mm2)
+    }
+
+    /// Energy-efficiency gain of `spec` over `baseline` (Fig. 3d right
+    /// panel).
+    pub fn efficiency_gain(&self, spec: &ChipSpec, baseline: &ChipSpec) -> f64 {
+        self.energy_efficiency(spec) / self.energy_efficiency(baseline)
+    }
+
+    /// The dark-silicon fraction: the share of the die's transistors the
+    /// power budget forbids from switching, `1 − active / area-limited`.
+    /// Zero when area is the binding constraint — the quantity behind the
+    /// "dark silicon" literature the paper builds on (Esmaeilzadeh et al.,
+    /// Venkatesh et al.).
+    pub fn dark_fraction(&self, spec: &ChipSpec) -> f64 {
+        let area = self.area_limited_transistors(spec);
+        let active = self.active_transistors(spec);
+        (1.0 - active / area).max(0.0)
+    }
+}
+
+impl Default for PotentialModel {
+    fn default() -> Self {
+        PotentialModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PotentialModel {
+        PotentialModel::paper()
+    }
+
+    #[test]
+    fn reference_chip_transistor_count() {
+        // 25 mm² at 45 nm: D ≈ 0.0123, TC ≈ 105 M transistors.
+        let tc = model().area_limited_transistors(&PotentialModel::reference_spec());
+        assert!((0.9e8..1.2e8).contains(&tc), "TC = {tc:e}");
+    }
+
+    #[test]
+    fn big_5nm_chip_reaches_hundred_billion() {
+        // Paper: large 5 nm chips (D ≈ 32) can reach ~100 G transistors.
+        let spec = ChipSpec::new(TechNode::N5, 800.0, 1.0, 1e5);
+        let tc = model().area_limited_transistors(&spec);
+        assert!((0.9e11..1.2e11).contains(&tc), "TC = {tc:e}");
+    }
+
+    #[test]
+    fn fig3d_headline_throughput_collapse() {
+        // ~1000x area-limited potential collapses to ~300x under 800 W.
+        let m = model();
+        let baseline = PotentialModel::reference_spec();
+        let spec = ChipSpec::new(TechNode::N5, 800.0, 1.0, 800.0);
+        let unconstrained =
+            m.area_limited_transistors(&spec) / m.area_limited_transistors(&baseline);
+        assert!((800.0..1200.0).contains(&unconstrained), "{unconstrained}");
+        let capped = m.throughput_gain(&spec, &baseline);
+        assert!((240.0..360.0).contains(&capped), "{capped}");
+        // "drops by about 70%"
+        let drop = 1.0 - capped / unconstrained;
+        assert!((0.6..0.8).contains(&drop), "drop = {drop}");
+    }
+
+    #[test]
+    fn power_budget_binds_only_large_or_hot_chips() {
+        let m = model();
+        // Small cool chip: area-limited.
+        let small = ChipSpec::new(TechNode::N16, 25.0, 1.0, 200.0);
+        assert!(m.area_limited_transistors(&small) <= m.power_limited_transistors(&small));
+        // Huge chip on a lean budget: power-limited.
+        let big = ChipSpec::new(TechNode::N5, 800.0, 1.0, 50.0);
+        assert!(m.power_limited_transistors(&big) < m.area_limited_transistors(&big));
+    }
+
+    #[test]
+    fn small_chips_win_energy_efficiency() {
+        // Fig. 3d: "small chips are favorable for energy efficiency".
+        let m = model();
+        let baseline = PotentialModel::reference_spec();
+        for tdp in [50.0, 200.0, 800.0] {
+            let small = ChipSpec::new(TechNode::N5, 25.0, 1.0, tdp);
+            let large = ChipSpec::new(TechNode::N5, 800.0, 1.0, tdp);
+            assert!(
+                m.efficiency_gain(&small, &baseline) > m.efficiency_gain(&large, &baseline),
+                "tdp {tdp}: small should beat large on ops/J"
+            );
+        }
+    }
+
+    #[test]
+    fn newer_node_improves_both_metrics_for_small_dies() {
+        let m = model();
+        let baseline = PotentialModel::reference_spec();
+        let mut last_tp = 0.0;
+        let mut last_ee = 0.0;
+        for &node in &[TechNode::N45, TechNode::N28, TechNode::N16, TechNode::N5] {
+            let spec = ChipSpec::new(node, 25.0, 1.0, 1e4);
+            let tp = m.throughput_gain(&spec, &baseline);
+            let ee = m.efficiency_gain(&spec, &baseline);
+            assert!(tp > last_tp, "{node}: throughput should improve");
+            assert!(ee > last_ee, "{node}: efficiency should improve");
+            last_tp = tp;
+            last_ee = ee;
+        }
+    }
+
+    #[test]
+    fn baseline_gains_are_unity() {
+        let m = model();
+        let b = PotentialModel::reference_spec();
+        assert!((m.throughput_gain(&b, &b) - 1.0).abs() < 1e-12);
+        assert!((m.efficiency_gain(&b, &b) - 1.0).abs() < 1e-12);
+        assert!((m.throughput_per_area_gain(&b, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corpus_model_tracks_paper_model() {
+        let corpus = accelwall_chipdb::CorpusSpec::paper_scale().generate();
+        let fitted = PotentialModel::from_corpus(&corpus).unwrap();
+        let paper = model();
+        let baseline = PotentialModel::reference_spec();
+        for &node in &[TechNode::N28, TechNode::N16, TechNode::N5] {
+            let spec = ChipSpec::new(node, 200.0, 1.2, 250.0);
+            let ratio =
+                fitted.throughput_gain(&spec, &baseline) / paper.throughput_gain(&spec, &baseline);
+            assert!(
+                (0.7..1.4).contains(&ratio),
+                "{node}: corpus-fitted model diverges: ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn spec_validation_rejects_nonsense() {
+        let bad = ChipSpec::new(TechNode::N45, -1.0, 1.0, 100.0);
+        assert!(matches!(
+            bad.validate(),
+            Err(PotentialError::InvalidSpec { field: "die_area_mm2", .. })
+        ));
+        let bad = ChipSpec::new(TechNode::N45, 100.0, 0.0, 100.0);
+        assert!(bad.validate().is_err());
+        let bad = ChipSpec::new(TechNode::N45, 100.0, 1.0, f64::NAN);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn from_record_conversion() {
+        let record = accelwall_chipdb::curated::curated_chips()
+            .into_iter()
+            .find(|c| c.name.contains("GTX 1080"))
+            .unwrap();
+        let spec = ChipSpec::from_record(&record);
+        assert_eq!(spec.node, TechNode::N16);
+        assert!((spec.freq_ghz - 1.607).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dark_fraction_grows_with_node_and_die() {
+        // The dark-silicon squeeze: at a fixed envelope, newer nodes and
+        // bigger dies leave more silicon unpowered.
+        let m = model();
+        let dark = |node, die| m.dark_fraction(&ChipSpec::new(node, die, 1.0, 200.0));
+        assert_eq!(dark(TechNode::N45, 50.0), 0.0, "small old chip is area-bound");
+        assert!(dark(TechNode::N5, 800.0) > 0.7, "{}", dark(TechNode::N5, 800.0));
+        assert!(dark(TechNode::N5, 800.0) > dark(TechNode::N16, 800.0));
+        assert!(dark(TechNode::N5, 800.0) > dark(TechNode::N5, 100.0));
+    }
+
+    #[test]
+    fn dark_silicon_leakage_flag_lowers_efficiency() {
+        let mut m = model();
+        let spec = ChipSpec::new(TechNode::N5, 800.0, 1.0, 100.0);
+        let with = m.energy_efficiency(&spec);
+        m.dark_silicon_leakage = false;
+        let without = m.energy_efficiency(&spec);
+        assert!(without > with, "dark leakage must cost efficiency");
+    }
+}

@@ -1,0 +1,238 @@
+//! Beyond the wall: what surviving it would take.
+//!
+//! The paper closes by arguing that once CMOS stops, "gains will remain
+//! solely dependent on improving specialization returns, that empirically
+//! scale more modestly." This module quantifies that sentence. For each
+//! domain it fits exponential trajectories to the study data —
+//!
+//! * the historical *end-to-end* gain rate (CMOS × specialization),
+//! * the historical *CSR-only* rate (what design skill alone delivered),
+//!
+//! — and combines them with the projected wall to answer two questions:
+//!
+//! 1. **Years of runway**: how long does the remaining headroom last if
+//!    the domain keeps improving at its historical rate?
+//! 2. **The specialization gap**: post-wall, sustaining the historical
+//!    trajectory requires CSR to grow at the full historical rate; how
+//!    many times faster is that than CSR ever actually grew?
+
+use crate::domains::{Domain, TargetMetric};
+use crate::wall::accelerator_wall;
+use crate::{ProjectionError, Result};
+use accelwall_stats::Linear;
+use accelwall_studies::{bitcoin, fpga, gpu, video};
+
+/// The beyond-the-wall summary for one domain and metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeyondWall {
+    /// Domain analyzed.
+    pub domain: Domain,
+    /// Metric analyzed.
+    pub metric: TargetMetric,
+    /// Historical compound annual growth rate of the end-to-end gain
+    /// (e.g. 0.4 = 40%/year).
+    pub historical_cagr: f64,
+    /// Historical compound annual growth rate of CSR alone.
+    pub csr_cagr: f64,
+    /// Years the linear-model headroom lasts at the historical rate.
+    pub runway_years_linear: f64,
+    /// Years the log-model headroom lasts at the historical rate.
+    pub runway_years_log: f64,
+    /// How many times faster CSR must grow post-wall to sustain the
+    /// historical trajectory (`historical_cagr / max(csr_cagr, ε)`);
+    /// `f64::INFINITY` when CSR historically declined.
+    pub required_csr_speedup: f64,
+}
+
+/// Per-domain `(year, reported gain, physical gain)` observations.
+fn trajectory(domain: Domain, metric: TargetMetric) -> Result<Vec<(f64, f64, f64)>> {
+    let series = match (domain, metric) {
+        (Domain::VideoDecoding, TargetMetric::Performance) => video::performance_series(),
+        (Domain::VideoDecoding, TargetMetric::EnergyEfficiency) => video::efficiency_series(),
+        (Domain::BitcoinMining, TargetMetric::Performance) => bitcoin::fig1_series(),
+        (Domain::BitcoinMining, TargetMetric::EnergyEfficiency) => {
+            bitcoin::fig9_efficiency_series()
+        }
+        (Domain::FpgaCnn, TargetMetric::Performance) => {
+            fpga::performance_series(fpga::CnnModel::AlexNet)
+        }
+        (Domain::FpgaCnn, TargetMetric::EnergyEfficiency) => {
+            fpga::efficiency_series(fpga::CnnModel::AlexNet)
+        }
+        (Domain::GpuGraphics, _) => {
+            // GPUs carry explicit years; synthesize the series directly.
+            let rows = gpu::gpu_chips()
+                .iter()
+                .map(|g| {
+                    let (reported, physical) = match metric {
+                        TargetMetric::Performance => (
+                            gpu::latent_performance_gain(g),
+                            g.physical_throughput(),
+                        ),
+                        TargetMetric::EnergyEfficiency => (
+                            gpu::latent_efficiency_gain(g),
+                            g.physical_efficiency(),
+                        ),
+                    };
+                    (f64::from(g.year), reported, physical)
+                })
+                .collect::<Vec<_>>();
+            let base_phys = rows[0].2;
+            return Ok(rows
+                .into_iter()
+                .map(|(y, r, p)| (y, r, p / base_phys))
+                .collect());
+        }
+    }
+    .map_err(|e| ProjectionError::Study(e.to_string()))?;
+
+    Ok(series
+        .rows
+        .iter()
+        .filter_map(|r| year_of_label(&r.label).map(|y| (y, r.reported_gain, r.physical_gain)))
+        .collect())
+}
+
+/// Extracts a 4-digit year from a study row label ("ISSCC2013",
+/// "BM1387 (Antminer S9)" → uses the miner dataset's intro year instead).
+fn year_of_label(label: &str) -> Option<f64> {
+    // Venue labels embed the year directly.
+    let digits: String = label.chars().filter(|c| c.is_ascii_digit()).collect();
+    for window in digits.as_bytes().windows(4) {
+        let y: u32 = std::str::from_utf8(window).ok()?.parse().ok()?;
+        if (1999..=2020).contains(&y) {
+            return Some(f64::from(y));
+        }
+    }
+    // Miner labels: look the chip up in the dataset.
+    bitcoin::miners()
+        .iter()
+        .find(|m| label.contains(m.name) || m.name.contains(label))
+        .map(|m| f64::from(m.intro.0) + f64::from(m.intro.1 - 1) / 12.0)
+}
+
+/// Fits `ln(gain) = rate · year + c` and returns the CAGR `e^rate − 1`.
+fn cagr(points: &[(f64, f64)]) -> Result<f64> {
+    let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.1.max(1e-12).ln()).collect();
+    let fit = Linear::fit(&xs, &ys)?;
+    Ok(fit.slope.exp() - 1.0)
+}
+
+/// Computes the beyond-the-wall summary for a domain and metric.
+///
+/// # Errors
+///
+/// Propagates study, statistics, and projection errors; returns
+/// [`ProjectionError::Study`] when a domain has too few dated points.
+pub fn beyond_wall(domain: Domain, metric: TargetMetric) -> Result<BeyondWall> {
+    let wall = accelerator_wall(domain, metric)?;
+    let traj = trajectory(domain, metric)?;
+    if traj.len() < 3 {
+        return Err(ProjectionError::Study(format!(
+            "{domain}: only {} dated observations",
+            traj.len()
+        )));
+    }
+    let historical_cagr = cagr(
+        &traj.iter().map(|&(y, r, _)| (y, r)).collect::<Vec<_>>(),
+    )?;
+    let csr_cagr = cagr(
+        &traj
+            .iter()
+            .map(|&(y, r, p)| (y, r / p))
+            .collect::<Vec<_>>(),
+    )?;
+    let growth = (1.0 + historical_cagr).max(1.0 + 1e-9).ln();
+    let runway = |headroom: f64| headroom.max(1.0).ln() / growth;
+    let required_csr_speedup = if csr_cagr > 1e-6 {
+        historical_cagr / csr_cagr
+    } else {
+        f64::INFINITY
+    };
+    Ok(BeyondWall {
+        domain,
+        metric,
+        historical_cagr,
+        csr_cagr,
+        runway_years_linear: runway(wall.further_linear),
+        runway_years_log: runway(wall.further_log),
+        required_csr_speedup,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_domains_have_runway_estimates() {
+        for &d in Domain::all() {
+            let b = beyond_wall(d, TargetMetric::Performance).unwrap();
+            assert!(b.historical_cagr > 0.0, "{d}: gains grew historically");
+            assert!(b.runway_years_linear >= b.runway_years_log, "{d}");
+            assert!(b.runway_years_linear.is_finite());
+        }
+    }
+
+    #[test]
+    fn historical_gains_outpaced_csr_everywhere() {
+        // The paper's core claim, as a growth-rate inequality.
+        for &d in Domain::all() {
+            let b = beyond_wall(d, TargetMetric::Performance).unwrap();
+            assert!(
+                b.historical_cagr > b.csr_cagr,
+                "{d}: total {:.2}/yr vs CSR {:.2}/yr",
+                b.historical_cagr,
+                b.csr_cagr
+            );
+            assert!(b.required_csr_speedup > 1.5, "{d}");
+        }
+    }
+
+    #[test]
+    fn bitcoin_raced_fastest_and_hits_the_wall_soonest() {
+        let btc = beyond_wall(Domain::BitcoinMining, TargetMetric::Performance).unwrap();
+        let video = beyond_wall(Domain::VideoDecoding, TargetMetric::Performance).unwrap();
+        assert!(
+            btc.historical_cagr > video.historical_cagr,
+            "mining grew faster: {:.1}/yr vs {:.1}/yr",
+            btc.historical_cagr,
+            video.historical_cagr
+        );
+        assert!(
+            btc.runway_years_linear < video.runway_years_linear,
+            "and therefore has less runway"
+        );
+    }
+
+    #[test]
+    fn runway_is_about_a_node_cycle_or_two() {
+        // The wall in years: every domain's remaining headroom amounts to
+        // at most a few process-node cycles of business-as-usual, even
+        // under the optimistic linear model — and often far less.
+        for &d in Domain::all() {
+            for m in [TargetMetric::Performance, TargetMetric::EnergyEfficiency] {
+                let b = beyond_wall(d, m).unwrap();
+                assert!(
+                    b.runway_years_linear < 20.0,
+                    "{d} {m:?}: runway {:.1} years",
+                    b.runway_years_linear
+                );
+                assert!(
+                    b.runway_years_log < 6.0,
+                    "{d} {m:?}: log runway {:.1} years",
+                    b.runway_years_log
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn year_extraction_from_labels() {
+        assert_eq!(year_of_label("ISSCC2013"), Some(2013.0));
+        assert_eq!(year_of_label("FPGA2017*"), Some(2017.0));
+        assert!(year_of_label("BM1387 (Antminer S9)").is_some());
+        assert_eq!(year_of_label("no year here"), None);
+    }
+}

@@ -1,0 +1,142 @@
+//! The four projected domains and their Table V physical parameters.
+
+use accelwall_cmos::TechNode;
+use std::fmt;
+
+/// The accelerated domains of the limit study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// ASIC video decoding (Figs. 15a/16a).
+    VideoDecoding,
+    /// GPU gaming / graphics (Figs. 15b/16b).
+    GpuGraphics,
+    /// FPGA convolutional networks (Figs. 15c/16c).
+    FpgaCnn,
+    /// ASIC Bitcoin mining (Figs. 15d/16d).
+    BitcoinMining,
+}
+
+/// Which target function is being projected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TargetMetric {
+    /// Throughput (Fig. 15).
+    Performance,
+    /// Energy efficiency (Fig. 16).
+    EnergyEfficiency,
+}
+
+/// One Table V row: the physical parameters bounding a domain's
+/// final-node chips.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DomainLimits {
+    /// Smallest die the domain ships, in mm² (used for efficiency walls).
+    pub min_die_mm2: f64,
+    /// Largest die, in mm² (used for performance walls).
+    pub max_die_mm2: f64,
+    /// Thermal power budget in watts.
+    pub tdp_w: f64,
+    /// Clock in MHz.
+    pub freq_mhz: f64,
+}
+
+impl Domain {
+    /// All domains in figure order.
+    pub fn all() -> &'static [Domain] {
+        const ALL: [Domain; 4] = [
+            Domain::VideoDecoding,
+            Domain::GpuGraphics,
+            Domain::FpgaCnn,
+            Domain::BitcoinMining,
+        ];
+        &ALL
+    }
+
+    /// The Table V physical parameters of the domain.
+    pub fn limits(self) -> DomainLimits {
+        let (min_die, max_die, tdp, mhz) = match self {
+            Domain::VideoDecoding => (1.68, 16.0, 7.0, 400.0),
+            Domain::GpuGraphics => (40.0, 815.0, 345.0, 1500.0),
+            Domain::FpgaCnn => (100.0, 572.0, 150.0, 400.0),
+            Domain::BitcoinMining => (11.1, 504.0, 500.0, 1400.0),
+        };
+        DomainLimits {
+            min_die_mm2: min_die,
+            max_die_mm2: max_die,
+            tdp_w: tdp,
+            freq_mhz: mhz,
+        }
+    }
+
+    /// The accelerator platform of the domain, as in Table V.
+    pub fn platform(self) -> &'static str {
+        match self {
+            Domain::VideoDecoding | Domain::BitcoinMining => "ASIC",
+            Domain::GpuGraphics => "GPU",
+            Domain::FpgaCnn => "FPGA",
+        }
+    }
+
+    /// Unit of the domain's gain axis in Figs. 15/16.
+    pub fn unit(self, metric: TargetMetric) -> &'static str {
+        match (self, metric) {
+            (Domain::VideoDecoding, TargetMetric::Performance) => "MPixels/s",
+            (Domain::VideoDecoding, TargetMetric::EnergyEfficiency) => "MPixels/J",
+            (Domain::GpuGraphics, TargetMetric::Performance) => "frame-rate gain",
+            (Domain::GpuGraphics, TargetMetric::EnergyEfficiency) => "frames/J gain",
+            (Domain::FpgaCnn, TargetMetric::Performance) => "GOP/s",
+            (Domain::FpgaCnn, TargetMetric::EnergyEfficiency) => "GOP/J",
+            (Domain::BitcoinMining, TargetMetric::Performance) => "GHash/s/mm2",
+            (Domain::BitcoinMining, TargetMetric::EnergyEfficiency) => "GHash/J",
+        }
+    }
+
+    /// The final CMOS node of the projection (IRDS: 5 nm).
+    pub fn final_node(self) -> TechNode {
+        TechNode::N5
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Domain::VideoDecoding => "ASIC Video Decoding",
+            Domain::GpuGraphics => "GPU Gaming/Graphics",
+            Domain::FpgaCnn => "FPGA CNN",
+            Domain::BitcoinMining => "ASIC Bitcoin Mining",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_v_rows_match_paper() {
+        let v = Domain::VideoDecoding.limits();
+        assert_eq!((v.min_die_mm2, v.max_die_mm2), (1.68, 16.0));
+        assert_eq!((v.tdp_w, v.freq_mhz), (7.0, 400.0));
+        let g = Domain::GpuGraphics.limits();
+        assert_eq!((g.max_die_mm2, g.tdp_w, g.freq_mhz), (815.0, 345.0, 1500.0));
+        let f = Domain::FpgaCnn.limits();
+        assert_eq!((f.min_die_mm2, f.tdp_w), (100.0, 150.0));
+        let b = Domain::BitcoinMining.limits();
+        assert_eq!((b.max_die_mm2, b.tdp_w, b.freq_mhz), (504.0, 500.0, 1400.0));
+    }
+
+    #[test]
+    fn platforms_match_table_v() {
+        assert_eq!(Domain::VideoDecoding.platform(), "ASIC");
+        assert_eq!(Domain::GpuGraphics.platform(), "GPU");
+        assert_eq!(Domain::FpgaCnn.platform(), "FPGA");
+        assert_eq!(Domain::BitcoinMining.platform(), "ASIC");
+    }
+
+    #[test]
+    fn four_domains_with_distinct_labels() {
+        let labels: std::collections::HashSet<_> =
+            Domain::all().iter().map(|d| d.to_string()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,94 @@
+//! The accelerator wall (Section VII, Figs. 15–16, Table V).
+//!
+//! For each evaluated domain the paper collects (physical capability,
+//! observed gain) points, extracts the Pareto frontier, fits the Linear
+//! (Eq. 5) and Logarithmic (Eq. 6) projection models, and evaluates both
+//! at the physical capability of a final-node (5 nm) chip built with the
+//! Table V parameters — the *accelerator wall*: the best gain attainable
+//! after CMOS stops scaling.
+//!
+//! Physical capability is measured with the axis each domain's chips
+//! actually bind on: small ASICs (video decoders, miners) are
+//! silicon-area-limited, so their axis is switched transistors per second
+//! (density × speed); big hot dies (GPUs, FPGA boards) are power-limited,
+//! so their axis is the Fig. 3c TDP-capped switching budget. EXPERIMENTS.md
+//! records where our walls land relative to the paper's annotations.
+//!
+//! # Example
+//!
+//! ```
+//! use accelwall_projection::{accelerator_wall, Domain, TargetMetric};
+//!
+//! let wall = accelerator_wall(Domain::BitcoinMining, TargetMetric::Performance).unwrap();
+//! // Paper: Bitcoin mining has 2-20x of further performance headroom.
+//! assert!(wall.further_log >= 1.0);
+//! assert!(wall.further_linear <= 25.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod beyond;
+pub mod domains;
+pub mod sensitivity;
+pub mod wall;
+
+pub use beyond::{beyond_wall, BeyondWall};
+pub use domains::{Domain, DomainLimits, TargetMetric};
+pub use sensitivity::{wall_sensitivity, Parameter, Sensitivity};
+pub use wall::{accelerator_wall, project, ProjectionInput, WallProjection};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the projection analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProjectionError {
+    /// The underlying statistics failed (degenerate frontier and the
+    /// like).
+    Stats(accelwall_stats::StatsError),
+    /// A study dataset failed to produce gains.
+    Study(String),
+    /// The physical limit fell below the observed capability range, so
+    /// extrapolation is meaningless.
+    LimitInsideData {
+        /// The physical limit requested.
+        limit: f64,
+        /// The largest observed capability.
+        observed_max: f64,
+    },
+}
+
+impl fmt::Display for ProjectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProjectionError::Stats(e) => write!(f, "projection statistics failed: {e}"),
+            ProjectionError::Study(s) => write!(f, "study data unavailable: {s}"),
+            ProjectionError::LimitInsideData {
+                limit,
+                observed_max,
+            } => write!(
+                f,
+                "physical limit {limit} does not exceed observed capability {observed_max}"
+            ),
+        }
+    }
+}
+
+impl Error for ProjectionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProjectionError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<accelwall_stats::StatsError> for ProjectionError {
+    fn from(e: accelwall_stats::StatsError) -> Self {
+        ProjectionError::Stats(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ProjectionError>;

@@ -1,0 +1,187 @@
+//! Sensitivity of the accelerator wall to the Table V parameters.
+//!
+//! The paper projects each wall from point estimates of the final node's
+//! die size, TDP, and clock. This module perturbs each parameter ±20% and
+//! reports the wall's log-log elasticity — how many percent the wall moves
+//! per percent of parameter change — separating the parameters the
+//! conclusions actually hinge on from the ones that wash out.
+
+use crate::domains::{Domain, DomainLimits, TargetMetric};
+use crate::wall::{project, projection_input_with};
+use crate::Result;
+
+/// Which Table V parameter is perturbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Parameter {
+    /// Largest die size (`max_die_mm2`).
+    MaxDie,
+    /// Thermal power budget (`tdp_w`).
+    Tdp,
+    /// Clock frequency (`freq_mhz`).
+    Frequency,
+}
+
+impl Parameter {
+    /// All perturbable parameters.
+    pub fn all() -> &'static [Parameter] {
+        const ALL: [Parameter; 3] = [Parameter::MaxDie, Parameter::Tdp, Parameter::Frequency];
+        &ALL
+    }
+
+    fn apply(self, mut limits: DomainLimits, factor: f64) -> DomainLimits {
+        match self {
+            Parameter::MaxDie => limits.max_die_mm2 *= factor,
+            Parameter::Tdp => limits.tdp_w *= factor,
+            Parameter::Frequency => limits.freq_mhz *= factor,
+        }
+        limits
+    }
+}
+
+impl std::fmt::Display for Parameter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Parameter::MaxDie => "max die",
+            Parameter::Tdp => "TDP",
+            Parameter::Frequency => "frequency",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One parameter's sensitivity for one (domain, metric) wall.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sensitivity {
+    /// Domain analyzed.
+    pub domain: Domain,
+    /// Metric analyzed.
+    pub metric: TargetMetric,
+    /// Perturbed parameter.
+    pub parameter: Parameter,
+    /// Linear wall at −20% of the parameter.
+    pub wall_minus: f64,
+    /// Linear wall at the Table V value.
+    pub wall_base: f64,
+    /// Linear wall at +20% of the parameter.
+    pub wall_plus: f64,
+    /// Log-log elasticity `d ln(wall) / d ln(parameter)`; 0 means the
+    /// wall does not depend on the parameter, 1 means proportional.
+    pub elasticity: f64,
+}
+
+/// Computes the ±20% sensitivity of a wall to every Table V parameter.
+///
+/// # Errors
+///
+/// Propagates projection errors.
+pub fn wall_sensitivity(domain: Domain, metric: TargetMetric) -> Result<Vec<Sensitivity>> {
+    let base_limits = domain.limits();
+    let wall_at = |limits: DomainLimits| -> Result<f64> {
+        let input = projection_input_with(domain, metric, limits)?;
+        match project(&input) {
+            Ok(w) => Ok(w.linear_wall),
+            // A perturbation can push the 5 nm limit below a chip that
+            // already ships (e.g. −20% TDP vs an efficiency-binned part):
+            // the wall is then simply today's best.
+            Err(crate::ProjectionError::LimitInsideData { .. }) => Ok(input
+                .points
+                .iter()
+                .map(|p| p.1)
+                .fold(f64::NEG_INFINITY, f64::max)),
+            Err(e) => Err(e),
+        }
+    };
+    let wall_base = wall_at(base_limits)?;
+    Parameter::all()
+        .iter()
+        .map(|&parameter| {
+            let wall_minus = wall_at(parameter.apply(base_limits, 0.8))?;
+            let wall_plus = wall_at(parameter.apply(base_limits, 1.2))?;
+            let elasticity = (wall_plus.max(1e-12).ln() - wall_minus.max(1e-12).ln())
+                / (1.2f64.ln() - 0.8f64.ln());
+            Ok(Sensitivity {
+                domain,
+                metric,
+                parameter,
+                wall_minus,
+                wall_base,
+                wall_plus,
+                elasticity,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitivities_compute_for_all_domains() {
+        for &d in Domain::all() {
+            let rows = wall_sensitivity(d, TargetMetric::Performance).unwrap();
+            assert_eq!(rows.len(), 3);
+            for r in &rows {
+                assert!(r.wall_base > 0.0);
+                assert!(r.elasticity.is_finite(), "{d} {}", r.parameter);
+                // Walls respond monotonically (or not at all) to budgets.
+                assert!(r.wall_plus >= r.wall_minus * 0.999, "{d} {}", r.parameter);
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_wall_hinges_on_power_not_area() {
+        // GPUs are power-limited: the TDP elasticity dominates die size.
+        let rows = wall_sensitivity(Domain::GpuGraphics, TargetMetric::Performance).unwrap();
+        let of = |p: Parameter| {
+            rows.iter()
+                .find(|r| r.parameter == p)
+                .expect("all parameters present")
+                .elasticity
+        };
+        assert!(
+            of(Parameter::Tdp) > of(Parameter::MaxDie) + 0.05,
+            "TDP {:.2} vs die {:.2}",
+            of(Parameter::Tdp),
+            of(Parameter::MaxDie)
+        );
+    }
+
+    #[test]
+    fn video_wall_hinges_on_area_not_power() {
+        // Small decoder ASICs are area-limited: die elasticity dominates.
+        let rows = wall_sensitivity(Domain::VideoDecoding, TargetMetric::Performance).unwrap();
+        let of = |p: Parameter| {
+            rows.iter()
+                .find(|r| r.parameter == p)
+                .expect("all parameters present")
+                .elasticity
+        };
+        assert!(
+            of(Parameter::MaxDie) > of(Parameter::Tdp) + 0.05,
+            "die {:.2} vs TDP {:.2}",
+            of(Parameter::MaxDie),
+            of(Parameter::Tdp)
+        );
+        assert!(of(Parameter::Frequency) > 0.1, "decoders scale with clock");
+    }
+
+    #[test]
+    fn elasticities_are_sublinear_or_proportional() {
+        // No wall should explode super-linearly in any single parameter —
+        // the sub-linear TC law and the e < 1 TDP laws guarantee damping.
+        for &d in Domain::all() {
+            for m in [TargetMetric::Performance, TargetMetric::EnergyEfficiency] {
+                for r in wall_sensitivity(d, m).unwrap() {
+                    assert!(
+                        r.elasticity < 1.6,
+                        "{d} {m:?} {}: elasticity {:.2}",
+                        r.parameter,
+                        r.elasticity
+                    );
+                }
+            }
+        }
+    }
+}

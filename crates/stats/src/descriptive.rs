@@ -1,0 +1,197 @@
+//! Descriptive statistics: means, geometric means, dispersion, quantiles.
+//!
+//! The geometric mean is load-bearing for the paper: Eq. 3 defines the
+//! relative gain between two GPU architectures as the geometric mean of the
+//! per-application gain ratios, and Eq. 4 chains those means transitively.
+
+use crate::{Result, StatsError};
+
+/// Arithmetic mean of a slice.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] on an empty slice and
+/// [`StatsError::NonFinite`] if any element is NaN or infinite.
+///
+/// ```
+/// assert_eq!(accelwall_stats::mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+/// ```
+pub fn mean(values: &[f64]) -> Result<f64> {
+    check(values, 1)?;
+    Ok(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Geometric mean of a slice of positive values.
+///
+/// Computed in log space for numerical stability, exactly as one computes
+/// the N-th root of a product of N gain ratios (paper Eq. 3).
+///
+/// # Errors
+///
+/// Returns [`StatsError::DomainViolation`] if any value is not strictly
+/// positive, plus the usual emptiness/finiteness errors.
+///
+/// ```
+/// let g = accelwall_stats::geomean(&[1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(values: &[f64]) -> Result<f64> {
+    check(values, 1)?;
+    if values.iter().any(|&v| v <= 0.0) {
+        return Err(StatsError::DomainViolation {
+            what: "geometric mean requires strictly positive values",
+        });
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Ok((log_sum / values.len() as f64).exp())
+}
+
+/// Population variance of a slice.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] on an empty slice.
+pub fn variance(values: &[f64]) -> Result<f64> {
+    let m = mean(values)?;
+    Ok(values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64)
+}
+
+/// Population standard deviation of a slice.
+///
+/// # Errors
+///
+/// Same as [`variance`].
+pub fn stddev(values: &[f64]) -> Result<f64> {
+    Ok(variance(values)?.sqrt())
+}
+
+/// Median (the 0.5 quantile).
+///
+/// # Errors
+///
+/// Same as [`quantile`].
+pub fn median(values: &[f64]) -> Result<f64> {
+    quantile(values, 0.5)
+}
+
+/// Linear-interpolation quantile, `q` in `[0, 1]`.
+///
+/// Uses the common "R-7" definition (the default of most statistics
+/// packages): the quantile is interpolated between the two order statistics
+/// that bracket rank `q * (n - 1)`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::DomainViolation`] if `q` is outside `[0, 1]`, and
+/// the usual emptiness/finiteness errors.
+///
+/// ```
+/// let q = accelwall_stats::quantile(&[1.0, 2.0, 3.0, 4.0], 0.25).unwrap();
+/// assert!((q - 1.75).abs() < 1e-12);
+/// ```
+pub fn quantile(values: &[f64], q: f64) -> Result<f64> {
+    check(values, 1)?;
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::DomainViolation {
+            what: "quantile level must lie in [0, 1]",
+        });
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finiteness checked"));
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+fn check(values: &[f64], required: usize) -> Result<()> {
+    if values.len() < required {
+        return Err(StatsError::NotEnoughData {
+            provided: values.len(),
+            required,
+        });
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFinite);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_constant_is_constant() {
+        assert_eq!(mean(&[7.5, 7.5, 7.5]).unwrap(), 7.5);
+    }
+
+    #[test]
+    fn mean_rejects_empty() {
+        assert!(matches!(
+            mean(&[]),
+            Err(StatsError::NotEnoughData { provided: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn mean_rejects_nan() {
+        assert_eq!(mean(&[1.0, f64::NAN]), Err(StatsError::NonFinite));
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        // (2 * 8)^(1/2) = 4
+        assert!((geomean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_rejects_nonpositive() {
+        assert!(matches!(
+            geomean(&[1.0, 0.0]),
+            Err(StatsError::DomainViolation { .. })
+        ));
+        assert!(matches!(
+            geomean(&[-2.0]),
+            Err(StatsError::DomainViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn geomean_is_scale_equivariant() {
+        let base = [1.5, 2.5, 9.0];
+        let scaled: Vec<f64> = base.iter().map(|v| v * 3.0).collect();
+        let g1 = geomean(&base).unwrap();
+        let g2 = geomean(&scaled).unwrap();
+        assert!((g2 / g1 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_of_symmetric_pair() {
+        // {-1, 1}: mean 0, population variance 1.
+        assert!((variance(&[-1.0, 1.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((stddev(&[-1.0, 1.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert!((median(&[1.0, 2.0, 3.0, 4.0]).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_endpoints_are_min_max() {
+        let v = [5.0, -2.0, 9.0, 0.5];
+        assert_eq!(quantile(&v, 0.0).unwrap(), -2.0);
+        assert_eq!(quantile(&v, 1.0).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn quantile_rejects_out_of_range_level() {
+        assert!(matches!(
+            quantile(&[1.0], 1.5),
+            Err(StatsError::DomainViolation { .. })
+        ));
+    }
+}

@@ -1,0 +1,112 @@
+//! Numerical and statistical substrate for the Accelerator Wall reproduction.
+//!
+//! The paper's methodology leans on a handful of classical statistical tools:
+//! ordinary-least-squares regression in linear and logarithmic spaces
+//! (used to fit the transistor-budget models of Figs. 3b/3c and the
+//! projection models of Eqs. 5/6), polynomial trend fitting (the quadratic
+//! frame-rate curves of Fig. 5), geometric means (the architecture relation
+//! matrix of Eqs. 3/4), and Pareto-frontier extraction (the projection study
+//! of Figs. 15/16). The Rust ecosystem for statistics is thin, so this crate
+//! implements all of them from scratch on `f64` slices, with no external
+//! dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use accelwall_stats::regression::PowerLaw;
+//!
+//! // Recover y = 2 * x^0.5 from samples.
+//! let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x.sqrt()).collect();
+//! let fit = PowerLaw::fit(&xs, &ys).unwrap();
+//! assert!((fit.coefficient - 2.0).abs() < 1e-9);
+//! assert!((fit.exponent - 0.5).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod descriptive;
+pub mod matrix;
+pub mod pareto;
+pub mod regression;
+
+pub use descriptive::{geomean, mean, median, quantile, stddev, variance};
+pub use matrix::Matrix;
+pub use pareto::{pareto_frontier, ParetoPoint};
+pub use regression::{Linear, LogLinear, Polynomial, PowerLaw};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the statistics routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// The input slices were empty or shorter than the number of free
+    /// parameters being estimated.
+    NotEnoughData {
+        /// Number of observations provided.
+        provided: usize,
+        /// Minimum number of observations required.
+        required: usize,
+    },
+    /// Paired inputs had different lengths.
+    LengthMismatch {
+        /// Length of the x (predictor) slice.
+        xs: usize,
+        /// Length of the y (response) slice.
+        ys: usize,
+    },
+    /// An input value was outside the domain of the transform the routine
+    /// applies (for example, non-positive values in a log-space fit).
+    DomainViolation {
+        /// Human-readable description of the violated domain constraint.
+        what: &'static str,
+    },
+    /// The underlying linear system was singular (collinear predictors,
+    /// a single distinct x value, etc.).
+    Singular,
+    /// A non-finite value (NaN or infinity) was encountered in the input.
+    NonFinite,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::NotEnoughData { provided, required } => write!(
+                f,
+                "not enough data: {provided} observations provided, {required} required"
+            ),
+            StatsError::LengthMismatch { xs, ys } => {
+                write!(f, "length mismatch: {xs} x values vs {ys} y values")
+            }
+            StatsError::DomainViolation { what } => write!(f, "domain violation: {what}"),
+            StatsError::Singular => write!(f, "singular system: predictors are degenerate"),
+            StatsError::NonFinite => write!(f, "non-finite value in input"),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StatsError>;
+
+pub(crate) fn check_paired(xs: &[f64], ys: &[f64], required: usize) -> Result<()> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::LengthMismatch {
+            xs: xs.len(),
+            ys: ys.len(),
+        });
+    }
+    if xs.len() < required {
+        return Err(StatsError::NotEnoughData {
+            provided: xs.len(),
+            required,
+        });
+    }
+    if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFinite);
+    }
+    Ok(())
+}

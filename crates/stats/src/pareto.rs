@@ -1,0 +1,153 @@
+//! Pareto-frontier extraction.
+//!
+//! The paper's projection study (Section VII) fits its Linear and
+//! Logarithmic models to the *Pareto frontier* of each domain's scatter of
+//! (physical capability, observed gain) points: for every level of physical
+//! capability, only the best-achieving chip matters when asking "what is
+//! attainable". A point is on that frontier when no other chip achieves at
+//! least its gain with at most its physical capability — i.e. the frontier
+//! minimizes capability while maximizing gain, and both coordinates are
+//! strictly increasing along it.
+
+
+/// A point in the (x = capability, y = gain) plane, with an opaque index
+/// back into the caller's dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// Index of this point in the input slice.
+    pub index: usize,
+    /// Capability coordinate (e.g. physical performance potential).
+    pub x: f64,
+    /// Gain coordinate (e.g. reported throughput gain).
+    pub y: f64,
+}
+
+/// Extracts the Pareto frontier of a point set under (minimize `x`,
+/// maximize `y`): the subset in which no point is dominated by another with
+/// `x <=` and `y >=` (one strictly better).
+///
+/// The result is sorted by ascending `x`, and both `x` and `y` are strictly
+/// increasing along it — exactly the record curve of "best gain attained at
+/// each capability level" that the projection models are fitted to.
+///
+/// # Errors
+///
+/// Returns [`StatsError::LengthMismatch`](crate::StatsError::LengthMismatch)
+/// for unpaired inputs,
+/// [`StatsError::NotEnoughData`](crate::StatsError::NotEnoughData) for an
+/// empty input, and
+/// [`StatsError::NonFinite`](crate::StatsError::NonFinite) if any
+/// coordinate is NaN or infinite.
+///
+/// # Example
+///
+/// ```
+/// use accelwall_stats::pareto_frontier;
+/// let xs = [1.0, 2.0, 2.0, 3.0];
+/// let ys = [5.0, 4.0, 6.0, 7.0];
+/// let front = pareto_frontier(&xs, &ys).unwrap();
+/// let pairs: Vec<(f64, f64)> = front.iter().map(|p| (p.x, p.y)).collect();
+/// // (2.0, 4.0) is dominated by (2.0, 6.0); everything else is a record.
+/// assert_eq!(pairs, vec![(1.0, 5.0), (2.0, 6.0), (3.0, 7.0)]);
+/// ```
+pub fn pareto_frontier(xs: &[f64], ys: &[f64]) -> crate::Result<Vec<ParetoPoint>> {
+    crate::check_paired(xs, ys, 1)?;
+    let mut points: Vec<ParetoPoint> = xs
+        .iter()
+        .zip(ys)
+        .enumerate()
+        .map(|(index, (&x, &y))| ParetoPoint { index, x, y })
+        .collect();
+    // Sort by ascending x, breaking ties by descending y; then sweep,
+    // keeping points whose y strictly exceeds the running maximum. A point
+    // survives iff no point with smaller-or-equal x reaches its y.
+    points.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .expect("finiteness checked")
+            .then(b.y.partial_cmp(&a.y).expect("finiteness checked"))
+    });
+    let mut frontier: Vec<ParetoPoint> = Vec::new();
+    let mut best_y = f64::NEG_INFINITY;
+    for p in points {
+        if p.y > best_y {
+            best_y = p.y;
+            frontier.push(p);
+        }
+    }
+    Ok(frontier)
+}
+
+/// Returns `true` if point `a` dominates point `b` under (minimize x,
+/// maximize y): `a` needs at most `b`'s capability, achieves at least `b`'s
+/// gain, and is strictly better on one axis.
+pub fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
+    a.0 <= b.0 && a.1 >= b.1 && (a.0 < b.0 || a.1 > b.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StatsError;
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        let f = pareto_frontier(&[1.0], &[1.0]).unwrap();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].index, 0);
+    }
+
+    #[test]
+    fn dominated_points_removed() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [10.0, 5.0, 20.0];
+        // (2,5) is dominated by (1,10): less capability, more gain.
+        let f = pareto_frontier(&xs, &ys).unwrap();
+        let pairs: Vec<(f64, f64)> = f.iter().map(|p| (p.x, p.y)).collect();
+        assert_eq!(pairs, vec![(1.0, 10.0), (3.0, 20.0)]);
+    }
+
+    #[test]
+    fn decreasing_gains_collapse_to_first_point() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [30.0, 20.0, 10.0];
+        // The cheapest chip achieves the best gain; it dominates the rest.
+        let f = pareto_frontier(&xs, &ys).unwrap();
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].x, f[0].y), (1.0, 30.0));
+    }
+
+    #[test]
+    fn frontier_coordinates_strictly_increasing() {
+        let xs = [1.0, 1.5, 2.0, 2.5, 3.0];
+        let ys = [1.0, 4.0, 2.0, 4.0, 3.0];
+        let f = pareto_frontier(&xs, &ys).unwrap();
+        let pairs: Vec<(f64, f64)> = f.iter().map(|p| (p.x, p.y)).collect();
+        assert_eq!(pairs, vec![(1.0, 1.0), (1.5, 4.0)]);
+        assert!(f.windows(2).all(|w| w[0].y < w[1].y && w[0].x < w[1].x));
+    }
+
+    #[test]
+    fn equal_x_keeps_best_y() {
+        let f = pareto_frontier(&[2.0, 2.0], &[1.0, 9.0]).unwrap();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].y, 9.0);
+        assert_eq!(f[0].index, 1);
+    }
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(pareto_frontier(&[], &[]).is_err());
+        assert_eq!(
+            pareto_frontier(&[f64::NAN], &[1.0]),
+            Err(StatsError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn dominates_relation() {
+        assert!(dominates((1.0, 2.0), (2.0, 2.0)));
+        assert!(dominates((2.0, 3.0), (2.0, 1.0)));
+        assert!(!dominates((2.0, 2.0), (2.0, 2.0)));
+        assert!(!dominates((2.0, 2.0), (1.0, 3.0)));
+    }
+}

@@ -1,0 +1,426 @@
+//! Regression models: linear, power-law, log-linear, and polynomial fits.
+//!
+//! These four shapes cover every fit in the paper:
+//!
+//! * [`Linear`] — the performance projection model of Eq. 5,
+//!   `y = slope * x + intercept`.
+//! * [`PowerLaw`] — the transistor-budget fits of Figs. 3b/3c,
+//!   `y = coefficient * x^exponent` (ordinary least squares in log-log
+//!   space, i.e. "logarithmic regression with least mean square errors" in
+//!   the paper's words).
+//! * [`LogLinear`] — the energy-efficiency projection model of Eq. 6,
+//!   `y = slope * ln(x) + intercept`.
+//! * [`Polynomial`] — the quadratic trend curves drawn through the GPU
+//!   frame-rate scatter of Fig. 5.
+
+use crate::matrix::Matrix;
+use crate::{check_paired, Result, StatsError};
+
+/// Ordinary least squares line `y = slope * x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Linear {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination of the fit.
+    pub r_squared: f64,
+    /// Standard error of the slope estimate (0 for a perfect fit).
+    pub slope_stderr: f64,
+    /// Number of observations the fit saw.
+    pub n_obs: usize,
+    /// Mean of the predictor values.
+    pub mean_x: f64,
+    /// Centered sum of squares of the predictor, `Σ(x − x̄)²`.
+    pub sxx: f64,
+    /// Residual variance `s² = SS_res / (n − 2)` (0 when `n = 2`).
+    pub residual_variance: f64,
+}
+
+impl Linear {
+    /// Fits the line by ordinary least squares.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::LengthMismatch`] for unpaired inputs,
+    /// [`StatsError::NotEnoughData`] for fewer than 2 points,
+    /// [`StatsError::Singular`] when all x values coincide, and
+    /// [`StatsError::NonFinite`] for NaN/infinite inputs.
+    ///
+    /// ```
+    /// use accelwall_stats::Linear;
+    /// let fit = Linear::fit(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0]).unwrap();
+    /// assert!((fit.slope - 2.0).abs() < 1e-12);
+    /// assert!((fit.intercept - 1.0).abs() < 1e-12);
+    /// ```
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self> {
+        check_paired(xs, ys, 2)?;
+        let n = xs.len() as f64;
+        let sx: f64 = xs.iter().sum();
+        let sy: f64 = ys.iter().sum();
+        let sxx: f64 = xs.iter().map(|x| x * x).sum();
+        let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 * n * n {
+            return Err(StatsError::Singular);
+        }
+        let slope = (n * sxy - sx * sy) / denom;
+        let intercept = (sy - slope * sx) / n;
+        let mean_y = sy / n;
+        let ss_tot: f64 = ys.iter().map(|y| (y - mean_y) * (y - mean_y)).sum();
+        let ss_res: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, y)| {
+                let e = y - (slope * x + intercept);
+                e * e
+            })
+            .sum();
+        let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+        let mean_x = sx / n;
+        let sxx_centered = sxx - n * mean_x * mean_x;
+        let residual_variance = if xs.len() > 2 {
+            ss_res / (n - 2.0)
+        } else {
+            0.0
+        };
+        Ok(Linear {
+            slope,
+            intercept,
+            r_squared,
+            slope_stderr: (residual_variance / sxx_centered).max(0.0).sqrt(),
+            n_obs: xs.len(),
+            mean_x,
+            sxx: sxx_centered,
+            residual_variance,
+        })
+    }
+
+    /// Evaluates the fitted line at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    /// Standard error of the fitted *mean response* at `x`:
+    /// `s · sqrt(1/n + (x − x̄)² / Sxx)`. Grows with extrapolation
+    /// distance — the honest error bar on a projected wall.
+    pub fn mean_response_stderr(&self, x: f64) -> f64 {
+        let n = self.n_obs as f64;
+        let d = x - self.mean_x;
+        (self.residual_variance * (1.0 / n + d * d / self.sxx))
+            .max(0.0)
+            .sqrt()
+    }
+
+    /// A `±z` confidence band for the mean response at `x`
+    /// (`z = 1.96` ≈ 95% under normal errors).
+    pub fn confidence_band(&self, x: f64, z: f64) -> (f64, f64) {
+        let se = self.mean_response_stderr(x);
+        let y = self.eval(x);
+        (y - z * se, y + z * se)
+    }
+}
+
+/// Power law `y = coefficient * x^exponent`, fitted in log-log space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLaw {
+    /// Multiplicative coefficient (`a` in `y = a * x^b`).
+    pub coefficient: f64,
+    /// Exponent (`b` in `y = a * x^b`).
+    pub exponent: f64,
+    /// Coefficient of determination in log-log space.
+    pub r_squared: f64,
+}
+
+impl PowerLaw {
+    /// Constructs a power law from known parameters (used when reproducing a
+    /// published fit verbatim, e.g. `TC(D) = 4.99e9 * D^0.877`).
+    pub fn new(coefficient: f64, exponent: f64) -> Self {
+        PowerLaw {
+            coefficient,
+            exponent,
+            r_squared: 1.0,
+        }
+    }
+
+    /// Fits the power law by OLS on `(ln x, ln y)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// In addition to the errors of [`Linear::fit`], returns
+    /// [`StatsError::DomainViolation`] if any x or y is not strictly
+    /// positive.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self> {
+        check_paired(xs, ys, 2)?;
+        if xs.iter().chain(ys.iter()).any(|&v| v <= 0.0) {
+            return Err(StatsError::DomainViolation {
+                what: "power-law fit requires strictly positive x and y",
+            });
+        }
+        let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+        let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+        let line = Linear::fit(&lx, &ly)?;
+        Ok(PowerLaw {
+            coefficient: line.intercept.exp(),
+            exponent: line.slope,
+            r_squared: line.r_squared,
+        })
+    }
+
+    /// Evaluates the power law at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `x` is not strictly positive.
+    pub fn eval(&self, x: f64) -> f64 {
+        debug_assert!(x > 0.0, "power law evaluated at non-positive x");
+        self.coefficient * x.powf(self.exponent)
+    }
+
+    /// Inverts the power law: the `x` such that `eval(x) = y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `y` is not strictly positive or the
+    /// exponent is zero.
+    pub fn invert(&self, y: f64) -> f64 {
+        debug_assert!(y > 0.0 && self.exponent != 0.0);
+        (y / self.coefficient).powf(1.0 / self.exponent)
+    }
+}
+
+/// Log-linear model `y = slope * ln(x) + intercept` (paper Eq. 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogLinear {
+    /// Coefficient of `ln(x)`.
+    pub slope: f64,
+    /// Additive intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in (ln x, y) space.
+    pub r_squared: f64,
+}
+
+impl LogLinear {
+    /// Fits the model by OLS on `(ln x, y)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// In addition to the errors of [`Linear::fit`], returns
+    /// [`StatsError::DomainViolation`] if any x is not strictly positive.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self> {
+        check_paired(xs, ys, 2)?;
+        if xs.iter().any(|&v| v <= 0.0) {
+            return Err(StatsError::DomainViolation {
+                what: "log-linear fit requires strictly positive x",
+            });
+        }
+        let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+        let line = Linear::fit(&lx, ys)?;
+        Ok(LogLinear {
+            slope: line.slope,
+            intercept: line.intercept,
+            r_squared: line.r_squared,
+        })
+    }
+
+    /// Evaluates the model at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `x` is not strictly positive.
+    pub fn eval(&self, x: f64) -> f64 {
+        debug_assert!(x > 0.0, "log-linear model evaluated at non-positive x");
+        self.slope * x.ln() + self.intercept
+    }
+}
+
+/// Least-squares polynomial `y = c0 + c1 x + ... + cd x^d`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    /// Coefficients in ascending-degree order (`coeffs[k]` multiplies `x^k`).
+    pub coeffs: Vec<f64>,
+    /// Coefficient of determination of the fit.
+    pub r_squared: f64,
+}
+
+impl Polynomial {
+    /// Fits a degree-`degree` polynomial by solving the normal equations.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::NotEnoughData`] when there are fewer than `degree + 1`
+    /// points, [`StatsError::Singular`] when the design matrix is rank
+    /// deficient (e.g. repeated x values spanning fewer distinct abscissae
+    /// than unknowns), plus pairing/finiteness errors.
+    ///
+    /// ```
+    /// use accelwall_stats::Polynomial;
+    /// let xs = [0.0, 1.0, 2.0, 3.0];
+    /// let ys = [1.0, 2.0, 5.0, 10.0]; // y = 1 + x^2
+    /// let p = Polynomial::fit(&xs, &ys, 2).unwrap();
+    /// assert!((p.eval(4.0) - 17.0).abs() < 1e-9);
+    /// ```
+    pub fn fit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Self> {
+        check_paired(xs, ys, degree + 1)?;
+        let n_coef = degree + 1;
+        // Normal equations: (X^T X) c = X^T y, with X the Vandermonde matrix.
+        let mut xtx = Matrix::zeros(n_coef, n_coef);
+        let mut xty = vec![0.0; n_coef];
+        // Power sums S_k = sum x^k for k = 0..2*degree.
+        let mut power_sums = vec![0.0; 2 * degree + 1];
+        for &x in xs {
+            let mut p = 1.0;
+            for sum in power_sums.iter_mut() {
+                *sum += p;
+                p *= x;
+            }
+        }
+        for i in 0..n_coef {
+            for j in 0..n_coef {
+                xtx.set(i, j, power_sums[i + j]);
+            }
+        }
+        for (&x, &y) in xs.iter().zip(ys) {
+            let mut p = 1.0;
+            for xty_i in xty.iter_mut() {
+                *xty_i += p * y;
+                p *= x;
+            }
+        }
+        let coeffs = xtx.solve(&xty)?;
+        let mean_y: f64 = ys.iter().sum::<f64>() / ys.len() as f64;
+        let ss_tot: f64 = ys.iter().map(|y| (y - mean_y) * (y - mean_y)).sum();
+        let poly = Polynomial {
+            coeffs,
+            r_squared: 0.0,
+        };
+        let ss_res: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(&x, &y)| {
+                let e = y - poly.eval(x);
+                e * e
+            })
+            .sum();
+        let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+        Ok(Polynomial { r_squared, ..poly })
+    }
+
+    /// Evaluates the polynomial at `x` by Horner's rule.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Polynomial degree (number of coefficients minus one).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_recovers_exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| -3.0 * x + 7.0).collect();
+        let f = Linear::fit(&xs, &ys).unwrap();
+        assert!((f.slope + 3.0).abs() < 1e-12);
+        assert!((f.intercept - 7.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_r_squared_below_one_with_noise() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.0, 1.2, 1.8, 3.1];
+        let f = Linear::fit(&xs, &ys).unwrap();
+        assert!(f.r_squared > 0.95 && f.r_squared < 1.0);
+    }
+
+    #[test]
+    fn stderr_is_zero_for_perfect_fits_and_grows_with_noise() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let exact: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let f = Linear::fit(&xs, &exact).unwrap();
+        assert!(f.slope_stderr < 1e-12);
+        assert!(f.mean_response_stderr(100.0) < 1e-10);
+
+        let noisy = [1.0, 3.4, 4.6, 7.3, 8.8];
+        let g = Linear::fit(&xs, &noisy).unwrap();
+        assert!(g.slope_stderr > 0.0);
+        // Extrapolation uncertainty grows away from the data.
+        assert!(g.mean_response_stderr(50.0) > g.mean_response_stderr(2.0));
+        let (lo, hi) = g.confidence_band(10.0, 1.96);
+        assert!(lo < g.eval(10.0) && g.eval(10.0) < hi);
+    }
+
+    #[test]
+    fn linear_rejects_vertical_data() {
+        assert_eq!(
+            Linear::fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]),
+            Err(StatsError::Singular)
+        );
+    }
+
+    #[test]
+    fn power_law_recovers_paper_transistor_fit() {
+        // Synthesize points exactly on TC(D) = 4.99e9 * D^0.877 (Fig. 3b).
+        let law = PowerLaw::new(4.99e9, 0.877);
+        let xs: Vec<f64> = (1..50).map(|i| 0.01 * 1.2f64.powi(i)).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| law.eval(x)).collect();
+        let fit = PowerLaw::fit(&xs, &ys).unwrap();
+        assert!((fit.coefficient / 4.99e9 - 1.0).abs() < 1e-9);
+        assert!((fit.exponent - 0.877).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_invert_roundtrips() {
+        let law = PowerLaw::new(2.0, 0.5);
+        let y = law.eval(16.0);
+        assert!((law.invert(y) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_rejects_nonpositive() {
+        assert!(matches!(
+            PowerLaw::fit(&[1.0, -1.0], &[1.0, 1.0]),
+            Err(StatsError::DomainViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn log_linear_recovers_exact_curve() {
+        let xs = [1.0, 2.0, 4.0, 8.0];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| 3.0 * x.ln() + 0.5).collect();
+        let f = LogLinear::fit(&xs, &ys).unwrap();
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.intercept - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polynomial_quadratic_exact() {
+        let xs = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x * x - x + 1.0).collect();
+        let p = Polynomial::fit(&xs, &ys, 2).unwrap();
+        assert!((p.coeffs[0] - 1.0).abs() < 1e-9);
+        assert!((p.coeffs[1] + 1.0).abs() < 1e-9);
+        assert!((p.coeffs[2] - 2.0).abs() < 1e-9);
+        assert_eq!(p.degree(), 2);
+    }
+
+    #[test]
+    fn polynomial_underdetermined_errors() {
+        assert!(matches!(
+            Polynomial::fit(&[1.0, 2.0], &[1.0, 2.0], 2),
+            Err(StatsError::NotEnoughData { .. })
+        ));
+    }
+
+    #[test]
+    fn polynomial_degree_zero_is_mean() {
+        let p = Polynomial::fit(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0], 0).unwrap();
+        assert!((p.coeffs[0] - 4.0).abs() < 1e-12);
+    }
+}

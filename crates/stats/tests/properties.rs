@@ -1,0 +1,137 @@
+//! Property-based tests for the statistics substrate.
+
+use accelwall_stats::pareto::dominates;
+use accelwall_stats::{geomean, mean, pareto_frontier, Linear, LogLinear, Polynomial, PowerLaw};
+use proptest::prelude::*;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, len)
+}
+
+fn positive_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(1e-3f64..1e6, len)
+}
+
+proptest! {
+    #[test]
+    fn mean_bounded_by_min_max(v in finite_vec(1..64)) {
+        let m = mean(&v).unwrap();
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn geomean_bounded_by_arithmetic_mean(v in positive_vec(1..64)) {
+        // AM-GM inequality.
+        let g = geomean(&v).unwrap();
+        let a = mean(&v).unwrap();
+        prop_assert!(g <= a * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn geomean_of_reciprocals_is_reciprocal(v in positive_vec(1..32)) {
+        let recip: Vec<f64> = v.iter().map(|x| 1.0 / x).collect();
+        let g = geomean(&v).unwrap();
+        let gr = geomean(&recip).unwrap();
+        prop_assert!((g * gr - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_lines(
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+        xs in prop::collection::vec(-1e3f64..1e3, 3..32),
+    ) {
+        // Require at least two distinct x values.
+        prop_assume!(xs.iter().any(|&x| (x - xs[0]).abs() > 1e-3));
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let f = Linear::fit(&xs, &ys).unwrap();
+        prop_assert!((f.slope - slope).abs() < 1e-4 * (1.0 + slope.abs()));
+        prop_assert!((f.intercept - intercept).abs() < 1e-3 * (1.0 + intercept.abs()));
+    }
+
+    #[test]
+    fn power_law_fit_recovers_exact_laws(
+        coef in 1e-3f64..1e3,
+        expo in -3.0f64..3.0,
+        xs in prop::collection::vec(1e-2f64..1e3, 3..32),
+    ) {
+        prop_assume!(xs.iter().any(|&x| (x / xs[0]).ln().abs() > 1e-2));
+        let law = PowerLaw::new(coef, expo);
+        let ys: Vec<f64> = xs.iter().map(|&x| law.eval(x)).collect();
+        let fit = PowerLaw::fit(&xs, &ys).unwrap();
+        prop_assert!((fit.coefficient / coef - 1.0).abs() < 1e-5);
+        prop_assert!((fit.exponent - expo).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_linear_fit_recovers_exact_models(
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+        xs in prop::collection::vec(1e-2f64..1e3, 3..32),
+    ) {
+        prop_assume!(xs.iter().any(|&x| (x / xs[0]).ln().abs() > 1e-2));
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| slope * x.ln() + intercept).collect();
+        let f = LogLinear::fit(&xs, &ys).unwrap();
+        prop_assert!((f.slope - slope).abs() < 1e-4 * (1.0 + slope.abs()));
+    }
+
+    #[test]
+    fn polynomial_interpolates_through_distinct_points(
+        mut xs in prop::collection::vec(-50.0f64..50.0, 4..8),
+    ) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup_by(|a, b| (*a - *b).abs() < 0.5);
+        prop_assume!(xs.len() >= 4);
+        let ys: Vec<f64> = xs.iter().map(|x| x * x * x - 2.0 * x + 1.0).collect();
+        let p = Polynomial::fit(&xs, &ys, 3).unwrap();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            prop_assert!((p.eval(x) - y).abs() < 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn pareto_frontier_is_dominance_free_subset(
+        xs in positive_vec(1..64),
+    ) {
+        let n = xs.len();
+        let ys: Vec<f64> = xs.iter().map(|x| (x * 7919.0).sin().abs() * 100.0 + 1.0).collect();
+        let front = pareto_frontier(&xs, &ys).unwrap();
+        prop_assert!(!front.is_empty());
+        prop_assert!(front.len() <= n);
+        // Frontier points come from the input.
+        for p in &front {
+            prop_assert_eq!(xs[p.index], p.x);
+            prop_assert_eq!(ys[p.index], p.y);
+        }
+        // No input point strictly dominates any frontier point.
+        for p in &front {
+            for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+                if i != p.index {
+                    prop_assert!(!dominates((x, y), (p.x, p.y)),
+                        "frontier point {:?} dominated by input ({x}, {y})", p);
+                }
+            }
+        }
+        // Staircase shape.
+        for w in front.windows(2) {
+            prop_assert!(w[0].x < w[1].x);
+            prop_assert!(w[0].y < w[1].y);
+        }
+    }
+
+    #[test]
+    fn pareto_frontier_invariant_under_shuffle(xs in positive_vec(2..32)) {
+        let ys: Vec<f64> = xs.iter().map(|x| (x * 13.0).cos().abs() + 0.1).collect();
+        let f1 = pareto_frontier(&xs, &ys).unwrap();
+        let mut rev_x: Vec<f64> = xs.clone();
+        let mut rev_y: Vec<f64> = ys.clone();
+        rev_x.reverse();
+        rev_y.reverse();
+        let f2 = pareto_frontier(&rev_x, &rev_y).unwrap();
+        let a: Vec<(f64, f64)> = f1.iter().map(|p| (p.x, p.y)).collect();
+        let b: Vec<(f64, f64)> = f2.iter().map(|p| (p.x, p.y)).collect();
+        prop_assert_eq!(a, b);
+    }
+}

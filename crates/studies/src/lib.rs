@@ -1,0 +1,79 @@
+//! The four empirical case studies of Section IV.
+//!
+//! The paper characterizes Chip Specialization Return across four
+//! accelerator domains, each probing a different layer of the
+//! specialization stack:
+//!
+//! * [`video`] — ASIC video decoders (Fig. 4): the entire stack,
+//! * [`gpu`] — GPU graphics rendering (Figs. 5–7): programming framework
+//!   and chip engineering,
+//! * [`fpga`] — FPGA convolutional networks (Fig. 8): the algorithm layer,
+//! * [`bitcoin`] — Bitcoin miners across CPU/GPU/FPGA/ASIC (Figs. 1, 9):
+//!   the chip-platform layer.
+//!
+//! The original datasets are scrapes of published papers, vendor
+//! datasheets, benchmark databases, and mining forums. Each module embeds a
+//! curated reconstruction: chips carry their real public specifications
+//! where those are documented (nodes, dies, TDPs, frequencies, hash rates),
+//! and domain metrics are calibrated so the paper's published relative
+//! factors are reproduced (see DESIGN.md's substitution table). Every
+//! module exposes its dataset, its CSR analysis, and tests pinning the
+//! paper's headline numbers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bitcoin;
+pub mod fpga;
+pub mod insights;
+pub mod gpu;
+pub mod video;
+
+use accelwall_csr::CsrError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the study analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StudyError {
+    /// A CSR computation failed (invalid gain values).
+    Csr(CsrError),
+    /// A dataset row violated a structural invariant.
+    BadRow {
+        /// Which study dataset the row belongs to.
+        study: &'static str,
+        /// Row label.
+        row: String,
+        /// What was wrong.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for StudyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyError::Csr(e) => write!(f, "CSR computation failed: {e}"),
+            StudyError::BadRow { study, row, what } => {
+                write!(f, "bad {study} dataset row {row:?}: {what}")
+            }
+        }
+    }
+}
+
+impl Error for StudyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StudyError::Csr(e) => Some(e),
+            StudyError::BadRow { .. } => None,
+        }
+    }
+}
+
+impl From<CsrError> for StudyError {
+    fn from(e: CsrError) -> Self {
+        StudyError::Csr(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StudyError>;

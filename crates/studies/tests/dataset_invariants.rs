@@ -1,0 +1,127 @@
+//! Structural invariants of the embedded study datasets — the checks a
+//! reviewer would run against the raw tables.
+
+use accelwall_studies::{bitcoin, fpga, gpu, video};
+
+#[test]
+fn video_dataset_invariants() {
+    let chips = video::decoder_chips();
+    let labels: std::collections::HashSet<_> = chips.iter().map(|c| c.label).collect();
+    assert_eq!(labels.len(), chips.len(), "venue labels are unique");
+    for c in &chips {
+        assert!(c.mpixels_per_s > 0.0 && c.power_mw > 0.0, "{}", c.label);
+        assert!(c.freq_mhz >= 100.0 && c.freq_mhz <= 500.0, "{}", c.label);
+        assert!(c.die_mm2 > 1.0 && c.die_mm2 < 30.0, "{}", c.label);
+        assert!(c.logic_kgates >= 100.0, "{}", c.label);
+        if let Some(t) = c.transistors() {
+            assert!(t > 5e5 && t < 1e8, "{}: {t:e}", c.label);
+        }
+        // Energy efficiency is physically bounded: < 10 GPixels/J even for
+        // the best 28 nm decoder.
+        assert!(c.mpixels_per_joule() < 1e4, "{}", c.label);
+    }
+}
+
+#[test]
+fn gpu_dataset_invariants() {
+    let chips = gpu::gpu_chips();
+    let names: std::collections::HashSet<_> = chips.iter().map(|g| g.name).collect();
+    assert_eq!(names.len(), chips.len());
+    for g in &chips {
+        assert!(g.transistors > 5e8 && g.transistors < 3e10, "{}", g.name);
+        assert!(g.tdp_w > 50.0 && g.tdp_w < 400.0, "{}", g.name);
+        assert!(g.freq_mhz > 400.0 && g.freq_mhz < 2000.0, "{}", g.name);
+        assert!((2007..=2017).contains(&g.year), "{}", g.name);
+        // Physical potential is TDP-capped: switched silicon can exceed
+        // the budget but the potential cannot.
+        if let Some(group) = accelwall_chipdb::NodeGroup::of(g.node) {
+            assert!(
+                g.physical_throughput() <= group.paper_tdp_law().eval(g.tdp_w) + 1e-9,
+                "{}",
+                g.name
+            );
+        }
+    }
+    // Benchmarked frame rates are positive and era-consistent.
+    for game in gpu::games() {
+        for g in &chips {
+            if let Some(fps) = gpu::frame_rate(g, &game) {
+                assert!(fps > 1.0 && fps < 2000.0, "{} on {}", g.name, game.title);
+                assert!(g.year >= game.since);
+            }
+        }
+    }
+}
+
+#[test]
+fn fpga_dataset_invariants() {
+    for rows in [fpga::alexnet_impls(), fpga::vgg16_impls()] {
+        let labels: std::collections::HashSet<_> = rows.iter().map(|r| r.label).collect();
+        assert_eq!(labels.len(), rows.len());
+        for r in &rows {
+            assert!(r.gops > 10.0 && r.gops < 5000.0, "{}", r.label);
+            assert!(r.power_w > 5.0 && r.power_w < 60.0, "{}", r.label);
+            for pct in [r.lut_pct, r.dsp_pct, r.bram_pct] {
+                assert!((0.0..=100.0).contains(&pct), "{}", r.label);
+            }
+            assert!(r.freq_mhz >= 100.0 && r.freq_mhz <= 310.0, "{}", r.label);
+            assert!(r.physical_budget() > 0.0, "{}", r.label);
+            // No design can exceed ~4 useful ops per DSP-cycle even with
+            // Winograd and logic-mapped MACs folded in. (physical_budget is
+            // in DSP-GHz = giga DSP-cycles per second, gops in GOP/s, so
+            // the ratio is ops per DSP-cycle.)
+            assert!(
+                r.gops / r.physical_budget() < 4.0,
+                "{}: {} GOPS on {} DSP-GHz",
+                r.label,
+                r.gops,
+                r.physical_budget()
+            );
+        }
+    }
+}
+
+#[test]
+fn bitcoin_dataset_invariants() {
+    let miners = bitcoin::miners();
+    let names: std::collections::HashSet<_> = miners.iter().map(|m| m.name).collect();
+    assert_eq!(names.len(), miners.len());
+    for m in &miners {
+        assert!(m.ghash_per_s > 0.0, "{}", m.name);
+        assert!(m.power_w > 0.5 && m.power_w < 400.0, "{}", m.name);
+        assert!((2009..=2017).contains(&m.intro.0), "{}", m.name);
+        assert!((1..=12).contains(&m.intro.1), "{}", m.name);
+    }
+    // Efficiency strictly orders the platforms at their best.
+    let best_of = |p| {
+        miners
+            .iter()
+            .filter(|m| m.platform == p)
+            .map(|m| m.ghash_per_joule())
+            .fold(0.0, f64::max)
+    };
+    use bitcoin::Platform::*;
+    assert!(best_of(Gpu) > best_of(Cpu) * 10.0);
+    assert!(best_of(Fpga) > best_of(Gpu) * 2.0);
+    assert!(best_of(Asic) > best_of(Fpga) * 50.0);
+}
+
+#[test]
+fn all_series_rows_are_finite_and_positive() {
+    let series = [
+        video::performance_series().unwrap(),
+        video::efficiency_series().unwrap(),
+        bitcoin::fig1_series().unwrap(),
+        bitcoin::fig9_performance_series().unwrap(),
+        bitcoin::fig9_efficiency_series().unwrap(),
+        fpga::performance_series(fpga::CnnModel::AlexNet).unwrap(),
+        fpga::efficiency_series(fpga::CnnModel::Vgg16).unwrap(),
+    ];
+    for s in &series {
+        for row in &s.rows {
+            assert!(row.reported_gain.is_finite() && row.reported_gain > 0.0);
+            assert!(row.physical_gain.is_finite() && row.physical_gain > 0.0);
+            assert!(row.csr.is_finite() && row.csr > 0.0);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Randomized functional validation: the workload DFGs must agree with
+//! their reference kernels on arbitrary inputs, not just the fixed vectors
+//! the unit tests use.
+
+use accelwall_workloads::{linalg, simple, sorting, stencil, video};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn triad_agrees_on_random_inputs(
+        s in -100.0f64..100.0,
+        data in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 4..24),
+    ) {
+        let n = data.len();
+        let g = simple::build_triad(n);
+        let bs: Vec<f64> = data.iter().map(|d| d.0).collect();
+        let cs: Vec<f64> = data.iter().map(|d| d.1).collect();
+        let mut inputs = HashMap::from([("s".to_string(), s)]);
+        for i in 0..n {
+            inputs.insert(format!("b{i}"), bs[i]);
+            inputs.insert(format!("c{i}"), cs[i]);
+        }
+        let out = g.evaluate(&inputs).unwrap();
+        for (i, want) in simple::triad_reference(s, &bs, &cs).iter().enumerate() {
+            let got = out[&format!("a{i}")];
+            let close = (got - want).abs() < 1e-9;
+            prop_assert!(close, "lane {}: {} vs {}", i, got, want);
+        }
+    }
+
+    #[test]
+    fn reduction_agrees_on_random_inputs(
+        xs in prop::collection::vec(-1e4f64..1e4, 1..200),
+    ) {
+        let g = simple::build_reduction(xs.len());
+        let inputs: HashMap<String, f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (format!("x{i}"), v))
+            .collect();
+        let out = g.evaluate(&inputs).unwrap();
+        // Tree summation reorders floating-point adds; allow relative slack.
+        let want = simple::reduction_reference(&xs);
+        let mag: f64 = xs.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+        prop_assert!((out["sum"] - want).abs() < 1e-9 * mag);
+    }
+
+    #[test]
+    fn sad_agrees_on_random_blocks(
+        vals in prop::collection::vec((0.0f64..255.0, 0.0f64..255.0), 16..=16),
+    ) {
+        let g = video::build_sad(4, 4);
+        let cur: Vec<f64> = vals.iter().map(|v| v.0.floor()).collect();
+        let refb: Vec<f64> = vals.iter().map(|v| v.1.floor()).collect();
+        let mut inputs = HashMap::new();
+        for r in 0..4 {
+            for c in 0..4 {
+                inputs.insert(format!("c{r}_{c}"), cur[r * 4 + c]);
+                inputs.insert(format!("r{r}_{c}"), refb[r * 4 + c]);
+            }
+        }
+        let out = g.evaluate(&inputs).unwrap();
+        prop_assert!((out["sad"] - video::sad_reference(&cur, &refb)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bitonic_sorts_random_inputs(
+        xs in prop::collection::vec(-1e6f64..1e6, 16..=16),
+    ) {
+        let g = sorting::build_bitonic(16);
+        let inputs: HashMap<String, f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (format!("x{i}"), v))
+            .collect();
+        let out = g.evaluate(&inputs).unwrap();
+        let got: Vec<f64> = (0..16).map(|i| out[&format!("y{i}")]).collect();
+        prop_assert_eq!(got, sorting::sort_reference(&xs));
+    }
+
+    #[test]
+    fn gmm_agrees_on_random_matrices(
+        flat in prop::collection::vec(-50.0f64..50.0, 32..=32),
+    ) {
+        let n = 4;
+        let g = linalg::build_gmm(n);
+        let a: Vec<Vec<f64>> = (0..n).map(|i| flat[i * n..(i + 1) * n].to_vec()).collect();
+        let m: Vec<Vec<f64>> = (0..n)
+            .map(|i| flat[16 + i * n..16 + (i + 1) * n].to_vec())
+            .collect();
+        let mut inputs = HashMap::new();
+        for i in 0..n {
+            for j in 0..n {
+                inputs.insert(format!("a{i}_{j}"), a[i][j]);
+                inputs.insert(format!("b{i}_{j}"), m[i][j]);
+            }
+        }
+        let out = g.evaluate(&inputs).unwrap();
+        let c = linalg::gmm_reference(&a, &m);
+        for i in 0..n {
+            for j in 0..n {
+                let got = out[&format!("c{i}_{j}")];
+                let close = (got - c[i][j]).abs() < 1e-6;
+                prop_assert!(close, "cell ({}, {})", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn stencil2d_agrees_on_random_grids(
+        cells in prop::collection::vec(-100.0f64..100.0, 25..=25),
+        weights in prop::collection::vec(-2.0f64..2.0, 9..=9),
+    ) {
+        let g = stencil::build_2d(5, 5);
+        let grid: Vec<Vec<f64>> = (0..5).map(|r| cells[r * 5..(r + 1) * 5].to_vec()).collect();
+        let w: [f64; 9] = weights.as_slice().try_into().unwrap();
+        let mut inputs = HashMap::new();
+        for (k, wv) in w.iter().enumerate() {
+            inputs.insert(format!("w{k}"), *wv);
+        }
+        for (r, row) in grid.iter().enumerate() {
+            for (c, v) in row.iter().enumerate() {
+                inputs.insert(format!("g{r}_{c}"), *v);
+            }
+        }
+        let out = g.evaluate(&inputs).unwrap();
+        let expected = stencil::stencil2d_reference(&grid, &w);
+        for r in 1..4 {
+            for c in 1..4 {
+                let got = out[&format!("o{r}_{c}")];
+                let close = (got - expected[r][c]).abs() < 1e-8;
+                prop_assert!(close, "cell ({}, {})", r, c);
+            }
+        }
+    }
+}

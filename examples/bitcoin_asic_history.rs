@@ -1,0 +1,44 @@
+//! Replays the paper's motivating example (Fig. 1): six generations of
+//! Bitcoin-mining ASICs, separating what better transistors delivered from
+//! what better design delivered — then asks how much runway is left.
+//!
+//! Run with: `cargo run --example bitcoin_asic_history`
+
+use accelerator_wall::prelude::*;
+use accelerator_wall::studies::bitcoin;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The full platform procession: CPU -> GPU -> FPGA -> ASIC (Fig. 9).
+    let all = bitcoin::fig9_performance_series()?;
+    println!("Bitcoin mining vs the Athlon 64 baseline (GH/s per mm²):");
+    for row in &all.rows {
+        println!(
+            "  {:<30} {:>12.1}x reported {:>10.1}x transistors  CSR {:>8.1}",
+            row.label, row.reported_gain, row.physical_gain, row.csr
+        );
+    }
+    println!(
+        "\nASICs beat the CPU by {:.0}x — but each platform jump was a one-time boost.",
+        all.peak_reported()
+    );
+
+    // The ASIC-only race (Fig. 1): once the platform is fixed, CSR stalls.
+    let asics = bitcoin::fig1_series()?;
+    let last = asics.rows.last().expect("non-empty dataset");
+    println!(
+        "\nWithin ASICs: performance {:.0}x, transistor performance {:.0}x, CSR only {:.2}x.",
+        asics.peak_reported(),
+        asics.peak_physical(),
+        last.csr
+    );
+    println!("Most of the 'specialization era' was CMOS scaling wearing a costume.");
+
+    // And the wall (Figs. 15d/16d).
+    let perf = accelerator_wall(Domain::BitcoinMining, TargetMetric::Performance)?;
+    let ee = accelerator_wall(Domain::BitcoinMining, TargetMetric::EnergyEfficiency)?;
+    println!(
+        "\nAt the 5nm limit: {:.1}-{:.1}x more performance, {:.1}-{:.1}x more GH/J — then the wall.",
+        perf.further_log, perf.further_linear, ee.further_log, ee.further_linear
+    );
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Design-space exploration of a 3D-stencil accelerator (the paper's
+//! Fig. 13 case study), plus the Fig. 14-style attribution of where the
+//! optimal design's gains come from.
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use accelerator_wall::accelsim::attribution::Metric;
+use accelerator_wall::accelsim::sweep::{best_efficiency, best_performance};
+use accelerator_wall::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dfg = Workload::S3d.default_instance();
+    let stats = dfg.stats();
+    println!(
+        "3D stencil instance: {} vertices, {} edges, depth {}, widest stage {}",
+        stats.vertices, stats.edges, stats.depth, stats.max_stage_width
+    );
+
+    // Sweep the full Table III grid: 20 partition factors x 13
+    // simplification degrees x 7 CMOS nodes.
+    let space = SweepSpace::table3();
+    println!("sweeping {} design points...", space.len());
+    let points = run_sweep(&dfg, &space)?;
+
+    // The Fig. 13 runtime-power cloud, summarized per node.
+    println!("\nper-node best-energy-efficiency corners:");
+    println!(
+        "{:>6} {:>12} {:>10} {:>10} {:>6}",
+        "node", "runtime", "power", "partition", "simp"
+    );
+    for &node in TechNode::sweep_nodes() {
+        let best = points
+            .iter()
+            .filter(|p| p.config.node == node)
+            .max_by(|a, b| {
+                a.report
+                    .energy_efficiency()
+                    .partial_cmp(&b.report.energy_efficiency())
+                    .expect("finite")
+            })
+            .expect("node swept");
+        println!(
+            "{:>6} {:>11.2e}s {:>9.3}W {:>10} {:>6}",
+            node.to_string(),
+            best.report.runtime_s,
+            best.report.power_w(),
+            best.config.partition_factor,
+            best.config.simplification_degree
+        );
+    }
+
+    let perf = best_performance(&points).expect("non-empty sweep");
+    let eff = best_efficiency(&points).expect("non-empty sweep");
+    println!(
+        "\nbest performance: {:.2e} ops/s at {} (P={}, s={})",
+        perf.report.throughput(),
+        perf.config.node,
+        perf.config.partition_factor,
+        perf.config.simplification_degree
+    );
+    println!(
+        "best efficiency:  {:.2e} ops/J at {} (P={}, s={})",
+        eff.report.energy_efficiency(),
+        eff.config.node,
+        eff.config.partition_factor,
+        eff.config.simplification_degree
+    );
+
+    // Fig. 14: attribute the optimum's gain to its sources.
+    for metric in [Metric::Performance, Metric::EnergyEfficiency] {
+        let a = attribute_gains(&dfg, metric, &space)?;
+        println!(
+            "\n{metric:?}: total gain {:.1}x over the unoptimized 45nm baseline (CSR {:.2}x)",
+            a.total_gain, a.csr
+        );
+        for c in &a.contributions {
+            println!("  {:<16} {:>7.2}x ({:>5.1}% of log gain)", c.source.to_string(), c.factor, c.percent);
+        }
+    }
+    Ok(())
+}

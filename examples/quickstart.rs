@@ -1,0 +1,55 @@
+//! Quickstart: the three core moves of the Accelerator Wall methodology.
+//!
+//! 1. Build the CMOS potential model and ask what physics alone gives a
+//!    chip (Section III).
+//! 2. Separate a reported gain into specialization-driven and CMOS-driven
+//!    parts with the CSR metric (Eqs. 1–2).
+//! 3. Project a domain's accelerator wall at the end of CMOS scaling
+//!    (Section VII).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use accelerator_wall::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. The CMOS potential model ------------------------------------
+    let model = PotentialModel::paper();
+    let baseline = PotentialModel::reference_spec(); // 25 mm², 45 nm, 1 GHz
+
+    // A hypothetical 7 nm accelerator: 100 mm² die, 1.2 GHz, 150 W.
+    let chip = ChipSpec::new(TechNode::N7, 100.0, 1.2, 150.0);
+    let physical_gain = model.throughput_gain(&chip, &baseline);
+    println!(
+        "physical potential of a 100mm² 7nm chip: {physical_gain:.1}x the 45nm reference"
+    );
+    println!(
+        "  area-limited budget:  {:.2e} transistors",
+        model.area_limited_transistors(&chip)
+    );
+    println!(
+        "  power-limited budget: {:.2e} transistors",
+        model.power_limited_transistors(&chip)
+    );
+
+    // --- 2. Chip Specialization Return ----------------------------------
+    // Suppose the chip's vendor reports a 400x end-to-end speedup over the
+    // reference on its target workload. How much of that is design skill?
+    let reported = 400.0;
+    let d = decompose(reported, physical_gain, 1.0)?;
+    println!("\nreported gain {reported}x decomposes into:");
+    println!("  CMOS-driven:           {:.1}x", d.cmos);
+    println!("  specialization-driven: {:.2}x  (the CSR ratio)", d.specialization);
+
+    // --- 3. Where is the wall? ------------------------------------------
+    println!("\naccelerator walls at the 5nm limit:");
+    for &domain in Domain::all() {
+        let wall = accelerator_wall(domain, TargetMetric::Performance)?;
+        println!(
+            "  {:<22} {:>5.1}x (log model) to {:>5.1}x (linear model) of headroom",
+            domain.to_string(),
+            wall.further_log,
+            wall.further_linear
+        );
+    }
+    Ok(())
+}

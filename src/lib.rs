@@ -1,0 +1,4 @@
+//! Workspace root library: re-exports the facade crate so the integration
+//! tests and examples can use one import path.
+
+pub use accelerator_wall::*;

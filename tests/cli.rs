@@ -1,0 +1,105 @@
+//! End-to-end tests of the `accelwall` regeneration binary: every target
+//! must exit cleanly and print its figure/table header, and `--json` must
+//! emit valid JSON.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_accelwall"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn every_target_succeeds_with_its_header() {
+    let expectations = [
+        ("fig1", "Fig. 1"),
+        ("fig2", "Fig. 2"),
+        ("fig3a", "Fig. 3a"),
+        ("fig3b", "Fig. 3b"),
+        ("fig3c", "Fig. 3c"),
+        ("fig3d", "Fig. 3d"),
+        ("fig4", "Fig. 4a"),
+        ("fig5", "Fig. 5"),
+        ("fig6", "Fig. 6"),
+        ("fig7", "Fig. 7"),
+        ("fig8", "Fig. 8"),
+        ("fig9", "Fig. 9a"),
+        ("fig11", "Fig. 11"),
+        ("fig12", "Fig. 12"),
+        ("table1", "Table I"),
+        ("table2", "Table II"),
+        ("table3", "Table III"),
+        ("table4", "Table IV"),
+        ("table5", "Table V"),
+        ("fig15", "Fig. 15"),
+        ("fig16", "Fig. 16"),
+        ("wall", "Accelerator Wall"),
+        ("beyond", "Beyond the wall"),
+        ("insights", "Section IV-E"),
+        ("dark", "Dark-silicon"),
+        ("sensitivity", "sensitivity"),
+        ("roadmap", "roadmap"),
+        ("report", "Domain reports"),
+    ];
+    for (target, header) in expectations {
+        let (ok, stdout) = run(&[target]);
+        assert!(ok, "{target} failed");
+        assert!(
+            stdout.contains(header),
+            "{target}: missing {header:?} in output:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn json_mode_emits_valid_json() {
+    for target in ["fig1", "fig3d", "fig15", "wall", "beyond", "sensitivity"] {
+        let (ok, stdout) = run(&[target, "--json"]);
+        assert!(ok, "{target} --json failed");
+        let parsed: serde_json::Value =
+            serde_json::from_str(&stdout).unwrap_or_else(|e| panic!("{target}: {e}\n{stdout}"));
+        assert!(
+            parsed.is_array() || parsed.is_object(),
+            "{target}: unexpected JSON shape"
+        );
+    }
+}
+
+#[test]
+fn dot_target_emits_graphviz() {
+    let (ok, stdout) = run(&["dot", "TRD"]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph"));
+    assert!(stdout.trim_end().ends_with('}'));
+    // Unknown workloads fail cleanly.
+    let out = Command::new(env!("CARGO_BIN_EXE_accelwall"))
+        .args(["dot", "NOPE"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn unknown_target_fails_with_hint() {
+    let out = Command::new(env!("CARGO_BIN_EXE_accelwall"))
+        .args(["fig99"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown target"));
+}
+
+#[test]
+fn list_shows_all_targets() {
+    let (ok, stdout) = run(&["list"]);
+    assert!(ok);
+    for t in ["fig1", "fig16", "table5", "wall", "beyond", "roadmap", "report"] {
+        assert!(stdout.contains(t), "missing {t}");
+    }
+}

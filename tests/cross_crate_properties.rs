@@ -1,0 +1,133 @@
+//! Property-based tests spanning crate boundaries.
+
+use accelerator_wall::prelude::*;
+use proptest::prelude::*;
+
+fn arb_node() -> impl Strategy<Value = TechNode> {
+    prop::sample::select(TechNode::all().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn potential_monotone_in_die_area(
+        node in arb_node(),
+        die in 10.0f64..400.0,
+        factor in 1.1f64..4.0,
+    ) {
+        // More silicon never reduces the area-limited budget.
+        let model = PotentialModel::paper();
+        let small = ChipSpec::new(node, die, 1.0, 1e4);
+        let large = ChipSpec::new(node, die * factor, 1.0, 1e4);
+        prop_assert!(
+            model.area_limited_transistors(&large)
+                > model.area_limited_transistors(&small)
+        );
+    }
+
+    #[test]
+    fn potential_monotone_in_tdp(
+        die in 50.0f64..800.0,
+        tdp in 20.0f64..400.0,
+        factor in 1.1f64..4.0,
+    ) {
+        let model = PotentialModel::paper();
+        let node = TechNode::N7;
+        let lean = ChipSpec::new(node, die, 1.0, tdp);
+        let fat = ChipSpec::new(node, die, 1.0, tdp * factor);
+        prop_assert!(
+            model.power_limited_transistors(&fat)
+                >= model.power_limited_transistors(&lean)
+        );
+        prop_assert!(model.throughput(&fat) >= model.throughput(&lean));
+    }
+
+    #[test]
+    fn csr_decomposition_identity(
+        reported in 1e-3f64..1e6,
+        phys_a in 1e-3f64..1e6,
+        phys_b in 1e-3f64..1e6,
+    ) {
+        let d = decompose(reported, phys_a, phys_b).unwrap();
+        prop_assert!((d.specialization * d.cmos - d.reported).abs() <= 1e-9 * d.reported);
+    }
+
+    #[test]
+    fn simulator_runtime_monotone_in_partitioning(
+        p_exp in 0u32..18,
+        s in 1u32..13,
+        node in prop::sample::select(TechNode::sweep_nodes().to_vec()),
+    ) {
+        let dfg = Workload::Red.default_instance();
+        let a = simulate(&dfg, &DesignConfig::new(node, 1 << p_exp, s, true)).unwrap();
+        let b = simulate(&dfg, &DesignConfig::new(node, 1 << (p_exp + 1), s, true)).unwrap();
+        prop_assert!(b.cycles <= a.cycles + 1e-9);
+        prop_assert!(b.critical_path_cycles == a.critical_path_cycles);
+    }
+
+    #[test]
+    fn simulator_energy_monotone_in_node(
+        p_exp in 0u32..12,
+        s in 1u32..13,
+    ) {
+        // Same schedule, newer node: strictly less dynamic energy.
+        let dfg = Workload::Sad.default_instance();
+        let old = simulate(&dfg, &DesignConfig::new(TechNode::N45, 1 << p_exp, s, false)).unwrap();
+        let new = simulate(&dfg, &DesignConfig::new(TechNode::N5, 1 << p_exp, s, false)).unwrap();
+        prop_assert!(new.dynamic_energy_j < old.dynamic_energy_j);
+        prop_assert_eq!(new.cycles, old.cycles);
+    }
+
+    #[test]
+    fn relation_matrix_antisymmetry_on_random_observations(
+        seed in 0u64..1000,
+        n_arch in 2usize..6,
+    ) {
+        // Multiplicatively consistent gains: relations must recover scale
+        // ratios and satisfy gain(x,y) * gain(y,x) = 1.
+        let mut obs = ArchObservations::new();
+        let scale = |i: usize| 1.0 + (i as f64) * 1.7 + (seed % 7) as f64 * 0.1;
+        for i in 0..n_arch {
+            for app in 0..6 {
+                let t = 1.0 + app as f64;
+                obs.add(&format!("arch{i}"), &format!("app{app}"), scale(i) * t).unwrap();
+            }
+        }
+        let m = RelationMatrix::build(&obs, 5).unwrap();
+        for i in 0..n_arch {
+            for j in 0..n_arch {
+                let g = m.gain(&format!("arch{i}"), &format!("arch{j}")).unwrap().unwrap();
+                let back = m.gain(&format!("arch{j}"), &format!("arch{i}")).unwrap().unwrap();
+                prop_assert!((g * back - 1.0).abs() < 1e-9);
+                prop_assert!((g - scale(i) / scale(j)).abs() < 1e-6 * (1.0 + g));
+            }
+        }
+    }
+
+    #[test]
+    fn workload_dfgs_scale_sanely(reps in 1usize..4) {
+        // Building repeatedly is deterministic.
+        let a = Workload::Fft.default_instance();
+        for _ in 0..reps {
+            let b = Workload::Fft.default_instance();
+            prop_assert_eq!(a.stats(), b.stats());
+        }
+    }
+
+    #[test]
+    fn table2_bounds_are_monotone_in_graph_size(n in 2usize..6) {
+        // A larger reduction has larger (or equal) evaluated bounds in
+        // every Table II cell.
+        use accelerator_wall::dfg::limits::table2;
+        let small = accelerator_wall::workloads::simple::build_reduction(1 << n).stats();
+        let large = accelerator_wall::workloads::simple::build_reduction(1 << (n + 1)).stats();
+        for cell in table2() {
+            prop_assert!(
+                cell.time.evaluate(&large) >= cell.time.evaluate(&small),
+                "{:?}/{:?}", cell.component, cell.concept
+            );
+            prop_assert!(cell.space.evaluate(&large) >= cell.space.evaluate(&small));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Error-path coverage across the public APIs: every layer's failure modes
+//! are typed, display cleanly, and never panic.
+
+use accelerator_wall::prelude::*;
+use accelerator_wall::{dfg, potential, projection, stats};
+
+#[test]
+fn stats_errors_are_typed_and_displayed() {
+    use stats::{Linear, PowerLaw, StatsError};
+    let e = Linear::fit(&[1.0], &[1.0]).unwrap_err();
+    assert!(matches!(e, StatsError::NotEnoughData { provided: 1, required: 2 }));
+    assert!(e.to_string().contains("not enough data"));
+
+    let e = Linear::fit(&[2.0, 2.0], &[1.0, 2.0]).unwrap_err();
+    assert_eq!(e, StatsError::Singular);
+    assert!(e.to_string().contains("singular"));
+
+    let e = PowerLaw::fit(&[1.0, -2.0], &[1.0, 2.0]).unwrap_err();
+    assert!(e.to_string().contains("domain violation"));
+
+    let e = Linear::fit(&[1.0, f64::NAN], &[1.0, 2.0]).unwrap_err();
+    assert_eq!(e, StatsError::NonFinite);
+}
+
+#[test]
+fn dfg_errors_carry_context() {
+    use dfg::DfgError;
+    let mut b = DfgBuilder::new("bad");
+    let x = b.input("x");
+    let _ = b.op(Op::Add, &[x]);
+    let err = b.build().unwrap_err();
+    assert!(matches!(err, DfgError::ArityMismatch { given: 1, required: 2, .. }));
+    assert!(err.to_string().contains("takes 2 operands"));
+
+    let mut b = DfgBuilder::new("no-outputs");
+    b.input("x");
+    assert!(matches!(b.build(), Err(DfgError::NoOutputs)));
+
+    // Evaluation errors.
+    let mut b = DfgBuilder::new("eval");
+    let x = b.input("x");
+    b.output("y", x);
+    let g = b.build().unwrap();
+    let err = g.evaluate(&std::collections::HashMap::new()).unwrap_err();
+    assert!(err.to_string().contains("missing input"));
+}
+
+#[test]
+fn potential_rejects_unphysical_specs() {
+    use potential::PotentialError;
+    for bad in [
+        ChipSpec::new(TechNode::N7, 0.0, 1.0, 100.0),
+        ChipSpec::new(TechNode::N7, 100.0, -1.0, 100.0),
+        ChipSpec::new(TechNode::N7, 100.0, 1.0, f64::INFINITY),
+    ] {
+        let err = bad.validate().unwrap_err();
+        assert!(matches!(err, PotentialError::InvalidSpec { .. }));
+        assert!(err.to_string().contains("invalid chip spec"));
+    }
+}
+
+#[test]
+fn simulator_rejects_bad_configs_and_empty_graphs() {
+    use accelerator_wall::accelsim::SimError;
+    let dfg = Workload::Trd.default_instance();
+    let err = simulate(&dfg, &DesignConfig::new(TechNode::N45, 3, 1, false)).unwrap_err();
+    assert!(matches!(err, SimError::InvalidConfig { knob: "partition_factor", .. }));
+    assert!(err.to_string().contains("partition_factor"));
+
+    let err = simulate(&dfg, &DesignConfig::new(TechNode::N45, 2, 99, false)).unwrap_err();
+    assert!(matches!(err, SimError::InvalidConfig { knob: "simplification_degree", .. }));
+
+    // A graph with no compute vertices.
+    let mut b = DfgBuilder::new("passthrough");
+    let x = b.input("x");
+    b.output("y", x);
+    let g = b.build().unwrap();
+    assert!(matches!(
+        simulate(&g, &DesignConfig::baseline()),
+        Err(SimError::EmptyGraph)
+    ));
+    assert!(matches!(
+        accelerator_wall::accelsim::schedule(&g, &DesignConfig::baseline()),
+        Err(SimError::EmptyGraph)
+    ));
+}
+
+#[test]
+fn csr_rejects_unphysical_gains() {
+    use accelerator_wall::csr::CsrError;
+    assert!(matches!(
+        csr(0.0, 1.0),
+        Err(CsrError::InvalidGain { what: "reported_gain", .. })
+    ));
+    let mut obs = ArchObservations::new();
+    obs.add("x", "a", 1.0).unwrap();
+    let m = RelationMatrix::build(&obs, 1).unwrap();
+    let err = m.gain("x", "ghost").unwrap_err();
+    assert!(err.to_string().contains("ghost"));
+}
+
+#[test]
+fn projection_guards_extrapolation() {
+    use projection::{project, ProjectionError, ProjectionInput};
+    let input = ProjectionInput {
+        domain: Domain::VideoDecoding,
+        metric: TargetMetric::Performance,
+        points: vec![(1.0, 1.0), (100.0, 10.0)],
+        physical_limit: 50.0,
+    };
+    let err = project(&input).unwrap_err();
+    assert!(matches!(err, ProjectionError::LimitInsideData { .. }));
+    assert!(err.to_string().contains("does not exceed"));
+}
+
+#[test]
+fn node_parsing_errors_name_the_input() {
+    let err = "3nm".parse::<TechNode>().unwrap_err();
+    assert!(err.to_string().contains("3nm"));
+    assert!(err.to_string().contains("28nm"), "hint included");
+}
+
+#[test]
+fn errors_implement_std_error_with_sources() {
+    use std::error::Error as _;
+    // PotentialError::DensityFit chains to the stats error underneath.
+    let err = PotentialModel::from_corpus(&[]).unwrap_err();
+    assert!(err.source().is_some());
+    assert!(err.to_string().contains("density-law fit failed"));
+}
