@@ -15,8 +15,8 @@
 //! of the heterogeneity and simplification factors.
 
 use crate::sim::{simulate, DesignConfig, SimReport};
-use crate::sweep::{best_efficiency, best_performance, run_sweep, SweepSpace};
-use crate::Result;
+use crate::sweep::{best_efficiency, best_performance, run_sweep, SweepPoint, SweepSpace};
+use crate::{Result, SimError};
 use accelwall_cmos::TechNode;
 use accelwall_dfg::Dfg;
 use std::fmt;
@@ -115,18 +115,43 @@ pub struct Attribution {
 /// Propagates simulation errors (invalid space, empty graph).
 pub fn attribute_gains(dfg: &Dfg, metric: Metric, space: &SweepSpace) -> Result<Attribution> {
     let points = run_sweep(dfg, space)?;
+    attribute_gains_with_points(dfg, metric, &points)
+}
+
+/// Computes the Fig. 14 attribution from an already-run sweep.
+///
+/// This is the reuse path: callers that sweep once and derive several
+/// analyses from the same points (the Fig. 13 scatter, both Fig. 14
+/// metrics) avoid re-simulating the whole Table III grid per call.
+/// `points` must come from sweeping `dfg` itself — the toggle chain
+/// re-simulates `dfg` at the optimum found in `points`.
+///
+/// # Errors
+///
+/// Returns [`SimError::EmptySweep`] when `points` is empty, and
+/// propagates simulation errors from the toggle chain.
+pub fn attribute_gains_with_points(
+    dfg: &Dfg,
+    metric: Metric,
+    points: &[SweepPoint],
+) -> Result<Attribution> {
     let best = match metric {
-        Metric::Performance => best_performance(&points),
-        Metric::EnergyEfficiency => best_efficiency(&points),
+        Metric::Performance => best_performance(points),
+        Metric::EnergyEfficiency => best_efficiency(points),
     }
-    .expect("sweep spaces are non-empty");
+    .ok_or(SimError::EmptySweep)?;
     let target = best.config;
 
     // Toggle chain: baseline -> +P -> +het -> +simplification -> +CMOS.
     let steps = [
         DesignConfig::baseline(),
         DesignConfig::new(TechNode::N45, target.partition_factor, 1, false),
-        DesignConfig::new(TechNode::N45, target.partition_factor, 1, target.heterogeneity),
+        DesignConfig::new(
+            TechNode::N45,
+            target.partition_factor,
+            1,
+            target.heterogeneity,
+        ),
         DesignConfig::new(
             TechNode::N45,
             target.partition_factor,
@@ -249,6 +274,23 @@ mod tests {
         let a = attr(Workload::Trd, Metric::EnergyEfficiency);
         let product: f64 = a.contributions.iter().map(|c| c.factor).product();
         assert!((product / a.total_gain - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_points_matches_the_sweeping_path() {
+        let dfg = Workload::Red.default_instance();
+        let space = SweepSpace::coarse();
+        let points = run_sweep(&dfg, &space).unwrap();
+        let direct = attribute_gains(&dfg, Metric::Performance, &space).unwrap();
+        let reused = attribute_gains_with_points(&dfg, Metric::Performance, &points).unwrap();
+        assert_eq!(direct, reused);
+    }
+
+    #[test]
+    fn empty_sweep_is_a_typed_error() {
+        let dfg = Workload::Red.default_instance();
+        let err = attribute_gains_with_points(&dfg, Metric::Performance, &[]).unwrap_err();
+        assert_eq!(err, SimError::EmptySweep);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod sched;
 pub mod sim;
 pub mod sweep;
 
-pub use attribution::{attribute_gains, Attribution, GainSource};
+pub use attribution::{attribute_gains, attribute_gains_with_points, Attribution, GainSource};
 pub use sched::{schedule, simulate_scheduled, Schedule};
 pub use sim::{simulate, DesignConfig, SimReport};
 pub use sweep::{run_sweep, SweepPoint, SweepSpace};
@@ -74,6 +74,8 @@ pub enum SimError {
     },
     /// The graph has no computation vertices to schedule.
     EmptyGraph,
+    /// A sweep produced no design points, so there is no optimum to pick.
+    EmptySweep,
 }
 
 impl fmt::Display for SimError {
@@ -83,6 +85,7 @@ impl fmt::Display for SimError {
                 write!(f, "invalid design config: {knob} = {value}")
             }
             SimError::EmptyGraph => write!(f, "graph has no computation vertices"),
+            SimError::EmptySweep => write!(f, "sweep produced no design points"),
         }
     }
 }

@@ -207,9 +207,7 @@ pub fn schedule(dfg: &Dfg, config: &DesignConfig) -> Result<Schedule> {
                             .iter()
                             .copied()
                             .filter(|&c| {
-                                !issued[c]
-                                    && pending_ops[c] == 0
-                                    && chainable(dfg, ids[c], config)
+                                !issued[c] && pending_ops[c] == 0 && chainable(dfg, ids[c], config)
                             })
                             .max_by_key(|&c| prio[c]);
                         if let Some(c) = next {

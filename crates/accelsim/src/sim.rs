@@ -224,11 +224,7 @@ pub fn simulate(dfg: &Dfg, config: &DesignConfig) -> Result<SimReport> {
         }
     }
 
-    let critical_path = finish
-        .iter()
-        .cloned()
-        .fold(0.0f64, f64::max)
-        .max(1.0);
+    let critical_path = finish.iter().cloned().fold(0.0f64, f64::max).max(1.0);
     let cycles = critical_path.max(work_cycles / lanes);
     let runtime_s = cycles / (CLOCK_GHZ * 1e9);
 
@@ -325,8 +321,11 @@ mod tests {
         // underutilized partitioned resources."
         let g = s3d();
         let modest = simulate(&g, &DesignConfig::new(TechNode::N45, 256, 1, false)).unwrap();
-        let absurd =
-            simulate(&g, &DesignConfig::new(TechNode::N45, MAX_PARTITION, 1, false)).unwrap();
+        let absurd = simulate(
+            &g,
+            &DesignConfig::new(TechNode::N45, MAX_PARTITION, 1, false),
+        )
+        .unwrap();
         assert_eq!(absurd.cycles, absurd.critical_path_cycles);
         assert!(absurd.leakage_w > 100.0 * modest.leakage_w);
         assert!(absurd.energy_efficiency() < modest.energy_efficiency());
@@ -354,8 +353,16 @@ mod tests {
     #[test]
     fn heterogeneity_shortens_the_critical_path() {
         let g = s3d();
-        let base = simulate(&g, &DesignConfig::new(TechNode::N45, MAX_PARTITION, 1, false)).unwrap();
-        let fused = simulate(&g, &DesignConfig::new(TechNode::N45, MAX_PARTITION, 1, true)).unwrap();
+        let base = simulate(
+            &g,
+            &DesignConfig::new(TechNode::N45, MAX_PARTITION, 1, false),
+        )
+        .unwrap();
+        let fused = simulate(
+            &g,
+            &DesignConfig::new(TechNode::N45, MAX_PARTITION, 1, true),
+        )
+        .unwrap();
         assert!(fused.critical_path_cycles < base.critical_path_cycles);
     }
 
@@ -379,19 +386,41 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(DesignConfig::new(TechNode::N45, 3, 1, false).validate().is_err());
-        assert!(DesignConfig::new(TechNode::N45, 0, 1, false).validate().is_err());
-        assert!(DesignConfig::new(TechNode::N45, 1, 0, false).validate().is_err());
-        assert!(DesignConfig::new(TechNode::N45, 1, 14, false).validate().is_err());
-        assert!(DesignConfig::new(TechNode::N45, 1 << 19, 13, true).validate().is_ok());
+        assert!(DesignConfig::new(TechNode::N45, 3, 1, false)
+            .validate()
+            .is_err());
+        assert!(DesignConfig::new(TechNode::N45, 0, 1, false)
+            .validate()
+            .is_err());
+        assert!(DesignConfig::new(TechNode::N45, 1, 0, false)
+            .validate()
+            .is_err());
+        assert!(DesignConfig::new(TechNode::N45, 1, 14, false)
+            .validate()
+            .is_err());
+        assert!(DesignConfig::new(TechNode::N45, 1 << 19, 13, true)
+            .validate()
+            .is_ok());
     }
 
     #[test]
     fn datapath_width_schedule() {
-        assert_eq!(DesignConfig::new(TechNode::N45, 1, 1, false).datapath_bits(), 32);
-        assert_eq!(DesignConfig::new(TechNode::N45, 1, 5, false).datapath_bits(), 24);
-        assert_eq!(DesignConfig::new(TechNode::N45, 1, 13, false).datapath_bits(), 8);
-        assert_eq!(DesignConfig::new(TechNode::N45, 1, 13, false).serial_passes(), 3);
+        assert_eq!(
+            DesignConfig::new(TechNode::N45, 1, 1, false).datapath_bits(),
+            32
+        );
+        assert_eq!(
+            DesignConfig::new(TechNode::N45, 1, 5, false).datapath_bits(),
+            24
+        );
+        assert_eq!(
+            DesignConfig::new(TechNode::N45, 1, 13, false).datapath_bits(),
+            8
+        );
+        assert_eq!(
+            DesignConfig::new(TechNode::N45, 1, 13, false).serial_passes(),
+            3
+        );
     }
 
     #[test]

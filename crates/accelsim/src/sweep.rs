@@ -82,9 +82,7 @@ pub struct SweepPoint {
 pub fn run_sweep(dfg: &Dfg, space: &SweepSpace) -> Result<Vec<SweepPoint>> {
     space
         .configs()
-        .map(|config| {
-            simulate(dfg, &config).map(|report| SweepPoint { config, report })
-        })
+        .map(|config| simulate(dfg, &config).map(|report| SweepPoint { config, report }))
         .collect()
 }
 

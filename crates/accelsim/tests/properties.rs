@@ -1,10 +1,11 @@
-//! Property-based tests of the simulator and scheduler over randomly
-//! generated dataflow graphs and design points.
+//! Randomized tests of the simulator and scheduler over randomly
+//! generated dataflow graphs and design points, driven by the
+//! deterministic [`Rng`] from `accelwall-stats`.
 
 use accelwall_accelsim::{schedule, simulate, DesignConfig};
 use accelwall_cmos::TechNode;
 use accelwall_dfg::{Dfg, DfgBuilder, NodeId, Op};
-use proptest::prelude::*;
+use accelwall_stats::Rng;
 
 const OPS: [Op; 10] = [
     Op::Add,
@@ -18,6 +19,8 @@ const OPS: [Op; 10] = [
     Op::Select,
     Op::Copy,
 ];
+
+const CASES: u64 = 96;
 
 fn build(inputs: usize, ops: &[(u8, u8, u8, u8)]) -> Dfg {
     let mut b = DfgBuilder::new("random");
@@ -38,94 +41,126 @@ fn build(inputs: usize, ops: &[(u8, u8, u8, u8)]) -> Dfg {
     b.build().expect("random graphs are valid by construction")
 }
 
-fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u8, u8, u8, u8)>)> {
-    (1usize..6, prop::collection::vec(any::<(u8, u8, u8, u8)>(), 1..80))
+/// Draws a random `(inputs, ops)` graph recipe; operand selectors index
+/// already-existing nodes, so the graph is a DAG by construction.
+fn arb_graph(rng: &mut Rng) -> (usize, Vec<(u8, u8, u8, u8)>) {
+    let inputs = rng.range(1, 6) as usize;
+    let n_ops = rng.range(1, 80) as usize;
+    let ops = (0..n_ops)
+        .map(|_| {
+            (
+                rng.below(256) as u8,
+                rng.below(256) as u8,
+                rng.below(256) as u8,
+                rng.below(256) as u8,
+            )
+        })
+        .collect();
+    (inputs, ops)
 }
 
-fn arb_config() -> impl Strategy<Value = DesignConfig> {
-    (
-        prop::sample::select(TechNode::sweep_nodes().to_vec()),
-        0u32..16,
-        1u32..=13,
-        any::<bool>(),
-    )
-        .prop_map(|(node, p_exp, s, het)| DesignConfig::new(node, 1 << p_exp, s, het))
+fn arb_config(rng: &mut Rng) -> DesignConfig {
+    let nodes = TechNode::sweep_nodes();
+    let node = nodes[rng.index(nodes.len())];
+    let p_exp = rng.below(16) as u32;
+    let s = rng.range(1, 14) as u32;
+    let het = rng.flip();
+    DesignConfig::new(node, 1 << p_exp, s, het)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn simulate_is_total_and_sane((inputs, ops) in arb_graph(), config in arb_config()) {
+#[test]
+fn simulate_is_total_and_sane() {
+    let mut rng = Rng::seed(0xACCE_0001);
+    for _ in 0..CASES {
+        let (inputs, ops) = arb_graph(&mut rng);
+        let config = arb_config(&mut rng);
         let dfg = build(inputs, &ops);
         let r = simulate(&dfg, &config).unwrap();
-        prop_assert!(r.cycles >= 1.0);
-        prop_assert!(r.runtime_s > 0.0);
-        prop_assert!(r.dynamic_energy_j > 0.0);
-        prop_assert!(r.leakage_w > 0.0);
-        prop_assert!(r.power_w().is_finite());
-        prop_assert!(r.cycles >= r.critical_path_cycles - 1e-9);
-        prop_assert_eq!(r.ops, dfg.stats().computes as u64);
+        assert!(r.cycles >= 1.0);
+        assert!(r.runtime_s > 0.0);
+        assert!(r.dynamic_energy_j > 0.0);
+        assert!(r.leakage_w > 0.0);
+        assert!(r.power_w().is_finite());
+        assert!(r.cycles >= r.critical_path_cycles - 1e-9);
+        assert_eq!(r.ops, dfg.stats().computes as u64);
     }
+}
 
-    #[test]
-    fn scheduler_is_total_and_dependence_safe(
-        (inputs, ops) in arb_graph(),
-        config in arb_config(),
-    ) {
+#[test]
+fn scheduler_is_total_and_dependence_safe() {
+    let mut rng = Rng::seed(0xACCE_0002);
+    for _ in 0..CASES {
+        let (inputs, ops) = arb_graph(&mut rng);
+        let config = arb_config(&mut rng);
         let dfg = build(inputs, &ops);
         let s = schedule(&dfg, &config).unwrap();
-        prop_assert!(s.respects_dependences(&dfg));
-        prop_assert!(s.makespan >= 1);
-        prop_assert!(s.peak_lanes_busy <= config.partition_factor);
-        prop_assert!(s.utilization > 0.0 && s.utilization <= 1.0 + 1e-9);
+        assert!(s.respects_dependences(&dfg));
+        assert!(s.makespan >= 1);
+        assert!(s.peak_lanes_busy <= config.partition_factor);
+        assert!(s.utilization > 0.0 && s.utilization <= 1.0 + 1e-9);
         // Every node got a slot.
         for id in dfg.ids() {
-            prop_assert!(s.finish_cycle[id.index()] > s.start_cycle[id.index()]);
+            assert!(s.finish_cycle[id.index()] > s.start_cycle[id.index()]);
         }
     }
+}
 
-    #[test]
-    fn bound_lower_bounds_schedule_without_fusion(
-        (inputs, ops) in arb_graph(),
-        p_exp in 0u32..12,
-        s in 1u32..=13,
-    ) {
+#[test]
+fn bound_lower_bounds_schedule_without_fusion() {
+    let mut rng = Rng::seed(0xACCE_0003);
+    for _ in 0..CASES {
+        let (inputs, ops) = arb_graph(&mut rng);
+        let p_exp = rng.below(12) as u32;
+        let s = rng.range(1, 14) as u32;
         let dfg = build(inputs, &ops);
         let config = DesignConfig::new(TechNode::N45, 1 << p_exp, s, false);
         let bound = simulate(&dfg, &config).unwrap().cycles;
         let actual = schedule(&dfg, &config).unwrap().makespan as f64;
-        prop_assert!(
+        assert!(
             actual >= bound * 0.99 - 1.0,
             "scheduled {actual} below bound {bound}"
         );
-        prop_assert!(
+        assert!(
             actual <= 2.0 * bound + 8.0,
             "scheduled {actual} breaks Graham vs bound {bound}"
         );
     }
+}
 
-    #[test]
-    fn energy_scales_linearly_with_width(
-        (inputs, ops) in arb_graph(),
-        p_exp in 0u32..8,
-    ) {
-        // Halving the datapath (degree 9 = 16 bits) halves dynamic energy
-        // exactly in the model — until serialization multiplies passes.
+#[test]
+fn energy_scales_linearly_with_width() {
+    // Halving the datapath (degree 9 = 16 bits) halves dynamic energy
+    // exactly in the model — until serialization multiplies passes.
+    let mut rng = Rng::seed(0xACCE_0004);
+    for _ in 0..CASES {
+        let (inputs, ops) = arb_graph(&mut rng);
+        let p_exp = rng.below(8) as u32;
         let dfg = build(inputs, &ops);
-        let full = simulate(&dfg, &DesignConfig::new(TechNode::N45, 1 << p_exp, 1, false)).unwrap();
-        let s5 = simulate(&dfg, &DesignConfig::new(TechNode::N45, 1 << p_exp, 5, false)).unwrap();
+        let full = simulate(
+            &dfg,
+            &DesignConfig::new(TechNode::N45, 1 << p_exp, 1, false),
+        )
+        .unwrap();
+        let s5 = simulate(
+            &dfg,
+            &DesignConfig::new(TechNode::N45, 1 << p_exp, 5, false),
+        )
+        .unwrap();
         // Width 24/32 = 0.75, same pass count.
-        prop_assert!((s5.dynamic_energy_j / full.dynamic_energy_j - 0.75).abs() < 1e-9);
+        assert!((s5.dynamic_energy_j / full.dynamic_energy_j - 0.75).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn leakage_independent_of_clock_schedule((inputs, ops) in arb_graph()) {
+#[test]
+fn leakage_independent_of_clock_schedule() {
+    let mut rng = Rng::seed(0xACCE_0005);
+    for _ in 0..CASES {
+        let (inputs, ops) = arb_graph(&mut rng);
         let dfg = build(inputs, &ops);
         let a = simulate(&dfg, &DesignConfig::new(TechNode::N7, 4, 1, false)).unwrap();
         let b = simulate(&dfg, &DesignConfig::new(TechNode::N7, 4, 1, true)).unwrap();
         // Fusion changes cycles, not area/leakage.
-        prop_assert_eq!(a.leakage_w, b.leakage_w);
-        prop_assert_eq!(a.area_units, b.area_units);
+        assert_eq!(a.leakage_w, b.leakage_w);
+        assert_eq!(a.area_units, b.area_units);
     }
 }

@@ -12,7 +12,8 @@
 
 use accelerator_wall::accelsim::attribution::Metric;
 use accelerator_wall::prelude::*;
-use criterion::{criterion_group, criterion_main, Criterion};
+use accelwall_bench::harness::Criterion;
+use accelwall_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::sync::Once;
 
@@ -35,7 +36,8 @@ fn attribution_order(c: &mut Criterion) {
         // comparing the full optimum against the optimum with P forced
         // to 1 — its marginal contribution.
         let best = a.best_config;
-        let no_part = DesignConfig::new(best.node, 1, best.simplification_degree, best.heterogeneity);
+        let no_part =
+            DesignConfig::new(best.node, 1, best.simplification_degree, best.heterogeneity);
         let full = simulate(&dfg, &best).unwrap().throughput();
         let without = simulate(&dfg, &no_part).unwrap().throughput();
         let marginal = full / without;
@@ -99,11 +101,7 @@ fn dark_silicon_leakage(c: &mut Criterion) {
         without.efficiency_gain(&spec, &baseline)
     );
     c.bench_function("ablation/dark_silicon_toggle", |b| {
-        b.iter(|| {
-            black_box(
-                with.energy_efficiency(&spec) + without.energy_efficiency(&spec),
-            )
-        })
+        b.iter(|| black_box(with.energy_efficiency(&spec) + without.energy_efficiency(&spec)))
     });
 }
 
@@ -153,7 +151,6 @@ fn scheduler_fidelity(c: &mut Criterion) {
     });
     group.finish();
 }
-
 
 /// Shared fast-bench configuration: the regeneration paths are
 /// deterministic analytics, so a handful of samples with short warmup

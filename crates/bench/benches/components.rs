@@ -3,7 +3,8 @@
 
 use accelerator_wall::prelude::*;
 use accelerator_wall::stats::{pareto_frontier, Polynomial, PowerLaw};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use accelwall_bench::harness::{BenchmarkId, Criterion};
+use accelwall_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn stats_kernels(c: &mut Criterion) {
@@ -94,7 +95,6 @@ fn wall_projection(c: &mut Criterion) {
         b.iter(|| black_box(accelwall_bench::all_walls()))
     });
 }
-
 
 /// Shared fast-bench configuration: the regeneration paths are
 /// deterministic analytics, so a handful of samples with short warmup

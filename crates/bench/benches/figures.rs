@@ -1,10 +1,11 @@
-//! One Criterion group per evaluation figure: each benchmark regenerates
+//! One benchmark group per evaluation figure: each benchmark regenerates
 //! the figure's data series end to end, so `cargo bench` both times the
 //! analysis stack and proves every figure still reproduces.
 
 use accelerator_wall::prelude::*;
 use accelerator_wall::{cmos, studies};
-use criterion::{criterion_group, criterion_main, Criterion};
+use accelwall_bench::harness::Criterion;
+use accelwall_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn fig01_bitcoin_evolution(c: &mut Criterion) {
@@ -28,8 +29,7 @@ fn fig03b_transistor_fit(c: &mut Criterion) {
     c.bench_function("fig03b_transistor_fit", |b| {
         b.iter(|| {
             let corpus = CorpusSpec::paper_scale().generate();
-            let fit =
-                accelerator_wall::chipdb::fit::transistor_density_fit(&corpus).unwrap();
+            let fit = accelerator_wall::chipdb::fit::transistor_density_fit(&corpus).unwrap();
             assert!((fit.exponent - 0.877).abs() < 0.05);
             black_box(fit.coefficient)
         })
@@ -77,8 +77,12 @@ fn fig05_gpu_frames(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for game in studies::gpu::fig5_games() {
-                acc += studies::gpu::performance_series(&game).unwrap().peak_reported();
-                acc += studies::gpu::efficiency_series(&game).unwrap().peak_reported();
+                acc += studies::gpu::performance_series(&game)
+                    .unwrap()
+                    .peak_reported();
+                acc += studies::gpu::efficiency_series(&game)
+                    .unwrap()
+                    .peak_reported();
             }
             black_box(acc)
         })
@@ -169,7 +173,6 @@ fn fig15_16_projections(c: &mut Criterion) {
         })
     });
 }
-
 
 /// Shared fast-bench configuration: the regeneration paths are
 /// deterministic analytics, so a handful of samples with short warmup

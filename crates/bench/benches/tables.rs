@@ -2,7 +2,8 @@
 
 use accelerator_wall::dfg::{concepts, limits};
 use accelerator_wall::prelude::*;
-use criterion::{criterion_group, criterion_main, Criterion};
+use accelwall_bench::harness::Criterion;
+use accelwall_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn table1_concepts(c: &mut Criterion) {
@@ -69,7 +70,6 @@ fn table5_domains(c: &mut Criterion) {
         })
     });
 }
-
 
 /// Shared fast-bench configuration: the regeneration paths are
 /// deterministic analytics, so a handful of samples with short warmup

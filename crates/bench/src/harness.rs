@@ -1,0 +1,242 @@
+//! A minimal, dependency-free benchmark harness with a Criterion-shaped
+//! API surface.
+//!
+//! The workspace builds in offline environments where registry crates
+//! (including criterion) cannot be resolved, so the benches in
+//! `benches/` run on this drop-in subset instead: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`], and the
+//! [`criterion_group!`](crate::criterion_group) /
+//! [`criterion_main!`](crate::criterion_main) macros. Timings are
+//! wall-clock means over a fixed sample count after a warm-up window —
+//! no outlier rejection or statistical testing, which is fine for the
+//! deterministic analytics these benches measure.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the target total measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one named benchmark closure.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            config: self.clone(),
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        report(name, b.mean_ns);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            config: self.clone(),
+        }
+    }
+}
+
+/// A named group of benchmarks (subset of `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    config: Criterion,
+}
+
+impl BenchmarkGroup {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            config: self.config.clone(),
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), b.mean_ns);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            config: self.config.clone(),
+            mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), b.mean_ns);
+        self
+    }
+
+    /// Closes the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (subset of `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id carrying only a parameter rendering.
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, p: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{p}", name.into()))
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+#[derive(Debug)]
+pub struct Bencher {
+    config: Criterion,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times the routine: warm-up window, then `sample_size` samples of
+    /// adaptively-batched iterations within the measurement window.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up and estimate a single-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up || iters == 0 {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters as f64;
+
+        // Batch so each sample takes ~measurement/sample_size seconds.
+        let sample_target = self.config.measurement.as_secs_f64() / self.config.sample_size as f64;
+        let batch = ((sample_target / per_iter.max(1e-9)).ceil() as u64).max(1);
+
+        let mut total_ns = 0.0;
+        let mut total_iters = 0u64;
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total_ns += start.elapsed().as_nanos() as f64;
+            total_iters += batch;
+        }
+        self.mean_ns = total_ns / total_iters as f64;
+    }
+}
+
+fn report(name: &str, mean_ns: f64) {
+    let (value, unit) = if mean_ns >= 1e9 {
+        (mean_ns / 1e9, "s")
+    } else if mean_ns >= 1e6 {
+        (mean_ns / 1e6, "ms")
+    } else if mean_ns >= 1e3 {
+        (mean_ns / 1e3, "us")
+    } else {
+        (mean_ns, "ns")
+    };
+    println!("{name:<44} time: {value:>10.3} {unit}/iter");
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_a_cheap_routine() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_run_their_benches() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut hits = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, &k| {
+            b.iter(|| hits += k)
+        });
+        group.finish();
+        assert!(hits >= 3);
+    }
+}

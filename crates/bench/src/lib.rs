@@ -3,10 +3,14 @@
 //! The benches live in `benches/`: `figures` regenerates every evaluation
 //! figure, `tables` every table, `components` measures the analysis
 //! kernels in isolation, and `ablations` quantifies the design decisions
-//! called out in DESIGN.md.
+//! called out in DESIGN.md. They run on the dependency-free [`harness`]
+//! module — a Criterion-shaped wall-clock timer that works in offline
+//! build environments where no registry crates resolve.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod harness;
 
 use accelerator_wall::prelude::*;
 

@@ -16,8 +16,7 @@
 use crate::fit::{NodeGroup, PAPER_TC_LAW};
 use crate::{ChipKind, ChipRecord};
 use accelwall_cmos::TechNode;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use accelwall_stats::Rng;
 
 /// Configuration of a synthetic corpus.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,7 +56,7 @@ impl CorpusSpec {
 
     /// Generates the corpus deterministically from the seed.
     pub fn generate(&self) -> Vec<ChipRecord> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed(self.seed);
         let mut records = Vec::with_capacity(self.cpus + self.gpus);
         for i in 0..self.cpus {
             records.push(synthesize(&mut rng, ChipKind::Cpu, i, self.log_noise_sigma));
@@ -95,9 +94,9 @@ const NODE_POOL: &[(TechNode, u32)] = &[
     (TechNode::N12, 2),
 ];
 
-fn pick_node(rng: &mut StdRng) -> TechNode {
+fn pick_node(rng: &mut Rng) -> TechNode {
     let total: u32 = NODE_POOL.iter().map(|(_, w)| w).sum();
-    let mut roll = rng.gen_range(0..total);
+    let mut roll = rng.below(u64::from(total)) as u32;
     for &(node, w) in NODE_POOL {
         if roll < w {
             return node;
@@ -107,30 +106,22 @@ fn pick_node(rng: &mut StdRng) -> TechNode {
     unreachable!("weights cover the roll range")
 }
 
-/// Box–Muller standard normal draw (keeps us off rand_distr, which is not
-/// on the sanctioned dependency list).
-fn std_normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-}
-
-fn synthesize(rng: &mut StdRng, kind: ChipKind, index: usize, sigma: f64) -> ChipRecord {
+fn synthesize(rng: &mut Rng, kind: ChipKind, index: usize, sigma: f64) -> ChipRecord {
     let node = pick_node(rng);
     // Die area: CPUs cluster 60–400 mm², GPUs 80–700 mm² (log-uniform).
     let (area_lo, area_hi) = match kind {
         ChipKind::Cpu => (60.0f64, 400.0f64),
         _ => (80.0f64, 700.0f64),
     };
-    let area = (rng.gen_range(area_lo.ln()..area_hi.ln())).exp();
+    let area = rng.log_uniform(area_lo, area_hi);
     let d = node.density_factor(area);
-    let transistors = PAPER_TC_LAW.eval(d) * (sigma * std_normal(rng)).exp();
+    let transistors = PAPER_TC_LAW.eval(d) * (sigma * rng.std_normal()).exp();
 
     // Frequency: CPUs 1.5–4 GHz scaled by era; GPUs 0.5–1.8 GHz.
     let speedup = node.frequency_potential().min(2.0);
     let freq_mhz = match kind {
-        ChipKind::Cpu => rng.gen_range(1200.0..2200.0) * speedup.max(0.5),
-        _ => rng.gen_range(500.0..900.0) * speedup.max(0.5),
+        ChipKind::Cpu => rng.uniform(1200.0, 2200.0) * speedup.max(0.5),
+        _ => rng.uniform(500.0, 900.0) * speedup.max(0.5),
     };
 
     // TDP: invert the node-group law where one exists; older nodes fall
@@ -141,7 +132,7 @@ fn synthesize(rng: &mut StdRng, kind: ChipKind, index: usize, sigma: f64) -> Chi
     // datasheets — where TDP is a designed-in bin, not a measurement —
     // do not exhibit.
     let cap = (transistors / 1e9) * (freq_mhz / 1e3);
-    let tdp_noise = (sigma / 3.0 * std_normal(rng)).exp();
+    let tdp_noise = (sigma / 3.0 * rng.std_normal()).exp();
     let tdp_w = match NodeGroup::of(node) {
         Some(group) => group.paper_tdp_law().invert(cap) * tdp_noise,
         None => (cap * 400.0 * node.dynamic_energy_rel()) * tdp_noise,

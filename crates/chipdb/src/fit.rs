@@ -176,7 +176,11 @@ mod tests {
         let corpus: Vec<ChipRecord> = (1..40)
             .map(|i| {
                 let area = 20.0 + 20.0 * i as f64;
-                let node = if i % 2 == 0 { TechNode::N28 } else { TechNode::N14 };
+                let node = if i % 2 == 0 {
+                    TechNode::N28
+                } else {
+                    TechNode::N14
+                };
                 let d = node.density_factor(area);
                 record(node, area, PAPER_TC_LAW.eval(d), 100.0, 2000.0)
             })

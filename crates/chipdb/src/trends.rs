@@ -112,8 +112,18 @@ mod tests {
         let corpus = CorpusSpec::paper_scale().generate();
         let tc = moores_law(&corpus).unwrap();
         let cap = capacity_trend(&corpus).unwrap();
-        assert!(cap.cagr > tc.cagr * 0.8, "cap {:.2} vs tc {:.2}", cap.cagr, tc.cagr);
-        assert!(cap.cagr < tc.cagr * 2.0, "cap {:.2} vs tc {:.2}", cap.cagr, tc.cagr);
+        assert!(
+            cap.cagr > tc.cagr * 0.8,
+            "cap {:.2} vs tc {:.2}",
+            cap.cagr,
+            tc.cagr
+        );
+        assert!(
+            cap.cagr < tc.cagr * 2.0,
+            "cap {:.2} vs tc {:.2}",
+            cap.cagr,
+            tc.cagr
+        );
     }
 
     #[test]

@@ -51,9 +51,7 @@ impl ScalingMetric {
     /// The Fig. 3a-normalized value of this metric at `node`.
     pub fn value(self, node: TechNode) -> f64 {
         match self {
-            ScalingMetric::LeakagePower => {
-                node.leakage_rel() / TechNode::N45.leakage_rel()
-            }
+            ScalingMetric::LeakagePower => node.leakage_rel() / TechNode::N45.leakage_rel(),
             ScalingMetric::Capacitance => {
                 node.params().capacitance_rel / TechNode::N45.params().capacitance_rel
             }

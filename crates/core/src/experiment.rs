@@ -1,0 +1,63 @@
+//! The [`Experiment`] trait: one reproducible paper target.
+//!
+//! Every figure, table, and analysis the paper reports is modeled as an
+//! experiment — a named, self-describing unit that turns the shared
+//! inputs in a [`Ctx`] into an [`Artifact`] carrying both a JSON document
+//! (for external plotting) and the human-readable rendering the CLI
+//! prints. The [`crate::registry`] owns the full roster and schedules
+//! experiments across threads in declared-dependency order.
+//!
+//! See `DESIGN.md` ("Adding a new experiment") for the recipe.
+
+use crate::cache::Ctx;
+use crate::error::Result;
+use crate::json::Value;
+
+/// The output of one experiment run: the same result in two renderings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Artifact {
+    /// Machine-readable rows/series, emitted by `accelwall <id> --json`.
+    pub json: Value,
+    /// Human-readable rendering, emitted by `accelwall <id>`. Lines are
+    /// newline-terminated; the CLI prints it verbatim.
+    pub text: String,
+}
+
+impl Artifact {
+    /// Bundles the two renderings of a result.
+    pub fn new(json: Value, text: String) -> Artifact {
+        Artifact { json, text }
+    }
+}
+
+/// One regeneration target (a figure, table, or analysis of the paper).
+///
+/// Implementations are stateless unit structs: all inputs come from the
+/// [`Ctx`], which memoizes anything shared between experiments (the chip
+/// corpus, the potential model, per-workload sweeps) so a full `all` run
+/// computes each shared input exactly once no matter how many experiments
+/// read it, or on how many threads.
+pub trait Experiment: Send + Sync {
+    /// The CLI target name (`fig3b`, `table5`, `wall`, ...).
+    fn id(&self) -> &'static str;
+
+    /// One-line description shown by `accelwall list`.
+    fn description(&self) -> &'static str;
+
+    /// Ids of experiments whose results this one summarizes or extends.
+    ///
+    /// The registry runs dependencies in earlier waves, so `all` output
+    /// reads in logical order and shared sweeps are warm before the
+    /// experiments that fan out over them. An empty slice (the default)
+    /// means the experiment can run in the first wave.
+    fn deps(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// Computes the artifact from the shared inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unified [`crate::error::Error`] for any layer failure.
+    fn run(&self, ctx: &Ctx) -> Result<Artifact>;
+}

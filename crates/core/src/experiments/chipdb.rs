@@ -1,0 +1,144 @@
+//! Chip-corpus experiments: the transistor-budget fits of Figs. 3b–3c.
+//!
+//! Both read the synthetic datasheet corpus through [`Ctx::corpus`], so
+//! a full pipeline run generates the 2613 records once.
+
+use accelwall_chipdb::{fit, NodeGroup};
+
+use super::outln;
+use crate::cache::Ctx;
+use crate::error::Result;
+use crate::experiment::{Artifact, Experiment};
+use crate::json::Value;
+
+/// Fig. 3b — transistor count vs density factor, fitted on the corpus.
+pub struct Fig3b;
+
+impl Experiment for Fig3b {
+    fn id(&self) -> &'static str {
+        "fig3b"
+    }
+
+    fn description(&self) -> &'static str {
+        "transistor count vs density factor fit"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Result<Artifact> {
+        let corpus = ctx.corpus();
+        let fit = ctx.density_fit()?;
+        let json = Value::object([
+            ("corpus_records", Value::from(corpus.len())),
+            (
+                "fitted",
+                Value::object([
+                    ("coefficient", Value::from(fit.coefficient)),
+                    ("exponent", Value::from(fit.exponent)),
+                    ("r_squared", Value::from(fit.r_squared)),
+                ]),
+            ),
+            (
+                "paper",
+                Value::object([
+                    ("coefficient", Value::from(4.99e9)),
+                    ("exponent", Value::from(0.877)),
+                ]),
+            ),
+        ]);
+        let mut text = String::new();
+        outln!(
+            text,
+            "Fig. 3b — transistor count vs density factor D = area/node^2"
+        );
+        outln!(
+            text,
+            "corpus: {} synthetic datasheets (1612 CPUs + 1001 GPUs)",
+            corpus.len()
+        );
+        outln!(
+            text,
+            "fitted:  TC(D) = {:.3e} * D^{:.3}   (R^2 = {:.3})",
+            fit.coefficient,
+            fit.exponent,
+            fit.r_squared
+        );
+        outln!(text, "paper:   TC(D) = 4.990e9 * D^0.877");
+        for d in [0.01, 0.1, 1.0, 10.0, 32.0] {
+            outln!(text, "  D = {d:>6}: TC = {:.3e}", fit.eval(d));
+        }
+        Ok(Artifact::new(json, text))
+    }
+}
+
+/// Fig. 3c — per-node-group TDP power laws, paper vs corpus-fitted.
+pub struct Fig3c;
+
+impl Experiment for Fig3c {
+    fn id(&self) -> &'static str {
+        "fig3c"
+    }
+
+    fn description(&self) -> &'static str {
+        "TDP power laws per node group"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Result<Artifact> {
+        let corpus = ctx.corpus();
+        let mut rows = Vec::new();
+        for &group in NodeGroup::all() {
+            let published = group.paper_tdp_law();
+            // Sparse groups legitimately fail to fit; the figure marks
+            // them projection-only instead of failing the experiment.
+            let fitted = fit::tdp_fit(corpus, group).ok();
+            rows.push((group, published, fitted));
+        }
+        let json = rows
+            .iter()
+            .map(|(g, p, f)| {
+                Value::object([
+                    ("group", Value::from(g.to_string())),
+                    (
+                        "paper",
+                        Value::object([
+                            ("c", Value::from(p.coefficient)),
+                            ("e", Value::from(p.exponent)),
+                        ]),
+                    ),
+                    (
+                        "fitted",
+                        Value::from(f.map(|f| {
+                            Value::object([
+                                ("c", Value::from(f.coefficient)),
+                                ("e", Value::from(f.exponent)),
+                            ])
+                        })),
+                    ),
+                ])
+            })
+            .collect();
+        let mut text = String::new();
+        outln!(
+            text,
+            "Fig. 3c — transistors[G] x freq[GHz] = c * TDP^e per node group"
+        );
+        outln!(
+            text,
+            "{:<12} {:>20} {:>24}",
+            "group",
+            "paper c*TDP^e",
+            "corpus-fitted c*TDP^e"
+        );
+        for (g, p, f) in &rows {
+            let fitted = f
+                .map(|f| format!("{:.3}*TDP^{:.3}", f.coefficient, f.exponent))
+                .unwrap_or_else(|| "(projection only)".to_string());
+            outln!(
+                text,
+                "{:<12} {:>20} {:>24}",
+                g.to_string(),
+                format!("{:.2}*TDP^{:.3}", p.coefficient, p.exponent),
+                fitted
+            );
+        }
+        Ok(Artifact::new(json, text))
+    }
+}

@@ -1,0 +1,61 @@
+//! CMOS-layer experiment: the device-scaling curves of Fig. 3a.
+
+use super::{out, outln};
+use crate::cache::Ctx;
+use crate::error::Result;
+use crate::experiment::{Artifact, Experiment};
+use crate::json::Value;
+
+/// Fig. 3a — relative CMOS device scaling per node.
+pub struct Fig3a;
+
+impl Experiment for Fig3a {
+    fn id(&self) -> &'static str {
+        "fig3a"
+    }
+
+    fn description(&self) -> &'static str {
+        "CMOS device scaling curves"
+    }
+
+    fn run(&self, _ctx: &Ctx) -> Result<Artifact> {
+        let data = accelwall_cmos::fig3a_series();
+        let json = data
+            .iter()
+            .map(|(m, curve)| {
+                Value::object([
+                    ("metric", Value::from(m.label())),
+                    (
+                        "curve",
+                        curve
+                            .iter()
+                            .map(|(n, v)| {
+                                Value::object([
+                                    ("node", Value::from(n.to_string())),
+                                    ("value", Value::from(*v)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ])
+            })
+            .collect();
+        let mut text = String::new();
+        outln!(text, "Fig. 3a — CMOS device scaling (relative)");
+        if let Some((_, first_curve)) = data.first() {
+            out!(text, "{:<16}", "metric");
+            for (node, _) in first_curve {
+                out!(text, "{:>8}", node.to_string());
+            }
+            outln!(text);
+        }
+        for (metric, curve) in &data {
+            out!(text, "{:<16}", metric.label());
+            for (_, v) in curve {
+                out!(text, "{v:>8.3}");
+            }
+            outln!(text);
+        }
+        Ok(Artifact::new(json, text))
+    }
+}

@@ -1,0 +1,141 @@
+//! CSR-layer experiments: the specialization stack (Fig. 2) and the
+//! GPU-architecture relation-matrix figures (Figs. 6–7).
+
+use accelwall_csr::StackLayer;
+use accelwall_studies::gpu;
+
+use super::outln;
+use crate::cache::Ctx;
+use crate::error::Result;
+use crate::experiment::{Artifact, Experiment};
+use crate::json::Value;
+
+/// Fig. 2 — the abstraction layers of accelerated systems.
+pub struct Fig2;
+
+impl Experiment for Fig2 {
+    fn id(&self) -> &'static str {
+        "fig2"
+    }
+
+    fn description(&self) -> &'static str {
+        "abstraction layers of accelerated systems"
+    }
+
+    fn run(&self, _ctx: &Ctx) -> Result<Artifact> {
+        let json = StackLayer::all()
+            .iter()
+            .map(|l| {
+                Value::object([
+                    ("layer", Value::from(l.to_string())),
+                    (
+                        "specialization_layer",
+                        Value::from(l.is_specialization_layer()),
+                    ),
+                    (
+                        "examples",
+                        l.examples().iter().map(|e| Value::from(*e)).collect(),
+                    ),
+                    ("isolating_study", Value::from(l.isolating_study())),
+                ])
+            })
+            .collect();
+        let mut text = String::new();
+        outln!(
+            text,
+            "Fig. 2 — abstraction layers of accelerated systems (the specialization stack)"
+        );
+        for l in StackLayer::all() {
+            let tag = if l.is_specialization_layer() {
+                "  [specialization stack]"
+            } else {
+                ""
+            };
+            outln!(text);
+            outln!(text, "{l}{tag}");
+            outln!(text, "  examples: {}", l.examples().join(", "));
+            if let Some(study) = l.isolating_study() {
+                outln!(text, "  isolated by: {study}");
+            }
+        }
+        Ok(Artifact::new(json, text))
+    }
+}
+
+/// The shared Fig. 6 / Fig. 7 body: gains vs Tesla plus per-arch CSR.
+fn fig67(efficiency: bool) -> Result<Artifact> {
+    let matrix = gpu::arch_relation_matrix(efficiency)?;
+    let rel = matrix.relative_to("Tesla")?;
+    let csrs = gpu::arch_csr(efficiency)?;
+    let json = rel
+        .iter()
+        .map(|(arch, gain)| {
+            let csr = csrs.iter().find(|(a, _)| a == arch).map(|(_, c)| *c);
+            Value::object([
+                ("arch", Value::from(arch.as_str())),
+                ("gain_vs_tesla", Value::from(*gain)),
+                ("csr", Value::from(csr)),
+            ])
+        })
+        .collect();
+    let (fig, what) = if efficiency {
+        ("Fig. 7", "energy efficiency")
+    } else {
+        ("Fig. 6", "throughput")
+    };
+    let mut text = String::new();
+    outln!(
+        text,
+        "{fig} — GPU architecture + CMOS scaling: {what} (Eqs. 3-4 relation matrix)"
+    );
+    outln!(
+        text,
+        "{:<14} {:>16} {:>8}",
+        "architecture",
+        "gain vs Tesla",
+        "CSR"
+    );
+    for (arch, gain) in &rel {
+        let csr = csrs
+            .iter()
+            .find(|(a, _)| a == arch)
+            .map(|(_, c)| format!("{c:.2}"))
+            .unwrap_or_default();
+        outln!(text, "{:<14} {:>16.2} {:>8}", arch, gain, csr);
+    }
+    Ok(Artifact::new(json, text))
+}
+
+/// Fig. 6 — GPU architecture throughput gains via the relation matrix.
+pub struct Fig6;
+
+impl Experiment for Fig6 {
+    fn id(&self) -> &'static str {
+        "fig6"
+    }
+
+    fn description(&self) -> &'static str {
+        "GPU architecture throughput gains (relation matrix)"
+    }
+
+    fn run(&self, _ctx: &Ctx) -> Result<Artifact> {
+        fig67(false)
+    }
+}
+
+/// Fig. 7 — GPU architecture energy-efficiency gains.
+pub struct Fig7;
+
+impl Experiment for Fig7 {
+    fn id(&self) -> &'static str {
+        "fig7"
+    }
+
+    fn description(&self) -> &'static str {
+        "GPU architecture energy-efficiency gains (relation matrix)"
+    }
+
+    fn run(&self, _ctx: &Ctx) -> Result<Artifact> {
+        fig67(true)
+    }
+}

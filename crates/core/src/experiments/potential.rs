@@ -1,0 +1,194 @@
+//! Potential-model experiments: the Fig. 3d gain grid, the dark-silicon
+//! fractions, and the physical-gains roadmap.
+//!
+//! All three read the calibrated model through [`Ctx::potential_model`],
+//! so it is built once per pipeline run.
+
+use accelwall_cmos::TechNode;
+use accelwall_potential::gains::{fig3d_nodes, TdpZone, FIG3D_DIES};
+use accelwall_potential::{fig3d_grid, physical_roadmap, scaling_end_year, ChipSpec};
+
+use super::{out, outln};
+use crate::cache::Ctx;
+use crate::error::Result;
+use crate::experiment::{Artifact, Experiment};
+use crate::json::Value;
+
+/// Fig. 3d — physical chip gains vs the 25 mm² / 45 nm reference.
+pub struct Fig3d;
+
+impl Experiment for Fig3d {
+    fn id(&self) -> &'static str {
+        "fig3d"
+    }
+
+    fn description(&self) -> &'static str {
+        "physical chip gains vs the 45nm reference"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Result<Artifact> {
+        let rows = fig3d_grid(ctx.potential_model());
+        let json = rows
+            .iter()
+            .map(|r| {
+                Value::object([
+                    ("node", Value::from(r.node.to_string())),
+                    ("die_mm2", Value::from(r.die_mm2)),
+                    ("zone", Value::from(r.zone.to_string())),
+                    ("throughput_gain", Value::from(r.throughput_gain)),
+                    ("efficiency_gain", Value::from(r.efficiency_gain)),
+                ])
+            })
+            .collect();
+        let mut text = String::new();
+        outln!(
+            text,
+            "Fig. 3d — physical chip gains vs 25mm2/45nm reference (f = 1 GHz)"
+        );
+        outln!(
+            text,
+            "{:>6} {:>8} {:>10} {:>14} {:>14}",
+            "node",
+            "die",
+            "zone",
+            "throughput(x)",
+            "efficiency(x)"
+        );
+        for r in &rows {
+            outln!(
+                text,
+                "{:>6} {:>8} {:>10} {:>14.1} {:>14.2}",
+                r.node.to_string(),
+                format!("{}mm2", r.die_mm2),
+                r.zone.to_string(),
+                r.throughput_gain,
+                r.efficiency_gain
+            );
+        }
+        Ok(Artifact::new(json, text))
+    }
+}
+
+/// Dark-silicon fractions across the Fig. 3d node/die/TDP grid.
+pub struct Dark;
+
+impl Experiment for Dark {
+    fn id(&self) -> &'static str {
+        "dark"
+    }
+
+    fn description(&self) -> &'static str {
+        "dark-silicon fractions across the Fig. 3d grid"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Result<Artifact> {
+        let model = ctx.potential_model();
+        // (node, die, per-zone fraction) in zone order — one pass serves
+        // both renderings without re-deriving grid indices.
+        let mut cells: Vec<(TechNode, f64, Vec<f64>)> = Vec::new();
+        for &node in fig3d_nodes() {
+            for &die in &FIG3D_DIES {
+                let fractions = TdpZone::all()
+                    .iter()
+                    .map(|&zone| {
+                        let spec = ChipSpec::new(node, die, 1.0, zone.budget_w());
+                        model.dark_fraction(&spec)
+                    })
+                    .collect();
+                cells.push((node, die, fractions));
+            }
+        }
+        let json = cells
+            .iter()
+            .flat_map(|(n, d, fracs)| {
+                TdpZone::all().iter().zip(fracs).map(|(z, f)| {
+                    Value::object([
+                        ("node", Value::from(n.to_string())),
+                        ("die_mm2", Value::from(*d)),
+                        ("zone", Value::from(z.to_string())),
+                        ("dark_fraction", Value::from(*f)),
+                    ])
+                })
+            })
+            .collect();
+        let mut text = String::new();
+        outln!(
+            text,
+            "Dark-silicon fractions (share of the die the power budget cannot switch)"
+        );
+        out!(text, "{:>6} {:>8}", "node", "die");
+        for z in TdpZone::all() {
+            out!(text, "{:>12}", z.to_string());
+        }
+        outln!(text);
+        for (node, die, fractions) in &cells {
+            out!(text, "{:>6} {:>7}m", node.to_string(), die);
+            for f in fractions {
+                out!(text, "{:>11.0}%", f * 100.0);
+            }
+            outln!(text);
+        }
+        Ok(Artifact::new(json, text))
+    }
+}
+
+/// The physical-gains roadmap for a fixed chip template over the years.
+pub struct Roadmap;
+
+impl Experiment for Roadmap {
+    fn id(&self) -> &'static str {
+        "roadmap"
+    }
+
+    fn description(&self) -> &'static str {
+        "physical-gains roadmap for a fixed template"
+    }
+
+    fn run(&self, ctx: &Ctx) -> Result<Artifact> {
+        let template = ChipSpec::new(TechNode::N45, 100.0, 1.0, 100.0);
+        let points = physical_roadmap(ctx.potential_model(), &template, 2000, 2030);
+        let json = points
+            .iter()
+            .map(|p| {
+                Value::object([
+                    ("year", Value::from(p.year)),
+                    ("node", Value::from(p.node.to_string())),
+                    ("throughput_gain", Value::from(p.throughput_gain)),
+                    ("efficiency_gain", Value::from(p.efficiency_gain)),
+                ])
+            })
+            .collect();
+        let mut text = String::new();
+        outln!(
+            text,
+            "Physical-gains roadmap for a 100mm2 / 1GHz / 100W chip template              (scaling ends {})",
+            scaling_end_year()
+        );
+        outln!(
+            text,
+            "{:>6} {:>7} {:>14} {:>14}",
+            "year",
+            "node",
+            "throughput(x)",
+            "ops/J(x)"
+        );
+        let mut last_node = None;
+        for p in &points {
+            let marker = if Some(p.node) != last_node {
+                "<- new node"
+            } else {
+                ""
+            };
+            outln!(
+                text,
+                "{:>6} {:>7} {:>14.1} {:>14.1}  {marker}",
+                p.year,
+                p.node.to_string(),
+                p.throughput_gain,
+                p.efficiency_gain
+            );
+            last_node = Some(p.node);
+        }
+        Ok(Artifact::new(json, text))
+    }
+}

@@ -1,0 +1,381 @@
+//! Projection-layer experiments: the accelerator-wall figures
+//! (Figs. 15–16), the physical-parameter roster (Table V), the headroom
+//! summary (`wall`), the post-wall trajectories (`beyond`), and the
+//! Table V sensitivity study.
+
+use accelwall_projection::{accelerator_wall, beyond_wall, wall_sensitivity, Domain, TargetMetric};
+
+use super::outln;
+use crate::cache::Ctx;
+use crate::error::Result;
+use crate::experiment::{Artifact, Experiment};
+use crate::json::Value;
+
+/// The shared Fig. 15 / Fig. 16 body: per-domain wall projections.
+fn fig1516(metric: TargetMetric) -> Result<Artifact> {
+    let fig = match metric {
+        TargetMetric::Performance => "Fig. 15",
+        TargetMetric::EnergyEfficiency => "Fig. 16",
+    };
+    let mut walls = Vec::new();
+    for &d in Domain::all() {
+        walls.push(accelerator_wall(d, metric)?);
+    }
+    let json = walls
+        .iter()
+        .map(|w| {
+            Value::object([
+                ("domain", Value::from(w.domain.to_string())),
+                ("unit", Value::from(w.domain.unit(w.metric))),
+                ("physical_limit", Value::from(w.physical_limit)),
+                ("current_best", Value::from(w.current_best)),
+                ("linear_wall", Value::from(w.linear_wall)),
+                ("log_wall", Value::from(w.log_wall)),
+                ("further_linear", Value::from(w.further_linear)),
+                ("further_log", Value::from(w.further_log)),
+            ])
+        })
+        .collect();
+    let mut text = String::new();
+    outln!(
+        text,
+        "{fig} — accelerator {} projections at the 5nm limit",
+        match metric {
+            TargetMetric::Performance => "performance",
+            TargetMetric::EnergyEfficiency => "energy-efficiency",
+        }
+    );
+    outln!(
+        text,
+        "{:<22} {:>10} {:>12} {:>12} {:>12} {:>16}",
+        "domain",
+        "phys lim",
+        "current",
+        "log wall",
+        "linear wall",
+        "headroom(log-lin)"
+    );
+    for w in &walls {
+        outln!(
+            text,
+            "{:<22} {:>9.0}x {:>12.3e} {:>12.3e} {:>12.3e} {:>7.1}x-{:.1}x  [{}]",
+            w.domain.to_string(),
+            w.physical_limit,
+            w.current_best,
+            w.log_wall,
+            w.linear_wall,
+            w.further_log,
+            w.further_linear,
+            w.domain.unit(w.metric)
+        );
+    }
+    Ok(Artifact::new(json, text))
+}
+
+/// Fig. 15 — accelerator performance walls at the 5 nm limit.
+pub struct Fig15;
+
+impl Experiment for Fig15 {
+    fn id(&self) -> &'static str {
+        "fig15"
+    }
+
+    fn description(&self) -> &'static str {
+        "accelerator performance walls at 5nm"
+    }
+
+    fn run(&self, _ctx: &Ctx) -> Result<Artifact> {
+        fig1516(TargetMetric::Performance)
+    }
+}
+
+/// Fig. 16 — accelerator energy-efficiency walls at the 5 nm limit.
+pub struct Fig16;
+
+impl Experiment for Fig16 {
+    fn id(&self) -> &'static str {
+        "fig16"
+    }
+
+    fn description(&self) -> &'static str {
+        "accelerator energy-efficiency walls at 5nm"
+    }
+
+    fn run(&self, _ctx: &Ctx) -> Result<Artifact> {
+        fig1516(TargetMetric::EnergyEfficiency)
+    }
+}
+
+/// Table V — the per-domain physical parameters behind the projections.
+pub struct Table5;
+
+impl Experiment for Table5 {
+    fn id(&self) -> &'static str {
+        "table5"
+    }
+
+    fn description(&self) -> &'static str {
+        "accelerator wall physical parameters"
+    }
+
+    fn run(&self, _ctx: &Ctx) -> Result<Artifact> {
+        let json = Domain::all()
+            .iter()
+            .map(|d| {
+                let l = d.limits();
+                Value::object([
+                    ("domain", Value::from(d.to_string())),
+                    ("platform", Value::from(d.platform())),
+                    ("min_die_mm2", Value::from(l.min_die_mm2)),
+                    ("max_die_mm2", Value::from(l.max_die_mm2)),
+                    ("tdp_w", Value::from(l.tdp_w)),
+                    ("freq_mhz", Value::from(l.freq_mhz)),
+                ])
+            })
+            .collect();
+        let mut text = String::new();
+        outln!(text, "Table V — accelerator wall physical parameters");
+        outln!(
+            text,
+            "{:<22} {:<9} {:>16} {:>10} {:>10}",
+            "domain",
+            "platform",
+            "die min/max mm2",
+            "TDP W",
+            "MHz"
+        );
+        for d in Domain::all() {
+            let l = d.limits();
+            outln!(
+                text,
+                "{:<22} {:<9} {:>16} {:>10} {:>10}",
+                d.to_string(),
+                d.platform(),
+                format!("{}/{}", l.min_die_mm2, l.max_die_mm2),
+                l.tdp_w,
+                l.freq_mhz
+            );
+        }
+        Ok(Artifact::new(json, text))
+    }
+}
+
+/// The headroom summary across domains (the `wall` target).
+pub struct Wall;
+
+impl Experiment for Wall {
+    fn id(&self) -> &'static str {
+        "wall"
+    }
+
+    fn description(&self) -> &'static str {
+        "remaining headroom summary across domains"
+    }
+
+    fn deps(&self) -> &'static [&'static str] {
+        // The summary condenses the two wall figures; keep them earlier
+        // in the schedule so a full run reads top-down.
+        &["fig15", "fig16"]
+    }
+
+    fn run(&self, _ctx: &Ctx) -> Result<Artifact> {
+        let mut rows = Vec::new();
+        for &d in Domain::all() {
+            let p = accelerator_wall(d, TargetMetric::Performance)?;
+            let e = accelerator_wall(d, TargetMetric::EnergyEfficiency)?;
+            rows.push((d, p, e));
+        }
+        let json = rows
+            .iter()
+            .map(|(d, p, e)| {
+                Value::object([
+                    ("domain", Value::from(d.to_string())),
+                    (
+                        "performance_headroom",
+                        Value::object([
+                            ("log", Value::from(p.further_log)),
+                            ("linear", Value::from(p.further_linear)),
+                        ]),
+                    ),
+                    (
+                        "efficiency_headroom",
+                        Value::object([
+                            ("log", Value::from(e.further_log)),
+                            ("linear", Value::from(e.further_linear)),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
+        let mut text = String::new();
+        outln!(
+            text,
+            "The Accelerator Wall — remaining headroom at the end of CMOS scaling (5nm)"
+        );
+        outln!(
+            text,
+            "{:<22} {:>24} {:>24}",
+            "domain",
+            "performance (log-lin)",
+            "efficiency (log-lin)"
+        );
+        for (d, p, e) in &rows {
+            outln!(
+                text,
+                "{:<22} {:>13.1}x - {:>5.1}x {:>14.1}x - {:>5.1}x",
+                d.to_string(),
+                p.further_log,
+                p.further_linear,
+                e.further_log,
+                e.further_linear
+            );
+        }
+        outln!(text);
+        outln!(
+            text,
+            "paper: video 3-130x / 1.2-14x; GPU 1.4-2.5x / 1.4-1.7x;"
+        );
+        outln!(
+            text,
+            "       FPGA CNN 2.1-3.4x / 2.7-3.5x; Bitcoin 2-20x / 1.4-5x"
+        );
+        Ok(Artifact::new(json, text))
+    }
+}
+
+/// Post-wall trajectories in years (the `beyond` target).
+pub struct Beyond;
+
+impl Experiment for Beyond {
+    fn id(&self) -> &'static str {
+        "beyond"
+    }
+
+    fn description(&self) -> &'static str {
+        "post-wall trajectories in years"
+    }
+
+    fn run(&self, _ctx: &Ctx) -> Result<Artifact> {
+        let mut rows = Vec::new();
+        for &d in Domain::all() {
+            rows.push(beyond_wall(d, TargetMetric::Performance)?);
+        }
+        let json = rows
+            .iter()
+            .map(|b| {
+                Value::object([
+                    ("domain", Value::from(b.domain.to_string())),
+                    ("historical_cagr", Value::from(b.historical_cagr)),
+                    ("csr_cagr", Value::from(b.csr_cagr)),
+                    (
+                        "runway_years",
+                        Value::object([
+                            ("log", Value::from(b.runway_years_log)),
+                            ("linear", Value::from(b.runway_years_linear)),
+                        ]),
+                    ),
+                    ("required_csr_speedup", Value::from(b.required_csr_speedup)),
+                ])
+            })
+            .collect();
+        let mut text = String::new();
+        outln!(text, "Beyond the wall — performance trajectories in years");
+        outln!(
+            text,
+            "{:<22} {:>10} {:>10} {:>18} {:>14}",
+            "domain",
+            "gain %/yr",
+            "CSR %/yr",
+            "runway (log-lin)",
+            "CSR gap"
+        );
+        for b in &rows {
+            let gap = if b.required_csr_speedup.is_finite() {
+                format!("{:.0}x", b.required_csr_speedup)
+            } else {
+                "inf".to_string()
+            };
+            outln!(
+                text,
+                "{:<22} {:>9.0}% {:>9.0}% {:>8.1}-{:.1} years {:>14}",
+                b.domain.to_string(),
+                b.historical_cagr * 100.0,
+                b.csr_cagr * 100.0,
+                b.runway_years_log,
+                b.runway_years_linear,
+                gap
+            );
+        }
+        outln!(text);
+        outln!(
+            text,
+            "runway: how long the projected headroom lasts at the historical rate;"
+        );
+        outln!(
+            text,
+            "CSR gap: how much faster design skill must improve, post-CMOS, to keep pace."
+        );
+        Ok(Artifact::new(json, text))
+    }
+}
+
+/// Wall sensitivity to the Table V parameters (±20%).
+pub struct Sensitivity;
+
+impl Experiment for Sensitivity {
+    fn id(&self) -> &'static str {
+        "sensitivity"
+    }
+
+    fn description(&self) -> &'static str {
+        "wall sensitivity to Table V parameters"
+    }
+
+    fn run(&self, _ctx: &Ctx) -> Result<Artifact> {
+        let mut all = Vec::new();
+        for &d in Domain::all() {
+            all.extend(wall_sensitivity(d, TargetMetric::Performance)?);
+        }
+        let json = all
+            .iter()
+            .map(|r| {
+                Value::object([
+                    ("domain", Value::from(r.domain.to_string())),
+                    ("parameter", Value::from(r.parameter.to_string())),
+                    ("wall_minus", Value::from(r.wall_minus)),
+                    ("wall_base", Value::from(r.wall_base)),
+                    ("wall_plus", Value::from(r.wall_plus)),
+                    ("elasticity", Value::from(r.elasticity)),
+                ])
+            })
+            .collect();
+        let mut text = String::new();
+        outln!(
+            text,
+            "Wall sensitivity to Table V parameters (performance, ±20%)"
+        );
+        outln!(
+            text,
+            "{:<22} {:<11} {:>12} {:>12} {:>12} {:>11}",
+            "domain",
+            "parameter",
+            "wall @-20%",
+            "wall @base",
+            "wall @+20%",
+            "elasticity"
+        );
+        for r in &all {
+            outln!(
+                text,
+                "{:<22} {:<11} {:>12.3e} {:>12.3e} {:>12.3e} {:>11.2}",
+                r.domain.to_string(),
+                r.parameter.to_string(),
+                r.wall_minus,
+                r.wall_base,
+                r.wall_plus,
+                r.elasticity
+            );
+        }
+        Ok(Artifact::new(json, text))
+    }
+}

@@ -1,0 +1,90 @@
+//! The full per-domain verdict reports (the `report` target).
+
+use accelwall_projection::Domain;
+
+use super::outln;
+use crate::cache::Ctx;
+use crate::error::Result;
+use crate::experiment::{Artifact, Experiment};
+use crate::json::Value;
+use crate::report::DomainReport;
+
+/// Domain reports — the full verdict per accelerated domain.
+pub struct Report;
+
+impl Experiment for Report {
+    fn id(&self) -> &'static str {
+        "report"
+    }
+
+    fn description(&self) -> &'static str {
+        "full per-domain verdict reports"
+    }
+
+    fn deps(&self) -> &'static [&'static str] {
+        // The verdicts cite both the headroom summary and the runway
+        // numbers; schedule them first so the narrative reads top-down.
+        &["wall", "beyond"]
+    }
+
+    fn run(&self, _ctx: &Ctx) -> Result<Artifact> {
+        let reports = Domain::all()
+            .iter()
+            .map(|&d| DomainReport::generate(d))
+            .collect::<std::result::Result<Vec<DomainReport>, _>>()?;
+        let json = reports
+            .iter()
+            .map(|r| {
+                Value::object([
+                    ("domain", Value::from(r.domain.to_string())),
+                    ("maturity", Value::from(r.maturity.to_string())),
+                    (
+                        "peak_gain",
+                        Value::from(r.performance_series.peak_reported()),
+                    ),
+                    (
+                        "peak_physical",
+                        Value::from(r.performance_series.peak_physical()),
+                    ),
+                    (
+                        "performance_headroom",
+                        Value::object([
+                            ("log", Value::from(r.performance_wall.further_log)),
+                            ("linear", Value::from(r.performance_wall.further_linear)),
+                        ]),
+                    ),
+                    (
+                        "efficiency_headroom",
+                        Value::object([
+                            ("log", Value::from(r.efficiency_wall.further_log)),
+                            ("linear", Value::from(r.efficiency_wall.further_linear)),
+                        ]),
+                    ),
+                    (
+                        "runway_years",
+                        Value::object([
+                            ("log", Value::from(r.trajectory.runway_years_log)),
+                            ("linear", Value::from(r.trajectory.runway_years_linear)),
+                        ]),
+                    ),
+                    (
+                        "dominant_constraint",
+                        Value::from(r.dominant_constraint().map(|c| c.parameter.to_string())),
+                    ),
+                    ("summary", Value::from(r.summary())),
+                ])
+            })
+            .collect();
+        let mut text = String::new();
+        outln!(
+            text,
+            "Domain reports — the full verdict per accelerated domain"
+        );
+        outln!(text);
+        for r in &reports {
+            outln!(text, "{}", r.summary());
+            outln!(text);
+        }
+        Ok(Artifact::new(json, text))
+    }
+}

@@ -1,0 +1,314 @@
+//! Case-study experiments: the empirical figures of Sections II and IV
+//! (Bitcoin, video decoders, GPUs, FPGA CNNs) and the §IV-E insights.
+
+use accelwall_studies::{bitcoin, fpga, gpu, insights, video};
+
+use super::{outln, push_series, series_json};
+use crate::cache::Ctx;
+use crate::error::Result;
+use crate::experiment::{Artifact, Experiment};
+use crate::json::Value;
+
+/// Fig. 1 — Bitcoin mining ASIC evolution.
+pub struct Fig1;
+
+impl Experiment for Fig1 {
+    fn id(&self) -> &'static str {
+        "fig1"
+    }
+
+    fn description(&self) -> &'static str {
+        "Bitcoin mining ASIC evolution (GH/s/mm2 CSR series)"
+    }
+
+    fn run(&self, _ctx: &Ctx) -> Result<Artifact> {
+        let series = bitcoin::fig1_series()?;
+        let mut text = String::new();
+        push_series(
+            &mut text,
+            "Fig. 1 — Bitcoin mining ASIC evolution (vs first 130nm ASIC, SHA256 GH/s/mm2)",
+            &series,
+        );
+        if let Some(last) = series.rows.last() {
+            outln!(text);
+            outln!(
+                text,
+                "peak performance {:.0}x | transistor performance {:.0}x | final CSR {:.2}x",
+                series.peak_reported(),
+                series.peak_physical(),
+                last.csr
+            );
+        }
+        Ok(Artifact::new(series_json(&series), text))
+    }
+}
+
+/// Fig. 4 — video decoder ASICs: performance, hardware budget,
+/// efficiency.
+pub struct Fig4;
+
+impl Experiment for Fig4 {
+    fn id(&self) -> &'static str {
+        "fig4"
+    }
+
+    fn description(&self) -> &'static str {
+        "video decoder ASICs: performance, budget, efficiency"
+    }
+
+    fn run(&self, _ctx: &Ctx) -> Result<Artifact> {
+        let perf = video::performance_series()?;
+        let ee = video::efficiency_series()?;
+        let chips = video::decoder_chips();
+        let json = Value::object([
+            ("performance", series_json(&perf)),
+            ("efficiency", series_json(&ee)),
+            (
+                "budget",
+                chips
+                    .iter()
+                    .map(|c| {
+                        Value::object([
+                            ("label", Value::from(c.label)),
+                            ("node", Value::from(c.node.to_string())),
+                            ("transistors", Value::from(c.transistors())),
+                            ("freq_mhz", Value::from(c.freq_mhz)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ]);
+        let mut text = String::new();
+        push_series(
+            &mut text,
+            "Fig. 4a — video decoder ASIC performance (MPixels/s vs ISSCC2006)",
+            &perf,
+        );
+        outln!(text);
+        outln!(text, "Fig. 4b — hardware budget");
+        outln!(
+            text,
+            "{:<14} {:>6} {:>14} {:>10}",
+            "chip",
+            "node",
+            "transistors",
+            "freq MHz"
+        );
+        for c in &chips {
+            let tc = c
+                .transistors()
+                .map(|t| format!("{t:.2e}"))
+                .unwrap_or_else(|| "undisclosed".to_string());
+            outln!(
+                text,
+                "{:<14} {:>6} {:>14} {:>10.0}",
+                c.label,
+                c.node.to_string(),
+                tc,
+                c.freq_mhz
+            );
+        }
+        outln!(text);
+        push_series(
+            &mut text,
+            "Fig. 4c — video decoder ASIC energy efficiency (MPixels/J)",
+            &ee,
+        );
+        Ok(Artifact::new(json, text))
+    }
+}
+
+/// Fig. 5 — GPU frame-rate gains across five games.
+pub struct Fig5;
+
+impl Experiment for Fig5 {
+    fn id(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn description(&self) -> &'static str {
+        "GPU frame rates across five games"
+    }
+
+    fn run(&self, _ctx: &Ctx) -> Result<Artifact> {
+        let games = gpu::fig5_games();
+        let mut panels = Vec::new();
+        for game in &games {
+            let perf = gpu::performance_series(game)?;
+            let ee = gpu::efficiency_series(game)?;
+            panels.push((game.title, perf, ee));
+        }
+        let json = panels
+            .iter()
+            .map(|(title, perf, ee)| {
+                Value::object([
+                    ("game", Value::from(*title)),
+                    ("performance", series_json(perf)),
+                    ("efficiency", series_json(ee)),
+                ])
+            })
+            .collect();
+        let mut text = String::new();
+        outln!(text, "Fig. 5 — GPU frame rates (Apps 1-5)");
+        for (title, perf, ee) in &panels {
+            if let (Some(last_perf), Some(last_ee)) = (perf.rows.last(), ee.rows.last()) {
+                outln!(
+                    text,
+                    "{:<24} perf x{:.2} (CSR {:.2}) | frames/J x{:.2} (CSR {:.2})",
+                    title,
+                    last_perf.reported_gain,
+                    last_perf.csr,
+                    last_ee.reported_gain,
+                    last_ee.csr
+                );
+            }
+        }
+        Ok(Artifact::new(json, text))
+    }
+}
+
+/// Fig. 8 — CNN accelerators on FPGAs (AlexNet and VGG16).
+pub struct Fig8;
+
+impl Experiment for Fig8 {
+    fn id(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn description(&self) -> &'static str {
+        "CNNs on FPGAs: AlexNet and VGG16 series"
+    }
+
+    fn run(&self, _ctx: &Ctx) -> Result<Artifact> {
+        use fpga::CnnModel;
+        let mut pairs = Vec::new();
+        let mut models = Vec::new();
+        for model in [CnnModel::AlexNet, CnnModel::Vgg16] {
+            let perf = fpga::performance_series(model)?;
+            let ee = fpga::efficiency_series(model)?;
+            pairs.push((
+                model.to_string(),
+                Value::object([
+                    ("performance", series_json(&perf)),
+                    ("efficiency", series_json(&ee)),
+                ]),
+            ));
+            models.push((model, perf, ee));
+        }
+        let mut text = String::new();
+        for (model, perf, ee) in &models {
+            push_series(
+                &mut text,
+                &format!("Fig. 8 — {model} on FPGAs: performance (GOPS gain)"),
+                perf,
+            );
+            outln!(
+                text,
+                "peak perf {:.1}x, peak CSR {:.1}x, best-chip CSR {:.1}x",
+                perf.peak_reported(),
+                perf.peak_csr(),
+                perf.csr_of_best_chip()
+            );
+            outln!(
+                text,
+                "{model} efficiency: peak {:.1}x (GOP/J)",
+                ee.peak_reported()
+            );
+            outln!(text);
+        }
+        Ok(Artifact::new(Value::object(pairs), text))
+    }
+}
+
+/// Fig. 9 — Bitcoin mining across CPU/GPU/FPGA/ASIC platforms.
+pub struct Fig9;
+
+impl Experiment for Fig9 {
+    fn id(&self) -> &'static str {
+        "fig9"
+    }
+
+    fn description(&self) -> &'static str {
+        "Bitcoin mining across platforms"
+    }
+
+    fn run(&self, _ctx: &Ctx) -> Result<Artifact> {
+        let perf = bitcoin::fig9_performance_series()?;
+        let ee = bitcoin::fig9_efficiency_series()?;
+        let json = Value::object([
+            ("performance", series_json(&perf)),
+            ("efficiency", series_json(&ee)),
+        ]);
+        let mut text = String::new();
+        push_series(
+            &mut text,
+            "Fig. 9a — Bitcoin mining, all platforms (GH/s/mm2 vs Athlon 64)",
+            &perf,
+        );
+        outln!(text);
+        push_series(
+            &mut text,
+            "Fig. 9b — Bitcoin mining energy efficiency (GH/J)",
+            &ee,
+        );
+        Ok(Artifact::new(json, text))
+    }
+}
+
+/// Section IV-E — the paper's observations, recomputed from the data.
+pub struct Insights;
+
+impl Experiment for Insights {
+    fn id(&self) -> &'static str {
+        "insights"
+    }
+
+    fn description(&self) -> &'static str {
+        "Section IV-E observations, recomputed"
+    }
+
+    fn run(&self, _ctx: &Ctx) -> Result<Artifact> {
+        let list = insights::section4e_insights()?;
+        let json = list
+            .iter()
+            .map(|i| {
+                Value::object([
+                    ("title", Value::from(i.title)),
+                    ("claim", Value::from(i.claim)),
+                    ("holds", Value::from(i.holds)),
+                    (
+                        "evidence",
+                        i.evidence
+                            .iter()
+                            .map(|(l, v)| {
+                                Value::object([
+                                    ("label", Value::from(l.as_str())),
+                                    ("value", Value::from(*v)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ])
+            })
+            .collect();
+        let mut text = String::new();
+        outln!(
+            text,
+            "Section IV-E — observations and insights, recomputed:"
+        );
+        for i in &list {
+            outln!(text);
+            outln!(
+                text,
+                "* {} [{}]",
+                i.title,
+                if i.holds { "HOLDS" } else { "VIOLATED" }
+            );
+            outln!(text, "  claim: {}", i.claim);
+            for (label, v) in &i.evidence {
+                outln!(text, "    {label:<40} {v:>10.2}");
+            }
+        }
+        Ok(Artifact::new(json, text))
+    }
+}

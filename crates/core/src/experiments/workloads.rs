@@ -1,0 +1,57 @@
+//! Workload-roster experiment: the evaluated applications of Table IV.
+
+use accelwall_workloads::Workload;
+
+use super::outln;
+use crate::cache::Ctx;
+use crate::error::Result;
+use crate::experiment::{Artifact, Experiment};
+use crate::json::Value;
+
+/// Table IV — evaluated applications and domains.
+pub struct Table4;
+
+impl Experiment for Table4 {
+    fn id(&self) -> &'static str {
+        "table4"
+    }
+
+    fn description(&self) -> &'static str {
+        "evaluated applications and domains"
+    }
+
+    fn run(&self, _ctx: &Ctx) -> Result<Artifact> {
+        let json = Workload::all()
+            .iter()
+            .map(|w| {
+                Value::object([
+                    ("application", Value::from(w.full_name())),
+                    ("abbrev", Value::from(w.abbrev())),
+                    ("domain", Value::from(w.domain())),
+                    ("suite", Value::from(w.suite())),
+                ])
+            })
+            .collect();
+        let mut text = String::new();
+        outln!(text, "Table IV — evaluated applications and domains");
+        outln!(
+            text,
+            "{:<36} {:<7} {:<20} {:<12}",
+            "application",
+            "abbrev",
+            "domain",
+            "suite"
+        );
+        for w in Workload::all() {
+            outln!(
+                text,
+                "{:<36} {:<7} {:<20} {:<12}",
+                w.full_name(),
+                w.abbrev(),
+                w.domain(),
+                w.suite()
+            );
+        }
+        Ok(Artifact::new(json, text))
+    }
+}

@@ -21,6 +21,19 @@
 //! | [`studies`] | the four empirical case studies (Figs. 1, 4–9) |
 //! | [`projection`] | the accelerator wall itself (Figs. 15–16) |
 //!
+//! On top of the analysis stack sits the **reproduction pipeline** — the
+//! machinery that turns those layers into the paper's figures and tables:
+//!
+//! | Module | Role |
+//! |---|---|
+//! | [`error`] | one workspace-wide [`error::Error`] every layer converts into |
+//! | [`experiment`] | the [`experiment::Experiment`] trait + [`experiment::Artifact`] output |
+//! | [`cache`] | [`cache::Ctx`] — memoizes corpus, fits, and sweeps once per process |
+//! | [`registry`] | all paper targets, dependency-ordered parallel execution |
+//! | [`experiments`] | the per-layer experiment implementations |
+//! | [`json`] | a small dependency-free JSON value + parser for `--json` output |
+//! | [`report`] | per-domain verdict synthesis (the `report` target) |
+//!
 //! # Quickstart
 //!
 //! ```
@@ -48,6 +61,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
+pub mod error;
+pub mod experiment;
+pub mod experiments;
+pub mod json;
+pub mod registry;
 pub mod report;
 
 pub use accelwall_accelsim as accelsim;
@@ -63,23 +82,25 @@ pub use accelwall_workloads as workloads;
 
 /// The working set of names most analyses need.
 pub mod prelude {
-    pub use accelwall_accelsim::{
-        attribute_gains, run_sweep, schedule, simulate, simulate_scheduled, Attribution,
-        DesignConfig, Schedule, SimReport, SweepSpace,
-    };
+    pub use crate::cache::Ctx;
+    pub use crate::error::{Error, ResultExt};
+    pub use crate::experiment::{Artifact, Experiment};
+    pub use crate::registry::Registry;
+    pub use crate::report::{DomainReport, Maturity};
     pub use accelwall_accelsim::attribution::Metric;
+    pub use accelwall_accelsim::{
+        attribute_gains, attribute_gains_with_points, run_sweep, schedule, simulate,
+        simulate_scheduled, Attribution, DesignConfig, Schedule, SimReport, SweepSpace,
+    };
     pub use accelwall_chipdb::{ChipKind, ChipRecord, CorpusSpec, NodeGroup};
     pub use accelwall_cmos::{ScalingMetric, TechNode};
     pub use accelwall_csr::{csr, decompose, ArchObservations, CsrSeries, RelationMatrix};
-    pub use accelwall_dfg::{
-        concept_limit, Component, Dfg, DfgBuilder, Op, SpecializationConcept,
-    };
+    pub use accelwall_dfg::{concept_limit, Component, Dfg, DfgBuilder, Op, SpecializationConcept};
     pub use accelwall_potential::{fig3d_grid, ChipSpec, PotentialModel, TdpZone};
     pub use accelwall_projection::{
         accelerator_wall, beyond_wall, BeyondWall, Domain, TargetMetric, WallProjection,
     };
     pub use accelwall_workloads::{InstanceSize, Workload};
-    pub use crate::report::{DomainReport, Maturity};
 }
 
 #[cfg(test)]

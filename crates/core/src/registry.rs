@@ -1,0 +1,273 @@
+//! The experiment registry: the single roster of every paper target.
+//!
+//! The CLI's target list, its `--help`-style header, the unknown-target
+//! error message, and the `all` run order are all derived from
+//! [`Registry::paper`] — there is no hand-maintained list of target
+//! names anywhere else, so the documentation cannot drift from the code.
+//!
+//! [`Registry::run_all`] executes experiments wave by wave: experiments
+//! with no unfinished dependencies run concurrently under
+//! [`std::thread::scope`], sharing one [`Ctx`] whose memoization makes
+//! the shared inputs (corpus, potential model, per-workload sweeps)
+//! compute exactly once per process no matter the interleaving.
+
+use crate::cache::Ctx;
+use crate::error::{Error, Result};
+use crate::experiment::{Artifact, Experiment};
+use crate::experiments;
+
+/// An ordered collection of experiments, with dependency scheduling.
+pub struct Registry {
+    experiments: Vec<Box<dyn Experiment>>,
+}
+
+impl Registry {
+    /// Every regeneration target of the paper, in presentation order
+    /// (figures, tables, then the synthesis analyses).
+    pub fn paper() -> Registry {
+        Registry {
+            experiments: vec![
+                Box::new(experiments::studies::Fig1),
+                Box::new(experiments::csr::Fig2),
+                Box::new(experiments::cmos::Fig3a),
+                Box::new(experiments::chipdb::Fig3b),
+                Box::new(experiments::chipdb::Fig3c),
+                Box::new(experiments::potential::Fig3d),
+                Box::new(experiments::studies::Fig4),
+                Box::new(experiments::studies::Fig5),
+                Box::new(experiments::csr::Fig6),
+                Box::new(experiments::csr::Fig7),
+                Box::new(experiments::studies::Fig8),
+                Box::new(experiments::studies::Fig9),
+                Box::new(experiments::dfg::Fig11),
+                Box::new(experiments::dfg::Fig12),
+                Box::new(experiments::accelsim::Fig13),
+                Box::new(experiments::accelsim::Fig14),
+                Box::new(experiments::projection::Fig15),
+                Box::new(experiments::projection::Fig16),
+                Box::new(experiments::dfg::Table1),
+                Box::new(experiments::dfg::Table2),
+                Box::new(experiments::accelsim::Table3),
+                Box::new(experiments::workloads::Table4),
+                Box::new(experiments::projection::Table5),
+                Box::new(experiments::projection::Wall),
+                Box::new(experiments::projection::Beyond),
+                Box::new(experiments::studies::Insights),
+                Box::new(experiments::potential::Dark),
+                Box::new(experiments::projection::Sensitivity),
+                Box::new(experiments::dfg::Dot),
+                Box::new(experiments::potential::Roadmap),
+                Box::new(experiments::report::Report),
+            ],
+        }
+    }
+
+    /// Number of registered experiments.
+    pub fn len(&self) -> usize {
+        self.experiments.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.experiments.is_empty()
+    }
+
+    /// Iterates the experiments in registry order.
+    pub fn experiments(&self) -> impl Iterator<Item = &dyn Experiment> {
+        self.experiments.iter().map(Box::as_ref)
+    }
+
+    /// Every target id, in registry order.
+    pub fn ids(&self) -> Vec<&'static str> {
+        self.experiments.iter().map(|e| e.id()).collect()
+    }
+
+    /// Looks up one experiment by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownExperiment`] carrying the full known-id
+    /// list (the CLI prints it verbatim).
+    pub fn get(&self, id: &str) -> Result<&dyn Experiment> {
+        self.experiments
+            .iter()
+            .find(|e| e.id() == id)
+            .map(Box::as_ref)
+            .ok_or_else(|| Error::UnknownExperiment {
+                id: id.to_string(),
+                known: self.ids(),
+            })
+    }
+
+    /// Runs one experiment by id against `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids and any layer failure from the experiment itself.
+    pub fn run(&self, id: &str, ctx: &Ctx) -> Result<Artifact> {
+        self.get(id)?.run(ctx)
+    }
+
+    /// Groups experiment indices into waves: every experiment lands in
+    /// the first wave after all of its `deps()` have completed.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownExperiment`] for a dep naming no registered id;
+    /// [`Error::DependencyCycle`] when declarations deadlock.
+    pub fn schedule(&self) -> Result<Vec<Vec<usize>>> {
+        for e in &self.experiments {
+            for dep in e.deps() {
+                self.get(dep)?;
+            }
+        }
+        let mut done = vec![false; self.experiments.len()];
+        let mut waves = Vec::new();
+        while done.iter().any(|d| !d) {
+            let wave: Vec<usize> = (0..self.experiments.len())
+                .filter(|&i| !done[i])
+                .filter(|&i| {
+                    self.experiments[i].deps().iter().all(|dep| {
+                        self.experiments
+                            .iter()
+                            .zip(&done)
+                            .any(|(e, &d)| d && e.id() == *dep)
+                    })
+                })
+                .collect();
+            if wave.is_empty() {
+                return Err(Error::DependencyCycle {
+                    ids: self
+                        .experiments
+                        .iter()
+                        .zip(&done)
+                        .filter(|(_, &d)| !d)
+                        .map(|(e, _)| e.id())
+                        .collect(),
+                });
+            }
+            for &i in &wave {
+                done[i] = true;
+            }
+            waves.push(wave);
+        }
+        Ok(waves)
+    }
+
+    /// Runs every experiment, waves in sequence and each wave's members
+    /// concurrently, sharing `ctx`. Results come back in registry order;
+    /// per-experiment failures are reported in place rather than
+    /// aborting the sibling experiments.
+    ///
+    /// # Errors
+    ///
+    /// Only scheduling failures ([`Registry::schedule`]) fail the whole
+    /// run.
+    pub fn run_all(&self, ctx: &Ctx) -> Result<Vec<(&'static str, Result<Artifact>)>> {
+        let waves = self.schedule()?;
+        let mut results: Vec<Option<Result<Artifact>>> =
+            self.experiments.iter().map(|_| None).collect();
+        for wave in waves {
+            let wave_results: Vec<(usize, Result<Artifact>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = wave
+                    .iter()
+                    .map(|&i| {
+                        let exp = self.experiments[i].as_ref();
+                        (i, scope.spawn(move || exp.run(ctx)))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|(i, handle)| {
+                        let result = handle.join().unwrap_or_else(|_| {
+                            Err(Error::ExperimentPanicked {
+                                id: self.experiments[i].id().to_string(),
+                            })
+                        });
+                        (i, result)
+                    })
+                    .collect()
+            });
+            for (i, result) in wave_results {
+                results[i] = Some(result);
+            }
+        }
+        Ok(self
+            .experiments
+            .iter()
+            .zip(results)
+            .map(|(e, r)| {
+                let r = r.unwrap_or_else(|| {
+                    Err(Error::ExperimentPanicked {
+                        id: e.id().to_string(),
+                    })
+                });
+                (e.id(), r)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_unique_and_nonempty() {
+        let registry = Registry::paper();
+        let ids = registry.ids();
+        assert!(!ids.is_empty());
+        let unique: HashSet<_> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len(), "duplicate experiment ids");
+        for e in registry.experiments() {
+            assert!(
+                !e.description().is_empty(),
+                "{} lacks a description",
+                e.id()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_id_error_carries_the_registry_roster() {
+        let registry = Registry::paper();
+        match registry.get("fig99") {
+            Err(Error::UnknownExperiment { id, known }) => {
+                assert_eq!(id, "fig99");
+                assert_eq!(known, registry.ids());
+            }
+            Err(other) => panic!("expected UnknownExperiment, got {other:?}"),
+            Ok(e) => panic!("expected UnknownExperiment, got experiment {}", e.id()),
+        }
+    }
+
+    #[test]
+    fn schedule_covers_everything_and_respects_deps() {
+        let registry = Registry::paper();
+        let waves = registry.schedule().unwrap();
+        let mut seen = HashSet::new();
+        let ids = registry.ids();
+        for wave in &waves {
+            for &i in wave {
+                // Every dep completed in a strictly earlier wave.
+                for dep in registry.experiments[i].deps() {
+                    assert!(seen.contains(dep), "{} ran before its dep {dep}", ids[i]);
+                }
+            }
+            for &i in wave {
+                seen.insert(ids[i]);
+            }
+        }
+        assert_eq!(seen.len(), registry.len());
+    }
+
+    #[test]
+    fn declared_deps_order_the_summary_targets() {
+        let registry = Registry::paper();
+        let wall = registry.get("wall").unwrap();
+        assert!(wall.deps().contains(&"fig15"));
+        let fig14 = registry.get("fig14").unwrap();
+        assert!(fig14.deps().contains(&"fig13"));
+    }
+}

@@ -15,12 +15,17 @@ use accelwall_studies::{bitcoin, fpga, gpu, video};
 use std::fmt;
 
 /// Errors produced while assembling a report.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ReportError {
     /// The study layer failed.
     Study(accelwall_studies::StudyError),
     /// The projection layer failed.
     Projection(accelwall_projection::ProjectionError),
+    /// A study roster that should be non-empty came back empty.
+    MissingData {
+        /// What was expected to be present.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ReportError {
@@ -28,6 +33,7 @@ impl fmt::Display for ReportError {
         match self {
             ReportError::Study(e) => write!(f, "study layer failed: {e}"),
             ReportError::Projection(e) => write!(f, "projection layer failed: {e}"),
+            ReportError::MissingData { what } => write!(f, "missing data: {what} is empty"),
         }
     }
 }
@@ -106,10 +112,13 @@ impl DomainReport {
             Domain::BitcoinMining => bitcoin::fig1_series()?,
             Domain::FpgaCnn => fpga::performance_series(fpga::CnnModel::AlexNet)?,
             Domain::GpuGraphics => {
-                let game = gpu::fig5_games()
-                    .into_iter()
-                    .next()
-                    .expect("fig5 games exist");
+                let game =
+                    gpu::fig5_games()
+                        .into_iter()
+                        .next()
+                        .ok_or(ReportError::MissingData {
+                            what: "Fig. 5 game roster",
+                        })?;
                 gpu::performance_series(&game)?
             }
         };
@@ -138,16 +147,12 @@ impl DomainReport {
         })
     }
 
-    /// The Table V parameter the performance wall is most sensitive to.
-    pub fn dominant_constraint(&self) -> &Sensitivity {
+    /// The Table V parameter the performance wall is most sensitive to,
+    /// or `None` for a report with no sensitivity rows.
+    pub fn dominant_constraint(&self) -> Option<&Sensitivity> {
         self.sensitivities
             .iter()
-            .max_by(|a, b| {
-                a.elasticity
-                    .partial_cmp(&b.elasticity)
-                    .expect("finite elasticities")
-            })
-            .expect("three sensitivities per report")
+            .max_by(|a, b| a.elasticity.total_cmp(&b.elasticity))
     }
 
     /// A one-paragraph human-readable summary.
@@ -156,13 +161,11 @@ impl DomainReport {
             Maturity::Emerging => "an",
             Maturity::Mature => "a",
         };
-        let constraint = {
-            let c = self.dominant_constraint();
-            if c.elasticity < 0.05 {
-                "node physics alone (no Table V budget moves it)".to_string()
-            } else {
+        let constraint = match self.dominant_constraint() {
+            Some(c) if c.elasticity >= 0.05 => {
                 format!("{} (elasticity {:.2})", c.parameter, c.elasticity)
             }
+            _ => "node physics alone (no Table V budget moves it)".to_string(),
         };
         format!(
             "{}: {article} {} domain that improved {:.0}x (of which {:.0}x was transistors); \
@@ -203,15 +206,21 @@ mod tests {
     #[test]
     fn maturity_verdicts_match_the_paper() {
         assert_eq!(
-            DomainReport::generate(Domain::VideoDecoding).unwrap().maturity,
+            DomainReport::generate(Domain::VideoDecoding)
+                .unwrap()
+                .maturity,
             Maturity::Mature
         );
         assert_eq!(
-            DomainReport::generate(Domain::GpuGraphics).unwrap().maturity,
+            DomainReport::generate(Domain::GpuGraphics)
+                .unwrap()
+                .maturity,
             Maturity::Mature
         );
         assert_eq!(
-            DomainReport::generate(Domain::BitcoinMining).unwrap().maturity,
+            DomainReport::generate(Domain::BitcoinMining)
+                .unwrap()
+                .maturity,
             Maturity::Mature
         );
         assert_eq!(
@@ -224,8 +233,14 @@ mod tests {
     fn dominant_constraints_are_physical() {
         // GPUs/FPGAs hinge on power; small ASICs on area or clock.
         let gpu = DomainReport::generate(Domain::GpuGraphics).unwrap();
-        assert_eq!(gpu.dominant_constraint().parameter.to_string(), "TDP");
+        assert_eq!(
+            gpu.dominant_constraint().unwrap().parameter.to_string(),
+            "TDP"
+        );
         let video = DomainReport::generate(Domain::VideoDecoding).unwrap();
-        assert_ne!(video.dominant_constraint().parameter.to_string(), "TDP");
+        assert_ne!(
+            video.dominant_constraint().unwrap().parameter.to_string(),
+            "TDP"
+        );
     }
 }

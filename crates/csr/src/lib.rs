@@ -61,7 +61,10 @@ impl fmt::Display for CsrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CsrError::InvalidGain { what, value } => {
-                write!(f, "invalid gain: {what} = {value} (must be positive and finite)")
+                write!(
+                    f,
+                    "invalid gain: {what} = {value} (must be positive and finite)"
+                )
             }
             CsrError::UnknownArchitecture(name) => write!(f, "unknown architecture {name:?}"),
             CsrError::EmptyObservations => write!(f, "no observations to build relations from"),
@@ -190,7 +193,10 @@ impl CsrSeries {
 
     /// Maximum CSR in the series.
     pub fn peak_csr(&self) -> f64 {
-        self.rows.iter().map(|r| r.csr).fold(f64::NEG_INFINITY, f64::max)
+        self.rows
+            .iter()
+            .map(|r| r.csr)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Fits the quadratic trend curve the paper draws through its Fig. 5
@@ -293,7 +299,7 @@ mod tests {
         // merely rides physics — the paper's recurring observation.
         let series = CsrSeries::new(vec![
             ("a", 1.0, 1.0),
-            ("b", 6.0, 3.0),  // CSR 2.0
+            ("b", 6.0, 3.0),   // CSR 2.0
             ("c", 10.0, 10.0), // CSR 1.0, best reported
         ])
         .unwrap();

@@ -108,9 +108,7 @@ impl RelationMatrix {
                 if shared.len() >= min_shared_apps {
                     let ratios: Vec<f64> = shared
                         .iter()
-                        .map(|app| {
-                            obs.gains[&archs[i]][*app] / obs.gains[&archs[j]][*app]
-                        })
+                        .map(|app| obs.gains[&archs[i]][*app] / obs.gains[&archs[j]][*app])
                         .collect();
                     let g = geomean(&ratios).expect("ratios of validated gains are positive");
                     cells[idx(i, j)] = Some(g);
@@ -188,9 +186,7 @@ impl RelationMatrix {
             .archs
             .iter()
             .enumerate()
-            .filter_map(|(i, name)| {
-                self.cells[i * self.archs.len() + j].map(|g| (name.clone(), g))
-            })
+            .filter_map(|(i, name)| self.cells[i * self.archs.len() + j].map(|g| (name.clone(), g)))
             .collect())
     }
 
@@ -267,7 +263,10 @@ mod tests {
     #[test]
     fn min_shared_apps_gate() {
         // Only 3 shared apps: no direct relation, no intermediary either.
-        let obs = consistent_obs(&[("x", 1.0), ("y", 2.0)], &[("a", 1.0), ("b", 2.0), ("c", 3.0)]);
+        let obs = consistent_obs(
+            &[("x", 1.0), ("y", 2.0)],
+            &[("a", 1.0), ("b", 2.0), ("c", 3.0)],
+        );
         let m = RelationMatrix::build(&obs, 5).unwrap();
         assert_eq!(m.gain("x", "y").unwrap(), None);
     }

@@ -46,10 +46,7 @@ impl StackLayer {
     /// Whether the layer belongs to the *specialization stack* — the
     /// dashed box of Fig. 2, i.e. the arguments of Eq. 1's CSR.
     pub fn is_specialization_layer(self) -> bool {
-        !matches!(
-            self,
-            StackLayer::ComputationDomain | StackLayer::Physical
-        )
+        !matches!(self, StackLayer::ComputationDomain | StackLayer::Physical)
     }
 
     /// The paper's Fig. 2 examples for this layer.
@@ -133,7 +130,9 @@ mod tests {
     #[test]
     fn examples_match_fig2() {
         assert!(StackLayer::AcceleratorPlatform.examples().contains(&"ASIC"));
-        assert!(StackLayer::ProgrammingFramework.examples().contains(&"CUDA"));
+        assert!(StackLayer::ProgrammingFramework
+            .examples()
+            .contains(&"CUDA"));
         assert!(StackLayer::Physical.examples().contains(&"45nm CMOS"));
     }
 }

@@ -196,7 +196,11 @@ mod tests {
         b.output("o", s);
         assert!(matches!(
             b.build(),
-            Err(DfgError::ArityMismatch { op: Op::Add, given: 1, required: 2 })
+            Err(DfgError::ArityMismatch {
+                op: Op::Add,
+                given: 1,
+                required: 2
+            })
         ));
     }
 

@@ -163,10 +163,8 @@ mod tests {
     fn nine_examples_cover_the_grid() {
         let examples = tpu_examples();
         assert_eq!(examples.len(), 9);
-        let cells: std::collections::HashSet<_> = examples
-            .iter()
-            .map(|e| (e.component, e.concept))
-            .collect();
+        let cells: std::collections::HashSet<_> =
+            examples.iter().map(|e| (e.component, e.concept)).collect();
         assert_eq!(cells.len(), 9);
     }
 
@@ -179,7 +177,10 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(SpecializationConcept::Partitioning.to_string(), "Partitioning");
+        assert_eq!(
+            SpecializationConcept::Partitioning.to_string(),
+            "Partitioning"
+        );
         assert_eq!(Component::Communication.to_string(), "Communication");
     }
 

@@ -62,9 +62,7 @@ impl Dfg {
                 let (label, shape, color) = match &node.kind {
                     NodeKind::Input(name) => (name.clone(), "house", "lightblue"),
                     NodeKind::Output(name) => (name.clone(), "invhouse", "lightsalmon"),
-                    NodeKind::Compute(op) => {
-                        (format!("{op:?}"), "box", compute_color(*op))
-                    }
+                    NodeKind::Compute(op) => (format!("{op:?}"), "box", compute_color(*op)),
                 };
                 writeln!(
                     out,

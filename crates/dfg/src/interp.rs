@@ -27,8 +27,7 @@ impl Dfg {
                     .get(name)
                     .ok_or_else(|| DfgError::MissingInput(name.clone()))?,
                 NodeKind::Compute(op) => {
-                    let args: Vec<f64> =
-                        node.operands.iter().map(|o| values[o.index()]).collect();
+                    let args: Vec<f64> = node.operands.iter().map(|o| values[o.index()]).collect();
                     self.apply(*op, &args)
                 }
                 NodeKind::Output(name) => {
@@ -122,9 +121,18 @@ mod tests {
 
     #[test]
     fn bitwise_ops() {
-        assert_eq!(eval1(Op::And, &[0b1100 as f64, 0b1010 as f64]), 0b1000 as f64);
-        assert_eq!(eval1(Op::Or, &[0b1100 as f64, 0b1010 as f64]), 0b1110 as f64);
-        assert_eq!(eval1(Op::Xor, &[0b1100 as f64, 0b1010 as f64]), 0b0110 as f64);
+        assert_eq!(
+            eval1(Op::And, &[0b1100 as f64, 0b1010 as f64]),
+            0b1000 as f64
+        );
+        assert_eq!(
+            eval1(Op::Or, &[0b1100 as f64, 0b1010 as f64]),
+            0b1110 as f64
+        );
+        assert_eq!(
+            eval1(Op::Xor, &[0b1100 as f64, 0b1010 as f64]),
+            0b0110 as f64
+        );
         assert_eq!(eval1(Op::Shl, &[1.0, 4.0]), 16.0);
         assert_eq!(eval1(Op::Shr, &[16.0, 4.0]), 1.0);
         assert_eq!(eval1(Op::Not, &[0.0]), u32::MAX as f64);

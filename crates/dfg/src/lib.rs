@@ -101,7 +101,11 @@ pub enum DfgError {
 impl fmt::Display for DfgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DfgError::ArityMismatch { op, given, required } => {
+            DfgError::ArityMismatch {
+                op,
+                given,
+                required,
+            } => {
                 write!(f, "{op:?} takes {required} operands, got {given}")
             }
             DfgError::UnknownNode(id) => write!(f, "unknown node id {id}"),

@@ -184,9 +184,7 @@ mod tests {
         assert_eq!(l.space.to_string(), "Θ(max|WS_s|)");
         let s = stats();
         let t = l.time.evaluate(&s);
-        assert!(
-            (t - s.vertices as f64 * (s.max_working_set as f64).ln()).abs() < 1e-9
-        );
+        assert!((t - s.vertices as f64 * (s.max_working_set as f64).ln()).abs() < 1e-9);
     }
 
     #[test]
@@ -199,7 +197,10 @@ mod tests {
 
     #[test]
     fn computation_simplification_constant_space() {
-        let l = concept_limit(SpecializationConcept::Simplification, Component::Computation);
+        let l = concept_limit(
+            SpecializationConcept::Simplification,
+            Component::Computation,
+        );
         assert_eq!(l.space, Complexity::One);
         assert_eq!(l.space.evaluate(&stats()), 1.0);
         assert_eq!(l.time, Complexity::E);

@@ -1,7 +1,8 @@
-//! Property-based tests over randomly generated dataflow graphs.
+//! Randomized tests over randomly generated dataflow graphs, driven by
+//! the deterministic [`Rng`] from `accelwall-stats`.
 
 use accelwall_dfg::{Dfg, DfgBuilder, NodeId, Op};
-use proptest::prelude::*;
+use accelwall_stats::Rng;
 use std::collections::HashMap;
 
 /// Ops safe for the interpreter on arbitrary positive inputs (no division
@@ -17,12 +18,26 @@ const SAFE_OPS: [Op; 8] = [
     Op::Copy,
 ];
 
+const CASES: u64 = 128;
+
 /// A recipe for one random DAG: `(inputs, ops)` where each op is
 /// `(op selector, operand selectors)`; operands index *already existing*
 /// nodes, so the graph is a DAG by construction — mirroring the builder's
 /// own guarantee.
-fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u8, u8, u8, u8)>)> {
-    (1usize..8, prop::collection::vec(any::<(u8, u8, u8, u8)>(), 1..60))
+fn arb_graph(rng: &mut Rng) -> (usize, Vec<(u8, u8, u8, u8)>) {
+    let inputs = rng.range(1, 8) as usize;
+    let n_ops = rng.range(1, 60) as usize;
+    let ops = (0..n_ops)
+        .map(|_| {
+            (
+                rng.below(256) as u8,
+                rng.below(256) as u8,
+                rng.below(256) as u8,
+                rng.below(256) as u8,
+            )
+        })
+        .collect();
+    (inputs, ops)
 }
 
 fn build(inputs: usize, ops: &[(u8, u8, u8, u8)]) -> Dfg {
@@ -51,62 +66,72 @@ fn build(inputs: usize, ops: &[(u8, u8, u8, u8)]) -> Dfg {
     b.build().expect("random graphs are valid by construction")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn stats_invariants_hold((inputs, ops) in arb_graph()) {
+#[test]
+fn stats_invariants_hold() {
+    let mut rng = Rng::seed(0xDF60_0001);
+    for _ in 0..CASES {
+        let (inputs, ops) = arb_graph(&mut rng);
         let g = build(inputs, &ops);
         let s = g.stats();
         // Partition of the vertex set.
-        prop_assert_eq!(s.inputs + s.computes + s.outputs, s.vertices);
+        assert_eq!(s.inputs + s.computes + s.outputs, s.vertices);
         // Depth is bounded by the vertex count and is at least in->out.
-        prop_assert!(s.depth >= 2);
-        prop_assert!(s.depth <= s.vertices);
+        assert!(s.depth >= 2);
+        assert!(s.depth <= s.vertices);
         // Edges: each compute has arity edges, each output one.
-        prop_assert!(s.edges >= s.computes + s.outputs);
+        assert!(s.edges >= s.computes + s.outputs);
         // Paths reach every output.
-        prop_assert!(s.path_count >= s.outputs as u128);
+        assert!(s.path_count >= s.outputs as u128);
         // Working sets cannot exceed live values, which cannot exceed |V|.
-        prop_assert!(s.max_working_set <= s.vertices);
-        prop_assert!(s.max_stage_width <= s.vertices);
+        assert!(s.max_working_set <= s.vertices);
+        assert!(s.max_stage_width <= s.vertices);
     }
+}
 
-    #[test]
-    fn stages_partition_the_graph((inputs, ops) in arb_graph()) {
+#[test]
+fn stages_partition_the_graph() {
+    let mut rng = Rng::seed(0xDF60_0002);
+    for _ in 0..CASES {
+        let (inputs, ops) = arb_graph(&mut rng);
         let g = build(inputs, &ops);
         let total: usize = g.stages().iter().map(Vec::len).sum();
-        prop_assert_eq!(total, g.vertex_count());
+        assert_eq!(total, g.vertex_count());
         // Every node's operands live at strictly lower levels.
         let levels = g.asap_levels();
         for id in g.ids() {
             for op in &g.node(id).operands {
-                prop_assert!(levels[op.index()] < levels[id.index()]);
+                assert!(levels[op.index()] < levels[id.index()]);
             }
         }
     }
+}
 
-    #[test]
-    fn interpreter_is_deterministic_and_total(
-        (inputs, ops) in arb_graph(),
-        seed in 1u32..1000,
-    ) {
+#[test]
+fn interpreter_is_deterministic_and_total() {
+    let mut rng = Rng::seed(0xDF60_0003);
+    for _ in 0..CASES {
+        let (inputs, ops) = arb_graph(&mut rng);
+        let seed = rng.range(1, 1000) as u32;
         let g = build(inputs, &ops);
         let vals: HashMap<String, f64> = (0..inputs)
             .map(|i| (format!("x{i}"), f64::from(seed + i as u32) * 0.37 + 1.0))
             .collect();
         let a = g.evaluate(&vals);
         let b = g.evaluate(&vals);
-        prop_assert_eq!(&a, &b);
+        assert_eq!(&a, &b);
         if let Ok(out) = a {
-            prop_assert!(!out.is_empty());
-            prop_assert!(out.values().all(|v| v.is_finite()));
+            assert!(!out.is_empty());
+            assert!(out.values().all(|v| v.is_finite()));
         }
     }
+}
 
-    #[test]
-    fn copy_chains_do_not_change_depth_semantics((inputs, ops) in arb_graph()) {
-        // Appending a Copy to an output's source adds exactly one level.
+#[test]
+fn copy_chains_do_not_change_depth_semantics() {
+    // Appending a Copy to an output's source adds exactly one level.
+    let mut rng = Rng::seed(0xDF60_0004);
+    for _ in 0..CASES {
+        let (inputs, ops) = arb_graph(&mut rng);
         let g = build(inputs, &ops);
         let d1 = g.depth();
         let mut b = DfgBuilder::new("wrapped");
@@ -118,7 +143,11 @@ proptest! {
             let operands: Vec<NodeId> = match op.arity() {
                 1 => vec![nodes[pick(a_sel, n)]],
                 2 => vec![nodes[pick(a_sel, n)], nodes[pick(b_sel, n)]],
-                _ => vec![nodes[pick(a_sel, n)], nodes[pick(b_sel, n)], nodes[pick(c_sel, n)]],
+                _ => vec![
+                    nodes[pick(a_sel, n)],
+                    nodes[pick(b_sel, n)],
+                    nodes[pick(c_sel, n)],
+                ],
             };
             nodes.push(b.op(op, &operands));
         }
@@ -128,15 +157,19 @@ proptest! {
             b.output(format!("o{k}"), c);
         }
         let wrapped = b.build().unwrap();
-        prop_assert_eq!(wrapped.depth(), d1 + 1);
+        assert_eq!(wrapped.depth(), d1 + 1);
     }
+}
 
-    #[test]
-    fn working_sets_bound_stage_widths_of_live_values((inputs, ops) in arb_graph()) {
+#[test]
+fn working_sets_bound_stage_widths_of_live_values() {
+    let mut rng = Rng::seed(0xDF60_0005);
+    for _ in 0..CASES {
+        let (inputs, ops) = arb_graph(&mut rng);
         let g = build(inputs, &ops);
         let ws = g.working_sets();
         // The final working set (before outputs) covers the output sources.
-        prop_assert!(ws.iter().all(|&w| w <= g.vertex_count()));
+        assert!(ws.iter().all(|&w| w <= g.vertex_count()));
     }
 }
 

@@ -149,15 +149,11 @@ mod tests {
         let rows = fig3d_grid(&PotentialModel::paper());
         let capped = rows
             .iter()
-            .find(|r| {
-                r.node == TechNode::N5 && r.die_mm2 == 800.0 && r.zone == TdpZone::W200To800
-            })
+            .find(|r| r.node == TechNode::N5 && r.die_mm2 == 800.0 && r.zone == TdpZone::W200To800)
             .unwrap();
         let open = rows
             .iter()
-            .find(|r| {
-                r.node == TechNode::N5 && r.die_mm2 == 800.0 && r.zone == TdpZone::Above800W
-            })
+            .find(|r| r.node == TechNode::N5 && r.die_mm2 == 800.0 && r.zone == TdpZone::Above800W)
             .unwrap();
         assert!(capped.throughput_gain < open.throughput_gain);
         assert!(

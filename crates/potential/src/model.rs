@@ -160,7 +160,8 @@ impl PotentialModel {
     /// Area-limited transistor budget: `TC(D)` at the spec's density factor.
     pub fn area_limited_transistors(&self, spec: &ChipSpec) -> f64 {
         debug_assert!(spec.validate().is_ok(), "invalid spec: {spec:?}");
-        self.tc_law.eval(spec.node.density_factor(spec.die_area_mm2))
+        self.tc_law
+            .eval(spec.node.density_factor(spec.die_area_mm2))
     }
 
     /// Power-limited transistor budget: the Fig. 3c law inverted for the
@@ -203,7 +204,11 @@ impl PotentialModel {
         let node = spec.node;
         let dynamic =
             active * spec.freq_ghz * DYN_W_PER_TRANSISTOR_GHZ_45 * node.dynamic_energy_rel();
-        let leaking = if self.dark_silicon_leakage { all } else { active };
+        let leaking = if self.dark_silicon_leakage {
+            all
+        } else {
+            active
+        };
         let leakage = leaking * LEAK_W_PER_TRANSISTOR_45 * node.leakage_rel();
         dynamic.min(spec.tdp_w) + leakage
     }
@@ -363,7 +368,10 @@ mod tests {
         let bad = ChipSpec::new(TechNode::N45, -1.0, 1.0, 100.0);
         assert!(matches!(
             bad.validate(),
-            Err(PotentialError::InvalidSpec { field: "die_area_mm2", .. })
+            Err(PotentialError::InvalidSpec {
+                field: "die_area_mm2",
+                ..
+            })
         ));
         let bad = ChipSpec::new(TechNode::N45, 100.0, 0.0, 100.0);
         assert!(bad.validate().is_err());
@@ -388,8 +396,16 @@ mod tests {
         // bigger dies leave more silicon unpowered.
         let m = model();
         let dark = |node, die| m.dark_fraction(&ChipSpec::new(node, die, 1.0, 200.0));
-        assert_eq!(dark(TechNode::N45, 50.0), 0.0, "small old chip is area-bound");
-        assert!(dark(TechNode::N5, 800.0) > 0.7, "{}", dark(TechNode::N5, 800.0));
+        assert_eq!(
+            dark(TechNode::N45, 50.0),
+            0.0,
+            "small old chip is area-bound"
+        );
+        assert!(
+            dark(TechNode::N5, 800.0) > 0.7,
+            "{}",
+            dark(TechNode::N5, 800.0)
+        );
         assert!(dark(TechNode::N5, 800.0) > dark(TechNode::N16, 800.0));
         assert!(dark(TechNode::N5, 800.0) > dark(TechNode::N5, 100.0));
     }

@@ -43,7 +43,12 @@ pub fn physical_roadmap(
         let Some(node) = TechNode::newest_by_year(year) else {
             continue;
         };
-        let spec = ChipSpec::new(node, template.die_area_mm2, template.freq_ghz, template.tdp_w);
+        let spec = ChipSpec::new(
+            node,
+            template.die_area_mm2,
+            template.freq_ghz,
+            template.tdp_w,
+        );
         let base = *baseline.get_or_insert(spec);
         points.push(RoadmapPoint {
             year,

@@ -65,14 +65,12 @@ fn trajectory(domain: Domain, metric: TargetMetric) -> Result<Vec<(f64, f64, f64
                 .iter()
                 .map(|g| {
                     let (reported, physical) = match metric {
-                        TargetMetric::Performance => (
-                            gpu::latent_performance_gain(g),
-                            g.physical_throughput(),
-                        ),
-                        TargetMetric::EnergyEfficiency => (
-                            gpu::latent_efficiency_gain(g),
-                            g.physical_efficiency(),
-                        ),
+                        TargetMetric::Performance => {
+                            (gpu::latent_performance_gain(g), g.physical_throughput())
+                        }
+                        TargetMetric::EnergyEfficiency => {
+                            (gpu::latent_efficiency_gain(g), g.physical_efficiency())
+                        }
                     };
                     (f64::from(g.year), reported, physical)
                 })
@@ -134,15 +132,8 @@ pub fn beyond_wall(domain: Domain, metric: TargetMetric) -> Result<BeyondWall> {
             traj.len()
         )));
     }
-    let historical_cagr = cagr(
-        &traj.iter().map(|&(y, r, _)| (y, r)).collect::<Vec<_>>(),
-    )?;
-    let csr_cagr = cagr(
-        &traj
-            .iter()
-            .map(|&(y, r, p)| (y, r / p))
-            .collect::<Vec<_>>(),
-    )?;
+    let historical_cagr = cagr(&traj.iter().map(|&(y, r, _)| (y, r)).collect::<Vec<_>>())?;
+    let csr_cagr = cagr(&traj.iter().map(|&(y, r, p)| (y, r / p)).collect::<Vec<_>>())?;
     let growth = (1.0 + historical_cagr).max(1.0 + 1e-9).ln();
     let runway = |headroom: f64| headroom.max(1.0).ln() / growth;
     let required_csr_speedup = if csr_cagr > 1e-6 {

@@ -199,7 +199,10 @@ pub fn projection_input_with(
         (Domain::FpgaCnn, TargetMetric::Performance) => {
             let rows = all_fpga_rows();
             let base = fpga_budget(&rows[0]);
-            let pts = rows.iter().map(|r| (fpga_budget(r) / base, r.gops)).collect();
+            let pts = rows
+                .iter()
+                .map(|r| (fpga_budget(r) / base, r.gops))
+                .collect();
             let limit = NodeGroup::N10ToN5.paper_tdp_law().eval(limits.tdp_w) / base;
             (pts, limit)
         }
@@ -211,8 +214,7 @@ pub fn projection_input_with(
                 .map(|r| (fpga_budget(r) / r.power_w / base, r.gops_per_joule()))
                 .collect();
             let lean_tdp = limits.tdp_w * limits.min_die_mm2 / limits.max_die_mm2;
-            let limit =
-                NodeGroup::N10ToN5.paper_tdp_law().eval(lean_tdp) / lean_tdp / base;
+            let limit = NodeGroup::N10ToN5.paper_tdp_law().eval(lean_tdp) / lean_tdp / base;
             (pts, limit)
         }
         (Domain::BitcoinMining, TargetMetric::Performance) => {
@@ -286,7 +288,11 @@ mod tests {
                 let w = wall(d, m);
                 assert!(w.physical_limit > 1.0, "{d} {m:?}");
                 assert!(w.current_best > 0.0);
-                assert!(w.frontier_len >= 2, "{d} {m:?}: frontier {}", w.frontier_len);
+                assert!(
+                    w.frontier_len >= 2,
+                    "{d} {m:?}: frontier {}",
+                    w.frontier_len
+                );
                 assert!(w.further_linear >= 1.0, "{d} {m:?}");
                 assert!(w.further_log >= 1.0);
             }

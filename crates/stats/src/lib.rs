@@ -30,11 +30,13 @@ pub mod descriptive;
 pub mod matrix;
 pub mod pareto;
 pub mod regression;
+pub mod rng;
 
 pub use descriptive::{geomean, mean, median, quantile, stddev, variance};
 pub use matrix::Matrix;
 pub use pareto::{pareto_frontier, ParetoPoint};
 pub use regression::{Linear, LogLinear, Polynomial, PowerLaw};
+pub use rng::Rng;
 
 use std::error::Error;
 use std::fmt;

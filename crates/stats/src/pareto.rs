@@ -9,7 +9,6 @@
 //! minimizes capability while maximizing gain, and both coordinates are
 //! strictly increasing along it.
 
-
 /// A point in the (x = capability, y = gain) plane, with an opaque index
 /// back into the caller's dataset.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -76,7 +76,11 @@ impl Linear {
                 e * e
             })
             .sum();
-        let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+        let r_squared = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
         let mean_x = sx / n;
         let sxx_centered = sxx - n * mean_x * mean_x;
         let residual_variance = if xs.len() > 2 {
@@ -302,7 +306,11 @@ impl Polynomial {
                 e * e
             })
             .sum();
-        let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+        let r_squared = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
         Ok(Polynomial { r_squared, ..poly })
     }
 

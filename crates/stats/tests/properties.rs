@@ -1,128 +1,176 @@
-//! Property-based tests for the statistics substrate.
+//! Randomized-property tests for the statistics substrate, driven by the
+//! crate's own deterministic [`Rng`] (the offline environments this repo
+//! builds in have no registry access, so no proptest).
 
 use accelwall_stats::pareto::dominates;
-use accelwall_stats::{geomean, mean, pareto_frontier, Linear, LogLinear, Polynomial, PowerLaw};
-use proptest::prelude::*;
+use accelwall_stats::{
+    geomean, mean, pareto_frontier, Linear, LogLinear, Polynomial, PowerLaw, Rng,
+};
 
-fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1e6f64..1e6, len)
+const CASES: u64 = 200;
+
+fn finite_vec(rng: &mut Rng, len: std::ops::Range<usize>) -> Vec<f64> {
+    let n = rng.range(len.start as u64, len.end as u64) as usize;
+    (0..n).map(|_| rng.uniform(-1e6, 1e6)).collect()
 }
 
-fn positive_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(1e-3f64..1e6, len)
+fn positive_vec(rng: &mut Rng, len: std::ops::Range<usize>) -> Vec<f64> {
+    let n = rng.range(len.start as u64, len.end as u64) as usize;
+    (0..n).map(|_| rng.log_uniform(1e-3, 1e6)).collect()
 }
 
-proptest! {
-    #[test]
-    fn mean_bounded_by_min_max(v in finite_vec(1..64)) {
+#[test]
+fn mean_bounded_by_min_max() {
+    let mut rng = Rng::seed(0x57A7_0001);
+    for _ in 0..CASES {
+        let v = finite_vec(&mut rng, 1..64);
         let m = mean(&v).unwrap();
         let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
     }
+}
 
-    #[test]
-    fn geomean_bounded_by_arithmetic_mean(v in positive_vec(1..64)) {
-        // AM-GM inequality.
+#[test]
+fn geomean_bounded_by_arithmetic_mean() {
+    // AM-GM inequality.
+    let mut rng = Rng::seed(0x57A7_0002);
+    for _ in 0..CASES {
+        let v = positive_vec(&mut rng, 1..64);
         let g = geomean(&v).unwrap();
         let a = mean(&v).unwrap();
-        prop_assert!(g <= a * (1.0 + 1e-9));
+        assert!(g <= a * (1.0 + 1e-9));
     }
+}
 
-    #[test]
-    fn geomean_of_reciprocals_is_reciprocal(v in positive_vec(1..32)) {
+#[test]
+fn geomean_of_reciprocals_is_reciprocal() {
+    let mut rng = Rng::seed(0x57A7_0003);
+    for _ in 0..CASES {
+        let v = positive_vec(&mut rng, 1..32);
         let recip: Vec<f64> = v.iter().map(|x| 1.0 / x).collect();
         let g = geomean(&v).unwrap();
         let gr = geomean(&recip).unwrap();
-        prop_assert!((g * gr - 1.0).abs() < 1e-6);
+        assert!((g * gr - 1.0).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn linear_fit_recovers_exact_lines(
-        slope in -100.0f64..100.0,
-        intercept in -100.0f64..100.0,
-        xs in prop::collection::vec(-1e3f64..1e3, 3..32),
-    ) {
+#[test]
+fn linear_fit_recovers_exact_lines() {
+    let mut rng = Rng::seed(0x57A7_0004);
+    for _ in 0..CASES {
+        let slope = rng.uniform(-100.0, 100.0);
+        let intercept = rng.uniform(-100.0, 100.0);
+        let n = rng.range(3, 32) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.uniform(-1e3, 1e3)).collect();
         // Require at least two distinct x values.
-        prop_assume!(xs.iter().any(|&x| (x - xs[0]).abs() > 1e-3));
+        if !xs.iter().any(|&x| (x - xs[0]).abs() > 1e-3) {
+            continue;
+        }
         let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
         let f = Linear::fit(&xs, &ys).unwrap();
-        prop_assert!((f.slope - slope).abs() < 1e-4 * (1.0 + slope.abs()));
-        prop_assert!((f.intercept - intercept).abs() < 1e-3 * (1.0 + intercept.abs()));
+        assert!((f.slope - slope).abs() < 1e-4 * (1.0 + slope.abs()));
+        assert!((f.intercept - intercept).abs() < 1e-3 * (1.0 + intercept.abs()));
     }
+}
 
-    #[test]
-    fn power_law_fit_recovers_exact_laws(
-        coef in 1e-3f64..1e3,
-        expo in -3.0f64..3.0,
-        xs in prop::collection::vec(1e-2f64..1e3, 3..32),
-    ) {
-        prop_assume!(xs.iter().any(|&x| (x / xs[0]).ln().abs() > 1e-2));
+#[test]
+fn power_law_fit_recovers_exact_laws() {
+    let mut rng = Rng::seed(0x57A7_0005);
+    for _ in 0..CASES {
+        let coef = rng.log_uniform(1e-3, 1e3);
+        let expo = rng.uniform(-3.0, 3.0);
+        let n = rng.range(3, 32) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.log_uniform(1e-2, 1e3)).collect();
+        if !xs.iter().any(|&x| (x / xs[0]).ln().abs() > 1e-2) {
+            continue;
+        }
         let law = PowerLaw::new(coef, expo);
         let ys: Vec<f64> = xs.iter().map(|&x| law.eval(x)).collect();
         let fit = PowerLaw::fit(&xs, &ys).unwrap();
-        prop_assert!((fit.coefficient / coef - 1.0).abs() < 1e-5);
-        prop_assert!((fit.exponent - expo).abs() < 1e-5);
+        assert!((fit.coefficient / coef - 1.0).abs() < 1e-5);
+        assert!((fit.exponent - expo).abs() < 1e-5);
     }
+}
 
-    #[test]
-    fn log_linear_fit_recovers_exact_models(
-        slope in -100.0f64..100.0,
-        intercept in -100.0f64..100.0,
-        xs in prop::collection::vec(1e-2f64..1e3, 3..32),
-    ) {
-        prop_assume!(xs.iter().any(|&x| (x / xs[0]).ln().abs() > 1e-2));
-        let ys: Vec<f64> = xs.iter().map(|x: &f64| slope * x.ln() + intercept).collect();
+#[test]
+fn log_linear_fit_recovers_exact_models() {
+    let mut rng = Rng::seed(0x57A7_0006);
+    for _ in 0..CASES {
+        let slope = rng.uniform(-100.0, 100.0);
+        let intercept = rng.uniform(-100.0, 100.0);
+        let n = rng.range(3, 32) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.log_uniform(1e-2, 1e3)).collect();
+        if !xs.iter().any(|&x| (x / xs[0]).ln().abs() > 1e-2) {
+            continue;
+        }
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x.ln() + intercept).collect();
         let f = LogLinear::fit(&xs, &ys).unwrap();
-        prop_assert!((f.slope - slope).abs() < 1e-4 * (1.0 + slope.abs()));
+        assert!((f.slope - slope).abs() < 1e-4 * (1.0 + slope.abs()));
     }
+}
 
-    #[test]
-    fn polynomial_interpolates_through_distinct_points(
-        mut xs in prop::collection::vec(-50.0f64..50.0, 4..8),
-    ) {
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+#[test]
+fn polynomial_interpolates_through_distinct_points() {
+    let mut rng = Rng::seed(0x57A7_0007);
+    for _ in 0..CASES {
+        let n = rng.range(4, 8) as usize;
+        let mut xs: Vec<f64> = (0..n).map(|_| rng.uniform(-50.0, 50.0)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("draws are finite"));
         xs.dedup_by(|a, b| (*a - *b).abs() < 0.5);
-        prop_assume!(xs.len() >= 4);
+        if xs.len() < 4 {
+            continue;
+        }
         let ys: Vec<f64> = xs.iter().map(|x| x * x * x - 2.0 * x + 1.0).collect();
         let p = Polynomial::fit(&xs, &ys, 3).unwrap();
         for (&x, &y) in xs.iter().zip(&ys) {
-            prop_assert!((p.eval(x) - y).abs() < 1e-3 * (1.0 + y.abs()));
+            assert!((p.eval(x) - y).abs() < 1e-3 * (1.0 + y.abs()));
         }
     }
+}
 
-    #[test]
-    fn pareto_frontier_is_dominance_free_subset(
-        xs in positive_vec(1..64),
-    ) {
+#[test]
+fn pareto_frontier_is_dominance_free_subset() {
+    let mut rng = Rng::seed(0x57A7_0008);
+    for _ in 0..CASES {
+        let xs = positive_vec(&mut rng, 1..64);
         let n = xs.len();
-        let ys: Vec<f64> = xs.iter().map(|x| (x * 7919.0).sin().abs() * 100.0 + 1.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| (x * 7919.0).sin().abs() * 100.0 + 1.0)
+            .collect();
         let front = pareto_frontier(&xs, &ys).unwrap();
-        prop_assert!(!front.is_empty());
-        prop_assert!(front.len() <= n);
+        assert!(!front.is_empty());
+        assert!(front.len() <= n);
         // Frontier points come from the input.
         for p in &front {
-            prop_assert_eq!(xs[p.index], p.x);
-            prop_assert_eq!(ys[p.index], p.y);
+            assert_eq!(xs[p.index], p.x);
+            assert_eq!(ys[p.index], p.y);
         }
         // No input point strictly dominates any frontier point.
         for p in &front {
             for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
                 if i != p.index {
-                    prop_assert!(!dominates((x, y), (p.x, p.y)),
-                        "frontier point {:?} dominated by input ({x}, {y})", p);
+                    assert!(
+                        !dominates((x, y), (p.x, p.y)),
+                        "frontier point {p:?} dominated by input ({x}, {y})"
+                    );
                 }
             }
         }
         // Staircase shape.
         for w in front.windows(2) {
-            prop_assert!(w[0].x < w[1].x);
-            prop_assert!(w[0].y < w[1].y);
+            assert!(w[0].x < w[1].x);
+            assert!(w[0].y < w[1].y);
         }
     }
+}
 
-    #[test]
-    fn pareto_frontier_invariant_under_shuffle(xs in positive_vec(2..32)) {
+#[test]
+fn pareto_frontier_invariant_under_shuffle() {
+    let mut rng = Rng::seed(0x57A7_0009);
+    for _ in 0..CASES {
+        let xs = positive_vec(&mut rng, 2..32);
         let ys: Vec<f64> = xs.iter().map(|x| (x * 13.0).cos().abs() + 0.1).collect();
         let f1 = pareto_frontier(&xs, &ys).unwrap();
         let mut rev_x: Vec<f64> = xs.clone();
@@ -132,6 +180,6 @@ proptest! {
         let f2 = pareto_frontier(&rev_x, &rev_y).unwrap();
         let a: Vec<(f64, f64)> = f1.iter().map(|p| (p.x, p.y)).collect();
         let b: Vec<(f64, f64)> = f2.iter().map(|p| (p.x, p.y)).collect();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

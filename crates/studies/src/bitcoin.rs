@@ -74,34 +74,158 @@ pub fn miners() -> Vec<Miner> {
     // (name, platform, node, GH/s, W, mm², (year, month), GHz)
     #[allow(clippy::type_complexity)] // literal datasheet rows
     let rows: [(&str, Platform, TechNode, f64, f64, f64, (u32, u32), f64); 14] = [
-        ("Athlon 64 3400+", Platform::Cpu, TechNode::N130, 0.0014, 89.0, 193.0, (2009, 1), 2.4),
-        ("Core i7-950", Platform::Cpu, TechNode::N45, 0.02, 130.0, 263.0, (2010, 3), 3.07),
-        ("Radeon HD 5870", Platform::Gpu, TechNode::N40, 0.40, 188.0, 334.0, (2010, 9), 0.85),
-        ("Radeon HD 6990 (per die)", Platform::Gpu, TechNode::N40, 0.41, 188.0, 389.0, (2011, 4), 0.83),
-        ("Spartan-6 LX150", Platform::Fpga, TechNode::N45, 0.10, 6.8, 220.0, (2011, 6), 0.1),
-        ("X6500 (dual LX150, per chip)", Platform::Fpga, TechNode::N45, 0.2, 8.5, 220.0, (2011, 9), 0.2),
-        ("ASICMiner BE100", Platform::Asic, TechNode::N130, 0.3, 2.0, 30.0, (2012, 12), 0.3),
-        ("Avalon A3256", Platform::Asic, TechNode::N110, 0.282, 1.2, 22.0, (2013, 1), 0.28),
-        ("Bitfury gen1", Platform::Asic, TechNode::N55, 1.56, 1.9, 14.0, (2013, 10), 0.32),
-        ("BM1380 (Antminer S1)", Platform::Asic, TechNode::N55, 2.8, 3.1, 18.0, (2013, 11), 0.35),
-        ("BM1382 (Antminer S3)", Platform::Asic, TechNode::N28, 11.2, 11.0, 20.0, (2014, 7), 0.45),
-        ("BM1384 (Antminer S5)", Platform::Asic, TechNode::N28, 21.5, 12.5, 24.0, (2014, 12), 0.5),
-        ("BM1385 (Antminer S7)", Platform::Asic, TechNode::N28, 32.5, 13.2, 26.0, (2015, 8), 0.6),
-        ("BM1387 (Antminer S9)", Platform::Asic, TechNode::N16, 74.0, 7.3, 15.5, (2016, 6), 0.65),
+        (
+            "Athlon 64 3400+",
+            Platform::Cpu,
+            TechNode::N130,
+            0.0014,
+            89.0,
+            193.0,
+            (2009, 1),
+            2.4,
+        ),
+        (
+            "Core i7-950",
+            Platform::Cpu,
+            TechNode::N45,
+            0.02,
+            130.0,
+            263.0,
+            (2010, 3),
+            3.07,
+        ),
+        (
+            "Radeon HD 5870",
+            Platform::Gpu,
+            TechNode::N40,
+            0.40,
+            188.0,
+            334.0,
+            (2010, 9),
+            0.85,
+        ),
+        (
+            "Radeon HD 6990 (per die)",
+            Platform::Gpu,
+            TechNode::N40,
+            0.41,
+            188.0,
+            389.0,
+            (2011, 4),
+            0.83,
+        ),
+        (
+            "Spartan-6 LX150",
+            Platform::Fpga,
+            TechNode::N45,
+            0.10,
+            6.8,
+            220.0,
+            (2011, 6),
+            0.1,
+        ),
+        (
+            "X6500 (dual LX150, per chip)",
+            Platform::Fpga,
+            TechNode::N45,
+            0.2,
+            8.5,
+            220.0,
+            (2011, 9),
+            0.2,
+        ),
+        (
+            "ASICMiner BE100",
+            Platform::Asic,
+            TechNode::N130,
+            0.3,
+            2.0,
+            30.0,
+            (2012, 12),
+            0.3,
+        ),
+        (
+            "Avalon A3256",
+            Platform::Asic,
+            TechNode::N110,
+            0.282,
+            1.2,
+            22.0,
+            (2013, 1),
+            0.28,
+        ),
+        (
+            "Bitfury gen1",
+            Platform::Asic,
+            TechNode::N55,
+            1.56,
+            1.9,
+            14.0,
+            (2013, 10),
+            0.32,
+        ),
+        (
+            "BM1380 (Antminer S1)",
+            Platform::Asic,
+            TechNode::N55,
+            2.8,
+            3.1,
+            18.0,
+            (2013, 11),
+            0.35,
+        ),
+        (
+            "BM1382 (Antminer S3)",
+            Platform::Asic,
+            TechNode::N28,
+            11.2,
+            11.0,
+            20.0,
+            (2014, 7),
+            0.45,
+        ),
+        (
+            "BM1384 (Antminer S5)",
+            Platform::Asic,
+            TechNode::N28,
+            21.5,
+            12.5,
+            24.0,
+            (2014, 12),
+            0.5,
+        ),
+        (
+            "BM1385 (Antminer S7)",
+            Platform::Asic,
+            TechNode::N28,
+            32.5,
+            13.2,
+            26.0,
+            (2015, 8),
+            0.6,
+        ),
+        (
+            "BM1387 (Antminer S9)",
+            Platform::Asic,
+            TechNode::N16,
+            74.0,
+            7.3,
+            15.5,
+            (2016, 6),
+            0.65,
+        ),
     ];
     rows.iter()
-        .map(
-            |&(name, platform, node, gh, w, mm2, intro, ghz)| Miner {
-                name,
-                platform,
-                node,
-                ghash_per_s: gh,
-                power_w: w,
-                die_mm2: mm2,
-                intro,
-                freq_ghz: ghz,
-            },
-        )
+        .map(|&(name, platform, node, gh, w, mm2, intro, ghz)| Miner {
+            name,
+            platform,
+            node,
+            ghash_per_s: gh,
+            power_w: w,
+            die_mm2: mm2,
+            intro,
+            freq_ghz: ghz,
+        })
         .collect()
 }
 
@@ -209,9 +333,7 @@ mod tests {
     #[test]
     fn platform_procession_is_chronological() {
         let all = miners();
-        assert!(all
-            .windows(2)
-            .all(|w| w[0].intro <= w[1].intro));
+        assert!(all.windows(2).all(|w| w[0].intro <= w[1].intro));
         assert_eq!(all[0].platform, Platform::Cpu);
         assert_eq!(all.last().unwrap().platform, Platform::Asic);
     }
@@ -283,13 +405,7 @@ mod tests {
         // Paper insight: each platform jump (CPU->GPU->FPGA->ASIC) is a
         // one-time CSR leap.
         let s = fig9_performance_series().unwrap();
-        let csr_of = |name: &str| {
-            s.rows
-                .iter()
-                .find(|r| r.label.contains(name))
-                .unwrap()
-                .csr
-        };
+        let csr_of = |name: &str| s.rows.iter().find(|r| r.label.contains(name)).unwrap().csr;
         let cpu = csr_of("i7-950");
         let gpu = csr_of("5870");
         let asic = csr_of("S9");
@@ -303,13 +419,7 @@ mod tests {
         // within the modern (28/16 nm) region, with a decline between —
         // the 110 nm -> 28 nm sprint outpaced algorithmic innovation.
         let s = fig9_efficiency_series().unwrap();
-        let csr_of = |name: &str| {
-            s.rows
-                .iter()
-                .find(|r| r.label.contains(name))
-                .unwrap()
-                .csr
-        };
+        let csr_of = |name: &str| s.rows.iter().find(|r| r.label.contains(name)).unwrap().csr;
         let region1_peak = csr_of("Avalon").max(csr_of("BE100"));
         let region2_start = csr_of("S3");
         let region2_end = csr_of("S9");

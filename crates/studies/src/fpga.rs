@@ -74,17 +74,138 @@ pub fn alexnet_impls() -> Vec<FpgaImpl> {
     // (label, device, node, GOPS, W, LUT%, DSP%, BRAM%, MHz, device DSPs)
     #[allow(clippy::type_complexity)] // literal datasheet rows
     let rows: [(&str, &str, TechNode, f64, f64, f64, f64, f64, f64, f64); 11] = [
-        ("FPGA2015", "Virtex-7 VX485T", TechNode::N28, 61.6, 18.6, 61.3, 80.0, 50.0, 100.0, 2800.0),
-        ("FPGA2016", "Stratix-V GSD8", TechNode::N28, 72.4, 25.8, 46.0, 37.0, 52.0, 120.0, 1963.0),
-        ("FPGA2016*", "Stratix-V GXA7", TechNode::N28, 114.5, 19.1, 58.0, 100.0, 61.0, 150.0, 256.0),
-        ("ICCAD2016", "Stratix-V GXA7", TechNode::N28, 134.1, 20.1, 81.0, 100.0, 70.0, 150.0, 256.0),
-        ("FPL2016", "Zynq XC7Z045", TechNode::N28, 161.9, 9.4, 83.0, 88.0, 87.0, 150.0, 900.0),
-        ("ISCA2017", "Arria-10 GX1150", TechNode::N20, 360.4, 35.0, 52.0, 49.0, 61.0, 240.0, 1518.0),
-        ("ISCA2017*", "Arria-10 GX1150", TechNode::N20, 460.5, 37.0, 55.0, 60.0, 66.0, 250.0, 1518.0),
-        ("ISCA2017**", "Arria-10 GX1150", TechNode::N20, 619.0, 41.0, 58.0, 70.0, 70.0, 270.0, 1518.0),
-        ("FPGA2017", "KU060", TechNode::N20, 365.0, 25.0, 60.0, 55.0, 58.0, 200.0, 2760.0),
-        ("FPGA2017*", "Arria-10 GX1150", TechNode::N20, 1382.0, 44.3, 58.0, 97.0, 61.0, 303.0, 1518.0),
-        ("FPGA2017**", "Arria-10 GX1150", TechNode::N20, 1020.0, 40.0, 62.0, 85.0, 72.0, 280.0, 1518.0),
+        (
+            "FPGA2015",
+            "Virtex-7 VX485T",
+            TechNode::N28,
+            61.6,
+            18.6,
+            61.3,
+            80.0,
+            50.0,
+            100.0,
+            2800.0,
+        ),
+        (
+            "FPGA2016",
+            "Stratix-V GSD8",
+            TechNode::N28,
+            72.4,
+            25.8,
+            46.0,
+            37.0,
+            52.0,
+            120.0,
+            1963.0,
+        ),
+        (
+            "FPGA2016*",
+            "Stratix-V GXA7",
+            TechNode::N28,
+            114.5,
+            19.1,
+            58.0,
+            100.0,
+            61.0,
+            150.0,
+            256.0,
+        ),
+        (
+            "ICCAD2016",
+            "Stratix-V GXA7",
+            TechNode::N28,
+            134.1,
+            20.1,
+            81.0,
+            100.0,
+            70.0,
+            150.0,
+            256.0,
+        ),
+        (
+            "FPL2016",
+            "Zynq XC7Z045",
+            TechNode::N28,
+            161.9,
+            9.4,
+            83.0,
+            88.0,
+            87.0,
+            150.0,
+            900.0,
+        ),
+        (
+            "ISCA2017",
+            "Arria-10 GX1150",
+            TechNode::N20,
+            360.4,
+            35.0,
+            52.0,
+            49.0,
+            61.0,
+            240.0,
+            1518.0,
+        ),
+        (
+            "ISCA2017*",
+            "Arria-10 GX1150",
+            TechNode::N20,
+            460.5,
+            37.0,
+            55.0,
+            60.0,
+            66.0,
+            250.0,
+            1518.0,
+        ),
+        (
+            "ISCA2017**",
+            "Arria-10 GX1150",
+            TechNode::N20,
+            619.0,
+            41.0,
+            58.0,
+            70.0,
+            70.0,
+            270.0,
+            1518.0,
+        ),
+        (
+            "FPGA2017",
+            "KU060",
+            TechNode::N20,
+            365.0,
+            25.0,
+            60.0,
+            55.0,
+            58.0,
+            200.0,
+            2760.0,
+        ),
+        (
+            "FPGA2017*",
+            "Arria-10 GX1150",
+            TechNode::N20,
+            1382.0,
+            44.3,
+            58.0,
+            97.0,
+            61.0,
+            303.0,
+            1518.0,
+        ),
+        (
+            "FPGA2017**",
+            "Arria-10 GX1150",
+            TechNode::N20,
+            1020.0,
+            40.0,
+            62.0,
+            85.0,
+            72.0,
+            280.0,
+            1518.0,
+        ),
     ];
     build(CnnModel::AlexNet, &rows)
 }
@@ -93,15 +214,114 @@ pub fn alexnet_impls() -> Vec<FpgaImpl> {
 pub fn vgg16_impls() -> Vec<FpgaImpl> {
     #[allow(clippy::type_complexity)] // literal datasheet rows
     let rows: [(&str, &str, TechNode, f64, f64, f64, f64, f64, f64, f64); 9] = [
-        ("FPGA2016", "Zynq XC7Z045", TechNode::N28, 137.0, 9.6, 84.0, 89.0, 87.0, 150.0, 900.0),
-        ("FPGA2016*", "Stratix-V GSD8", TechNode::N28, 117.8, 25.8, 52.0, 40.0, 56.0, 120.0, 1963.0),
-        ("FPGA2016**", "Virtex-7 VX690T", TechNode::N28, 202.4, 26.0, 55.0, 78.0, 67.0, 150.0, 3600.0),
-        ("ICCAD2016", "Arria-10 GX1150", TechNode::N20, 645.3, 50.0, 38.0, 100.0, 52.0, 200.0, 1518.0),
-        ("FCCM2017", "Virtex-7 VX690T", TechNode::N28, 354.0, 26.0, 56.0, 90.0, 70.0, 200.0, 3600.0),
-        ("FPGA2017", "Arria-10 GX1150", TechNode::N20, 866.0, 41.7, 60.0, 65.0, 62.0, 240.0, 1518.0),
-        ("FPGA2017*", "KU060", TechNode::N20, 310.0, 26.0, 58.0, 53.0, 60.0, 200.0, 2760.0),
-        ("FPGA2018", "Virtex-7 VX690T", TechNode::N28, 570.0, 35.0, 70.0, 101.0, 83.0, 200.0, 3600.0),
-        ("FPGA2018*", "Arria-10 GX1150", TechNode::N20, 1171.0, 50.0, 65.0, 100.0, 76.0, 242.0, 1518.0),
+        (
+            "FPGA2016",
+            "Zynq XC7Z045",
+            TechNode::N28,
+            137.0,
+            9.6,
+            84.0,
+            89.0,
+            87.0,
+            150.0,
+            900.0,
+        ),
+        (
+            "FPGA2016*",
+            "Stratix-V GSD8",
+            TechNode::N28,
+            117.8,
+            25.8,
+            52.0,
+            40.0,
+            56.0,
+            120.0,
+            1963.0,
+        ),
+        (
+            "FPGA2016**",
+            "Virtex-7 VX690T",
+            TechNode::N28,
+            202.4,
+            26.0,
+            55.0,
+            78.0,
+            67.0,
+            150.0,
+            3600.0,
+        ),
+        (
+            "ICCAD2016",
+            "Arria-10 GX1150",
+            TechNode::N20,
+            645.3,
+            50.0,
+            38.0,
+            100.0,
+            52.0,
+            200.0,
+            1518.0,
+        ),
+        (
+            "FCCM2017",
+            "Virtex-7 VX690T",
+            TechNode::N28,
+            354.0,
+            26.0,
+            56.0,
+            90.0,
+            70.0,
+            200.0,
+            3600.0,
+        ),
+        (
+            "FPGA2017",
+            "Arria-10 GX1150",
+            TechNode::N20,
+            866.0,
+            41.7,
+            60.0,
+            65.0,
+            62.0,
+            240.0,
+            1518.0,
+        ),
+        (
+            "FPGA2017*",
+            "KU060",
+            TechNode::N20,
+            310.0,
+            26.0,
+            58.0,
+            53.0,
+            60.0,
+            200.0,
+            2760.0,
+        ),
+        (
+            "FPGA2018",
+            "Virtex-7 VX690T",
+            TechNode::N28,
+            570.0,
+            35.0,
+            70.0,
+            101.0,
+            83.0,
+            200.0,
+            3600.0,
+        ),
+        (
+            "FPGA2018*",
+            "Arria-10 GX1150",
+            TechNode::N20,
+            1171.0,
+            50.0,
+            65.0,
+            100.0,
+            76.0,
+            242.0,
+            1518.0,
+        ),
     ];
     build(CnnModel::Vgg16, &rows)
 }
@@ -109,7 +329,18 @@ pub fn vgg16_impls() -> Vec<FpgaImpl> {
 #[allow(clippy::type_complexity)]
 fn build(
     model: CnnModel,
-    rows: &[(&'static str, &'static str, TechNode, f64, f64, f64, f64, f64, f64, f64)],
+    rows: &[(
+        &'static str,
+        &'static str,
+        TechNode,
+        f64,
+        f64,
+        f64,
+        f64,
+        f64,
+        f64,
+        f64,
+    )],
 ) -> Vec<FpgaImpl> {
     rows.iter()
         .map(
@@ -183,9 +414,8 @@ pub fn efficiency_series(model: CnnModel) -> Result<CsrSeries> {
             .expect("finite")
     });
     let base = rows[0].clone();
-    let physical_ee = |r: &FpgaImpl| {
-        r.physical_budget() / (r.power_w * r.node.dynamic_energy_rel())
-    };
+    let physical_ee =
+        |r: &FpgaImpl| r.physical_budget() / (r.power_w * r.node.dynamic_energy_rel());
     Ok(CsrSeries::new(
         rows.iter()
             .map(|r| {
@@ -294,9 +524,8 @@ mod tests {
         // Paper: VGG's 3x model size and 20x ops/image stress FPGA
         // resources; its implementations run at >= the BRAM pressure of
         // AlexNet's on average.
-        let avg = |v: &[FpgaImpl], f: fn(&FpgaImpl) -> f64| {
-            v.iter().map(f).sum::<f64>() / v.len() as f64
-        };
+        let avg =
+            |v: &[FpgaImpl], f: fn(&FpgaImpl) -> f64| v.iter().map(f).sum::<f64>() / v.len() as f64;
         let alex = alexnet_impls();
         let vgg = vgg16_impls();
         assert!(avg(&vgg, |r| r.bram_pct) >= avg(&alex, |r| r.bram_pct) - 5.0);

@@ -76,29 +76,227 @@ pub fn gpu_chips() -> Vec<GpuChip> {
     use GpuTier::{HighEnd as H, MidRange as M};
     #[allow(clippy::type_complexity)] // literal datasheet rows
     let rows: [(&str, &str, TechNode, f64, f64, f64, u32, GpuTier); 22] = [
-        ("GeForce 8800 GT", "Tesla", TechNode::N65, 754e6, 600.0, 105.0, 2007, H),
-        ("GeForce GTX 280", "Tesla 2", TechNode::N65, 1.4e9, 602.0, 236.0, 2008, H),
-        ("GeForce GTX 285", "Tesla 2", TechNode::N55, 1.4e9, 648.0, 204.0, 2009, H),
-        ("Radeon HD 5870", "TeraScale 2", TechNode::N40, 2.15e9, 850.0, 188.0, 2009, H),
-        ("GeForce GTX 480", "Fermi", TechNode::N40, 3.0e9, 700.0, 250.0, 2010, H),
-        ("GeForce GTX 580", "Fermi 2", TechNode::N40, 3.0e9, 772.0, 244.0, 2011, H),
-        ("Radeon HD 7970", "GCN 1", TechNode::N28, 4.31e9, 925.0, 250.0, 2012, H),
-        ("GeForce GTX 680", "Kepler", TechNode::N28, 3.54e9, 1006.0, 195.0, 2012, H),
-        ("Radeon R9 290X", "GCN 2", TechNode::N28, 6.2e9, 1000.0, 290.0, 2013, H),
-        ("GeForce GTX 980", "Maxwell 2", TechNode::N28, 5.2e9, 1126.0, 165.0, 2014, H),
-        ("GeForce GTX 980 Ti", "Maxwell 2", TechNode::N28, 8.0e9, 1075.0, 250.0, 2015, H),
-        ("GeForce GTX 1070", "Pascal", TechNode::N16, 7.2e9, 1506.0, 150.0, 2016, H),
-        ("GeForce GTX 1080", "Pascal", TechNode::N16, 7.2e9, 1607.0, 180.0, 2016, H),
-        ("GeForce GTX 1080 Ti", "Pascal", TechNode::N16, 11.8e9, 1480.0, 250.0, 2017, H),
+        (
+            "GeForce 8800 GT",
+            "Tesla",
+            TechNode::N65,
+            754e6,
+            600.0,
+            105.0,
+            2007,
+            H,
+        ),
+        (
+            "GeForce GTX 280",
+            "Tesla 2",
+            TechNode::N65,
+            1.4e9,
+            602.0,
+            236.0,
+            2008,
+            H,
+        ),
+        (
+            "GeForce GTX 285",
+            "Tesla 2",
+            TechNode::N55,
+            1.4e9,
+            648.0,
+            204.0,
+            2009,
+            H,
+        ),
+        (
+            "Radeon HD 5870",
+            "TeraScale 2",
+            TechNode::N40,
+            2.15e9,
+            850.0,
+            188.0,
+            2009,
+            H,
+        ),
+        (
+            "GeForce GTX 480",
+            "Fermi",
+            TechNode::N40,
+            3.0e9,
+            700.0,
+            250.0,
+            2010,
+            H,
+        ),
+        (
+            "GeForce GTX 580",
+            "Fermi 2",
+            TechNode::N40,
+            3.0e9,
+            772.0,
+            244.0,
+            2011,
+            H,
+        ),
+        (
+            "Radeon HD 7970",
+            "GCN 1",
+            TechNode::N28,
+            4.31e9,
+            925.0,
+            250.0,
+            2012,
+            H,
+        ),
+        (
+            "GeForce GTX 680",
+            "Kepler",
+            TechNode::N28,
+            3.54e9,
+            1006.0,
+            195.0,
+            2012,
+            H,
+        ),
+        (
+            "Radeon R9 290X",
+            "GCN 2",
+            TechNode::N28,
+            6.2e9,
+            1000.0,
+            290.0,
+            2013,
+            H,
+        ),
+        (
+            "GeForce GTX 980",
+            "Maxwell 2",
+            TechNode::N28,
+            5.2e9,
+            1126.0,
+            165.0,
+            2014,
+            H,
+        ),
+        (
+            "GeForce GTX 980 Ti",
+            "Maxwell 2",
+            TechNode::N28,
+            8.0e9,
+            1075.0,
+            250.0,
+            2015,
+            H,
+        ),
+        (
+            "GeForce GTX 1070",
+            "Pascal",
+            TechNode::N16,
+            7.2e9,
+            1506.0,
+            150.0,
+            2016,
+            H,
+        ),
+        (
+            "GeForce GTX 1080",
+            "Pascal",
+            TechNode::N16,
+            7.2e9,
+            1607.0,
+            180.0,
+            2016,
+            H,
+        ),
+        (
+            "GeForce GTX 1080 Ti",
+            "Pascal",
+            TechNode::N16,
+            11.8e9,
+            1480.0,
+            250.0,
+            2017,
+            H,
+        ),
         // Mid-range parts (Fig. 5's translucent markers).
-        ("GeForce GTS 450", "Fermi", TechNode::N40, 1.17e9, 783.0, 106.0, 2010, M),
-        ("GeForce GTX 560 Ti", "Fermi 2", TechNode::N40, 1.95e9, 822.0, 170.0, 2011, M),
-        ("Radeon HD 7850", "GCN 1", TechNode::N28, 2.8e9, 860.0, 130.0, 2012, M),
-        ("GeForce GTX 660", "Kepler", TechNode::N28, 2.54e9, 980.0, 140.0, 2012, M),
-        ("Radeon R9 270X", "GCN 1", TechNode::N28, 2.8e9, 1050.0, 180.0, 2013, M),
-        ("GeForce GTX 960", "Maxwell 2", TechNode::N28, 2.94e9, 1127.0, 120.0, 2015, M),
-        ("GeForce GTX 950", "Maxwell 2", TechNode::N28, 2.94e9, 1024.0, 90.0, 2015, M),
-        ("GeForce GTX 1060", "Pascal", TechNode::N16, 4.4e9, 1708.0, 120.0, 2016, M),
+        (
+            "GeForce GTS 450",
+            "Fermi",
+            TechNode::N40,
+            1.17e9,
+            783.0,
+            106.0,
+            2010,
+            M,
+        ),
+        (
+            "GeForce GTX 560 Ti",
+            "Fermi 2",
+            TechNode::N40,
+            1.95e9,
+            822.0,
+            170.0,
+            2011,
+            M,
+        ),
+        (
+            "Radeon HD 7850",
+            "GCN 1",
+            TechNode::N28,
+            2.8e9,
+            860.0,
+            130.0,
+            2012,
+            M,
+        ),
+        (
+            "GeForce GTX 660",
+            "Kepler",
+            TechNode::N28,
+            2.54e9,
+            980.0,
+            140.0,
+            2012,
+            M,
+        ),
+        (
+            "Radeon R9 270X",
+            "GCN 1",
+            TechNode::N28,
+            2.8e9,
+            1050.0,
+            180.0,
+            2013,
+            M,
+        ),
+        (
+            "GeForce GTX 960",
+            "Maxwell 2",
+            TechNode::N28,
+            2.94e9,
+            1127.0,
+            120.0,
+            2015,
+            M,
+        ),
+        (
+            "GeForce GTX 950",
+            "Maxwell 2",
+            TechNode::N28,
+            2.94e9,
+            1024.0,
+            90.0,
+            2015,
+            M,
+        ),
+        (
+            "GeForce GTX 1060",
+            "Pascal",
+            TechNode::N16,
+            4.4e9,
+            1708.0,
+            120.0,
+            2016,
+            M,
+        ),
     ];
     rows.iter()
         .map(|&(name, arch, node, tc, mhz, tdp, year, tier)| GpuChip {
@@ -130,19 +328,71 @@ pub struct Game {
 /// needs before Eq. 4 can chain the rest.
 pub fn games() -> Vec<Game> {
     vec![
-        Game { title: "Half-Life 2 LC FHD", since: 2005, base_fps: 60.0 },
-        Game { title: "Oblivion FHD", since: 2006, base_fps: 32.0 },
-        Game { title: "Company of Heroes FHD", since: 2006, base_fps: 45.0 },
-        Game { title: "Crysis FHD", since: 2007, base_fps: 22.0 },
-        Game { title: "BioShock FHD", since: 2007, base_fps: 40.0 },
-        Game { title: "Far Cry 2 FHD", since: 2008, base_fps: 36.0 },
-        Game { title: "Metro 2033 FHD", since: 2010, base_fps: 28.0 },
-        Game { title: "Portal 2 FHD", since: 2011, base_fps: 90.0 },
-        Game { title: "Crysis 3 FHD", since: 2011, base_fps: 24.0 },
-        Game { title: "Battlefield 4 FHD", since: 2011, base_fps: 35.0 },
-        Game { title: "Battlefield 4 QHD", since: 2011, base_fps: 22.0 },
-        Game { title: "GTA V FHD", since: 2011, base_fps: 30.0 },
-        Game { title: "GTA V FHD 99th perc.", since: 2011, base_fps: 21.0 },
+        Game {
+            title: "Half-Life 2 LC FHD",
+            since: 2005,
+            base_fps: 60.0,
+        },
+        Game {
+            title: "Oblivion FHD",
+            since: 2006,
+            base_fps: 32.0,
+        },
+        Game {
+            title: "Company of Heroes FHD",
+            since: 2006,
+            base_fps: 45.0,
+        },
+        Game {
+            title: "Crysis FHD",
+            since: 2007,
+            base_fps: 22.0,
+        },
+        Game {
+            title: "BioShock FHD",
+            since: 2007,
+            base_fps: 40.0,
+        },
+        Game {
+            title: "Far Cry 2 FHD",
+            since: 2008,
+            base_fps: 36.0,
+        },
+        Game {
+            title: "Metro 2033 FHD",
+            since: 2010,
+            base_fps: 28.0,
+        },
+        Game {
+            title: "Portal 2 FHD",
+            since: 2011,
+            base_fps: 90.0,
+        },
+        Game {
+            title: "Crysis 3 FHD",
+            since: 2011,
+            base_fps: 24.0,
+        },
+        Game {
+            title: "Battlefield 4 FHD",
+            since: 2011,
+            base_fps: 35.0,
+        },
+        Game {
+            title: "Battlefield 4 QHD",
+            since: 2011,
+            base_fps: 22.0,
+        },
+        Game {
+            title: "GTA V FHD",
+            since: 2011,
+            base_fps: 30.0,
+        },
+        Game {
+            title: "GTA V FHD 99th perc.",
+            since: 2011,
+            base_fps: 21.0,
+        },
     ]
 }
 
@@ -271,13 +521,7 @@ fn series(
         .clone();
     let rows = tested
         .iter()
-        .map(|(g, v)| {
-            (
-                g.name,
-                v / base_value,
-                physical(g) / physical(&base_gpu),
-            )
-        })
+        .map(|(g, v)| (g.name, v / base_value, physical(g) / physical(&base_gpu)))
         .collect();
     Ok(CsrSeries::new(rows)?)
 }

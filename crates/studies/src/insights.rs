@@ -54,11 +54,13 @@ fn maturity_insight() -> Result<Insight> {
     }
     let evidence = vec![
         ("video best-chip CSR".to_string(), video.csr_of_best_chip()),
-        ("GPU best-chip CSR (max over games)".to_string(), gpu_best_csr),
+        (
+            "GPU best-chip CSR (max over games)".to_string(),
+            gpu_best_csr,
+        ),
         ("CNN peak CSR".to_string(), cnn.peak_csr()),
     ];
-    let holds =
-        video.csr_of_best_chip() <= 1.0 && gpu_best_csr < 1.7 && cnn.peak_csr() > 2.5;
+    let holds = video.csr_of_best_chip() <= 1.0 && gpu_best_csr < 1.7 && cnn.peak_csr() > 2.5;
     Ok(Insight {
         title: "Specialization returns and computation maturity",
         claim: "mature domains' returns plateau or drop for high-performing chips; \
@@ -92,9 +94,7 @@ fn platform_insight() -> Result<Insight> {
     ];
     // Each platform jump multiplies CSR by >2x; six generations of ASICs
     // manage barely 2x among themselves.
-    let holds = gpu > 2.0 * cpu
-        && asic_first > 2.0 * fpga
-        && asic_last / asic_first < 3.0;
+    let holds = gpu > 2.0 * cpu && asic_first > 2.0 * fpga && asic_last / asic_first < 3.0;
     Ok(Insight {
         title: "New platforms deliver a non-recurring boost",
         claim: "most CSR gains came from platform transitions; after each, CSR \

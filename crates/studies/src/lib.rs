@@ -25,8 +25,8 @@
 
 pub mod bitcoin;
 pub mod fpga;
-pub mod insights;
 pub mod gpu;
+pub mod insights;
 pub mod video;
 
 use accelwall_csr::CsrError;

@@ -58,18 +58,126 @@ pub fn decoder_chips() -> Vec<DecoderChip> {
     // [37] Ju ESSCIRC'16 VP9; [38] Zhou JSSC'17 8K HEVC.
     #[allow(clippy::type_complexity)] // literal datasheet rows
     let rows: [(&str, TechNode, f64, f64, f64, Option<f64>, f64, f64); 12] = [
-        ("ISSCC2006", TechNode::N180, 30.0, 180.0, 160.0, Some(4.5), 120.0, 7.0),
-        ("ISSCC2007", TechNode::N130, 62.0, 71.0, 252.0, Some(9.0), 135.0, 8.0),
-        ("VLSI2009", TechNode::N90, 124.0, 60.0, 314.0, Some(30.0), 150.0, 6.0),
-        ("ISSCC2010", TechNode::N65, 249.0, 59.5, 414.0, Some(74.0), 180.0, 7.0),
-        ("JSSC2011", TechNode::N90, 530.0, 198.0, 662.0, Some(80.0), 200.0, 10.0),
-        ("ISSCC2011", TechNode::N40, 1106.0, 170.0, 1000.0, Some(140.0), 270.0, 12.0),
-        ("ISSCC2012", TechNode::N65, 1750.0, 410.0, 1300.0, Some(450.0), 280.0, 21.0),
-        ("ISSCC2013", TechNode::N40, 249.0, 76.0, 446.0, None, 200.0, 1.77),
-        ("ESSCIRC2014", TechNode::N28, 498.0, 100.0, 880.0, Some(164.0), 300.0, 4.0),
-        ("JSSC2016", TechNode::N28, 498.0, 250.0, 1200.0, Some(210.0), 330.0, 5.0),
-        ("ESSCIRC2016", TechNode::N28, 498.0, 95.0, 940.0, None, 310.0, 2.6),
-        ("JSSC2017", TechNode::N40, 1990.0, 690.0, 2900.0, Some(450.0), 400.0, 16.0),
+        (
+            "ISSCC2006",
+            TechNode::N180,
+            30.0,
+            180.0,
+            160.0,
+            Some(4.5),
+            120.0,
+            7.0,
+        ),
+        (
+            "ISSCC2007",
+            TechNode::N130,
+            62.0,
+            71.0,
+            252.0,
+            Some(9.0),
+            135.0,
+            8.0,
+        ),
+        (
+            "VLSI2009",
+            TechNode::N90,
+            124.0,
+            60.0,
+            314.0,
+            Some(30.0),
+            150.0,
+            6.0,
+        ),
+        (
+            "ISSCC2010",
+            TechNode::N65,
+            249.0,
+            59.5,
+            414.0,
+            Some(74.0),
+            180.0,
+            7.0,
+        ),
+        (
+            "JSSC2011",
+            TechNode::N90,
+            530.0,
+            198.0,
+            662.0,
+            Some(80.0),
+            200.0,
+            10.0,
+        ),
+        (
+            "ISSCC2011",
+            TechNode::N40,
+            1106.0,
+            170.0,
+            1000.0,
+            Some(140.0),
+            270.0,
+            12.0,
+        ),
+        (
+            "ISSCC2012",
+            TechNode::N65,
+            1750.0,
+            410.0,
+            1300.0,
+            Some(450.0),
+            280.0,
+            21.0,
+        ),
+        (
+            "ISSCC2013",
+            TechNode::N40,
+            249.0,
+            76.0,
+            446.0,
+            None,
+            200.0,
+            1.77,
+        ),
+        (
+            "ESSCIRC2014",
+            TechNode::N28,
+            498.0,
+            100.0,
+            880.0,
+            Some(164.0),
+            300.0,
+            4.0,
+        ),
+        (
+            "JSSC2016",
+            TechNode::N28,
+            498.0,
+            250.0,
+            1200.0,
+            Some(210.0),
+            330.0,
+            5.0,
+        ),
+        (
+            "ESSCIRC2016",
+            TechNode::N28,
+            498.0,
+            95.0,
+            940.0,
+            None,
+            310.0,
+            2.6,
+        ),
+        (
+            "JSSC2017",
+            TechNode::N40,
+            1990.0,
+            690.0,
+            2900.0,
+            Some(450.0),
+            400.0,
+            16.0,
+        ),
     ];
     rows.iter()
         .map(

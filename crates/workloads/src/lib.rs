@@ -255,8 +255,11 @@ pub enum InstanceSize {
 impl InstanceSize {
     /// All tiers, ascending.
     pub fn all() -> &'static [InstanceSize] {
-        const ALL: [InstanceSize; 3] =
-            [InstanceSize::Small, InstanceSize::Default, InstanceSize::Large];
+        const ALL: [InstanceSize; 3] = [
+            InstanceSize::Small,
+            InstanceSize::Default,
+            InstanceSize::Large,
+        ];
         &ALL
     }
 }

@@ -23,7 +23,9 @@ pub fn build_gmm(n: usize) -> Dfg {
         .collect();
     for i in 0..n {
         for j in 0..n {
-            let prods: Vec<NodeId> = (0..n).map(|k| b.op(Op::Mul, &[a[i][k], bb[k][j]])).collect();
+            let prods: Vec<NodeId> = (0..n)
+                .map(|k| b.op(Op::Mul, &[a[i][k], bb[k][j]]))
+                .collect();
             let dot = b.reduce(Op::Add, &prods);
             b.output(format!("c{i}_{j}"), dot);
         }
@@ -218,7 +220,11 @@ mod tests {
         let (m, dim) = (10, 3);
         let g = build_knn(m, dim);
         let points: Vec<Vec<f64>> = (0..m)
-            .map(|i| (0..dim).map(|d| ((i * 3 + d * 7) % 9) as f64 - 4.0).collect())
+            .map(|i| {
+                (0..dim)
+                    .map(|d| ((i * 3 + d * 7) % 9) as f64 - 4.0)
+                    .collect()
+            })
             .collect();
         let query: Vec<f64> = vec![0.5, -1.5, 2.0];
         let mut inputs = HashMap::new();

@@ -89,7 +89,11 @@ mod tests {
         let a = b"GATTAC";
         let c = b"GCATG";
         let scores: Vec<Vec<f64>> = (0..m)
-            .map(|i| (0..n).map(|j| substitution(a[i], c[j], 3.0, -1.0)).collect())
+            .map(|i| {
+                (0..n)
+                    .map(|j| substitution(a[i], c[j], 3.0, -1.0))
+                    .collect()
+            })
             .collect();
         let g = build(m, n);
         let mut inputs = HashMap::from([("gap".to_string(), gap)]);
@@ -118,7 +122,12 @@ mod tests {
         // levels and an add level along the critical path.
         let s8 = build(8, 8).stats();
         let s4 = build(4, 4).stats();
-        assert!(s8.depth > s4.depth + 8, "depth {} vs {}", s8.depth, s4.depth);
+        assert!(
+            s8.depth > s4.depth + 8,
+            "depth {} vs {}",
+            s8.depth,
+            s4.depth
+        );
     }
 
     #[test]
@@ -127,6 +136,10 @@ mod tests {
         // the DP chain threads through every cell on the main diagonal:
         // at least 3 dependent ops per diagonal step.
         let s = build(8, 8).stats();
-        assert!(s.depth > 3 * 8, "depth {} too shallow for a wavefront", s.depth);
+        assert!(
+            s.depth > 3 * 8,
+            "depth {} too shallow for a wavefront",
+            s.depth
+        );
     }
 }

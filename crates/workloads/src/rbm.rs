@@ -43,7 +43,11 @@ pub fn build(visible: usize, hidden: usize) -> Dfg {
 pub fn rbm_reference(v: &[f64], weights: &[Vec<f64>], biases: &[f64]) -> Vec<f64> {
     (0..biases.len())
         .map(|j| {
-            let pre: f64 = v.iter().enumerate().map(|(i, vi)| vi * weights[i][j]).sum::<f64>()
+            let pre: f64 = v
+                .iter()
+                .enumerate()
+                .map(|(i, vi)| vi * weights[i][j])
+                .sum::<f64>()
                 + biases[j];
             1.0 / (1.0 + (-pre).exp())
         })
@@ -61,7 +65,11 @@ mod tests {
         let g = build(nv, nh);
         let v: Vec<f64> = (0..nv).map(|i| (i as f64 * 0.4).sin()).collect();
         let weights: Vec<Vec<f64>> = (0..nv)
-            .map(|i| (0..nh).map(|j| ((i * 3 + j) % 7) as f64 * 0.2 - 0.6).collect())
+            .map(|i| {
+                (0..nh)
+                    .map(|j| ((i * 3 + j) % 7) as f64 * 0.2 - 0.6)
+                    .collect()
+            })
             .collect();
         let biases: Vec<f64> = (0..nh).map(|j| j as f64 * 0.1 - 0.2).collect();
         let mut inputs = HashMap::new();

@@ -18,7 +18,10 @@ use accelwall_dfg::{Dfg, DfgBuilder, NodeId, Op};
 ///
 /// Panics if `n` is not a power of two or below 2.
 pub fn build_fft(n: usize) -> Dfg {
-    assert!(n >= 2 && n.is_power_of_two(), "FFT size must be a power of two >= 2");
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "FFT size must be a power of two >= 2"
+    );
     let mut b = DfgBuilder::new(format!("fft_n{n}"));
 
     // Bit-reversed load order, as the in-place DIT network requires.

@@ -13,7 +13,10 @@ use accelwall_dfg::{Dfg, DfgBuilder, NodeId, Op};
 ///
 /// Panics if `n` is not a power of two or below 2.
 pub fn build_bitonic(n: usize) -> Dfg {
-    assert!(n >= 2 && n.is_power_of_two(), "bitonic size must be a power of two >= 2");
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "bitonic size must be a power of two >= 2"
+    );
     let mut b = DfgBuilder::new(format!("srt_n{n}"));
     let mut wires: Vec<NodeId> = (0..n).map(|i| b.input(format!("x{i}"))).collect();
 

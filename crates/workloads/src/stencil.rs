@@ -97,10 +97,7 @@ pub fn build_3d(nx: usize, ny: usize, nz: usize) -> Dfg {
 
 /// Reference 27-point 3D stencil; `lattice[x][y][z]`, weights in
 /// [`neighborhood3`] order.
-pub fn stencil3d_reference(
-    lattice: &[Vec<Vec<f64>>],
-    weights: &[f64; 27],
-) -> Vec<Vec<Vec<f64>>> {
+pub fn stencil3d_reference(lattice: &[Vec<Vec<f64>>], weights: &[f64; 27]) -> Vec<Vec<Vec<f64>>> {
     let (nx, ny, nz) = (lattice.len(), lattice[0].len(), lattice[0][0].len());
     let mut out = vec![vec![vec![0.0; nz]; ny]; nx];
     for x in 1..nx - 1 {
@@ -159,7 +156,11 @@ mod tests {
         let (rows, cols) = (5, 6);
         let g = build_2d(rows, cols);
         let grid: Vec<Vec<f64>> = (0..rows)
-            .map(|r| (0..cols).map(|c| (r * cols + c) as f64 * 0.5 - 3.0).collect())
+            .map(|r| {
+                (0..cols)
+                    .map(|c| (r * cols + c) as f64 * 0.5 - 3.0)
+                    .collect()
+            })
             .collect();
         let weights = [0.5, 1.0, -0.5, 2.0, 4.0, 2.0, -0.5, 1.0, 0.5];
         let mut inputs = HashMap::new();
@@ -190,7 +191,11 @@ mod tests {
         let lattice: Vec<Vec<Vec<f64>>> = (0..nx)
             .map(|x| {
                 (0..ny)
-                    .map(|y| (0..nz).map(|z| ((x * 7 + y * 3 + z) % 11) as f64 - 5.0).collect())
+                    .map(|y| {
+                        (0..nz)
+                            .map(|z| ((x * 7 + y * 3 + z) % 11) as f64 - 5.0)
+                            .collect()
+                    })
                     .collect()
             })
             .collect();

@@ -46,7 +46,9 @@ mod tests {
         let (rows, cols) = (4, 4);
         let g = build_sad(rows, cols);
         let cur: Vec<f64> = (0..rows * cols).map(|i| (i % 256) as f64).collect();
-        let refb: Vec<f64> = (0..rows * cols).map(|i| ((i * 31 + 5) % 256) as f64).collect();
+        let refb: Vec<f64> = (0..rows * cols)
+            .map(|i| ((i * 31 + 5) % 256) as f64)
+            .collect();
         let mut inputs = HashMap::new();
         for r in 0..rows {
             for c in 0..cols {

@@ -1,23 +1,23 @@
 //! Randomized functional validation: the workload DFGs must agree with
 //! their reference kernels on arbitrary inputs, not just the fixed vectors
-//! the unit tests use.
+//! the unit tests use. Driven by the deterministic [`Rng`] from
+//! `accelwall-stats`.
 
+use accelwall_stats::Rng;
 use accelwall_workloads::{linalg, simple, sorting, stencil, video};
-use proptest::prelude::*;
 use std::collections::HashMap;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    #[test]
-    fn triad_agrees_on_random_inputs(
-        s in -100.0f64..100.0,
-        data in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 4..24),
-    ) {
-        let n = data.len();
+#[test]
+fn triad_agrees_on_random_inputs() {
+    let mut rng = Rng::seed(0xF022_0001);
+    for _ in 0..CASES {
+        let s = rng.uniform(-100.0, 100.0);
+        let n = rng.range(4, 24) as usize;
+        let bs: Vec<f64> = (0..n).map(|_| rng.uniform(-1e3, 1e3)).collect();
+        let cs: Vec<f64> = (0..n).map(|_| rng.uniform(-1e3, 1e3)).collect();
         let g = simple::build_triad(n);
-        let bs: Vec<f64> = data.iter().map(|d| d.0).collect();
-        let cs: Vec<f64> = data.iter().map(|d| d.1).collect();
         let mut inputs = HashMap::from([("s".to_string(), s)]);
         for i in 0..n {
             inputs.insert(format!("b{i}"), bs[i]);
@@ -26,15 +26,17 @@ proptest! {
         let out = g.evaluate(&inputs).unwrap();
         for (i, want) in simple::triad_reference(s, &bs, &cs).iter().enumerate() {
             let got = out[&format!("a{i}")];
-            let close = (got - want).abs() < 1e-9;
-            prop_assert!(close, "lane {}: {} vs {}", i, got, want);
+            assert!((got - want).abs() < 1e-9, "lane {i}: {got} vs {want}");
         }
     }
+}
 
-    #[test]
-    fn reduction_agrees_on_random_inputs(
-        xs in prop::collection::vec(-1e4f64..1e4, 1..200),
-    ) {
+#[test]
+fn reduction_agrees_on_random_inputs() {
+    let mut rng = Rng::seed(0xF022_0002);
+    for _ in 0..CASES {
+        let n = rng.range(1, 200) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.uniform(-1e4, 1e4)).collect();
         let g = simple::build_reduction(xs.len());
         let inputs: HashMap<String, f64> = xs
             .iter()
@@ -45,16 +47,17 @@ proptest! {
         // Tree summation reorders floating-point adds; allow relative slack.
         let want = simple::reduction_reference(&xs);
         let mag: f64 = xs.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
-        prop_assert!((out["sum"] - want).abs() < 1e-9 * mag);
+        assert!((out["sum"] - want).abs() < 1e-9 * mag);
     }
+}
 
-    #[test]
-    fn sad_agrees_on_random_blocks(
-        vals in prop::collection::vec((0.0f64..255.0, 0.0f64..255.0), 16..=16),
-    ) {
+#[test]
+fn sad_agrees_on_random_blocks() {
+    let mut rng = Rng::seed(0xF022_0003);
+    for _ in 0..CASES {
+        let cur: Vec<f64> = (0..16).map(|_| rng.uniform(0.0, 255.0).floor()).collect();
+        let refb: Vec<f64> = (0..16).map(|_| rng.uniform(0.0, 255.0).floor()).collect();
         let g = video::build_sad(4, 4);
-        let cur: Vec<f64> = vals.iter().map(|v| v.0.floor()).collect();
-        let refb: Vec<f64> = vals.iter().map(|v| v.1.floor()).collect();
         let mut inputs = HashMap::new();
         for r in 0..4 {
             for c in 0..4 {
@@ -63,13 +66,15 @@ proptest! {
             }
         }
         let out = g.evaluate(&inputs).unwrap();
-        prop_assert!((out["sad"] - video::sad_reference(&cur, &refb)).abs() < 1e-9);
+        assert!((out["sad"] - video::sad_reference(&cur, &refb)).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn bitonic_sorts_random_inputs(
-        xs in prop::collection::vec(-1e6f64..1e6, 16..=16),
-    ) {
+#[test]
+fn bitonic_sorts_random_inputs() {
+    let mut rng = Rng::seed(0xF022_0004);
+    for _ in 0..CASES {
+        let xs: Vec<f64> = (0..16).map(|_| rng.uniform(-1e6, 1e6)).collect();
         let g = sorting::build_bitonic(16);
         let inputs: HashMap<String, f64> = xs
             .iter()
@@ -78,13 +83,15 @@ proptest! {
             .collect();
         let out = g.evaluate(&inputs).unwrap();
         let got: Vec<f64> = (0..16).map(|i| out[&format!("y{i}")]).collect();
-        prop_assert_eq!(got, sorting::sort_reference(&xs));
+        assert_eq!(got, sorting::sort_reference(&xs));
     }
+}
 
-    #[test]
-    fn gmm_agrees_on_random_matrices(
-        flat in prop::collection::vec(-50.0f64..50.0, 32..=32),
-    ) {
+#[test]
+fn gmm_agrees_on_random_matrices() {
+    let mut rng = Rng::seed(0xF022_0005);
+    for _ in 0..CASES {
+        let flat: Vec<f64> = (0..32).map(|_| rng.uniform(-50.0, 50.0)).collect();
         let n = 4;
         let g = linalg::build_gmm(n);
         let a: Vec<Vec<f64>> = (0..n).map(|i| flat[i * n..(i + 1) * n].to_vec()).collect();
@@ -103,17 +110,18 @@ proptest! {
         for i in 0..n {
             for j in 0..n {
                 let got = out[&format!("c{i}_{j}")];
-                let close = (got - c[i][j]).abs() < 1e-6;
-                prop_assert!(close, "cell ({}, {})", i, j);
+                assert!((got - c[i][j]).abs() < 1e-6, "cell ({i}, {j})");
             }
         }
     }
+}
 
-    #[test]
-    fn stencil2d_agrees_on_random_grids(
-        cells in prop::collection::vec(-100.0f64..100.0, 25..=25),
-        weights in prop::collection::vec(-2.0f64..2.0, 9..=9),
-    ) {
+#[test]
+fn stencil2d_agrees_on_random_grids() {
+    let mut rng = Rng::seed(0xF022_0006);
+    for _ in 0..CASES {
+        let cells: Vec<f64> = (0..25).map(|_| rng.uniform(-100.0, 100.0)).collect();
+        let weights: Vec<f64> = (0..9).map(|_| rng.uniform(-2.0, 2.0)).collect();
         let g = stencil::build_2d(5, 5);
         let grid: Vec<Vec<f64>> = (0..5).map(|r| cells[r * 5..(r + 1) * 5].to_vec()).collect();
         let w: [f64; 9] = weights.as_slice().try_into().unwrap();
@@ -131,8 +139,7 @@ proptest! {
         for r in 1..4 {
             for c in 1..4 {
                 let got = out[&format!("o{r}_{c}")];
-                let close = (got - expected[r][c]).abs() < 1e-8;
-                prop_assert!(close, "cell ({}, {})", r, c);
+                assert!((got - expected[r][c]).abs() < 1e-8, "cell ({r}, {c})");
             }
         }
     }

@@ -74,7 +74,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             a.total_gain, a.csr
         );
         for c in &a.contributions {
-            println!("  {:<16} {:>7.2}x ({:>5.1}% of log gain)", c.source.to_string(), c.factor, c.percent);
+            println!(
+                "  {:<16} {:>7.2}x ({:>5.1}% of log gain)",
+                c.source.to_string(),
+                c.factor,
+                c.percent
+            );
         }
     }
     Ok(())

@@ -44,9 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             b.runway_years_linear
         );
     }
-    println!(
-        "\nonce CMOS stops, sustaining any of those trajectories falls entirely on CSR —"
-    );
+    println!("\nonce CMOS stops, sustaining any of those trajectories falls entirely on CSR —");
     println!("which never grew at a tenth of the required rate in any mature domain.");
     Ok(())
 }

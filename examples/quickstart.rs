@@ -19,9 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A hypothetical 7 nm accelerator: 100 mm² die, 1.2 GHz, 150 W.
     let chip = ChipSpec::new(TechNode::N7, 100.0, 1.2, 150.0);
     let physical_gain = model.throughput_gain(&chip, &baseline);
-    println!(
-        "physical potential of a 100mm² 7nm chip: {physical_gain:.1}x the 45nm reference"
-    );
+    println!("physical potential of a 100mm² 7nm chip: {physical_gain:.1}x the 45nm reference");
     println!(
         "  area-limited budget:  {:.2e} transistors",
         model.area_limited_transistors(&chip)
@@ -38,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let d = decompose(reported, physical_gain, 1.0)?;
     println!("\nreported gain {reported}x decomposes into:");
     println!("  CMOS-driven:           {:.1}x", d.cmos);
-    println!("  specialization-driven: {:.2}x  (the CSR ratio)", d.specialization);
+    println!(
+        "  specialization-driven: {:.2}x  (the CSR ratio)",
+        d.specialization
+    );
 
     // --- 3. Where is the wall? ------------------------------------------
     println!("\naccelerator walls at the 5nm limit:");

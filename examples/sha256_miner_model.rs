@@ -29,11 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = &asics[0];
     let config_at = |node| DesignConfig::new(node, 4096, 5, true);
     let base_report = simulate(&dfg, &config_at(base.node))?;
-    let per_silicon =
-        |r: &accelerator_wall::accelsim::SimReport, node: accelerator_wall::cmos::TechNode| {
-            // Throughput per unit silicon area: ops/s times density.
-            r.throughput() * node.density_rel()
-        };
+    let per_silicon = |r: &accelerator_wall::accelsim::SimReport,
+                       node: accelerator_wall::cmos::TechNode| {
+        // Throughput per unit silicon area: ops/s times density.
+        r.throughput() * node.density_rel()
+    };
     let base_gain = per_silicon(&base_report, base.node);
 
     println!(

@@ -13,7 +13,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Table I: the concept taxonomy on Google's TPU (Fig. 10).
     println!("Table I — specialization concepts, TPU examples:");
     for e in tpu_examples() {
-        println!("  ({}) {:<13} x {:<14} {}", e.index, e.component.to_string(), e.concept.to_string(), e.description);
+        println!(
+            "  ({}) {:<13} x {:<14} {}",
+            e.index,
+            e.component.to_string(),
+            e.concept.to_string(),
+            e.description
+        );
     }
 
     // The TPU's core computation: dense matrix multiply.
@@ -21,7 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = gemm.stats();
     println!(
         "\nGEMM DFG: |V|={} |E|={} |V_IN|={} |V_OUT|={} D={} max|WS|={}",
-        stats.vertices, stats.edges, stats.inputs, stats.outputs, stats.depth, stats.max_working_set
+        stats.vertices,
+        stats.edges,
+        stats.inputs,
+        stats.outputs,
+        stats.depth,
+        stats.max_working_set
     );
 
     // Table II: each concept's theoretical limit, evaluated on this graph.

@@ -4,1113 +4,129 @@
 //!
 //! ```text
 //! accelwall <target> [--json]
-//! accelwall all
+//! accelwall all [--json]
+//! accelwall dot [WORKLOAD] [--json]
 //! accelwall list
 //! ```
 //!
-//! where `<target>` is one of `fig1 fig3a fig3b fig3c fig3d fig4 fig5 fig6
-//! fig7 fig8 fig9 fig11 fig12 fig13 fig14 fig15 fig16 table1 table2 table3
-//! table4 table5 wall`. Each target prints the same rows/series the paper
-//! reports; `--json` emits the series as JSON for external plotting.
+//! The target roster is owned by [`Registry::paper`]; this binary is a
+//! thin driver around it. `list` prints every registered target with its
+//! description, `all` runs the whole registry in dependency order with
+//! independent experiments executing in parallel, and `--json` swaps the
+//! text rendering for the experiment's JSON artifact. With `all`,
+//! `--json` emits one JSON document keyed by experiment id.
 
-use accelerator_wall::prelude::*;
-use accelerator_wall::{chipdb, cmos, dfg, studies};
-use serde_json::{json, Value};
+use accelerator_wall::error::Error;
+use accelerator_wall::experiments::dfg::dot_artifact;
+use accelerator_wall::json::Value;
+use accelerator_wall::prelude::{Ctx, Registry};
 use std::process::ExitCode;
-
-const TARGETS: &[&str] = &[
-    "fig1", "fig2", "fig3a", "fig3b", "fig3c", "fig3d", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table1", "table2", "table3", "table4",
-    "table5", "wall", "beyond", "insights", "dark", "sensitivity", "dot", "roadmap", "report",
-];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let target = args.iter().find(|a| !a.starts_with("--")).cloned();
+    let mut positional = args.iter().filter(|a| !a.starts_with("--"));
+    let target = positional.next().cloned();
+    let operand = positional.next().cloned();
+    let registry = Registry::paper();
     match target.as_deref() {
         None | Some("list") => {
             println!("regeneration targets:");
-            for t in TARGETS {
-                println!("  {t}");
+            for e in registry.experiments() {
+                println!("  {:<12} {}", e.id(), e.description());
             }
-            println!("  all");
+            println!("  {:<12} run every target above", "all");
             ExitCode::SUCCESS
         }
-        Some("all") => {
-            for t in TARGETS {
-                println!("=== {t} ===");
-                if let Err(e) = run(t, json) {
-                    eprintln!("{t} failed: {e}");
-                    return ExitCode::FAILURE;
+        Some("all") => run_all(&registry, json),
+        Some("dot") => {
+            // `dot` keeps its positional operand: any Table IV
+            // abbreviation, defaulting to the Fig. 11 example graph.
+            let which = operand.unwrap_or_else(|| "fig11".to_string());
+            match dot_artifact(&which) {
+                Ok(artifact) => {
+                    if json {
+                        println!("{}", artifact.json.pretty());
+                    } else {
+                        print!("{}", artifact.text);
+                    }
+                    ExitCode::SUCCESS
                 }
-                println!();
+                Err(e) => {
+                    eprintln!("dot failed: {e}");
+                    ExitCode::FAILURE
+                }
             }
-            ExitCode::SUCCESS
         }
-        Some(t) if TARGETS.contains(&t) => match run(t, json) {
-            Ok(()) => ExitCode::SUCCESS,
+        Some(t) => match registry.get(t) {
+            Ok(experiment) => match experiment.run(&Ctx::new()) {
+                Ok(artifact) => {
+                    if json {
+                        println!("{}", artifact.json.pretty());
+                    } else {
+                        print!("{}", artifact.text);
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{t} failed: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e @ Error::UnknownExperiment { .. }) => {
+                eprintln!("{e}");
+                eprintln!("run `accelwall list` for descriptions");
+                ExitCode::FAILURE
+            }
             Err(e) => {
-                eprintln!("{t} failed: {e}");
+                eprintln!("{e}");
                 ExitCode::FAILURE
             }
         },
-        Some(t) => {
-            eprintln!("unknown target {t:?}; run `accelwall list`");
-            ExitCode::FAILURE
+    }
+}
+
+/// Runs the whole registry against one shared memoizing [`Ctx`]:
+/// independent experiments execute concurrently, and every shared input
+/// (corpus, potential model, per-workload sweeps) is computed once.
+fn run_all(registry: &Registry, json: bool) -> ExitCode {
+    let ctx = Ctx::new();
+    let results = match registry.run_all(&ctx) {
+        Ok(results) => results,
+        Err(e) => {
+            eprintln!("scheduling failed: {e}");
+            return ExitCode::FAILURE;
         }
-    }
-}
-
-type AnyError = Box<dyn std::error::Error>;
-
-fn run(target: &str, json: bool) -> Result<(), AnyError> {
-    match target {
-        "fig1" => fig1(json),
-        "fig2" => fig2(json),
-        "fig3a" => fig3a(json),
-        "fig3b" => fig3b(json),
-        "fig3c" => fig3c(json),
-        "fig3d" => fig3d(json),
-        "fig4" => fig4(json),
-        "fig5" => fig5(json),
-        "fig6" => fig67(false, json),
-        "fig7" => fig67(true, json),
-        "fig8" => fig8(json),
-        "fig9" => fig9(json),
-        "fig11" => fig11(json),
-        "fig12" => fig12(json),
-        "fig13" => fig13(json),
-        "fig14" => fig14(json),
-        "fig15" => fig1516(TargetMetric::Performance, json),
-        "fig16" => fig1516(TargetMetric::EnergyEfficiency, json),
-        "table1" => table1(json),
-        "table2" => table2(json),
-        "table3" => table3(json),
-        "table4" => table4(json),
-        "table5" => table5(json),
-        "wall" => wall_summary(json),
-        "beyond" => beyond(json),
-        "insights" => insights(json),
-        "dark" => dark(json),
-        "sensitivity" => sensitivity(json),
-        "dot" => dot_export(json),
-        "roadmap" => roadmap(json),
-        "report" => domain_reports(json),
-        _ => unreachable!("validated by caller"),
-    }
-}
-
-fn emit(json: bool, value: Value, render: impl FnOnce()) {
+    };
+    let mut failed = false;
     if json {
-        println!("{}", serde_json::to_string_pretty(&value).expect("valid json"));
-    } else {
-        render();
-    }
-}
-
-fn series_json(series: &CsrSeries) -> Value {
-    json!(series
-        .rows
-        .iter()
-        .map(|r| {
-            json!({
-                "label": r.label,
-                "reported_gain": r.reported_gain,
-                "physical_gain": r.physical_gain,
-                "csr": r.csr,
-            })
-        })
-        .collect::<Vec<_>>())
-}
-
-fn print_series(title: &str, series: &CsrSeries) {
-    println!("{title}");
-    println!("{:<28} {:>12} {:>12} {:>8}", "chip", "reported(x)", "physical(x)", "CSR");
-    for r in &series.rows {
-        println!(
-            "{:<28} {:>12.2} {:>12.2} {:>8.2}",
-            r.label, r.reported_gain, r.physical_gain, r.csr
-        );
-    }
-}
-
-fn fig1(json: bool) -> Result<(), AnyError> {
-    let series = studies::bitcoin::fig1_series()?;
-    emit(json, series_json(&series), || {
-        print_series(
-            "Fig. 1 — Bitcoin mining ASIC evolution (vs first 130nm ASIC, SHA256 GH/s/mm2)",
-            &series,
-        );
-        println!(
-            "\npeak performance {:.0}x | transistor performance {:.0}x | final CSR {:.2}x",
-            series.peak_reported(),
-            series.peak_physical(),
-            series.rows.last().expect("non-empty").csr
-        );
-    });
-    Ok(())
-}
-
-fn fig2(json: bool) -> Result<(), AnyError> {
-    use accelerator_wall::csr::StackLayer;
-    let value = json!(StackLayer::all()
-        .iter()
-        .map(|l| json!({
-            "layer": l.to_string(),
-            "specialization_layer": l.is_specialization_layer(),
-            "examples": l.examples(),
-            "isolating_study": l.isolating_study(),
-        }))
-        .collect::<Vec<_>>());
-    emit(json, value, || {
-        println!("Fig. 2 — abstraction layers of accelerated systems (the specialization stack)");
-        for l in StackLayer::all() {
-            let tag = if l.is_specialization_layer() { "  [specialization stack]" } else { "" };
-            println!("\n{l}{tag}");
-            println!("  examples: {}", l.examples().join(", "));
-            if let Some(study) = l.isolating_study() {
-                println!("  isolated by: {study}");
-            }
-        }
-    });
-    Ok(())
-}
-
-fn fig3a(json: bool) -> Result<(), AnyError> {
-    let data = cmos::fig3a_series();
-    let value = json!(data
-        .iter()
-        .map(|(m, curve)| {
-            json!({
-                "metric": m.label(),
-                "curve": curve.iter().map(|(n, v)| json!({"node": n.to_string(), "value": v})).collect::<Vec<_>>(),
-            })
-        })
-        .collect::<Vec<_>>());
-    emit(json, value, || {
-        println!("Fig. 3a — CMOS device scaling (relative)");
-        print!("{:<16}", "metric");
-        for (node, _) in &data[0].1 {
-            print!("{:>8}", node.to_string());
-        }
-        println!();
-        for (metric, curve) in &data {
-            print!("{:<16}", metric.label());
-            for (_, v) in curve {
-                print!("{v:>8.3}");
-            }
-            println!();
-        }
-    });
-    Ok(())
-}
-
-fn fig3b(json: bool) -> Result<(), AnyError> {
-    let corpus = CorpusSpec::paper_scale().generate();
-    let fit = chipdb::fit::transistor_density_fit(&corpus)?;
-    let value = json!({
-        "corpus_records": corpus.len(),
-        "fitted": {"coefficient": fit.coefficient, "exponent": fit.exponent, "r_squared": fit.r_squared},
-        "paper": {"coefficient": 4.99e9, "exponent": 0.877},
-    });
-    emit(json, value, || {
-        println!("Fig. 3b — transistor count vs density factor D = area/node^2");
-        println!("corpus: {} synthetic datasheets (1612 CPUs + 1001 GPUs)", corpus.len());
-        println!(
-            "fitted:  TC(D) = {:.3e} * D^{:.3}   (R^2 = {:.3})",
-            fit.coefficient, fit.exponent, fit.r_squared
-        );
-        println!("paper:   TC(D) = 4.990e9 * D^0.877");
-        for d in [0.01, 0.1, 1.0, 10.0, 32.0] {
-            println!("  D = {d:>6}: TC = {:.3e}", fit.eval(d));
-        }
-    });
-    Ok(())
-}
-
-fn fig3c(json: bool) -> Result<(), AnyError> {
-    let corpus = CorpusSpec::paper_scale().generate();
-    let mut rows = Vec::new();
-    for &group in NodeGroup::all() {
-        let published = group.paper_tdp_law();
-        let fitted = chipdb::fit::tdp_fit(&corpus, group).ok();
-        rows.push((group, published, fitted));
-    }
-    let value = json!(rows
-        .iter()
-        .map(|(g, p, f)| {
-            json!({
-                "group": g.to_string(),
-                "paper": {"c": p.coefficient, "e": p.exponent},
-                "fitted": f.map(|f| json!({"c": f.coefficient, "e": f.exponent})),
-            })
-        })
-        .collect::<Vec<_>>());
-    emit(json, value, || {
-        println!("Fig. 3c — transistors[G] x freq[GHz] = c * TDP^e per node group");
-        println!("{:<12} {:>20} {:>24}", "group", "paper c*TDP^e", "corpus-fitted c*TDP^e");
-        for (g, p, f) in &rows {
-            let fitted = f
-                .map(|f| format!("{:.3}*TDP^{:.3}", f.coefficient, f.exponent))
-                .unwrap_or_else(|| "(projection only)".to_string());
-            println!(
-                "{:<12} {:>20} {:>24}",
-                g.to_string(),
-                format!("{:.2}*TDP^{:.3}", p.coefficient, p.exponent),
-                fitted
-            );
-        }
-    });
-    Ok(())
-}
-
-fn fig3d(json: bool) -> Result<(), AnyError> {
-    let rows = fig3d_grid(&PotentialModel::paper());
-    let value = json!(rows
-        .iter()
-        .map(|r| {
-            json!({
-                "node": r.node.to_string(),
-                "die_mm2": r.die_mm2,
-                "zone": r.zone.to_string(),
-                "throughput_gain": r.throughput_gain,
-                "efficiency_gain": r.efficiency_gain,
-            })
-        })
-        .collect::<Vec<_>>());
-    emit(json, value, || {
-        println!("Fig. 3d — physical chip gains vs 25mm2/45nm reference (f = 1 GHz)");
-        println!(
-            "{:>6} {:>8} {:>10} {:>14} {:>14}",
-            "node", "die", "zone", "throughput(x)", "efficiency(x)"
-        );
-        for r in &rows {
-            println!(
-                "{:>6} {:>8} {:>10} {:>14.1} {:>14.2}",
-                r.node.to_string(),
-                format!("{}mm2", r.die_mm2),
-                r.zone.to_string(),
-                r.throughput_gain,
-                r.efficiency_gain
-            );
-        }
-    });
-    Ok(())
-}
-
-fn fig4(json: bool) -> Result<(), AnyError> {
-    let perf = studies::video::performance_series()?;
-    let ee = studies::video::efficiency_series()?;
-    let chips = studies::video::decoder_chips();
-    let value = json!({
-        "performance": series_json(&perf),
-        "efficiency": series_json(&ee),
-        "budget": chips.iter().map(|c| json!({
-            "label": c.label,
-            "node": c.node.to_string(),
-            "transistors": c.transistors(),
-            "freq_mhz": c.freq_mhz,
-        })).collect::<Vec<_>>(),
-    });
-    emit(json, value, || {
-        print_series("Fig. 4a — video decoder ASIC performance (MPixels/s vs ISSCC2006)", &perf);
-        println!();
-        println!("Fig. 4b — hardware budget");
-        println!("{:<14} {:>6} {:>14} {:>10}", "chip", "node", "transistors", "freq MHz");
-        for c in &chips {
-            let tc = c
-                .transistors()
-                .map(|t| format!("{:.2e}", t))
-                .unwrap_or_else(|| "undisclosed".to_string());
-            println!("{:<14} {:>6} {:>14} {:>10.0}", c.label, c.node.to_string(), tc, c.freq_mhz);
-        }
-        println!();
-        print_series("Fig. 4c — video decoder ASIC energy efficiency (MPixels/J)", &ee);
-    });
-    Ok(())
-}
-
-fn fig5(json: bool) -> Result<(), AnyError> {
-    let games = studies::gpu::fig5_games();
-    let mut panels = Vec::new();
-    for game in &games {
-        let perf = studies::gpu::performance_series(game)?;
-        let ee = studies::gpu::efficiency_series(game)?;
-        panels.push((game.title, perf, ee));
-    }
-    let value = json!(panels
-        .iter()
-        .map(|(title, perf, ee)| json!({
-            "game": title,
-            "performance": series_json(perf),
-            "efficiency": series_json(ee),
-        }))
-        .collect::<Vec<_>>());
-    emit(json, value, || {
-        println!("Fig. 5 — GPU frame rates (Apps 1-5)");
-        for (title, perf, ee) in &panels {
-            let last_perf = perf.rows.last().expect("non-empty");
-            let last_ee = ee.rows.last().expect("non-empty");
-            println!(
-                "{:<24} perf x{:.2} (CSR {:.2}) | frames/J x{:.2} (CSR {:.2})",
-                title, last_perf.reported_gain, last_perf.csr, last_ee.reported_gain, last_ee.csr
-            );
-        }
-    });
-    Ok(())
-}
-
-fn fig67(efficiency: bool, json: bool) -> Result<(), AnyError> {
-    let matrix = studies::gpu::arch_relation_matrix(efficiency)?;
-    let rel = matrix.relative_to("Tesla")?;
-    let csrs = studies::gpu::arch_csr(efficiency)?;
-    let value = json!(rel
-        .iter()
-        .map(|(arch, gain)| {
-            let csr = csrs.iter().find(|(a, _)| a == arch).map(|(_, c)| *c);
-            json!({"arch": arch, "gain_vs_tesla": gain, "csr": csr})
-        })
-        .collect::<Vec<_>>());
-    let (fig, what) = if efficiency {
-        ("Fig. 7", "energy efficiency")
-    } else {
-        ("Fig. 6", "throughput")
-    };
-    emit(json, value, || {
-        println!("{fig} — GPU architecture + CMOS scaling: {what} (Eqs. 3-4 relation matrix)");
-        println!("{:<14} {:>16} {:>8}", "architecture", "gain vs Tesla", "CSR");
-        for (arch, gain) in &rel {
-            let csr = csrs
-                .iter()
-                .find(|(a, _)| a == arch)
-                .map(|(_, c)| format!("{c:.2}"))
-                .unwrap_or_default();
-            println!("{:<14} {:>16.2} {:>8}", arch, gain, csr);
-        }
-    });
-    Ok(())
-}
-
-fn fig8(json: bool) -> Result<(), AnyError> {
-    use studies::fpga::CnnModel;
-    let mut value = serde_json::Map::new();
-    let mut text = Vec::new();
-    for model in [CnnModel::AlexNet, CnnModel::Vgg16] {
-        let perf = studies::fpga::performance_series(model)?;
-        let ee = studies::fpga::efficiency_series(model)?;
-        value.insert(
-            model.to_string(),
-            json!({"performance": series_json(&perf), "efficiency": series_json(&ee)}),
-        );
-        text.push((model, perf, ee));
-    }
-    emit(json, Value::Object(value), || {
-        for (model, perf, ee) in &text {
-            print_series(&format!("Fig. 8 — {model} on FPGAs: performance (GOPS gain)"), perf);
-            println!(
-                "peak perf {:.1}x, peak CSR {:.1}x, best-chip CSR {:.1}x",
-                perf.peak_reported(),
-                perf.peak_csr(),
-                perf.csr_of_best_chip()
-            );
-            println!("{model} efficiency: peak {:.1}x (GOP/J)", ee.peak_reported());
-            println!();
-        }
-    });
-    Ok(())
-}
-
-fn fig9(json: bool) -> Result<(), AnyError> {
-    let perf = studies::bitcoin::fig9_performance_series()?;
-    let ee = studies::bitcoin::fig9_efficiency_series()?;
-    let value = json!({"performance": series_json(&perf), "efficiency": series_json(&ee)});
-    emit(json, value, || {
-        print_series(
-            "Fig. 9a — Bitcoin mining, all platforms (GH/s/mm2 vs Athlon 64)",
-            &perf,
-        );
-        println!();
-        print_series("Fig. 9b — Bitcoin mining energy efficiency (GH/J)", &ee);
-    });
-    Ok(())
-}
-
-fn fig11(json: bool) -> Result<(), AnyError> {
-    let mut b = DfgBuilder::new("fig11");
-    let d1 = b.input("d_in1");
-    let d2 = b.input("d_in2");
-    let d3 = b.input("d_in3");
-    let s1a = b.op(Op::Add, &[d1, d2]);
-    let s1b = b.op(Op::Div, &[d2, d3]);
-    let s2a = b.op(Op::Sub, &[s1a, s1b]);
-    let s2b = b.op(Op::Add, &[s1b, d3]);
-    b.output("d_out1", s2a);
-    b.output("d_out2", s2b);
-    let g = b.build()?;
-    let s = g.stats();
-    let value = json!({
-        "vertices": s.vertices, "edges": s.edges, "inputs": s.inputs,
-        "outputs": s.outputs, "depth": s.depth, "compute_stages": s.compute_stages,
-        "paths": s.path_count.to_string(), "max_working_set": s.max_working_set,
-    });
-    emit(json, value, || {
-        println!("Fig. 11 — example DFG: 3 inputs, 2 computation stages, 2 outputs");
-        println!("|V| = {}, |E| = {}, |V_IN| = {}, |V_OUT| = {}", s.vertices, s.edges, s.inputs, s.outputs);
-        println!(
-            "depth D = {}, compute stages = {}, |P| = {} paths, max|WS_s| = {}",
-            s.depth, s.compute_stages, s.path_count, s.max_working_set
-        );
-    });
-    Ok(())
-}
-
-fn fig12(json: bool) -> Result<(), AnyError> {
-    let g = Workload::S3d.default_instance();
-    let s = g.stats();
-    let value = json!({
-        "workload": "S3D", "vertices": s.vertices, "edges": s.edges,
-        "computes": s.computes, "depth": s.depth, "max_stage_width": s.max_stage_width,
-    });
-    emit(json, value, || {
-        println!("Fig. 12 — 3D stencil computation structure (default instance)");
-        println!(
-            "|V| = {} ({} compute ops), |E| = {}, depth = {}, widest stage = {} concurrent vertices",
-            s.vertices, s.computes, s.edges, s.depth, s.max_stage_width
-        );
-        println!("filtering is independent per lattice point: a maximally parallel kernel");
-    });
-    Ok(())
-}
-
-fn fig13(json: bool) -> Result<(), AnyError> {
-    let g = Workload::S3d.default_instance();
-    let points = run_sweep(&g, &SweepSpace::table3())?;
-    let best = accelerator_wall_best(&points);
-    let value = json!({
-        "points": points.len(),
-        "best_efficiency": best.map(|p| json!({
-            "node": p.config.node.to_string(),
-            "partition": p.config.partition_factor,
-            "simplification": p.config.simplification_degree,
-            "runtime_s": p.report.runtime_s,
-            "power_w": p.report.power_w(),
-        })),
-        "scatter": points.iter().step_by(37).map(|p| json!({
-            "node": p.config.node.to_string(),
-            "partition": p.config.partition_factor,
-            "simplification": p.config.simplification_degree,
-            "runtime_s": p.report.runtime_s,
-            "power_w": p.report.power_w(),
-        })).collect::<Vec<_>>(),
-    });
-    emit(json, value, || {
-        println!("Fig. 13 — 3D stencil power/runtime/CMOS sweep ({} design points)", points.len());
-        let baseline = points
-            .iter()
-            .find(|p| {
-                p.config.partition_factor == 1
-                    && p.config.simplification_degree == 1
-                    && p.config.node == TechNode::N45
-            })
-            .expect("baseline in sweep");
-        println!(
-            "baseline 45nm P=1 s=1:   runtime {:>10.3e}s  power {:>8.3}W",
-            baseline.report.runtime_s,
-            baseline.report.power_w()
-        );
-        if let Some(p) = best {
-            println!(
-                "best energy efficiency:  runtime {:>10.3e}s  power {:>8.3}W  @ {} P={} s={}",
-                p.report.runtime_s,
-                p.report.power_w(),
-                p.config.node,
-                p.config.partition_factor,
-                p.config.simplification_degree
-            );
-        }
-        for &node in accelerator_wall::cmos::TechNode::sweep_nodes() {
-            let node_best = points
-                .iter()
-                .filter(|p| p.config.node == node)
-                .max_by(|a, b| {
-                    a.report
-                        .energy_efficiency()
-                        .partial_cmp(&b.report.energy_efficiency())
-                        .expect("finite")
-                })
-                .expect("non-empty");
-            println!(
-                "{:>6}: best-EE point runtime {:>10.3e}s power {:>8.3}W (P={}, s={})",
-                node.to_string(),
-                node_best.report.runtime_s,
-                node_best.report.power_w(),
-                node_best.config.partition_factor,
-                node_best.config.simplification_degree
-            );
-        }
-    });
-    Ok(())
-}
-
-fn accelerator_wall_best(
-    points: &[accelerator_wall::accelsim::SweepPoint],
-) -> Option<&accelerator_wall::accelsim::SweepPoint> {
-    accelerator_wall::accelsim::sweep::best_efficiency(points)
-}
-
-fn fig14(json: bool) -> Result<(), AnyError> {
-    let space = SweepSpace::table3();
-    let mut rows = Vec::new();
-    for &w in Workload::all() {
-        let g = w.default_instance();
-        let perf = attribute_gains(&g, Metric::Performance, &space)?;
-        let ee = attribute_gains(&g, Metric::EnergyEfficiency, &space)?;
-        rows.push((w, perf, ee));
-    }
-    let contribution_json = |a: &Attribution| {
-        json!({
-            "total_gain": a.total_gain,
-            "csr": a.csr,
-            "contributions": a.contributions.iter().map(|c| json!({
-                "source": c.source.to_string(), "factor": c.factor, "percent": c.percent,
-            })).collect::<Vec<_>>(),
-        })
-    };
-    let value = json!(rows
-        .iter()
-        .map(|(w, p, e)| json!({
-            "workload": w.abbrev(),
-            "performance": contribution_json(p),
-            "efficiency": contribution_json(e),
-        }))
-        .collect::<Vec<_>>());
-    emit(json, value, || {
-        for (title, pick) in [
-            ("Fig. 14a — performance gain attribution", 0usize),
-            ("Fig. 14b — energy-efficiency gain attribution", 1),
-        ] {
-            println!("{title}");
-            println!(
-                "{:<5} {:>9} {:>7} | {:>7} {:>7} {:>7} {:>7}  (% of log gain)",
-                "app", "gain(x)", "CSR", "Part", "Het", "Simp", "CMOS"
-            );
-            let mut geo_gain = 0.0;
-            let mut geo_csr = 0.0;
-            for (w, p, e) in &rows {
-                let a = if pick == 0 { p } else { e };
-                let pct = |src: &str| {
-                    a.contributions
-                        .iter()
-                        .find(|c| c.source.to_string().starts_with(src))
-                        .map(|c| c.percent)
-                        .unwrap_or(0.0)
-                };
-                println!(
-                    "{:<5} {:>9.1} {:>7.2} | {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
-                    w.abbrev(),
-                    a.total_gain,
-                    a.csr,
-                    pct("Partitioning"),
-                    pct("Heterogeneity"),
-                    pct("Simplification"),
-                    pct("CMOS")
-                );
-                geo_gain += a.total_gain.ln();
-                geo_csr += a.csr.ln();
-            }
-            let n = rows.len() as f64;
-            println!(
-                "{:<5} {:>9.1} {:>7.2}  (geometric means)",
-                "AVG",
-                (geo_gain / n).exp(),
-                (geo_csr / n).exp()
-            );
-            println!();
-        }
-    });
-    Ok(())
-}
-
-fn fig1516(metric: TargetMetric, json: bool) -> Result<(), AnyError> {
-    let fig = match metric {
-        TargetMetric::Performance => "Fig. 15",
-        TargetMetric::EnergyEfficiency => "Fig. 16",
-    };
-    let mut walls = Vec::new();
-    for &d in Domain::all() {
-        walls.push(accelerator_wall(d, metric)?);
-    }
-    let value = json!(walls
-        .iter()
-        .map(|w| json!({
-            "domain": w.domain.to_string(),
-            "unit": w.domain.unit(w.metric),
-            "physical_limit": w.physical_limit,
-            "current_best": w.current_best,
-            "linear_wall": w.linear_wall,
-            "log_wall": w.log_wall,
-            "further_linear": w.further_linear,
-            "further_log": w.further_log,
-        }))
-        .collect::<Vec<_>>());
-    emit(json, value, || {
-        println!("{fig} — accelerator {} projections at the 5nm limit", match metric {
-            TargetMetric::Performance => "performance",
-            TargetMetric::EnergyEfficiency => "energy-efficiency",
-        });
-        println!(
-            "{:<22} {:>10} {:>12} {:>12} {:>12} {:>16}",
-            "domain", "phys lim", "current", "log wall", "linear wall", "headroom(log-lin)"
-        );
-        for w in &walls {
-            println!(
-                "{:<22} {:>9.0}x {:>12.3e} {:>12.3e} {:>12.3e} {:>7.1}x-{:.1}x  [{}]",
-                w.domain.to_string(),
-                w.physical_limit,
-                w.current_best,
-                w.log_wall,
-                w.linear_wall,
-                w.further_log,
-                w.further_linear,
-                w.domain.unit(w.metric)
-            );
-        }
-    });
-    Ok(())
-}
-
-fn table1(json: bool) -> Result<(), AnyError> {
-    let examples = dfg::concepts::tpu_examples();
-    let value = json!(examples
-        .iter()
-        .map(|e| json!({
-            "component": e.component.to_string(),
-            "concept": e.concept.to_string(),
-            "index": e.index,
-            "description": e.description,
-        }))
-        .collect::<Vec<_>>());
-    emit(json, value, || {
-        println!("Table I — chip specialization concepts, TPU examples (Fig. 10)");
-        for e in examples {
-            println!(
-                "({}) {:<14} x {:<14}: {}",
-                e.index, e.component, e.concept, e.description
-            );
-        }
-    });
-    Ok(())
-}
-
-fn table2(json: bool) -> Result<(), AnyError> {
-    let cells = dfg::limits::table2();
-    let s3d = Workload::S3d.default_instance().stats();
-    let value = json!(cells
-        .iter()
-        .map(|c| json!({
-            "component": c.component.to_string(),
-            "concept": c.concept.to_string(),
-            "time": c.time.to_string(),
-            "space": c.space.to_string(),
-            "time_on_s3d": c.time.evaluate(&s3d),
-            "space_on_s3d": c.space.evaluate(&s3d),
-        }))
-        .collect::<Vec<_>>());
-    emit(json, value, || {
-        println!("Table II — time/space complexity limits of specialization concepts");
-        println!(
-            "{:<14} {:<15} {:<26} {:<22}",
-            "component", "concept", "time", "space"
-        );
-        for c in &cells {
-            println!(
-                "{:<14} {:<15} {:<26} {:<22}",
-                c.component.to_string(),
-                c.concept.to_string(),
-                c.time.to_string(),
-                c.space.to_string()
-            );
-        }
-        println!("\nevaluated on the S3D instance (|V|={}, |E|={}, D={}):", s3d.vertices, s3d.edges, s3d.depth);
-        for c in &cells {
-            println!(
-                "  {:<14}/{:<15} time {:>12.0}  space {:>12.0}",
-                c.component.to_string(),
-                c.concept.to_string(),
-                c.time.evaluate(&s3d),
-                c.space.evaluate(&s3d)
-            );
-        }
-    });
-    Ok(())
-}
-
-fn table3(json: bool) -> Result<(), AnyError> {
-    let space = SweepSpace::table3();
-    let value = json!({
-        "partition_factors": space.partition_factors,
-        "simplification_degrees": space.simplification_degrees,
-        "nodes": space.nodes.iter().map(|n| n.to_string()).collect::<Vec<_>>(),
-        "points": space.len(),
-    });
-    emit(json, value, || {
-        println!("Table III — CMOS-specialization sweep parameters");
-        println!("partitioning factor:   1, 2, 4, ... {}", space.partition_factors.last().expect("non-empty"));
-        println!(
-            "simplification degree: {}..{}",
-            space.simplification_degrees.first().expect("non-empty"),
-            space.simplification_degrees.last().expect("non-empty")
-        );
-        let nodes: Vec<String> = space.nodes.iter().map(|n| n.to_string()).collect();
-        println!("CMOS process:          {}", nodes.join(", "));
-        println!("total design points:   {}", space.len());
-    });
-    Ok(())
-}
-
-fn table4(json: bool) -> Result<(), AnyError> {
-    let value = json!(Workload::all()
-        .iter()
-        .map(|w| json!({
-            "application": w.full_name(),
-            "abbrev": w.abbrev(),
-            "domain": w.domain(),
-            "suite": w.suite(),
-        }))
-        .collect::<Vec<_>>());
-    emit(json, value, || {
-        println!("Table IV — evaluated applications and domains");
-        println!("{:<36} {:<7} {:<20} {:<12}", "application", "abbrev", "domain", "suite");
-        for w in Workload::all() {
-            println!(
-                "{:<36} {:<7} {:<20} {:<12}",
-                w.full_name(),
-                w.abbrev(),
-                w.domain(),
-                w.suite()
-            );
-        }
-    });
-    Ok(())
-}
-
-fn table5(json: bool) -> Result<(), AnyError> {
-    let value = json!(Domain::all()
-        .iter()
-        .map(|d| {
-            let l = d.limits();
-            json!({
-                "domain": d.to_string(),
-                "platform": d.platform(),
-                "min_die_mm2": l.min_die_mm2,
-                "max_die_mm2": l.max_die_mm2,
-                "tdp_w": l.tdp_w,
-                "freq_mhz": l.freq_mhz,
-            })
-        })
-        .collect::<Vec<_>>());
-    emit(json, value, || {
-        println!("Table V — accelerator wall physical parameters");
-        println!(
-            "{:<22} {:<9} {:>16} {:>10} {:>10}",
-            "domain", "platform", "die min/max mm2", "TDP W", "MHz"
-        );
-        for d in Domain::all() {
-            let l = d.limits();
-            println!(
-                "{:<22} {:<9} {:>16} {:>10} {:>10}",
-                d.to_string(),
-                d.platform(),
-                format!("{}/{}", l.min_die_mm2, l.max_die_mm2),
-                l.tdp_w,
-                l.freq_mhz
-            );
-        }
-    });
-    Ok(())
-}
-
-fn beyond(json: bool) -> Result<(), AnyError> {
-    use accelerator_wall::projection::beyond_wall;
-    let mut rows = Vec::new();
-    for &d in Domain::all() {
-        rows.push(beyond_wall(d, TargetMetric::Performance)?);
-    }
-    let value = json!(rows
-        .iter()
-        .map(|b| json!({
-            "domain": b.domain.to_string(),
-            "historical_cagr": b.historical_cagr,
-            "csr_cagr": b.csr_cagr,
-            "runway_years": {"log": b.runway_years_log, "linear": b.runway_years_linear},
-            "required_csr_speedup": b.required_csr_speedup,
-        }))
-        .collect::<Vec<_>>());
-    emit(json, value, || {
-        println!("Beyond the wall — performance trajectories in years");
-        println!(
-            "{:<22} {:>10} {:>10} {:>18} {:>14}",
-            "domain", "gain %/yr", "CSR %/yr", "runway (log-lin)", "CSR gap"
-        );
-        for b in &rows {
-            let gap = if b.required_csr_speedup.is_finite() {
-                format!("{:.0}x", b.required_csr_speedup)
-            } else {
-                "inf".to_string()
-            };
-            println!(
-                "{:<22} {:>9.0}% {:>9.0}% {:>8.1}-{:.1} years {:>14}",
-                b.domain.to_string(),
-                b.historical_cagr * 100.0,
-                b.csr_cagr * 100.0,
-                b.runway_years_log,
-                b.runway_years_linear,
-                gap
-            );
-        }
-        println!("
-runway: how long the projected headroom lasts at the historical rate;");
-        println!("CSR gap: how much faster design skill must improve, post-CMOS, to keep pace.");
-    });
-    Ok(())
-}
-
-fn insights(json: bool) -> Result<(), AnyError> {
-    let list = studies::insights::section4e_insights()?;
-    let value = json!(list
-        .iter()
-        .map(|i| json!({
-            "title": i.title,
-            "claim": i.claim,
-            "holds": i.holds,
-            "evidence": i.evidence.iter().map(|(l, v)| json!({"label": l, "value": v})).collect::<Vec<_>>(),
-        }))
-        .collect::<Vec<_>>());
-    emit(json, value, || {
-        println!("Section IV-E — observations and insights, recomputed:");
-        for i in &list {
-            println!("
-* {} [{}]", i.title, if i.holds { "HOLDS" } else { "VIOLATED" });
-            println!("  claim: {}", i.claim);
-            for (label, v) in &i.evidence {
-                println!("    {label:<40} {v:>10.2}");
-            }
-        }
-    });
-    Ok(())
-}
-
-fn dark(json: bool) -> Result<(), AnyError> {
-    use accelerator_wall::potential::gains::{fig3d_nodes, TdpZone, FIG3D_DIES};
-    let model = PotentialModel::paper();
-    let mut rows = Vec::new();
-    for &node in fig3d_nodes() {
-        for &die in &FIG3D_DIES {
-            for &zone in TdpZone::all() {
-                let spec = ChipSpec::new(node, die, 1.0, zone.budget_w());
-                rows.push((node, die, zone, model.dark_fraction(&spec)));
-            }
-        }
-    }
-    let value = json!(rows
-        .iter()
-        .map(|(n, d, z, f)| json!({
-            "node": n.to_string(), "die_mm2": d, "zone": z.to_string(), "dark_fraction": f,
-        }))
-        .collect::<Vec<_>>());
-    emit(json, value, || {
-        println!("Dark-silicon fractions (share of the die the power budget cannot switch)");
-        print!("{:>6} {:>8}", "node", "die");
-        for z in TdpZone::all() {
-            print!("{:>12}", z.to_string());
-        }
-        println!();
-        for &node in fig3d_nodes() {
-            for &die in &FIG3D_DIES {
-                print!("{:>6} {:>7}m", node.to_string(), die);
-                for &zone in TdpZone::all() {
-                    let f = rows
-                        .iter()
-                        .find(|(n, d, z, _)| *n == node && *d == die && *z == zone)
-                        .expect("grid is complete")
-                        .3;
-                    print!("{:>11.0}%", f * 100.0);
+        let doc = Value::object(results.iter().map(|(id, r)| {
+            let v = match r {
+                Ok(artifact) => artifact.json.clone(),
+                Err(e) => {
+                    failed = true;
+                    Value::object([("error", Value::from(e.to_string()))])
                 }
-                println!();
+            };
+            (*id, v)
+        }));
+        println!("{}", doc.pretty());
+    } else {
+        for (id, r) in &results {
+            println!("=== {id} ===");
+            match r {
+                Ok(artifact) => print!("{}", artifact.text),
+                Err(e) => {
+                    failed = true;
+                    eprintln!("{id} failed: {e}");
+                }
             }
+            println!();
         }
-    });
-    Ok(())
-}
-
-fn sensitivity(json: bool) -> Result<(), AnyError> {
-    use accelerator_wall::projection::wall_sensitivity;
-    let mut all = Vec::new();
-    for &d in Domain::all() {
-        all.extend(wall_sensitivity(d, TargetMetric::Performance)?);
     }
-    let value = json!(all
-        .iter()
-        .map(|r| json!({
-            "domain": r.domain.to_string(),
-            "parameter": r.parameter.to_string(),
-            "wall_minus": r.wall_minus,
-            "wall_base": r.wall_base,
-            "wall_plus": r.wall_plus,
-            "elasticity": r.elasticity,
-        }))
-        .collect::<Vec<_>>());
-    emit(json, value, || {
-        println!("Wall sensitivity to Table V parameters (performance, ±20%)");
-        println!(
-            "{:<22} {:<11} {:>12} {:>12} {:>12} {:>11}",
-            "domain", "parameter", "wall @-20%", "wall @base", "wall @+20%", "elasticity"
-        );
-        for r in &all {
-            println!(
-                "{:<22} {:<11} {:>12.3e} {:>12.3e} {:>12.3e} {:>11.2}",
-                r.domain.to_string(),
-                r.parameter.to_string(),
-                r.wall_minus,
-                r.wall_base,
-                r.wall_plus,
-                r.elasticity
-            );
-        }
-    });
-    Ok(())
-}
-
-fn dot_export(json: bool) -> Result<(), AnyError> {
-    // `accelwall dot [WORKLOAD]`: default to the Fig. 11 example graph.
-    let which = std::env::args().nth(2).unwrap_or_else(|| "fig11".to_string());
-    let graph = if which.eq_ignore_ascii_case("fig11") || which == "dot" || which == "--json" {
-        let mut b = DfgBuilder::new("fig11");
-        let d1 = b.input("d_in1");
-        let d2 = b.input("d_in2");
-        let d3 = b.input("d_in3");
-        let s1a = b.op(Op::Add, &[d1, d2]);
-        let s1b = b.op(Op::Div, &[d2, d3]);
-        let s2a = b.op(Op::Sub, &[s1a, s1b]);
-        let s2b = b.op(Op::Add, &[s1b, d3]);
-        b.output("d_out1", s2a);
-        b.output("d_out2", s2b);
-        b.build()?
+    if failed {
+        ExitCode::FAILURE
     } else {
-        Workload::all()
-            .iter()
-            .find(|w| w.abbrev().eq_ignore_ascii_case(&which))
-            .map(|w| w.default_instance())
-            .ok_or_else(|| format!("unknown workload {which:?}; use a Table IV abbreviation"))?
-    };
-    let dot = graph.to_dot(accelerator_wall::dfg::DotOptions::default());
-    if json {
-        println!("{}", json!({"name": graph.name(), "dot": dot}));
-    } else {
-        print!("{dot}");
+        ExitCode::SUCCESS
     }
-    Ok(())
-}
-
-fn roadmap(json: bool) -> Result<(), AnyError> {
-    use accelerator_wall::potential::{physical_roadmap, scaling_end_year};
-    let model = PotentialModel::paper();
-    let template = ChipSpec::new(TechNode::N45, 100.0, 1.0, 100.0);
-    let points = physical_roadmap(&model, &template, 2000, 2030);
-    let value = json!(points
-        .iter()
-        .map(|p| json!({
-            "year": p.year,
-            "node": p.node.to_string(),
-            "throughput_gain": p.throughput_gain,
-            "efficiency_gain": p.efficiency_gain,
-        }))
-        .collect::<Vec<_>>());
-    emit(json, value, || {
-        println!(
-            "Physical-gains roadmap for a 100mm2 / 1GHz / 100W chip template              (scaling ends {})",
-            scaling_end_year()
-        );
-        println!("{:>6} {:>7} {:>14} {:>14}", "year", "node", "throughput(x)", "ops/J(x)");
-        let mut last_node = None;
-        for p in &points {
-            let marker = if Some(p.node) != last_node { "<- new node" } else { "" };
-            println!(
-                "{:>6} {:>7} {:>14.1} {:>14.1}  {marker}",
-                p.year,
-                p.node.to_string(),
-                p.throughput_gain,
-                p.efficiency_gain
-            );
-            last_node = Some(p.node);
-        }
-    });
-    Ok(())
-}
-
-fn domain_reports(json: bool) -> Result<(), AnyError> {
-    use accelerator_wall::report::DomainReport;
-    let reports: Vec<DomainReport> = Domain::all()
-        .iter()
-        .map(|&d| DomainReport::generate(d))
-        .collect::<Result<_, _>>()?;
-    let value = json!(reports
-        .iter()
-        .map(|r| json!({
-            "domain": r.domain.to_string(),
-            "maturity": r.maturity.to_string(),
-            "peak_gain": r.performance_series.peak_reported(),
-            "peak_physical": r.performance_series.peak_physical(),
-            "performance_headroom": {"log": r.performance_wall.further_log, "linear": r.performance_wall.further_linear},
-            "efficiency_headroom": {"log": r.efficiency_wall.further_log, "linear": r.efficiency_wall.further_linear},
-            "runway_years": {"log": r.trajectory.runway_years_log, "linear": r.trajectory.runway_years_linear},
-            "dominant_constraint": r.dominant_constraint().parameter.to_string(),
-            "summary": r.summary(),
-        }))
-        .collect::<Vec<_>>());
-    emit(json, value, || {
-        println!("Domain reports — the full verdict per accelerated domain\n");
-        for r in &reports {
-            println!("{}\n", r.summary());
-        }
-    });
-    Ok(())
-}
-
-fn wall_summary(json: bool) -> Result<(), AnyError> {
-    let mut rows = Vec::new();
-    for &d in Domain::all() {
-        let p = accelerator_wall(d, TargetMetric::Performance)?;
-        let e = accelerator_wall(d, TargetMetric::EnergyEfficiency)?;
-        rows.push((d, p, e));
-    }
-    let value = json!(rows
-        .iter()
-        .map(|(d, p, e)| json!({
-            "domain": d.to_string(),
-            "performance_headroom": {"log": p.further_log, "linear": p.further_linear},
-            "efficiency_headroom": {"log": e.further_log, "linear": e.further_linear},
-        }))
-        .collect::<Vec<_>>());
-    emit(json, value, || {
-        println!("The Accelerator Wall — remaining headroom at the end of CMOS scaling (5nm)");
-        println!(
-            "{:<22} {:>24} {:>24}",
-            "domain", "performance (log-lin)", "efficiency (log-lin)"
-        );
-        for (d, p, e) in &rows {
-            println!(
-                "{:<22} {:>13.1}x - {:>5.1}x {:>14.1}x - {:>5.1}x",
-                d.to_string(),
-                p.further_log,
-                p.further_linear,
-                e.further_log,
-                e.further_linear
-            );
-        }
-        println!("\npaper: video 3-130x / 1.2-14x; GPU 1.4-2.5x / 1.4-1.7x;");
-        println!("       FPGA CNN 2.1-3.4x / 2.7-3.5x; Bitcoin 2-20x / 1.4-5x");
-    });
-    Ok(())
 }

@@ -1,7 +1,11 @@
 //! End-to-end tests of the `accelwall` regeneration binary: every target
-//! must exit cleanly and print its figure/table header, and `--json` must
-//! emit valid JSON.
+//! must exit cleanly and print its figure/table header, `--json` must
+//! emit valid JSON with the documented keys, the `list` output must match
+//! the registry exactly, and a full `all` run must compute every shared
+//! input exactly once.
 
+use accelerator_wall::json::Value;
+use accelerator_wall::prelude::*;
 use std::process::Command;
 
 fn run(args: &[&str]) -> (bool, String) {
@@ -13,6 +17,14 @@ fn run(args: &[&str]) -> (bool, String) {
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
     )
+}
+
+fn run_json(args: &[&str]) -> Value {
+    let mut args = args.to_vec();
+    args.push("--json");
+    let (ok, stdout) = run(&args);
+    assert!(ok, "{args:?} failed");
+    Value::parse(&stdout).unwrap_or_else(|e| panic!("{args:?}: {e}\n{stdout}"))
 }
 
 #[test]
@@ -59,15 +71,101 @@ fn every_target_succeeds_with_its_header() {
 
 #[test]
 fn json_mode_emits_valid_json() {
-    for target in ["fig1", "fig3d", "fig15", "wall", "beyond", "sensitivity"] {
-        let (ok, stdout) = run(&[target, "--json"]);
-        assert!(ok, "{target} --json failed");
-        let parsed: serde_json::Value =
-            serde_json::from_str(&stdout).unwrap_or_else(|e| panic!("{target}: {e}\n{stdout}"));
+    for target in ["fig1", "fig3d", "fig15", "beyond", "sensitivity"] {
+        let parsed = run_json(&[target]);
         assert!(
             parsed.is_array() || parsed.is_object(),
             "{target}: unexpected JSON shape"
         );
+    }
+}
+
+#[test]
+fn fig3b_json_has_the_fit_keys() {
+    let v = run_json(&["fig3b"]);
+    assert!(
+        v.get("corpus_records")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0)
+            > 0.0
+    );
+    for side in ["fitted", "paper"] {
+        let fit = v.get(side).unwrap_or_else(|| panic!("missing {side}"));
+        assert!(fit.get("coefficient").and_then(Value::as_f64).is_some());
+        assert!(fit.get("exponent").and_then(Value::as_f64).is_some());
+    }
+}
+
+#[test]
+fn fig14_json_attributes_every_workload() {
+    let v = run_json(&["fig14"]);
+    let rows = v.as_array().expect("fig14 emits an array");
+    assert_eq!(rows.len(), Workload::all().len());
+    for row in rows {
+        assert!(row.get("workload").and_then(Value::as_str).is_some());
+        for metric in ["performance", "efficiency"] {
+            let a = row
+                .get(metric)
+                .unwrap_or_else(|| panic!("missing {metric}"));
+            assert!(a.get("total_gain").and_then(Value::as_f64).unwrap_or(0.0) >= 1.0);
+            assert!(a.get("csr").and_then(Value::as_f64).is_some());
+            assert!(!a
+                .get("contributions")
+                .and_then(Value::as_array)
+                .expect("contributions")
+                .is_empty());
+        }
+    }
+}
+
+#[test]
+fn table5_json_lists_every_domain_with_limits() {
+    let v = run_json(&["table5"]);
+    let rows = v.as_array().expect("table5 emits an array");
+    assert_eq!(rows.len(), Domain::all().len());
+    for row in rows {
+        for key in ["domain", "platform"] {
+            assert!(
+                row.get(key).and_then(Value::as_str).is_some(),
+                "missing {key}"
+            );
+        }
+        for key in ["min_die_mm2", "max_die_mm2", "tdp_w", "freq_mhz"] {
+            assert!(
+                row.get(key).and_then(Value::as_f64).unwrap_or(0.0) > 0.0,
+                "missing {key}"
+            );
+        }
+    }
+}
+
+#[test]
+fn wall_json_reports_headroom_per_domain() {
+    let v = run_json(&["wall"]);
+    let rows = v.as_array().expect("wall emits an array");
+    assert_eq!(rows.len(), Domain::all().len());
+    for row in rows {
+        assert!(row.get("domain").and_then(Value::as_str).is_some());
+        for side in ["performance_headroom", "efficiency_headroom"] {
+            let h = row.get(side).unwrap_or_else(|| panic!("missing {side}"));
+            assert!(h.get("log").and_then(Value::as_f64).is_some());
+            assert!(h.get("linear").and_then(Value::as_f64).is_some());
+        }
+    }
+}
+
+#[test]
+fn all_json_is_one_document_keyed_by_experiment_id() {
+    let v = run_json(&["all"]);
+    let doc = v.as_object().expect("all --json emits one object");
+    let ids = Registry::paper().ids();
+    assert_eq!(
+        doc.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+        ids,
+        "document keys must be the registry ids in registry order"
+    );
+    for (id, artifact) in doc {
+        assert!(artifact.get("error").is_none(), "{id} reported an error");
     }
 }
 
@@ -86,20 +184,57 @@ fn dot_target_emits_graphviz() {
 }
 
 #[test]
-fn unknown_target_fails_with_hint() {
+fn unknown_target_fails_with_the_registry_roster() {
     let out = Command::new(env!("CARGO_BIN_EXE_accelwall"))
         .args(["fig99"])
         .output()
         .expect("binary runs");
     assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown target"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown target"));
+    // The hint names every real target, straight from the registry.
+    for id in Registry::paper().ids() {
+        assert!(stderr.contains(id), "roster hint missing {id}");
+    }
 }
 
 #[test]
-fn list_shows_all_targets() {
+fn list_matches_the_registry_exactly() {
     let (ok, stdout) = run(&["list"]);
     assert!(ok);
-    for t in ["fig1", "fig16", "table5", "wall", "beyond", "roadmap", "report"] {
-        assert!(stdout.contains(t), "missing {t}");
+    let listed: Vec<&str> = stdout
+        .lines()
+        .skip(1) // "regeneration targets:" banner
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    let mut expected = Registry::paper().ids();
+    expected.push("all");
+    assert_eq!(listed, expected, "`list` must mirror the registry");
+}
+
+#[test]
+fn all_computes_each_shared_input_exactly_once() {
+    // In-process replica of `accelwall all` on a coarse sweep space: the
+    // memoizing Ctx must build the corpus, the density fit, the potential
+    // model, and each workload's sweep exactly once, no matter how many
+    // experiments request them concurrently.
+    let ctx = Ctx::with_space(SweepSpace::coarse());
+    let results = Registry::paper()
+        .run_all(&ctx)
+        .expect("scheduling succeeds");
+    for (id, r) in &results {
+        assert!(r.is_ok(), "{id} failed: {:?}", r.as_ref().err());
     }
+    let c = ctx.counters();
+    assert_eq!(c.corpus_computes, 1, "corpus generated more than once");
+    assert_eq!(c.fit_computes, 1, "density fit computed more than once");
+    assert_eq!(c.model_computes, 1, "potential model built more than once");
+    assert_eq!(
+        c.sweep_computes,
+        Workload::all().len(),
+        "some workload sweep ran more than once"
+    );
+    // The whole point of the cache: demand exceeds computation.
+    assert!(c.corpus_requests > c.corpus_computes);
+    assert!(c.sweep_requests > c.sweep_computes);
 }

@@ -1,89 +1,100 @@
-//! Property-based tests spanning crate boundaries.
+//! Randomized tests spanning crate boundaries, driven by the workspace's
+//! own deterministic [`Rng`].
 
 use accelerator_wall::prelude::*;
-use proptest::prelude::*;
+use accelerator_wall::stats::Rng;
 
-fn arb_node() -> impl Strategy<Value = TechNode> {
-    prop::sample::select(TechNode::all().to_vec())
+const CASES: u64 = 64;
+
+fn arb_node(rng: &mut Rng) -> TechNode {
+    let all = TechNode::all();
+    all[rng.index(all.len())]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn potential_monotone_in_die_area(
-        node in arb_node(),
-        die in 10.0f64..400.0,
-        factor in 1.1f64..4.0,
-    ) {
+#[test]
+fn potential_monotone_in_die_area() {
+    let mut rng = Rng::seed(0xC405_0001);
+    for _ in 0..CASES {
+        let node = arb_node(&mut rng);
+        let die = rng.uniform(10.0, 400.0);
+        let factor = rng.uniform(1.1, 4.0);
         // More silicon never reduces the area-limited budget.
         let model = PotentialModel::paper();
         let small = ChipSpec::new(node, die, 1.0, 1e4);
         let large = ChipSpec::new(node, die * factor, 1.0, 1e4);
-        prop_assert!(
-            model.area_limited_transistors(&large)
-                > model.area_limited_transistors(&small)
-        );
+        assert!(model.area_limited_transistors(&large) > model.area_limited_transistors(&small));
     }
+}
 
-    #[test]
-    fn potential_monotone_in_tdp(
-        die in 50.0f64..800.0,
-        tdp in 20.0f64..400.0,
-        factor in 1.1f64..4.0,
-    ) {
+#[test]
+fn potential_monotone_in_tdp() {
+    let mut rng = Rng::seed(0xC405_0002);
+    for _ in 0..CASES {
+        let die = rng.uniform(50.0, 800.0);
+        let tdp = rng.uniform(20.0, 400.0);
+        let factor = rng.uniform(1.1, 4.0);
         let model = PotentialModel::paper();
         let node = TechNode::N7;
         let lean = ChipSpec::new(node, die, 1.0, tdp);
         let fat = ChipSpec::new(node, die, 1.0, tdp * factor);
-        prop_assert!(
-            model.power_limited_transistors(&fat)
-                >= model.power_limited_transistors(&lean)
-        );
-        prop_assert!(model.throughput(&fat) >= model.throughput(&lean));
+        assert!(model.power_limited_transistors(&fat) >= model.power_limited_transistors(&lean));
+        assert!(model.throughput(&fat) >= model.throughput(&lean));
     }
+}
 
-    #[test]
-    fn csr_decomposition_identity(
-        reported in 1e-3f64..1e6,
-        phys_a in 1e-3f64..1e6,
-        phys_b in 1e-3f64..1e6,
-    ) {
+#[test]
+fn csr_decomposition_identity() {
+    let mut rng = Rng::seed(0xC405_0003);
+    for _ in 0..CASES {
+        let reported = rng.log_uniform(1e-3, 1e6);
+        let phys_a = rng.log_uniform(1e-3, 1e6);
+        let phys_b = rng.log_uniform(1e-3, 1e6);
         let d = decompose(reported, phys_a, phys_b).unwrap();
-        prop_assert!((d.specialization * d.cmos - d.reported).abs() <= 1e-9 * d.reported);
+        assert!((d.specialization * d.cmos - d.reported).abs() <= 1e-9 * d.reported);
     }
+}
 
-    #[test]
-    fn simulator_runtime_monotone_in_partitioning(
-        p_exp in 0u32..18,
-        s in 1u32..13,
-        node in prop::sample::select(TechNode::sweep_nodes().to_vec()),
-    ) {
+#[test]
+fn simulator_runtime_monotone_in_partitioning() {
+    let mut rng = Rng::seed(0xC405_0004);
+    for _ in 0..CASES {
+        let p_exp = rng.below(18) as u32;
+        let s = rng.range(1, 13) as u32;
+        let nodes = TechNode::sweep_nodes();
+        let node = nodes[rng.index(nodes.len())];
         let dfg = Workload::Red.default_instance();
         let a = simulate(&dfg, &DesignConfig::new(node, 1 << p_exp, s, true)).unwrap();
         let b = simulate(&dfg, &DesignConfig::new(node, 1 << (p_exp + 1), s, true)).unwrap();
-        prop_assert!(b.cycles <= a.cycles + 1e-9);
-        prop_assert!(b.critical_path_cycles == a.critical_path_cycles);
+        assert!(b.cycles <= a.cycles + 1e-9);
+        assert!(b.critical_path_cycles == a.critical_path_cycles);
     }
+}
 
-    #[test]
-    fn simulator_energy_monotone_in_node(
-        p_exp in 0u32..12,
-        s in 1u32..13,
-    ) {
+#[test]
+fn simulator_energy_monotone_in_node() {
+    let mut rng = Rng::seed(0xC405_0005);
+    for _ in 0..CASES {
+        let p_exp = rng.below(12) as u32;
+        let s = rng.range(1, 13) as u32;
         // Same schedule, newer node: strictly less dynamic energy.
         let dfg = Workload::Sad.default_instance();
-        let old = simulate(&dfg, &DesignConfig::new(TechNode::N45, 1 << p_exp, s, false)).unwrap();
+        let old = simulate(
+            &dfg,
+            &DesignConfig::new(TechNode::N45, 1 << p_exp, s, false),
+        )
+        .unwrap();
         let new = simulate(&dfg, &DesignConfig::new(TechNode::N5, 1 << p_exp, s, false)).unwrap();
-        prop_assert!(new.dynamic_energy_j < old.dynamic_energy_j);
-        prop_assert_eq!(new.cycles, old.cycles);
+        assert!(new.dynamic_energy_j < old.dynamic_energy_j);
+        assert_eq!(new.cycles, old.cycles);
     }
+}
 
-    #[test]
-    fn relation_matrix_antisymmetry_on_random_observations(
-        seed in 0u64..1000,
-        n_arch in 2usize..6,
-    ) {
+#[test]
+fn relation_matrix_antisymmetry_on_random_observations() {
+    let mut rng = Rng::seed(0xC405_0006);
+    for _ in 0..CASES {
+        let seed = rng.below(1000);
+        let n_arch = rng.range(2, 6) as usize;
         // Multiplicatively consistent gains: relations must recover scale
         // ratios and satisfy gain(x,y) * gain(y,x) = 1.
         let mut obs = ArchObservations::new();
@@ -91,43 +102,58 @@ proptest! {
         for i in 0..n_arch {
             for app in 0..6 {
                 let t = 1.0 + app as f64;
-                obs.add(&format!("arch{i}"), &format!("app{app}"), scale(i) * t).unwrap();
+                obs.add(&format!("arch{i}"), &format!("app{app}"), scale(i) * t)
+                    .unwrap();
             }
         }
         let m = RelationMatrix::build(&obs, 5).unwrap();
         for i in 0..n_arch {
             for j in 0..n_arch {
-                let g = m.gain(&format!("arch{i}"), &format!("arch{j}")).unwrap().unwrap();
-                let back = m.gain(&format!("arch{j}"), &format!("arch{i}")).unwrap().unwrap();
-                prop_assert!((g * back - 1.0).abs() < 1e-9);
-                prop_assert!((g - scale(i) / scale(j)).abs() < 1e-6 * (1.0 + g));
+                let g = m
+                    .gain(&format!("arch{i}"), &format!("arch{j}"))
+                    .unwrap()
+                    .unwrap();
+                let back = m
+                    .gain(&format!("arch{j}"), &format!("arch{i}"))
+                    .unwrap()
+                    .unwrap();
+                assert!((g * back - 1.0).abs() < 1e-9);
+                assert!((g - scale(i) / scale(j)).abs() < 1e-6 * (1.0 + g));
             }
         }
     }
+}
 
-    #[test]
-    fn workload_dfgs_scale_sanely(reps in 1usize..4) {
+#[test]
+fn workload_dfgs_scale_sanely() {
+    let mut rng = Rng::seed(0xC405_0007);
+    for _ in 0..CASES {
+        let reps = rng.range(1, 4) as usize;
         // Building repeatedly is deterministic.
         let a = Workload::Fft.default_instance();
         for _ in 0..reps {
             let b = Workload::Fft.default_instance();
-            prop_assert_eq!(a.stats(), b.stats());
+            assert_eq!(a.stats(), b.stats());
         }
     }
+}
 
-    #[test]
-    fn table2_bounds_are_monotone_in_graph_size(n in 2usize..6) {
+#[test]
+fn table2_bounds_are_monotone_in_graph_size() {
+    for n in 2usize..6 {
         // A larger reduction has larger (or equal) evaluated bounds in
         // every Table II cell.
         use accelerator_wall::dfg::limits::table2;
         let small = accelerator_wall::workloads::simple::build_reduction(1 << n).stats();
         let large = accelerator_wall::workloads::simple::build_reduction(1 << (n + 1)).stats();
         for cell in table2() {
-            prop_assert!(
+            assert!(
                 cell.time.evaluate(&large) >= cell.time.evaluate(&small),
-                "{:?}/{:?}", cell.component, cell.concept
+                "{:?}/{:?}",
+                cell.component,
+                cell.concept
             );
-            prop_assert!(cell.space.evaluate(&large) >= cell.space.evaluate(&small));
+            assert!(cell.space.evaluate(&large) >= cell.space.evaluate(&small));
         }
     }
 }

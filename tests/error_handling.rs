@@ -8,7 +8,13 @@ use accelerator_wall::{dfg, potential, projection, stats};
 fn stats_errors_are_typed_and_displayed() {
     use stats::{Linear, PowerLaw, StatsError};
     let e = Linear::fit(&[1.0], &[1.0]).unwrap_err();
-    assert!(matches!(e, StatsError::NotEnoughData { provided: 1, required: 2 }));
+    assert!(matches!(
+        e,
+        StatsError::NotEnoughData {
+            provided: 1,
+            required: 2
+        }
+    ));
     assert!(e.to_string().contains("not enough data"));
 
     let e = Linear::fit(&[2.0, 2.0], &[1.0, 2.0]).unwrap_err();
@@ -29,7 +35,14 @@ fn dfg_errors_carry_context() {
     let x = b.input("x");
     let _ = b.op(Op::Add, &[x]);
     let err = b.build().unwrap_err();
-    assert!(matches!(err, DfgError::ArityMismatch { given: 1, required: 2, .. }));
+    assert!(matches!(
+        err,
+        DfgError::ArityMismatch {
+            given: 1,
+            required: 2,
+            ..
+        }
+    ));
     assert!(err.to_string().contains("takes 2 operands"));
 
     let mut b = DfgBuilder::new("no-outputs");
@@ -64,11 +77,23 @@ fn simulator_rejects_bad_configs_and_empty_graphs() {
     use accelerator_wall::accelsim::SimError;
     let dfg = Workload::Trd.default_instance();
     let err = simulate(&dfg, &DesignConfig::new(TechNode::N45, 3, 1, false)).unwrap_err();
-    assert!(matches!(err, SimError::InvalidConfig { knob: "partition_factor", .. }));
+    assert!(matches!(
+        err,
+        SimError::InvalidConfig {
+            knob: "partition_factor",
+            ..
+        }
+    ));
     assert!(err.to_string().contains("partition_factor"));
 
     let err = simulate(&dfg, &DesignConfig::new(TechNode::N45, 2, 99, false)).unwrap_err();
-    assert!(matches!(err, SimError::InvalidConfig { knob: "simplification_degree", .. }));
+    assert!(matches!(
+        err,
+        SimError::InvalidConfig {
+            knob: "simplification_degree",
+            ..
+        }
+    ));
 
     // A graph with no compute vertices.
     let mut b = DfgBuilder::new("passthrough");
@@ -90,7 +115,10 @@ fn csr_rejects_unphysical_gains() {
     use accelerator_wall::csr::CsrError;
     assert!(matches!(
         csr(0.0, 1.0),
-        Err(CsrError::InvalidGain { what: "reported_gain", .. })
+        Err(CsrError::InvalidGain {
+            what: "reported_gain",
+            ..
+        })
     ));
     let mut obs = ArchObservations::new();
     obs.add("x", "a", 1.0).unwrap();

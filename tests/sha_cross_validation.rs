@@ -12,8 +12,8 @@ fn simulated_kernel_tracks_empirical_miner_gains() {
     let asics = bitcoin::asic_miners();
     let base = &asics[0];
     let config_at = |node| DesignConfig::new(node, 4096, 5, true);
-    let base_gain = simulate(&dfg, &config_at(base.node)).unwrap().throughput()
-        * base.node.density_rel();
+    let base_gain =
+        simulate(&dfg, &config_at(base.node)).unwrap().throughput() * base.node.density_rel();
     for m in &asics {
         let r = simulate(&dfg, &config_at(m.node)).unwrap();
         let simulated = r.throughput() * m.node.density_rel() / base_gain;

@@ -104,7 +104,10 @@ fn sweep_optimum_feeds_the_wall_narrative() {
     let mut no5 = SweepSpace::table3();
     no5.nodes.retain(|n| *n != TechNode::N5);
     let truncated = run_sweep(&dfg, &no5).unwrap();
-    let best_no5 = best_efficiency(&truncated).unwrap().report.energy_efficiency();
+    let best_no5 = best_efficiency(&truncated)
+        .unwrap()
+        .report
+        .energy_efficiency();
 
     assert!(
         best_full > best_no5,

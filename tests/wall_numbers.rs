@@ -49,13 +49,28 @@ fn section7_wall_headrooms() {
     // widened for our substituted datasets — see EXPERIMENTS.md).
     let cases = [
         (Domain::VideoDecoding, TargetMetric::Performance, 1.5, 130.0),
-        (Domain::VideoDecoding, TargetMetric::EnergyEfficiency, 1.2, 40.0),
+        (
+            Domain::VideoDecoding,
+            TargetMetric::EnergyEfficiency,
+            1.2,
+            40.0,
+        ),
         (Domain::GpuGraphics, TargetMetric::Performance, 1.0, 4.0),
-        (Domain::GpuGraphics, TargetMetric::EnergyEfficiency, 1.0, 2.5),
+        (
+            Domain::GpuGraphics,
+            TargetMetric::EnergyEfficiency,
+            1.0,
+            2.5,
+        ),
         (Domain::FpgaCnn, TargetMetric::Performance, 1.2, 8.0),
         (Domain::FpgaCnn, TargetMetric::EnergyEfficiency, 1.2, 6.0),
         (Domain::BitcoinMining, TargetMetric::Performance, 1.0, 25.0),
-        (Domain::BitcoinMining, TargetMetric::EnergyEfficiency, 1.0, 9.0),
+        (
+            Domain::BitcoinMining,
+            TargetMetric::EnergyEfficiency,
+            1.0,
+            9.0,
+        ),
     ];
     for (domain, metric, lo, hi) in cases {
         let w = accelerator_wall(domain, metric).unwrap();
@@ -79,10 +94,7 @@ fn gpu_walls_are_the_starkest() {
     };
     let gpu = linear_headroom(Domain::GpuGraphics);
     for d in [Domain::VideoDecoding, Domain::BitcoinMining] {
-        assert!(
-            gpu < linear_headroom(d),
-            "GPU headroom should trail {d}"
-        );
+        assert!(gpu < linear_headroom(d), "GPU headroom should trail {d}");
     }
 }
 
@@ -93,11 +105,7 @@ fn fig3d_collapse_reproduced_end_to_end() {
     let rows = fig3d_grid(&model);
     let capped = rows
         .iter()
-        .find(|r| {
-            r.node == TechNode::N5
-                && r.die_mm2 == 800.0
-                && r.zone == TdpZone::W200To800
-        })
+        .find(|r| r.node == TechNode::N5 && r.die_mm2 == 800.0 && r.zone == TdpZone::W200To800)
         .unwrap();
     assert!((240.0..360.0).contains(&capped.throughput_gain));
 }
