@@ -1,0 +1,101 @@
+//! Throughput/latency baseline for `accelwall serve`.
+//!
+//! Starts an in-process server (4 workers, the CLI default) backed by
+//! the full paper registry and measures the three numbers that define
+//! the artifact-server value proposition:
+//!
+//! 1. **cold first request** — `GET /experiments/fig14` on an empty
+//!    cache (computes fig13 + fig14 and their sweeps);
+//! 2. **warm-cache latency** — the same request again, served from the
+//!    per-experiment `OnceLock` cache;
+//! 3. **warm throughput** — 8 client threads hammering a warm target,
+//!    requests per second.
+//!
+//! The output is one JSON document; `BENCH_serve.json` at the repo root
+//! records a baseline run (`cargo bench -p accelwall-bench --bench
+//! serve > BENCH_serve.json`).
+
+use accelerator_wall::prelude::{ArtifactCache, Ctx, Registry};
+use accelwall_server::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+fn get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes())
+        .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(
+        response.starts_with("HTTP/1.1 200"),
+        "bench request failed:\n{response}"
+    );
+    response
+}
+
+fn main() {
+    let cache = ArtifactCache::new(Registry::paper(), Ctx::new());
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config, cache).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let run = std::thread::spawn(move || server.run());
+
+    // 1. Cold first request: computes the artifact and its dependency.
+    let cold_start = Instant::now();
+    get(addr, "/experiments/fig14");
+    let cold = cold_start.elapsed();
+
+    // 2. Warm-cache latency: mean over repeated single-client requests.
+    const WARM_SAMPLES: u32 = 200;
+    let warm_start = Instant::now();
+    for _ in 0..WARM_SAMPLES {
+        get(addr, "/experiments/fig14");
+    }
+    let warm = warm_start.elapsed() / WARM_SAMPLES;
+
+    // 3. Warm throughput: 8 clients, fixed request budget each.
+    const CLIENTS: usize = 8;
+    const REQUESTS_PER_CLIENT: usize = 250;
+    get(addr, "/experiments/fig3b"); // warm the target
+    let throughput_start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            scope.spawn(|| {
+                for _ in 0..REQUESTS_PER_CLIENT {
+                    get(addr, "/experiments/fig3b");
+                }
+            });
+        }
+    });
+    let throughput_wall = throughput_start.elapsed();
+    let total_requests = (CLIENTS * REQUESTS_PER_CLIENT) as f64;
+    let rps = total_requests / throughput_wall.as_secs_f64();
+
+    handle.shutdown();
+    run.join().expect("server thread").expect("clean drain");
+
+    println!("{{");
+    println!("  \"bench\": \"serve\",");
+    println!("  \"workers\": 4,");
+    println!("  \"cold_first_request_ms\": {:.3},", ms(cold));
+    println!("  \"warm_cache_request_ms\": {:.3},", ms(warm));
+    println!(
+        "  \"warm_speedup\": {:.1},",
+        cold.as_secs_f64() / warm.as_secs_f64()
+    );
+    println!("  \"throughput_clients\": {CLIENTS},");
+    println!("  \"throughput_requests\": {},", total_requests as u64);
+    println!("  \"throughput_rps\": {rps:.0}");
+    println!("}}");
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}

@@ -1,0 +1,251 @@
+//! [`ArtifactCache`]: process-lifetime memoization of experiment outputs.
+//!
+//! The [`Ctx`](crate::cache::Ctx) memoizes the *inputs* experiments share
+//! (corpus, fits, sweeps). This module memoizes the *outputs*: each
+//! registry target's [`Artifact`] is computed at most once per cache
+//! lifetime behind a per-experiment [`OnceLock`], so a long-lived process
+//! (the `accelwall serve` HTTP server) extends the pipeline's
+//! compute-once invariant from "per `all` run" to "per server lifetime".
+//!
+//! Requesting an artifact resolves its declared dependencies first, in
+//! the same order [`Registry::schedule`] would, so a dependent target
+//! requested cold still warms exactly the caches an `all` run would —
+//! and a later request for the dependency itself is a cache hit.
+//!
+//! Like `Ctx`, the cache counts requests, hits, and computes
+//! ([`CacheStats`]) so tests and the server's `/metrics` endpoint can
+//! assert the at-most-once guarantee instead of trusting it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::cache::Ctx;
+use crate::error::{Error, Result};
+use crate::experiment::Artifact;
+use crate::registry::Registry;
+
+/// Memoizes every registry target's artifact for the life of the value.
+///
+/// Thread-safe: concurrent requests for the same target block on one
+/// [`OnceLock`] rather than recomputing, exactly like the shared inputs
+/// in [`Ctx`].
+#[derive(Debug)]
+pub struct ArtifactCache {
+    registry: Registry,
+    ctx: Ctx,
+    slots: Vec<OnceLock<Result<Artifact>>>,
+    requests: AtomicUsize,
+    hits: AtomicUsize,
+    computes: AtomicUsize,
+}
+
+/// A snapshot of the request/hit/compute counters of an [`ArtifactCache`].
+///
+/// The cache invariant is `computes <= ` number of registered targets
+/// regardless of request counts or thread interleaving; `hits` counts
+/// requests answered from an already-filled slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Times [`ArtifactCache::get`] was called.
+    pub requests: usize,
+    /// Requests whose slot was already filled on arrival.
+    pub hits: usize,
+    /// Experiment runs actually executed (including dependency fills).
+    pub computes: usize,
+}
+
+impl CacheStats {
+    /// Requests that had to wait for (or trigger) a compute.
+    pub fn misses(&self) -> usize {
+        self.requests - self.hits
+    }
+}
+
+impl ArtifactCache {
+    /// Wraps a registry and a shared-input context in an artifact cache.
+    pub fn new(registry: Registry, ctx: Ctx) -> ArtifactCache {
+        let slots = registry.experiments().map(|_| OnceLock::new()).collect();
+        ArtifactCache {
+            registry,
+            ctx,
+            slots,
+            requests: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+            computes: AtomicUsize::new(0),
+        }
+    }
+
+    /// The registry whose targets this cache serves.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The shared-input context every cached run draws from.
+    pub fn ctx(&self) -> &Ctx {
+        &self.ctx
+    }
+
+    /// The memoized artifact for `id`, computing it (and its declared
+    /// dependencies, dependencies first) on first request.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownExperiment`] for ids outside the registry (the
+    /// caller gets the full roster, exactly like the CLI), a memoized
+    /// [`Error::DependencyCycle`] if declarations deadlock, or the
+    /// memoized failure of the experiment itself.
+    pub fn get(&self, id: &str) -> Result<&Artifact> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let index = self.index_of(id)?;
+        if let Some(cached) = self.slots[index].get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.as_ref().map_err(Clone::clone);
+        }
+        for dep in self.closure(index)? {
+            self.fill(dep);
+        }
+        self.fill(index).as_ref().map_err(Clone::clone)
+    }
+
+    /// Snapshot of the request/hit/compute counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            computes: self.computes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn index_of(&self, id: &str) -> Result<usize> {
+        self.registry
+            .experiments()
+            .position(|e| e.id() == id)
+            .ok_or_else(|| Error::UnknownExperiment {
+                id: id.to_string(),
+                known: self.registry.ids(),
+            })
+    }
+
+    /// The dependency closure of `index` in dependencies-first order,
+    /// excluding `index` itself.
+    fn closure(&self, index: usize) -> Result<Vec<usize>> {
+        let mut order = Vec::new();
+        let mut state = vec![Visit::Unvisited; self.slots.len()];
+        self.visit(index, &mut state, &mut order)?;
+        order.pop();
+        Ok(order)
+    }
+
+    fn visit(&self, index: usize, state: &mut [Visit], order: &mut Vec<usize>) -> Result<()> {
+        match state[index] {
+            Visit::Done => return Ok(()),
+            Visit::InProgress => {
+                return Err(Error::DependencyCycle {
+                    ids: self.registry.ids(),
+                })
+            }
+            Visit::Unvisited => state[index] = Visit::InProgress,
+        }
+        let exp: Vec<usize> = {
+            let deps = self
+                .registry
+                .experiments()
+                .nth(index)
+                .expect("index in range")
+                .deps();
+            deps.iter()
+                .map(|d| self.index_of(d))
+                .collect::<Result<_>>()?
+        };
+        for dep in exp {
+            self.visit(dep, state, order)?;
+        }
+        state[index] = Visit::Done;
+        order.push(index);
+        Ok(())
+    }
+
+    fn fill(&self, index: usize) -> &Result<Artifact> {
+        self.slots[index].get_or_init(|| {
+            self.computes.fetch_add(1, Ordering::Relaxed);
+            self.registry
+                .experiments()
+                .nth(index)
+                .expect("index in range")
+                .run(&self.ctx)
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Visit {
+    Unvisited,
+    InProgress,
+    Done,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelwall_accelsim::SweepSpace;
+
+    fn cache() -> ArtifactCache {
+        ArtifactCache::new(Registry::paper(), Ctx::with_space(SweepSpace::coarse()))
+    }
+
+    #[test]
+    fn repeat_requests_compute_once_and_hit_after() {
+        let cache = cache();
+        let a = cache.get("fig3a").unwrap().clone();
+        let b = cache.get("fig3a").unwrap().clone();
+        assert_eq!(a, b);
+        let s = cache.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.computes, 1);
+    }
+
+    #[test]
+    fn dependent_target_fills_its_prerequisites_first() {
+        let cache = cache();
+        // fig14 declares fig13 as a dependency; a cold fig14 request must
+        // leave fig13 warm so the follow-up request is a pure hit.
+        cache.get("fig14").unwrap();
+        let after_first = cache.stats();
+        assert_eq!(after_first.computes, 2, "fig14 + its dep fig13");
+        cache.get("fig13").unwrap();
+        let s = cache.stats();
+        assert_eq!(s.computes, 2, "fig13 was already computed");
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn unknown_id_carries_the_roster_and_counts_nothing() {
+        let cache = cache();
+        match cache.get("fig99") {
+            Err(Error::UnknownExperiment { id, known }) => {
+                assert_eq!(id, "fig99");
+                assert_eq!(known, cache.registry().ids());
+            }
+            other => panic!("expected UnknownExperiment, got {other:?}"),
+        }
+        assert_eq!(cache.stats().computes, 0);
+    }
+
+    #[test]
+    fn concurrent_requests_share_one_compute() {
+        let cache = cache();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    cache.get("fig3a").unwrap();
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.computes, 1);
+        assert_eq!(s.requests, 8);
+        // The shared inputs stayed compute-once too.
+        assert!(cache.ctx().counters().corpus_computes <= 1);
+    }
+}

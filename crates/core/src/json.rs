@@ -158,6 +158,7 @@ impl Value {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -323,9 +324,15 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum container nesting the parser accepts. The server feeds this
+/// parser untrusted wire bytes, so recursion depth must be bounded well
+/// below the thread's stack budget; no experiment artifact comes close.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -382,12 +389,23 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(self.err("maximum nesting depth exceeded"))
+        } else {
+            Ok(())
+        }
+    }
+
     fn array(&mut self) -> Result<Value, ParseError> {
         self.eat(b'[', "expected '['")?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -398,6 +416,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -407,10 +426,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Value, ParseError> {
         self.eat(b'{', "expected '{'")?;
+        self.descend()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(pairs));
         }
         loop {
@@ -426,6 +447,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(pairs));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -509,11 +531,26 @@ impl<'a> Parser<'a> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(b'0'..=b'9')) {
-            self.pos += 1;
+        // Integer part: at least one digit, no leading zeros.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(self.err("leading zeros are not allowed"));
+                }
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected a digit")),
         }
         if self.peek() == Some(b'.') {
             self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit after '.'"));
+            }
             while matches!(self.peek(), Some(b'0'..=b'9')) {
                 self.pos += 1;
             }
@@ -522,6 +559,9 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit in the exponent"));
             }
             while matches!(self.peek(), Some(b'0'..=b'9')) {
                 self.pos += 1;
@@ -601,5 +641,62 @@ mod tests {
     fn parses_surrogate_pairs() {
         let v = Value::parse("\"\\ud83d\\ude00\"").unwrap();
         assert_eq!(v.as_str(), Some("\u{1F600}"));
+    }
+
+    #[test]
+    fn rejects_malformed_escape_sequences() {
+        for bad in [
+            "\"\\\"",             // escape at end of input
+            "\"\\u12\"",          // truncated \u escape
+            "\"\\uzzzz\"",        // non-hex \u escape
+            "\"\\ud800\"",        // lone high surrogate
+            "\"\\ud800\\n\"",     // high surrogate not followed by \u
+            "\"\\ud800\\u0041\"", // high surrogate with non-surrogate low
+            "\"\\udc00\"",        // lone low surrogate (char::from_u32 fails)
+            "\"\\q\"",            // unknown escape letter
+        ] {
+            assert!(Value::parse(bad).is_err(), "{bad:?} should fail");
+        }
+        // The whole escape roster parses back to the right characters.
+        let v = Value::parse("\"\\\" \\\\ \\/ \\b \\f \\n \\r \\t \\u0041\"").unwrap();
+        assert_eq!(v.as_str(), Some("\" \\ / \u{8} \u{c} \n \r \t A"));
+    }
+
+    #[test]
+    fn rejects_malformed_numbers() {
+        for bad in [
+            "-", "+1", "01", "-01", "1.", ".5", "1.e3", "1e", "1e+", "1E-", "--1", "0x10", "1..2",
+        ] {
+            assert!(Value::parse(bad).is_err(), "{bad:?} should fail");
+        }
+        // Strictness must not reject valid JSON numbers.
+        for (good, want) in [
+            ("0", 0.0),
+            ("-0", -0.0),
+            ("0.5", 0.5),
+            ("10", 10.0),
+            ("1e0", 1.0),
+            ("2E+3", 2000.0),
+            ("-1.25e-2", -0.0125),
+        ] {
+            assert_eq!(Value::parse(good).unwrap().as_f64(), Some(want), "{good}");
+        }
+    }
+
+    #[test]
+    fn bounds_container_nesting_depth() {
+        // At the limit: parses fine.
+        let ok = format!("{}{}", "[".repeat(128), "]".repeat(128));
+        assert!(Value::parse(&ok).is_ok());
+        // One past the limit: a clean error, not a stack overflow.
+        let deep = format!("{}{}", "[".repeat(129), "]".repeat(129));
+        let err = Value::parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting depth"));
+        // A hostile megabyte of opens also fails fast.
+        let hostile = "[".repeat(1 << 20);
+        assert!(Value::parse(&hostile).is_err());
+        // Objects count toward the same budget.
+        let objs = format!("{}1{}", "{\"k\":[".repeat(80), "]}".repeat(80));
+        assert!(Value::parse(&objs).is_err(), "160 levels must exceed 128");
     }
 }

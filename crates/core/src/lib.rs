@@ -29,6 +29,7 @@
 //! | [`error`] | one workspace-wide [`error::Error`] every layer converts into |
 //! | [`experiment`] | the [`experiment::Experiment`] trait + [`experiment::Artifact`] output |
 //! | [`cache`] | [`cache::Ctx`] — memoizes corpus, fits, and sweeps once per process |
+//! | [`artifacts`] | [`artifacts::ArtifactCache`] — memoizes experiment outputs for long-lived processes |
 //! | [`registry`] | all paper targets, dependency-ordered parallel execution |
 //! | [`experiments`] | the per-layer experiment implementations |
 //! | [`json`] | a small dependency-free JSON value + parser for `--json` output |
@@ -61,6 +62,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod artifacts;
 pub mod cache;
 pub mod error;
 pub mod experiment;
@@ -82,6 +84,7 @@ pub use accelwall_workloads as workloads;
 
 /// The working set of names most analyses need.
 pub mod prelude {
+    pub use crate::artifacts::{ArtifactCache, CacheStats};
     pub use crate::cache::Ctx;
     pub use crate::error::{Error, ResultExt};
     pub use crate::experiment::{Artifact, Experiment};

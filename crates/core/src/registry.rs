@@ -15,10 +15,19 @@ use crate::cache::Ctx;
 use crate::error::{Error, Result};
 use crate::experiment::{Artifact, Experiment};
 use crate::experiments;
+use crate::json::Value;
 
 /// An ordered collection of experiments, with dependency scheduling.
 pub struct Registry {
     experiments: Vec<Box<dyn Experiment>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("ids", &self.ids())
+            .finish()
+    }
 }
 
 impl Registry {
@@ -80,6 +89,21 @@ impl Registry {
     /// Every target id, in registry order.
     pub fn ids(&self) -> Vec<&'static str> {
         self.experiments.iter().map(|e| e.id()).collect()
+    }
+
+    /// The machine-readable roster: one `{id, description, deps}` object
+    /// per target, in registry order.
+    ///
+    /// This single document backs both `accelwall list --json` and the
+    /// server's `GET /experiments` route, so the two can never drift.
+    pub fn roster_json(&self) -> Value {
+        Value::array(self.experiments().map(|e| {
+            Value::object([
+                ("id", Value::from(e.id())),
+                ("description", Value::from(e.description())),
+                ("deps", e.deps().iter().copied().collect()),
+            ])
+        }))
     }
 
     /// Looks up one experiment by id.
@@ -260,6 +284,29 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), registry.len());
+    }
+
+    #[test]
+    fn roster_json_mirrors_the_registry() {
+        let registry = Registry::paper();
+        let roster = registry.roster_json();
+        let rows = roster.as_array().unwrap();
+        assert_eq!(rows.len(), registry.len());
+        for (row, e) in rows.iter().zip(registry.experiments()) {
+            assert_eq!(row.get("id").and_then(Value::as_str), Some(e.id()));
+            assert_eq!(
+                row.get("description").and_then(Value::as_str),
+                Some(e.description())
+            );
+            let deps: Vec<&str> = row
+                .get("deps")
+                .and_then(Value::as_array)
+                .unwrap()
+                .iter()
+                .filter_map(Value::as_str)
+                .collect();
+            assert_eq!(deps, e.deps());
+        }
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Minimal HTTP/1.1 request parsing and response writing.
+//!
+//! The server speaks just enough HTTP for its five routes: it reads one
+//! request head (request line + headers) under strict size limits,
+//! answers, and closes the connection (`Connection: close` on every
+//! response). Socket read/write timeouts — set by the caller before
+//! parsing — bound slow-loris clients; the size limits below bound
+//! memory. Anything that fails these checks gets a precise 4xx rather
+//! than a hang or a panic: the parser never indexes unchecked and never
+//! allocates proportionally to attacker input beyond the head cap.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Upper bound on the request head (request line + all headers).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Upper bound on the number of header lines.
+pub const MAX_HEADERS: usize = 64;
+
+/// One parsed request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method verbatim (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target, without query-string splitting (no route
+    /// takes a query).
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order, names verbatim.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// Case-insensitive single-header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked for a plain-text rendering.
+    pub fn wants_plain_text(&self) -> bool {
+        self.header("accept")
+            .is_some_and(|accept| accept.contains("text/plain"))
+    }
+}
+
+/// Why a request head could not be parsed.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The head exceeded [`MAX_HEAD_BYTES`] or [`MAX_HEADERS`].
+    TooLarge,
+    /// The bytes were not a well-formed HTTP/1.x request head.
+    Malformed(&'static str),
+    /// The socket failed or timed out before a full head arrived.
+    Io(std::io::Error),
+}
+
+/// Reads and parses one request head from `stream`.
+///
+/// # Errors
+///
+/// See [`RequestError`]; the caller maps the variants onto 431/400
+/// responses or drops the connection on I/O failure.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
+    let mut reader = BufReader::with_capacity(MAX_HEAD_BYTES, stream);
+    let mut budget = 0usize;
+    let request_line = read_line(&mut reader, &mut budget)?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(RequestError::Malformed("bad method"));
+    }
+    if !path.starts_with('/') {
+        return Err(RequestError::Malformed("bad request target"));
+    }
+    if !(version.starts_with("HTTP/1.") && parts.next().is_none()) {
+        return Err(RequestError::Malformed("bad HTTP version"));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(&mut reader, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() == MAX_HEADERS {
+            return Err(RequestError::TooLarge);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(RequestError::Malformed("header without ':'"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(RequestError::Malformed("bad header name"));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+    Ok(Request {
+        method,
+        path,
+        headers,
+    })
+}
+
+/// Reads one CRLF- (or LF-) terminated line, charging its length against
+/// the shared head budget.
+fn read_line(reader: &mut impl BufRead, consumed: &mut usize) -> Result<String, RequestError> {
+    let mut line = Vec::new();
+    loop {
+        let available = reader.fill_buf().map_err(RequestError::Io)?;
+        if available.is_empty() {
+            return Err(RequestError::Malformed("connection closed mid-head"));
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(available.len(), |i| i + 1);
+        if *consumed + line.len() + take > MAX_HEAD_BYTES {
+            return Err(RequestError::TooLarge);
+        }
+        line.extend_from_slice(&available[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            break;
+        }
+    }
+    *consumed += line.len();
+    while matches!(line.last(), Some(b'\n' | b'\r')) {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| RequestError::Malformed("non-UTF-8 in head"))
+}
+
+/// One response, always sent with `Connection: close`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra `Allow` header for 405 responses.
+    pub allow: Option<&'static str>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON body (already serialized).
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            allow: None,
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text body.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            allow: None,
+            body: body.into(),
+        }
+    }
+
+    /// A `405 Method Not Allowed` advertising the one accepted method.
+    pub fn method_not_allowed(allow: &'static str) -> Response {
+        Response {
+            status: 405,
+            content_type: "text/plain; charset=utf-8",
+            allow: Some(allow),
+            body: format!("method not allowed; use {allow}\n").into_bytes(),
+        }
+    }
+
+    /// Serializes status line, headers, and body onto `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures (the connection is closed anyway).
+    pub fn write_to(&self, out: &mut impl Write) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+        );
+        if let Some(allow) = self.allow {
+            head.push_str("Allow: ");
+            head.push_str(allow);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        out.write_all(head.as_bytes())?;
+        out.write_all(&self.body)?;
+        out.flush()
+    }
+}
+
+/// The standard reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<Request, RequestError> {
+        read_request(&mut raw.as_bytes())
+    }
+
+    #[test]
+    fn parses_a_minimal_get() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\nAccept: text/plain\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("accept"), Some("text/plain"));
+        assert_eq!(req.header("ACCEPT"), Some("text/plain"));
+        assert!(req.wants_plain_text());
+    }
+
+    #[test]
+    fn tolerates_bare_lf_line_endings() {
+        let req = parse("GET / HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(req.path, "/");
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        for raw in [
+            "",                              // empty
+            "GET\r\n\r\n",                   // no target
+            "GET /x\r\n\r\n",                // no version
+            "get /x HTTP/1.1\r\n\r\n",       // lower-case method
+            "GET x HTTP/1.1\r\n\r\n",        // target without leading slash
+            "GET /x SMTP/1.0\r\n\r\n",       // wrong protocol
+            "GET /x HTTP/1.1 extra\r\n\r\n", // trailing junk
+            "GET /x HTTP/1.1\r\nno-colon\r\n\r\n",
+            "GET /x HTTP/1.1\r\n: empty-name\r\n\r\n",
+            "GET /x HTTP/1.1\r\nHost", // closed mid-head
+        ] {
+            assert!(
+                matches!(parse(raw), Err(RequestError::Malformed(_))),
+                "{raw:?} should be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn caps_head_size_and_header_count() {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_HEAD_BYTES));
+        assert!(matches!(parse(&long), Err(RequestError::TooLarge)));
+        let many = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            (0..=MAX_HEADERS)
+                .map(|i| format!("h{i}: v\r\n"))
+                .collect::<String>()
+        );
+        assert!(matches!(parse(&many), Err(RequestError::TooLarge)));
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_close() {
+        let mut out = Vec::new();
+        Response::text(200, "ok\n").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nok\n"));
+
+        let mut out = Vec::new();
+        Response::method_not_allowed("GET")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"));
+        assert!(text.contains("Allow: GET\r\n"));
+    }
+}

@@ -1,0 +1,431 @@
+//! `accelwall-server` — a dependency-free HTTP artifact server over the
+//! experiment registry.
+//!
+//! The one-shot CLI recomputes artifacts per invocation; this crate
+//! turns the same registry into a long-lived service. A [`Server`] holds
+//! one process-lifetime [`ArtifactCache`] (registry + shared-input
+//! [`Ctx`](accelerator_wall::cache::Ctx) + per-experiment `OnceLock`s),
+//! so the first request for a target computes it — dependencies first,
+//! exactly like an `all` run — and every later request is served from
+//! memory. The pipeline's compute-once invariant extends from "per
+//! process run" to "per server lifetime", and `/metrics` exposes the
+//! counters that prove it.
+//!
+//! Everything is `std`-only: a [`TcpListener`] acceptor thread feeding a
+//! fixed-size worker pool ([`pool::ThreadPool`]) over a bounded `mpsc`
+//! channel. The bounded channel doubles as the backpressure cap — a full
+//! backlog answers `503` instead of queueing unboundedly. Shutdown is a
+//! drain: `POST /shutdown` (or [`ServerHandle::shutdown`]) stops the
+//! acceptor, in-flight and already-queued requests finish, then the
+//! listener closes and [`Server::run`] returns.
+//!
+//! # Routes
+//!
+//! | Route | Response |
+//! |---|---|
+//! | `GET /experiments` | the registry roster (same JSON as `accelwall list --json`) |
+//! | `GET /experiments/{id}` | the artifact as JSON, or its text rendering with `Accept: text/plain` |
+//! | `GET /healthz` | `ok` once the listener is up |
+//! | `GET /metrics` | Prometheus-style counters (requests, latency, cache, `Ctx`) |
+//! | `POST /shutdown` | begins the graceful drain |
+//!
+//! Unknown `{id}`s answer `404` with the same roster-carrying message as
+//! the CLI — both derive from [`Registry`](accelerator_wall::registry::Registry),
+//! so there is no hand-maintained route list to drift.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod http;
+pub mod metrics;
+pub mod pool;
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use accelerator_wall::artifacts::ArtifactCache;
+use accelerator_wall::error::Error;
+
+use http::{read_request, Request, RequestError, Response};
+use metrics::{Metrics, Route};
+use pool::{PoolError, ThreadPool};
+
+/// Tunables for one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, `HOST:PORT`. Port 0 picks a free port.
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Connections allowed to queue beyond the busy workers before the
+    /// acceptor sheds load with `503`.
+    pub backlog: usize,
+    /// Per-socket read/write timeout (bounds slow clients).
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:8373".to_string(),
+            workers: 4,
+            backlog: 64,
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A bound (but not yet running) artifact server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    config: ServerConfig,
+    cache: Arc<ArtifactCache>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// A cheap handle for observing and stopping a running [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<Metrics>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Begins the graceful drain: no new connections are accepted,
+    /// queued and in-flight requests finish, then [`Server::run`]
+    /// returns.
+    pub fn shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // Wake the acceptor if it is parked in `accept()`.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+impl Server {
+    /// Binds the listener and prepares the worker pool configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures (bad address, port in use).
+    pub fn bind(config: ServerConfig, cache: ArtifactCache) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            local_addr,
+            config,
+            cache: Arc::new(cache),
+            metrics: Arc::new(Metrics::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle usable from other threads to stop the server.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.local_addr,
+            shutdown: Arc::clone(&self.shutdown),
+            metrics: Arc::clone(&self.metrics),
+        }
+    }
+
+    /// Serves until a drain is requested, then finishes queued work and
+    /// returns. This call owns the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Only listener-level failures; per-connection errors are answered
+    /// on the wire (4xx/5xx) or dropped, never escalated.
+    pub fn run(self) -> std::io::Result<()> {
+        let handle = self.handle();
+        let pool = {
+            let cache = Arc::clone(&self.cache);
+            let metrics = Arc::clone(&self.metrics);
+            let handle = handle.clone();
+            let io_timeout = self.config.io_timeout;
+            ThreadPool::new(
+                self.config.workers,
+                self.config.backlog,
+                move |stream: TcpStream| {
+                    handle_connection(stream, &cache, &metrics, &handle, io_timeout);
+                },
+            )
+        };
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(_) => continue, // transient accept failure
+            };
+            match pool.try_execute(stream) {
+                Ok(()) => {}
+                Err(rejected) if rejected.reason == PoolError::Saturated => {
+                    // Backpressure: answer 503 on the acceptor thread
+                    // (bounded by a short write timeout) and move on.
+                    self.metrics.record_rejected();
+                    let mut stream = rejected.item;
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                    let _ = Response::text(503, "server saturated, retry later\n")
+                        .write_to(&mut stream);
+                }
+                Err(_) => break,
+            }
+        }
+        // Drain: close the queue, let workers finish, then drop the
+        // listener so the port frees only after the last response.
+        pool.join();
+        Ok(())
+    }
+}
+
+/// Serves one connection: parse under limits, route, respond, close.
+fn handle_connection(
+    mut stream: TcpStream,
+    cache: &ArtifactCache,
+    metrics: &Metrics,
+    handle: &ServerHandle,
+    io_timeout: Duration,
+) {
+    let _in_flight = metrics.track_in_flight();
+    let start = Instant::now();
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    let (route, response) = match read_request(&mut stream) {
+        Ok(request) => route_request(&request, cache, metrics, handle),
+        Err(RequestError::TooLarge) => (
+            Route::Other,
+            Response::text(431, "request head too large\n"),
+        ),
+        Err(RequestError::Malformed(what)) => (
+            Route::Other,
+            Response::text(400, format!("malformed request: {what}\n")),
+        ),
+        Err(RequestError::Io(_)) => return, // nothing to answer
+    };
+    let _ = response.write_to(&mut stream);
+    metrics.observe(route, response.status, start.elapsed());
+}
+
+/// Maps one parsed request onto a route and a response.
+fn route_request(
+    request: &Request,
+    cache: &ArtifactCache,
+    metrics: &Metrics,
+    handle: &ServerHandle,
+) -> (Route, Response) {
+    let get_only = |route: Route, response: Response| {
+        if request.method == "GET" {
+            (route, response)
+        } else {
+            (route, Response::method_not_allowed("GET"))
+        }
+    };
+    match request.path.as_str() {
+        "/healthz" => get_only(Route::Healthz, Response::text(200, "ok\n")),
+        "/experiments" => get_only(
+            Route::Experiments,
+            Response::json(200, roster_body(cache)),
+        ),
+        "/metrics" => get_only(
+            Route::Metrics,
+            Response::text(
+                200,
+                metrics.render(cache.stats(), cache.ctx().counters()),
+            ),
+        ),
+        "/shutdown" => {
+            if request.method == "POST" {
+                handle.shutdown();
+                (Route::Shutdown, Response::text(200, "draining\n"))
+            } else {
+                (Route::Shutdown, Response::method_not_allowed("POST"))
+            }
+        }
+        path => match path.strip_prefix("/experiments/") {
+            Some(id) => {
+                if request.method != "GET" {
+                    return (Route::Experiment, Response::method_not_allowed("GET"));
+                }
+                (Route::Experiment, experiment_response(id, request, cache))
+            }
+            None => (
+                Route::Other,
+                Response::text(
+                    404,
+                    "no such route; routes: /healthz /experiments /experiments/{id} /metrics /shutdown\n",
+                ),
+            ),
+        },
+    }
+}
+
+/// The `GET /experiments` body: the registry roster, byte-identical to
+/// `accelwall list --json` output.
+fn roster_body(cache: &ArtifactCache) -> Vec<u8> {
+    let mut body = cache.registry().roster_json().pretty();
+    body.push('\n');
+    body.into_bytes()
+}
+
+/// The `GET /experiments/{id}` body, honoring `Accept: text/plain`.
+fn experiment_response(id: &str, request: &Request, cache: &ArtifactCache) -> Response {
+    match cache.get(id) {
+        Ok(artifact) => {
+            if request.wants_plain_text() {
+                Response::text(200, artifact.text.clone())
+            } else {
+                let mut body = artifact.json.pretty();
+                body.push('\n');
+                Response::json(200, body)
+            }
+        }
+        // The 404 body carries the registry roster, exactly like the
+        // CLI's unknown-target error — no hand-maintained route list.
+        Err(e @ Error::UnknownExperiment { .. }) => Response::text(404, format!("{e}\n")),
+        Err(e) => Response::text(500, format!("{id} failed: {e}\n")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelerator_wall::cache::Ctx;
+    use accelerator_wall::json::Value;
+    use accelerator_wall::prelude::{Registry, SweepSpace};
+    use std::io::{Read, Write};
+
+    fn coarse_server() -> (ServerHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+        let cache = ArtifactCache::new(Registry::paper(), Ctx::with_space(SweepSpace::coarse()));
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            backlog: 8,
+            io_timeout: Duration::from_secs(10),
+        };
+        let server = Server::bind(config, cache).expect("bind");
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+        (handle, join)
+    }
+
+    fn raw_request(addr: SocketAddr, head: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(head.as_bytes()).expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let status = response
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        raw_request(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    }
+
+    #[test]
+    fn end_to_end_routes_cache_and_drain() {
+        let (handle, join) = coarse_server();
+        let addr = handle.addr();
+
+        // /healthz
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+        // /experiments mirrors the registry roster.
+        let (status, body) = get(addr, "/experiments");
+        assert_eq!(status, 200);
+        let roster = Value::parse(&body).expect("roster is valid JSON");
+        assert_eq!(
+            roster.as_array().map(<[Value]>::len),
+            Some(Registry::paper().len())
+        );
+
+        // An artifact twice: compute then hit, byte-identical bodies.
+        let (status, first) = get(addr, "/experiments/fig3a");
+        assert_eq!(status, 200);
+        let (_, second) = get(addr, "/experiments/fig3a");
+        assert_eq!(first, second);
+        assert!(Value::parse(&first).is_ok());
+
+        // Accept: text/plain returns the rendered text.
+        let (status, text) = raw_request(
+            addr,
+            "GET /experiments/fig3a HTTP/1.1\r\nHost: t\r\nAccept: text/plain\r\n\r\n",
+        );
+        assert_eq!(status, 200);
+        assert!(text.contains("Fig. 3a"), "plain text rendering:\n{text}");
+
+        // Unknown id: 404 carrying the roster, like the CLI.
+        let (status, body) = get(addr, "/experiments/fig99");
+        assert_eq!(status, 404);
+        assert!(body.contains("unknown target"));
+        assert!(body.contains("fig3a"));
+
+        // Wrong method and unknown path.
+        let (status, _) = raw_request(addr, "POST /experiments HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 405);
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+        let (status, _) = raw_request(addr, "garbage\r\n\r\n");
+        assert_eq!(status, 400);
+
+        // /metrics reflects all of the above.
+        let (status, text) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(text.contains("accelwall_requests_total{route=\"/healthz\"} 1"));
+        assert!(text.contains("accelwall_artifact_cache_computes_total 1"));
+        // fig3a never touches the corpus; the line must exist and stay 0.
+        assert!(text.contains("accelwall_ctx_corpus_computes 0"));
+
+        // Graceful drain via POST /shutdown.
+        let (status, body) = raw_request(addr, "POST /shutdown HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!((status, body.as_str()), (200, "draining\n"));
+        join.join().expect("server thread").expect("clean exit");
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // A connect may still succeed in the OS backlog race; a
+                // subsequent read must then see an immediate close.
+                true
+            }
+        );
+    }
+
+    #[test]
+    fn handle_shutdown_drains_without_a_request() {
+        let (handle, join) = coarse_server();
+        handle.shutdown();
+        handle.shutdown(); // idempotent
+        join.join().expect("server thread").expect("clean exit");
+    }
+}

@@ -1,0 +1,276 @@
+//! Server-side observability: request counters, latency sums, and a
+//! Prometheus-style text rendering.
+//!
+//! The `/metrics` route combines three layers of counters:
+//!
+//! 1. per-route request counts and latency sums plus per-status response
+//!    counts and an in-flight gauge (the atomics in [`Metrics`]);
+//! 2. the artifact cache's request/hit/compute counters
+//!    ([`accelerator_wall::artifacts::CacheStats`]);
+//! 3. the shared-input [`Ctx`](accelerator_wall::cache::Ctx) counters
+//!    ([`CtxCounters`]) — the same numbers the pipeline's golden tests
+//!    assert on, so "the corpus was built at most once over the whole
+//!    server lifetime" is observable from the outside.
+//!
+//! Route labels are normalized (`/experiments/fig14` reports as
+//! `/experiments/{id}`) so label cardinality stays bounded no matter
+//! what paths clients probe.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use accelerator_wall::artifacts::CacheStats;
+use accelerator_wall::cache::CtxCounters;
+
+/// The server's route space, used as the bounded metrics label set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /experiments`.
+    Experiments,
+    /// `GET /experiments/{id}` (any id, known or not).
+    Experiment,
+    /// `GET /metrics`.
+    Metrics,
+    /// `POST /shutdown`.
+    Shutdown,
+    /// Anything else, including unparseable requests.
+    Other,
+}
+
+impl Route {
+    /// Every route, in rendering order.
+    pub const ALL: [Route; 6] = [
+        Route::Healthz,
+        Route::Experiments,
+        Route::Experiment,
+        Route::Metrics,
+        Route::Shutdown,
+        Route::Other,
+    ];
+
+    /// The normalized label rendered into metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Route::Healthz => "/healthz",
+            Route::Experiments => "/experiments",
+            Route::Experiment => "/experiments/{id}",
+            Route::Metrics => "/metrics",
+            Route::Shutdown => "/shutdown",
+            Route::Other => "other",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RouteStats {
+    requests: AtomicU64,
+    latency_ns: AtomicU64,
+}
+
+/// All server-side counters, shared across workers by reference.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    per_route: [RouteStats; Route::ALL.len()],
+    responses: Mutex<Vec<(u16, u64)>>,
+    in_flight: AtomicUsize,
+    rejected: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records one finished request: route, response status, wall time.
+    pub fn observe(&self, route: Route, status: u16, elapsed: Duration) {
+        let stats = &self.per_route[Route::ALL.iter().position(|&r| r == route).unwrap_or(0)];
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        stats
+            .latency_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        let mut responses = self.responses.lock().unwrap_or_else(|e| e.into_inner());
+        match responses.iter_mut().find(|(s, _)| *s == status) {
+            Some((_, n)) => *n += 1,
+            None => {
+                responses.push((status, 1));
+                responses.sort_unstable();
+            }
+        }
+    }
+
+    /// Marks a connection rejected by backpressure (503 before routing).
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises the in-flight gauge for the lifetime of the returned guard.
+    pub fn track_in_flight(&self) -> InFlightGuard<'_> {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard { metrics: self }
+    }
+
+    /// The current in-flight gauge value.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Renders every counter in Prometheus text exposition format,
+    /// folding in the artifact-cache and shared-input counters.
+    pub fn render(&self, cache: CacheStats, ctx: CtxCounters) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        out.push_str("# TYPE accelwall_requests_total counter\n");
+        for (route, stats) in Route::ALL.iter().zip(&self.per_route) {
+            let _ = writeln!(
+                out,
+                "accelwall_requests_total{{route=\"{}\"}} {}",
+                route.label(),
+                stats.requests.load(Ordering::Relaxed)
+            );
+        }
+        out.push_str("# TYPE accelwall_request_latency_seconds_sum counter\n");
+        for (route, stats) in Route::ALL.iter().zip(&self.per_route) {
+            let _ = writeln!(
+                out,
+                "accelwall_request_latency_seconds_sum{{route=\"{}\"}} {}",
+                route.label(),
+                stats.latency_ns.load(Ordering::Relaxed) as f64 / 1e9
+            );
+        }
+        out.push_str("# TYPE accelwall_responses_total counter\n");
+        for (status, count) in self
+            .responses
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            let _ = writeln!(
+                out,
+                "accelwall_responses_total{{status=\"{status}\"}} {count}"
+            );
+        }
+        out.push_str("# TYPE accelwall_in_flight_requests gauge\n");
+        let _ = writeln!(
+            out,
+            "accelwall_in_flight_requests {}",
+            self.in_flight.load(Ordering::Relaxed)
+        );
+        out.push_str("# TYPE accelwall_connections_rejected_total counter\n");
+        let _ = writeln!(
+            out,
+            "accelwall_connections_rejected_total {}",
+            self.rejected.load(Ordering::Relaxed)
+        );
+        out.push_str("# TYPE accelwall_artifact_cache counter\n");
+        let _ = writeln!(
+            out,
+            "accelwall_artifact_cache_requests_total {}",
+            cache.requests
+        );
+        let _ = writeln!(out, "accelwall_artifact_cache_hits_total {}", cache.hits);
+        let _ = writeln!(
+            out,
+            "accelwall_artifact_cache_misses_total {}",
+            cache.misses()
+        );
+        let _ = writeln!(
+            out,
+            "accelwall_artifact_cache_computes_total {}",
+            cache.computes
+        );
+        out.push_str("# TYPE accelwall_ctx counter\n");
+        for (name, value) in [
+            ("corpus_computes", ctx.corpus_computes),
+            ("corpus_requests", ctx.corpus_requests),
+            ("fit_computes", ctx.fit_computes),
+            ("fit_requests", ctx.fit_requests),
+            ("model_computes", ctx.model_computes),
+            ("model_requests", ctx.model_requests),
+            ("sweep_computes", ctx.sweep_computes),
+            ("sweep_requests", ctx.sweep_requests),
+        ] {
+            let _ = writeln!(out, "accelwall_ctx_{name} {value}");
+        }
+        out
+    }
+}
+
+/// RAII guard decrementing the in-flight gauge on drop.
+#[derive(Debug)]
+pub struct InFlightGuard<'a> {
+    metrics: &'a Metrics,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_stats() -> CacheStats {
+        CacheStats {
+            requests: 3,
+            hits: 2,
+            computes: 1,
+        }
+    }
+
+    fn empty_ctx() -> CtxCounters {
+        CtxCounters {
+            corpus_computes: 1,
+            corpus_requests: 4,
+            fit_computes: 0,
+            fit_requests: 0,
+            model_computes: 1,
+            model_requests: 2,
+            sweep_computes: 0,
+            sweep_requests: 0,
+        }
+    }
+
+    #[test]
+    fn observe_accumulates_per_route_and_per_status() {
+        let m = Metrics::new();
+        m.observe(Route::Healthz, 200, Duration::from_millis(2));
+        m.observe(Route::Healthz, 200, Duration::from_millis(3));
+        m.observe(Route::Experiment, 404, Duration::from_millis(1));
+        let text = m.render(empty_stats(), empty_ctx());
+        assert!(text.contains("accelwall_requests_total{route=\"/healthz\"} 2"));
+        assert!(text.contains("accelwall_requests_total{route=\"/experiments/{id}\"} 1"));
+        assert!(text.contains("accelwall_responses_total{status=\"200\"} 2"));
+        assert!(text.contains("accelwall_responses_total{status=\"404\"} 1"));
+        assert!(text.contains("accelwall_request_latency_seconds_sum{route=\"/healthz\"} 0.005"));
+    }
+
+    #[test]
+    fn in_flight_gauge_tracks_guard_lifetime() {
+        let m = Metrics::new();
+        assert_eq!(m.in_flight(), 0);
+        {
+            let _a = m.track_in_flight();
+            let _b = m.track_in_flight();
+            assert_eq!(m.in_flight(), 2);
+        }
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn render_folds_in_cache_and_ctx_counters() {
+        let m = Metrics::new();
+        m.record_rejected();
+        let text = m.render(empty_stats(), empty_ctx());
+        assert!(text.contains("accelwall_connections_rejected_total 1"));
+        assert!(text.contains("accelwall_artifact_cache_hits_total 2"));
+        assert!(text.contains("accelwall_artifact_cache_misses_total 1"));
+        assert!(text.contains("accelwall_ctx_corpus_computes 1"));
+        assert!(text.contains("accelwall_ctx_sweep_requests 0"));
+    }
+}

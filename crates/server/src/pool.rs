@@ -1,0 +1,177 @@
+//! A fixed-size worker thread pool over an [`mpsc`] channel.
+//!
+//! The server accepts connections on one thread and hands each one to
+//! this pool. The channel is a [`mpsc::sync_channel`] with a bounded
+//! backlog, which is the server's backpressure mechanism: when every
+//! worker is busy and the backlog is full, [`ThreadPool::try_execute`]
+//! fails immediately and *returns the work item*, so the acceptor can
+//! answer `503 Service Unavailable` on the rejected connection instead
+//! of queueing unboundedly or dropping it silently.
+//!
+//! Dropping the pool (or calling [`ThreadPool::join`]) closes the
+//! channel; workers finish the jobs already queued, then exit — that is
+//! what makes the server's shutdown a *drain* rather than an abort.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A fixed set of worker threads applying one handler to queued items.
+#[derive(Debug)]
+pub struct ThreadPool<T: Send + 'static> {
+    sender: Option<mpsc::SyncSender<T>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Why an item could not be enqueued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// Every worker is busy and the backlog is full (backpressure).
+    Saturated,
+    /// The pool is shutting down and accepts no new work.
+    Closed,
+}
+
+/// An item the pool refused, handed back so the caller can shed load.
+#[derive(Debug)]
+pub struct Rejected<T> {
+    /// The item that was not enqueued.
+    pub item: T,
+    /// Why it was refused.
+    pub reason: PoolError,
+}
+
+impl<T: Send + 'static> ThreadPool<T> {
+    /// Spawns `workers` threads sharing a queue of at most `backlog`
+    /// pending items, each applying `handler`. Both counts are clamped
+    /// to at least 1.
+    pub fn new(
+        workers: usize,
+        backlog: usize,
+        handler: impl Fn(T) + Send + Sync + 'static,
+    ) -> ThreadPool<T> {
+        let (sender, receiver) = mpsc::sync_channel::<T>(backlog.max(1));
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handler = Arc::new(handler);
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let handler = Arc::clone(&handler);
+                std::thread::Builder::new()
+                    .name(format!("accelwall-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only for the recv so the other
+                        // workers stay free to pick up the next item.
+                        let item = match receiver.lock() {
+                            Ok(rx) => rx.recv(),
+                            Err(_) => break,
+                        };
+                        match item {
+                            Ok(item) => handler(item),
+                            Err(_) => break, // channel closed and drained
+                        }
+                    })
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Enqueues an item without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item with [`PoolError::Saturated`] when the backlog
+    /// is full, or [`PoolError::Closed`] once shutdown began.
+    pub fn try_execute(&self, item: T) -> Result<(), Rejected<T>> {
+        let Some(sender) = self.sender.as_ref() else {
+            return Err(Rejected {
+                item,
+                reason: PoolError::Closed,
+            });
+        };
+        sender.try_send(item).map_err(|e| match e {
+            mpsc::TrySendError::Full(item) => Rejected {
+                item,
+                reason: PoolError::Saturated,
+            },
+            mpsc::TrySendError::Disconnected(item) => Rejected {
+                item,
+                reason: PoolError::Closed,
+            },
+        })
+    }
+
+    /// Closes the queue and blocks until every queued item has been
+    /// handled.
+    pub fn join(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.sender = None; // close the channel: workers drain then exit
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for ThreadPool<T> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn runs_every_queued_item_before_join_returns() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let sink = Arc::clone(&hits);
+        let pool = ThreadPool::new(4, 16, move |n: usize| {
+            sink.fetch_add(n, Ordering::SeqCst);
+        });
+        for _ in 0..16 {
+            pool.try_execute(1).unwrap();
+        }
+        pool.join();
+        assert_eq!(hits.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn saturation_returns_the_item_instead_of_queueing() {
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let worker_gate = Arc::clone(&gate);
+        let pool = ThreadPool::new(1, 1, move |block: bool| {
+            if block {
+                worker_gate.wait();
+            }
+        });
+        // Occupy the single worker...
+        pool.try_execute(true).unwrap();
+        // ...and give the queue a moment to hand the item over.
+        std::thread::sleep(Duration::from_millis(50));
+        // One item fits in the backlog; the next must bounce back.
+        let mut bounced = None;
+        for _ in 0..2 {
+            if let Err(rejected) = pool.try_execute(false) {
+                assert_eq!(rejected.reason, PoolError::Saturated);
+                bounced = Some(rejected.item);
+            }
+        }
+        assert_eq!(
+            bounced,
+            Some(false),
+            "a full backlog must hand the item back"
+        );
+        gate.wait();
+        pool.join();
+    }
+}

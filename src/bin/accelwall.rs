@@ -1,4 +1,5 @@
-//! `accelwall` — regenerate every table and figure of the paper.
+//! `accelwall` — regenerate every table and figure of the paper, or
+//! serve them over HTTP.
 //!
 //! Usage:
 //!
@@ -6,46 +7,154 @@
 //! accelwall <target> [--json]
 //! accelwall all [--json]
 //! accelwall dot [WORKLOAD] [--json]
-//! accelwall list
+//! accelwall list [--json]
+//! accelwall serve [--addr HOST:PORT] [--workers N]
 //! ```
 //!
 //! The target roster is owned by [`Registry::paper`]; this binary is a
 //! thin driver around it. `list` prints every registered target with its
-//! description, `all` runs the whole registry in dependency order with
-//! independent experiments executing in parallel, and `--json` swaps the
-//! text rendering for the experiment's JSON artifact. With `all`,
-//! `--json` emits one JSON document keyed by experiment id.
+//! description (`--json` emits the same roster document the server's
+//! `GET /experiments` route returns), `all` runs the whole registry in
+//! dependency order with independent experiments executing in parallel,
+//! and `--json` swaps the text rendering for the experiment's JSON
+//! artifact. With `all`, `--json` emits one JSON document keyed by
+//! experiment id. `serve` starts the long-lived artifact server
+//! (`accelwall-server`): one process-lifetime cache, every artifact
+//! computed at most once, `POST /shutdown` for a graceful drain.
+//!
+//! Unknown targets *and* unknown flags both fail with a roster-style
+//! error listing everything that would have been accepted.
 
 use accelerator_wall::error::Error;
 use accelerator_wall::experiments::dfg::dot_artifact;
 use accelerator_wall::json::Value;
-use accelerator_wall::prelude::{Ctx, Registry};
+use accelerator_wall::prelude::{ArtifactCache, Ctx, Registry};
+use accelwall_server::{Server, ServerConfig};
+use std::io::Write;
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let mut positional = args.iter().filter(|a| !a.starts_with("--"));
-    let target = positional.next().cloned();
-    let operand = positional.next().cloned();
-    let registry = Registry::paper();
-    match target.as_deref() {
-        None | Some("list") => {
-            println!("regeneration targets:");
-            for e in registry.experiments() {
-                println!("  {:<12} {}", e.id(), e.description());
+/// Every flag the CLI accepts, with its value shape — the "roster" the
+/// unknown-flag error prints, mirroring the unknown-target error.
+const KNOWN_FLAGS: &[(&str, &str)] = &[
+    ("--json", "emit the JSON artifact instead of text"),
+    ("--addr", "HOST:PORT the server binds (serve only)"),
+    ("--workers", "worker thread count (serve only)"),
+];
+
+/// Parsed command line: positionals plus validated flags.
+#[derive(Debug, Default)]
+struct Args {
+    target: Option<String>,
+    operand: Option<String>,
+    json: bool,
+    addr: Option<String>,
+    workers: Option<usize>,
+}
+
+fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut raw = raw.peekable();
+    let mut positionals = Vec::new();
+    while let Some(arg) = raw.next() {
+        if let Some(flag) = arg.strip_prefix("--") {
+            let (name, inline) = match flag.split_once('=') {
+                Some((name, value)) => (name, Some(value.to_string())),
+                None => (flag, None),
+            };
+            let mut value_for = |what: &str| {
+                inline
+                    .clone()
+                    .or_else(|| raw.next())
+                    .ok_or_else(|| format!("flag --{name} needs a value ({what})"))
+            };
+            match name {
+                "json" => {
+                    if inline.is_some() {
+                        return Err("flag --json takes no value".to_string());
+                    }
+                    args.json = true;
+                }
+                "addr" => args.addr = Some(value_for("HOST:PORT")?),
+                "workers" => {
+                    let value = value_for("a thread count")?;
+                    let workers: usize = value.parse().map_err(|_| {
+                        format!("--workers needs a positive integer, got {value:?}")
+                    })?;
+                    if workers == 0 {
+                        return Err("--workers must be at least 1".to_string());
+                    }
+                    args.workers = Some(workers);
+                }
+                _ => {
+                    let known = KNOWN_FLAGS
+                        .iter()
+                        .map(|(f, _)| *f)
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    return Err(format!("unknown flag \"--{name}\"; known flags: {known}"));
+                }
             }
-            println!("  {:<12} run every target above", "all");
+        } else {
+            positionals.push(arg);
+        }
+    }
+    let mut positionals = positionals.into_iter();
+    args.target = positionals.next();
+    args.operand = positionals.next();
+    if let Some(extra) = positionals.next() {
+        return Err(format!("unexpected extra argument {extra:?}"));
+    }
+    // Flag/command compatibility, so typos fail loudly instead of
+    // silently doing the default thing.
+    let is_serve = args.target.as_deref() == Some("serve");
+    if !is_serve && (args.addr.is_some() || args.workers.is_some()) {
+        return Err("--addr and --workers only apply to `accelwall serve`".to_string());
+    }
+    if is_serve && args.json {
+        return Err("--json does not apply to `accelwall serve`".to_string());
+    }
+    if args.operand.is_some() && !matches!(args.target.as_deref(), Some("dot")) {
+        return Err(format!(
+            "target {:?} takes no operand",
+            args.target.as_deref().unwrap_or("")
+        ));
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            eprintln!("run `accelwall list` for targets and flags");
+            return ExitCode::FAILURE;
+        }
+    };
+    let registry = Registry::paper();
+    match args.target.as_deref() {
+        None | Some("list") => {
+            if args.json {
+                println!("{}", registry.roster_json().pretty());
+            } else {
+                println!("regeneration targets:");
+                for e in registry.experiments() {
+                    println!("  {:<12} {}", e.id(), e.description());
+                }
+                println!("  {:<12} run every target above", "all");
+                println!("  {:<12} serve artifacts over HTTP", "serve");
+            }
             ExitCode::SUCCESS
         }
-        Some("all") => run_all(&registry, json),
+        Some("all") => run_all(&registry, args.json),
+        Some("serve") => serve(registry, &args),
         Some("dot") => {
             // `dot` keeps its positional operand: any Table IV
             // abbreviation, defaulting to the Fig. 11 example graph.
-            let which = operand.unwrap_or_else(|| "fig11".to_string());
+            let which = args.operand.unwrap_or_else(|| "fig11".to_string());
             match dot_artifact(&which) {
                 Ok(artifact) => {
-                    if json {
+                    if args.json {
                         println!("{}", artifact.json.pretty());
                     } else {
                         print!("{}", artifact.text);
@@ -61,7 +170,7 @@ fn main() -> ExitCode {
         Some(t) => match registry.get(t) {
             Ok(experiment) => match experiment.run(&Ctx::new()) {
                 Ok(artifact) => {
-                    if json {
+                    if args.json {
                         println!("{}", artifact.json.pretty());
                     } else {
                         print!("{}", artifact.text);
@@ -83,6 +192,46 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+    }
+}
+
+/// Starts the long-lived artifact server and blocks until it drains.
+fn serve(registry: Registry, args: &Args) -> ExitCode {
+    let config = ServerConfig {
+        addr: args
+            .addr
+            .clone()
+            .unwrap_or_else(|| ServerConfig::default().addr),
+        workers: args
+            .workers
+            .unwrap_or_else(|| ServerConfig::default().workers),
+        ..ServerConfig::default()
+    };
+    let workers = config.workers;
+    let cache = ArtifactCache::new(registry, Ctx::new());
+    let server = match Server::bind(config, cache) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve failed to bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // One parseable line so scripts (and the integration tests) can
+    // discover the resolved port when binding to port 0.
+    println!(
+        "accelwall serve listening on http://{} ({workers} workers)",
+        server.local_addr()
+    );
+    let _ = std::io::stdout().flush();
+    match server.run() {
+        Ok(()) => {
+            println!("accelwall serve drained cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

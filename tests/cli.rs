@@ -209,7 +209,60 @@ fn list_matches_the_registry_exactly() {
         .collect();
     let mut expected = Registry::paper().ids();
     expected.push("all");
+    expected.push("serve");
     assert_eq!(listed, expected, "`list` must mirror the registry");
+}
+
+#[test]
+fn list_json_emits_the_shared_roster_document() {
+    let v = run_json(&["list"]);
+    let rows = v.as_array().expect("list --json emits an array");
+    let registry = Registry::paper();
+    assert_eq!(rows.len(), registry.len());
+    for (row, e) in rows.iter().zip(registry.experiments()) {
+        assert_eq!(row.get("id").and_then(Value::as_str), Some(e.id()));
+        assert_eq!(
+            row.get("description").and_then(Value::as_str),
+            Some(e.description())
+        );
+        assert!(row.get("deps").and_then(Value::as_array).is_some());
+    }
+}
+
+#[test]
+fn unknown_flags_fail_with_the_flag_roster() {
+    // The regression this pins: `--jsno` used to be silently ignored and
+    // the target ran in text mode as if nothing was wrong.
+    let out = Command::new(env!("CARGO_BIN_EXE_accelwall"))
+        .args(["fig3b", "--jsno"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "--jsno must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag \"--jsno\""));
+    for flag in ["--json", "--addr", "--workers"] {
+        assert!(stderr.contains(flag), "flag roster missing {flag}");
+    }
+}
+
+#[test]
+fn flags_are_validated_against_the_command() {
+    for (args, expect) in [
+        (&["fig3b", "--workers", "4"][..], "only apply"),
+        (&["serve", "--json"][..], "does not apply"),
+        (&["serve", "--workers", "0"][..], "at least 1"),
+        (&["serve", "--workers", "many"][..], "positive integer"),
+        (&["serve", "--addr"][..], "needs a value"),
+        (&["fig3b", "extra-operand"][..], "takes no operand"),
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_accelwall"))
+            .args(args)
+            .output()
+            .expect("binary runs");
+        assert!(!out.status.success(), "{args:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(expect), "{args:?}: stderr was\n{stderr}");
+    }
 }
 
 #[test]
