@@ -174,7 +174,7 @@ pub fn schedule(dfg: &Dfg, config: &DesignConfig) -> Result<Schedule> {
             let head = loop {
                 match ready.pop() {
                     Some(r) if !issued[r.index] => break Some(r.index),
-                    Some(_) => continue,
+                    Some(_) => {}
                     None => break None,
                 }
             };
@@ -216,18 +216,17 @@ pub fn schedule(dfg: &Dfg, config: &DesignConfig) -> Result<Schedule> {
                         }
                     }
                     break;
-                } else {
-                    finish[current] = cycle + lat.max(1);
-                    in_flight.push(std::cmp::Reverse((finish[current], current)));
-                    // A serialized op monopolizes its lane for every pass;
-                    // pipelined multi-cycle units free the issue slot.
-                    if passes > 1 && matches!(dfg.node(ids[current]).kind, NodeKind::Compute(_)) {
-                        for d in 1..passes {
-                            *reserved.entry(cycle + d).or_insert(0) += 1;
-                        }
-                    }
-                    break;
                 }
+                finish[current] = cycle + lat.max(1);
+                in_flight.push(std::cmp::Reverse((finish[current], current)));
+                // A serialized op monopolizes its lane for every pass;
+                // pipelined multi-cycle units free the issue slot.
+                if passes > 1 && matches!(dfg.node(ids[current]).kind, NodeKind::Compute(_)) {
+                    for d in 1..passes {
+                        *reserved.entry(cycle + d).or_insert(0) += 1;
+                    }
+                }
+                break;
             }
         }
         peak_busy = peak_busy.max(busy);

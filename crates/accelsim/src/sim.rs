@@ -224,7 +224,7 @@ pub fn simulate(dfg: &Dfg, config: &DesignConfig) -> Result<SimReport> {
         }
     }
 
-    let critical_path = finish.iter().cloned().fold(0.0f64, f64::max).max(1.0);
+    let critical_path = finish.iter().copied().fold(0.0f64, f64::max).max(1.0);
     let cycles = critical_path.max(work_cycles / lanes);
     let runtime_s = cycles / (CLOCK_GHZ * 1e9);
 

@@ -89,12 +89,16 @@ pub fn run_sweep(dfg: &Dfg, space: &SweepSpace) -> Result<Vec<SweepPoint>> {
 /// The sweep point with the best energy efficiency (the Fig. 13 annotated
 /// optimum).
 pub fn best_efficiency(points: &[SweepPoint]) -> Option<&SweepPoint> {
-    points.iter().max_by(|a, b| {
-        a.report
-            .energy_efficiency()
-            .partial_cmp(&b.report.energy_efficiency())
-            .expect("efficiencies are finite")
-    })
+    // NaN policy: a poisoned point can never be the optimum (and, under
+    // `total_cmp` alone, a positive NaN would outrank every real value).
+    points
+        .iter()
+        .filter(|p| p.report.energy_efficiency().is_finite())
+        .max_by(|a, b| {
+            a.report
+                .energy_efficiency()
+                .total_cmp(&b.report.energy_efficiency())
+        })
 }
 
 /// The runtime–power Pareto frontier of a sweep: the design points no
@@ -103,17 +107,14 @@ pub fn best_efficiency(points: &[SweepPoint]) -> Option<&SweepPoint> {
 /// descending power).
 pub fn pareto_runtime_power(points: &[SweepPoint]) -> Vec<&SweepPoint> {
     let mut sorted: Vec<&SweepPoint> = points.iter().collect();
+    // `total_cmp` keeps the sort total on NaN; a NaN runtime sorts last
+    // and a NaN power never lowers the running minimum, so poisoned
+    // points cannot enter the frontier.
     sorted.sort_by(|a, b| {
         a.report
             .runtime_s
-            .partial_cmp(&b.report.runtime_s)
-            .expect("finite runtimes")
-            .then(
-                a.report
-                    .power_w()
-                    .partial_cmp(&b.report.power_w())
-                    .expect("finite powers"),
-            )
+            .total_cmp(&b.report.runtime_s)
+            .then(a.report.power_w().total_cmp(&b.report.power_w()))
     });
     let mut frontier: Vec<&SweepPoint> = Vec::new();
     let mut best_power = f64::INFINITY;
@@ -128,12 +129,11 @@ pub fn pareto_runtime_power(points: &[SweepPoint]) -> Vec<&SweepPoint> {
 
 /// The sweep point with the best throughput.
 pub fn best_performance(points: &[SweepPoint]) -> Option<&SweepPoint> {
-    points.iter().max_by(|a, b| {
-        a.report
-            .throughput()
-            .partial_cmp(&b.report.throughput())
-            .expect("throughputs are finite")
-    })
+    // Same NaN policy as [`best_efficiency`]: poisoned points never win.
+    points
+        .iter()
+        .filter(|p| p.report.throughput().is_finite())
+        .max_by(|a, b| a.report.throughput().total_cmp(&b.report.throughput()))
 }
 
 #[cfg(test)]
@@ -191,6 +191,39 @@ mod tests {
     fn empty_points_have_no_best() {
         assert!(best_efficiency(&[]).is_none());
         assert!(best_performance(&[]).is_none());
+    }
+
+    #[test]
+    fn nan_poisoned_points_never_win_or_enter_the_frontier() {
+        // Regression: the selectors used `partial_cmp(..).expect(..)`,
+        // so one NaN report panicked the whole sweep analysis; with the
+        // explicit NaN policy a poisoned point is simply never chosen.
+        let g = Workload::Trd.default_instance();
+        let mut points = run_sweep(&g, &SweepSpace::coarse()).unwrap();
+        let clean_best_eff = best_efficiency(&points).unwrap().config;
+        let clean_best_perf = best_performance(&points).unwrap().config;
+        let poisoned = SweepPoint {
+            config: points[0].config,
+            report: SimReport {
+                runtime_s: f64::NAN,
+                ..points[0].report
+            },
+        };
+        points.insert(0, poisoned);
+        // NaN runtime makes throughput, power, and efficiency NaN too.
+        assert!(points[0].report.energy_efficiency().is_nan());
+        let best = best_efficiency(&points).unwrap();
+        assert!(best.report.energy_efficiency().is_finite());
+        assert_eq!(best.config, clean_best_eff);
+        let best = best_performance(&points).unwrap();
+        assert_eq!(best.config, clean_best_perf);
+        let frontier = pareto_runtime_power(&points);
+        assert!(!frontier.is_empty());
+        assert!(frontier.iter().all(|p| p.report.runtime_s.is_finite()));
+        // All-NaN input: no winner rather than an arbitrary one.
+        let all_poisoned: Vec<SweepPoint> = points[..1].to_vec();
+        assert!(best_efficiency(&all_poisoned).is_none());
+        assert!(best_performance(&all_poisoned).is_none());
     }
 
     #[test]

@@ -60,7 +60,7 @@ fn attribution_order(c: &mut Criterion) {
                     .unwrap()
                     .total_gain,
             )
-        })
+        });
     });
     group.finish();
 }
@@ -83,7 +83,7 @@ fn budget_models(c: &mut Criterion) {
             black_box(
                 model.area_limited_transistors(&spec) + model.power_limited_transistors(&spec),
             )
-        })
+        });
     });
 }
 
@@ -101,7 +101,7 @@ fn dark_silicon_leakage(c: &mut Criterion) {
         without.efficiency_gain(&spec, &baseline)
     );
     c.bench_function("ablation/dark_silicon_toggle", |b| {
-        b.iter(|| black_box(with.energy_efficiency(&spec) + without.energy_efficiency(&spec)))
+        b.iter(|| black_box(with.energy_efficiency(&spec) + without.energy_efficiency(&spec)));
     });
 }
 
@@ -119,7 +119,7 @@ fn projection_models(c: &mut Criterion) {
         );
     }
     c.bench_function("ablation/projection_models", |b| {
-        b.iter(|| black_box(accelwall_bench::all_walls()))
+        b.iter(|| black_box(accelwall_bench::all_walls()));
     });
 }
 
@@ -144,10 +144,10 @@ fn scheduler_fidelity(c: &mut Criterion) {
     let dfg = Workload::S3d.default_instance();
     let mut group = c.benchmark_group("ablation");
     group.bench_function("scheduler_list_s3d", |b| {
-        b.iter(|| black_box(schedule(&dfg, &config).unwrap().makespan))
+        b.iter(|| black_box(schedule(&dfg, &config).unwrap().makespan));
     });
     group.bench_function("scheduler_bound_s3d", |b| {
-        b.iter(|| black_box(simulate(&dfg, &config).unwrap().cycles))
+        b.iter(|| black_box(simulate(&dfg, &config).unwrap().cycles));
     });
     group.finish();
 }

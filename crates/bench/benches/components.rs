@@ -11,19 +11,19 @@ fn stats_kernels(c: &mut Criterion) {
     let xs: Vec<f64> = (1..=4096).map(|i| i as f64).collect();
     let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x.powf(0.8) + x.sin()).collect();
     c.bench_function("stats/powerlaw_fit_4096", |b| {
-        b.iter(|| black_box(PowerLaw::fit(&xs, &ys).unwrap().exponent))
+        b.iter(|| black_box(PowerLaw::fit(&xs, &ys).unwrap().exponent));
     });
     c.bench_function("stats/quadratic_fit_4096", |b| {
-        b.iter(|| black_box(Polynomial::fit(&xs, &ys, 2).unwrap().r_squared))
+        b.iter(|| black_box(Polynomial::fit(&xs, &ys, 2).unwrap().r_squared));
     });
     c.bench_function("stats/pareto_frontier_4096", |b| {
-        b.iter(|| black_box(pareto_frontier(&xs, &ys).unwrap().len()))
+        b.iter(|| black_box(pareto_frontier(&xs, &ys).unwrap().len()));
     });
 }
 
 fn corpus_generation(c: &mut Criterion) {
     c.bench_function("chipdb/generate_paper_corpus", |b| {
-        b.iter(|| black_box(CorpusSpec::paper_scale().generate().len()))
+        b.iter(|| black_box(CorpusSpec::paper_scale().generate().len()));
     });
 }
 
@@ -34,7 +34,7 @@ fn potential_queries(c: &mut Criterion) {
         b.iter(|| {
             let spec = ChipSpec::new(TechNode::N7, 350.0, 1.4, 280.0);
             black_box(model.throughput_gain(&spec, &baseline))
-        })
+        });
     });
 }
 
@@ -42,7 +42,7 @@ fn workload_builds(c: &mut Criterion) {
     let mut group = c.benchmark_group("workloads/build");
     for &w in Workload::all() {
         group.bench_with_input(BenchmarkId::from_parameter(w.abbrev()), &w, |b, &w| {
-            b.iter(|| black_box(w.default_instance().stats().vertices))
+            b.iter(|| black_box(w.default_instance().stats().vertices));
         });
     }
     group.finish();
@@ -54,7 +54,7 @@ fn simulator_runs(c: &mut Criterion) {
         let dfg = w.default_instance();
         let config = DesignConfig::new(TechNode::N7, 256, 5, true);
         group.bench_with_input(BenchmarkId::from_parameter(w.abbrev()), &dfg, |b, dfg| {
-            b.iter(|| black_box(simulate(dfg, &config).unwrap().cycles))
+            b.iter(|| black_box(simulate(dfg, &config).unwrap().cycles));
         });
     }
     group.finish();
@@ -86,13 +86,13 @@ fn relation_matrix(c: &mut Criterion) {
                     .architectures()
                     .len(),
             )
-        })
+        });
     });
 }
 
 fn wall_projection(c: &mut Criterion) {
     c.bench_function("projection/all_walls", |b| {
-        b.iter(|| black_box(accelwall_bench::all_walls()))
+        b.iter(|| black_box(accelwall_bench::all_walls()));
     });
 }
 

@@ -14,13 +14,13 @@ fn fig01_bitcoin_evolution(c: &mut Criterion) {
             let s = studies::bitcoin::fig1_series().unwrap();
             assert!(s.peak_reported() > 300.0);
             black_box(s.peak_csr())
-        })
+        });
     });
 }
 
 fn fig03a_device_scaling(c: &mut Criterion) {
     c.bench_function("fig03a_device_scaling", |b| {
-        b.iter(|| black_box(cmos::fig3a_series().len()))
+        b.iter(|| black_box(cmos::fig3a_series().len()));
     });
 }
 
@@ -32,7 +32,7 @@ fn fig03b_transistor_fit(c: &mut Criterion) {
             let fit = accelerator_wall::chipdb::fit::transistor_density_fit(&corpus).unwrap();
             assert!((fit.exponent - 0.877).abs() < 0.05);
             black_box(fit.coefficient)
-        })
+        });
     });
 }
 
@@ -47,7 +47,7 @@ fn fig03c_tdp_fit(c: &mut Criterion) {
                 }
             }
             black_box(acc)
-        })
+        });
     });
 }
 
@@ -58,7 +58,7 @@ fn fig03d_chip_gains(c: &mut Criterion) {
             let rows = fig3d_grid(&model);
             assert_eq!(rows.len(), 144);
             black_box(rows.last().unwrap().throughput_gain)
-        })
+        });
     });
 }
 
@@ -68,7 +68,7 @@ fn fig04_video_decoders(c: &mut Criterion) {
             let p = studies::video::performance_series().unwrap();
             let e = studies::video::efficiency_series().unwrap();
             black_box(p.peak_reported() + e.peak_reported())
-        })
+        });
     });
 }
 
@@ -85,7 +85,7 @@ fn fig05_gpu_frames(c: &mut Criterion) {
                     .peak_reported();
             }
             black_box(acc)
-        })
+        });
     });
 }
 
@@ -96,7 +96,7 @@ fn fig06_07_arch_matrix(c: &mut Criterion) {
             let ee = studies::gpu::arch_relation_matrix(true).unwrap();
             assert_eq!(perf.architectures().len(), 10);
             black_box(ee.gain("Pascal", "Tesla").unwrap())
-        })
+        });
     });
 }
 
@@ -110,7 +110,7 @@ fn fig08_fpga_cnn(c: &mut Criterion) {
                 acc += studies::fpga::efficiency_series(model).unwrap().peak_csr();
             }
             black_box(acc)
-        })
+        });
     });
 }
 
@@ -121,7 +121,7 @@ fn fig09_bitcoin_platforms(c: &mut Criterion) {
             let e = studies::bitcoin::fig9_efficiency_series().unwrap();
             assert!(p.peak_reported() > 1e5);
             black_box(e.peak_reported())
-        })
+        });
     });
 }
 
@@ -135,7 +135,7 @@ fn fig13_stencil_sweep(c: &mut Criterion) {
             let points = run_sweep(&dfg, &space).unwrap();
             assert_eq!(points.len(), 1820);
             black_box(points.len())
-        })
+        });
     });
     group.finish();
 }
@@ -144,7 +144,7 @@ fn fig14_attribution(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig14");
     group.sample_size(10);
     group.bench_function("fig14_attribution_coarse", |b| {
-        b.iter(|| black_box(accelwall_bench::fig14_grid(&SweepSpace::coarse())))
+        b.iter(|| black_box(accelwall_bench::fig14_grid(&SweepSpace::coarse())));
     });
     group.finish();
 }
@@ -159,7 +159,7 @@ fn fig15_16_projections(c: &mut Criterion) {
                     .linear_wall;
             }
             black_box(acc)
-        })
+        });
     });
     c.bench_function("fig16_ee_projection", |b| {
         b.iter(|| {
@@ -170,7 +170,7 @@ fn fig15_16_projections(c: &mut Criterion) {
                     .log_wall;
             }
             black_box(acc)
-        })
+        });
     });
 }
 

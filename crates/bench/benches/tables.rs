@@ -12,7 +12,7 @@ fn table1_concepts(c: &mut Criterion) {
             let examples = concepts::tpu_examples();
             assert_eq!(examples.len(), 9);
             black_box(examples.iter().map(|e| e.index as u32).sum::<u32>())
-        })
+        });
     });
 }
 
@@ -31,7 +31,7 @@ fn table2_limits(c: &mut Criterion) {
                 }
             }
             black_box(acc)
-        })
+        });
     });
 }
 
@@ -41,7 +41,7 @@ fn table3_space(c: &mut Criterion) {
             let space = SweepSpace::table3();
             assert_eq!(space.len(), 1820);
             black_box(space.configs().count())
-        })
+        });
     });
 }
 
@@ -54,7 +54,7 @@ fn table4_workloads(c: &mut Criterion) {
                 vertices += w.default_instance().stats().vertices;
             }
             black_box(vertices)
-        })
+        });
     });
 }
 
@@ -67,7 +67,7 @@ fn table5_domains(c: &mut Criterion) {
                 acc += l.max_die_mm2 + l.tdp_w + l.freq_mhz;
             }
             black_box(acc)
-        })
+        });
     });
 }
 

@@ -234,7 +234,7 @@ mod tests {
         group.sample_size(2);
         let mut hits = 0u64;
         group.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, &k| {
-            b.iter(|| hits += k)
+            b.iter(|| hits += k);
         });
         group.finish();
         assert!(hits >= 3);

@@ -191,6 +191,7 @@ impl TechNode {
         &TABLE
             .iter()
             .find(|(n, _)| *n == self)
+            // lint:allow(no-panic-paths): TABLE covers every TechNode; all_nodes_ordered_oldest_to_newest exercises params() for each variant
             .expect("every variant is in the table")
             .1
     }

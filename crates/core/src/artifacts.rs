@@ -21,7 +21,7 @@ use std::sync::OnceLock;
 
 use crate::cache::Ctx;
 use crate::error::{Error, Result};
-use crate::experiment::Artifact;
+use crate::experiment::{Artifact, Experiment};
 use crate::registry::Registry;
 
 /// Memoizes every registry target's artifact for the life of the value.
@@ -146,17 +146,12 @@ impl ArtifactCache {
             }
             Visit::Unvisited => state[index] = Visit::InProgress,
         }
-        let exp: Vec<usize> = {
-            let deps = self
-                .registry
-                .experiments()
-                .nth(index)
-                .expect("index in range")
-                .deps();
-            deps.iter()
-                .map(|d| self.index_of(d))
-                .collect::<Result<_>>()?
-        };
+        let exp: Vec<usize> = self
+            .experiment(index)?
+            .deps()
+            .iter()
+            .map(|d| self.index_of(d))
+            .collect::<Result<_>>()?;
         for dep in exp {
             self.visit(dep, state, order)?;
         }
@@ -168,12 +163,24 @@ impl ArtifactCache {
     fn fill(&self, index: usize) -> &Result<Artifact> {
         self.slots[index].get_or_init(|| {
             self.computes.fetch_add(1, Ordering::Relaxed);
-            self.registry
-                .experiments()
-                .nth(index)
-                .expect("index in range")
-                .run(&self.ctx)
+            self.experiment(index)?.run(&self.ctx)
         })
+    }
+
+    /// The experiment at roster position `index`, as a typed error.
+    ///
+    /// `slots` and the roster share their length, so every index that
+    /// reaches here is in range; keeping the lookup fallible means an
+    /// inconsistency would surface as a memoized error, not a panic in
+    /// whichever server worker happened to trip it.
+    fn experiment(&self, index: usize) -> Result<&dyn Experiment> {
+        self.registry
+            .experiments()
+            .nth(index)
+            .ok_or_else(|| Error::UnknownExperiment {
+                id: format!("roster index {index}"),
+                known: self.registry.ids(),
+            })
     }
 }
 

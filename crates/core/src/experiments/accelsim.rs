@@ -189,8 +189,7 @@ impl Experiment for Fig14 {
                     a.contributions
                         .iter()
                         .find(|c| c.source.to_string().starts_with(src))
-                        .map(|c| c.percent)
-                        .unwrap_or(0.0)
+                        .map_or(0.0, |c| c.percent)
                 };
                 outln!(
                     text,
@@ -274,7 +273,11 @@ impl Experiment for Table3 {
         ) {
             outln!(text, "simplification degree: {first}..{last}");
         }
-        let nodes: Vec<String> = space.nodes.iter().map(|n| n.to_string()).collect();
+        let nodes: Vec<String> = space
+            .nodes
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         outln!(text, "CMOS process:          {}", nodes.join(", "));
         outln!(text, "total design points:   {}", space.len());
         Ok(Artifact::new(json, text))

@@ -128,9 +128,10 @@ impl Experiment for Fig3c {
             "corpus-fitted c*TDP^e"
         );
         for (g, p, f) in &rows {
-            let fitted = f
-                .map(|f| format!("{:.3}*TDP^{:.3}", f.coefficient, f.exponent))
-                .unwrap_or_else(|| "(projection only)".to_string());
+            let fitted = f.map_or_else(
+                || "(projection only)".to_string(),
+                |f| format!("{:.3}*TDP^{:.3}", f.coefficient, f.exponent),
+            );
             outln!(
                 text,
                 "{:<12} {:>20} {:>24}",

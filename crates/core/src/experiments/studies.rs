@@ -97,8 +97,7 @@ impl Experiment for Fig4 {
         for c in &chips {
             let tc = c
                 .transistors()
-                .map(|t| format!("{t:.2e}"))
-                .unwrap_or_else(|| "undisclosed".to_string());
+                .map_or_else(|| "undisclosed".to_string(), |t| format!("{t:.2e}"));
             outln!(
                 text,
                 "{:<14} {:>6} {:>14} {:>10.0}",

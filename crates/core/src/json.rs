@@ -144,7 +144,7 @@ impl Value {
                         o.push(' ');
                     }
                     v.write(o, i);
-                })
+                });
             }
         }
     }
@@ -335,7 +335,7 @@ struct Parser<'a> {
     depth: usize,
 }
 
-impl<'a> Parser<'a> {
+impl Parser<'_> {
     fn err(&self, message: &str) -> ParseError {
         ParseError {
             message: message.to_string(),

@@ -225,13 +225,8 @@ impl CsrSeries {
     pub fn csr_of_best_chip(&self) -> f64 {
         self.rows
             .iter()
-            .max_by(|a, b| {
-                a.reported_gain
-                    .partial_cmp(&b.reported_gain)
-                    .expect("gains validated finite")
-            })
-            .map(|r| r.csr)
-            .unwrap_or(f64::NAN)
+            .max_by(|a, b| a.reported_gain.total_cmp(&b.reported_gain))
+            .map_or(f64::NAN, |r| r.csr)
     }
 }
 

@@ -88,7 +88,11 @@ impl RelationMatrix {
     /// Returns [`CsrError::EmptyObservations`] when no architecture has
     /// observations.
     pub fn build(obs: &ArchObservations, min_shared_apps: usize) -> Result<Self> {
-        let archs: Vec<String> = obs.architectures().iter().map(|s| s.to_string()).collect();
+        let archs: Vec<String> = obs
+            .architectures()
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         if archs.is_empty() {
             return Err(CsrError::EmptyObservations);
         }
@@ -110,6 +114,7 @@ impl RelationMatrix {
                         .iter()
                         .map(|app| obs.gains[&archs[i]][*app] / obs.gains[&archs[j]][*app])
                         .collect();
+                    // lint:allow(no-panic-paths): shared is non-empty (len >= min_shared_apps) and gains are validated positive on insert
                     let g = geomean(&ratios).expect("ratios of validated gains are positive");
                     cells[idx(i, j)] = Some(g);
                     cells[idx(j, i)] = Some(1.0 / g);
@@ -134,6 +139,7 @@ impl RelationMatrix {
                         })
                         .collect();
                     if !through.is_empty() {
+                        // lint:allow(no-panic-paths): through is checked non-empty and products of positive cells stay positive
                         let g = geomean(&through).expect("positive products");
                         added.push((i, j, g));
                     }

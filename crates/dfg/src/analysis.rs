@@ -49,8 +49,7 @@ impl Dfg {
                 .iter()
                 .map(|o| levels[o.index()])
                 .max()
-                .map(|m| m + 1)
-                .unwrap_or(0);
+                .map_or(0, |m| m + 1);
             // Outputs sit at their operand's level + 1 like any consumer;
             // they represent writing the variable out.
             levels[i] = base;

@@ -94,8 +94,8 @@ pub struct TpuExample {
 
 /// The nine annotated TPU examples of Table I / Fig. 10.
 pub fn tpu_examples() -> &'static [TpuExample] {
-    use Component::*;
-    use SpecializationConcept::*;
+    use Component::{Communication, Computation, Memory};
+    use SpecializationConcept::{Heterogeneity, Partitioning, Simplification};
     const EXAMPLES: [TpuExample; 9] = [
         TpuExample {
             component: Memory,

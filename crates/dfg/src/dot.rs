@@ -7,7 +7,6 @@
 //! makes the Fig. 11 stage structure visible at a glance).
 
 use crate::graph::{Dfg, NodeKind, Op};
-use std::fmt::Write as _;
 
 /// Rendering options for [`Dfg::to_dot`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,16 +43,25 @@ impl Dfg {
     /// ```
     pub fn to_dot(&self, options: DotOptions) -> String {
         let mut out = String::new();
+        // Writing into a String is infallible (`fmt::Error` can only come
+        // from the sink), so the render result carries no information.
+        let _ = self.render_dot(&mut out, options);
+        out
+    }
+
+    /// The fallible rendering core behind [`Dfg::to_dot`], generic over
+    /// any [`std::fmt::Write`] sink.
+    fn render_dot(&self, out: &mut impl std::fmt::Write, options: DotOptions) -> std::fmt::Result {
         let shown = self.vertex_count().min(options.max_vertices);
-        writeln!(out, "digraph {:?} {{", self.name()).expect("string write");
-        writeln!(out, "  rankdir=TB;").expect("string write");
-        writeln!(out, "  node [fontname=\"monospace\"];").expect("string write");
+        writeln!(out, "digraph {:?} {{", self.name())?;
+        writeln!(out, "  rankdir=TB;")?;
+        writeln!(out, "  node [fontname=\"monospace\"];")?;
 
         let levels = self.asap_levels();
         let max_level = levels.iter().take(shown).copied().max().unwrap_or(0);
         for level in 0..=max_level {
             if options.cluster_stages {
-                writeln!(out, "  {{ rank=same;").expect("string write");
+                writeln!(out, "  {{ rank=same;")?;
             }
             for (i, node) in self.nodes().iter().enumerate().take(shown) {
                 if levels[i] != level {
@@ -67,18 +75,17 @@ impl Dfg {
                 writeln!(
                     out,
                     "    n{i} [label=\"{label}\", shape={shape}, style=filled, fillcolor={color}];"
-                )
-                .expect("string write");
+                )?;
             }
             if options.cluster_stages {
-                writeln!(out, "  }}").expect("string write");
+                writeln!(out, "  }}")?;
             }
         }
 
         for (i, node) in self.nodes().iter().enumerate().take(shown) {
             for op in &node.operands {
                 if op.index() < shown {
-                    writeln!(out, "  n{} -> n{i};", op.index()).expect("string write");
+                    writeln!(out, "  n{} -> n{i};", op.index())?;
                 }
             }
         }
@@ -87,11 +94,9 @@ impl Dfg {
                 out,
                 "  truncated [label=\"… {} more vertices\", shape=plaintext];",
                 self.vertex_count() - shown
-            )
-            .expect("string write");
+            )?;
         }
-        writeln!(out, "}}").expect("string write");
-        out
+        writeln!(out, "}}")
     }
 }
 

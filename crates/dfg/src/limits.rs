@@ -116,8 +116,8 @@ pub struct ConceptLimit {
 /// ```
 pub fn concept_limit(concept: SpecializationConcept, component: Component) -> ConceptLimit {
     use Complexity as C;
-    use Component::*;
-    use SpecializationConcept::*;
+    use Component::{Communication, Computation, Memory};
+    use SpecializationConcept::{Heterogeneity, Partitioning, Simplification};
     let (time, space) = match (component, concept) {
         // Memory row.
         (Memory, Simplification) => (C::product(C::V, C::LogMaxWs), C::MaxWs),

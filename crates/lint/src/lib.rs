@@ -1,0 +1,341 @@
+//! `accelwall-lint` — a dependency-free static analyzer for the
+//! workspace's own invariants.
+//!
+//! The reproduction's credibility rests on properties the paper's models
+//! silently assume — compute-once artifact resolution, an acyclic
+//! experiment dependency graph, NaN-free log-log regressions — plus repo
+//! policies (zero external dependencies, no panic paths outside tests)
+//! that earlier PRs established only by convention. This crate turns
+//! those conventions into a machine-checked gate, mirroring the design
+//! of the experiment pipeline it polices:
+//!
+//! * [`lexer`] — a hand-rolled, line/column-tracking Rust tokenizer that
+//!   understands strings, raw strings, comments, and (via [`source`])
+//!   `#[cfg(test)]` / `mod tests` scopes;
+//! * [`workspace`] — loads every `.rs` file, `Cargo.toml`, and
+//!   `EXPERIMENTS.md` under the workspace root;
+//! * [`Lint`] + [`LintRegistry`] — a pluggable rule trait and the
+//!   standard roster, exactly like `Experiment` + `Registry::paper()`;
+//! * [`rules`] — the six shipped rules (see [`LintRegistry::standard`]).
+//!
+//! Findings can be silenced, one site at a time, with a justified
+//! escape hatch: `// lint:allow(<rule>): <why this site is safe>`.
+//! An allow without a justification, naming an unknown rule, or
+//! suppressing nothing is itself a finding, so the escape hatches stay
+//! as reviewable as the violations they cover.
+//!
+//! The same engine backs three gates: the `accelwall lint [--json]` CLI
+//! subcommand, the `tests/lint.rs` integration test asserting the tree
+//! is clean, and the CI `lint` job.
+
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+use accelerator_wall::json::Value;
+use std::fmt;
+
+pub use source::SourceFile;
+pub use workspace::Workspace;
+
+/// One rule violation, anchored to a file position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired (its [`Lint::name`]).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line; 0 when the finding concerns the file (or roster) as
+    /// a whole.
+    pub line: usize,
+    /// 1-based column; 0 when unanchored.
+    pub col: usize,
+    /// What is wrong and what to do about it.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}:{}: ", self.path, self.line, self.col)?;
+        } else {
+            write!(f, "{}: ", self.path)?;
+        }
+        write!(f, "[{}] {}", self.rule, self.message)
+    }
+}
+
+/// A pluggable invariant check.
+///
+/// Implementations look at the whole [`Workspace`] and return raw
+/// findings; `lint:allow` suppression and allow-comment auditing are
+/// applied centrally by [`LintRegistry::run`], so individual rules stay
+/// oblivious to the escape-hatch mechanics.
+pub trait Lint {
+    /// The kebab-case rule name used in output and `lint:allow(...)`.
+    fn name(&self) -> &'static str;
+
+    /// One line describing the invariant the rule enforces.
+    fn description(&self) -> &'static str;
+
+    /// Scans the workspace and reports every violation.
+    fn check(&self, ws: &Workspace) -> Vec<Finding>;
+}
+
+/// The rule a lint-allow audit finding is reported under.
+pub const ALLOW_AUDIT_RULE: &str = "lint-allow";
+
+/// An ordered collection of lints — the analyzer's `Registry::paper()`.
+pub struct LintRegistry {
+    lints: Vec<Box<dyn Lint>>,
+}
+
+impl fmt::Debug for LintRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LintRegistry")
+            .field(
+                "rules",
+                &self.lints.iter().map(|l| l.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Default for LintRegistry {
+    fn default() -> LintRegistry {
+        LintRegistry::standard()
+    }
+}
+
+impl LintRegistry {
+    /// An empty registry, for composing a custom rule set.
+    pub fn new() -> LintRegistry {
+        LintRegistry { lints: Vec::new() }
+    }
+
+    /// Every shipped rule, in reporting order.
+    pub fn standard() -> LintRegistry {
+        let mut r = LintRegistry::new();
+        r.register(Box::new(rules::panic_paths::NoPanicPaths));
+        r.register(Box::new(rules::dep_free::DepFree));
+        r.register(Box::new(rules::registry_sync::RegistrySync));
+        r.register(Box::new(rules::float_hygiene::FloatHygiene));
+        r.register(Box::new(rules::no_exit::NoExitInLib));
+        r.register(Box::new(rules::doc_sync::DocSync));
+        r
+    }
+
+    /// Adds a rule to the roster.
+    pub fn register(&mut self, lint: Box<dyn Lint>) {
+        self.lints.push(lint);
+    }
+
+    /// Iterates the registered rules.
+    pub fn lints(&self) -> impl Iterator<Item = &dyn Lint> {
+        self.lints.iter().map(Box::as_ref)
+    }
+
+    /// Whether `rule` names a registered lint (or the allow-audit rule).
+    pub fn knows(&self, rule: &str) -> bool {
+        rule == ALLOW_AUDIT_RULE || self.lints.iter().any(|l| l.name() == rule)
+    }
+
+    /// Runs every rule over the workspace, applies justified
+    /// `lint:allow` suppressions, and audits the allow comments
+    /// themselves (unknown rule, missing justification, suppressing
+    /// nothing — each is a finding under [`ALLOW_AUDIT_RULE`]).
+    pub fn run(&self, ws: &Workspace) -> Report {
+        let mut findings = Vec::new();
+        let mut used = Vec::new(); // (path, allow line, rule) triples
+        for lint in self.lints() {
+            for finding in lint.check(ws) {
+                let allow = ws
+                    .files
+                    .iter()
+                    .find(|f| f.rel_path == finding.path)
+                    .and_then(|f| f.allow_for(finding.rule, finding.line));
+                match allow {
+                    Some(a) if !a.justification.is_empty() => {
+                        used.push((finding.path.clone(), a.line, finding.rule));
+                    }
+                    _ => findings.push(finding),
+                }
+            }
+        }
+        // Audit the escape hatches.
+        for f in &ws.files {
+            for a in &f.allows {
+                if !self.knows(&a.rule) {
+                    findings.push(Finding {
+                        rule: ALLOW_AUDIT_RULE,
+                        path: f.rel_path.clone(),
+                        line: a.line,
+                        col: 0,
+                        message: format!(
+                            "lint:allow names unknown rule {:?}; known rules: {}",
+                            a.rule,
+                            self.lints().map(Lint::name).collect::<Vec<_>>().join(" ")
+                        ),
+                    });
+                } else if a.justification.is_empty() {
+                    findings.push(Finding {
+                        rule: ALLOW_AUDIT_RULE,
+                        path: f.rel_path.clone(),
+                        line: a.line,
+                        col: 0,
+                        message: format!(
+                            "lint:allow({}) must carry a justification: \
+                             `// lint:allow({}): <why this site is safe>`",
+                            a.rule, a.rule
+                        ),
+                    });
+                } else if !used
+                    .iter()
+                    .any(|(p, l, r)| *p == f.rel_path && *l == a.line && *r == a.rule)
+                {
+                    findings.push(Finding {
+                        rule: ALLOW_AUDIT_RULE,
+                        path: f.rel_path.clone(),
+                        line: a.line,
+                        col: 0,
+                        message: format!(
+                            "lint:allow({}) suppresses nothing here; remove the stale comment",
+                            a.rule
+                        ),
+                    });
+                }
+            }
+        }
+        findings.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+        });
+        Report {
+            findings,
+            rules: self.lints().map(|l| (l.name(), l.description())).collect(),
+            files_scanned: ws.files.len() + ws.manifests.len(),
+        }
+    }
+}
+
+/// The outcome of one [`LintRegistry::run`].
+#[derive(Debug)]
+pub struct Report {
+    /// Surviving findings, sorted by path, line, column, rule.
+    pub findings: Vec<Finding>,
+    /// The `(name, description)` roster of rules that ran.
+    pub rules: Vec<(&'static str, &'static str)>,
+    /// How many source files and manifests were scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the workspace passed every rule.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The machine-readable findings document (`accelwall lint --json`).
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("clean", Value::from(self.is_clean())),
+            ("files_scanned", Value::from(self.files_scanned)),
+            ("finding_count", Value::from(self.findings.len())),
+            (
+                "rules",
+                Value::array(self.rules.iter().map(|(name, description)| {
+                    Value::object([
+                        ("name", Value::from(*name)),
+                        ("description", Value::from(*description)),
+                    ])
+                })),
+            ),
+            (
+                "findings",
+                Value::array(self.findings.iter().map(|f| {
+                    Value::object([
+                        ("rule", Value::from(f.rule)),
+                        ("path", Value::from(f.path.as_str())),
+                        ("line", Value::from(f.line)),
+                        ("column", Value::from(f.col)),
+                        ("message", Value::from(f.message.as_str())),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        if self.is_clean() {
+            writeln!(
+                f,
+                "lint clean: {} rules over {} files, 0 findings",
+                self.rules.len(),
+                self.files_scanned
+            )
+        } else {
+            writeln!(
+                f,
+                "lint failed: {} finding(s) from {} rules over {} files",
+                self.findings.len(),
+                self.rules.len(),
+                self.files_scanned
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_rule_names_are_unique_and_kebab() {
+        let r = LintRegistry::standard();
+        let names: Vec<&str> = r.lints().map(Lint::name).collect();
+        assert_eq!(names.len(), 6);
+        let mut unique = names.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "duplicate rule names");
+        for (name, lint) in names.iter().zip(r.lints()) {
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{name} is not kebab-case"
+            );
+            assert!(!lint.description().is_empty(), "{name} lacks a description");
+        }
+        assert!(r.knows("no-panic-paths"));
+        assert!(r.knows(ALLOW_AUDIT_RULE));
+        assert!(!r.knows("no-such-rule"));
+    }
+
+    #[test]
+    fn finding_display_is_editor_clickable() {
+        let f = Finding {
+            rule: "no-panic-paths",
+            path: "crates/x/src/lib.rs".into(),
+            line: 7,
+            col: 13,
+            message: "boom".into(),
+        };
+        assert_eq!(
+            f.to_string(),
+            "crates/x/src/lib.rs:7:13: [no-panic-paths] boom"
+        );
+        let roster_level = Finding {
+            line: 0,
+            col: 0,
+            ..f
+        };
+        assert_eq!(
+            roster_level.to_string(),
+            "crates/x/src/lib.rs: [no-panic-paths] boom"
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! `dep-free` — the workspace builds with the standard library alone.
+//!
+//! The repo's build environments cannot reach a registry, so every
+//! dependency in every `Cargo.toml` must resolve inside the workspace:
+//! either `path = "..."` or `workspace = true` (whose definition is
+//! itself a path). Version, git, and registry dependencies are findings.
+//!
+//! The rule parses the small TOML subset Cargo manifests actually use —
+//! `[section]` headers, `key = value` pairs, inline `{ ... }` tables,
+//! and `[dependencies.name]` subsections — with the same zero-dependency
+//! discipline it enforces.
+
+use crate::workspace::Workspace;
+use crate::{Finding, Lint};
+
+/// See the module docs.
+pub struct DepFree;
+
+impl Lint for DepFree {
+    fn name(&self) -> &'static str {
+        "dep-free"
+    }
+
+    fn description(&self) -> &'static str {
+        "every Cargo.toml dependency is path/workspace-internal; no registry or git deps"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for manifest in &ws.manifests {
+            let mut section = String::new();
+            for (idx, raw) in manifest.text.lines().enumerate() {
+                let line_no = idx + 1;
+                let line = strip_toml_comment(raw).trim().to_string();
+                if line.is_empty() {
+                    continue;
+                }
+                if line.starts_with('[') {
+                    section = line
+                        .trim_start_matches('[')
+                        .trim_end_matches(']')
+                        .trim_matches('"')
+                        .to_string();
+                    // A `[dependencies.foo]` subsection declares one dep;
+                    // audit its body as a whole.
+                    if let Some(dep) = dep_subsection_name(&section) {
+                        let body = subsection_body(&manifest.text, idx);
+                        if !body_is_internal(&body) {
+                            findings.push(Finding {
+                                rule: self.name(),
+                                path: manifest.rel_path.clone(),
+                                line: line_no,
+                                col: 1,
+                                message: external_message(dep),
+                            });
+                        }
+                    }
+                    continue;
+                }
+                if !is_dep_section(&section) {
+                    continue;
+                }
+                let Some((name, value)) = line.split_once('=') else {
+                    continue;
+                };
+                let (name, value) = (name.trim(), value.trim());
+                if !entry_is_internal(value) {
+                    findings.push(Finding {
+                        rule: self.name(),
+                        path: manifest.rel_path.clone(),
+                        line: line_no,
+                        col: 1,
+                        message: external_message(name),
+                    });
+                }
+            }
+        }
+        findings
+    }
+}
+
+fn external_message(name: &str) -> String {
+    format!(
+        "dependency `{name}` is external; only `path = ...` or `workspace = true` \
+         dependencies are allowed (the workspace builds offline, std-only)"
+    )
+}
+
+/// `dependencies`, `dev-dependencies`, `build-dependencies`,
+/// `workspace.dependencies`, and any `target.*.dependencies` variant.
+fn is_dep_section(section: &str) -> bool {
+    let last = section.rsplit('.').next().unwrap_or(section);
+    matches!(
+        last,
+        "dependencies" | "dev-dependencies" | "build-dependencies"
+    ) && dep_subsection_name(section).is_none()
+}
+
+/// For `[dependencies.foo]`-style headers, the dependency name.
+fn dep_subsection_name(section: &str) -> Option<&str> {
+    for kind in ["dependencies.", "dev-dependencies.", "build-dependencies."] {
+        if let Some(at) = section.find(kind) {
+            let name = &section[at + kind.len()..];
+            if !name.is_empty() && !name.contains('.') {
+                return Some(name);
+            }
+        }
+    }
+    None
+}
+
+/// The lines of a subsection starting after header line `header_idx`,
+/// up to the next `[` header.
+fn subsection_body(text: &str, header_idx: usize) -> Vec<String> {
+    text.lines()
+        .skip(header_idx + 1)
+        .map(|l| strip_toml_comment(l).trim().to_string())
+        .take_while(|l| !l.starts_with('['))
+        .collect()
+}
+
+/// Whether a `key = value` dependency value stays inside the workspace.
+fn entry_is_internal(value: &str) -> bool {
+    if let Some(body) = value.strip_prefix('{') {
+        let entries: Vec<String> = body
+            .trim_end_matches('}')
+            .split(',')
+            .map(|e| e.trim().to_string())
+            .collect();
+        return body_is_internal(&entries);
+    }
+    // A bare string (`foo = "1.0"`) or anything else is a registry dep.
+    false
+}
+
+fn body_is_internal(lines: &[String]) -> bool {
+    let has = |key: &str| {
+        lines
+            .iter()
+            .any(|l| l.split('=').next().map(str::trim) == Some(key))
+    };
+    if has("git") || has("registry") || has("version") {
+        // `version` alongside `path` is legal for publishing, but this
+        // workspace never publishes; keep the policy strict and simple.
+        return false;
+    }
+    has("path")
+        || lines
+            .iter()
+            .any(|l| l.replace(' ', "").starts_with("workspace=true"))
+}
+
+/// Drops a `#` comment, respecting `"`-quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::workspace_full;
+
+    fn check(toml: &str) -> Vec<Finding> {
+        DepFree.check(&workspace_full(&[], &[("crates/x/Cargo.toml", toml)], None))
+    }
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let toml = "[package]\nname = \"x\"\n\n[dependencies]\n\
+                    accelwall-stats = { workspace = true }\n\
+                    accelwall-cmos = { path = \"../cmos\" }\n\n\
+                    [dev-dependencies]\naccelerator-wall = { workspace = true }\n";
+        assert!(check(toml).is_empty());
+    }
+
+    #[test]
+    fn version_string_and_git_deps_fail() {
+        let toml = "[dependencies]\n\
+                    serde = \"1.0\"\n\
+                    rand = { version = \"0.8\", features = [\"std\"] }\n\
+                    left-pad = { git = \"https://example.com/x.git\" }\n";
+        let found = check(toml);
+        assert_eq!(found.len(), 3);
+        assert!(found[0].message.contains("serde"));
+        assert_eq!(found[0].line, 2);
+        assert_eq!(found[2].line, 4);
+    }
+
+    #[test]
+    fn dep_subsections_are_audited() {
+        let good = "[dependencies.accelwall-stats]\nworkspace = true\n";
+        assert!(check(good).is_empty());
+        let bad = "[dependencies.serde]\nversion = \"1.0\"\nfeatures = [\"derive\"]\n";
+        let found = check(bad);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let toml = "[package]\nversion = \"0.1.0\"\nedition = \"2021\"\n\n\
+                    [workspace.package]\nversion = \"0.1.0\"\n\n\
+                    [features]\ndefault = []\n\n\
+                    [[bench]]\nname = \"serve\"\nharness = false\n";
+        assert!(check(toml).is_empty());
+    }
+
+    #[test]
+    fn workspace_dependency_table_is_checked_too() {
+        let toml = "[workspace.dependencies]\n\
+                    accelwall-stats = { path = \"crates/stats\" }\n\
+                    serde_json = \"1\"\n";
+        let found = check(toml);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("serde_json"));
+    }
+
+    #[test]
+    fn comments_do_not_confuse_the_parser() {
+        let toml = "[dependencies] # the deps\n\
+                    x = { path = \"../x\" } # ok: in-tree\n";
+        assert!(check(toml).is_empty());
+    }
+}

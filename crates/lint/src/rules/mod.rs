@@ -1,0 +1,57 @@
+//! The shipped lint rules.
+//!
+//! Each rule is one module with one [`crate::Lint`] implementation plus
+//! its own fixture tests. The roster lives in
+//! [`crate::LintRegistry::standard`]; to add a rule, follow the
+//! "Static analysis" section of `DESIGN.md`.
+
+pub mod dep_free;
+pub mod doc_sync;
+pub mod float_hygiene;
+pub mod no_exit;
+pub mod panic_paths;
+pub mod registry_sync;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::source::SourceFile;
+    use crate::workspace::{Manifest, Workspace};
+    use std::path::{Path, PathBuf};
+
+    /// A synthetic in-memory workspace built from `(path, source)` pairs.
+    pub fn workspace(files: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            root: PathBuf::from("/fixture"),
+            files: files
+                .iter()
+                .map(|(rel, src)| {
+                    SourceFile::new(
+                        (*rel).to_string(),
+                        Path::new("/fixture").join(rel),
+                        (*src).to_string(),
+                    )
+                })
+                .collect(),
+            manifests: Vec::new(),
+            experiments_md: None,
+        }
+    }
+
+    /// Same, with manifests and an EXPERIMENTS.md.
+    pub fn workspace_full(
+        files: &[(&str, &str)],
+        manifests: &[(&str, &str)],
+        experiments_md: Option<&str>,
+    ) -> Workspace {
+        let mut ws = workspace(files);
+        ws.manifests = manifests
+            .iter()
+            .map(|(rel, text)| Manifest {
+                rel_path: (*rel).to_string(),
+                text: (*text).to_string(),
+            })
+            .collect();
+        ws.experiments_md = experiments_md.map(str::to_string);
+        ws
+    }
+}

@@ -1,0 +1,87 @@
+//! `no-exit-in-lib` — `std::process::exit` belongs to binaries only.
+//!
+//! Library code that exits the process skips destructors, swallows the
+//! server's graceful drain, and makes the layer untestable. Only the
+//! thin CLI drivers under `src/bin/` may translate errors into process
+//! exit codes (and even they prefer returning [`std::process::ExitCode`]
+//! from `main`).
+
+use crate::workspace::Workspace;
+use crate::{Finding, Lint};
+
+/// See the module docs.
+pub struct NoExitInLib;
+
+impl Lint for NoExitInLib {
+    fn name(&self) -> &'static str {
+        "no-exit-in-lib"
+    }
+
+    fn description(&self) -> &'static str {
+        "no std::process::exit outside src/bin"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for file in &ws.files {
+            if file.test_file || file.rel_path.contains("src/bin/") {
+                continue;
+            }
+            let code = file.code_tokens();
+            for (i, t) in code.iter().enumerate() {
+                if file.is_test_line(t.line) {
+                    continue;
+                }
+                let qualified_exit = t.is_ident("exit")
+                    && i >= 2
+                    && code[i - 1].is_punct("::")
+                    && code[i - 2].is_ident("process");
+                if qualified_exit {
+                    findings.push(Finding {
+                        rule: self.name(),
+                        path: file.rel_path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: "`std::process::exit` outside src/bin; return an error \
+                                  (or `ExitCode` from main) so callers keep control"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::workspace;
+
+    #[test]
+    fn flags_exit_in_library_code() {
+        let src = "fn f() { std::process::exit(1); }\n";
+        let found = NoExitInLib.check(&workspace(&[("crates/server/src/lib.rs", src)]));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 1);
+        // `use std::process; ... process::exit(0)` is also caught.
+        let src = "use std::process;\nfn f() { process::exit(0); }\n";
+        let found = NoExitInLib.check(&workspace(&[("crates/server/src/lib.rs", src)]));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 2);
+    }
+
+    #[test]
+    fn bins_may_exit() {
+        let src = "fn main() { std::process::exit(2); }\n";
+        let ws = workspace(&[("src/bin/accelwall.rs", src)]);
+        assert!(NoExitInLib.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn unrelated_exit_identifiers_pass() {
+        let src = "fn exit_handler() { queue.exit(); let exit = 3; }\n";
+        let ws = workspace(&[("crates/server/src/lib.rs", src)]);
+        assert!(NoExitInLib.check(&ws).is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! `no-panic-paths` — no `unwrap`/`expect`/`panic!`/`todo!`/
+//! `unimplemented!` in shipping code.
+//!
+//! The experiment pipeline runs every layer behind one trait object and
+//! reports failures per target instead of aborting siblings
+//! (`Registry::run_all`), and the HTTP server turns errors into status
+//! codes. Both guarantees die the moment a deep layer panics, so panic
+//! paths belong only in tests. Sites that are provably infallible take a
+//! justified `// lint:allow(no-panic-paths): <why>`.
+
+use crate::workspace::Workspace;
+use crate::{Finding, Lint};
+
+/// See the module docs.
+pub struct NoPanicPaths;
+
+const METHODS: [&str; 2] = ["unwrap", "expect"];
+const MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
+
+impl Lint for NoPanicPaths {
+    fn name(&self) -> &'static str {
+        "no-panic-paths"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic!/todo!/unimplemented! outside test code"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for file in &ws.files {
+            if file.test_file {
+                continue;
+            }
+            let code = file.code_tokens();
+            for (i, t) in code.iter().enumerate() {
+                if file.is_test_line(t.line) {
+                    continue;
+                }
+                let method_call = METHODS.contains(&t.text.as_str())
+                    && i > 0
+                    && code[i - 1].is_punct(".")
+                    && code.get(i + 1).is_some_and(|n| n.is_punct("("))
+                    && t.kind == crate::lexer::TokenKind::Ident;
+                let macro_call = MACROS.contains(&t.text.as_str())
+                    && code.get(i + 1).is_some_and(|n| n.is_punct("!"))
+                    && t.kind == crate::lexer::TokenKind::Ident;
+                if method_call || macro_call {
+                    let call = if method_call {
+                        format!(".{}()", t.text)
+                    } else {
+                        format!("{}!", t.text)
+                    };
+                    findings.push(Finding {
+                        rule: self.name(),
+                        path: file.rel_path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "`{call}` in non-test code; return a typed `error::Error` \
+                             or add `// lint:allow(no-panic-paths): <why>`"
+                        ),
+                    });
+                }
+            }
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::workspace;
+
+    fn check(src: &str) -> Vec<Finding> {
+        NoPanicPaths.check(&workspace(&[("crates/x/src/lib.rs", src)]))
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panicking_macros() {
+        let src = "fn f() {\n\
+                   let a = x.unwrap();\n\
+                   let b = y.expect(\"reason\");\n\
+                   panic!(\"no\");\n\
+                   todo!();\n\
+                   unimplemented!()\n\
+                   }\n";
+        let found = check(src);
+        assert_eq!(found.len(), 5);
+        assert_eq!(found[0].line, 2);
+        assert!(found[0].message.contains(".unwrap()"));
+        assert!(found[3].message.contains("todo!"));
+    }
+
+    #[test]
+    fn ignores_related_but_safe_identifiers() {
+        // unwrap_or / unwrap_or_else / expect_err-style helpers don't
+        // panic; neither does an fn *named* expect, nor panic in a path.
+        let src = "fn f() {\n\
+                   let a = x.unwrap_or(0);\n\
+                   let b = y.unwrap_or_else(|| 1);\n\
+                   std::panic::catch_unwind(|| 2);\n\
+                   }\n\
+                   fn expect() {}\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        let src = "fn f() {\n\
+                   let s = \"please call .unwrap() responsibly\";\n\
+                   // panic! is discussed here, not invoked\n\
+                   }\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn test_scopes_are_exempt() {
+        let src = "fn shipping() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn case() { x.unwrap(); panic!(); }\n\
+                   }\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn test_files_are_exempt_wholesale() {
+        let ws = workspace(&[("tests/cli.rs", "fn f() { x.unwrap(); }")]);
+        assert!(NoPanicPaths.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn multiline_method_chains_anchor_to_the_call() {
+        let src = "fn f() {\n\
+                   let v = iter\n\
+                       .max_by(cmp)\n\
+                       .expect(\"non-empty\");\n\
+                   }\n";
+        let found = check(src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 4);
+    }
+}

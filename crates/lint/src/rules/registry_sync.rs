@@ -1,0 +1,308 @@
+//! `registry-sync` — the experiment roster and the experiment sources
+//! agree, and the declared dependency graph is runnable.
+//!
+//! `Registry::paper()` is the single roster every CLI/server/test path
+//! derives from, but nothing stopped a new `core/src/experiments/*.rs`
+//! target from being written and never registered — it would silently
+//! fall out of `all` runs, the server, and the docs. This rule
+//! cross-checks three layers:
+//!
+//! * **static → runtime**: every `fn id(&self) -> &'static str { "…" }`
+//!   declared in an experiment module names a registered target;
+//! * **runtime**: registered ids are unique, and every declared `deps()`
+//!   edge names a registered id;
+//! * **graph**: the dependency graph is acyclic, verified with the same
+//!   dependencies-first DFS `ArtifactCache` runs, so a cycle is caught
+//!   by lint before it deadlocks `Registry::schedule` or recurses the
+//!   cache.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+use crate::{Finding, Lint};
+use accelerator_wall::registry::Registry;
+
+/// See the module docs.
+pub struct RegistrySync;
+
+/// Where the experiment implementations live.
+const EXPERIMENTS_DIR: &str = "crates/core/src/experiments";
+
+/// Roster-level findings anchor here.
+const REGISTRY_PATH: &str = "crates/core/src/registry.rs";
+
+impl Lint for RegistrySync {
+    fn name(&self) -> &'static str {
+        "registry-sync"
+    }
+
+    fn description(&self) -> &'static str {
+        "every experiment target is registered, ids are unique, and the dep graph is acyclic"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let registry = Registry::paper();
+        let ids = registry.ids();
+
+        // Runtime roster: unique ids.
+        for (i, id) in ids.iter().enumerate() {
+            if ids[..i].contains(id) {
+                findings.push(Finding {
+                    rule: self.name(),
+                    path: REGISTRY_PATH.to_string(),
+                    line: 0,
+                    col: 0,
+                    message: format!("duplicate experiment id {id:?} in Registry::paper()"),
+                });
+            }
+        }
+
+        // Runtime roster: every dep edge resolves, and the graph is
+        // acyclic under the dependencies-first DFS the ArtifactCache runs.
+        let mut graph: Vec<Vec<usize>> = Vec::new();
+        for e in registry.experiments() {
+            let mut edges = Vec::new();
+            for dep in e.deps() {
+                match ids.iter().position(|id| id == dep) {
+                    Some(j) => edges.push(j),
+                    None => findings.push(Finding {
+                        rule: self.name(),
+                        path: REGISTRY_PATH.to_string(),
+                        line: 0,
+                        col: 0,
+                        message: format!(
+                            "experiment {:?} declares unknown dependency {dep:?}",
+                            e.id()
+                        ),
+                    }),
+                }
+            }
+            graph.push(edges);
+        }
+        if let Some(cycle) = find_cycle(&graph) {
+            let names: Vec<&str> = cycle.iter().map(|&i| ids[i]).collect();
+            findings.push(Finding {
+                rule: self.name(),
+                path: REGISTRY_PATH.to_string(),
+                line: 0,
+                col: 0,
+                message: format!(
+                    "experiment dependency cycle (would deadlock schedule() and the \
+                     ArtifactCache DFS): {}",
+                    names.join(" -> ")
+                ),
+            });
+        }
+
+        // Static side: ids declared in experiment sources. Skipped when
+        // the workspace has no experiments dir (e.g. fixture workspaces).
+        let files: Vec<&SourceFile> = ws.files_under(EXPERIMENTS_DIR).collect();
+        if files.is_empty() {
+            return findings;
+        }
+        let mut declared: Vec<(String, &SourceFile, usize)> = Vec::new();
+        for file in &files {
+            for (id, line) in declared_ids(file) {
+                declared.push((id, file, line));
+            }
+        }
+        for (i, (id, file, line)) in declared.iter().enumerate() {
+            if declared[..i].iter().any(|(other, _, _)| other == id) {
+                findings.push(Finding {
+                    rule: self.name(),
+                    path: file.rel_path.clone(),
+                    line: *line,
+                    col: 0,
+                    message: format!("experiment id {id:?} is declared twice"),
+                });
+            }
+            if !ids.contains(&id.as_str()) {
+                findings.push(Finding {
+                    rule: self.name(),
+                    path: file.rel_path.clone(),
+                    line: *line,
+                    col: 0,
+                    message: format!(
+                        "experiment id {id:?} is implemented here but never registered \
+                         in Registry::paper(); it will miss `all` runs, the server, \
+                         and the docs"
+                    ),
+                });
+            }
+        }
+        for id in &ids {
+            if !declared.iter().any(|(d, _, _)| d == id) {
+                findings.push(Finding {
+                    rule: self.name(),
+                    path: REGISTRY_PATH.to_string(),
+                    line: 0,
+                    col: 0,
+                    message: format!(
+                        "registered id {id:?} has no `fn id()` declaration under \
+                         {EXPERIMENTS_DIR}/"
+                    ),
+                });
+            }
+        }
+        findings
+    }
+}
+
+/// Extracts every `fn id(&self) -> &'static str {{ "…" }}` declaration:
+/// the first string literal after `fn id` and before the next `fn`.
+fn declared_ids(file: &SourceFile) -> Vec<(String, usize)> {
+    let code = file.code_tokens();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < code.len() {
+        if code[i].is_ident("fn") && code[i + 1].is_ident("id") {
+            let mut j = i + 2;
+            while j < code.len() && !code[j].is_ident("fn") {
+                if code[j].kind == TokenKind::Str {
+                    out.push((code[j].text.clone(), code[j].line));
+                    break;
+                }
+                j += 1;
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Three-color DFS over `graph` (edges point at dependencies); returns a
+/// cycle as a node path when one exists — the same traversal shape the
+/// `ArtifactCache` uses to fill dependencies first.
+fn find_cycle(graph: &[Vec<usize>]) -> Option<Vec<usize>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Visit {
+        Unvisited,
+        InProgress,
+        Done,
+    }
+    fn visit(
+        node: usize,
+        graph: &[Vec<usize>],
+        state: &mut [Visit],
+        stack: &mut Vec<usize>,
+    ) -> bool {
+        match state[node] {
+            Visit::Done => return false,
+            Visit::InProgress => {
+                stack.push(node);
+                return true;
+            }
+            Visit::Unvisited => state[node] = Visit::InProgress,
+        }
+        stack.push(node);
+        for &dep in &graph[node] {
+            if visit(dep, graph, state, stack) {
+                return true;
+            }
+        }
+        stack.pop();
+        state[node] = Visit::Done;
+        false
+    }
+    let mut state = vec![Visit::Unvisited; graph.len()];
+    for node in 0..graph.len() {
+        let mut stack = Vec::new();
+        if visit(node, graph, &mut state, &mut stack) {
+            // Trim the prefix before the repeated node.
+            let last = *stack.last()?;
+            let start = stack.iter().position(|&n| n == last)?;
+            return Some(stack[start..].to_vec());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::workspace;
+    use std::path::Path;
+
+    #[test]
+    fn the_real_registry_is_in_sync() {
+        // Run against the actual enclosing workspace: the shipped roster
+        // must satisfy its own lint.
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let ws = Workspace::discover(here).expect("workspace above crates/lint");
+        assert_eq!(RegistrySync.check(&ws), Vec::new());
+    }
+
+    #[test]
+    fn fixture_workspaces_skip_the_static_side() {
+        // No experiments dir: only the runtime roster checks run, and the
+        // compiled-in roster is healthy.
+        let ws = workspace(&[("crates/x/src/lib.rs", "fn f() {}")]);
+        assert!(RegistrySync.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn an_unregistered_experiment_is_flagged() {
+        let src = "pub struct Fig99;\n\
+                   impl Experiment for Fig99 {\n\
+                       fn id(&self) -> &'static str {\n\
+                           \"fig99\"\n\
+                       }\n\
+                       fn description(&self) -> &'static str { \"ghost\" }\n\
+                   }\n";
+        let ws = workspace(&[("crates/core/src/experiments/ghost.rs", src)]);
+        let found = RegistrySync.check(&ws);
+        // fig99 is declared-but-unregistered, and every real id is now
+        // "registered but not declared" (the fixture hides the real files).
+        assert!(found
+            .iter()
+            .any(|f| f.message.contains("\"fig99\"") && f.message.contains("never registered")));
+        let fig99 = found
+            .iter()
+            .find(|f| f.message.contains("never registered"))
+            .expect("finding present");
+        assert_eq!(fig99.path, "crates/core/src/experiments/ghost.rs");
+        assert_eq!(fig99.line, 4);
+    }
+
+    #[test]
+    fn duplicate_declarations_are_flagged() {
+        let src = "impl A { fn id(&self) -> &'static str { \"fig1\" } }\n\
+                   impl B { fn id(&self) -> &'static str { \"fig1\" } }\n";
+        let ws = workspace(&[("crates/core/src/experiments/dup.rs", src)]);
+        let found = RegistrySync.check(&ws);
+        assert!(found.iter().any(|f| f.message.contains("declared twice")));
+    }
+
+    #[test]
+    fn cycle_detection_reports_the_loop() {
+        // a -> b -> c -> a
+        let graph = vec![vec![1], vec![2], vec![0]];
+        let cycle = find_cycle(&graph).expect("cycle exists");
+        assert!(cycle.len() >= 3);
+        // Acyclic diamond: no cycle.
+        let dag = vec![vec![1, 2], vec![3], vec![3], vec![]];
+        assert!(find_cycle(&dag).is_none());
+        // Self-loop.
+        assert!(find_cycle(&[vec![0]]).is_some());
+    }
+
+    #[test]
+    fn declared_ids_are_extracted_with_lines() {
+        let src = "fn id(&self) -> &'static str {\n    \"fig3b\"\n}\n\
+                   fn description(&self) -> &'static str { \"not an id\" }\n\
+                   fn id(&self) -> &'static str { \"fig3c\" }\n";
+        let f = SourceFile::new(
+            "crates/core/src/experiments/x.rs".into(),
+            Path::new("/fixture/x.rs").into(),
+            src.into(),
+        );
+        let ids = declared_ids(&f);
+        assert_eq!(
+            ids,
+            vec![("fig3b".to_string(), 2), ("fig3c".to_string(), 5)]
+        );
+    }
+}

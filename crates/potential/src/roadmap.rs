@@ -67,6 +67,7 @@ pub fn scaling_end_year() -> u32 {
         .iter()
         .map(|n| n.intro_year())
         .max()
+        // lint:allow(no-panic-paths): TechNode::all() is a non-empty static table (asserted in cmos tests)
         .expect("node table is non-empty")
 }
 

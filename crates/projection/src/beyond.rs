@@ -95,7 +95,7 @@ fn trajectory(domain: Domain, metric: TargetMetric) -> Result<Vec<(f64, f64, f64
 /// "BM1387 (Antminer S9)" → uses the miner dataset's intro year instead).
 fn year_of_label(label: &str) -> Option<f64> {
     // Venue labels embed the year directly.
-    let digits: String = label.chars().filter(|c| c.is_ascii_digit()).collect();
+    let digits: String = label.chars().filter(char::is_ascii_digit).collect();
     for window in digits.as_bytes().windows(4) {
         let y: u32 = std::str::from_utf8(window).ok()?.parse().ok()?;
         if (1999..=2020).contains(&y) {

@@ -135,8 +135,10 @@ mod tests {
 
     #[test]
     fn four_domains_with_distinct_labels() {
-        let labels: std::collections::HashSet<_> =
-            Domain::all().iter().map(|d| d.to_string()).collect();
+        let labels: std::collections::HashSet<_> = Domain::all()
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         assert_eq!(labels.len(), 4);
     }
 }

@@ -67,7 +67,7 @@ pub struct WallProjection {
 pub fn project(input: &ProjectionInput) -> Result<WallProjection> {
     let xs: Vec<f64> = input.points.iter().map(|p| p.0).collect();
     let ys: Vec<f64> = input.points.iter().map(|p| p.1).collect();
-    let observed_max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let observed_max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     if input.physical_limit <= observed_max {
         return Err(ProjectionError::LimitInsideData {
             limit: input.physical_limit,
@@ -79,7 +79,7 @@ pub fn project(input: &ProjectionInput) -> Result<WallProjection> {
     let fy: Vec<f64> = frontier.iter().map(|p| p.y).collect();
     let linear = Linear::fit(&fx, &fy)?;
     let log = LogLinear::fit(&fx, &fy)?;
-    let current_best = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let current_best = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     // A projection below today's best is vacuous; the wall is at least
     // what has already been built (the paper's frontiers are monotone).
     let linear_wall = linear.eval(input.physical_limit).max(current_best);
@@ -268,6 +268,7 @@ fn all_fpga_rows() -> Vec<fpga::FpgaImpl> {
 /// node group law.
 fn fpga_budget(r: &fpga::FpgaImpl) -> f64 {
     NodeGroup::of(r.node)
+        // lint:allow(no-panic-paths): the FPGA dataset is a static table whose nodes (28/20 nm) all map to a group; covered by the fig8 study tests
         .expect("FPGA nodes are 28/20 nm")
         .paper_tdp_law()
         .eval(r.power_w)

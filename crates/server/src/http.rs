@@ -264,9 +264,7 @@ mod tests {
         assert!(matches!(parse(&long), Err(RequestError::TooLarge)));
         let many = format!(
             "GET / HTTP/1.1\r\n{}\r\n",
-            (0..=MAX_HEADERS)
-                .map(|i| format!("h{i}: v\r\n"))
-                .collect::<String>()
+            "h: v\r\n".repeat(MAX_HEADERS + 1)
         );
         assert!(matches!(parse(&many), Err(RequestError::TooLarge)));
     }

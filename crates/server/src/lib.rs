@@ -177,9 +177,8 @@ impl Server {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
             }
-            let stream = match stream {
-                Ok(stream) => stream,
-                Err(_) => continue, // transient accept failure
+            let Ok(stream) = stream else {
+                continue; // transient accept failure
             };
             match pool.try_execute(stream) {
                 Ok(()) => {}

@@ -92,7 +92,10 @@ impl Metrics {
         stats
             .latency_ns
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
-        let mut responses = self.responses.lock().unwrap_or_else(|e| e.into_inner());
+        let mut responses = self
+            .responses
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         match responses.iter_mut().find(|(s, _)| *s == status) {
             Some((_, n)) => *n += 1,
             None => {
@@ -145,7 +148,7 @@ impl Metrics {
         for (status, count) in self
             .responses
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
         {
             let _ = writeln!(

@@ -71,6 +71,7 @@ impl<T: Send + 'static> ThreadPool<T> {
                             Err(_) => break, // channel closed and drained
                         }
                     })
+                    // lint:allow(no-panic-paths): failing to spawn at startup leaves no useful fallback; dying loudly before serving is correct
                     .expect("spawning a worker thread")
             })
             .collect();

@@ -97,7 +97,9 @@ pub fn quantile(values: &[f64], q: f64) -> Result<f64> {
         });
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finiteness checked"));
+    // `total_cmp` keeps the sort well-defined even if a NaN ever slips
+    // past the finiteness check above.
+    sorted.sort_by(f64::total_cmp);
     let rank = q * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;

@@ -103,12 +103,8 @@ impl Matrix {
         for col in 0..n {
             // Partial pivot: find the largest |a[r][col]| for r >= col.
             let pivot_row = (col..n)
-                .max_by(|&r1, &r2| {
-                    a[r1 * n + col]
-                        .abs()
-                        .partial_cmp(&a[r2 * n + col].abs())
-                        .expect("finite pivot comparison")
-                })
+                .max_by(|&r1, &r2| a[r1 * n + col].abs().total_cmp(&a[r2 * n + col].abs()))
+                // lint:allow(no-panic-paths): col < n, so the range col..n is never empty
                 .expect("non-empty pivot range");
             if a[pivot_row * n + col].abs() < 1e-12 {
                 return Err(StatsError::Singular);
@@ -122,6 +118,7 @@ impl Matrix {
             let pivot = a[col * n + col];
             for row in (col + 1)..n {
                 let factor = a[row * n + col] / pivot;
+                // lint:allow(float-hygiene): exact-zero skip is purely an optimization; any nonzero factor must eliminate
                 if factor == 0.0 {
                     continue;
                 }

@@ -60,11 +60,9 @@ pub fn pareto_frontier(xs: &[f64], ys: &[f64]) -> crate::Result<Vec<ParetoPoint>
     // Sort by ascending x, breaking ties by descending y; then sweep,
     // keeping points whose y strictly exceeds the running maximum. A point
     // survives iff no point with smaller-or-equal x reaches its y.
-    points.sort_by(|a, b| {
-        a.x.partial_cmp(&b.x)
-            .expect("finiteness checked")
-            .then(b.y.partial_cmp(&a.y).expect("finiteness checked"))
-    });
+    // `total_cmp` keeps the comparator total even if a NaN ever slips
+    // past the finiteness check above.
+    points.sort_by(|a, b| a.x.total_cmp(&b.x).then(b.y.total_cmp(&a.y)));
     let mut frontier: Vec<ParetoPoint> = Vec::new();
     let mut best_y = f64::NEG_INFINITY;
     for p in points {

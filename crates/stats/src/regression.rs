@@ -76,6 +76,7 @@ impl Linear {
                 e * e
             })
             .sum();
+        // lint:allow(float-hygiene): ss_tot is a sum of squares; exactly 0.0 iff every y equals the mean, where R^2 is 1 by convention
         let r_squared = if ss_tot == 0.0 {
             1.0
         } else {
@@ -188,6 +189,7 @@ impl PowerLaw {
     /// Panics in debug builds if `y` is not strictly positive or the
     /// exponent is zero.
     pub fn invert(&self, y: f64) -> f64 {
+        // lint:allow(float-hygiene): debug guard against division by an exactly-zero exponent; an epsilon would reject legal near-flat laws
         debug_assert!(y > 0.0 && self.exponent != 0.0);
         (y / self.coefficient).powf(1.0 / self.exponent)
     }
@@ -274,7 +276,7 @@ impl Polynomial {
         let mut power_sums = vec![0.0; 2 * degree + 1];
         for &x in xs {
             let mut p = 1.0;
-            for sum in power_sums.iter_mut() {
+            for sum in &mut power_sums {
                 *sum += p;
                 p *= x;
             }
@@ -286,7 +288,7 @@ impl Polynomial {
         }
         for (&x, &y) in xs.iter().zip(ys) {
             let mut p = 1.0;
-            for xty_i in xty.iter_mut() {
+            for xty_i in &mut xty {
                 *xty_i += p * y;
                 p *= x;
             }
@@ -306,6 +308,7 @@ impl Polynomial {
                 e * e
             })
             .sum();
+        // lint:allow(float-hygiene): ss_tot is a sum of squares; exactly 0.0 iff every y equals the mean, where R^2 is 1 by convention
         let r_squared = if ss_tot == 0.0 {
             1.0
         } else {

@@ -25,8 +25,8 @@ fn mean_bounded_by_min_max() {
     for _ in 0..CASES {
         let v = finite_vec(&mut rng, 1..64);
         let m = mean(&v).unwrap();
-        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = v.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
     }
 }

@@ -385,7 +385,7 @@ pub fn impls(model: CnnModel) -> Vec<FpgaImpl> {
 /// Propagates CSR validation errors (impossible on the embedded dataset).
 pub fn performance_series(model: CnnModel) -> Result<CsrSeries> {
     let mut rows = impls(model);
-    rows.sort_by(|a, b| a.gops.partial_cmp(&b.gops).expect("finite"));
+    rows.sort_by(|a, b| a.gops.total_cmp(&b.gops));
     let base = rows[0].clone();
     Ok(CsrSeries::new(
         rows.iter()
@@ -408,11 +408,7 @@ pub fn performance_series(model: CnnModel) -> Result<CsrSeries> {
 /// Propagates CSR validation errors (impossible on the embedded dataset).
 pub fn efficiency_series(model: CnnModel) -> Result<CsrSeries> {
     let mut rows = impls(model);
-    rows.sort_by(|a, b| {
-        a.gops_per_joule()
-            .partial_cmp(&b.gops_per_joule())
-            .expect("finite")
-    });
+    rows.sort_by(|a, b| a.gops_per_joule().total_cmp(&b.gops_per_joule()));
     let base = rows[0].clone();
     let physical_ee =
         |r: &FpgaImpl| r.physical_budget() / (r.power_w * r.node.dynamic_energy_rel());

@@ -455,6 +455,7 @@ pub fn frame_rate(gpu: &GpuChip, game: &Game) -> Option<f64> {
         .into_iter()
         .filter(|g| g.tier == GpuTier::HighEnd && is_benchmarked(g, game))
         .min_by_key(|g| g.year)
+        // lint:allow(no-panic-paths): the static GPU dataset has a high-end chip in every benchmark window; dataset tests pin this
         .expect("window contains a high-end gpu");
     let physical = gpu.physical_throughput() / oldest.physical_throughput();
     let csr = csr_trajectory(gpu.year) / csr_trajectory(oldest.year);
@@ -492,7 +493,7 @@ pub fn frames_per_joule(gpu: &GpuChip, game: &Game) -> Option<f64> {
 ///
 /// Propagates CSR validation errors (impossible on the embedded dataset).
 pub fn performance_series(game: &Game) -> Result<CsrSeries> {
-    series(game, frame_rate, |g| g.physical_throughput())
+    series(game, frame_rate, GpuChip::physical_throughput)
 }
 
 /// The Fig. 5b series for one game: frames-per-joule gain and CSR.
@@ -501,7 +502,7 @@ pub fn performance_series(game: &Game) -> Result<CsrSeries> {
 ///
 /// Propagates CSR validation errors (impossible on the embedded dataset).
 pub fn efficiency_series(game: &Game) -> Result<CsrSeries> {
-    series(game, frames_per_joule, |g| g.physical_efficiency())
+    series(game, frames_per_joule, GpuChip::physical_efficiency)
 }
 
 fn series(
@@ -517,6 +518,7 @@ fn series(
     let (base_gpu, base_value) = tested
         .iter()
         .find(|(g, _)| g.tier == GpuTier::HighEnd)
+        // lint:allow(no-panic-paths): the static GPU dataset benchmarks a high-end chip for every game; dataset tests pin this
         .expect("every game has a high-end GPU")
         .clone();
     let rows = tested
@@ -633,7 +635,7 @@ mod tests {
                 chips
                     .iter()
                     .filter(|g| g.year == year && g.tier == tier)
-                    .map(|g| g.physical_throughput())
+                    .map(super::GpuChip::physical_throughput)
                     .fold(0.0, f64::max)
             };
             assert!(

@@ -76,8 +76,7 @@ fn platform_insight() -> Result<Insight> {
         s.rows
             .iter()
             .find(|r| r.label.contains(needle))
-            .map(|r| r.csr)
-            .unwrap_or(f64::NAN)
+            .map_or(f64::NAN, |r| r.csr)
     };
     let cpu = csr_of("i7-950");
     let gpu = csr_of("5870");
@@ -106,6 +105,7 @@ fn platform_insight() -> Result<Insight> {
 
 fn confined_insight() -> Result<Insight> {
     let asics = bitcoin::fig1_series()?;
+    // lint:allow(no-panic-paths): fig1_series() validates its rows and never returns an empty series
     let final_csr = asics.rows.last().expect("non-empty").csr;
     let evidence = vec![
         ("ASIC-era CSR (total)".to_string(), final_csr),
@@ -136,11 +136,8 @@ fn transistor_insight() -> Result<Insight> {
         s.rows
             .iter()
             .cloned()
-            .max_by(|a, b| {
-                a.reported_gain
-                    .partial_cmp(&b.reported_gain)
-                    .expect("finite")
-            })
+            .max_by(|a, b| a.reported_gain.total_cmp(&b.reported_gain))
+            // lint:allow(no-panic-paths): CsrSeries construction rejects empty observation sets
             .expect("non-empty")
     };
     let v = best(&video);

@@ -97,7 +97,7 @@ fn bitcoin_dataset_invariants() {
         miners
             .iter()
             .filter(|m| m.platform == p)
-            .map(|m| m.ghash_per_joule())
+            .map(accelwall_studies::bitcoin::Miner::ghash_per_joule)
             .fold(0.0, f64::max)
     };
     use bitcoin::Platform::*;

@@ -102,6 +102,7 @@ pub fn build(rounds: usize) -> Dfg {
     for (i, &s) in state.iter().enumerate() {
         b.output(format!("ct{i}"), s);
     }
+    // lint:allow(no-panic-paths): the graph is assembled from static structure above; build() only fails on programming errors, which this crate's tests catch
     b.build().expect("aes graph is structurally valid")
 }
 
@@ -250,7 +251,7 @@ mod tests {
     #[test]
     fn sbox_is_a_permutation() {
         let mut seen = [false; 256];
-        for &v in SBOX.iter() {
+        for &v in &SBOX {
             assert!(!seen[v as usize], "duplicate sbox value {v:#x}");
             seen[v as usize] = true;
         }

@@ -187,7 +187,7 @@ impl Workload {
 
     /// Builds the workload's DFG at a chosen problem size.
     pub fn instance(self, size: InstanceSize) -> Dfg {
-        use InstanceSize::*;
+        use InstanceSize::{Default, Large, Small};
         match (self, size) {
             (Workload::Aes, Small) => aes::build(1),
             (Workload::Aes, Default) => aes::build(2),

@@ -46,6 +46,7 @@ pub fn build(m: usize, n: usize) -> Dfg {
         b.output(format!("hrow{j}"), h[m][j]);
     }
     b.output("score", h[m][n]);
+    // lint:allow(no-panic-paths): the graph is assembled from static structure above; build() only fails on programming errors, which this crate's tests catch
     b.build().expect("nwn graph is structurally valid")
 }
 

@@ -49,13 +49,14 @@ pub fn build_bitonic(n: usize) -> Dfg {
     for (i, &w) in wires.iter().enumerate() {
         b.output(format!("y{i}"), w);
     }
+    // lint:allow(no-panic-paths): the graph is assembled from static structure above; build() only fails on programming errors, which this crate's tests catch
     b.build().expect("bitonic network is structurally valid")
 }
 
 /// Reference sort.
 pub fn sort_reference(xs: &[f64]) -> Vec<f64> {
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    v.sort_by(f64::total_cmp);
     v
 }
 

@@ -24,6 +24,7 @@ pub fn build_sad(rows: usize, cols: usize) -> Dfg {
     }
     let sum = b.reduce(Op::Add, &terms);
     b.output("sad", sum);
+    // lint:allow(no-panic-paths): the graph is assembled from static structure above; build() only fails on programming errors, which this crate's tests catch
     b.build().expect("sad graph is structurally valid")
 }
 

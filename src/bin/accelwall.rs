@@ -9,6 +9,7 @@
 //! accelwall dot [WORKLOAD] [--json]
 //! accelwall list [--json]
 //! accelwall serve [--addr HOST:PORT] [--workers N]
+//! accelwall lint [--json]
 //! ```
 //!
 //! The target roster is owned by [`Registry::paper`]; this binary is a
@@ -21,6 +22,8 @@
 //! experiment id. `serve` starts the long-lived artifact server
 //! (`accelwall-server`): one process-lifetime cache, every artifact
 //! computed at most once, `POST /shutdown` for a graceful drain.
+//! `lint` runs the workspace invariant checker (`accelwall-lint`) over
+//! the enclosing checkout and exits non-zero on any finding.
 //!
 //! Unknown targets *and* unknown flags both fail with a roster-style
 //! error listing everything that would have been accepted.
@@ -143,11 +146,13 @@ fn main() -> ExitCode {
                 }
                 println!("  {:<12} run every target above", "all");
                 println!("  {:<12} serve artifacts over HTTP", "serve");
+                println!("  {:<12} check workspace invariants", "lint");
             }
             ExitCode::SUCCESS
         }
         Some("all") => run_all(&registry, args.json),
         Some("serve") => serve(registry, &args),
+        Some("lint") => lint(args.json),
         Some("dot") => {
             // `dot` keeps its positional operand: any Table IV
             // abbreviation, defaulting to the Fig. 11 example graph.
@@ -192,6 +197,35 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+    }
+}
+
+/// Runs the workspace invariant checker over the enclosing checkout.
+///
+/// The workspace root is discovered by walking upward from the current
+/// directory, so `accelwall lint` works from any subdirectory of the
+/// repo; a run outside any checkout fails with the discovery error.
+fn lint(json: bool) -> ExitCode {
+    let report = std::env::current_dir()
+        .and_then(|dir| accelwall_lint::Workspace::discover(&dir))
+        .map(|ws| accelwall_lint::LintRegistry::standard().run(&ws));
+    match report {
+        Ok(report) => {
+            if json {
+                println!("{}", report.to_json().pretty());
+            } else {
+                print!("{report}");
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("lint failed: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

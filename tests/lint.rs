@@ -1,0 +1,207 @@
+//! End-to-end tests of `accelwall lint`: the shipped workspace must be
+//! clean (this is the same gate CI runs), `--json` must round-trip
+//! through `core::json` with the documented keys and the full rule
+//! roster, and a seeded fixture workspace with one violation per rule
+//! must fail with editor-clickable `file:line` findings.
+
+use accelerator_wall::json::Value;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn run_in(dir: &Path, args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_accelwall"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn the_shipped_workspace_is_clean() {
+    let (ok, stdout, stderr) = run_in(&repo_root(), &["lint"]);
+    assert!(ok, "lint found problems:\n{stdout}{stderr}");
+    assert!(
+        stdout.contains("lint clean"),
+        "unexpected output:\n{stdout}"
+    );
+    assert!(stdout.contains("0 findings"));
+}
+
+#[test]
+fn lint_works_from_a_subdirectory() {
+    // Workspace discovery walks upward, so the gate holds from anywhere
+    // inside the checkout.
+    let (ok, stdout, _) = run_in(&repo_root().join("crates/stats/src"), &["lint"]);
+    assert!(ok, "lint from subdirectory failed:\n{stdout}");
+}
+
+#[test]
+fn json_report_round_trips_with_the_rule_roster() {
+    let (ok, stdout, _) = run_in(&repo_root(), &["lint", "--json"]);
+    assert!(ok);
+    let doc = Value::parse(&stdout).unwrap_or_else(|e| panic!("{e}\n{stdout}"));
+    assert_eq!(doc.get("clean").and_then(Value::as_bool), Some(true));
+    assert_eq!(doc.get("finding_count").and_then(Value::as_f64), Some(0.0));
+    assert!(doc.get("files_scanned").and_then(Value::as_f64).unwrap() > 50.0);
+    let rules: Vec<&str> = doc
+        .get("rules")
+        .and_then(Value::as_array)
+        .expect("rules array")
+        .iter()
+        .map(|r| r.get("name").and_then(Value::as_str).expect("rule name"))
+        .collect();
+    assert_eq!(
+        rules,
+        [
+            "no-panic-paths",
+            "dep-free",
+            "registry-sync",
+            "float-hygiene",
+            "no-exit-in-lib",
+            "doc-sync",
+        ]
+    );
+    for rule in doc.get("rules").and_then(Value::as_array).unwrap() {
+        assert!(!rule
+            .get("description")
+            .and_then(Value::as_str)
+            .unwrap()
+            .is_empty());
+    }
+    assert!(doc
+        .get("findings")
+        .and_then(Value::as_array)
+        .expect("findings array")
+        .is_empty());
+}
+
+/// A throwaway workspace under the target dir (std-only: no tempfile
+/// crate), removed on drop.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Fixture {
+        let root = repo_root()
+            .join("target/lint-fixtures")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("fixture root");
+        Fixture { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("has parent")).expect("fixture dirs");
+        fs::write(path, content).expect("fixture file");
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn seeded_violations_fail_with_file_line_findings() {
+    let fix = Fixture::new("seeded");
+    fix.write("Cargo.toml", "[workspace]\nmembers = [\"crates/*\"]\n");
+    fix.write(
+        "crates/app/Cargo.toml",
+        "[package]\nname = \"app\"\n\n[dependencies]\nserde = \"1.0\"\n",
+    );
+    fix.write(
+        "crates/app/src/lib.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n\
+         pub fn g() {\n    std::process::exit(3);\n}\n\
+         // lint:allow(no-panic-paths)\n\
+         pub fn h(y: Option<u32>) -> u32 {\n    y.expect(\"why\")\n}\n",
+    );
+    fix.write(
+        "crates/stats/src/lib.rs",
+        "pub fn near_zero(x: f64) -> bool {\n    x == 0.0\n}\n",
+    );
+    let (ok, stdout, _) = run_in(&fix.root, &["lint"]);
+    assert!(!ok, "seeded fixture unexpectedly clean:\n{stdout}");
+    // Editor-clickable path:line:col anchors, one per seeded violation.
+    assert!(stdout.contains("crates/app/src/lib.rs:2:"), "{stdout}");
+    assert!(stdout.contains("[no-panic-paths]"), "{stdout}");
+    assert!(stdout.contains("crates/app/src/lib.rs:5:"), "{stdout}");
+    assert!(stdout.contains("[no-exit-in-lib]"), "{stdout}");
+    assert!(stdout.contains("crates/app/Cargo.toml:5:"), "{stdout}");
+    assert!(
+        stdout.contains("[dep-free]") && stdout.contains("serde"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("crates/stats/src/lib.rs:2:"), "{stdout}");
+    assert!(stdout.contains("[float-hygiene]"), "{stdout}");
+    // The justification-free allow is audited, and the violation it
+    // failed to justify still counts.
+    assert!(stdout.contains("[lint-allow]"), "{stdout}");
+    assert!(stdout.contains("crates/app/src/lib.rs:9:"), "{stdout}");
+    assert!(stdout.contains("lint failed:"), "{stdout}");
+
+    let (ok, stdout, _) = run_in(&fix.root, &["lint", "--json"]);
+    assert!(!ok);
+    let doc = Value::parse(&stdout).unwrap_or_else(|e| panic!("{e}\n{stdout}"));
+    assert_eq!(doc.get("clean").and_then(Value::as_bool), Some(false));
+    let findings = doc.get("findings").and_then(Value::as_array).unwrap();
+    assert_eq!(
+        findings.len() as f64,
+        doc.get("finding_count").and_then(Value::as_f64).unwrap()
+    );
+    assert!(findings.iter().any(|f| {
+        f.get("rule").and_then(Value::as_str) == Some("no-panic-paths")
+            && f.get("path").and_then(Value::as_str) == Some("crates/app/src/lib.rs")
+            && f.get("line").and_then(Value::as_f64) == Some(2.0)
+    }));
+}
+
+#[test]
+fn justified_allows_suppress_and_test_code_is_exempt() {
+    let fix = Fixture::new("allowed");
+    fix.write("Cargo.toml", "[workspace]\nmembers = [\"crates/*\"]\n");
+    fix.write("crates/app/Cargo.toml", "[package]\nname = \"app\"\n");
+    fix.write(
+        "crates/app/src/lib.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n\
+         \x20   // lint:allow(no-panic-paths): provably Some in every caller\n\
+         \x20   x.unwrap()\n\
+         }\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+         \x20   #[test]\n\
+         \x20   fn t() {\n\
+         \x20       None::<u32>.unwrap();\n\
+         \x20   }\n\
+         }\n",
+    );
+    fix.write(
+        "crates/app/tests/integration.rs",
+        "#[test]\nfn t() {\n    std::fs::read(\"x\").unwrap();\n}\n",
+    );
+    let (ok, stdout, stderr) = run_in(&fix.root, &["lint"]);
+    assert!(ok, "expected clean:\n{stdout}{stderr}");
+}
+
+#[test]
+fn lint_rejects_flags_of_other_subcommands() {
+    let (ok, _, stderr) = run_in(&repo_root(), &["lint", "--addr", "0:0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--addr"), "{stderr}");
+    let (ok, _, stderr) = run_in(&repo_root(), &["lint", "extra"]);
+    assert!(!ok);
+    assert!(stderr.contains("no operand"), "{stderr}");
+}

@@ -87,7 +87,7 @@ impl Drop for ServeProcess {
 fn request(addr: &str, method: &str, path: &str, accept: Option<&str>) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
-        .set_read_timeout(Some(Duration::from_secs(120)))
+        .set_read_timeout(Some(Duration::from_mins(2)))
         .unwrap();
     let accept = accept.map_or(String::new(), |a| format!("Accept: {a}\r\n"));
     stream
