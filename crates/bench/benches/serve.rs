@@ -9,7 +9,11 @@
 //! 2. **warm-cache latency** — the same request again, served from the
 //!    per-experiment `OnceLock` cache;
 //! 3. **warm throughput** — 8 client threads hammering a warm target,
-//!    requests per second.
+//!    requests per second;
+//! 4. **disarmed fault-probe cost** — `accelwall_faults::probe` with no
+//!    `ACCELWALL_FAULTS` plan armed, which every request and compute
+//!    attempt pays; the bench asserts it stays under 5 % of the warm
+//!    request path.
 //!
 //! The output is one JSON document; `BENCH_serve.json` at the repo root
 //! records a baseline run (`cargo bench -p accelwall-bench --bench
@@ -81,6 +85,24 @@ fn main() {
     handle.shutdown();
     run.join().expect("server thread").expect("clean drain");
 
+    // 4. Disarmed probe cost: the per-request fault-injection tax when
+    // no plan is armed (one relaxed atomic load per probe).
+    const PROBE_SAMPLES: u32 = 1_000_000;
+    let probe_start = Instant::now();
+    for _ in 0..PROBE_SAMPLES {
+        std::hint::black_box(accelwall_faults::probe(std::hint::black_box(
+            accelwall_faults::sites::SERVE_REQUEST,
+        )))
+        .expect("no plan armed");
+    }
+    let probe_ns = probe_start.elapsed().as_secs_f64() * 1e9 / f64::from(PROBE_SAMPLES);
+    // The warm request path pays one probe per connection.
+    let probe_overhead_pct = probe_ns / (warm.as_secs_f64() * 1e9) * 100.0;
+    assert!(
+        probe_overhead_pct < 5.0,
+        "disarmed probes cost {probe_overhead_pct:.3}% of the warm path (budget: 5%)"
+    );
+
     println!("{{");
     println!("  \"bench\": \"serve\",");
     println!("  \"workers\": 4,");
@@ -92,7 +114,9 @@ fn main() {
     );
     println!("  \"throughput_clients\": {CLIENTS},");
     println!("  \"throughput_requests\": {},", total_requests as u64);
-    println!("  \"throughput_rps\": {rps:.0}");
+    println!("  \"throughput_rps\": {rps:.0},");
+    println!("  \"disarmed_probe_ns\": {probe_ns:.2},");
+    println!("  \"disarmed_probe_warm_overhead_pct\": {probe_overhead_pct:.4}");
     println!("}}");
 }
 

@@ -81,6 +81,21 @@ pub enum Error {
         /// The experiment whose thread died.
         id: String,
     },
+    /// An armed fault plan (`ACCELWALL_FAULTS`) injected a transient
+    /// failure at a named site. Retryable by construction.
+    FaultInjected {
+        /// The injection site that fired.
+        site: String,
+    },
+    /// A request gave up waiting for a compute still in flight
+    /// ([`ArtifactCache::get_within`](crate::artifacts::ArtifactCache::get_within)).
+    /// The compute itself keeps running and may settle the slot later.
+    ComputeTimeout {
+        /// The experiment still computing when the deadline expired.
+        id: String,
+        /// How long the request waited before giving up.
+        waited_ms: u64,
+    },
     /// A lower-level failure annotated with what the pipeline was doing.
     Context {
         /// What was being attempted.
@@ -140,6 +155,18 @@ impl fmt::Display for Error {
                 write!(f, "experiment dependency cycle among: {}", ids.join(" "))
             }
             Error::ExperimentPanicked { id } => write!(f, "experiment {id} panicked"),
+            Error::FaultInjected { site } => {
+                write!(
+                    f,
+                    "injected transient fault at site {site:?} (armed via ACCELWALL_FAULTS)"
+                )
+            }
+            Error::ComputeTimeout { id, waited_ms } => {
+                write!(
+                    f,
+                    "experiment {id} still computing after {waited_ms} ms (deadline exceeded; retry later)"
+                )
+            }
             Error::Context { what, source } => write!(f, "{what}: {source}"),
         }
     }
@@ -160,7 +187,9 @@ impl std::error::Error for Error {
             Error::UnknownExperiment { .. }
             | Error::UnknownWorkload { .. }
             | Error::DependencyCycle { .. }
-            | Error::ExperimentPanicked { .. } => None,
+            | Error::ExperimentPanicked { .. }
+            | Error::FaultInjected { .. }
+            | Error::ComputeTimeout { .. } => None,
         }
     }
 }
@@ -210,6 +239,12 @@ impl From<DfgError> for Error {
 impl From<ReportError> for Error {
     fn from(e: ReportError) -> Error {
         Error::Report(e)
+    }
+}
+
+impl From<accelwall_faults::InjectedFault> for Error {
+    fn from(e: accelwall_faults::InjectedFault) -> Error {
+        Error::FaultInjected { site: e.site }
     }
 }
 

@@ -71,6 +71,14 @@ impl Registry {
         }
     }
 
+    /// A registry over an arbitrary experiment set. Production code uses
+    /// [`Registry::paper`]; this constructor exists so chaos tests can
+    /// build registries of deliberately flaky, panicking, or hanging
+    /// fakes and drive them through the exact production cache paths.
+    pub fn from_experiments(experiments: Vec<Box<dyn Experiment>>) -> Registry {
+        Registry { experiments }
+    }
+
     /// Number of registered experiments.
     pub fn len(&self) -> usize {
         self.experiments.len()

@@ -16,7 +16,7 @@
 //!   `EXPERIMENTS.md` under the workspace root;
 //! * [`Lint`] + [`LintRegistry`] — a pluggable rule trait and the
 //!   standard roster, exactly like `Experiment` + `Registry::paper()`;
-//! * [`rules`] — the six shipped rules (see [`LintRegistry::standard`]).
+//! * [`rules`] — the seven shipped rules (see [`LintRegistry::standard`]).
 //!
 //! Findings can be silenced, one site at a time, with a justified
 //! escape hatch: `// lint:allow(<rule>): <why this site is safe>`.
@@ -123,6 +123,7 @@ impl LintRegistry {
         r.register(Box::new(rules::float_hygiene::FloatHygiene));
         r.register(Box::new(rules::no_exit::NoExitInLib));
         r.register(Box::new(rules::doc_sync::DocSync));
+        r.register(Box::new(rules::fault_sites::FaultSites));
         r
     }
 
@@ -298,7 +299,7 @@ mod tests {
     fn standard_registry_rule_names_are_unique_and_kebab() {
         let r = LintRegistry::standard();
         let names: Vec<&str> = r.lints().map(Lint::name).collect();
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), 7);
         let mut unique = names.clone();
         unique.sort_unstable();
         unique.dedup();

@@ -1,0 +1,278 @@
+//! `fault-sites` — fault-injection probe sites and the static site
+//! roster agree.
+//!
+//! `accelwall_faults::probe(site)` is a no-op until a fault plan arms,
+//! so a typo'd site name fails silently: the probe compiles, the plan
+//! arms (if the name happens to validate), and the fault never fires.
+//! This rule cross-checks the two directions, the same way
+//! `registry-sync` keeps `Registry::paper()` honest:
+//!
+//! * **code → roster**: every *string-literal* site passed to a
+//!   `probe(...)` call in shipping code names either a static site in
+//!   `accelwall_faults::sites::ROSTER` or a registered experiment id
+//!   (the dynamic site family). Non-literal arguments — the artifact
+//!   cache's `probe(experiment.id())`, or a `sites::*` const — are the
+//!   supported spellings and are left to arm-time validation;
+//! * **roster → code**: every roster entry is actually probed somewhere
+//!   in shipping code, by literal name or by a `const` declared in the
+//!   sites module, so the roster cannot drift into documenting probe
+//!   points that no longer exist.
+
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+use crate::{Finding, Lint};
+use accelerator_wall::registry::Registry;
+use accelwall_faults::sites;
+
+/// See the module docs.
+pub struct FaultSites;
+
+/// Roster-level findings anchor here.
+const SITES_PATH: &str = "crates/faults/src/sites.rs";
+
+/// The reverse (roster → code) direction only runs when the workspace
+/// actually contains the probing crates; fixture workspaces in rule
+/// tests usually don't.
+const PROBING_DIR: &str = "crates/server";
+
+impl Lint for FaultSites {
+    fn name(&self) -> &'static str {
+        "fault-sites"
+    }
+
+    fn description(&self) -> &'static str {
+        "every literal probe() site is in the faults roster, and every roster site is probed"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let static_names: Vec<&str> = sites::names().collect();
+        let experiment_ids = Registry::paper().ids();
+
+        // code → roster: literal probe arguments must name a known site.
+        for file in &ws.files {
+            for probe in probe_calls(file) {
+                for tok in &probe.args {
+                    if tok.kind != TokenKind::Str {
+                        continue;
+                    }
+                    let name = tok.text.as_str();
+                    if static_names.contains(&name) || experiment_ids.contains(&name) {
+                        continue;
+                    }
+                    findings.push(Finding {
+                        rule: self.name(),
+                        path: file.rel_path.clone(),
+                        line: tok.line,
+                        col: tok.col,
+                        message: format!(
+                            "fault site {name:?} is probed here but is neither in the \
+                             static roster ({SITES_PATH}) nor a registered experiment \
+                             id; an armed plan could never target it"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // roster → code: every static site has a live probe. Skipped for
+        // fixture workspaces that don't carry the probing crates.
+        if ws.files_under(PROBING_DIR).next().is_none() {
+            return findings;
+        }
+        let consts: Vec<(String, String)> = ws
+            .files
+            .iter()
+            .find(|f| f.rel_path == SITES_PATH)
+            .map(site_consts)
+            .unwrap_or_default();
+        for site in sites::ROSTER {
+            let probed = ws.files.iter().any(|file| {
+                probe_calls(file).iter().any(|probe| {
+                    probe.args.iter().any(|tok| match tok.kind {
+                        TokenKind::Str => tok.text == site.name,
+                        TokenKind::Ident => consts
+                            .iter()
+                            .any(|(ident, value)| *ident == tok.text && value == site.name),
+                        _ => false,
+                    })
+                })
+            });
+            if !probed {
+                findings.push(Finding {
+                    rule: self.name(),
+                    path: SITES_PATH.to_string(),
+                    line: 0,
+                    col: 0,
+                    message: format!(
+                        "roster site {:?} ({}) is never probed in shipping code; \
+                         the roster entry is stale or the probe was removed",
+                        site.name, site.location
+                    ),
+                });
+            }
+        }
+        findings
+    }
+}
+
+/// One `probe(...)` call site in shipping (non-test) code.
+struct ProbeCall<'a> {
+    /// Every token between the call's parentheses, nesting included.
+    args: Vec<&'a Token>,
+}
+
+/// Finds the `probe(...)` call sites in `file`, skipping test scopes and
+/// `fn probe` definitions. Returns the argument tokens of each call.
+fn probe_calls(file: &SourceFile) -> Vec<ProbeCall<'_>> {
+    let code = file.code_tokens();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < code.len() {
+        let is_call = code[i].is_ident("probe")
+            && code[i + 1].is_punct("(")
+            && !(i > 0 && code[i - 1].is_ident("fn"))
+            && !file.is_test_line(code[i].line);
+        if !is_call {
+            i += 1;
+            continue;
+        }
+        let mut depth = 1;
+        let mut j = i + 2;
+        let mut args = Vec::new();
+        while j < code.len() && depth > 0 {
+            if code[j].is_punct("(") {
+                depth += 1;
+            } else if code[j].is_punct(")") {
+                depth -= 1;
+            }
+            if depth > 0 {
+                args.push(code[j]);
+            }
+            j += 1;
+        }
+        out.push(ProbeCall { args });
+        i = j;
+    }
+    out
+}
+
+/// Extracts `(IDENT, "value")` pairs from `const IDENT: … = "value";`
+/// declarations, so a probe spelled via a sites-module const still
+/// counts as probing the named site.
+fn site_consts(file: &SourceFile) -> Vec<(String, String)> {
+    let code = file.code_tokens();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < code.len() {
+        if code[i].is_ident("const") && code[i + 1].kind == TokenKind::Ident {
+            let ident = code[i + 1].text.clone();
+            let mut j = i + 2;
+            while j < code.len() && !code[j].is_punct(";") {
+                if code[j].kind == TokenKind::Str {
+                    out.push((ident.clone(), code[j].text.clone()));
+                    break;
+                }
+                j += 1;
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::workspace;
+    use std::path::Path;
+
+    #[test]
+    fn the_real_workspace_probes_only_rostered_sites() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let ws = Workspace::discover(here).expect("workspace above crates/lint");
+        assert_eq!(FaultSites.check(&ws), Vec::new());
+    }
+
+    #[test]
+    fn an_unknown_literal_site_is_flagged() {
+        let src = "fn f() {\n    accelwall_faults::probe(\"no-such-site\")?;\n    Ok(())\n}\n";
+        let ws = workspace(&[("crates/x/src/lib.rs", src)]);
+        let found = FaultSites.check(&ws);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].path, "crates/x/src/lib.rs");
+        assert_eq!(found[0].line, 2);
+        assert!(found[0].message.contains("\"no-such-site\""));
+    }
+
+    #[test]
+    fn rostered_and_experiment_id_literals_pass() {
+        let src = "fn f() {\n\
+                   \x20   accelwall_faults::probe(\"serve-request\")?;\n\
+                   \x20   accelwall_faults::probe(\"fig3a\")?;\n\
+                   \x20   Ok(())\n}\n";
+        let ws = workspace(&[("crates/x/src/lib.rs", src)]);
+        assert!(FaultSites.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn probes_in_test_code_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        \
+                   let _ = probe(\"made-up-site\");\n    }\n}\n";
+        let ws = workspace(&[("crates/x/src/lib.rs", src)]);
+        assert!(FaultSites.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn non_literal_probe_arguments_are_left_to_arm_time() {
+        let src = "fn f(experiment: &dyn Experiment) {\n    \
+                   let _ = accelwall_faults::probe(experiment.id());\n}\n";
+        let ws = workspace(&[("crates/x/src/lib.rs", src)]);
+        assert!(FaultSites.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn an_unprobed_roster_site_is_flagged_when_server_sources_exist() {
+        // A workspace carrying crates/server that never probes
+        // serve-request: the roster entry has gone stale.
+        let ws = workspace(&[("crates/server/src/lib.rs", "fn f() {}")]);
+        let found = FaultSites.check(&ws);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].path, SITES_PATH);
+        assert!(found[0].message.contains("\"serve-request\""));
+        assert!(found[0].message.contains("never probed"));
+    }
+
+    #[test]
+    fn a_probe_via_sites_const_counts_for_the_roster() {
+        let sites_src = "pub const SERVE_REQUEST: &str = \"serve-request\";\n";
+        let server_src =
+            "fn f() {\n    let _ = accelwall_faults::probe(sites::SERVE_REQUEST);\n}\n";
+        let ws = workspace(&[
+            ("crates/faults/src/sites.rs", sites_src),
+            ("crates/server/src/lib.rs", server_src),
+        ]);
+        assert!(FaultSites.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn site_consts_are_extracted() {
+        let f = SourceFile::new(
+            "crates/faults/src/sites.rs".into(),
+            Path::new("/fixture/sites.rs").into(),
+            "pub const A: &str = \"a-site\";\nconst N: usize = 3;\n\
+             pub const B: &str = \"b-site\";\n"
+                .into(),
+        );
+        assert_eq!(
+            site_consts(&f),
+            vec![
+                ("A".to_string(), "a-site".to_string()),
+                ("B".to_string(), "b-site".to_string()),
+            ]
+        );
+    }
+}

@@ -7,6 +7,7 @@
 
 pub mod dep_free;
 pub mod doc_sync;
+pub mod fault_sites;
 pub mod float_hygiene;
 pub mod no_exit;
 pub mod panic_paths;

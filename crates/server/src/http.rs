@@ -139,6 +139,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// Extra `Allow` header for 405 responses.
     pub allow: Option<&'static str>,
+    /// Extra `Retry-After` header (seconds) for 500/503/504 responses
+    /// whose failure is expected to heal.
+    pub retry_after: Option<u64>,
     /// Response body bytes.
     pub body: Vec<u8>,
 }
@@ -150,6 +153,7 @@ impl Response {
             status,
             content_type: "application/json",
             allow: None,
+            retry_after: None,
             body: body.into(),
         }
     }
@@ -160,6 +164,7 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             allow: None,
+            retry_after: None,
             body: body.into(),
         }
     }
@@ -170,8 +175,17 @@ impl Response {
             status: 405,
             content_type: "text/plain; charset=utf-8",
             allow: Some(allow),
+            retry_after: None,
             body: format!("method not allowed; use {allow}\n").into_bytes(),
         }
+    }
+
+    /// Adds a `Retry-After: {seconds}` header (how soon a retry of a
+    /// failed target may succeed).
+    #[must_use]
+    pub fn with_retry_after(mut self, seconds: u64) -> Response {
+        self.retry_after = Some(seconds);
+        self
     }
 
     /// Serializes status line, headers, and body onto `out`.
@@ -192,6 +206,11 @@ impl Response {
             head.push_str(allow);
             head.push_str("\r\n");
         }
+        if let Some(seconds) = self.retry_after {
+            head.push_str("Retry-After: ");
+            head.push_str(&seconds.to_string());
+            head.push_str("\r\n");
+        }
         head.push_str("\r\n");
         out.write_all(head.as_bytes())?;
         out.write_all(&self.body)?;
@@ -209,6 +228,7 @@ pub fn reason(status: u16) -> &'static str {
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -286,5 +306,14 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"));
         assert!(text.contains("Allow: GET\r\n"));
+
+        let mut out = Vec::new();
+        Response::json(504, "{}")
+            .with_retry_after(2)
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 504 Gateway Timeout\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
     }
 }

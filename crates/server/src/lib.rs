@@ -25,13 +25,34 @@
 //! |---|---|
 //! | `GET /experiments` | the registry roster (same JSON as `accelwall list --json`) |
 //! | `GET /experiments/{id}` | the artifact as JSON, or its text rendering with `Accept: text/plain` |
-//! | `GET /healthz` | `ok` once the listener is up |
-//! | `GET /metrics` | Prometheus-style counters (requests, latency, cache, `Ctx`) |
+//! | `GET /healthz` | `{"status": "ready"\|"degraded", "failed": [...]}` — degraded lists targets in `Failed` state |
+//! | `GET /metrics` | Prometheus-style counters (requests, latency, cache, `Ctx`, containment) |
 //! | `POST /shutdown` | begins the graceful drain |
 //!
 //! Unknown `{id}`s answer `404` with the same roster-carrying message as
 //! the CLI — both derive from [`Registry`](accelerator_wall::registry::Registry),
 //! so there is no hand-maintained route list to drift.
+//!
+//! # Failure containment
+//!
+//! Experiments can fail, panic, or hang; none of those may take the
+//! server down with them (see DESIGN.md, "Failure semantics"):
+//!
+//! * a panicking experiment is caught inside the cache and answers `500`
+//!   with a typed `"kind": "panic"` JSON body — and should a panic ever
+//!   reach a pool worker anyway, the worker respawns and
+//!   `worker_panics_total` counts it;
+//! * a transient failure answers `500` with a `Retry-After` hint; the
+//!   cache retries it (bounded attempts, exponential backoff) on later
+//!   requests instead of memoizing the error forever;
+//! * a compute still running after [`ServerConfig::compute_deadline`]
+//!   answers `504` while the compute continues in the background;
+//! * `/healthz` reports `degraded` (with the failed-target list) while
+//!   any slot is in `Failed` state, for load-balancer use.
+//!
+//! Every path above can be provoked deterministically by arming
+//! `ACCELWALL_FAULTS` (see the `accelwall-faults` crate); the
+//! `serve-request` static site fires in the connection handler itself.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -47,6 +68,7 @@ use std::time::{Duration, Instant};
 
 use accelerator_wall::artifacts::ArtifactCache;
 use accelerator_wall::error::Error;
+use accelerator_wall::json::Value;
 
 use http::{read_request, Request, RequestError, Response};
 use metrics::{Metrics, Route};
@@ -64,6 +86,10 @@ pub struct ServerConfig {
     pub backlog: usize,
     /// Per-socket read/write timeout (bounds slow clients).
     pub io_timeout: Duration,
+    /// How long a `GET /experiments/{id}` request waits for a compute
+    /// before answering `504` (the compute itself keeps running and can
+    /// settle the cache for later requests).
+    pub compute_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +99,7 @@ impl Default for ServerConfig {
             workers: 4,
             backlog: 64,
             io_timeout: Duration::from_secs(5),
+            compute_deadline: Duration::from_secs(30),
         }
     }
 }
@@ -165,11 +192,23 @@ impl Server {
             let metrics = Arc::clone(&self.metrics);
             let handle = handle.clone();
             let io_timeout = self.config.io_timeout;
-            ThreadPool::new(
+            let compute_deadline = self.config.compute_deadline;
+            // The metrics' panic counter is shared with the pool, so a
+            // worker that dies panicking (and respawns) is visible as
+            // `worker_panics_total` without any callback plumbing.
+            ThreadPool::with_panic_counter(
                 self.config.workers,
                 self.config.backlog,
+                self.metrics.worker_panics_counter(),
                 move |stream: TcpStream| {
-                    handle_connection(stream, &cache, &metrics, &handle, io_timeout);
+                    handle_connection(
+                        stream,
+                        &cache,
+                        &metrics,
+                        &handle,
+                        io_timeout,
+                        compute_deadline,
+                    );
                 },
             )
         };
@@ -208,13 +247,24 @@ fn handle_connection(
     metrics: &Metrics,
     handle: &ServerHandle,
     io_timeout: Duration,
+    compute_deadline: Duration,
 ) {
     let _in_flight = metrics.track_in_flight();
     let start = Instant::now();
     let _ = stream.set_read_timeout(Some(io_timeout));
     let _ = stream.set_write_timeout(Some(io_timeout));
+    // The `serve-request` fault site: a `panic` rule fires on this very
+    // worker thread (exercising pool respawn — the client sees the
+    // connection drop), an `err` rule answers 500, a `hang` rule holds
+    // the worker for its duration.
+    if let Err(fault) = accelwall_faults::probe(accelwall_faults::sites::SERVE_REQUEST) {
+        let response = Response::text(500, format!("{fault}\n"));
+        let _ = response.write_to(&mut stream);
+        metrics.observe(Route::Other, response.status, start.elapsed());
+        return;
+    }
     let (route, response) = match read_request(&mut stream) {
-        Ok(request) => route_request(&request, cache, metrics, handle),
+        Ok(request) => route_request(&request, cache, metrics, handle, compute_deadline),
         Err(RequestError::TooLarge) => (
             Route::Other,
             Response::text(431, "request head too large\n"),
@@ -235,6 +285,7 @@ fn route_request(
     cache: &ArtifactCache,
     metrics: &Metrics,
     handle: &ServerHandle,
+    compute_deadline: Duration,
 ) -> (Route, Response) {
     let get_only = |route: Route, response: Response| {
         if request.method == "GET" {
@@ -244,7 +295,7 @@ fn route_request(
         }
     };
     match request.path.as_str() {
-        "/healthz" => get_only(Route::Healthz, Response::text(200, "ok\n")),
+        "/healthz" => get_only(Route::Healthz, Response::json(200, healthz_body(cache))),
         "/experiments" => get_only(
             Route::Experiments,
             Response::json(200, roster_body(cache)),
@@ -269,7 +320,10 @@ fn route_request(
                 if request.method != "GET" {
                     return (Route::Experiment, Response::method_not_allowed("GET"));
                 }
-                (Route::Experiment, experiment_response(id, request, cache))
+                (
+                    Route::Experiment,
+                    experiment_response(id, request, cache, compute_deadline),
+                )
             }
             None => (
                 Route::Other,
@@ -290,9 +344,49 @@ fn roster_body(cache: &ArtifactCache) -> Vec<u8> {
     body.into_bytes()
 }
 
+/// The `GET /healthz` body: `ready` when every requested target is fine,
+/// `degraded` with the failed-target list otherwise. Always `200` — the
+/// process itself is serving either way; load balancers key on
+/// `"status"`.
+fn healthz_body(cache: &ArtifactCache) -> Vec<u8> {
+    let failed = cache.failed_targets();
+    let status = if failed.is_empty() {
+        "ready"
+    } else {
+        "degraded"
+    };
+    let doc = Value::object([
+        ("status", Value::from(status)),
+        (
+            "failed",
+            Value::array(failed.iter().map(|f| {
+                Value::object([
+                    ("id", Value::from(f.id)),
+                    ("attempts", Value::from(u64::from(f.attempts))),
+                    ("error", Value::from(f.error.to_string())),
+                    ("retryable", Value::from(f.retry_in.is_some())),
+                ])
+            })),
+        ),
+    ]);
+    let mut body = doc.pretty();
+    body.push('\n');
+    body.into_bytes()
+}
+
 /// The `GET /experiments/{id}` body, honoring `Accept: text/plain`.
-fn experiment_response(id: &str, request: &Request, cache: &ArtifactCache) -> Response {
-    match cache.get(id) {
+///
+/// Failures answer with a typed JSON body — `kind` distinguishes a
+/// contained panic, an injected fault, a deadline timeout, and an
+/// ordinary compute error — plus a `Retry-After` hint whenever the
+/// cache's retry budget leaves the target retryable.
+fn experiment_response(
+    id: &str,
+    request: &Request,
+    cache: &ArtifactCache,
+    compute_deadline: Duration,
+) -> Response {
+    match cache.get_within(id, Some(compute_deadline)) {
         Ok(artifact) => {
             if request.wants_plain_text() {
                 Response::text(200, artifact.text.clone())
@@ -305,8 +399,45 @@ fn experiment_response(id: &str, request: &Request, cache: &ArtifactCache) -> Re
         // The 404 body carries the registry roster, exactly like the
         // CLI's unknown-target error — no hand-maintained route list.
         Err(e @ Error::UnknownExperiment { .. }) => Response::text(404, format!("{e}\n")),
-        Err(e) => Response::text(500, format!("{id} failed: {e}\n")),
+        // Still computing when the deadline expired: 504, definitely
+        // worth retrying — the background compute may settle the slot.
+        Err(e @ Error::ComputeTimeout { .. }) => {
+            Response::json(504, failure_body(id, &e, None, true)).with_retry_after(1)
+        }
+        Err(e) => {
+            let failure = cache.failure_of(id);
+            let attempts = failure.as_ref().map(|f| f.attempts);
+            let retry_in = failure.as_ref().and_then(|f| f.retry_in);
+            let response = Response::json(500, failure_body(id, &e, attempts, retry_in.is_some()));
+            match retry_in {
+                // Round up so "retry after" never undershoots backoff.
+                Some(wait) => response.with_retry_after(wait.as_secs_f64().ceil().max(1.0) as u64),
+                None => response,
+            }
+        }
     }
+}
+
+/// The JSON body for a failed `GET /experiments/{id}`.
+fn failure_body(id: &str, error: &Error, attempts: Option<u32>, retryable: bool) -> Vec<u8> {
+    let kind = match error.root_cause() {
+        Error::ExperimentPanicked { .. } => "panic",
+        Error::FaultInjected { .. } => "injected",
+        Error::ComputeTimeout { .. } => "timeout",
+        _ => "compute",
+    };
+    let mut fields = vec![
+        ("target", Value::from(id)),
+        ("error", Value::from(error.to_string())),
+        ("kind", Value::from(kind)),
+        ("retryable", Value::from(retryable)),
+    ];
+    if let Some(attempts) = attempts {
+        fields.push(("attempts", Value::from(u64::from(attempts))));
+    }
+    let mut body = Value::object(fields).pretty();
+    body.push('\n');
+    body.into_bytes()
 }
 
 #[cfg(test)]
@@ -324,6 +455,7 @@ mod tests {
             workers: 2,
             backlog: 8,
             io_timeout: Duration::from_secs(10),
+            compute_deadline: Duration::from_mins(2),
         };
         let server = Server::bind(config, cache).expect("bind");
         let handle = server.handle();
@@ -357,9 +489,18 @@ mod tests {
         let (handle, join) = coarse_server();
         let addr = handle.addr();
 
-        // /healthz
+        // /healthz: ready, nothing failed yet.
         let (status, body) = get(addr, "/healthz");
-        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        assert_eq!(status, 200);
+        let health = Value::parse(&body).expect("healthz is valid JSON");
+        assert_eq!(health.get("status").and_then(Value::as_str), Some("ready"));
+        assert_eq!(
+            health
+                .get("failed")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(0)
+        );
 
         // /experiments mirrors the registry roster.
         let (status, body) = get(addr, "/experiments");

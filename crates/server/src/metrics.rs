@@ -10,14 +10,21 @@
 //! 3. the shared-input [`Ctx`](accelerator_wall::cache::Ctx) counters
 //!    ([`CtxCounters`]) — the same numbers the pipeline's golden tests
 //!    assert on, so "the corpus was built at most once over the whole
-//!    server lifetime" is observable from the outside.
+//!    server lifetime" is observable from the outside;
+//! 4. failure-containment counters: `worker_panics_total` (pool workers
+//!    that died panicking and were respawned — stays 0 while the cache's
+//!    `catch_unwind` containment holds), the cache's retry / contained
+//!    panic / compute-timeout counters, and — when a fault plan is armed
+//!    via `ACCELWALL_FAULTS` — one `accelwall_fault_injections_total`
+//!    line per armed site, so chaos tests assert injection coverage from
+//!    the same endpoint operators scrape.
 //!
 //! Route labels are normalized (`/experiments/fig14` reports as
 //! `/experiments/{id}`) so label cardinality stays bounded no matter
 //! what paths clients probe.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use accelerator_wall::artifacts::CacheStats;
@@ -77,6 +84,10 @@ pub struct Metrics {
     responses: Mutex<Vec<(u16, u64)>>,
     in_flight: AtomicUsize,
     rejected: AtomicU64,
+    /// Shared with the worker pool (see
+    /// [`ThreadPool::with_panic_counter`](crate::pool::ThreadPool::with_panic_counter)),
+    /// which increments it when a worker dies panicking and is respawned.
+    worker_panics: Arc<AtomicU64>,
 }
 
 impl Metrics {
@@ -108,6 +119,17 @@ impl Metrics {
     /// Marks a connection rejected by backpressure (503 before routing).
     pub fn record_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The worker-panic counter, cloned into the pool at construction so
+    /// respawns show up here without a callback.
+    pub fn worker_panics_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.worker_panics)
+    }
+
+    /// Pool workers that died panicking (each one was respawned).
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::SeqCst)
     }
 
     /// Raises the in-flight gauge for the lifetime of the returned guard.
@@ -185,6 +207,43 @@ impl Metrics {
             "accelwall_artifact_cache_computes_total {}",
             cache.computes
         );
+        let _ = writeln!(
+            out,
+            "accelwall_artifact_cache_retries_total {}",
+            cache.retries
+        );
+        let _ = writeln!(
+            out,
+            "accelwall_artifact_cache_panics_contained_total {}",
+            cache.panics_contained
+        );
+        let _ = writeln!(
+            out,
+            "accelwall_artifact_cache_compute_timeouts_total {}",
+            cache.timeouts
+        );
+        out.push_str("# TYPE accelwall_worker_panics_total counter\n");
+        let _ = writeln!(
+            out,
+            "accelwall_worker_panics_total {}",
+            self.worker_panics.load(Ordering::SeqCst)
+        );
+        out.push_str("# TYPE accelwall_faults_armed gauge\n");
+        let _ = writeln!(
+            out,
+            "accelwall_faults_armed {}",
+            u8::from(accelwall_faults::is_armed())
+        );
+        if accelwall_faults::is_armed() {
+            out.push_str("# TYPE accelwall_fault_injections_total counter\n");
+            for site in accelwall_faults::report() {
+                let _ = writeln!(
+                    out,
+                    "accelwall_fault_injections_total{{site=\"{}\",kind=\"{}\"}} {}",
+                    site.site, site.kind, site.fired
+                );
+            }
+        }
         out.push_str("# TYPE accelwall_ctx counter\n");
         for (name, value) in [
             ("corpus_computes", ctx.corpus_computes),
@@ -223,6 +282,9 @@ mod tests {
             requests: 3,
             hits: 2,
             computes: 1,
+            retries: 4,
+            panics_contained: 5,
+            timeouts: 6,
         }
     }
 
@@ -273,7 +335,25 @@ mod tests {
         assert!(text.contains("accelwall_connections_rejected_total 1"));
         assert!(text.contains("accelwall_artifact_cache_hits_total 2"));
         assert!(text.contains("accelwall_artifact_cache_misses_total 1"));
+        assert!(text.contains("accelwall_artifact_cache_retries_total 4"));
+        assert!(text.contains("accelwall_artifact_cache_panics_contained_total 5"));
+        assert!(text.contains("accelwall_artifact_cache_compute_timeouts_total 6"));
         assert!(text.contains("accelwall_ctx_corpus_computes 1"));
         assert!(text.contains("accelwall_ctx_sweep_requests 0"));
+    }
+
+    #[test]
+    fn worker_panic_counter_is_shared_with_the_pool_side() {
+        let m = Metrics::new();
+        assert_eq!(m.worker_panics(), 0);
+        // The pool holds a clone and increments it on respawn; simulate.
+        m.worker_panics_counter().fetch_add(2, Ordering::SeqCst);
+        assert_eq!(m.worker_panics(), 2);
+        let text = m.render(empty_stats(), empty_ctx());
+        assert!(text.contains("accelwall_worker_panics_total 2"));
+        // No plan is armed in unit tests: the gauge says so and no
+        // injection lines render.
+        assert!(text.contains("accelwall_faults_armed 0"));
+        assert!(!text.contains("accelwall_fault_injections_total"));
     }
 }

@@ -1,4 +1,5 @@
-//! A fixed-size worker thread pool over an [`mpsc`] channel.
+//! A fixed-size, self-healing worker thread pool over an [`mpsc`]
+//! channel.
 //!
 //! The server accepts connections on one thread and hands each one to
 //! this pool. The channel is a [`mpsc::sync_channel`] with a bounded
@@ -8,19 +9,49 @@
 //! answer `503 Service Unavailable` on the rejected connection instead
 //! of queueing unboundedly or dropping it silently.
 //!
+//! Workers are self-healing: a handler that panics kills its thread, but
+//! a sentinel guard notices the unwind, counts it, and spawns a
+//! replacement before the old thread finishes dying — pool capacity
+//! never silently decays. The count is exposed via
+//! [`ThreadPool::with_panic_counter`]'s shared counter (the server's
+//! `worker_panics_total` metric): the invariant "containment upstream
+//! caught every panic" is `worker_panics_total == 0`, observable rather
+//! than assumed.
+//!
 //! Dropping the pool (or calling [`ThreadPool::join`]) closes the
-//! channel; workers finish the jobs already queued, then exit — that is
-//! what makes the server's shutdown a *drain* rather than an abort.
+//! channel; workers — originals and respawns alike — finish the jobs
+//! already queued, then exit — that is what makes the server's shutdown
+//! a *drain* rather than an abort.
 
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 /// A fixed set of worker threads applying one handler to queued items.
-#[derive(Debug)]
 pub struct ThreadPool<T: Send + 'static> {
     sender: Option<mpsc::SyncSender<T>>,
     workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared<T>>,
+}
+
+impl<T: Send + 'static> std::fmt::Debug for ThreadPool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("workers", &self.workers.len())
+            .field("panics", &self.panics())
+            .finish_non_exhaustive()
+    }
+}
+
+/// State every worker (original or respawned) shares.
+struct Shared<T> {
+    receiver: Mutex<mpsc::Receiver<T>>,
+    handler: Box<dyn Fn(T) + Send + Sync>,
+    panics: Arc<AtomicU64>,
+    /// Replacement workers spawned after panics; drained at shutdown so
+    /// the join guarantee covers them too.
+    respawned: Mutex<Vec<JoinHandle<()>>>,
+    respawn_seq: AtomicUsize,
 }
 
 /// Why an item could not be enqueued.
@@ -50,27 +81,31 @@ impl<T: Send + 'static> ThreadPool<T> {
         backlog: usize,
         handler: impl Fn(T) + Send + Sync + 'static,
     ) -> ThreadPool<T> {
+        ThreadPool::with_panic_counter(workers, backlog, Arc::new(AtomicU64::new(0)), handler)
+    }
+
+    /// As [`ThreadPool::new`], but counting worker panics into a counter
+    /// the caller keeps (the server wires its metrics' counter in here).
+    pub fn with_panic_counter(
+        workers: usize,
+        backlog: usize,
+        panics: Arc<AtomicU64>,
+        handler: impl Fn(T) + Send + Sync + 'static,
+    ) -> ThreadPool<T> {
         let (sender, receiver) = mpsc::sync_channel::<T>(backlog.max(1));
-        let receiver = Arc::new(Mutex::new(receiver));
-        let handler = Arc::new(handler);
+        let shared = Arc::new(Shared {
+            receiver: Mutex::new(receiver),
+            handler: Box::new(handler),
+            panics,
+            respawned: Mutex::new(Vec::new()),
+            respawn_seq: AtomicUsize::new(0),
+        });
         let workers = (0..workers.max(1))
             .map(|i| {
-                let receiver = Arc::clone(&receiver);
-                let handler = Arc::clone(&handler);
+                let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("accelwall-worker-{i}"))
-                    .spawn(move || loop {
-                        // Hold the lock only for the recv so the other
-                        // workers stay free to pick up the next item.
-                        let item = match receiver.lock() {
-                            Ok(rx) => rx.recv(),
-                            Err(_) => break,
-                        };
-                        match item {
-                            Ok(item) => handler(item),
-                            Err(_) => break, // channel closed and drained
-                        }
-                    })
+                    .spawn(move || worker_loop(&shared))
                     // lint:allow(no-panic-paths): failing to spawn at startup leaves no useful fallback; dying loudly before serving is correct
                     .expect("spawning a worker thread")
             })
@@ -78,7 +113,13 @@ impl<T: Send + 'static> ThreadPool<T> {
         ThreadPool {
             sender: Some(sender),
             workers,
+            shared,
         }
+    }
+
+    /// Worker panics observed (and healed) so far.
+    pub fn panics(&self) -> u64 {
+        self.shared.panics.load(Ordering::SeqCst)
     }
 
     /// Enqueues an item without blocking.
@@ -117,12 +158,94 @@ impl<T: Send + 'static> ThreadPool<T> {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Respawned workers register themselves before their dying
+        // predecessor exits, so by the time the joins above return the
+        // list is complete up to panics *inside this loop* — hence pop
+        // until empty rather than a single drain.
+        loop {
+            let handle = self
+                .shared
+                .respawned
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop();
+            match handle {
+                Some(handle) => {
+                    let _ = handle.join();
+                }
+                None => break,
+            }
+        }
     }
 }
 
 impl<T: Send + 'static> Drop for ThreadPool<T> {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// The loop every worker runs. The receiver lock is held only for the
+/// `recv` — the handler runs unlocked, so a panicking handler can never
+/// poison the queue for its siblings.
+fn worker_loop<T: Send + 'static>(shared: &Arc<Shared<T>>) {
+    let sentinel = Sentinel {
+        shared: Arc::clone(shared),
+        armed: true,
+    };
+    loop {
+        let item = {
+            let receiver = shared
+                .receiver
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            receiver.recv()
+        };
+        match item {
+            Ok(item) => (shared.handler)(item),
+            Err(_) => break, // channel closed and drained
+        }
+    }
+    sentinel.disarm();
+}
+
+/// Guard that turns an unwinding worker into a respawn: if the thread
+/// dies panicking, `Drop` counts the panic and spawns a replacement; on
+/// a clean exit the guard is disarmed first and does nothing.
+struct Sentinel<T: Send + 'static> {
+    shared: Arc<Shared<T>>,
+    armed: bool,
+}
+
+impl<T: Send + 'static> Sentinel<T> {
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl<T: Send + 'static> Drop for Sentinel<T> {
+    fn drop(&mut self) {
+        if !self.armed || !std::thread::panicking() {
+            return;
+        }
+        self.shared.panics.fetch_add(1, Ordering::SeqCst);
+        let seq = self.shared.respawn_seq.fetch_add(1, Ordering::SeqCst);
+        let shared = Arc::clone(&self.shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("accelwall-worker-respawn-{seq}"))
+            .spawn(move || worker_loop(&shared));
+        // Register the replacement *before* this thread finishes dying,
+        // so shutdown's join of the dead worker happens-after the push.
+        // If the spawn itself fails (thread exhaustion) there is nothing
+        // useful to do from a Drop mid-unwind; capacity degrades by one
+        // but the panic is still counted and visible in metrics.
+        if let Ok(handle) = spawned {
+            self.shared
+                .respawned
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(handle);
+        }
     }
 }
 
@@ -174,5 +297,48 @@ mod tests {
         );
         gate.wait();
         pool.join();
+    }
+
+    #[test]
+    fn a_panicking_handler_respawns_the_worker_and_counts_the_panic() {
+        let panics = Arc::new(AtomicU64::new(0));
+        let hits = Arc::new(AtomicUsize::new(0));
+        let sink = Arc::clone(&hits);
+        let pool = ThreadPool::with_panic_counter(1, 16, Arc::clone(&panics), move |n: usize| {
+            assert!(n != 0, "injected handler panic");
+            sink.fetch_add(n, Ordering::SeqCst);
+        });
+        // The single worker dies on the first item; the respawned worker
+        // must still drain everything behind it.
+        pool.try_execute(0).unwrap();
+        for _ in 0..8 {
+            pool.try_execute(1).unwrap();
+        }
+        assert_eq!(pool.panics(), panics.load(Ordering::SeqCst));
+        pool.join();
+        assert_eq!(hits.load(Ordering::SeqCst), 8, "queued items all ran");
+        assert_eq!(panics.load(Ordering::SeqCst), 1, "one panic, one respawn");
+    }
+
+    #[test]
+    fn repeated_panics_keep_healing_the_pool() {
+        let panics = Arc::new(AtomicU64::new(0));
+        let hits = Arc::new(AtomicUsize::new(0));
+        let sink = Arc::clone(&hits);
+        let pool = ThreadPool::with_panic_counter(2, 32, Arc::clone(&panics), move |n: usize| {
+            assert!(n != 0, "injected handler panic");
+            sink.fetch_add(1, Ordering::SeqCst);
+        });
+        for round in 0..3 {
+            pool.try_execute(0).unwrap();
+            for _ in 0..4 {
+                pool.try_execute(1).unwrap();
+            }
+            // Let the respawn settle between rounds.
+            std::thread::sleep(Duration::from_millis(20 * (round + 1)));
+        }
+        pool.join();
+        assert_eq!(hits.load(Ordering::SeqCst), 12);
+        assert_eq!(panics.load(Ordering::SeqCst), 3);
     }
 }

@@ -8,7 +8,7 @@
 //! accelwall all [--json]
 //! accelwall dot [WORKLOAD] [--json]
 //! accelwall list [--json]
-//! accelwall serve [--addr HOST:PORT] [--workers N]
+//! accelwall serve [--addr HOST:PORT] [--workers N] [--deadline-ms N]
 //! accelwall lint [--json]
 //! ```
 //!
@@ -24,6 +24,14 @@
 //! computed at most once, `POST /shutdown` for a graceful drain.
 //! `lint` runs the workspace invariant checker (`accelwall-lint`) over
 //! the enclosing checkout and exits non-zero on any finding.
+//!
+//! `serve` also reads the `ACCELWALL_FAULTS` environment variable: a
+//! fault-plan spec (`fig3b:err:2,table5:hang:500ms`, see the
+//! `accelwall-faults` crate) armed before the listener starts, so chaos
+//! tests can provoke failures deterministically. Site names are
+//! validated against the registry roster plus the static probe sites —
+//! a typo fails startup with the full accepted-site list, exactly like
+//! an unknown target.
 //!
 //! Unknown targets *and* unknown flags both fail with a roster-style
 //! error listing everything that would have been accepted.
@@ -42,6 +50,7 @@ const KNOWN_FLAGS: &[(&str, &str)] = &[
     ("--json", "emit the JSON artifact instead of text"),
     ("--addr", "HOST:PORT the server binds (serve only)"),
     ("--workers", "worker thread count (serve only)"),
+    ("--deadline-ms", "compute deadline before 504 (serve only)"),
 ];
 
 /// Parsed command line: positionals plus validated flags.
@@ -52,6 +61,7 @@ struct Args {
     json: bool,
     addr: Option<String>,
     workers: Option<usize>,
+    deadline_ms: Option<u64>,
 }
 
 fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -88,6 +98,16 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
                     }
                     args.workers = Some(workers);
                 }
+                "deadline-ms" => {
+                    let value = value_for("milliseconds")?;
+                    let ms: u64 = value.parse().map_err(|_| {
+                        format!("--deadline-ms needs a positive integer, got {value:?}")
+                    })?;
+                    if ms == 0 {
+                        return Err("--deadline-ms must be at least 1".to_string());
+                    }
+                    args.deadline_ms = Some(ms);
+                }
                 _ => {
                     let known = KNOWN_FLAGS
                         .iter()
@@ -110,8 +130,10 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
     // Flag/command compatibility, so typos fail loudly instead of
     // silently doing the default thing.
     let is_serve = args.target.as_deref() == Some("serve");
-    if !is_serve && (args.addr.is_some() || args.workers.is_some()) {
-        return Err("--addr and --workers only apply to `accelwall serve`".to_string());
+    if !is_serve && (args.addr.is_some() || args.workers.is_some() || args.deadline_ms.is_some()) {
+        return Err(
+            "--addr, --workers, and --deadline-ms only apply to `accelwall serve`".to_string(),
+        );
     }
     if is_serve && args.json {
         return Err("--json does not apply to `accelwall serve`".to_string());
@@ -229,6 +251,27 @@ fn lint(json: bool) -> ExitCode {
     }
 }
 
+/// Parses and arms the `ACCELWALL_FAULTS` plan, if the variable is set.
+///
+/// Site names are validated against the registry's experiment ids plus
+/// the static probe-site roster; a bad spec or unknown site fails
+/// startup with the full accepted list, mirroring the unknown-target
+/// error. Returns the armed plan's canonical summary for the banner.
+fn arm_faults(registry: &Registry) -> Result<Option<String>, String> {
+    let spec = match std::env::var(accelwall_faults::ENV_VAR) {
+        Ok(spec) if !spec.trim().is_empty() => spec,
+        _ => return Ok(None),
+    };
+    let plan = accelwall_faults::FaultPlan::parse(&spec)
+        .map_err(|e| format!("{} is invalid: {e}", accelwall_faults::ENV_VAR))?;
+    plan.validate_sites(&registry.ids())
+        .map_err(|e| format!("{} is invalid: {e}", accelwall_faults::ENV_VAR))?;
+    let summary = plan.summary();
+    accelwall_faults::arm(plan)
+        .map_err(|e| format!("{} could not be armed: {e}", accelwall_faults::ENV_VAR))?;
+    Ok(Some(summary))
+}
+
 /// Starts the long-lived artifact server and blocks until it drains.
 fn serve(registry: Registry, args: &Args) -> ExitCode {
     let config = ServerConfig {
@@ -239,9 +282,20 @@ fn serve(registry: Registry, args: &Args) -> ExitCode {
         workers: args
             .workers
             .unwrap_or_else(|| ServerConfig::default().workers),
+        compute_deadline: args.deadline_ms.map_or_else(
+            || ServerConfig::default().compute_deadline,
+            std::time::Duration::from_millis,
+        ),
         ..ServerConfig::default()
     };
     let workers = config.workers;
+    let armed = match arm_faults(&registry) {
+        Ok(armed) => armed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
     let cache = ArtifactCache::new(registry, Ctx::new());
     let server = match Server::bind(config, cache) {
         Ok(server) => server,
@@ -251,11 +305,15 @@ fn serve(registry: Registry, args: &Args) -> ExitCode {
         }
     };
     // One parseable line so scripts (and the integration tests) can
-    // discover the resolved port when binding to port 0.
+    // discover the resolved port when binding to port 0. Keep it FIRST:
+    // the fault banner below must never displace it.
     println!(
         "accelwall serve listening on http://{} ({workers} workers)",
         server.local_addr()
     );
+    if let Some(plan) = armed {
+        println!("accelwall serve armed fault plan: {plan}");
+    }
     let _ = std::io::stdout().flush();
     match server.run() {
         Ok(()) => {

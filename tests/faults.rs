@@ -1,0 +1,404 @@
+//! Chaos tests of `accelwall serve` under an armed fault plan: injected
+//! transient errors answer 500-with-Retry-After and then recover
+//! byte-identical to the CLI, contained experiment panics never take a
+//! pool worker down, `serve-request` panics kill workers that the pool
+//! respawns, hangs turn into 504s while the compute settles in the
+//! background, and malformed `ACCELWALL_FAULTS` specs abort startup
+//! before the socket binds.
+
+use accelerator_wall::json::Value;
+use accelerator_wall::prelude::Registry;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Comfortably past the cache's default retry backoff (25 ms, 50 ms,
+/// ...) without slowing the suite down.
+const PAST_BACKOFF: Duration = Duration::from_millis(300);
+
+/// A running `accelwall serve` child with a fault plan armed.
+struct ServeProcess {
+    child: Child,
+    addr: String,
+    // Keeps the child's stdout pipe open for its lifetime.
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl ServeProcess {
+    /// Spawns `accelwall serve` with `ACCELWALL_FAULTS=faults`, reads
+    /// the resolved address off the announcement line, and asserts the
+    /// armed-plan line echoes the spec back.
+    fn spawn(faults: &str, extra_args: &[&str]) -> ServeProcess {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_accelwall"))
+            .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+            .args(extra_args)
+            .env("ACCELWALL_FAULTS", faults)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("serve spawns");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut stdout = BufReader::new(stdout);
+        let mut banner = String::new();
+        stdout.read_line(&mut banner).expect("an announcement line");
+        let addr = banner
+            .split("http://")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("no address in banner {banner:?}"))
+            .to_string();
+        let mut armed = String::new();
+        stdout.read_line(&mut armed).expect("an armed-plan line");
+        assert!(
+            armed.contains("armed fault plan:"),
+            "missing armed-plan announcement in {armed:?}"
+        );
+        ServeProcess {
+            child,
+            addr,
+            stdout,
+        }
+    }
+
+    /// Issues `POST /shutdown` and asserts the process drains cleanly.
+    fn shutdown_and_wait(mut self) {
+        let resp = request(&self.addr, "POST", "/shutdown");
+        assert_eq!((resp.status, resp.body.as_str()), (200, "draining\n"));
+        let status = self.child.wait().expect("serve exits");
+        assert!(status.success(), "serve exited {status:?}");
+        let mut rest = String::new();
+        self.stdout
+            .read_to_string(&mut rest)
+            .expect("stdout drains");
+        assert!(
+            rest.contains("drained cleanly"),
+            "missing drain announcement in {rest:?}"
+        );
+    }
+}
+
+impl Drop for ServeProcess {
+    fn drop(&mut self) {
+        // Only reached when an assertion failed mid-test.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One parsed HTTP response.
+struct Resp {
+    status: u16,
+    headers: String,
+    body: String,
+}
+
+impl Resp {
+    /// The value of `name` (case-insensitive), when present.
+    fn header(&self, name: &str) -> Option<String> {
+        let needle = format!("{}:", name.to_ascii_lowercase());
+        self.headers.lines().find_map(|l| {
+            l.to_ascii_lowercase()
+                .starts_with(&needle)
+                .then(|| l[needle.len()..].trim().to_string())
+        })
+    }
+
+    /// The body parsed as JSON.
+    fn json(&self) -> Value {
+        Value::parse(&self.body).unwrap_or_else(|e| panic!("{e} in body:\n{}", self.body))
+    }
+}
+
+/// One exchange; `None` when the server dropped the connection without
+/// answering (what a `serve-request` panic looks like from outside).
+fn try_request(addr: &str, method: &str, path: &str) -> Option<Resp> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_mins(2)))
+        .unwrap();
+    stream
+        .write_all(format!("{method} {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .expect("send");
+    let mut raw = String::new();
+    match stream.read_to_string(&mut raw) {
+        Ok(_) if !raw.is_empty() => {}
+        // EOF with no bytes, or a reset mid-read: dropped.
+        _ => return None,
+    }
+    let status = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {raw:?}"));
+    let (headers, body) = raw
+        .split_once("\r\n\r\n")
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or_default();
+    Some(Resp {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// One exchange that must be answered.
+fn request(addr: &str, method: &str, path: &str) -> Resp {
+    try_request(addr, method, path).unwrap_or_else(|| panic!("{method} {path}: connection dropped"))
+}
+
+fn get(addr: &str, path: &str) -> Resp {
+    request(addr, "GET", path)
+}
+
+/// Pulls one `accelwall_*` metric value out of a `/metrics` body.
+fn metric(metrics: &str, name: &str) -> f64 {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing in:\n{metrics}"))
+}
+
+fn cli_stdout(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_accelwall"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{args:?} failed");
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+/// The ISSUE acceptance scenario: `fig3a:err:2` fails the first two
+/// requests with a retryable 500, degrades `/healthz`, and the third
+/// request (past the backoff) recovers byte-identical to the CLI, with
+/// the retries visible in `/metrics` and no worker casualties.
+#[test]
+fn transient_errors_give_retryable_500s_then_recover_byte_identical() {
+    let serve = ServeProcess::spawn("fig3a:err:2", &[]);
+    let addr = serve.addr.clone();
+
+    let first = get(&addr, "/experiments/fig3a");
+    assert_eq!(first.status, 500, "body:\n{}", first.body);
+    let doc = first.json();
+    assert_eq!(doc.get("target").and_then(Value::as_str), Some("fig3a"));
+    assert_eq!(doc.get("kind").and_then(Value::as_str), Some("injected"));
+    assert_eq!(doc.get("retryable").and_then(Value::as_bool), Some(true));
+    assert!(
+        first.header("retry-after").is_some(),
+        "retryable 500 lacks Retry-After:\n{}",
+        first.headers
+    );
+
+    // The failure shows up in /healthz, but the process stays up.
+    let health = get(&addr, "/healthz");
+    assert_eq!(health.status, 200);
+    let hdoc = health.json();
+    assert_eq!(hdoc.get("status").and_then(Value::as_str), Some("degraded"));
+    let failed = hdoc.get("failed").and_then(Value::as_array).expect("array");
+    assert!(failed
+        .iter()
+        .any(|f| f.get("id").and_then(Value::as_str) == Some("fig3a")));
+
+    thread::sleep(PAST_BACKOFF);
+    let second = get(&addr, "/experiments/fig3a");
+    assert_eq!(second.status, 500, "body:\n{}", second.body);
+
+    thread::sleep(PAST_BACKOFF);
+    let third = get(&addr, "/experiments/fig3a");
+    assert_eq!(third.status, 200, "body:\n{}", third.body);
+    assert_eq!(
+        third.body,
+        cli_stdout(&["fig3a", "--json"]),
+        "recovered artifact differs from the one-shot CLI"
+    );
+
+    let metrics = get(&addr, "/metrics").body;
+    assert_eq!(
+        metric(&metrics, "accelwall_artifact_cache_retries_total"),
+        2.0
+    );
+    assert_eq!(metric(&metrics, "accelwall_worker_panics_total"), 0.0);
+    assert_eq!(metric(&metrics, "accelwall_faults_armed"), 1.0);
+    assert!(
+        metrics.contains("accelwall_fault_injections_total{site=\"fig3a\",kind=\"err\"} 2"),
+        "missing injection counter:\n{metrics}"
+    );
+    // The compute-once invariant, loosened only by the injected retries.
+    let computes = metric(&metrics, "accelwall_artifact_cache_computes_total");
+    let retries = metric(&metrics, "accelwall_artifact_cache_retries_total");
+    assert!(
+        computes <= Registry::paper().len() as f64 + retries,
+        "recomputed a settled artifact: computes={computes} retries={retries}"
+    );
+
+    // Recovery clears the degradation.
+    let hdoc = get(&addr, "/healthz").json();
+    assert_eq!(hdoc.get("status").and_then(Value::as_str), Some("ready"));
+
+    serve.shutdown_and_wait();
+}
+
+/// A panicking experiment is contained on its compute thread: the
+/// request gets a retryable 500, other targets keep serving at full
+/// capacity, no pool worker dies, and the target recovers.
+#[test]
+fn a_panicking_experiment_is_contained_and_other_targets_keep_serving() {
+    let serve = ServeProcess::spawn("fig3a:panic:1", &[]);
+    let addr = serve.addr.clone();
+
+    let failed = get(&addr, "/experiments/fig3a");
+    assert_eq!(failed.status, 500, "body:\n{}", failed.body);
+    let doc = failed.json();
+    assert_eq!(doc.get("kind").and_then(Value::as_str), Some("panic"));
+    assert_eq!(doc.get("retryable").and_then(Value::as_bool), Some(true));
+
+    // Other targets, concurrently, while fig3a sits failed.
+    thread::scope(|scope| {
+        for id in ["fig3b", "fig13"] {
+            let addr = &addr;
+            scope.spawn(move || {
+                let resp = get(addr, &format!("/experiments/{id}"));
+                assert_eq!(resp.status, 200, "{id} body:\n{}", resp.body);
+            });
+        }
+    });
+
+    let metrics = get(&addr, "/metrics").body;
+    assert_eq!(
+        metric(&metrics, "accelwall_artifact_cache_panics_contained_total"),
+        1.0
+    );
+    // The panic died on a compute thread, not a pool worker.
+    assert_eq!(metric(&metrics, "accelwall_worker_panics_total"), 0.0);
+
+    thread::sleep(PAST_BACKOFF);
+    let recovered = get(&addr, "/experiments/fig3a");
+    assert_eq!(recovered.status, 200, "body:\n{}", recovered.body);
+    assert_eq!(recovered.body, cli_stdout(&["fig3a", "--json"]));
+
+    serve.shutdown_and_wait();
+}
+
+/// `serve-request:panic:N` kills the handling worker itself: the client
+/// sees a dropped connection, the pool respawns the worker, and the
+/// server keeps answering afterwards with the panics counted.
+#[test]
+fn worker_panics_drop_the_connection_and_the_pool_respawns() {
+    let serve = ServeProcess::spawn("serve-request:panic:2", &[]);
+    let addr = serve.addr.clone();
+
+    for i in 0..2 {
+        assert!(
+            try_request(&addr, "GET", "/healthz").is_none(),
+            "connection {i} should have died on the injected worker panic"
+        );
+    }
+
+    // Both workers panicked and were respawned; the pool is back at
+    // full capacity and every subsequent request is answered.
+    thread::scope(|scope| {
+        for _ in 0..2 {
+            let addr = &addr;
+            scope.spawn(move || {
+                let resp = get(addr, "/healthz");
+                assert_eq!(resp.status, 200);
+                assert_eq!(
+                    resp.json().get("status").and_then(Value::as_str),
+                    Some("ready")
+                );
+            });
+        }
+    });
+
+    // The panic counter increments while the dead worker unwinds —
+    // after the client already saw its connection drop — so poll
+    // briefly rather than racing the unwind.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let metrics = loop {
+        let metrics = get(&addr, "/metrics").body;
+        if metric(&metrics, "accelwall_worker_panics_total") == 2.0 || Instant::now() > deadline {
+            break metrics;
+        }
+        thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(metric(&metrics, "accelwall_worker_panics_total"), 2.0);
+    assert!(
+        metrics
+            .contains("accelwall_fault_injections_total{site=\"serve-request\",kind=\"panic\"} 2"),
+        "missing injection counter:\n{metrics}"
+    );
+
+    serve.shutdown_and_wait();
+}
+
+/// A hung compute exhausts the request's deadline (504 + Retry-After)
+/// without wedging a slot: the attempt settles in the background and a
+/// later request is served from it, with exactly one compute spent.
+#[test]
+fn a_hung_compute_times_out_with_504_then_settles() {
+    let serve = ServeProcess::spawn("fig3a:hang:600ms", &["--deadline-ms", "150"]);
+    let addr = serve.addr.clone();
+
+    let timed_out = get(&addr, "/experiments/fig3a");
+    assert_eq!(timed_out.status, 504, "body:\n{}", timed_out.body);
+    let doc = timed_out.json();
+    assert_eq!(doc.get("kind").and_then(Value::as_str), Some("timeout"));
+    assert_eq!(doc.get("retryable").and_then(Value::as_bool), Some(true));
+    assert!(timed_out.header("retry-after").is_some());
+
+    // The hung attempt keeps computing; poll until it lands.
+    let deadline = Instant::now() + Duration::from_mins(1);
+    let recovered = loop {
+        thread::sleep(Duration::from_millis(300));
+        let resp = get(&addr, "/experiments/fig3a");
+        if resp.status == 200 {
+            break resp;
+        }
+        assert_eq!(resp.status, 504, "body:\n{}", resp.body);
+        assert!(Instant::now() < deadline, "compute never settled");
+    };
+    assert_eq!(recovered.body, cli_stdout(&["fig3a", "--json"]));
+
+    let metrics = get(&addr, "/metrics").body;
+    assert!(metric(&metrics, "accelwall_artifact_cache_compute_timeouts_total") >= 1.0);
+    // One hang, no failures: the slot settled off a single attempt.
+    assert_eq!(
+        metric(&metrics, "accelwall_artifact_cache_retries_total"),
+        0.0
+    );
+
+    serve.shutdown_and_wait();
+}
+
+/// Malformed or unknown `ACCELWALL_FAULTS` specs abort startup with a
+/// diagnostic instead of silently arming nothing.
+#[test]
+fn invalid_fault_specs_abort_startup() {
+    let spawn_expecting_failure = |spec: &str| -> String {
+        let out = Command::new(env!("CARGO_BIN_EXE_accelwall"))
+            .args(["serve", "--addr", "127.0.0.1:0"])
+            .env("ACCELWALL_FAULTS", spec)
+            .output()
+            .expect("binary runs");
+        assert!(
+            !out.status.success(),
+            "serve accepted ACCELWALL_FAULTS={spec:?}"
+        );
+        String::from_utf8_lossy(&out.stderr).into_owned()
+    };
+
+    let err = spawn_expecting_failure("total-nonsense");
+    assert!(err.contains("ACCELWALL_FAULTS is invalid"), "{err}");
+
+    let err = spawn_expecting_failure("no-such-site:err:1");
+    assert!(err.contains("no-such-site"), "{err}");
+
+    let err = spawn_expecting_failure("fig3a:wobble:1");
+    assert!(err.contains("wobble"), "{err}");
+
+    let err = spawn_expecting_failure("fig3a:hang:oops");
+    assert!(err.contains("oops"), "{err}");
+}

@@ -69,6 +69,7 @@ fn json_report_round_trips_with_the_rule_roster() {
             "float-hygiene",
             "no-exit-in-lib",
             "doc-sync",
+            "fault-sites",
         ]
     );
     for rule in doc.get("rules").and_then(Value::as_array).unwrap() {

@@ -252,7 +252,14 @@ fn error_responses_derive_from_the_registry() {
     let addr = serve.addr.clone();
 
     let (status, body) = get(&addr, "/healthz");
-    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    assert_eq!(status, 200);
+    let health = Value::parse(&body).expect("healthz is JSON");
+    assert_eq!(health.get("status").and_then(Value::as_str), Some("ready"));
+    assert!(health
+        .get("failed")
+        .and_then(Value::as_array)
+        .expect("failed array")
+        .is_empty());
 
     // Unknown id: the 404 body is the CLI's roster-carrying error.
     let (status, body) = get(&addr, "/experiments/fig99");
