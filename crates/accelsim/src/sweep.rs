@@ -75,15 +75,24 @@ pub struct SweepPoint {
 
 /// Runs the sweep over `dfg`, one [`SweepPoint`] per configuration.
 ///
+/// Design points are independent, so they are evaluated across the
+/// `accelwall-par` pool; each result lands at its configuration's index,
+/// which keeps the output — and, on error, *which* error surfaces (the
+/// first in configuration order) — identical to the serial loop.
+///
 /// # Errors
 ///
 /// Propagates the first simulation error (an invalid hand-built space or an
 /// empty graph).
 pub fn run_sweep(dfg: &Dfg, space: &SweepSpace) -> Result<Vec<SweepPoint>> {
-    space
-        .configs()
-        .map(|config| simulate(dfg, &config).map(|report| SweepPoint { config, report }))
-        .collect()
+    let configs: Vec<DesignConfig> = space.configs().collect();
+    let dfg = std::sync::Arc::new(dfg.clone());
+    accelwall_par::par_map(configs.len(), move |i| {
+        let config = configs[i];
+        simulate(&dfg, &config).map(|report| SweepPoint { config, report })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// The sweep point with the best energy efficiency (the Fig. 13 annotated

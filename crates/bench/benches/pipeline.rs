@@ -1,0 +1,189 @@
+//! Serial-versus-parallel baseline for the whole compute pipeline.
+//!
+//! The `accelwall-par` pool freezes its size the first time any kernel
+//! touches it, so one process cannot honestly time both configurations.
+//! This bench therefore re-executes itself: the parent spawns two child
+//! copies of this binary — one pinned to `ACCELWALL_THREADS=1`, one to
+//! `ACCELWALL_THREADS=4` — and each child times the four accelerated
+//! kernels cold plus a full `accelwall all` replica, reporting one flat
+//! JSON line the parent folds into the final document.
+//!
+//! Measured per configuration:
+//!
+//! 1. **cold `all`** — `Registry::paper().run_all` on a fresh `Ctx`
+//!    (the number the `--threads` flag exists to improve);
+//! 2. **corpus** — `CorpusSpec::paper_scale().generate()`, the chunked
+//!    deterministic RNG streams;
+//! 3. **fit** — the log-log regressions over the generated corpus;
+//! 4. **sweep** — one workload's design-space sweep on the paper grid;
+//! 5. **sensitivity** — the ±20 % wall-sensitivity grid, every domain.
+//!
+//! The output also carries a `quick_*` section (coarse sweep space) so
+//! CI can re-measure the serial/parallel ratio in seconds; the
+//! `bench-smoke` job fails when that ratio regresses more than 25 %
+//! against the committed baseline. Speedups are ratios of same-machine
+//! runs, so the gate is portable across core counts; `cores` records
+//! what the baseline machine offered (a single-core box reports a
+//! speedup near 1.0 by construction). `BENCH_pipeline.json` at the repo
+//! root records a baseline run (`cargo bench -p accelwall-bench --bench
+//! pipeline > BENCH_pipeline.json`).
+
+use accelerator_wall::json::Value;
+use accelerator_wall::prelude::*;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+/// Pool sizes the parent pins into the two child processes.
+const SERIAL_THREADS: usize = 1;
+const PARALLEL_THREADS: usize = 4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if let Some(i) = args.iter().position(|a| a == "--child") {
+        let mode = args.get(i + 1).map_or("full", String::as_str);
+        child(mode);
+        return;
+    }
+    parent(quick);
+}
+
+/// Spawn one pinned copy of this binary and parse its JSON report.
+fn child_report(mode: &str, threads: usize) -> Value {
+    let exe = std::env::current_exe().expect("bench exe path");
+    let out = Command::new(exe)
+        .args(["--child", mode])
+        .env(accelwall_par::THREADS_ENV, threads.to_string())
+        .output()
+        .expect("child bench runs");
+    assert!(
+        out.status.success(),
+        "child ({mode}, {threads} threads) failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    Value::parse(&String::from_utf8_lossy(&out.stdout)).expect("child emits JSON")
+}
+
+fn field(report: &Value, key: &str) -> f64 {
+    report
+        .get(key)
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| panic!("child report missing {key}"))
+}
+
+fn parent(quick: bool) {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let quick_serial = child_report("quick", SERIAL_THREADS);
+    let quick_parallel = child_report("quick", PARALLEL_THREADS);
+    let (qs, qp) = (
+        field(&quick_serial, "all_ms"),
+        field(&quick_parallel, "all_ms"),
+    );
+
+    println!("{{");
+    println!("  \"bench\": \"pipeline\",");
+    println!("  \"cores\": {cores},");
+    println!("  \"threads_serial\": {SERIAL_THREADS},");
+    println!("  \"threads_parallel\": {PARALLEL_THREADS},");
+    println!("  \"quick_all_serial_ms\": {qs:.3},");
+    println!("  \"quick_all_parallel_ms\": {qp:.3},");
+    if quick {
+        println!("  \"quick_all_speedup\": {:.3}", qs / qp);
+        println!("}}");
+        return;
+    }
+    println!("  \"quick_all_speedup\": {:.3},", qs / qp);
+
+    let serial = child_report("full", SERIAL_THREADS);
+    let parallel = child_report("full", PARALLEL_THREADS);
+    for kernel in ["all", "corpus", "fit", "sweep", "sensitivity"] {
+        let key = format!("{kernel}_ms");
+        let (s, p) = (field(&serial, &key), field(&parallel, &key));
+        println!("  \"{kernel}_serial_ms\": {s:.3},");
+        println!("  \"{kernel}_parallel_ms\": {p:.3},");
+        println!("  \"{kernel}_speedup\": {:.3},", s / p);
+    }
+    let (s, p) = (field(&serial, "all_ms"), field(&parallel, "all_ms"));
+    println!(
+        "  \"all_speedup_at_{PARALLEL_THREADS}_threads\": {:.3}",
+        s / p
+    );
+    println!("}}");
+}
+
+/// One pinned configuration: time every kernel, report a flat JSON line.
+fn child(mode: &str) {
+    if mode == "quick" {
+        let start = Instant::now();
+        run_all_with(Ctx::with_space(SweepSpace::coarse()));
+        println!("{{ \"all_ms\": {:.3} }}", ms(start.elapsed()));
+        return;
+    }
+
+    // Kernels first, each on fresh inputs (no Ctx memoization in play),
+    // then the end-to-end run. Means over repeats keep the small kernels
+    // out of timer noise; the sweep and `all` are single-shot.
+    const REPEATS: u32 = 10;
+    let corpus_ms = timed(REPEATS, || {
+        std::hint::black_box(CorpusSpec::paper_scale().generate().len());
+    });
+
+    let corpus = CorpusSpec::paper_scale().generate();
+    let fit_ms = timed(REPEATS, || {
+        let fit = accelerator_wall::chipdb::fit::transistor_density_fit(&corpus).expect("fit");
+        std::hint::black_box(fit.exponent);
+        for &group in NodeGroup::all() {
+            if let Ok(tdp) = accelerator_wall::chipdb::fit::tdp_fit(&corpus, group) {
+                std::hint::black_box(tdp.exponent);
+            }
+        }
+    });
+
+    let dfg = Workload::all()[0].default_instance();
+    let sweep_start = Instant::now();
+    let points = run_sweep(&dfg, &SweepSpace::table3()).expect("sweep");
+    let sweep_ms = ms(sweep_start.elapsed());
+    std::hint::black_box(points.len());
+
+    let sensitivity_ms = timed(REPEATS, || {
+        for &domain in Domain::all() {
+            for metric in [TargetMetric::Performance, TargetMetric::EnergyEfficiency] {
+                let rows =
+                    accelerator_wall::projection::sensitivity::wall_sensitivity(domain, metric)
+                        .expect("sensitivity");
+                std::hint::black_box(rows.len());
+            }
+        }
+    });
+
+    let all_start = Instant::now();
+    run_all_with(Ctx::new());
+    let all_ms = ms(all_start.elapsed());
+
+    println!(
+        "{{ \"all_ms\": {all_ms:.3}, \"corpus_ms\": {corpus_ms:.3}, \"fit_ms\": {fit_ms:.3}, \
+         \"sweep_ms\": {sweep_ms:.3}, \"sensitivity_ms\": {sensitivity_ms:.3} }}"
+    );
+}
+
+/// In-process replica of `accelwall all`: every registry target, and
+/// every one of them must succeed for the timing to count.
+fn run_all_with(ctx: Ctx) {
+    let results = Registry::paper().run_all(&ctx).expect("scheduling");
+    for (id, r) in &results {
+        assert!(r.is_ok(), "{id} failed during bench");
+    }
+    std::hint::black_box(results.len());
+}
+
+fn timed(repeats: u32, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..repeats {
+        f();
+    }
+    ms(start.elapsed() / repeats)
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}

@@ -55,17 +55,48 @@ impl CorpusSpec {
     }
 
     /// Generates the corpus deterministically from the seed.
+    ///
+    /// Records are produced in fixed chunks of [`GENERATE_CHUNK`], each
+    /// drawing from its own RNG stream seeded by `(seed, chunk index)` —
+    /// not by call order — so the corpus is a pure function of the spec
+    /// whether the chunks run serially or across the `accelwall-par`
+    /// pool. The record at position `i` is a CPU for `i < cpus`, a GPU
+    /// otherwise.
     pub fn generate(&self) -> Vec<ChipRecord> {
-        let mut rng = Rng::seed(self.seed);
-        let mut records = Vec::with_capacity(self.cpus + self.gpus);
-        for i in 0..self.cpus {
-            records.push(synthesize(&mut rng, ChipKind::Cpu, i, self.log_noise_sigma));
-        }
-        for i in 0..self.gpus {
-            records.push(synthesize(&mut rng, ChipKind::Gpu, i, self.log_noise_sigma));
-        }
-        records
+        let total = self.cpus + self.gpus;
+        let spec = self.clone();
+        accelwall_par::par_chunks(total, GENERATE_CHUNK, move |range| {
+            let chunk = range.start / GENERATE_CHUNK;
+            let mut rng = Rng::seed(chunk_stream_seed(spec.seed, chunk as u64));
+            range
+                .map(|i| {
+                    if i < spec.cpus {
+                        synthesize(&mut rng, ChipKind::Cpu, i, spec.log_noise_sigma)
+                    } else {
+                        synthesize(&mut rng, ChipKind::Gpu, i - spec.cpus, spec.log_noise_sigma)
+                    }
+                })
+                .collect::<Vec<ChipRecord>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
+}
+
+/// Records per RNG stream. This constant is part of the corpus
+/// definition: changing it re-seeds every stream and therefore changes
+/// every record (pinned by `paper_scale_corpus_is_pinned` below), so it
+/// must not be retuned casually.
+pub const GENERATE_CHUNK: usize = 64;
+
+/// Derives the RNG seed of one generation chunk from the corpus seed.
+/// A SplitMix64-style finalizer decorrelates adjacent chunk indices.
+fn chunk_stream_seed(seed: u64, chunk: u64) -> u64 {
+    let mut z = seed ^ chunk.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Default for CorpusSpec {
@@ -191,6 +222,33 @@ mod tests {
             assert!(r.freq_mhz > 100.0 && r.freq_mhz < 9000.0, "{r:?}");
             assert!((1999..=2018).contains(&r.year), "{r:?}");
         }
+    }
+
+    #[test]
+    fn paper_scale_corpus_is_pinned() {
+        // Guards the per-chunk seed derivation: retuning GENERATE_CHUNK
+        // or chunk_stream_seed would silently regenerate every record,
+        // shifting every corpus-derived figure. The first and last
+        // paper-scale records are pinned bit-exactly.
+        let corpus = CorpusSpec::paper_scale().generate();
+        let first = &corpus[0];
+        assert_eq!(first.name, "CPU-0000");
+        assert_eq!(first.kind, ChipKind::Cpu);
+        assert_eq!(first.node, TechNode::N45);
+        assert_eq!(first.die_area_mm2, 206.926_879_298_365_12);
+        assert_eq!(first.transistors, 507_994_917.472_838_4);
+        assert_eq!(first.tdp_w, 110.600_189_537_557_71);
+        assert_eq!(first.freq_mhz, 2_083.416_772_185_071_3);
+        assert_eq!(first.year, 2005);
+        let last = &corpus[corpus.len() - 1];
+        assert_eq!(last.name, "GPU-1000");
+        assert_eq!(last.kind, ChipKind::Gpu);
+        assert_eq!(last.node, TechNode::N14);
+        assert_eq!(last.die_area_mm2, 377.415_754_644_541_15);
+        assert_eq!(last.transistors, 10_891_732_509.756_414);
+        assert_eq!(last.tdp_w, 378.714_909_762_174_8);
+        assert_eq!(last.freq_mhz, 1_221.570_554_461_746_7);
+        assert_eq!(last.year, 2009);
     }
 
     #[test]

@@ -2,8 +2,58 @@
 
 use crate::ChipRecord;
 use accelwall_cmos::TechNode;
-use accelwall_stats::{PowerLaw, Result, StatsError};
+use accelwall_stats::{PowerLaw, RegressionSums, Result, StatsError};
 use std::fmt;
+use std::sync::Arc;
+
+/// Observations per accumulation chunk of the parallel log-log fits.
+/// Fixed so the partial-sum tree — and therefore every fitted
+/// coefficient bit — is independent of thread count.
+const FIT_CHUNK: usize = 256;
+
+/// OLS power-law fit `y = c · x^e` with the log-space sums accumulated
+/// in parallel chunks and combined by a tree reduction. The chunking is
+/// fixed ([`FIT_CHUNK`]), so the result is deterministic across thread
+/// counts; it agrees with [`PowerLaw::fit`] up to float rounding.
+fn power_law_fit_par(xs: Vec<f64>, ys: Vec<f64>) -> Result<PowerLaw> {
+    let n = xs.len();
+    let xs = Arc::new(xs);
+    let ys = Arc::new(ys);
+    let folded = accelwall_par::par_map_reduce(
+        n,
+        FIT_CHUNK,
+        move |range| {
+            let mut sums = RegressionSums::default();
+            let mut nonpositive = false;
+            for i in range {
+                if xs[i] <= 0.0 || ys[i] <= 0.0 {
+                    nonpositive = true;
+                } else {
+                    sums.push(xs[i].ln(), ys[i].ln());
+                }
+            }
+            (sums, nonpositive)
+        },
+        |(a, a_bad), (b, b_bad)| (a.merge(b), a_bad || b_bad),
+    );
+    let Some((sums, nonpositive)) = folded else {
+        return Err(StatsError::NotEnoughData {
+            provided: 0,
+            required: 2,
+        });
+    };
+    if nonpositive {
+        return Err(StatsError::DomainViolation {
+            what: "power-law fit requires strictly positive x and y",
+        });
+    }
+    let line = sums.linear()?;
+    Ok(PowerLaw {
+        coefficient: line.intercept.exp(),
+        exponent: line.slope,
+        r_squared: line.r_squared,
+    })
+}
 
 /// The paper's published Fig. 3b fit: `TC(D) = 4.99e9 · D^0.877`.
 pub const PAPER_TC_COEFFICIENT: f64 = 4.99e9;
@@ -27,7 +77,7 @@ pub static PAPER_TC_LAW: PowerLaw = PowerLaw {
 pub fn transistor_density_fit(corpus: &[ChipRecord]) -> Result<PowerLaw> {
     let ds: Vec<f64> = corpus.iter().map(ChipRecord::density_factor).collect();
     let tcs: Vec<f64> = corpus.iter().map(|r| r.transistors).collect();
-    PowerLaw::fit(&ds, &tcs)
+    power_law_fit_par(ds, tcs)
 }
 
 /// The four node groups of Fig. 3c, newest first as in the figure legend.
@@ -143,7 +193,7 @@ pub fn tdp_fit(corpus: &[ChipRecord], group: NodeGroup) -> Result<PowerLaw> {
     }
     let tdps: Vec<f64> = members.iter().map(|r| r.tdp_w).collect();
     let caps: Vec<f64> = members.iter().map(|r| r.switching_capacity()).collect();
-    PowerLaw::fit(&tdps, &caps)
+    power_law_fit_par(tdps, caps)
 }
 
 #[cfg(test)]

@@ -9,6 +9,42 @@
 
 use crate::ChipRecord;
 use accelwall_stats::{Linear, Result, StatsError};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Records per chunk of the parallel frontier accumulation. The merge
+/// (per-year max) is exact and associative, so this constant only
+/// shapes scheduling — any value yields the identical frontier.
+const TREND_CHUNK: usize = 256;
+
+/// Builds the per-year frontier `year -> max value(record)` with the
+/// accumulation split across chunks and tree-reduced.
+fn year_frontier<F>(corpus: &[ChipRecord], value: F) -> BTreeMap<u32, f64>
+where
+    F: Fn(&ChipRecord) -> f64,
+{
+    let pairs: Arc<Vec<(u32, f64)>> = Arc::new(corpus.iter().map(|r| (r.year, value(r))).collect());
+    accelwall_par::par_map_reduce(
+        pairs.len(),
+        TREND_CHUNK,
+        move |range| {
+            let mut frontier = BTreeMap::new();
+            for &(year, v) in &pairs[range] {
+                let e = frontier.entry(year).or_insert(0.0f64);
+                *e = e.max(v);
+            }
+            frontier
+        },
+        |mut left, right| {
+            for (year, v) in right {
+                let e = left.entry(year).or_insert(0.0f64);
+                *e = e.max(v);
+            }
+            left
+        },
+    )
+    .unwrap_or_default()
+}
 
 /// An exponential trend `value = a · 2^((year − year₀) / doubling_years)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,13 +66,8 @@ pub struct ExponentialTrend {
 pub fn moores_law(corpus: &[ChipRecord]) -> Result<ExponentialTrend> {
     // Use the per-year *maximum* transistor count: Moore's law tracks the
     // frontier, not the median product.
-    let mut frontier: std::collections::BTreeMap<u32, f64> = std::collections::BTreeMap::new();
-    for r in corpus {
-        let e = frontier.entry(r.year).or_insert(0.0);
-        *e = e.max(r.transistors);
-    }
     fit_exponential(
-        frontier
+        year_frontier(corpus, |r| r.transistors)
             .into_iter()
             .map(|(y, tc)| (f64::from(y), tc))
             .collect(),
@@ -49,13 +80,8 @@ pub fn moores_law(corpus: &[ChipRecord]) -> Result<ExponentialTrend> {
 ///
 /// Same as [`moores_law`].
 pub fn capacity_trend(corpus: &[ChipRecord]) -> Result<ExponentialTrend> {
-    let mut frontier: std::collections::BTreeMap<u32, f64> = std::collections::BTreeMap::new();
-    for r in corpus {
-        let e = frontier.entry(r.year).or_insert(0.0);
-        *e = e.max(r.switching_capacity());
-    }
     fit_exponential(
-        frontier
+        year_frontier(corpus, ChipRecord::switching_capacity)
             .into_iter()
             .map(|(y, c)| (f64::from(y), c))
             .collect(),

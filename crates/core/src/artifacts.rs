@@ -352,19 +352,19 @@ impl ArtifactCache {
         }
     }
 
-    /// Runs one attempt on a dedicated thread so a panic or a hang is
-    /// contained there, never on the requester (a server worker).
+    /// Runs one attempt off the requester's thread so a panic or a hang
+    /// is contained there, never on a server worker. Attempts go through
+    /// the shared `accelwall-par` detached-spawn helper, which parks and
+    /// reuses carrier threads — retries under backoff no longer churn a
+    /// fresh OS thread each attempt. If no carrier can be obtained the
+    /// helper runs the attempt inline; containment still holds
+    /// (`catch_unwind`), only the deadline degrades to best-effort.
     fn spawn_attempt(&self, index: usize, prior_failures: u32) {
         self.inner.computes.fetch_add(1, Ordering::Relaxed);
         let inner = Arc::clone(&self.inner);
-        let spawned = std::thread::Builder::new()
-            .name(format!("accelwall-compute-{index}"))
-            .spawn(move || run_attempt(&inner, index, prior_failures));
-        if spawned.is_err() {
-            // Out of threads: run inline. Containment still holds
-            // (catch_unwind), only the deadline degrades to best-effort.
-            run_attempt(&self.inner, index, prior_failures);
-        }
+        accelwall_par::spawn_detached(&format!("accelwall-compute-{index}"), move || {
+            run_attempt(&inner, index, prior_failures);
+        });
     }
 
     /// Snapshot of the counters.

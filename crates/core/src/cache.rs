@@ -14,6 +14,7 @@ use std::sync::OnceLock;
 
 use accelwall_accelsim::{run_sweep, SweepPoint, SweepSpace};
 use accelwall_chipdb::{fit, ChipRecord, CorpusSpec};
+use accelwall_dfg::Dfg;
 use accelwall_potential::PotentialModel;
 use accelwall_stats::PowerLaw;
 use accelwall_workloads::Workload;
@@ -31,6 +32,7 @@ pub struct Ctx {
     density_fit: OnceLock<Result<PowerLaw>>,
     model: OnceLock<PotentialModel>,
     sweeps: Vec<OnceLock<Result<Vec<SweepPoint>>>>,
+    dfgs: Vec<OnceLock<Dfg>>,
     corpus_computes: AtomicUsize,
     corpus_requests: AtomicUsize,
     fit_computes: AtomicUsize,
@@ -39,6 +41,8 @@ pub struct Ctx {
     model_requests: AtomicUsize,
     sweep_computes: AtomicUsize,
     sweep_requests: AtomicUsize,
+    dfg_computes: AtomicUsize,
+    dfg_requests: AtomicUsize,
 }
 
 /// A snapshot of the compute/request counters of a [`Ctx`].
@@ -66,6 +70,10 @@ pub struct CtxCounters {
     pub sweep_computes: usize,
     /// Times [`Ctx::sweep`] was called.
     pub sweep_requests: usize,
+    /// Workload DFGs actually lowered.
+    pub dfg_computes: usize,
+    /// Times [`Ctx::dfg`] was called.
+    pub dfg_requests: usize,
 }
 
 impl Ctx {
@@ -83,6 +91,7 @@ impl Ctx {
             density_fit: OnceLock::new(),
             model: OnceLock::new(),
             sweeps: Workload::all().iter().map(|_| OnceLock::new()).collect(),
+            dfgs: Workload::all().iter().map(|_| OnceLock::new()).collect(),
             corpus_computes: AtomicUsize::new(0),
             corpus_requests: AtomicUsize::new(0),
             fit_computes: AtomicUsize::new(0),
@@ -91,6 +100,8 @@ impl Ctx {
             model_requests: AtomicUsize::new(0),
             sweep_computes: AtomicUsize::new(0),
             sweep_requests: AtomicUsize::new(0),
+            dfg_computes: AtomicUsize::new(0),
+            dfg_requests: AtomicUsize::new(0),
         }
     }
 
@@ -149,12 +160,35 @@ impl Ctx {
             })?;
         slot.get_or_init(|| {
             self.sweep_computes.fetch_add(1, Ordering::Relaxed);
-            run_sweep(&workload.default_instance(), &self.sweep_space)
-                .context(format!("sweeping {}", workload.abbrev()))
+            self.dfg(workload).and_then(|dfg| {
+                run_sweep(dfg, &self.sweep_space).context(format!("sweeping {}", workload.abbrev()))
+            })
         })
         .as_ref()
         .map(Vec::as_slice)
         .map_err(Clone::clone)
+    }
+
+    /// The memoized DFG lowering of `workload` (its default instance).
+    /// Shared by the sweep and attribution paths so the graph is built
+    /// once per process instead of once per caller.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownWorkload`] for a workload outside the roster.
+    pub fn dfg(&self, workload: Workload) -> Result<&Dfg> {
+        self.dfg_requests.fetch_add(1, Ordering::Relaxed);
+        let slot = Workload::all()
+            .iter()
+            .position(|&w| w == workload)
+            .and_then(|i| self.dfgs.get(i))
+            .ok_or_else(|| Error::UnknownWorkload {
+                name: format!("{workload:?}"),
+            })?;
+        Ok(slot.get_or_init(|| {
+            self.dfg_computes.fetch_add(1, Ordering::Relaxed);
+            workload.default_instance()
+        }))
     }
 
     /// Snapshot of the compute/request counters.
@@ -168,6 +202,8 @@ impl Ctx {
             model_requests: self.model_requests.load(Ordering::Relaxed),
             sweep_computes: self.sweep_computes.load(Ordering::Relaxed),
             sweep_requests: self.sweep_requests.load(Ordering::Relaxed),
+            dfg_computes: self.dfg_computes.load(Ordering::Relaxed),
+            dfg_requests: self.dfg_requests.load(Ordering::Relaxed),
         }
     }
 }

@@ -76,40 +76,53 @@ pub struct Sensitivity {
 /// Propagates projection errors.
 pub fn wall_sensitivity(domain: Domain, metric: TargetMetric) -> Result<Vec<Sensitivity>> {
     let base_limits = domain.limits();
-    let wall_at = |limits: DomainLimits| -> Result<f64> {
-        let input = projection_input_with(domain, metric, limits)?;
-        match project(&input) {
-            Ok(w) => Ok(w.linear_wall),
-            // A perturbation can push the 5 nm limit below a chip that
-            // already ships (e.g. −20% TDP vs an efficiency-binned part):
-            // the wall is then simply today's best.
-            Err(crate::ProjectionError::LimitInsideData { .. }) => Ok(input
-                .points
-                .iter()
-                .map(|p| p.1)
-                .fold(f64::NEG_INFINITY, f64::max)),
-            Err(e) => Err(e),
-        }
-    };
-    let wall_base = wall_at(base_limits)?;
-    Parameter::all()
-        .iter()
-        .map(|&parameter| {
-            let wall_minus = wall_at(parameter.apply(base_limits, 0.8))?;
-            let wall_plus = wall_at(parameter.apply(base_limits, 1.2))?;
-            let elasticity = (wall_plus.max(1e-12).ln() - wall_minus.max(1e-12).ln())
-                / (1.2f64.ln() - 0.8f64.ln());
-            Ok(Sensitivity {
-                domain,
-                metric,
-                parameter,
-                wall_minus,
-                wall_base,
-                wall_plus,
-                elasticity,
-            })
-        })
-        .collect()
+    let wall_base = wall_at(domain, metric, base_limits)?;
+    // The ±20% grid is six independent projections (3 parameters × 2
+    // directions); evaluate them across the `accelwall-par` pool. Results
+    // land at their grid index, so both the rows and — on failure — the
+    // surfaced error match the serial parameter order.
+    let walls = accelwall_par::par_map(Parameter::all().len() * 2, move |i| {
+        let parameter = Parameter::all()[i / 2];
+        let factor = if i % 2 == 0 { 0.8 } else { 1.2 };
+        wall_at(domain, metric, parameter.apply(base_limits, factor))
+    });
+    let mut walls = walls.into_iter();
+    let mut rows = Vec::with_capacity(Parameter::all().len());
+    for &parameter in Parameter::all() {
+        let (Some(minus), Some(plus)) = (walls.next(), walls.next()) else {
+            unreachable!("the grid yields two walls per parameter")
+        };
+        let (wall_minus, wall_plus) = (minus?, plus?);
+        let elasticity =
+            (wall_plus.max(1e-12).ln() - wall_minus.max(1e-12).ln()) / (1.2f64.ln() - 0.8f64.ln());
+        rows.push(Sensitivity {
+            domain,
+            metric,
+            parameter,
+            wall_minus,
+            wall_base,
+            wall_plus,
+            elasticity,
+        });
+    }
+    Ok(rows)
+}
+
+/// Projects one wall under perturbed limits.
+fn wall_at(domain: Domain, metric: TargetMetric, limits: DomainLimits) -> Result<f64> {
+    let input = projection_input_with(domain, metric, limits)?;
+    match project(&input) {
+        Ok(w) => Ok(w.linear_wall),
+        // A perturbation can push the 5 nm limit below a chip that
+        // already ships (e.g. −20% TDP vs an efficiency-binned part):
+        // the wall is then simply today's best.
+        Err(crate::ProjectionError::LimitInsideData { .. }) => Ok(input
+            .points
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::NEG_INFINITY, f64::max)),
+        Err(e) => Err(e),
+    }
 }
 
 #[cfg(test)]

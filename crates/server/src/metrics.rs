@@ -17,7 +17,12 @@
 //!    panic / compute-timeout counters, and — when a fault plan is armed
 //!    via `ACCELWALL_FAULTS` — one `accelwall_fault_injections_total`
 //!    line per armed site, so chaos tests assert injection coverage from
-//!    the same endpoint operators scrape.
+//!    the same endpoint operators scrape;
+//! 5. compute-pool gauges from `accelwall-par`: `accelwall_par_workers`
+//!    (live pool threads), `accelwall_par_jobs_total` (parallel jobs
+//!    run), and `accelwall_par_steals_total` (chunk batches taken by a
+//!    worker rather than the submitting thread) — how much intra-
+//!    experiment parallelism the serving process is actually getting.
 //!
 //! Route labels are normalized (`/experiments/fig14` reports as
 //! `/experiments/{id}`) so label cardinality stays bounded no matter
@@ -254,9 +259,25 @@ impl Metrics {
             ("model_requests", ctx.model_requests),
             ("sweep_computes", ctx.sweep_computes),
             ("sweep_requests", ctx.sweep_requests),
+            ("dfg_computes", ctx.dfg_computes),
+            ("dfg_requests", ctx.dfg_requests),
         ] {
             let _ = writeln!(out, "accelwall_ctx_{name} {value}");
         }
+        out.push_str("# TYPE accelwall_par_workers gauge\n");
+        let _ = writeln!(out, "accelwall_par_workers {}", accelwall_par::workers());
+        out.push_str("# TYPE accelwall_par_jobs_total counter\n");
+        let _ = writeln!(
+            out,
+            "accelwall_par_jobs_total {}",
+            accelwall_par::jobs_total()
+        );
+        out.push_str("# TYPE accelwall_par_steals_total counter\n");
+        let _ = writeln!(
+            out,
+            "accelwall_par_steals_total {}",
+            accelwall_par::steals_total()
+        );
         out
     }
 }
@@ -298,6 +319,8 @@ mod tests {
             model_requests: 2,
             sweep_computes: 0,
             sweep_requests: 0,
+            dfg_computes: 0,
+            dfg_requests: 0,
         }
     }
 
@@ -340,6 +363,19 @@ mod tests {
         assert!(text.contains("accelwall_artifact_cache_compute_timeouts_total 6"));
         assert!(text.contains("accelwall_ctx_corpus_computes 1"));
         assert!(text.contains("accelwall_ctx_sweep_requests 0"));
+        assert!(text.contains("accelwall_ctx_dfg_computes 0"));
+    }
+
+    #[test]
+    fn render_exposes_the_compute_pool_series() {
+        let text = Metrics::new().render(empty_stats(), empty_ctx());
+        for series in [
+            "accelwall_par_workers ",
+            "accelwall_par_jobs_total ",
+            "accelwall_par_steals_total ",
+        ] {
+            assert!(text.contains(series), "missing {series}");
+        }
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod rng;
 pub use descriptive::{geomean, mean, median, quantile, stddev, variance};
 pub use matrix::Matrix;
 pub use pareto::{pareto_frontier, ParetoPoint};
-pub use regression::{Linear, LogLinear, Polynomial, PowerLaw};
+pub use regression::{Linear, LogLinear, Polynomial, PowerLaw, RegressionSums};
 pub use rng::Rng;
 
 use std::error::Error;

@@ -126,6 +126,101 @@ impl Linear {
     }
 }
 
+/// Mergeable OLS accumulator: the sufficient statistics of a linear fit
+/// (`n, Σx, Σy, Σx², Σy², Σxy`), built so regression accumulation can be
+/// split across chunks and combined with a tree reduction. `merge` is
+/// exact over the underlying sums, so a fixed chunking yields the same
+/// fit no matter how many threads accumulated the partials.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RegressionSums {
+    /// Number of observations accumulated.
+    pub n: usize,
+    sx: f64,
+    sy: f64,
+    sxx: f64,
+    syy: f64,
+    sxy: f64,
+}
+
+impl RegressionSums {
+    /// Accumulates one observation.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.n += 1;
+        self.sx += x;
+        self.sy += y;
+        self.sxx += x * x;
+        self.syy += y * y;
+        self.sxy += x * y;
+    }
+
+    /// Combines two partial accumulations (commutative and associative).
+    pub fn merge(self, other: Self) -> Self {
+        RegressionSums {
+            n: self.n + other.n,
+            sx: self.sx + other.sx,
+            sy: self.sy + other.sy,
+            sxx: self.sxx + other.sxx,
+            syy: self.syy + other.syy,
+            sxy: self.sxy + other.sxy,
+        }
+    }
+
+    /// Solves the accumulated normal equations into a [`Linear`] fit.
+    ///
+    /// The estimates agree with [`Linear::fit`] up to float rounding
+    /// (the residual sum of squares is derived algebraically from the
+    /// sums instead of a second pass over the data).
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::NotEnoughData`] below 2 observations,
+    /// [`StatsError::NonFinite`] when the sums overflowed or saw a
+    /// NaN, and [`StatsError::Singular`] when all x values coincide.
+    pub fn linear(&self) -> Result<Linear> {
+        if self.n < 2 {
+            return Err(StatsError::NotEnoughData {
+                provided: self.n,
+                required: 2,
+            });
+        }
+        let finite = [self.sx, self.sy, self.sxx, self.syy, self.sxy];
+        if finite.iter().any(|v| !v.is_finite()) {
+            return Err(StatsError::NonFinite);
+        }
+        let n = self.n as f64;
+        let denom = n * self.sxx - self.sx * self.sx;
+        if denom.abs() < 1e-12 * n * n {
+            return Err(StatsError::Singular);
+        }
+        let slope = (n * self.sxy - self.sx * self.sy) / denom;
+        let intercept = (self.sy - slope * self.sx) / n;
+        let mean_x = self.sx / n;
+        let mean_y = self.sy / n;
+        let sxx_centered = self.sxx - n * mean_x * mean_x;
+        let sxy_centered = self.sxy - n * mean_x * mean_y;
+        // Both centered sums of squares are non-negative analytically;
+        // clamp the tiny negative values float cancellation can leave.
+        let ss_tot = (self.syy - n * mean_y * mean_y).max(0.0);
+        let ss_res = (ss_tot - slope * sxy_centered).max(0.0);
+        let r_squared = if ss_tot <= 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        let residual_variance = if self.n > 2 { ss_res / (n - 2.0) } else { 0.0 };
+        Ok(Linear {
+            slope,
+            intercept,
+            r_squared,
+            slope_stderr: (residual_variance / sxx_centered).max(0.0).sqrt(),
+            n_obs: self.n,
+            mean_x,
+            sxx: sxx_centered,
+            residual_variance,
+        })
+    }
+}
+
 /// Power law `y = coefficient * x^exponent`, fitted in log-log space.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerLaw {
@@ -365,6 +460,47 @@ mod tests {
         assert!(g.mean_response_stderr(50.0) > g.mean_response_stderr(2.0));
         let (lo, hi) = g.confidence_band(10.0, 1.96);
         assert!(lo < g.eval(10.0) && g.eval(10.0) < hi);
+    }
+
+    #[test]
+    fn chunked_sums_agree_with_the_direct_fit() {
+        let xs: Vec<f64> = (0..500).map(|i| 0.1 * i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 1.7 * x - 4.0 + (x * 13.0).sin())
+            .collect();
+        let direct = Linear::fit(&xs, &ys).unwrap();
+        // Accumulate in two halves and merge, as the parallel fits do.
+        let mut left = RegressionSums::default();
+        let mut right = RegressionSums::default();
+        for i in 0..250 {
+            left.push(xs[i], ys[i]);
+        }
+        for i in 250..500 {
+            right.push(xs[i], ys[i]);
+        }
+        let merged = left.merge(right).linear().unwrap();
+        assert!((merged.slope - direct.slope).abs() < 1e-9);
+        assert!((merged.intercept - direct.intercept).abs() < 1e-9);
+        assert!((merged.r_squared - direct.r_squared).abs() < 1e-9);
+        assert!((merged.slope_stderr - direct.slope_stderr).abs() < 1e-9);
+        assert_eq!(merged.n_obs, direct.n_obs);
+    }
+
+    #[test]
+    fn sums_report_degenerate_inputs() {
+        assert!(matches!(
+            RegressionSums::default().linear(),
+            Err(StatsError::NotEnoughData { .. })
+        ));
+        let mut vertical = RegressionSums::default();
+        vertical.push(2.0, 1.0);
+        vertical.push(2.0, 3.0);
+        assert_eq!(vertical.linear(), Err(StatsError::Singular));
+        let mut poisoned = RegressionSums::default();
+        poisoned.push(f64::NAN, 1.0);
+        poisoned.push(1.0, 1.0);
+        assert_eq!(poisoned.linear(), Err(StatsError::NonFinite));
     }
 
     #[test]

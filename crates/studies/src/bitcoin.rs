@@ -269,19 +269,26 @@ pub fn physical_efficiency_gain(miner: &Miner, baseline: &Miner) -> f64 {
 ///
 /// Propagates CSR validation errors (impossible on the embedded dataset).
 pub fn fig1_series() -> Result<CsrSeries> {
-    let asics = asic_miners();
-    let base = &asics[0];
-    let rows = asics
-        .iter()
-        .map(|m| {
-            (
-                m.name,
-                m.ghash_per_s_per_mm2() / base.ghash_per_s_per_mm2(),
-                physical_per_area_gain(m, base),
-            )
-        })
-        .collect();
-    Ok(CsrSeries::new(rows)?)
+    Ok(CsrSeries::new(scan_family(
+        asic_miners(),
+        Miner::ghash_per_s_per_mm2,
+        physical_per_area_gain,
+    ))?)
+}
+
+/// Scans one chip family across the `accelwall-par` pool: each row's
+/// reported gain and physical potential against the family's first
+/// (baseline) member. Rows land at their miner index, so the series
+/// order matches the serial loop.
+fn scan_family(
+    family: Vec<Miner>,
+    reported: fn(&Miner) -> f64,
+    physical: fn(&Miner, &Miner) -> f64,
+) -> Vec<(&'static str, f64, f64)> {
+    accelwall_par::par_map(family.len(), move |i| {
+        let (m, base) = (&family[i], &family[0]);
+        (m.name, reported(m) / reported(base), physical(m, base))
+    })
 }
 
 /// Fig. 9a: all platforms, performance per area vs. the CPU baseline.
@@ -290,19 +297,11 @@ pub fn fig1_series() -> Result<CsrSeries> {
 ///
 /// Propagates CSR validation errors (impossible on the embedded dataset).
 pub fn fig9_performance_series() -> Result<CsrSeries> {
-    let all = miners();
-    let base = &all[0];
-    let rows = all
-        .iter()
-        .map(|m| {
-            (
-                m.name,
-                m.ghash_per_s_per_mm2() / base.ghash_per_s_per_mm2(),
-                physical_per_area_gain(m, base),
-            )
-        })
-        .collect();
-    Ok(CsrSeries::new(rows)?)
+    Ok(CsrSeries::new(scan_family(
+        miners(),
+        Miner::ghash_per_s_per_mm2,
+        physical_per_area_gain,
+    ))?)
 }
 
 /// Fig. 9b: all platforms, energy efficiency vs. the CPU baseline.
@@ -311,19 +310,11 @@ pub fn fig9_performance_series() -> Result<CsrSeries> {
 ///
 /// Propagates CSR validation errors (impossible on the embedded dataset).
 pub fn fig9_efficiency_series() -> Result<CsrSeries> {
-    let all = miners();
-    let base = &all[0];
-    let rows = all
-        .iter()
-        .map(|m| {
-            (
-                m.name,
-                m.ghash_per_joule() / base.ghash_per_joule(),
-                physical_efficiency_gain(m, base),
-            )
-        })
-        .collect();
-    Ok(CsrSeries::new(rows)?)
+    Ok(CsrSeries::new(scan_family(
+        miners(),
+        Miner::ghash_per_joule,
+        physical_efficiency_gain,
+    ))?)
 }
 
 #[cfg(test)]

@@ -386,18 +386,30 @@ pub fn impls(model: CnnModel) -> Vec<FpgaImpl> {
 pub fn performance_series(model: CnnModel) -> Result<CsrSeries> {
     let mut rows = impls(model);
     rows.sort_by(|a, b| a.gops.total_cmp(&b.gops));
-    let base = rows[0].clone();
-    Ok(CsrSeries::new(
-        rows.iter()
-            .map(|r| {
-                (
-                    r.label,
-                    r.gops / base.gops,
-                    r.physical_budget() / base.physical_budget(),
-                )
-            })
-            .collect(),
-    )?)
+    Ok(CsrSeries::new(scan_family(
+        rows,
+        |r| r.gops,
+        FpgaImpl::physical_budget,
+    ))?)
+}
+
+/// Scans one model's (pre-sorted) implementations across the
+/// `accelwall-par` pool: each row's reported gain and physical potential
+/// against the weakest (first) implementation. Rows land at their index,
+/// so the series order matches the serial loop.
+fn scan_family(
+    rows: Vec<FpgaImpl>,
+    reported: fn(&FpgaImpl) -> f64,
+    physical: fn(&FpgaImpl) -> f64,
+) -> Vec<(&'static str, f64, f64)> {
+    accelwall_par::par_map(rows.len(), move |i| {
+        let (r, base) = (&rows[i], &rows[0]);
+        (
+            r.label,
+            reported(r) / reported(base),
+            physical(r) / physical(base),
+        )
+    })
 }
 
 /// The Fig. 8c series: energy-efficiency gains and CSR. The physical
@@ -409,20 +421,11 @@ pub fn performance_series(model: CnnModel) -> Result<CsrSeries> {
 pub fn efficiency_series(model: CnnModel) -> Result<CsrSeries> {
     let mut rows = impls(model);
     rows.sort_by(|a, b| a.gops_per_joule().total_cmp(&b.gops_per_joule()));
-    let base = rows[0].clone();
-    let physical_ee =
-        |r: &FpgaImpl| r.physical_budget() / (r.power_w * r.node.dynamic_energy_rel());
-    Ok(CsrSeries::new(
-        rows.iter()
-            .map(|r| {
-                (
-                    r.label,
-                    r.gops_per_joule() / base.gops_per_joule(),
-                    physical_ee(r) / physical_ee(&base),
-                )
-            })
-            .collect(),
-    )?)
+    Ok(CsrSeries::new(scan_family(
+        rows,
+        FpgaImpl::gops_per_joule,
+        |r| r.physical_budget() / (r.power_w * r.node.dynamic_energy_rel()),
+    ))?)
 }
 
 #[cfg(test)]

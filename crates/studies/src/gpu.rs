@@ -537,19 +537,30 @@ fn series(
 ///
 /// Propagates CSR validation errors (impossible on the embedded dataset).
 pub fn arch_observations(efficiency: bool) -> Result<ArchObservations> {
+    // One scan task per GPU, fanned across the `accelwall-par` pool; each
+    // task walks every game's benchmark window. Tasks land at their chip
+    // index and the per-(arch, game) merge takes a max, so the resulting
+    // observations are identical to the serial double loop.
+    let chips = gpu_chips();
+    let all_games = games();
+    let scanned = accelwall_par::par_map(chips.len(), move |i| {
+        let gpu = &chips[i];
+        all_games
+            .iter()
+            .filter_map(|game| {
+                let value = if efficiency {
+                    frames_per_joule(gpu, game)
+                } else {
+                    frame_rate(gpu, game)
+                };
+                value.map(|v| ((gpu.arch, game.title), v))
+            })
+            .collect::<Vec<((&'static str, &'static str), f64)>>()
+    });
     let mut best: std::collections::BTreeMap<(&str, &str), f64> = std::collections::BTreeMap::new();
-    for gpu in gpu_chips() {
-        for game in games() {
-            let value = if efficiency {
-                frames_per_joule(&gpu, &game)
-            } else {
-                frame_rate(&gpu, &game)
-            };
-            if let Some(v) = value {
-                let entry = best.entry((gpu.arch, game.title)).or_insert(v);
-                *entry = entry.max(v);
-            }
-        }
+    for ((arch, game), v) in scanned.into_iter().flatten() {
+        let entry = best.entry((arch, game)).or_insert(v);
+        *entry = entry.max(v);
     }
     let mut obs = ArchObservations::new();
     for ((arch, game), v) in best {

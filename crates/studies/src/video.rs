@@ -228,19 +228,29 @@ fn physical_ee(chip: &DecoderChip) -> f64 {
 ///
 /// Propagates CSR validation errors (impossible on the embedded dataset).
 pub fn performance_series() -> Result<CsrSeries> {
+    Ok(CsrSeries::new(scan_family(
+        |c| c.mpixels_per_s,
+        physical_perf,
+    ))?)
+}
+
+/// Scans the decoder family across the `accelwall-par` pool: each row's
+/// reported gain and physical potential against the ISSCC 2006 baseline.
+/// Rows land at their chip index, so the series order matches the
+/// serial loop.
+fn scan_family(
+    reported: fn(&DecoderChip) -> f64,
+    physical: fn(&DecoderChip) -> f64,
+) -> Vec<(&'static str, f64, f64)> {
     let chips = decoder_chips();
-    let base = &chips[0];
-    let rows = chips
-        .iter()
-        .map(|c| {
-            (
-                c.label,
-                c.mpixels_per_s / base.mpixels_per_s,
-                physical_perf(c) / physical_perf(base),
-            )
-        })
-        .collect();
-    Ok(CsrSeries::new(rows)?)
+    accelwall_par::par_map(chips.len(), move |i| {
+        let (c, base) = (&chips[i], &chips[0]);
+        (
+            c.label,
+            reported(c) / reported(base),
+            physical(c) / physical(base),
+        )
+    })
 }
 
 /// The Fig. 4c series: energy-efficiency gains and CSR, normalized to the
@@ -250,19 +260,10 @@ pub fn performance_series() -> Result<CsrSeries> {
 ///
 /// Propagates CSR validation errors (impossible on the embedded dataset).
 pub fn efficiency_series() -> Result<CsrSeries> {
-    let chips = decoder_chips();
-    let base = &chips[0];
-    let rows = chips
-        .iter()
-        .map(|c| {
-            (
-                c.label,
-                c.mpixels_per_joule() / base.mpixels_per_joule(),
-                physical_ee(c) / physical_ee(base),
-            )
-        })
-        .collect();
-    Ok(CsrSeries::new(rows)?)
+    Ok(CsrSeries::new(scan_family(
+        DecoderChip::mpixels_per_joule,
+        physical_ee,
+    ))?)
 }
 
 #[cfg(test)]

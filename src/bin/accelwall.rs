@@ -5,10 +5,10 @@
 //!
 //! ```text
 //! accelwall <target> [--json]
-//! accelwall all [--json]
+//! accelwall all [--json] [--threads N]
 //! accelwall dot [WORKLOAD] [--json]
 //! accelwall list [--json]
-//! accelwall serve [--addr HOST:PORT] [--workers N] [--deadline-ms N]
+//! accelwall serve [--addr HOST:PORT] [--workers N] [--deadline-ms N] [--threads N]
 //! accelwall lint [--json]
 //! ```
 //!
@@ -35,6 +35,12 @@
 //!
 //! Unknown targets *and* unknown flags both fail with a roster-style
 //! error listing everything that would have been accepted.
+//!
+//! `--threads N` pins the size of the shared `accelwall-par` compute
+//! pool (the `ACCELWALL_THREADS` environment variable does the same;
+//! the flag wins). It applies to the two commands that run the compute
+//! kernels: `all` and `serve`. The pool is sized once per process, so
+//! the flag must be — and is — applied before any experiment runs.
 
 use accelerator_wall::error::Error;
 use accelerator_wall::experiments::dfg::dot_artifact;
@@ -51,6 +57,7 @@ const KNOWN_FLAGS: &[(&str, &str)] = &[
     ("--addr", "HOST:PORT the server binds (serve only)"),
     ("--workers", "worker thread count (serve only)"),
     ("--deadline-ms", "compute deadline before 504 (serve only)"),
+    ("--threads", "compute-pool thread count (all and serve)"),
 ];
 
 /// Parsed command line: positionals plus validated flags.
@@ -62,6 +69,7 @@ struct Args {
     addr: Option<String>,
     workers: Option<usize>,
     deadline_ms: Option<u64>,
+    threads: Option<usize>,
 }
 
 fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -97,6 +105,16 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
                         return Err("--workers must be at least 1".to_string());
                     }
                     args.workers = Some(workers);
+                }
+                "threads" => {
+                    let value = value_for("a thread count")?;
+                    let threads: usize = value.parse().map_err(|_| {
+                        format!("--threads needs a positive integer, got {value:?}")
+                    })?;
+                    if threads == 0 {
+                        return Err("--threads must be at least 1".to_string());
+                    }
+                    args.threads = Some(threads);
                 }
                 "deadline-ms" => {
                     let value = value_for("milliseconds")?;
@@ -138,6 +156,10 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
     if is_serve && args.json {
         return Err("--json does not apply to `accelwall serve`".to_string());
     }
+    let computes = matches!(args.target.as_deref(), Some("serve" | "all"));
+    if args.threads.is_some() && !computes {
+        return Err("--threads only applies to `accelwall all` and `accelwall serve`".to_string());
+    }
     if args.operand.is_some() && !matches!(args.target.as_deref(), Some("dot")) {
         return Err(format!(
             "target {:?} takes no operand",
@@ -156,6 +178,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Pin the compute pool before anything can start it; after the first
+    // parallel kernel runs, the pool size is frozen for the process.
+    if let Some(threads) = args.threads {
+        accelwall_par::set_threads(threads);
+    }
     let registry = Registry::paper();
     match args.target.as_deref() {
         None | Some("list") => {

@@ -255,6 +255,10 @@ fn flags_are_validated_against_the_command() {
         (&["serve", "--workers", "many"][..], "positive integer"),
         (&["serve", "--addr"][..], "needs a value"),
         (&["fig3b", "extra-operand"][..], "takes no operand"),
+        (&["fig3b", "--threads", "4"][..], "only applies"),
+        (&["all", "--threads", "0"][..], "at least 1"),
+        (&["all", "--threads", "many"][..], "positive integer"),
+        (&["serve", "--threads"][..], "needs a value"),
     ] {
         let out = Command::new(env!("CARGO_BIN_EXE_accelwall"))
             .args(args)
