@@ -14,12 +14,13 @@
 //! `CSR = total gain / (partitioning gain × CMOS gain)`, i.e. the product
 //! of the heterogeneity and simplification factors.
 
-use crate::sim::{simulate, DesignConfig, SimReport};
-use crate::sweep::{best_efficiency, best_performance, run_sweep, SweepPoint, SweepSpace};
+use crate::sim::{simulate_lowered, DesignConfig, SimReport};
+use crate::sweep::{best_efficiency, best_performance, run_sweep_lowered, SweepPoint, SweepSpace};
 use crate::{Result, SimError};
 use accelwall_cmos::TechNode;
-use accelwall_dfg::Dfg;
+use accelwall_dfg::{Dfg, Program};
 use std::fmt;
+use std::sync::Arc;
 
 /// Which target function the optimum maximizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -108,30 +109,49 @@ pub struct Attribution {
 }
 
 /// Computes the Fig. 14 attribution of `dfg` under `metric`, sweeping
-/// `space` for the optimum.
+/// `space` for the optimum. Lowers once; the sweep and the toggle chain
+/// share the program.
 ///
 /// # Errors
 ///
 /// Propagates simulation errors (invalid space, empty graph).
 pub fn attribute_gains(dfg: &Dfg, metric: Metric, space: &SweepSpace) -> Result<Attribution> {
-    let points = run_sweep(dfg, space)?;
-    attribute_gains_with_points(dfg, metric, &points)
+    let program = Arc::new(dfg.lower());
+    let points = run_sweep_lowered(&program, space)?;
+    attribute_gains_lowered(&program, metric, &points)
 }
 
-/// Computes the Fig. 14 attribution from an already-run sweep.
+/// Computes the Fig. 14 attribution from an already-run sweep over `dfg`.
+/// Front-end convenience over [`attribute_gains_lowered`] that lowers per
+/// call; callers that already hold the program should use the lowered
+/// entry point directly.
+///
+/// # Errors
+///
+/// Same as [`attribute_gains_lowered`].
+pub fn attribute_gains_with_points(
+    dfg: &Dfg,
+    metric: Metric,
+    points: &[SweepPoint],
+) -> Result<Attribution> {
+    attribute_gains_lowered(&dfg.lower(), metric, points)
+}
+
+/// Computes the Fig. 14 attribution from an already-run sweep over a
+/// lowered `program`.
 ///
 /// This is the reuse path: callers that sweep once and derive several
 /// analyses from the same points (the Fig. 13 scatter, both Fig. 14
-/// metrics) avoid re-simulating the whole Table III grid per call.
-/// `points` must come from sweeping `dfg` itself — the toggle chain
-/// re-simulates `dfg` at the optimum found in `points`.
+/// metrics) avoid re-simulating the whole Table III grid — and re-lowering
+/// the graph — per call. `points` must come from sweeping `program`
+/// itself; the toggle chain re-prices it at the optimum found in `points`.
 ///
 /// # Errors
 ///
 /// Returns [`SimError::EmptySweep`] when `points` is empty, and
 /// propagates simulation errors from the toggle chain.
-pub fn attribute_gains_with_points(
-    dfg: &Dfg,
+pub fn attribute_gains_lowered(
+    program: &Program,
     metric: Metric,
     points: &[SweepPoint],
 ) -> Result<Attribution> {
@@ -162,7 +182,7 @@ pub fn attribute_gains_with_points(
     ];
     let values: Vec<f64> = steps
         .iter()
-        .map(|c| simulate(dfg, c).map(|r| metric.of(&r)))
+        .map(|c| simulate_lowered(program, c).map(|r| metric.of(&r)))
         .collect::<Result<_>>()?;
 
     let total_gain = values[4] / values[0];
@@ -197,7 +217,7 @@ pub fn attribute_gains_with_points(
         .product();
 
     Ok(Attribution {
-        workload: dfg.name().to_string(),
+        workload: program.name().to_string(),
         metric,
         best_config: target,
         total_gain,
@@ -209,6 +229,7 @@ pub fn attribute_gains_with_points(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::run_sweep;
     use accelwall_workloads::Workload;
 
     fn attr(w: Workload, metric: Metric) -> Attribution {

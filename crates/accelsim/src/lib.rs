@@ -54,10 +54,12 @@ pub mod sched;
 pub mod sim;
 pub mod sweep;
 
-pub use attribution::{attribute_gains, attribute_gains_with_points, Attribution, GainSource};
-pub use sched::{schedule, simulate_scheduled, Schedule};
-pub use sim::{simulate, DesignConfig, SimReport};
-pub use sweep::{run_sweep, SweepPoint, SweepSpace};
+pub use attribution::{
+    attribute_gains, attribute_gains_lowered, attribute_gains_with_points, Attribution, GainSource,
+};
+pub use sched::{schedule, schedule_lowered, schedule_reference, simulate_scheduled, Schedule};
+pub use sim::{simulate, simulate_lowered, DesignConfig, SimReport};
+pub use sweep::{run_sweep, run_sweep_lowered, SweepPoint, SweepSpace};
 
 use std::error::Error;
 use std::fmt;

@@ -23,9 +23,9 @@
 //! `ablation/scheduler_fidelity` benchmark quantifies the gap.
 
 use crate::fu;
-use crate::sim::{DesignConfig, SimReport};
+use crate::sim::{simulate_lowered, DesignConfig, SimReport};
 use crate::{Result, SimError};
-use accelwall_dfg::{Dfg, NodeId, NodeKind};
+use accelwall_dfg::{Dfg, NodeId, NodeKind, Program, VertexClass};
 use std::collections::BinaryHeap;
 
 /// When each node executed under the list schedule.
@@ -46,12 +46,17 @@ pub struct Schedule {
 impl Schedule {
     /// Verifies the schedule respects every data dependence of `dfg`:
     /// a consumer may not start before each operand's completion, except
-    /// same-cycle starts, which are exactly the fused chains.
+    /// same-cycle starts, which are exactly the fused chains — and chains
+    /// can only pass through single-cycle fusible operations, so a
+    /// same-cycle start over any other kind of operand (an input, an
+    /// output, a multi-cycle unit) is a dependence violation.
     pub fn respects_dependences(&self, dfg: &Dfg) -> bool {
         dfg.ids().all(|id| {
             dfg.node(id).operands.iter().all(|op| {
                 self.finish_cycle[op.index()] <= self.start_cycle[id.index()]
-                    || self.start_cycle[op.index()] == self.start_cycle[id.index()]
+                    || (self.start_cycle[op.index()] == self.start_cycle[id.index()]
+                        && matches!(&dfg.node(*op).kind, NodeKind::Compute(o)
+                            if fu::cost(*o).fusible && fu::cost(*o).latency_cycles == 1))
             })
         })
     }
@@ -100,13 +105,233 @@ fn chainable(dfg: &Dfg, id: NodeId, config: &DesignConfig) -> bool {
         && latency(dfg, id, config) == 1
 }
 
-/// Runs the list scheduler for `dfg` under `config`.
+/// Runs the list scheduler for a lowered `program` under `config`.
+///
+/// The scheduler walks the flat SoA arrays directly: per-vertex latency
+/// and chainability come from one precomputed pass over the opcode
+/// column, consumer fan-out from the CSR consumer table (whose rows keep
+/// ascending id order, preserving the tie-break of the original
+/// adjacency-list walk), and the ready heap holds plain `u32`-sized
+/// indices. Schedules are bit-identical to [`schedule_reference`].
 ///
 /// # Errors
 ///
 /// Returns [`SimError::InvalidConfig`] for out-of-range knobs and
 /// [`SimError::EmptyGraph`] for graphs without compute vertices.
+pub fn schedule_lowered(program: &Program, config: &DesignConfig) -> Result<Schedule> {
+    config.validate()?;
+    if program.stats().computes == 0 {
+        return Err(SimError::EmptyGraph);
+    }
+    let n = program.vertex_count();
+    let passes = u64::from(config.serial_passes());
+
+    // Per-vertex latency and chainability, one pass over the opcode column
+    // (fusion handled by the scheduler, not here).
+    let mut lat = vec![0u64; n];
+    let mut chain_ok = vec![false; n];
+    let mut is_compute = vec![false; n];
+    for v in 0..n {
+        match program.class(v) {
+            VertexClass::Input | VertexClass::Output => lat[v] = 1,
+            VertexClass::Compute => {
+                let c = fu::cost(program.opcode(v));
+                lat[v] = if c.fusible {
+                    passes
+                } else {
+                    u64::from(c.latency_cycles) * passes
+                };
+                chain_ok[v] = c.fusible && lat[v] == 1;
+                is_compute[v] = true;
+            }
+        }
+    }
+
+    // Operand counts; consumers come straight from the CSR table.
+    let mut pending_ops: Vec<usize> = (0..n).map(|v| program.operands(v).len()).collect();
+
+    // Longest-path-to-exit priorities (latency-weighted), reverse topo.
+    let mut prio = vec![0u64; n];
+    for i in (0..n).rev() {
+        let downstream = program
+            .consumers(i)
+            .iter()
+            .map(|&c| prio[c as usize])
+            .max()
+            .unwrap_or(0);
+        prio[i] = lat[i] + downstream;
+    }
+
+    let lanes = config.partition_factor;
+    let window = u64::from(config.fusion_window());
+
+    let mut ready: BinaryHeap<Ready> = BinaryHeap::new();
+    let mut queued = vec![false; n];
+    for i in 0..n {
+        if pending_ops[i] == 0 {
+            ready.push(Ready {
+                priority: prio[i],
+                index: i,
+            });
+            queued[i] = true;
+        }
+    }
+
+    let mut start = vec![0u64; n];
+    let mut finish = vec![0u64; n];
+    let mut issued = vec![false; n];
+    let mut done = vec![false; n];
+    let mut completed = 0usize;
+    let mut cycle: u64 = 0;
+    let mut peak_busy = 0u64;
+    let mut busy_lane_cycles = 0u64;
+    // Min-heap of (finish cycle, node index) for in-flight work.
+    let mut in_flight: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
+    // Lanes pre-reserved in future cycles by serialized (multi-pass)
+    // operations, which occupy their narrow datapath for every pass.
+    let mut reserved: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    // Nodes released mid-cycle by inline (fused) completions; eligible
+    // from the *next* cycle unless consumed by the chain itself.
+    let mut released: Vec<usize> = Vec::new();
+
+    while completed < n {
+        let mut busy = reserved.remove(&cycle).unwrap_or(0).min(lanes);
+        released.clear();
+
+        while busy < lanes {
+            // Pop the highest-priority node not yet issued.
+            let head = loop {
+                match ready.pop() {
+                    Some(r) if !issued[r.index] => break Some(r.index),
+                    Some(_) => {}
+                    None => break None,
+                }
+            };
+            let Some(head) = head else { break };
+            busy += 1;
+
+            // Execute a chain of up to `window` dependent fusible ops.
+            let mut chain_len = 0u64;
+            let mut current = head;
+            loop {
+                issued[current] = true;
+                start[current] = cycle;
+                chain_len += 1;
+                if chain_ok[current] && chain_len <= window {
+                    // Completes within this cycle.
+                    finish[current] = cycle + 1;
+                    done[current] = true;
+                    completed += 1;
+                    for &c in program.consumers(current) {
+                        let c = c as usize;
+                        pending_ops[c] -= 1;
+                        if pending_ops[c] == 0 {
+                            released.push(c);
+                        }
+                    }
+                    if chain_len < window {
+                        // Extend the chain with the best dependent op that
+                        // just became ready.
+                        let next = program
+                            .consumers(current)
+                            .iter()
+                            .map(|&c| c as usize)
+                            .filter(|&c| !issued[c] && pending_ops[c] == 0 && chain_ok[c])
+                            .max_by_key(|&c| prio[c]);
+                        if let Some(c) = next {
+                            current = c;
+                            continue;
+                        }
+                    }
+                    break;
+                }
+                finish[current] = cycle + lat[current].max(1);
+                in_flight.push(std::cmp::Reverse((finish[current], current)));
+                // A serialized op monopolizes its lane for every pass;
+                // pipelined multi-cycle units free the issue slot.
+                if passes > 1 && is_compute[current] {
+                    for d in 1..passes {
+                        *reserved.entry(cycle + d).or_insert(0) += 1;
+                    }
+                }
+                break;
+            }
+        }
+        peak_busy = peak_busy.max(busy);
+        busy_lane_cycles += busy;
+
+        // Advance time; if the machine idled, jump to the next completion.
+        cycle += 1;
+        if busy == 0 {
+            if let Some(std::cmp::Reverse((t, _))) = in_flight.peek() {
+                cycle = cycle.max(*t);
+            }
+        }
+
+        // Retire in-flight work.
+        while let Some(&std::cmp::Reverse((t, idx))) = in_flight.peek() {
+            if t > cycle {
+                break;
+            }
+            in_flight.pop();
+            done[idx] = true;
+            completed += 1;
+            for &c in program.consumers(idx) {
+                let c = c as usize;
+                pending_ops[c] -= 1;
+                if pending_ops[c] == 0 {
+                    released.push(c);
+                }
+            }
+        }
+
+        // Queue everything released this cycle.
+        for &c in &released {
+            if !queued[c] && !issued[c] {
+                ready.push(Ready {
+                    priority: prio[c],
+                    index: c,
+                });
+                queued[c] = true;
+            }
+        }
+    }
+
+    let makespan = finish.iter().copied().max().unwrap_or(0);
+    Ok(Schedule {
+        start_cycle: start,
+        finish_cycle: finish,
+        makespan,
+        peak_lanes_busy: peak_busy,
+        utilization: if makespan == 0 {
+            0.0
+        } else {
+            busy_lane_cycles as f64 / (makespan as f64 * lanes as f64)
+        },
+    })
+}
+
+/// Runs the list scheduler for `dfg` under `config` — the front-end
+/// convenience over [`schedule_lowered`] that lowers per call. Hot loops
+/// should lower once with [`Dfg::lower`] and share the program.
+///
+/// # Errors
+///
+/// Same as [`schedule_lowered`].
 pub fn schedule(dfg: &Dfg, config: &DesignConfig) -> Result<Schedule> {
+    schedule_lowered(&dfg.lower(), config)
+}
+
+/// The original adjacency-list list scheduler, kept verbatim as the
+/// differential oracle for [`schedule_lowered`]: the property suite
+/// asserts both produce bit-identical [`Schedule`]s on random graphs and
+/// on every registry workload. Do not call it except to compare — it
+/// re-walks the pointer-chasing `Dfg` representation on every query.
+///
+/// # Errors
+///
+/// Same as [`schedule_lowered`].
+pub fn schedule_reference(dfg: &Dfg, config: &DesignConfig) -> Result<Schedule> {
     config.validate()?;
     if dfg.compute_ids().is_empty() {
         return Err(SimError::EmptyGraph);
@@ -291,8 +516,10 @@ pub fn schedule(dfg: &Dfg, config: &DesignConfig) -> Result<Schedule> {
 ///
 /// Same as [`schedule`].
 pub fn simulate_scheduled(dfg: &Dfg, config: &DesignConfig) -> Result<SimReport> {
-    let sched = schedule(dfg, config)?;
-    let analytical = crate::simulate(dfg, config)?;
+    // One lowering feeds both the scheduler and the analytical pricing.
+    let program = dfg.lower();
+    let sched = schedule_lowered(&program, config)?;
+    let analytical = simulate_lowered(&program, config)?;
     let cycles = sched.makespan as f64;
     let runtime_s = cycles / (crate::sim::CLOCK_GHZ * 1e9);
     Ok(SimReport {

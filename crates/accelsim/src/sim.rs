@@ -3,7 +3,7 @@
 use crate::fu::{self, FuCost};
 use crate::{Result, SimError};
 use accelwall_cmos::TechNode;
-use accelwall_dfg::{Dfg, NodeKind};
+use accelwall_dfg::{Dfg, Program, VertexClass};
 
 /// Reference clock of every design point, in GHz. The paper's sweep holds
 /// frequency fixed and lets CMOS speed show up as deeper operator fusion
@@ -158,57 +158,82 @@ impl SimReport {
     }
 }
 
-/// Runs the analytical schedule of `dfg` under `config`.
-///
-/// The model is the standard pre-RTL bound pair:
-/// `cycles = max(critical path, work / lanes)`, with per-op costs from the
-/// FU library scaled by fusion, serialization, and CMOS node — the same
-/// quantities Aladdin extracts from its dynamic trace.
-///
-/// # Errors
-///
-/// Returns [`SimError::InvalidConfig`] for out-of-range knobs and
-/// [`SimError::EmptyGraph`] for graphs without compute vertices.
-pub fn simulate(dfg: &Dfg, config: &DesignConfig) -> Result<SimReport> {
-    config.validate()?;
-    let stats = dfg.stats();
-    if stats.computes == 0 {
-        return Err(SimError::EmptyGraph);
-    }
+/// Partition-independent quantities of one graph under one
+/// `(node, simplification, heterogeneity)` combination — everything the
+/// per-node cost walk produces. The sweep hoists this walk out of the
+/// partitioning loop: none of these depend on `partition_factor`, so one
+/// kernel pass prices a whole row of Table III points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct PointKernel {
+    /// Critical-path length in cycles (the partitioning asymptote).
+    pub(crate) critical_path: f64,
+    /// Total issue-slot work in cycles.
+    pub(crate) work_cycles: f64,
+    /// Total dynamic energy in picojoules before node scaling.
+    pub(crate) dynamic_pj: f64,
+}
 
-    let node = config.node;
+/// Config-independent cost constants of one lowered graph: the FU-class
+/// lane area, the scratchpad area, and the op count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct GraphCosts {
+    pub(crate) lane_area: f64,
+    pub(crate) sram_area: f64,
+    pub(crate) ops: u64,
+}
+
+/// Computes the config-independent cost constants of `program`.
+pub(crate) fn graph_costs(program: &Program) -> GraphCosts {
+    let mut classes = std::collections::BTreeSet::new();
+    for (v, &class) in program.classes().iter().enumerate() {
+        if class == VertexClass::Compute {
+            classes.insert(class_key(program.opcode(v)));
+        }
+    }
+    let stats = program.stats();
+    GraphCosts {
+        // Area: each lane instantiates one FU per op class present, plus
+        // the scratchpad sized to the largest working set (banking
+        // replicates ports, not capacity).
+        lane_area: classes.iter().map(|k| class_area(*k)).sum(),
+        sram_area: stats.max_working_set as f64 * fu::SRAM_WORD_AREA_UNITS,
+        ops: stats.computes as u64,
+    }
+}
+
+/// The per-node cost walk: critical path, total work, and dynamic energy
+/// of `program` under `config`'s fusion window, serialization passes, and
+/// datapath width. One forward pass over the flat arrays.
+pub(crate) fn point_kernel(program: &Program, config: &DesignConfig) -> PointKernel {
     let window = f64::from(config.fusion_window());
     let passes = f64::from(config.serial_passes());
     let width = config.width_factor();
-    let lanes = config.partition_factor as f64;
 
     // Per-node costs along the critical path (cp) and in total work.
-    let mut finish = vec![0.0f64; dfg.vertex_count()];
+    let mut finish = vec![0.0f64; program.vertex_count()];
     let mut work_cycles = 0.0f64;
     let mut dynamic_pj = 0.0f64;
-    let mut classes = std::collections::BTreeSet::new();
 
-    for id in dfg.ids() {
-        let n = dfg.node(id);
-        let ready = n
-            .operands
+    for v in 0..program.vertex_count() {
+        let ready = program
+            .operands(v)
             .iter()
-            .map(|o| finish[o.index()])
+            .map(|&o| finish[o as usize])
             .fold(0.0f64, f64::max);
-        match &n.kind {
-            NodeKind::Input(_) => {
+        match program.class(v) {
+            VertexClass::Input => {
                 // One port access; streams through the `lanes` ports.
-                finish[id.index()] = 1.0;
+                finish[v] = 1.0;
                 work_cycles += 1.0;
                 dynamic_pj += fu::ACCESS_ENERGY_PJ * width;
             }
-            NodeKind::Output(_) => {
-                finish[id.index()] = ready + 1.0;
+            VertexClass::Output => {
+                finish[v] = ready + 1.0;
                 work_cycles += 1.0;
                 dynamic_pj += fu::ACCESS_ENERGY_PJ * width;
             }
-            NodeKind::Compute(op) => {
-                let c: FuCost = fu::cost(*op);
+            VertexClass::Compute => {
+                let c: FuCost = fu::cost(program.opcode(v));
                 let (cp_cost, slot_cost) = if c.fusible {
                     (passes / window, passes / window)
                 } else {
@@ -216,39 +241,81 @@ pub fn simulate(dfg: &Dfg, config: &DesignConfig) -> Result<SimReport> {
                     // one issue slot per pass.
                     (f64::from(c.latency_cycles) * passes, passes)
                 };
-                finish[id.index()] = ready + cp_cost;
+                finish[v] = ready + cp_cost;
                 work_cycles += slot_cost;
                 dynamic_pj += c.energy_pj * width * passes;
-                classes.insert(class_key(*op));
             }
         }
     }
 
-    let critical_path = finish.iter().copied().fold(0.0f64, f64::max).max(1.0);
-    let cycles = critical_path.max(work_cycles / lanes);
+    PointKernel {
+        critical_path: finish.iter().copied().fold(0.0f64, f64::max).max(1.0),
+        work_cycles,
+        dynamic_pj,
+    }
+}
+
+/// Assembles the final [`SimReport`] of one design point from its hoisted
+/// kernel quantities — the only place `partition_factor` enters, O(1) per
+/// point. The expressions are kept verbatim from the original monolithic
+/// walk so reports stay bit-identical.
+pub(crate) fn assemble_report(
+    kernel: &PointKernel,
+    costs: &GraphCosts,
+    config: &DesignConfig,
+) -> SimReport {
+    let lanes = config.partition_factor as f64;
+    let width = config.width_factor();
+    let cycles = kernel.critical_path.max(kernel.work_cycles / lanes);
     let runtime_s = cycles / (CLOCK_GHZ * 1e9);
-
-    // Area: each lane instantiates one FU per op class present, plus the
-    // scratchpad sized to the largest working set (banking replicates
-    // ports, not capacity).
-    let lane_area: f64 = classes.iter().map(|k| class_area(*k)).sum();
-    let sram_area = stats.max_working_set as f64 * fu::SRAM_WORD_AREA_UNITS;
-    let area_units = (lane_area * lanes + sram_area) * width;
-
-    let dynamic_energy_j = dynamic_pj * 1e-12 * node.dynamic_energy_rel();
+    let area_units = (costs.lane_area * lanes + costs.sram_area) * width;
+    let dynamic_energy_j = kernel.dynamic_pj * 1e-12 * config.node.dynamic_energy_rel();
     // A normalized area unit holds a fixed transistor count, so leakage
     // scales with the per-transistor leakage of the node alone.
-    let leakage_w = area_units * fu::LEAK_UW_PER_AREA_UNIT * 1e-6 * node.leakage_rel();
-
-    Ok(SimReport {
+    let leakage_w = area_units * fu::LEAK_UW_PER_AREA_UNIT * 1e-6 * config.node.leakage_rel();
+    SimReport {
         cycles,
         runtime_s,
         dynamic_energy_j,
         leakage_w,
         area_units,
-        ops: stats.computes as u64,
-        critical_path_cycles: critical_path,
-    })
+        ops: costs.ops,
+        critical_path_cycles: kernel.critical_path,
+    }
+}
+
+/// Runs the analytical schedule of a lowered `program` under `config`.
+///
+/// The model is the standard pre-RTL bound pair:
+/// `cycles = max(critical path, work / lanes)`, with per-op costs from the
+/// FU library scaled by fusion, serialization, and CMOS node — the same
+/// quantities Aladdin extracts from its dynamic trace. The walk reads
+/// only the flat SoA arrays; callers pricing many points over one graph
+/// (the sweep, the attribution toggle chain) share one lowered program.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for out-of-range knobs and
+/// [`SimError::EmptyGraph`] for graphs without compute vertices.
+pub fn simulate_lowered(program: &Program, config: &DesignConfig) -> Result<SimReport> {
+    config.validate()?;
+    if program.stats().computes == 0 {
+        return Err(SimError::EmptyGraph);
+    }
+    let kernel = point_kernel(program, config);
+    let costs = graph_costs(program);
+    Ok(assemble_report(&kernel, &costs, config))
+}
+
+/// Runs the analytical schedule of `dfg` under `config` — the front-end
+/// convenience over [`simulate_lowered`] that lowers per call. Hot loops
+/// should lower once with [`Dfg::lower`] and share the program.
+///
+/// # Errors
+///
+/// Same as [`simulate_lowered`].
+pub fn simulate(dfg: &Dfg, config: &DesignConfig) -> Result<SimReport> {
+    simulate_lowered(&dfg.lower(), config)
 }
 
 /// Collapses ops into FU classes so a lane holds one unit per class.

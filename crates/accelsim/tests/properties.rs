@@ -2,10 +2,15 @@
 //! generated dataflow graphs and design points, driven by the
 //! deterministic [`Rng`] from `accelwall-stats`.
 
-use accelwall_accelsim::{schedule, simulate, DesignConfig};
+use accelwall_accelsim::{
+    run_sweep_lowered, schedule, schedule_reference, simulate, simulate_lowered, DesignConfig,
+    SweepSpace,
+};
 use accelwall_cmos::TechNode;
 use accelwall_dfg::{Dfg, DfgBuilder, NodeId, Op};
 use accelwall_stats::Rng;
+use accelwall_workloads::Workload;
+use std::sync::Arc;
 
 const OPS: [Op; 10] = [
     Op::Add,
@@ -124,6 +129,105 @@ fn bound_lower_bounds_schedule_without_fusion() {
             actual <= 2.0 * bound + 8.0,
             "scheduled {actual} breaks Graham vs bound {bound}"
         );
+    }
+}
+
+#[test]
+fn lowered_scheduler_is_bit_identical_to_the_reference_on_random_graphs() {
+    // `schedule` runs the flat bytecode scheduler; `schedule_reference`
+    // keeps the original adjacency-list walk verbatim. The two must agree
+    // on every field of every schedule — start cycles, finish cycles,
+    // makespan, peak occupancy, and utilization (an f64, compared
+    // exactly).
+    let mut rng = Rng::seed(0xACCE_0006);
+    for _ in 0..CASES {
+        let (inputs, ops) = arb_graph(&mut rng);
+        let config = arb_config(&mut rng);
+        let dfg = build(inputs, &ops);
+        let lowered = schedule(&dfg, &config).unwrap();
+        let reference = schedule_reference(&dfg, &config).unwrap();
+        assert_eq!(lowered, reference, "{config:?}");
+        assert_eq!(
+            lowered.utilization.to_bits(),
+            reference.utilization.to_bits()
+        );
+    }
+}
+
+#[test]
+fn lowered_scheduler_is_bit_identical_to_the_reference_on_registry_workloads() {
+    let configs = [
+        DesignConfig::baseline(),
+        DesignConfig::new(TechNode::N45, 64, 1, false),
+        DesignConfig::new(TechNode::N7, 256, 5, true),
+        DesignConfig::new(TechNode::N5, 4096, 13, true),
+    ];
+    for &w in Workload::all() {
+        let dfg = w.default_instance();
+        for config in configs {
+            let lowered = schedule(&dfg, &config).unwrap();
+            let reference = schedule_reference(&dfg, &config).unwrap();
+            assert_eq!(lowered, reference, "{w} {config:?}");
+        }
+    }
+}
+
+#[test]
+fn hoisted_sweep_is_bit_identical_to_per_point_simulation_on_random_graphs() {
+    // The sweep hoists the kernel walk out of the partitioning axis; a
+    // point-by-point `simulate_lowered` repeats the whole walk per point.
+    // Every report field must still match to the bit.
+    let mut rng = Rng::seed(0xACCE_0007);
+    let space = SweepSpace::coarse();
+    for _ in 0..24 {
+        let (inputs, ops) = arb_graph(&mut rng);
+        let dfg = build(inputs, &ops);
+        let program = Arc::new(dfg.lower());
+        let points = run_sweep_lowered(&program, &space).unwrap();
+        assert_eq!(points.len(), space.len());
+        for (point, config) in points.iter().zip(space.configs()) {
+            assert_eq!(point.config, config, "sweep must keep config order");
+            let direct = simulate_lowered(&program, &config).unwrap();
+            assert_eq!(point.report, direct, "{config:?}");
+        }
+    }
+}
+
+#[test]
+fn hoisted_sweep_is_bit_identical_to_per_point_simulation_on_registry_workloads() {
+    let space = SweepSpace::coarse();
+    for &w in Workload::all() {
+        let program = Arc::new(w.default_instance().lower());
+        let points = run_sweep_lowered(&program, &space).unwrap();
+        for (point, config) in points.iter().zip(space.configs()) {
+            let direct = simulate_lowered(&program, &config).unwrap();
+            assert_eq!(point.report, direct, "{w} {config:?}");
+        }
+    }
+}
+
+#[test]
+fn bytecode_vm_matches_the_tree_walking_oracle_on_registry_workloads() {
+    // Deterministic pseudo-random inputs per workload; the register
+    // machine and the legacy recursive interpreter must agree on every
+    // output bit (or return the identical error).
+    let mut rng = Rng::seed(0xACCE_0008);
+    for &w in Workload::all() {
+        let dfg = w.default_instance();
+        let program = dfg.lower();
+        let inputs: std::collections::HashMap<String, f64> = program
+            .input_slots()
+            .iter()
+            .map(|(name, _)| (name.clone(), rng.uniform(-4.0, 4.0)))
+            .collect();
+        let vm = program.evaluate(&inputs);
+        let oracle = dfg.evaluate_reference(&inputs);
+        assert_eq!(vm, oracle, "{w}");
+        if let (Ok(vm), Ok(oracle)) = (&vm, &oracle) {
+            for (name, value) in vm {
+                assert_eq!(value.to_bits(), oracle[name].to_bits(), "{w} {name}");
+            }
+        }
     }
 }
 

@@ -10,11 +10,11 @@
 //! guarantee instead of trusting it.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
-use accelwall_accelsim::{run_sweep, SweepPoint, SweepSpace};
+use accelwall_accelsim::{run_sweep_lowered, SweepPoint, SweepSpace};
 use accelwall_chipdb::{fit, ChipRecord, CorpusSpec};
-use accelwall_dfg::Dfg;
+use accelwall_dfg::{Dfg, Program};
 use accelwall_potential::PotentialModel;
 use accelwall_stats::PowerLaw;
 use accelwall_workloads::Workload;
@@ -33,6 +33,7 @@ pub struct Ctx {
     model: OnceLock<PotentialModel>,
     sweeps: Vec<OnceLock<Result<Vec<SweepPoint>>>>,
     dfgs: Vec<OnceLock<Dfg>>,
+    programs: Vec<OnceLock<Arc<Program>>>,
     corpus_computes: AtomicUsize,
     corpus_requests: AtomicUsize,
     fit_computes: AtomicUsize,
@@ -43,6 +44,11 @@ pub struct Ctx {
     sweep_requests: AtomicUsize,
     dfg_computes: AtomicUsize,
     dfg_requests: AtomicUsize,
+    lowerings: AtomicUsize,
+    program_requests: AtomicUsize,
+    program_nodes: AtomicUsize,
+    program_edges: AtomicUsize,
+    program_bytes: AtomicUsize,
 }
 
 /// A snapshot of the compute/request counters of a [`Ctx`].
@@ -70,10 +76,22 @@ pub struct CtxCounters {
     pub sweep_computes: usize,
     /// Times [`Ctx::sweep`] was called.
     pub sweep_requests: usize,
-    /// Workload DFGs actually lowered.
+    /// Workload DFGs actually built.
     pub dfg_computes: usize,
     /// Times [`Ctx::dfg`] was called.
     pub dfg_requests: usize,
+    /// Graphs actually lowered to bytecode programs. The pipeline
+    /// invariant is one lowering per distinct workload regardless of how
+    /// many sweep points or toggle chains consume the program.
+    pub lowerings: usize,
+    /// Times [`Ctx::program`] was called.
+    pub program_requests: usize,
+    /// Total vertices across all lowered programs.
+    pub program_nodes: usize,
+    /// Total edges across all lowered programs.
+    pub program_edges: usize,
+    /// Total heap bytes across all lowered programs.
+    pub program_bytes: usize,
 }
 
 impl Ctx {
@@ -92,6 +110,7 @@ impl Ctx {
             model: OnceLock::new(),
             sweeps: Workload::all().iter().map(|_| OnceLock::new()).collect(),
             dfgs: Workload::all().iter().map(|_| OnceLock::new()).collect(),
+            programs: Workload::all().iter().map(|_| OnceLock::new()).collect(),
             corpus_computes: AtomicUsize::new(0),
             corpus_requests: AtomicUsize::new(0),
             fit_computes: AtomicUsize::new(0),
@@ -102,6 +121,11 @@ impl Ctx {
             sweep_requests: AtomicUsize::new(0),
             dfg_computes: AtomicUsize::new(0),
             dfg_requests: AtomicUsize::new(0),
+            lowerings: AtomicUsize::new(0),
+            program_requests: AtomicUsize::new(0),
+            program_nodes: AtomicUsize::new(0),
+            program_edges: AtomicUsize::new(0),
+            program_bytes: AtomicUsize::new(0),
         }
     }
 
@@ -144,7 +168,10 @@ impl Ctx {
         })
     }
 
-    /// The memoized [`run_sweep`] of `workload` over [`Ctx::sweep_space`].
+    /// The memoized [`run_sweep_lowered`] of `workload` over
+    /// [`Ctx::sweep_space`]. The sweep shares the workload's cached
+    /// bytecode program ([`Ctx::program`]) — one lowering covers every
+    /// grid point.
     ///
     /// # Errors
     ///
@@ -160,8 +187,9 @@ impl Ctx {
             })?;
         slot.get_or_init(|| {
             self.sweep_computes.fetch_add(1, Ordering::Relaxed);
-            self.dfg(workload).and_then(|dfg| {
-                run_sweep(dfg, &self.sweep_space).context(format!("sweeping {}", workload.abbrev()))
+            self.program(workload).and_then(|program| {
+                run_sweep_lowered(&program, &self.sweep_space)
+                    .context(format!("sweeping {}", workload.abbrev()))
             })
         })
         .as_ref()
@@ -191,6 +219,40 @@ impl Ctx {
         }))
     }
 
+    /// The memoized bytecode lowering of `workload`'s DFG, shared behind
+    /// an [`Arc`] so the sweep, the scheduler, and the attribution toggle
+    /// chain all run over one flat program per workload. The `lowerings`
+    /// counter (and the `/metrics` gauge it feeds) makes the
+    /// once-per-workload invariant observable.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownWorkload`] for a workload outside the roster.
+    pub fn program(&self, workload: Workload) -> Result<Arc<Program>> {
+        self.program_requests.fetch_add(1, Ordering::Relaxed);
+        let slot = Workload::all()
+            .iter()
+            .position(|&w| w == workload)
+            .and_then(|i| self.programs.get(i))
+            .ok_or_else(|| Error::UnknownWorkload {
+                name: format!("{workload:?}"),
+            })?;
+        let dfg = self.dfg(workload)?;
+        Ok(slot
+            .get_or_init(|| {
+                self.lowerings.fetch_add(1, Ordering::Relaxed);
+                let program = Arc::new(dfg.lower());
+                self.program_nodes
+                    .fetch_add(program.vertex_count(), Ordering::Relaxed);
+                self.program_edges
+                    .fetch_add(program.edge_count(), Ordering::Relaxed);
+                self.program_bytes
+                    .fetch_add(program.size_bytes(), Ordering::Relaxed);
+                program
+            })
+            .clone())
+    }
+
     /// Snapshot of the compute/request counters.
     pub fn counters(&self) -> CtxCounters {
         CtxCounters {
@@ -204,6 +266,11 @@ impl Ctx {
             sweep_requests: self.sweep_requests.load(Ordering::Relaxed),
             dfg_computes: self.dfg_computes.load(Ordering::Relaxed),
             dfg_requests: self.dfg_requests.load(Ordering::Relaxed),
+            lowerings: self.lowerings.load(Ordering::Relaxed),
+            program_requests: self.program_requests.load(Ordering::Relaxed),
+            program_nodes: self.program_nodes.load(Ordering::Relaxed),
+            program_edges: self.program_edges.load(Ordering::Relaxed),
+            program_bytes: self.program_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -254,6 +321,24 @@ mod tests {
         let counters = ctx.counters();
         assert_eq!(counters.sweep_computes, 2);
         assert_eq!(counters.sweep_requests, 3);
+    }
+
+    #[test]
+    fn programs_lower_once_per_workload() {
+        let ctx = Ctx::with_space(SweepSpace::coarse());
+        let a = ctx.program(Workload::Red).unwrap();
+        let b = ctx.program(Workload::Red).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second request must hit the cache");
+        // The sweep pulls the same shared program.
+        ctx.sweep(Workload::Red).unwrap();
+        ctx.sweep(Workload::Red).unwrap();
+        let c = ctx.counters();
+        assert_eq!(c.lowerings, 1);
+        assert_eq!(c.program_requests, 3);
+        assert_eq!(c.dfg_computes, 1);
+        assert_eq!(c.program_nodes, a.vertex_count());
+        assert_eq!(c.program_edges, a.edge_count());
+        assert_eq!(c.program_bytes, a.size_bytes());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use accelwall_accelsim::attribution::Metric;
 use accelwall_accelsim::sweep::best_efficiency;
-use accelwall_accelsim::{attribute_gains_with_points, Attribution, SweepSpace};
+use accelwall_accelsim::{attribute_gains_lowered, Attribution, SweepSpace};
 use accelwall_cmos::TechNode;
 use accelwall_workloads::Workload;
 
@@ -148,8 +148,11 @@ impl Experiment for Fig14 {
         let mut rows = Vec::new();
         for &w in Workload::all() {
             let points = ctx.sweep(w)?;
-            let perf = attribute_gains_with_points(ctx.dfg(w)?, Metric::Performance, points)?;
-            let ee = attribute_gains_with_points(ctx.dfg(w)?, Metric::EnergyEfficiency, points)?;
+            // Both metrics re-price the toggle chain over the same cached
+            // bytecode program the sweep ran on — no re-lowering.
+            let program = ctx.program(w)?;
+            let perf = attribute_gains_lowered(&program, Metric::Performance, points)?;
+            let ee = attribute_gains_lowered(&program, Metric::EnergyEfficiency, points)?;
             rows.push((w, perf, ee));
         }
         let contribution_json = |a: &Attribution| {

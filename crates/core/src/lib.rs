@@ -92,13 +92,16 @@ pub mod prelude {
     pub use crate::report::{DomainReport, Maturity};
     pub use accelwall_accelsim::attribution::Metric;
     pub use accelwall_accelsim::{
-        attribute_gains, attribute_gains_with_points, run_sweep, schedule, simulate,
+        attribute_gains, attribute_gains_lowered, attribute_gains_with_points, run_sweep,
+        run_sweep_lowered, schedule, schedule_lowered, simulate, simulate_lowered,
         simulate_scheduled, Attribution, DesignConfig, Schedule, SimReport, SweepSpace,
     };
     pub use accelwall_chipdb::{ChipKind, ChipRecord, CorpusSpec, NodeGroup};
     pub use accelwall_cmos::{ScalingMetric, TechNode};
     pub use accelwall_csr::{csr, decompose, ArchObservations, CsrSeries, RelationMatrix};
-    pub use accelwall_dfg::{concept_limit, Component, Dfg, DfgBuilder, Op, SpecializationConcept};
+    pub use accelwall_dfg::{
+        concept_limit, Component, Dfg, DfgBuilder, Op, Program, SpecializationConcept,
+    };
     pub use accelwall_potential::{fig3d_grid, ChipSpec, PotentialModel, TdpZone};
     pub use accelwall_projection::{
         accelerator_wall, beyond_wall, BeyondWall, Domain, TargetMetric, WallProjection,

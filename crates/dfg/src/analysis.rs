@@ -4,8 +4,15 @@
 //! the depth `D` (longest computation path, counted in vertices), the
 //! per-stage working sets `WS_s`, and the size of the computation-path set
 //! `P` (counted without enumeration — path counts grow exponentially).
+//!
+//! The algorithms run on the lowered [`Program`] — flat CSR edge tables
+//! and the precomputed ASAP levels, no per-node allocation. The [`Dfg`]
+//! front-end keeps the same analysis API by lowering and delegating, so
+//! callers that only hold a graph never notice; hot paths lower once and
+//! query the cached [`Program::stats`].
 
-use crate::graph::{Dfg, NodeId, NodeKind};
+use crate::graph::{Dfg, NodeId};
+use crate::program::{Program, VertexClass};
 
 /// Summary statistics of a DFG, in the paper's notation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,46 +44,25 @@ pub struct DfgStats {
     pub path_count: u128,
 }
 
-impl Dfg {
-    /// ASAP level of every node: inputs at level 0, every other node one
-    /// past its latest operand. Node ids ascend topologically, so one pass
-    /// suffices.
-    pub fn asap_levels(&self) -> Vec<usize> {
-        let mut levels = vec![0usize; self.nodes.len()];
-        for (i, node) in self.nodes.iter().enumerate() {
-            let base = node
-                .operands
-                .iter()
-                .map(|o| levels[o.index()])
-                .max()
-                .map_or(0, |m| m + 1);
-            // Outputs sit at their operand's level + 1 like any consumer;
-            // they represent writing the variable out.
-            levels[i] = base;
-        }
-        levels
-    }
-
+impl Program {
     /// The paper's depth `D`: vertices on the longest path from an input
     /// to an output (the Fig. 11 example has `D = 4`: input, two stages,
-    /// output).
+    /// output). Outputs sit at their operand's level + 1 like any
+    /// consumer; they represent writing the variable out.
     pub fn depth(&self) -> usize {
-        self.asap_levels()
+        self.output_slots
             .iter()
-            .zip(&self.nodes)
-            .filter(|(_, n)| matches!(n.kind, NodeKind::Output(_)))
-            .map(|(l, _)| l + 1)
+            .map(|&(_, v)| self.levels[v as usize] as usize + 1)
             .max()
             .unwrap_or(0)
     }
 
-    /// Nodes at each ASAP level, level-major.
-    pub fn stages(&self) -> Vec<Vec<NodeId>> {
-        let levels = self.asap_levels();
-        let max = levels.iter().copied().max().unwrap_or(0);
+    /// Vertex ids at each ASAP level, level-major.
+    pub fn stages(&self) -> Vec<Vec<u32>> {
+        let max = self.levels.iter().copied().max().unwrap_or(0) as usize;
         let mut stages = vec![Vec::new(); max + 1];
-        for (i, &l) in levels.iter().enumerate() {
-            stages[l].push(NodeId(i));
+        for (v, &l) in self.levels.iter().enumerate() {
+            stages[l as usize].push(v as u32);
         }
         stages
     }
@@ -85,22 +71,26 @@ impl Dfg {
     /// stage `s` that are still consumed after `s`. The maximum over `s` is
     /// the paper's `max |WS_s|`.
     pub fn working_sets(&self) -> Vec<usize> {
-        let levels = self.asap_levels();
-        let max_level = levels.iter().copied().max().unwrap_or(0);
-        // last_use[i] = the latest level at which node i's value is consumed.
-        let mut last_use = vec![0usize; self.nodes.len()];
-        for (i, node) in self.nodes.iter().enumerate() {
-            for op in &node.operands {
-                last_use[op.index()] = last_use[op.index()].max(levels[i]);
-            }
+        let n = self.vertex_count();
+        let max_level = self.levels.iter().copied().max().unwrap_or(0) as usize;
+        // last_use[v] = the latest level at which v's value is consumed;
+        // the consumer CSR row gives it in one scan.
+        let mut last_use = vec![0usize; n];
+        for (v, slot) in last_use.iter_mut().enumerate() {
+            *slot = self
+                .consumers(v)
+                .iter()
+                .map(|&c| self.levels[c as usize] as usize)
+                .max()
+                .unwrap_or(0);
         }
         (0..=max_level)
             .map(|s| {
-                (0..self.nodes.len())
-                    .filter(|&i| {
-                        !matches!(self.nodes[i].kind, NodeKind::Output(_))
-                            && levels[i] <= s
-                            && last_use[i] > s
+                (0..n)
+                    .filter(|&v| {
+                        self.classes[v] != VertexClass::Output
+                            && self.levels[v] as usize <= s
+                            && last_use[v] > s
                     })
                     .count()
             })
@@ -110,49 +100,93 @@ impl Dfg {
     /// Number of input-to-output computation paths `|P|`, by dynamic
     /// programming over the topological order; saturates at `u128::MAX`.
     pub fn path_count(&self) -> u128 {
-        let mut paths_to = vec![0u128; self.nodes.len()];
-        for (i, node) in self.nodes.iter().enumerate() {
-            paths_to[i] = match node.kind {
-                NodeKind::Input(_) => 1,
-                _ => node
-                    .operands
+        let n = self.vertex_count();
+        let mut paths_to = vec![0u128; n];
+        for v in 0..n {
+            paths_to[v] = match self.classes[v] {
+                VertexClass::Input => 1,
+                _ => self
+                    .operands(v)
                     .iter()
-                    .fold(0u128, |acc, o| acc.saturating_add(paths_to[o.index()])),
+                    .fold(0u128, |acc, &o| acc.saturating_add(paths_to[o as usize])),
             };
         }
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| matches!(n.kind, NodeKind::Output(_)))
-            .fold(0u128, |acc, (i, _)| acc.saturating_add(paths_to[i]))
+        (0..n)
+            .filter(|&v| self.classes[v] == VertexClass::Output)
+            .fold(0u128, |acc, v| acc.saturating_add(paths_to[v]))
     }
 
-    /// All summary statistics in one pass.
-    pub fn stats(&self) -> DfgStats {
-        let levels = self.asap_levels();
-        let compute_levels: std::collections::BTreeSet<usize> = self
-            .nodes
+    /// Computes the summary statistics from the flat arrays. Used once by
+    /// the lowering pass; callers read the cached [`Program::stats`].
+    pub(crate) fn compute_stats(&self) -> DfgStats {
+        let compute_levels: std::collections::BTreeSet<u32> = self
+            .classes
             .iter()
             .enumerate()
-            .filter(|(_, n)| matches!(n.kind, NodeKind::Compute(_)))
-            .map(|(i, _)| levels[i])
+            .filter(|(_, &c)| c == VertexClass::Compute)
+            .map(|(v, _)| self.levels[v])
             .collect();
         let mut width = std::collections::HashMap::new();
-        for &l in &levels {
+        for &l in &self.levels {
             *width.entry(l).or_insert(0usize) += 1;
         }
         DfgStats {
             vertices: self.vertex_count(),
             edges: self.edge_count(),
-            inputs: self.input_ids().len(),
-            outputs: self.output_ids().len(),
-            computes: self.compute_ids().len(),
+            inputs: self.input_slots.len(),
+            outputs: self.output_slots.len(),
+            computes: self
+                .classes
+                .iter()
+                .filter(|&&c| c == VertexClass::Compute)
+                .count(),
             depth: self.depth(),
             compute_stages: compute_levels.len(),
             max_working_set: self.working_sets().into_iter().max().unwrap_or(0),
             max_stage_width: width.values().copied().max().unwrap_or(0),
             path_count: self.path_count(),
         }
+    }
+}
+
+impl Dfg {
+    /// ASAP level of every node: inputs at level 0, every other node one
+    /// past its latest operand. Delegates to the lowering pass; lower
+    /// once and use [`Program::levels`] when calling repeatedly.
+    pub fn asap_levels(&self) -> Vec<usize> {
+        self.lower().levels().iter().map(|&l| l as usize).collect()
+    }
+
+    /// The paper's depth `D`; see [`Program::depth`].
+    pub fn depth(&self) -> usize {
+        self.lower().depth()
+    }
+
+    /// Nodes at each ASAP level, level-major; see [`Program::stages`].
+    pub fn stages(&self) -> Vec<Vec<NodeId>> {
+        self.lower()
+            .stages()
+            .into_iter()
+            .map(|stage| stage.into_iter().map(|v| NodeId(v as usize)).collect())
+            .collect()
+    }
+
+    /// The live working set after each stage; see
+    /// [`Program::working_sets`].
+    pub fn working_sets(&self) -> Vec<usize> {
+        self.lower().working_sets()
+    }
+
+    /// Number of input-to-output computation paths `|P|`; see
+    /// [`Program::path_count`].
+    pub fn path_count(&self) -> u128 {
+        self.lower().path_count()
+    }
+
+    /// All summary statistics. Delegates to the lowering pass; lower once
+    /// and read the cached [`Program::stats`] when calling repeatedly.
+    pub fn stats(&self) -> DfgStats {
+        self.lower().stats()
     }
 }
 
@@ -258,5 +292,20 @@ mod tests {
         let g = fig11();
         let total: usize = g.stages().iter().map(Vec::len).sum();
         assert_eq!(total, g.vertex_count());
+    }
+
+    #[test]
+    fn front_end_delegation_matches_the_program() {
+        let g = fig11();
+        let p = g.lower();
+        assert_eq!(g.stats(), p.stats());
+        assert_eq!(g.depth(), p.depth());
+        assert_eq!(g.working_sets(), p.working_sets());
+        assert_eq!(g.path_count(), p.path_count());
+        let delegated: Vec<usize> = g.asap_levels();
+        let direct: Vec<usize> = p.levels().iter().map(|&l| l as usize).collect();
+        assert_eq!(delegated, direct);
+        // Cached stats equal a fresh recomputation.
+        assert_eq!(p.stats(), p.compute_stats());
     }
 }

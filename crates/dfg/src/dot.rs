@@ -1,14 +1,17 @@
 //! Graphviz DOT export for dataflow graphs.
 //!
 //! A released analysis library needs a way to *look* at the graphs it
-//! builds: `to_dot` renders any [`Dfg`] as a DOT digraph — inputs as
-//! houses, outputs as inverted houses, compute vertices as boxes colored
-//! by functional-unit class, optionally clustered by ASAP stage (which
-//! makes the Fig. 11 stage structure visible at a glance).
+//! builds: `to_dot` renders any [`Dfg`] (via its lowered [`Program`]) as a
+//! DOT digraph — inputs as houses, outputs as inverted houses, compute
+//! vertices as boxes colored by functional-unit class, optionally
+//! clustered by ASAP stage (which makes the Fig. 11 stage structure
+//! visible at a glance). The renderer walks the lowered flat edge table
+//! and the precomputed levels, so no graph analysis is re-run.
 
-use crate::graph::{Dfg, NodeKind, Op};
+use crate::graph::{Dfg, Op};
+use crate::program::{Program, VertexClass};
 
-/// Rendering options for [`Dfg::to_dot`].
+/// Rendering options for [`Dfg::to_dot`] / [`Program::to_dot`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DotOptions {
     /// Group vertices into per-stage clusters (`rank=same`), making the
@@ -42,6 +45,13 @@ impl Dfg {
     /// assert!(dot.contains("n0 -> n1"));
     /// ```
     pub fn to_dot(&self, options: DotOptions) -> String {
+        self.lower().to_dot(options)
+    }
+}
+
+impl Program {
+    /// Renders the lowered program as a Graphviz DOT digraph.
+    pub fn to_dot(&self, options: DotOptions) -> String {
         let mut out = String::new();
         // Writing into a String is infallible (`fmt::Error` can only come
         // from the sink), so the render result carries no information.
@@ -49,32 +59,48 @@ impl Dfg {
         out
     }
 
-    /// The fallible rendering core behind [`Dfg::to_dot`], generic over
-    /// any [`std::fmt::Write`] sink.
+    /// The fallible rendering core behind [`Program::to_dot`], generic
+    /// over any [`std::fmt::Write`] sink.
     fn render_dot(&self, out: &mut impl std::fmt::Write, options: DotOptions) -> std::fmt::Result {
         let shown = self.vertex_count().min(options.max_vertices);
         writeln!(out, "digraph {:?} {{", self.name())?;
         writeln!(out, "  rankdir=TB;")?;
         writeln!(out, "  node [fontname=\"monospace\"];")?;
 
-        let levels = self.asap_levels();
+        // Slot maps give input/output vertices their variable names back.
+        let names: std::collections::HashMap<u32, &str> = self
+            .input_slots()
+            .iter()
+            .chain(self.output_slots())
+            .map(|(name, v)| (*v, name.as_str()))
+            .collect();
+
+        let levels = self.levels();
         let max_level = levels.iter().take(shown).copied().max().unwrap_or(0);
         for level in 0..=max_level {
             if options.cluster_stages {
                 writeln!(out, "  {{ rank=same;")?;
             }
-            for (i, node) in self.nodes().iter().enumerate().take(shown) {
-                if levels[i] != level {
-                    continue;
-                }
-                let (label, shape, color) = match &node.kind {
-                    NodeKind::Input(name) => (name.clone(), "house", "lightblue"),
-                    NodeKind::Output(name) => (name.clone(), "invhouse", "lightsalmon"),
-                    NodeKind::Compute(op) => (format!("{op:?}"), "box", compute_color(*op)),
+            for v in (0..shown).filter(|&v| levels[v] == level) {
+                let (label, shape, color) = match self.class(v) {
+                    VertexClass::Input => (
+                        names.get(&(v as u32)).copied().unwrap_or("?").to_string(),
+                        "house",
+                        "lightblue",
+                    ),
+                    VertexClass::Output => (
+                        names.get(&(v as u32)).copied().unwrap_or("?").to_string(),
+                        "invhouse",
+                        "lightsalmon",
+                    ),
+                    VertexClass::Compute => {
+                        let op = self.opcode(v);
+                        (format!("{op:?}"), "box", compute_color(op))
+                    }
                 };
                 writeln!(
                     out,
-                    "    n{i} [label=\"{label}\", shape={shape}, style=filled, fillcolor={color}];"
+                    "    n{v} [label=\"{label}\", shape={shape}, style=filled, fillcolor={color}];"
                 )?;
             }
             if options.cluster_stages {
@@ -82,10 +108,10 @@ impl Dfg {
             }
         }
 
-        for (i, node) in self.nodes().iter().enumerate().take(shown) {
-            for op in &node.operands {
-                if op.index() < shown {
-                    writeln!(out, "  n{} -> n{i};", op.index())?;
+        for v in 0..shown {
+            for &op in self.operands(v) {
+                if (op as usize) < shown {
+                    writeln!(out, "  n{op} -> n{v};")?;
                 }
             }
         }
@@ -141,6 +167,18 @@ mod tests {
         assert_eq!(dot.matches(" -> ").count(), g.edge_count());
         assert!(dot.contains("house"));
         assert!(dot.contains("invhouse"));
+        // Input/output labels come from the slot maps.
+        assert!(dot.contains("label=\"d1\""));
+        assert!(dot.contains("label=\"o2\""));
+    }
+
+    #[test]
+    fn program_and_front_end_render_identically() {
+        let g = fig11();
+        assert_eq!(
+            g.to_dot(DotOptions::default()),
+            g.lower().to_dot(DotOptions::default())
+        );
     }
 
     #[test]

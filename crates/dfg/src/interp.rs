@@ -1,9 +1,20 @@
-//! A reference interpreter for DFGs.
+//! Interpretation of DFGs: the bytecode VM and its legacy oracle.
 //!
 //! Executes a graph on `f64` values so workload generators can be validated
 //! functionally against plain-software implementations of the same kernels.
 //! Bitwise operations interpret their operands as unsigned 64-bit integers
 //! (every integer the workloads use is exactly representable in an `f64`).
+//!
+//! Since the bytecode refactor the shipping interpreter is the register
+//! machine in [`Program::evaluate`](crate::Program::evaluate) /
+//! [`Program::run`](crate::Program::run): a single forward loop over the
+//! lowered SoA arrays, operands fetched through CSR slices, no per-node
+//! `Vec` allocation and no string hashing on the positional path.
+//! [`Dfg::evaluate`] lowers and delegates, so front-end callers keep the
+//! old API; callers in loops should lower once. The original tree-walker
+//! survives as [`Dfg::evaluate_reference`], a differential oracle the
+//! property tests replay against the VM — it must never change
+//! independently of the VM's semantics.
 
 use crate::graph::{Dfg, NodeKind, Op};
 use crate::{DfgError, Result};
@@ -13,12 +24,34 @@ impl Dfg {
     /// Evaluates the graph for one set of input values, keyed by input
     /// variable name; returns the output variable values.
     ///
+    /// Lowers the graph and runs the bytecode VM. Each call pays one
+    /// lowering pass; hot loops should call [`Dfg::lower`] once and then
+    /// [`Program::evaluate`](crate::Program::evaluate) or the positional
+    /// [`Program::run`](crate::Program::run).
+    ///
     /// # Errors
     ///
     /// * [`DfgError::MissingInput`] when `inputs` lacks a named input.
     /// * [`DfgError::NonFiniteValue`] when an operation produces NaN or
     ///   infinity (for example division by zero).
     pub fn evaluate(&self, inputs: &HashMap<String, f64>) -> Result<HashMap<String, f64>> {
+        self.lower().evaluate(inputs)
+    }
+
+    /// The legacy tree-walking interpreter, retained verbatim as the
+    /// differential oracle for the bytecode VM: the test suite asserts
+    /// that [`Program::evaluate`](crate::Program::evaluate) is
+    /// bit-identical to this on random graphs and on every registry
+    /// workload. Shipping code paths use the VM; do not call this except
+    /// to compare against it.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Dfg::evaluate`].
+    pub fn evaluate_reference(
+        &self,
+        inputs: &HashMap<String, f64>,
+    ) -> Result<HashMap<String, f64>> {
         let mut values = vec![0.0f64; self.nodes.len()];
         let mut outputs = HashMap::new();
         for (i, node) in self.nodes.iter().enumerate() {
@@ -87,6 +120,7 @@ impl Dfg {
 mod tests {
     use super::*;
     use crate::DfgBuilder;
+    use accelwall_stats::rng::Rng;
 
     fn eval1(op: Op, args: &[f64]) -> f64 {
         let mut b = DfgBuilder::new("t");
@@ -103,7 +137,10 @@ mod tests {
             .enumerate()
             .map(|(i, &v)| (format!("x{i}"), v))
             .collect();
-        g.evaluate(&inputs).unwrap()["y"]
+        let vm = g.evaluate(&inputs).unwrap();
+        // Every single-op evaluation doubles as a VM-vs-oracle check.
+        assert_eq!(vm, g.evaluate_reference(&inputs).unwrap());
+        vm["y"]
     }
 
     #[test]
@@ -179,6 +216,10 @@ mod tests {
             g.evaluate(&HashMap::new()),
             Err(DfgError::MissingInput(_))
         ));
+        assert_eq!(
+            g.evaluate(&HashMap::new()),
+            g.evaluate_reference(&HashMap::new())
+        );
     }
 
     #[test]
@@ -194,6 +235,8 @@ mod tests {
             g.evaluate(&inputs),
             Err(DfgError::NonFiniteValue { .. })
         ));
+        // The VM reports the same node index as the oracle.
+        assert_eq!(g.evaluate(&inputs), g.evaluate_reference(&inputs));
     }
 
     #[test]
@@ -218,5 +261,111 @@ mod tests {
             .unwrap();
         assert_eq!(out["o1"], (6.0 + 4.0) - 4.0 / 2.0);
         assert_eq!(out["o2"], 4.0 / 2.0 + 2.0);
+    }
+
+    /// Builds a random DFG with `n` compute vertices drawn from the full
+    /// opcode set (the chipdb synthesizer's RNG pattern: SplitMix64-seeded
+    /// xoshiro256++), returning the graph and a random input assignment.
+    fn random_dfg(seed: u64) -> (Dfg, HashMap<String, f64>) {
+        let mut rng = Rng::seed(seed);
+        let mut b = DfgBuilder::new(format!("rand{seed}"));
+        let mut table = [0u8; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            *slot = (rng.next_u64() ^ i as u64) as u8;
+        }
+        let lut = b.register_table(table);
+        let n_inputs = rng.range(2, 6) as usize;
+        let mut pool: Vec<_> = (0..n_inputs).map(|i| b.input(format!("x{i}"))).collect();
+        let mut inputs = HashMap::new();
+        for i in 0..n_inputs {
+            // A mix of small integers (bitwise-friendly) and reals,
+            // including zero so division errors get exercised too.
+            let v = if rng.flip() {
+                rng.below(17) as f64
+            } else {
+                rng.uniform(-4.0, 4.0)
+            };
+            inputs.insert(format!("x{i}"), v);
+        }
+        const OPS: [Op; 22] = [
+            Op::Add,
+            Op::Sub,
+            Op::Mul,
+            Op::Div,
+            Op::Mod,
+            Op::Min,
+            Op::Max,
+            Op::Abs,
+            Op::Neg,
+            Op::Sqrt,
+            Op::And,
+            Op::Or,
+            Op::Xor,
+            Op::Not,
+            Op::Shl,
+            Op::Shr,
+            Op::CmpLt,
+            Op::CmpEq,
+            Op::Select,
+            Op::Sigmoid,
+            Op::Copy,
+            Op::Lut { table: 0 },
+        ];
+        let n_ops = rng.range(4, 40) as usize;
+        for _ in 0..n_ops {
+            let mut op = OPS[rng.index(OPS.len())];
+            if let Op::Lut { .. } = op {
+                op = Op::Lut { table: lut };
+            }
+            let operands: Vec<_> = (0..op.arity())
+                .map(|_| pool[rng.index(pool.len())])
+                .collect();
+            let id = b.op(op, &operands);
+            pool.push(id);
+        }
+        let n_outs = rng.range(1, 4) as usize;
+        for o in 0..n_outs {
+            b.output(format!("o{o}"), pool[rng.index(pool.len())]);
+        }
+        (b.build().unwrap(), inputs)
+    }
+
+    #[test]
+    fn vm_is_bit_identical_to_the_oracle_on_random_graphs() {
+        for seed in 0..200 {
+            let (g, inputs) = random_dfg(seed);
+            let vm = g.lower().evaluate(&inputs);
+            let oracle = g.evaluate_reference(&inputs);
+            // Exact equality on both the Ok and Err sides: same output
+            // names, same f64 bits, same failing node index.
+            assert_eq!(vm, oracle, "seed {seed}");
+            if let (Ok(vm), Ok(oracle)) = (&vm, &oracle) {
+                for (name, value) in vm {
+                    assert_eq!(
+                        value.to_bits(),
+                        oracle[name].to_bits(),
+                        "seed {seed} output {name}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn positional_run_matches_named_evaluation_on_random_graphs() {
+        for seed in 200..260 {
+            let (g, inputs) = random_dfg(seed);
+            let p = g.lower();
+            let fed: Vec<f64> = p.input_slots().iter().map(|(n, _)| inputs[n]).collect();
+            match (p.run(&fed), p.evaluate(&inputs)) {
+                (Ok(positional), Ok(named)) => {
+                    for ((name, _), v) in p.output_slots().iter().zip(&positional) {
+                        assert_eq!(v.to_bits(), named[name].to_bits(), "seed {seed} {name}");
+                    }
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "seed {seed}"),
+                (a, b) => panic!("seed {seed}: run {a:?} vs evaluate {b:?}"),
+            }
+        }
     }
 }

@@ -17,8 +17,13 @@
 //! computation).
 //!
 //! The graph is built through [`DfgBuilder`], which guarantees acyclicity by
-//! construction (operands must already exist). A small interpreter
-//! ([`Dfg::evaluate`]) executes graphs on `f64` values so workload
+//! construction (operands must already exist). Built graphs are *lowered*
+//! ([`Dfg::lower`]) into an immutable structure-of-arrays bytecode
+//! [`Program`] — flat CSR edge tables, precomputed levels and heights,
+//! input/output slot maps — which is the representation every hot
+//! consumer (the interpreter, the scheduler, the design-space sweep)
+//! runs on. A register-machine interpreter ([`Program::evaluate`] /
+//! [`Program::run`]) executes programs on `f64` values so workload
 //! generators can be validated against reference software kernels.
 //!
 //! # Example: the Fig. 11 graph
@@ -56,6 +61,8 @@ pub mod dot;
 pub mod graph;
 pub mod interp;
 pub mod limits;
+pub mod lower;
+pub mod program;
 
 pub use analysis::DfgStats;
 pub use builder::DfgBuilder;
@@ -63,6 +70,7 @@ pub use concepts::{Component, SpecializationConcept};
 pub use dot::DotOptions;
 pub use graph::{Dfg, NodeId, NodeKind, Op};
 pub use limits::{concept_limit, Complexity, ConceptLimit};
+pub use program::{Program, VertexClass};
 
 use std::error::Error;
 use std::fmt;

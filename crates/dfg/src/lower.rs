@@ -1,0 +1,232 @@
+//! The lowering pass: compiles a built [`Dfg`] into a flat [`Program`].
+//!
+//! Lowering is a handful of linear passes over the node list:
+//!
+//! 1. flatten node kinds into the parallel `classes`/`opcodes` arrays and
+//!    collect the input/output slot maps (id-ascending, so positional
+//!    evaluation can walk them with a cursor);
+//! 2. flatten the operand lists into a CSR in-edge pool, then invert it
+//!    with a counting sort into the CSR out-edge (consumer) pool —
+//!    filling in id order keeps every consumer row ascending, which is
+//!    the same visit order the legacy per-node `Vec<Vec<_>>` tables had;
+//! 3. one forward pass for ASAP levels, one backward pass for
+//!    remaining-path heights (ids ascend topologically, so neither needs
+//!    a worklist);
+//! 4. precompute the summary [`DfgStats`] over the flat arrays, so sweep
+//!    consumers stop re-deriving them per design point.
+//!
+//! The pass is infallible: every structural error is caught by
+//! [`DfgBuilder::build`](crate::DfgBuilder::build) before a `Dfg` can
+//! exist. Ids are narrowed to `u32` — a graph with 2³² vertices would
+//! exhaust memory in the front-end representation long before reaching
+//! this pass.
+
+use crate::graph::{Dfg, NodeKind, Op};
+use crate::program::{Program, VertexClass};
+
+impl Dfg {
+    /// Compiles the graph into its immutable, flat [`Program`] form.
+    ///
+    /// Hot paths should lower once and share the result (`Arc<Program>`);
+    /// the pass itself is `O(|V| + |E| + depth·|V|)`, dominated by the
+    /// working-set statistics.
+    ///
+    /// ```
+    /// use accelwall_dfg::{DfgBuilder, Op};
+    /// let mut b = DfgBuilder::new("t");
+    /// let x = b.input("x");
+    /// let y = b.op(Op::Neg, &[x]);
+    /// b.output("o", y);
+    /// let g = b.build().unwrap();
+    /// let p = g.lower();
+    /// assert_eq!(p.vertex_count(), g.vertex_count());
+    /// assert_eq!(p.stats(), g.stats());
+    /// ```
+    pub fn lower(&self) -> Program {
+        let n = self.nodes.len();
+
+        let mut classes = Vec::with_capacity(n);
+        let mut opcodes = Vec::with_capacity(n);
+        let mut input_slots = Vec::new();
+        let mut output_slots = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            match &node.kind {
+                NodeKind::Input(name) => {
+                    classes.push(VertexClass::Input);
+                    opcodes.push(Op::Copy);
+                    input_slots.push((name.clone(), i as u32));
+                }
+                NodeKind::Compute(op) => {
+                    classes.push(VertexClass::Compute);
+                    opcodes.push(*op);
+                }
+                NodeKind::Output(name) => {
+                    classes.push(VertexClass::Output);
+                    opcodes.push(Op::Copy);
+                    output_slots.push((name.clone(), i as u32));
+                }
+            }
+        }
+
+        // In-edges: flatten the operand lists row by row.
+        let edge_count = self.edge_count();
+        let mut operand_offsets = Vec::with_capacity(n + 1);
+        let mut operand_pool = Vec::with_capacity(edge_count);
+        operand_offsets.push(0u32);
+        for node in &self.nodes {
+            for op in &node.operands {
+                operand_pool.push(op.index() as u32);
+            }
+            operand_offsets.push(operand_pool.len() as u32);
+        }
+
+        // Out-edges: invert with a counting sort. Filling while scanning
+        // consumers in ascending id order leaves every row ascending.
+        let mut consumer_offsets = vec![0u32; n + 1];
+        for &producer in &operand_pool {
+            consumer_offsets[producer as usize + 1] += 1;
+        }
+        for v in 0..n {
+            consumer_offsets[v + 1] += consumer_offsets[v];
+        }
+        let mut consumer_pool = vec![0u32; edge_count];
+        let mut cursor: Vec<u32> = consumer_offsets[..n].to_vec();
+        for (i, node) in self.nodes.iter().enumerate() {
+            for op in &node.operands {
+                let slot = &mut cursor[op.index()];
+                consumer_pool[*slot as usize] = i as u32;
+                *slot += 1;
+            }
+        }
+
+        // ASAP levels: one forward pass (ids ascend topologically).
+        let mut levels = vec![0u32; n];
+        for v in 0..n {
+            let row = &operand_pool[operand_offsets[v] as usize..operand_offsets[v + 1] as usize];
+            levels[v] = row
+                .iter()
+                .map(|&o| levels[o as usize])
+                .max()
+                .map_or(0, |m| m + 1);
+        }
+
+        // Remaining-path heights: one backward pass over the out-edges.
+        let mut heights = vec![0u32; n];
+        for v in (0..n).rev() {
+            let row =
+                &consumer_pool[consumer_offsets[v] as usize..consumer_offsets[v + 1] as usize];
+            let downstream = row.iter().map(|&c| heights[c as usize]).max().unwrap_or(0);
+            heights[v] = downstream + 1;
+        }
+
+        let mut program = Program {
+            name: self.name.clone(),
+            classes,
+            opcodes,
+            operand_offsets,
+            operand_pool,
+            consumer_offsets,
+            consumer_pool,
+            levels,
+            heights,
+            input_slots,
+            output_slots,
+            tables: self.tables.clone(),
+            stats: crate::analysis::DfgStats {
+                vertices: 0,
+                edges: 0,
+                inputs: 0,
+                outputs: 0,
+                computes: 0,
+                depth: 0,
+                compute_stages: 0,
+                max_working_set: 0,
+                max_stage_width: 0,
+                path_count: 0,
+            },
+        };
+        program.stats = program.compute_stats();
+        program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DfgBuilder;
+
+    fn fig11() -> Dfg {
+        let mut b = DfgBuilder::new("fig11");
+        let d1 = b.input("d1");
+        let d2 = b.input("d2");
+        let d3 = b.input("d3");
+        let s1a = b.op(Op::Add, &[d1, d2]);
+        let s1b = b.op(Op::Div, &[d2, d3]);
+        let s2a = b.op(Op::Sub, &[s1a, s1b]);
+        let s2b = b.op(Op::Add, &[s1b, d3]);
+        b.output("o1", s2a);
+        b.output("o2", s2b);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lowering_preserves_counts_and_stats() {
+        let g = fig11();
+        let p = g.lower();
+        assert_eq!(p.name(), g.name());
+        assert_eq!(p.vertex_count(), g.vertex_count());
+        assert_eq!(p.edge_count(), g.edge_count());
+        assert_eq!(p.stats(), g.stats());
+    }
+
+    #[test]
+    fn operand_rows_match_the_front_end() {
+        let g = fig11();
+        let p = g.lower();
+        for id in g.ids() {
+            let want: Vec<u32> = g
+                .node(id)
+                .operands
+                .iter()
+                .map(|o| o.index() as u32)
+                .collect();
+            assert_eq!(p.operands(id.index()), want.as_slice(), "{id}");
+        }
+    }
+
+    #[test]
+    fn consumer_rows_are_the_exact_inverse_in_id_order() {
+        let g = fig11();
+        let p = g.lower();
+        // Rebuild the legacy Vec<Vec<usize>> consumer table and compare.
+        let mut legacy: Vec<Vec<u32>> = vec![Vec::new(); g.vertex_count()];
+        for id in g.ids() {
+            for op in &g.node(id).operands {
+                legacy[op.index()].push(id.index() as u32);
+            }
+        }
+        for (v, row) in legacy.iter().enumerate() {
+            assert_eq!(p.consumers(v), row.as_slice(), "n{v}");
+        }
+    }
+
+    #[test]
+    fn levels_match_the_front_end_analysis() {
+        let g = fig11();
+        let p = g.lower();
+        let want: Vec<u32> = g.asap_levels().iter().map(|&l| l as u32).collect();
+        assert_eq!(p.levels(), want.as_slice());
+    }
+
+    #[test]
+    fn duplicate_operands_keep_multiplicity() {
+        let mut b = DfgBuilder::new("dup");
+        let x = b.input("x");
+        let sq = b.op(Op::Mul, &[x, x]);
+        b.output("o", sq);
+        let p = b.build().unwrap().lower();
+        assert_eq!(p.operands(1), &[0, 0]);
+        assert_eq!(p.consumers(0), &[1, 1]);
+        assert_eq!(p.run(&[3.0]).unwrap(), vec![9.0]);
+    }
+}

@@ -10,7 +10,10 @@
 //! 3. the shared-input [`Ctx`](accelerator_wall::cache::Ctx) counters
 //!    ([`CtxCounters`]) — the same numbers the pipeline's golden tests
 //!    assert on, so "the corpus was built at most once over the whole
-//!    server lifetime" is observable from the outside;
+//!    server lifetime" is observable from the outside — including
+//!    `accelwall_dfg_lowerings_total` and the program size gauges
+//!    (`accelwall_dfg_program_{nodes,edges,bytes}`), which prove each
+//!    workload graph was lowered to bytecode exactly once;
 //! 4. failure-containment counters: `worker_panics_total` (pool workers
 //!    that died panicking and were respawned — stays 0 while the cache's
 //!    `catch_unwind` containment holds), the cache's retry / contained
@@ -261,9 +264,18 @@ impl Metrics {
             ("sweep_requests", ctx.sweep_requests),
             ("dfg_computes", ctx.dfg_computes),
             ("dfg_requests", ctx.dfg_requests),
+            ("program_requests", ctx.program_requests),
         ] {
             let _ = writeln!(out, "accelwall_ctx_{name} {value}");
         }
+        out.push_str("# TYPE accelwall_dfg_lowerings_total counter\n");
+        let _ = writeln!(out, "accelwall_dfg_lowerings_total {}", ctx.lowerings);
+        out.push_str("# TYPE accelwall_dfg_program_nodes gauge\n");
+        let _ = writeln!(out, "accelwall_dfg_program_nodes {}", ctx.program_nodes);
+        out.push_str("# TYPE accelwall_dfg_program_edges gauge\n");
+        let _ = writeln!(out, "accelwall_dfg_program_edges {}", ctx.program_edges);
+        out.push_str("# TYPE accelwall_dfg_program_bytes gauge\n");
+        let _ = writeln!(out, "accelwall_dfg_program_bytes {}", ctx.program_bytes);
         out.push_str("# TYPE accelwall_par_workers gauge\n");
         let _ = writeln!(out, "accelwall_par_workers {}", accelwall_par::workers());
         out.push_str("# TYPE accelwall_par_jobs_total counter\n");
@@ -321,6 +333,11 @@ mod tests {
             sweep_requests: 0,
             dfg_computes: 0,
             dfg_requests: 0,
+            lowerings: 3,
+            program_requests: 7,
+            program_nodes: 1200,
+            program_edges: 2400,
+            program_bytes: 65536,
         }
     }
 
@@ -364,6 +381,11 @@ mod tests {
         assert!(text.contains("accelwall_ctx_corpus_computes 1"));
         assert!(text.contains("accelwall_ctx_sweep_requests 0"));
         assert!(text.contains("accelwall_ctx_dfg_computes 0"));
+        assert!(text.contains("accelwall_ctx_program_requests 7"));
+        assert!(text.contains("accelwall_dfg_lowerings_total 3"));
+        assert!(text.contains("accelwall_dfg_program_nodes 1200"));
+        assert!(text.contains("accelwall_dfg_program_edges 2400"));
+        assert!(text.contains("accelwall_dfg_program_bytes 65536"));
     }
 
     #[test]
