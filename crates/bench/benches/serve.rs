@@ -10,7 +10,11 @@
 //!    per-experiment `OnceLock` cache;
 //! 3. **warm throughput** — 8 client threads hammering a warm target,
 //!    requests per second;
-//! 4. **disarmed fault-probe cost** — `accelwall_faults::probe` with no
+//! 4. **query cold/warm latency and hit rate** — `GET /query` for an
+//!    ad-hoc design point: the cold miss computes through the engine,
+//!    the warm repeats come out of the sharded LRU, and the hit rate is
+//!    read back from `/metrics`;
+//! 5. **disarmed fault-probe cost** — `accelwall_faults::probe` with no
 //!    `ACCELWALL_FAULTS` plan armed, which every request and compute
 //!    attempt pays; the bench asserts it stays under 5 % of the warm
 //!    request path.
@@ -82,10 +86,34 @@ fn main() {
     let total_requests = (CLIENTS * REQUESTS_PER_CLIENT) as f64;
     let rps = total_requests / throughput_wall.as_secs_f64();
 
+    // 4. Query engine: cold miss vs warm LRU hit, plus the hit rate
+    // as the engine itself counts it.
+    const QUERY: &str = "/query?workload=fft&node=7nm&lanes=4";
+    const QUERY_WARM_SAMPLES: u32 = 200;
+    let query_cold_start = Instant::now();
+    get(addr, QUERY);
+    let query_cold = query_cold_start.elapsed();
+    let query_warm_start = Instant::now();
+    for _ in 0..QUERY_WARM_SAMPLES {
+        get(addr, QUERY);
+    }
+    let query_warm = query_warm_start.elapsed() / QUERY_WARM_SAMPLES;
+    let metrics = get(addr, "/metrics");
+    let counter = |name: &str| -> f64 {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("metric {name} missing"))
+    };
+    let hits = counter("accelwall_query_cache_hits_total");
+    let misses = counter("accelwall_query_cache_misses_total");
+    let query_hit_rate = hits / (hits + misses);
+
     handle.shutdown();
     run.join().expect("server thread").expect("clean drain");
 
-    // 4. Disarmed probe cost: the per-request fault-injection tax when
+    // 5. Disarmed probe cost: the per-request fault-injection tax when
     // no plan is armed (one relaxed atomic load per probe).
     const PROBE_SAMPLES: u32 = 1_000_000;
     let probe_start = Instant::now();
@@ -115,6 +143,9 @@ fn main() {
     println!("  \"throughput_clients\": {CLIENTS},");
     println!("  \"throughput_requests\": {},", total_requests as u64);
     println!("  \"throughput_rps\": {rps:.0},");
+    println!("  \"query_cold_ms\": {:.3},", ms(query_cold));
+    println!("  \"query_warm_ms\": {:.3},", ms(query_warm));
+    println!("  \"query_hit_rate\": {query_hit_rate:.4},");
     println!("  \"disarmed_probe_ns\": {probe_ns:.2},");
     println!("  \"disarmed_probe_warm_overhead_pct\": {probe_overhead_pct:.4}");
     println!("}}");

@@ -31,13 +31,35 @@ pub struct Site {
 /// `hang` occupies the worker for the configured duration.
 pub const SERVE_REQUEST: &str = "serve-request";
 
+/// The query engine probes this at admission, before reserving cost
+/// units: an `err` here sheds the query (503 on the wire) exactly as a
+/// saturated budget would, without touching the LRU.
+pub const QUERY_CACHE_ADMIT: &str = "query-cache-admit";
+
+/// The query engine probes this after admission, before executing a
+/// cache miss: an `err` here fails the compute as a retryable fault.
+/// Nothing is inserted on failure, so the LRU is never poisoned.
+pub const QUERY_COMPUTE: &str = "query-compute";
+
 /// Every static site, in probe order. Dynamic (per-experiment) sites are
 /// documented above and validated against the registry at arm time.
-pub const ROSTER: &[Site] = &[Site {
-    name: SERVE_REQUEST,
-    location: "crates/server/src/lib.rs::handle_connection",
-    effect: "a request handler failing on the worker thread itself",
-}];
+pub const ROSTER: &[Site] = &[
+    Site {
+        name: SERVE_REQUEST,
+        location: "crates/server/src/lib.rs::handle_connection",
+        effect: "a request handler failing on the worker thread itself",
+    },
+    Site {
+        name: QUERY_CACHE_ADMIT,
+        location: "crates/query/src/engine.rs::QueryEngine::admit",
+        effect: "admission control shedding a query under load",
+    },
+    Site {
+        name: QUERY_COMPUTE,
+        location: "crates/query/src/engine.rs::QueryEngine::answer",
+        effect: "a transient failure while computing a query miss",
+    },
+];
 
 /// Whether `name` is one of the static sites in [`ROSTER`].
 pub fn is_static(name: &str) -> bool {

@@ -236,21 +236,27 @@ mod tests {
 
     #[test]
     fn an_unprobed_roster_site_is_flagged_when_server_sources_exist() {
-        // A workspace carrying crates/server that never probes
-        // serve-request: the roster entry has gone stale.
+        // A workspace carrying crates/server that never probes any
+        // static site: every roster entry has gone stale.
         let ws = workspace(&[("crates/server/src/lib.rs", "fn f() {}")]);
         let found = FaultSites.check(&ws);
-        assert_eq!(found.len(), 1);
-        assert_eq!(found[0].path, SITES_PATH);
-        assert!(found[0].message.contains("\"serve-request\""));
-        assert!(found[0].message.contains("never probed"));
+        assert_eq!(found.len(), sites::ROSTER.len());
+        for (finding, site) in found.iter().zip(sites::ROSTER) {
+            assert_eq!(finding.path, SITES_PATH);
+            assert!(finding.message.contains(&format!("{:?}", site.name)));
+            assert!(finding.message.contains("never probed"));
+        }
     }
 
     #[test]
     fn a_probe_via_sites_const_counts_for_the_roster() {
-        let sites_src = "pub const SERVE_REQUEST: &str = \"serve-request\";\n";
-        let server_src =
-            "fn f() {\n    let _ = accelwall_faults::probe(sites::SERVE_REQUEST);\n}\n";
+        let sites_src = "pub const SERVE_REQUEST: &str = \"serve-request\";\n\
+                         pub const QUERY_CACHE_ADMIT: &str = \"query-cache-admit\";\n\
+                         pub const QUERY_COMPUTE: &str = \"query-compute\";\n";
+        let server_src = "fn f() {\n\
+                          \x20   let _ = accelwall_faults::probe(sites::SERVE_REQUEST);\n\
+                          \x20   let _ = accelwall_faults::probe(sites::QUERY_CACHE_ADMIT);\n\
+                          \x20   let _ = accelwall_faults::probe(sites::QUERY_COMPUTE);\n}\n";
         let ws = workspace(&[
             ("crates/faults/src/sites.rs", sites_src),
             ("crates/server/src/lib.rs", server_src),

@@ -35,6 +35,7 @@ pub(crate) mod testutil {
                 .collect(),
             manifests: Vec::new(),
             experiments_md: None,
+            design_md: None,
         }
     }
 

@@ -14,7 +14,11 @@
 //! * **graph**: the dependency graph is acyclic, verified with the same
 //!   dependencies-first DFS `ArtifactCache` runs, so a cycle is caught
 //!   by lint before it deadlocks `Registry::schedule` or recurses the
-//!   cache.
+//!   cache;
+//! * **routes → docs**: every HTTP route the server labels for
+//!   `/metrics` (the `Route::label` match in
+//!   `crates/server/src/metrics.rs`) appears in DESIGN.md's route
+//!   table, so a new route cannot ship undocumented.
 
 use crate::lexer::TokenKind;
 use crate::source::SourceFile;
@@ -30,6 +34,9 @@ const EXPERIMENTS_DIR: &str = "crates/core/src/experiments";
 
 /// Roster-level findings anchor here.
 const REGISTRY_PATH: &str = "crates/core/src/registry.rs";
+
+/// Where the server's route labels live (`Route::label`).
+const ROUTES_PATH: &str = "crates/server/src/metrics.rs";
 
 impl Lint for RegistrySync {
     fn name(&self) -> &'static str {
@@ -93,6 +100,27 @@ impl Lint for RegistrySync {
                     names.join(" -> ")
                 ),
             });
+        }
+
+        // routes → docs: every labelled server route is documented in
+        // DESIGN.md's route table. Skipped when the workspace doesn't
+        // carry the server's metrics module (fixture workspaces).
+        if let Some(routes_file) = ws.files.iter().find(|f| f.rel_path == ROUTES_PATH) {
+            let design = ws.design_md.as_deref().unwrap_or("");
+            for (label, line) in route_labels(routes_file) {
+                if !design.contains(&label) {
+                    findings.push(Finding {
+                        rule: self.name(),
+                        path: ROUTES_PATH.to_string(),
+                        line,
+                        col: 0,
+                        message: format!(
+                            "server route {label:?} is served but absent from DESIGN.md's \
+                             route table; document it or drop the route"
+                        ),
+                    });
+                }
+            }
         }
 
         // Static side: ids declared in experiment sources. Skipped when
@@ -162,6 +190,31 @@ fn declared_ids(file: &SourceFile) -> Vec<(String, usize)> {
                 if code[j].kind == TokenKind::Str {
                     out.push((code[j].text.clone(), code[j].line));
                     break;
+                }
+                j += 1;
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Extracts the route labels from the `fn label` match in the server's
+/// metrics module: every string literal starting with `/` between
+/// `fn label` and the next `fn`. The `Route::Other` bucket's label is
+/// not a path and is deliberately excluded by that shape.
+fn route_labels(file: &SourceFile) -> Vec<(String, usize)> {
+    let code = file.code_tokens();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < code.len() {
+        if code[i].is_ident("fn") && code[i + 1].is_ident("label") {
+            let mut j = i + 2;
+            while j < code.len() && !code[j].is_ident("fn") {
+                if code[j].kind == TokenKind::Str && code[j].text.starts_with('/') {
+                    out.push((code[j].text.clone(), code[j].line));
                 }
                 j += 1;
             }
@@ -274,6 +327,49 @@ mod tests {
         let ws = workspace(&[("crates/core/src/experiments/dup.rs", src)]);
         let found = RegistrySync.check(&ws);
         assert!(found.iter().any(|f| f.message.contains("declared twice")));
+    }
+
+    #[test]
+    fn an_undocumented_route_is_flagged() {
+        let src = "impl Route {\n\
+                   \x20   pub fn label(self) -> &'static str {\n\
+                   \x20       match self {\n\
+                   \x20           Route::Healthz => \"/healthz\",\n\
+                   \x20           Route::Query => \"/query\",\n\
+                   \x20           Route::Other => \"other\",\n\
+                   \x20       }\n\
+                   \x20   }\n\
+                   }\n";
+        let mut ws = workspace(&[("crates/server/src/metrics.rs", src)]);
+        ws.design_md = Some("| `GET /healthz` | liveness |\n".to_string());
+        let found = RegistrySync.check(&ws);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].path, "crates/server/src/metrics.rs");
+        assert_eq!(found[0].line, 5);
+        assert!(found[0].message.contains("\"/query\""));
+        assert!(found[0].message.contains("DESIGN.md"));
+
+        // Documenting the route clears the finding; the non-path
+        // "other" bucket never needs documenting.
+        ws.design_md = Some("| `GET /healthz` | … |\n| `GET /query` | … |\n".to_string());
+        assert!(RegistrySync.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn route_labels_are_extracted_from_the_label_fn_only() {
+        let src = "fn other() -> &'static str { \"/not-a-route\" }\n\
+                   fn label(self) -> &'static str {\n\
+                   \x20   match self {\n\
+                   \x20       Route::Metrics => \"/metrics\",\n\
+                   \x20       Route::Other => \"other\",\n\
+                   \x20   }\n\
+                   }\n";
+        let f = SourceFile::new(
+            "crates/server/src/metrics.rs".into(),
+            Path::new("/fixture/metrics.rs").into(),
+            src.into(),
+        );
+        assert_eq!(route_labels(&f), vec![("/metrics".to_string(), 4)]);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! The linter operates on the checkout, not on compiled artifacts: it
 //! walks the workspace root, lexes every `.rs` file, keeps every
 //! `Cargo.toml` raw (the `dep-free` rule parses the little TOML it needs
-//! itself), and reads `EXPERIMENTS.md` for the `doc-sync` rule.
+//! itself), and reads `EXPERIMENTS.md` for the `doc-sync` rule and
+//! `DESIGN.md` for the `registry-sync` route-table check.
 //! Build output (`target/`), VCS metadata, and hidden directories are
 //! skipped.
 
@@ -32,6 +33,8 @@ pub struct Workspace {
     pub manifests: Vec<Manifest>,
     /// `EXPERIMENTS.md`, when present.
     pub experiments_md: Option<String>,
+    /// `DESIGN.md`, when present.
+    pub design_md: Option<String>,
 }
 
 impl Workspace {
@@ -73,11 +76,13 @@ impl Workspace {
         files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
         manifests.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
         let experiments_md = fs::read_to_string(root.join("EXPERIMENTS.md")).ok();
+        let design_md = fs::read_to_string(root.join("DESIGN.md")).ok();
         Ok(Workspace {
             root: root.to_path_buf(),
             files,
             manifests,
             experiments_md,
+            design_md,
         })
     }
 
@@ -150,6 +155,7 @@ mod tests {
             .any(|m| m.rel_path == "crates/lint/Cargo.toml"));
         assert!(!ws.files.iter().any(|f| f.rel_path.starts_with("target/")));
         assert!(ws.experiments_md.is_some());
+        assert!(ws.design_md.is_some());
     }
 
     #[test]

@@ -1,0 +1,587 @@
+//! The query executor: admission control, the LRU front, and the
+//! per-kind compute paths.
+//!
+//! ```text
+//!   spec ──canonicalize──▶ u64 key ──▶ LRU hit? ──▶ cached bytes
+//!                                        │ miss
+//!                                        ▼
+//!                            admission control (cost × in-flight)
+//!                                        │ admitted
+//!                                        ▼
+//!              point ──▶ Ctx::program + simulate_lowered
+//!              sweep ──▶ Ctx::sweep (or ArtifactCache when shadowing)
+//!         projection ──▶ projection_input × horizon + project
+//!                csr ──▶ csr / decompose
+//!                                        │
+//!                                        ▼
+//!                       pretty JSON bytes ──▶ LRU insert ──▶ caller
+//! ```
+//!
+//! The engine deliberately sits *beside* the per-experiment
+//! [`ArtifactCache`]: registry targets keep their `OnceLock` slots and
+//! retry machinery, while ad-hoc specs live in the byte-capped LRU. A
+//! spec that shadows a registry target is delegated to the artifact
+//! cache so both paths serve identical bytes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use accelerator_wall::artifacts::ArtifactCache;
+use accelerator_wall::json::Value;
+use accelwall_accelsim::sweep::{best_efficiency, best_performance};
+use accelwall_accelsim::{simulate_lowered, DesignConfig, SimReport, SweepPoint};
+use accelwall_cmos::TechNode;
+use accelwall_projection::wall::projection_input;
+use accelwall_projection::{project, Domain};
+use accelwall_workloads::Workload;
+
+use crate::canon::cache_key;
+use crate::lru::{QueryCache, QueryCacheStats};
+use crate::spec::{domain_label, metric_label, QueryKind, QuerySpec, FIELDS};
+use crate::QueryError;
+
+/// Default LRU budget for serving: enough for tens of thousands of
+/// point responses, small next to one artifact sweep.
+pub const DEFAULT_CACHE_BYTES: usize = 32 * 1024 * 1024;
+
+/// Default admission budget in cost units (a sweep costs 64, a point 1).
+pub const DEFAULT_ADMISSION_BUDGET: u64 = 256;
+
+/// Counters the engine exports to `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// LRU behaviour.
+    pub cache: QueryCacheStats,
+    /// Specs actually computed (cache misses that ran the pipeline).
+    pub computes: u64,
+    /// Specs shed by admission control.
+    pub shed: u64,
+    /// Cost units currently in flight.
+    pub in_flight: u64,
+}
+
+/// Answers validated specs, caching pre-serialized response bodies.
+pub struct QueryEngine {
+    artifacts: Arc<ArtifactCache>,
+    lru: QueryCache,
+    budget: u64,
+    in_flight: AtomicU64,
+    computes: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl std::fmt::Debug for QueryEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryEngine")
+            .field("budget", &self.budget)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Releases admitted cost even when the compute path errors or panics.
+struct CostGuard<'a> {
+    engine: &'a QueryEngine,
+    cost: u64,
+}
+
+impl Drop for CostGuard<'_> {
+    fn drop(&mut self) {
+        self.engine.in_flight.fetch_sub(self.cost, Ordering::AcqRel);
+    }
+}
+
+impl QueryEngine {
+    /// Creates an engine over an artifact cache with the default
+    /// admission budget.
+    pub fn new(artifacts: Arc<ArtifactCache>, cache_bytes: usize) -> QueryEngine {
+        QueryEngine::with_budget(artifacts, cache_bytes, DEFAULT_ADMISSION_BUDGET)
+    }
+
+    /// [`QueryEngine::new`] with an explicit admission budget — the
+    /// hook tests use to force shedding deterministically.
+    pub fn with_budget(
+        artifacts: Arc<ArtifactCache>,
+        cache_bytes: usize,
+        budget: u64,
+    ) -> QueryEngine {
+        QueryEngine {
+            artifacts,
+            lru: QueryCache::new(cache_bytes),
+            budget,
+            in_flight: AtomicU64::new(0),
+            computes: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Answers a spec: LRU first, then admission control, then the
+    /// pipeline. The returned bytes are the exact wire body (pretty
+    /// JSON plus a trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::Overloaded`] when shed, [`QueryError::Engine`]
+    /// when the pipeline fails. Failed computes insert nothing, so a
+    /// transient fault never poisons the cache.
+    pub fn answer(&self, spec: &QuerySpec) -> Result<Arc<Vec<u8>>, QueryError> {
+        let key = cache_key(spec);
+        if let Some(body) = self.lru.get(key) {
+            return Ok(body);
+        }
+        let guard = self.admit(spec)?;
+        self.computes.fetch_add(1, Ordering::Relaxed);
+        if let Err(fault) = accelwall_faults::probe(accelwall_faults::sites::QUERY_COMPUTE) {
+            return Err(QueryError::Engine(fault.into()));
+        }
+        let json = self.execute(spec)?;
+        drop(guard);
+        let body = Arc::new(format!("{}\n", json.pretty()).into_bytes());
+        self.lru.insert(key, Arc::clone(&body));
+        Ok(body)
+    }
+
+    /// Admission control: reserve the spec's cost units, shedding when
+    /// the reservation would push in-flight work past the budget. An
+    /// armed `query-cache-admit` fault sheds unconditionally.
+    fn admit(&self, spec: &QuerySpec) -> Result<CostGuard<'_>, QueryError> {
+        let cost = spec.cost_units();
+        if accelwall_faults::probe(accelwall_faults::sites::QUERY_CACHE_ADMIT).is_err() {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(QueryError::Overloaded {
+                cost,
+                in_flight: self.in_flight.load(Ordering::Acquire),
+                budget: 0,
+            });
+        }
+        let mut current = self.in_flight.load(Ordering::Acquire);
+        loop {
+            if current + cost > self.budget {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(QueryError::Overloaded {
+                    cost,
+                    in_flight: current,
+                    budget: self.budget,
+                });
+            }
+            match self.in_flight.compare_exchange_weak(
+                current,
+                current + cost,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(CostGuard { engine: self, cost }),
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    fn execute(&self, spec: &QuerySpec) -> Result<Value, QueryError> {
+        if let Some(target) = spec.shadows() {
+            // Shadowed specs serve the registry artifact verbatim, so
+            // the body is byte-identical to `GET /experiments/{target}`.
+            let artifact = self.artifacts.get(target)?;
+            return Ok(artifact.json.clone());
+        }
+        match spec.kind {
+            QueryKind::Point => self.execute_point(spec),
+            QueryKind::Sweep => self.execute_sweep(spec),
+            QueryKind::Projection => execute_projection(spec),
+            QueryKind::Csr => execute_csr(spec),
+        }
+    }
+
+    fn execute_point(&self, spec: &QuerySpec) -> Result<Value, QueryError> {
+        // lint:allow(no-panic-paths): from_pairs' applicability check requires workload for point specs
+        let workload = spec.workload.expect("validated: point requires workload");
+        let config = DesignConfig::new(
+            spec.node,
+            spec.lanes,
+            spec.simplification,
+            spec.heterogeneity,
+        );
+        config
+            .validate()
+            .map_err(accelerator_wall::error::Error::from)?;
+        let program = self.artifacts.ctx().program(workload)?;
+        let report =
+            simulate_lowered(&program, &config).map_err(accelerator_wall::error::Error::from)?;
+        Ok(Value::object([
+            ("kind", Value::from("point")),
+            ("workload", Value::from(workload.abbrev())),
+            ("node", Value::from(spec.node.to_string())),
+            ("lanes", Value::from(spec.lanes)),
+            ("simplification", Value::from(spec.simplification)),
+            ("heterogeneity", Value::from(spec.heterogeneity)),
+            ("report", report_json(&report)),
+        ]))
+    }
+
+    fn execute_sweep(&self, spec: &QuerySpec) -> Result<Value, QueryError> {
+        // lint:allow(no-panic-paths): from_pairs' applicability check requires workload for sweep specs
+        let workload = spec.workload.expect("validated: sweep requires workload");
+        let ctx = self.artifacts.ctx();
+        let points = ctx.sweep(workload)?;
+        let space = ctx.sweep_space();
+        Ok(Value::object([
+            ("kind", Value::from("sweep")),
+            ("workload", Value::from(workload.abbrev())),
+            ("points", Value::from(points.len())),
+            ("nodes", Value::from(space.nodes.len())),
+            (
+                "best_efficiency",
+                Value::from(best_efficiency(points).map(point_json)),
+            ),
+            (
+                "best_performance",
+                Value::from(best_performance(points).map(point_json)),
+            ),
+        ]))
+    }
+
+    /// Schema introspection: every field, its roster or range, and the
+    /// kinds it applies to — the `/query/schema` response.
+    pub fn schema() -> Value {
+        schema_json()
+    }
+
+    /// Counter snapshot for `/metrics`.
+    pub fn stats(&self) -> QueryStats {
+        QueryStats {
+            cache: self.lru.stats(),
+            computes: self.computes.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Acquire),
+        }
+    }
+}
+
+fn report_json(report: &SimReport) -> Value {
+    Value::object([
+        ("cycles", Value::from(report.cycles)),
+        ("runtime_s", Value::from(report.runtime_s)),
+        ("power_w", Value::from(report.power_w())),
+        ("dynamic_energy_j", Value::from(report.dynamic_energy_j)),
+        ("leakage_w", Value::from(report.leakage_w)),
+        ("area_units", Value::from(report.area_units)),
+        ("ops", Value::from(report.ops)),
+        (
+            "critical_path_cycles",
+            Value::from(report.critical_path_cycles),
+        ),
+        ("throughput_ops_s", Value::from(report.throughput())),
+        (
+            "energy_efficiency_ops_j",
+            Value::from(report.energy_efficiency()),
+        ),
+    ])
+}
+
+fn point_json(point: &SweepPoint) -> Value {
+    Value::object([
+        ("node", Value::from(point.config.node.to_string())),
+        ("partition", Value::from(point.config.partition_factor)),
+        (
+            "simplification",
+            Value::from(point.config.simplification_degree),
+        ),
+        ("runtime_s", Value::from(point.report.runtime_s)),
+        ("power_w", Value::from(point.report.power_w())),
+    ])
+}
+
+fn execute_projection(spec: &QuerySpec) -> Result<Value, QueryError> {
+    // lint:allow(no-panic-paths): from_pairs' applicability check requires domain for projections
+    let domain = spec.domain.expect("validated: projection requires domain");
+    let mut input =
+        projection_input(domain, spec.metric).map_err(accelerator_wall::error::Error::from)?;
+    input.physical_limit *= spec.horizon;
+    let wall = project(&input).map_err(accelerator_wall::error::Error::from)?;
+    Ok(Value::object([
+        ("kind", Value::from("projection")),
+        ("domain", Value::from(domain_label(domain))),
+        ("platform", Value::from(domain.platform())),
+        ("metric", Value::from(metric_label(spec.metric))),
+        ("unit", Value::from(domain.unit(spec.metric))),
+        ("horizon", Value::from(spec.horizon)),
+        ("physical_limit", Value::from(wall.physical_limit)),
+        ("current_best", Value::from(wall.current_best)),
+        ("frontier_len", Value::from(wall.frontier_len)),
+        ("linear_wall", Value::from(wall.linear_wall)),
+        ("log_wall", Value::from(wall.log_wall)),
+        ("further_linear", Value::from(wall.further_linear)),
+        ("further_log", Value::from(wall.further_log)),
+        (
+            "linear_wall_band",
+            Value::array([
+                Value::from(wall.linear_wall_band.0),
+                Value::from(wall.linear_wall_band.1),
+            ]),
+        ),
+    ]))
+}
+
+fn execute_csr(spec: &QuerySpec) -> Result<Value, QueryError> {
+    // lint:allow(no-panic-paths): from_pairs' applicability check requires reported for csr specs
+    let reported = spec.reported.expect("validated: csr requires reported");
+    // lint:allow(no-panic-paths): from_pairs' applicability check requires physical for csr specs
+    let physical = spec.physical.expect("validated: csr requires physical");
+    if let Some(base) = spec.physical_base {
+        let d = accelwall_csr::decompose(reported, physical, base)
+            .map_err(accelerator_wall::error::Error::from)?;
+        Ok(Value::object([
+            ("kind", Value::from("csr")),
+            ("reported", Value::from(d.reported)),
+            ("specialization", Value::from(d.specialization)),
+            ("cmos", Value::from(d.cmos)),
+        ]))
+    } else {
+        let ratio =
+            accelwall_csr::csr(reported, physical).map_err(accelerator_wall::error::Error::from)?;
+        Ok(Value::object([
+            ("kind", Value::from("csr")),
+            ("reported", Value::from(reported)),
+            ("physical", Value::from(physical)),
+            ("csr", Value::from(ratio)),
+        ]))
+    }
+}
+
+fn schema_json() -> Value {
+    let field = |name: &str, ty: &str, default: Value, applies: &[&str], values: Value| {
+        Value::object([
+            ("name", Value::from(name)),
+            ("type", Value::from(ty)),
+            ("default", default),
+            (
+                "applies_to",
+                applies.iter().map(|&k| Value::from(k)).collect(),
+            ),
+            ("values", values),
+        ])
+    };
+    let workloads: Value = Workload::all()
+        .iter()
+        .map(|w| Value::from(w.abbrev().to_ascii_lowercase()))
+        .collect();
+    let nodes: Value = TechNode::all()
+        .iter()
+        .map(|n| Value::from(n.to_string()))
+        .collect();
+    let domains: Value = Domain::all()
+        .iter()
+        .map(|&d| Value::from(domain_label(d)))
+        .collect();
+    let kinds: Value = QueryKind::all()
+        .iter()
+        .map(|k| Value::from(k.label()))
+        .collect();
+    Value::object([
+        ("kinds", kinds),
+        (
+            "field_order",
+            FIELDS.iter().map(|&f| Value::from(f)).collect(),
+        ),
+        (
+            "fields",
+            Value::array([
+                field(
+                    "kind",
+                    "enum",
+                    Value::from("point"),
+                    &["point", "sweep", "projection", "csr"],
+                    QueryKind::all()
+                        .iter()
+                        .map(|k| Value::from(k.label()))
+                        .collect(),
+                ),
+                field(
+                    "workload",
+                    "enum",
+                    Value::Null,
+                    &["point", "sweep"],
+                    workloads,
+                ),
+                field("node", "enum", Value::from("45nm"), &["point"], nodes),
+                field(
+                    "lanes",
+                    "integer (power of two, 1..=524288)",
+                    Value::from(1u64),
+                    &["point"],
+                    Value::Null,
+                ),
+                field(
+                    "simplification",
+                    "integer (1..=13)",
+                    Value::from(1u32),
+                    &["point"],
+                    Value::Null,
+                ),
+                field(
+                    "heterogeneity",
+                    "bool",
+                    Value::from(false),
+                    &["point"],
+                    Value::Null,
+                ),
+                field("domain", "enum", Value::Null, &["projection"], domains),
+                field(
+                    "metric",
+                    "enum",
+                    Value::from("performance"),
+                    &["projection"],
+                    Value::array([Value::from("performance"), Value::from("efficiency")]),
+                ),
+                field(
+                    "horizon",
+                    "number (> 0)",
+                    Value::from(1.0),
+                    &["projection"],
+                    Value::Null,
+                ),
+                field(
+                    "reported",
+                    "number (> 0)",
+                    Value::Null,
+                    &["csr"],
+                    Value::Null,
+                ),
+                field(
+                    "physical",
+                    "number (> 0)",
+                    Value::Null,
+                    &["csr"],
+                    Value::Null,
+                ),
+                field(
+                    "physical_base",
+                    "number (> 0)",
+                    Value::Null,
+                    &["csr"],
+                    Value::Null,
+                ),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelerator_wall::cache::Ctx;
+    use accelerator_wall::registry::Registry;
+    use accelwall_accelsim::SweepSpace;
+
+    fn engine() -> QueryEngine {
+        let cache = ArtifactCache::new(Registry::paper(), Ctx::with_space(SweepSpace::coarse()));
+        QueryEngine::new(Arc::new(cache), 1024 * 1024)
+    }
+
+    fn spec(kv: &[(&str, &str)]) -> QuerySpec {
+        let pairs: Vec<(String, String)> = kv
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        QuerySpec::from_pairs(&pairs).unwrap()
+    }
+
+    #[test]
+    fn warm_repeat_is_served_from_the_lru_without_recompute() {
+        let engine = engine();
+        let q = spec(&[("workload", "fft"), ("node", "7nm"), ("lanes", "8")]);
+        let cold = engine.answer(&q).unwrap();
+        let after_cold = engine.stats();
+        assert_eq!(after_cold.computes, 1);
+        assert_eq!(after_cold.cache.hits, 0);
+        let warm = engine.answer(&q).unwrap();
+        let after_warm = engine.stats();
+        // The hit counter advances; the compute counter does not.
+        assert_eq!(after_warm.cache.hits, 1);
+        assert_eq!(after_warm.computes, 1);
+        assert_eq!(cold, warm, "cached bytes must be identical");
+    }
+
+    #[test]
+    fn a_shadowed_sweep_matches_the_registry_artifact_bytes() {
+        let engine = engine();
+        let q = spec(&[("kind", "sweep"), ("workload", "s3d")]);
+        let body = engine.answer(&q).unwrap();
+        let artifact = engine.artifacts.get("fig13").unwrap();
+        let expected = format!("{}\n", artifact.json.pretty());
+        assert_eq!(body.as_slice(), expected.as_bytes());
+    }
+
+    #[test]
+    fn all_kinds_answer_and_are_valid_json() {
+        let engine = engine();
+        for kv in [
+            vec![("workload", "aes"), ("heterogeneity", "true")],
+            vec![("kind", "sweep"), ("workload", "fft")],
+            vec![("kind", "projection"), ("domain", "bitcoin")],
+            vec![
+                ("kind", "projection"),
+                ("domain", "gpu"),
+                ("metric", "efficiency"),
+                ("horizon", "2.5"),
+            ],
+            vec![("kind", "csr"), ("reported", "510"), ("physical", "307")],
+            vec![
+                ("kind", "csr"),
+                ("reported", "510"),
+                ("physical", "307"),
+                ("physical_base", "1"),
+            ],
+        ] {
+            let body = engine.answer(&spec(&kv)).unwrap();
+            let text = String::from_utf8(body.as_ref().clone()).unwrap();
+            let doc = Value::parse(text.trim_end()).unwrap();
+            assert!(doc.is_object() || doc.is_array(), "{kv:?}");
+        }
+    }
+
+    #[test]
+    fn a_vacuous_horizon_surfaces_as_an_engine_error() {
+        let engine = engine();
+        // Shrinking the physical limit below the observed data leaves
+        // nothing to extrapolate to.
+        let q = spec(&[
+            ("kind", "projection"),
+            ("domain", "gpu"),
+            ("horizon", "0.001"),
+        ]);
+        let err = engine.answer(&q).unwrap_err();
+        assert!(matches!(err, QueryError::Engine(_)), "{err}");
+        assert!(!err.is_retryable());
+    }
+
+    #[test]
+    fn admission_budget_sheds_expensive_specs() {
+        let cache = ArtifactCache::new(Registry::paper(), Ctx::with_space(SweepSpace::coarse()));
+        let engine = QueryEngine::with_budget(Arc::new(cache), 1024 * 1024, 8);
+        // A sweep costs 64 units against a budget of 8: always shed.
+        let q = spec(&[("kind", "sweep"), ("workload", "fft")]);
+        let err = engine.answer(&q).unwrap_err();
+        assert!(matches!(err, QueryError::Overloaded { .. }), "{err}");
+        assert!(err.is_retryable());
+        assert_eq!(engine.stats().shed, 1);
+        // Cheap points still pass, and the guard releases the units.
+        let p = spec(&[("workload", "fft")]);
+        engine.answer(&p).unwrap();
+        assert_eq!(engine.stats().in_flight, 0);
+    }
+
+    #[test]
+    fn schema_lists_every_field_in_canonical_order() {
+        let schema = QueryEngine::schema();
+        let order: Vec<&str> = schema
+            .get("field_order")
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .filter_map(Value::as_str)
+            .collect();
+        assert_eq!(order, FIELDS);
+        let fields = schema.get("fields").and_then(Value::as_array).unwrap();
+        assert_eq!(fields.len(), FIELDS.len());
+    }
+}

@@ -1,0 +1,114 @@
+//! Parameterized what-if queries over the accelerator-wall pipeline.
+//!
+//! The experiment registry answers exactly the paper's precomputed
+//! targets; this crate answers *arbitrary* accelerator-wall questions —
+//! any (workload, Table III knob vector, CMOS node) combination plus
+//! CSR and wall-projection what-ifs — at interactive cost, because the
+//! bytecode VM made a single design point cheap enough to price on
+//! demand.
+//!
+//! The pipeline has four stages:
+//!
+//! 1. **Spec** ([`QuerySpec`]) — a typed record parsed from CLI flags, a
+//!    URL query string, or a JSON body. Unknown fields are rejected with
+//!    the full roster, the same discipline the CLI applies to flags.
+//! 2. **Canonicalization** ([`canonical_string`] / [`cache_key`]) —
+//!    defaults are filled in, fields are emitted in one fixed order, and
+//!    floats print via Rust's shortest-roundtrip display, so `8` and
+//!    `8.0` produce the same stable `u64` FNV-1a key.
+//! 3. **Cache** ([`QueryCache`]) — a sharded, byte-capped LRU over
+//!    pre-serialized JSON response bodies, sitting beside (not
+//!    replacing) the per-experiment `ArtifactCache`.
+//! 4. **Executor** ([`QueryEngine`]) — admission control sheds work when
+//!    estimated cost times in-flight load exceeds the budget, then
+//!    answers misses through `Ctx`'s memoized lowered programs, the
+//!    sweep runner, and the projection/CSR machinery.
+//!
+//! A spec that exactly shadows a registry target (today: a full `s3d`
+//! sweep shadows `fig13`) is delegated to the `ArtifactCache`, so its
+//! response body is byte-identical to `GET /experiments/fig13`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub mod canon;
+pub mod engine;
+pub mod lru;
+pub mod spec;
+
+pub use canon::{cache_key, canonical_string};
+pub use engine::{QueryEngine, QueryStats};
+pub use lru::{QueryCache, QueryCacheStats};
+pub use spec::{QueryKind, QuerySpec};
+
+/// Why a query could not be answered.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The spec failed validation: unknown or duplicate field, a value
+    /// outside its roster or range, or a field that does not apply to
+    /// the requested kind. Maps to a client error.
+    Invalid(String),
+    /// Admission control shed the query: estimated cost on top of the
+    /// in-flight load would exceed the engine's budget. Retryable.
+    Overloaded {
+        /// Cost units the rejected query would have added.
+        cost: u64,
+        /// Cost units already in flight.
+        in_flight: u64,
+        /// The engine's cost budget.
+        budget: u64,
+    },
+    /// The pipeline itself failed while computing the answer.
+    Engine(accelerator_wall::error::Error),
+}
+
+impl QueryError {
+    /// True when retrying the same query later may succeed: shed load
+    /// and injected transient faults, not validation failures.
+    pub fn is_retryable(&self) -> bool {
+        use accelerator_wall::error::Error;
+        match self {
+            QueryError::Overloaded { .. } => true,
+            QueryError::Engine(e) => matches!(
+                e.root_cause(),
+                Error::FaultInjected { .. } | Error::ComputeTimeout { .. }
+            ),
+            QueryError::Invalid(_) => false,
+        }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Invalid(msg) => write!(f, "invalid query: {msg}"),
+            QueryError::Overloaded {
+                cost,
+                in_flight,
+                budget,
+            } => write!(
+                f,
+                "query shed by admission control: cost {cost} on top of \
+                 {in_flight} in-flight units exceeds the budget of {budget}"
+            ),
+            QueryError::Engine(e) => write!(f, "query execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<accelerator_wall::error::Error> for QueryError {
+    fn from(e: accelerator_wall::error::Error) -> Self {
+        QueryError::Engine(e)
+    }
+}

@@ -1,13 +1,14 @@
 //! Minimal HTTP/1.1 request parsing and response writing.
 //!
-//! The server speaks just enough HTTP for its five routes: it reads one
-//! request head (request line + headers) under strict size limits,
-//! answers, and closes the connection (`Connection: close` on every
-//! response). Socket read/write timeouts — set by the caller before
-//! parsing — bound slow-loris clients; the size limits below bound
-//! memory. Anything that fails these checks gets a precise 4xx rather
-//! than a hang or a panic: the parser never indexes unchecked and never
-//! allocates proportionally to attacker input beyond the head cap.
+//! The server speaks just enough HTTP for its routes: it reads one
+//! request head (request line + headers) under strict size limits, then
+//! a `Content-Length`-delimited body under its own cap, answers, and
+//! closes the connection (`Connection: close` on every response).
+//! Socket read/write timeouts — set by the caller before parsing —
+//! bound slow-loris clients; the size limits below bound memory.
+//! Anything that fails these checks gets a precise 4xx rather than a
+//! hang or a panic: the parser never indexes unchecked and never
+//! allocates proportionally to attacker input beyond the caps.
 
 use std::io::{BufRead, BufReader, Read, Write};
 
@@ -17,16 +18,23 @@ pub const MAX_HEAD_BYTES: usize = 8 * 1024;
 /// Upper bound on the number of header lines.
 pub const MAX_HEADERS: usize = 64;
 
-/// One parsed request head.
+/// Upper bound on a request body (`POST /query` specs are tiny; this is
+/// orders of magnitude of headroom).
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// One parsed request: head plus any `Content-Length` body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// The method verbatim (`GET`, `POST`, ...).
     pub method: String,
-    /// The request target, without query-string splitting (no route
-    /// takes a query).
+    /// The request target with any query string split off.
     pub path: String,
+    /// The raw query string (bytes after `?`), empty when absent.
+    pub query: String,
     /// Header `(name, value)` pairs in arrival order, names verbatim.
     pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
 }
 
 impl Request {
@@ -45,22 +53,29 @@ impl Request {
     }
 }
 
-/// Why a request head could not be parsed.
+/// Why a request could not be parsed.
 #[derive(Debug)]
 pub enum RequestError {
     /// The head exceeded [`MAX_HEAD_BYTES`] or [`MAX_HEADERS`].
     TooLarge,
-    /// The bytes were not a well-formed HTTP/1.x request head.
+    /// `Content-Length` exceeded [`MAX_BODY_BYTES`] (413 on the wire).
+    BodyTooLarge,
+    /// The bytes were not a well-formed HTTP/1.x request.
     Malformed(&'static str),
-    /// The socket failed or timed out before a full head arrived.
+    /// The socket failed or timed out before a full request arrived.
     Io(std::io::Error),
 }
 
-/// Reads and parses one request head from `stream`.
+/// Reads and parses one request (head and, when `Content-Length` is
+/// present, body) from `stream`.
+///
+/// The body must be read here: the internal `BufReader` may already
+/// hold body bytes after the head, and they are lost once the reader
+/// is dropped.
 ///
 /// # Errors
 ///
-/// See [`RequestError`]; the caller maps the variants onto 431/400
+/// See [`RequestError`]; the caller maps the variants onto 431/413/400
 /// responses or drops the connection on I/O failure.
 pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
     let mut reader = BufReader::with_capacity(MAX_HEAD_BYTES, stream);
@@ -68,17 +83,21 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
     let request_line = read_line(&mut reader, &mut budget)?;
     let mut parts = request_line.split(' ');
     let method = parts.next().unwrap_or("").to_string();
-    let path = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("");
     let version = parts.next().unwrap_or("");
     if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
         return Err(RequestError::Malformed("bad method"));
     }
-    if !path.starts_with('/') {
+    if !target.starts_with('/') {
         return Err(RequestError::Malformed("bad request target"));
     }
     if !(version.starts_with("HTTP/1.") && parts.next().is_none()) {
         return Err(RequestError::Malformed("bad HTTP version"));
     }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     let mut headers = Vec::new();
     loop {
         let line = read_line(&mut reader, &mut budget)?;
@@ -96,11 +115,25 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
         }
         headers.push((name.to_string(), value.trim().to_string()));
     }
-    Ok(Request {
+    let mut request = Request {
         method,
         path,
+        query,
         headers,
-    })
+        body: Vec::new(),
+    };
+    if let Some(value) = request.header("content-length") {
+        let length: usize = value
+            .parse()
+            .map_err(|_| RequestError::Malformed("bad Content-Length"))?;
+        if length > MAX_BODY_BYTES {
+            return Err(RequestError::BodyTooLarge);
+        }
+        let mut body = vec![0u8; length];
+        reader.read_exact(&mut body).map_err(RequestError::Io)?;
+        request.body = body;
+    }
+    Ok(request)
 }
 
 /// Reads one CRLF- (or LF-) terminated line, charging its length against
@@ -225,6 +258,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -246,9 +280,46 @@ mod tests {
         let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\nAccept: text/plain\r\n\r\n").unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/healthz");
+        assert_eq!(req.query, "");
+        assert!(req.body.is_empty());
         assert_eq!(req.header("accept"), Some("text/plain"));
         assert_eq!(req.header("ACCEPT"), Some("text/plain"));
         assert!(req.wants_plain_text());
+    }
+
+    #[test]
+    fn splits_the_query_string_off_the_path() {
+        let req = parse("GET /query?workload=fft&node=7nm HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.query, "workload=fft&node=7nm");
+        // A bare '?' leaves an empty query, not a mangled path.
+        let req = parse("GET /query? HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.query, "");
+    }
+
+    #[test]
+    fn reads_a_content_length_body() {
+        let req =
+            parse("POST /query HTTP/1.1\r\nContent-Length: 19\r\n\r\n{\"workload\": \"fft\"}")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"workload\": \"fft\"}");
+    }
+
+    #[test]
+    fn caps_and_validates_the_body() {
+        let over = format!(
+            "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&over), Err(RequestError::BodyTooLarge)));
+        // A non-numeric length is malformed, not a hang.
+        let bad = "POST /query HTTP/1.1\r\nContent-Length: ten\r\n\r\n";
+        assert!(matches!(parse(bad), Err(RequestError::Malformed(_))));
+        // A truncated body surfaces as I/O, not a short read.
+        let short = "POST /query HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(matches!(parse(short), Err(RequestError::Io(_))));
     }
 
     #[test]

@@ -25,8 +25,11 @@
 //! |---|---|
 //! | `GET /experiments` | the registry roster (same JSON as `accelwall list --json`) |
 //! | `GET /experiments/{id}` | the artifact as JSON, or its text rendering with `Accept: text/plain` |
+//! | `GET /query?...` | an ad-hoc what-if spec answered by the query engine (`accelwall-query`) |
+//! | `POST /query` | the same, with the spec as a JSON body (`Content-Length`-capped) |
+//! | `GET /query/schema` | query-field introspection: kinds, rosters, defaults |
 //! | `GET /healthz` | `{"status": "ready"\|"degraded", "failed": [...]}` — degraded lists targets in `Failed` state |
-//! | `GET /metrics` | Prometheus-style counters (requests, latency, cache, `Ctx`, containment) |
+//! | `GET /metrics` | Prometheus-style counters (requests, latency, cache, query engine, `Ctx`, containment) |
 //! | `POST /shutdown` | begins the graceful drain |
 //!
 //! Unknown `{id}`s answer `404` with the same roster-carrying message as
@@ -69,6 +72,8 @@ use std::time::{Duration, Instant};
 use accelerator_wall::artifacts::ArtifactCache;
 use accelerator_wall::error::Error;
 use accelerator_wall::json::Value;
+use accelwall_query::spec::{pairs_from_json, pairs_from_query};
+use accelwall_query::{QueryEngine, QueryError, QuerySpec};
 
 use http::{read_request, Request, RequestError, Response};
 use metrics::{Metrics, Route};
@@ -90,6 +95,8 @@ pub struct ServerConfig {
     /// before answering `504` (the compute itself keeps running and can
     /// settle the cache for later requests).
     pub compute_deadline: Duration,
+    /// Byte cap on the query engine's response LRU (`/query` routes).
+    pub query_cache_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +107,7 @@ impl Default for ServerConfig {
             backlog: 64,
             io_timeout: Duration::from_secs(5),
             compute_deadline: Duration::from_secs(30),
+            query_cache_bytes: accelwall_query::engine::DEFAULT_CACHE_BYTES,
         }
     }
 }
@@ -111,6 +119,7 @@ pub struct Server {
     local_addr: SocketAddr,
     config: ServerConfig,
     cache: Arc<ArtifactCache>,
+    engine: Arc<QueryEngine>,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
 }
@@ -154,11 +163,20 @@ impl Server {
     pub fn bind(config: ServerConfig, cache: ArtifactCache) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let cache = Arc::new(cache);
+        // The query engine shares the artifact cache (and through it the
+        // memoized `Ctx`), so shadowed specs and ad-hoc points reuse the
+        // same lowered programs the registry targets computed.
+        let engine = Arc::new(QueryEngine::new(
+            Arc::clone(&cache),
+            config.query_cache_bytes,
+        ));
         Ok(Server {
             listener,
             local_addr,
             config,
-            cache: Arc::new(cache),
+            cache,
+            engine,
             metrics: Arc::new(Metrics::new()),
             shutdown: Arc::new(AtomicBool::new(false)),
         })
@@ -189,6 +207,7 @@ impl Server {
         let handle = self.handle();
         let pool = {
             let cache = Arc::clone(&self.cache);
+            let engine = Arc::clone(&self.engine);
             let metrics = Arc::clone(&self.metrics);
             let handle = handle.clone();
             let io_timeout = self.config.io_timeout;
@@ -204,6 +223,7 @@ impl Server {
                     handle_connection(
                         stream,
                         &cache,
+                        &engine,
                         &metrics,
                         &handle,
                         io_timeout,
@@ -244,6 +264,7 @@ impl Server {
 fn handle_connection(
     mut stream: TcpStream,
     cache: &ArtifactCache,
+    engine: &QueryEngine,
     metrics: &Metrics,
     handle: &ServerHandle,
     io_timeout: Duration,
@@ -264,10 +285,17 @@ fn handle_connection(
         return;
     }
     let (route, response) = match read_request(&mut stream) {
-        Ok(request) => route_request(&request, cache, metrics, handle, compute_deadline),
+        Ok(request) => route_request(&request, cache, engine, metrics, handle, compute_deadline),
         Err(RequestError::TooLarge) => (
             Route::Other,
             Response::text(431, "request head too large\n"),
+        ),
+        Err(RequestError::BodyTooLarge) => (
+            Route::Query,
+            Response::text(
+                413,
+                format!("request body exceeds {} bytes\n", http::MAX_BODY_BYTES),
+            ),
         ),
         Err(RequestError::Malformed(what)) => (
             Route::Other,
@@ -283,6 +311,7 @@ fn handle_connection(
 fn route_request(
     request: &Request,
     cache: &ArtifactCache,
+    engine: &QueryEngine,
     metrics: &Metrics,
     handle: &ServerHandle,
     compute_deadline: Duration,
@@ -300,11 +329,20 @@ fn route_request(
             Route::Experiments,
             Response::json(200, roster_body(cache)),
         ),
+        "/query" => (Route::Query, query_response(request, engine)),
+        "/query/schema" => get_only(
+            Route::QuerySchema,
+            Response::json(200, {
+                let mut body = QueryEngine::schema().pretty();
+                body.push('\n');
+                body
+            }),
+        ),
         "/metrics" => get_only(
             Route::Metrics,
             Response::text(
                 200,
-                metrics.render(cache.stats(), cache.ctx().counters()),
+                metrics.render(cache.stats(), cache.ctx().counters(), &engine.stats()),
             ),
         ),
         "/shutdown" => {
@@ -329,7 +367,7 @@ fn route_request(
                 Route::Other,
                 Response::text(
                     404,
-                    "no such route; routes: /healthz /experiments /experiments/{id} /metrics /shutdown\n",
+                    "no such route; routes: /healthz /experiments /experiments/{id} /query /query/schema /metrics /shutdown\n",
                 ),
             ),
         },
@@ -440,6 +478,63 @@ fn failure_body(id: &str, error: &Error, attempts: Option<u32>, retryable: bool)
     body.into_bytes()
 }
 
+/// The `/query` body: parse the spec (query string for `GET`, JSON body
+/// for `POST`), answer it through the shared [`QueryEngine`], and map
+/// [`QueryError`] onto HTTP statuses.
+///
+/// * invalid spec (unknown field, bad value, wrong knob for the kind)
+///   — `400` with the same roster-carrying message the CLI prints;
+/// * admission control shedding — `503` with a `Retry-After` hint;
+/// * a transient compute failure (injected fault, deadline) — `500`/`504`
+///   with a typed JSON body and `Retry-After`, mirroring
+///   `/experiments/{id}` failure semantics;
+/// * a non-retryable compute error (e.g. a vacuous projection horizon)
+///   — `400`, because it is the caller's knobs that made it impossible.
+fn query_response(request: &Request, engine: &QueryEngine) -> Response {
+    let pairs = match request.method.as_str() {
+        "GET" => pairs_from_query(&request.query),
+        "POST" => match std::str::from_utf8(&request.body)
+            .ok()
+            .and_then(|text| Value::parse(text).ok())
+        {
+            Some(doc) => pairs_from_json(&doc),
+            None => return Response::text(400, "request body is not valid JSON\n"),
+        },
+        _ => return Response::method_not_allowed("GET, POST"),
+    };
+    let answer = pairs
+        .and_then(|pairs| QuerySpec::from_pairs(&pairs))
+        .and_then(|spec| engine.answer(&spec));
+    match answer {
+        Ok(body) => Response::json(200, body.as_ref().clone()),
+        Err(e @ QueryError::Invalid(_)) => Response::text(400, format!("{e}\n")),
+        Err(e @ QueryError::Overloaded { .. }) => {
+            Response::text(503, format!("{e}\n")).with_retry_after(1)
+        }
+        Err(QueryError::Engine(e)) => {
+            let (status, kind, retryable) = match e.root_cause() {
+                Error::FaultInjected { .. } => (500, "injected", true),
+                Error::ComputeTimeout { .. } => (504, "timeout", true),
+                Error::ExperimentPanicked { .. } => (500, "panic", false),
+                _ => (400, "compute", false),
+            };
+            let mut body = Value::object([
+                ("error", Value::from(e.to_string())),
+                ("kind", Value::from(kind)),
+                ("retryable", Value::from(retryable)),
+            ])
+            .pretty();
+            body.push('\n');
+            let response = Response::json(status, body);
+            if retryable {
+                response.with_retry_after(1)
+            } else {
+                response
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,6 +551,7 @@ mod tests {
             backlog: 8,
             io_timeout: Duration::from_secs(10),
             compute_deadline: Duration::from_mins(2),
+            query_cache_bytes: accelwall_query::engine::DEFAULT_CACHE_BYTES,
         };
         let server = Server::bind(config, cache).expect("bind");
         let handle = server.handle();
@@ -482,6 +578,24 @@ mod tests {
 
     fn get(addr: SocketAddr, path: &str) -> (u16, String) {
         raw_request(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    }
+
+    fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+        raw_request(
+            addr,
+            &format!(
+                "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    /// Pulls the value off a `name value` metrics line.
+    fn metric(text: &str, name: &str) -> u64 {
+        text.lines()
+            .find_map(|line| line.strip_prefix(&format!("{name} ")))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("metric {name} missing:\n{text}"))
     }
 
     #[test]
@@ -559,6 +673,108 @@ mod tests {
                 true
             }
         );
+    }
+
+    #[test]
+    fn query_routes_answer_shadow_and_introspect() {
+        let (handle, join) = coarse_server();
+        let addr = handle.addr();
+
+        // A cold point query computes; the identical warm repeat is
+        // served from the LRU — byte-identical, hit counter advances,
+        // compute counter does not.
+        let (status, cold) = get(addr, "/query?workload=fft&node=7nm&lanes=4");
+        assert_eq!(status, 200, "cold query: {cold}");
+        let report = Value::parse(&cold).expect("query body is valid JSON");
+        assert_eq!(report.get("kind").and_then(Value::as_str), Some("point"));
+        let (status, warm) = get(addr, "/query?lanes=4&node=7nm&workload=fft");
+        assert_eq!(status, 200);
+        assert_eq!(cold, warm, "warm repeat must be byte-identical");
+        let (_, text) = get(addr, "/metrics");
+        assert_eq!(metric(&text, "accelwall_query_computes_total"), 1);
+        assert_eq!(metric(&text, "accelwall_query_cache_hits_total"), 1);
+
+        // A spec that shadows a registry target answers with the exact
+        // artifact bytes that GET /experiments/{id} serves.
+        let (status, via_query) = post(addr, "/query", r#"{"kind": "sweep", "workload": "s3d"}"#);
+        assert_eq!(status, 200, "shadow query: {via_query}");
+        let (status, via_registry) = get(addr, "/experiments/fig13");
+        assert_eq!(status, 200);
+        assert_eq!(
+            via_query, via_registry,
+            "shadowed spec must be byte-identical to the registry artifact"
+        );
+
+        // Introspection lists the field roster.
+        let (status, schema) = get(addr, "/query/schema");
+        assert_eq!(status, 200);
+        let schema = Value::parse(&schema).expect("schema is valid JSON");
+        assert!(schema.get("fields").and_then(Value::as_array).is_some());
+
+        // Spec validation failures answer 400 with the roster, wrong
+        // methods 405, and an oversized POST body 413 before any read.
+        let (status, body) = get(addr, "/query?workload=fft&warp=9");
+        assert_eq!(status, 400);
+        assert!(body.contains("unknown field"), "roster error: {body}");
+        assert!(body.contains("known fields:"), "roster error: {body}");
+        let (status, _) = raw_request(addr, "PUT /query HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 405);
+        let (status, body) = raw_request(
+            addr,
+            &format!(
+                "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+                http::MAX_BODY_BYTES + 1
+            ),
+        );
+        assert_eq!(status, 413, "oversized body: {body}");
+        let (status, _) = post(addr, "/query", "not json");
+        assert_eq!(status, 400);
+
+        handle.shutdown();
+        join.join().expect("server thread").expect("clean exit");
+    }
+
+    #[test]
+    fn a_tiny_query_cache_evicts_but_never_exceeds_its_cap() {
+        let cache = ArtifactCache::new(Registry::paper(), Ctx::with_space(SweepSpace::coarse()));
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            backlog: 8,
+            io_timeout: Duration::from_secs(10),
+            compute_deadline: Duration::from_mins(2),
+            query_cache_bytes: 16 * 1024,
+        };
+        let server = Server::bind(config, cache).expect("bind");
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+        let addr = handle.addr();
+
+        // Enough distinct point specs to overflow a 16 KiB LRU.
+        for node in [
+            "45nm", "32nm", "28nm", "22nm", "16nm", "14nm", "10nm", "7nm", "5nm",
+        ] {
+            for lanes in [1u32, 2, 4, 8] {
+                let (status, body) = get(
+                    addr,
+                    &format!("/query?workload=fft&node={node}&lanes={lanes}"),
+                );
+                assert_eq!(status, 200, "point query: {body}");
+            }
+        }
+        let (_, text) = get(addr, "/metrics");
+        assert!(
+            metric(&text, "accelwall_query_cache_evictions_total") > 0,
+            "expected evictions under a tiny cap:\n{text}"
+        );
+        assert!(
+            metric(&text, "accelwall_query_cache_bytes")
+                <= metric(&text, "accelwall_query_cache_capacity_bytes"),
+            "cache exceeded its byte cap:\n{text}"
+        );
+
+        handle.shutdown();
+        join.join().expect("server thread").expect("clean exit");
     }
 
     #[test]

@@ -37,6 +37,7 @@ use std::time::Duration;
 
 use accelerator_wall::artifacts::CacheStats;
 use accelerator_wall::cache::CtxCounters;
+use accelwall_query::QueryStats;
 
 /// The server's route space, used as the bounded metrics label set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +48,10 @@ pub enum Route {
     Experiments,
     /// `GET /experiments/{id}` (any id, known or not).
     Experiment,
+    /// `GET /query` and `POST /query` (ad-hoc what-if specs).
+    Query,
+    /// `GET /query/schema`.
+    QuerySchema,
     /// `GET /metrics`.
     Metrics,
     /// `POST /shutdown`.
@@ -57,10 +62,12 @@ pub enum Route {
 
 impl Route {
     /// Every route, in rendering order.
-    pub const ALL: [Route; 6] = [
+    pub const ALL: [Route; 8] = [
         Route::Healthz,
         Route::Experiments,
         Route::Experiment,
+        Route::Query,
+        Route::QuerySchema,
         Route::Metrics,
         Route::Shutdown,
         Route::Other,
@@ -72,6 +79,8 @@ impl Route {
             Route::Healthz => "/healthz",
             Route::Experiments => "/experiments",
             Route::Experiment => "/experiments/{id}",
+            Route::Query => "/query",
+            Route::QuerySchema => "/query/schema",
             Route::Metrics => "/metrics",
             Route::Shutdown => "/shutdown",
             Route::Other => "other",
@@ -152,8 +161,9 @@ impl Metrics {
     }
 
     /// Renders every counter in Prometheus text exposition format,
-    /// folding in the artifact-cache and shared-input counters.
-    pub fn render(&self, cache: CacheStats, ctx: CtxCounters) -> String {
+    /// folding in the artifact-cache, shared-input, and query-engine
+    /// counters.
+    pub fn render(&self, cache: CacheStats, ctx: CtxCounters, query: &QueryStats) -> String {
         use std::fmt::Write;
         let mut out = String::new();
         out.push_str("# TYPE accelwall_requests_total counter\n");
@@ -230,6 +240,30 @@ impl Metrics {
             "accelwall_artifact_cache_compute_timeouts_total {}",
             cache.timeouts
         );
+        out.push_str("# TYPE accelwall_query counter\n");
+        for (name, value) in [
+            ("cache_hits_total", query.cache.hits),
+            ("cache_misses_total", query.cache.misses),
+            ("cache_insertions_total", query.cache.insertions),
+            ("cache_evictions_total", query.cache.evictions),
+            ("cache_oversize_total", query.cache.oversize),
+            ("computes_total", query.computes),
+            ("shed_total", query.shed),
+        ] {
+            let _ = writeln!(out, "accelwall_query_{name} {value}");
+        }
+        out.push_str("# TYPE accelwall_query_cache_bytes gauge\n");
+        let _ = writeln!(out, "accelwall_query_cache_bytes {}", query.cache.bytes);
+        out.push_str("# TYPE accelwall_query_cache_entries gauge\n");
+        let _ = writeln!(out, "accelwall_query_cache_entries {}", query.cache.entries);
+        out.push_str("# TYPE accelwall_query_cache_capacity_bytes gauge\n");
+        let _ = writeln!(
+            out,
+            "accelwall_query_cache_capacity_bytes {}",
+            query.cache.capacity_bytes
+        );
+        out.push_str("# TYPE accelwall_query_in_flight_cost gauge\n");
+        let _ = writeln!(out, "accelwall_query_in_flight_cost {}", query.in_flight);
         out.push_str("# TYPE accelwall_worker_panics_total counter\n");
         let _ = writeln!(
             out,
@@ -347,7 +381,7 @@ mod tests {
         m.observe(Route::Healthz, 200, Duration::from_millis(2));
         m.observe(Route::Healthz, 200, Duration::from_millis(3));
         m.observe(Route::Experiment, 404, Duration::from_millis(1));
-        let text = m.render(empty_stats(), empty_ctx());
+        let text = m.render(empty_stats(), empty_ctx(), &QueryStats::default());
         assert!(text.contains("accelwall_requests_total{route=\"/healthz\"} 2"));
         assert!(text.contains("accelwall_requests_total{route=\"/experiments/{id}\"} 1"));
         assert!(text.contains("accelwall_responses_total{status=\"200\"} 2"));
@@ -371,7 +405,7 @@ mod tests {
     fn render_folds_in_cache_and_ctx_counters() {
         let m = Metrics::new();
         m.record_rejected();
-        let text = m.render(empty_stats(), empty_ctx());
+        let text = m.render(empty_stats(), empty_ctx(), &QueryStats::default());
         assert!(text.contains("accelwall_connections_rejected_total 1"));
         assert!(text.contains("accelwall_artifact_cache_hits_total 2"));
         assert!(text.contains("accelwall_artifact_cache_misses_total 1"));
@@ -390,7 +424,7 @@ mod tests {
 
     #[test]
     fn render_exposes_the_compute_pool_series() {
-        let text = Metrics::new().render(empty_stats(), empty_ctx());
+        let text = Metrics::new().render(empty_stats(), empty_ctx(), &QueryStats::default());
         for series in [
             "accelwall_par_workers ",
             "accelwall_par_jobs_total ",
@@ -407,7 +441,7 @@ mod tests {
         // The pool holds a clone and increments it on respawn; simulate.
         m.worker_panics_counter().fetch_add(2, Ordering::SeqCst);
         assert_eq!(m.worker_panics(), 2);
-        let text = m.render(empty_stats(), empty_ctx());
+        let text = m.render(empty_stats(), empty_ctx(), &QueryStats::default());
         assert!(text.contains("accelwall_worker_panics_total 2"));
         // No plan is armed in unit tests: the gauge says so and no
         // injection lines render.

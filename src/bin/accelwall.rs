@@ -8,6 +8,7 @@
 //! accelwall all [--json] [--threads N]
 //! accelwall dot [WORKLOAD] [--json]
 //! accelwall list [--json]
+//! accelwall query [--schema] [--field value ...]
 //! accelwall serve [--addr HOST:PORT] [--workers N] [--deadline-ms N] [--threads N]
 //! accelwall lint [--json]
 //! ```
@@ -32,6 +33,12 @@
 //! validated against the registry roster plus the static probe sites —
 //! a typo fails startup with the full accepted-site list, exactly like
 //! an unknown target.
+//!
+//! `query` answers one ad-hoc what-if spec through `accelwall-query` —
+//! the same typed spec, validation, and executor behind the server's
+//! `/query` routes — and prints the JSON body. Its arguments are
+//! `--field value` pairs over the query schema (`--schema` prints it),
+//! e.g. `accelwall query --workload fft --node 7nm --lanes 4`.
 //!
 //! Unknown targets *and* unknown flags both fail with a roster-style
 //! error listing everything that would have been accepted.
@@ -170,7 +177,13 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args(std::env::args().skip(1)) {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // `query` takes `--field value` pairs over the query schema, not the
+    // fixed flag roster above — route it before the strict parser.
+    if raw.first().map(String::as_str) == Some("query") {
+        return query(&raw[1..]);
+    }
+    let args = match parse_args(raw.into_iter()) {
         Ok(args) => args,
         Err(message) => {
             eprintln!("{message}");
@@ -194,6 +207,7 @@ fn main() -> ExitCode {
                     println!("  {:<12} {}", e.id(), e.description());
                 }
                 println!("  {:<12} run every target above", "all");
+                println!("  {:<12} answer an ad-hoc what-if spec", "query");
                 println!("  {:<12} serve artifacts over HTTP", "serve");
                 println!("  {:<12} check workspace invariants", "lint");
             }
@@ -246,6 +260,65 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+    }
+}
+
+/// Answers one ad-hoc query spec and prints the JSON body.
+///
+/// Arguments are `--field value` pairs (or `--field=value`) over the
+/// query schema; `--schema` prints that schema instead. Validation is
+/// the spec's own: an unknown field or out-of-roster value fails with
+/// the full accepted list, exactly like an unknown target. Retryable
+/// failures (shedding, injected faults) exit non-zero with the reason.
+fn query(raw: &[String]) -> ExitCode {
+    use accelwall_query::{QueryEngine, QuerySpec};
+    if raw.iter().any(|a| a == "--schema") {
+        if raw.len() > 1 {
+            eprintln!("--schema takes no other arguments");
+            return ExitCode::FAILURE;
+        }
+        println!("{}", QueryEngine::schema().pretty());
+        return ExitCode::SUCCESS;
+    }
+    let mut pairs = Vec::new();
+    let mut args = raw.iter();
+    while let Some(arg) = args.next() {
+        let Some(flag) = arg.strip_prefix("--") else {
+            eprintln!("query arguments are --field value pairs, got {arg:?}");
+            eprintln!("run `accelwall query --schema` for the field roster");
+            return ExitCode::FAILURE;
+        };
+        let (name, value) = match flag.split_once('=') {
+            Some((name, value)) => (name.to_string(), value.to_string()),
+            None => match args.next() {
+                Some(value) => (flag.to_string(), value.clone()),
+                None => {
+                    eprintln!("flag --{flag} needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        pairs.push((name, value));
+    }
+    let spec = match QuerySpec::from_pairs(&pairs) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("run `accelwall query --schema` for the field roster");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cache = ArtifactCache::new(Registry::paper(), Ctx::new());
+    let engine = QueryEngine::new(std::sync::Arc::new(cache), 0);
+    match engine.answer(&spec) {
+        Ok(body) => {
+            print!("{}", String::from_utf8_lossy(&body));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("query failed: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

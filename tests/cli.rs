@@ -209,6 +209,7 @@ fn list_matches_the_registry_exactly() {
         .collect();
     let mut expected = Registry::paper().ids();
     expected.push("all");
+    expected.push("query");
     expected.push("serve");
     expected.push("lint");
     assert_eq!(listed, expected, "`list` must mirror the registry");

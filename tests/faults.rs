@@ -3,8 +3,9 @@
 //! byte-identical to the CLI, contained experiment panics never take a
 //! pool worker down, `serve-request` panics kill workers that the pool
 //! respawns, hangs turn into 504s while the compute settles in the
-//! background, and malformed `ACCELWALL_FAULTS` specs abort startup
-//! before the socket binds.
+//! background, query-engine faults (shedding and compute errors) answer
+//! retryably without poisoning the query LRU, and malformed
+//! `ACCELWALL_FAULTS` specs abort startup before the socket binds.
 
 use accelerator_wall::json::Value;
 use accelerator_wall::prelude::Registry;
@@ -365,6 +366,66 @@ fn a_hung_compute_times_out_with_504_then_settles() {
     let metrics = get(&addr, "/metrics").body;
     assert!(metric(&metrics, "accelwall_artifact_cache_compute_timeouts_total") >= 1.0);
     // One hang, no failures: the slot settled off a single attempt.
+    assert_eq!(
+        metric(&metrics, "accelwall_artifact_cache_retries_total"),
+        0.0
+    );
+
+    serve.shutdown_and_wait();
+}
+
+/// The query engine under an armed plan: `query-cache-admit:err:1`
+/// sheds the first spec with a 503 + Retry-After, `query-compute:err:1`
+/// fails the next miss with a retryable 500, and neither failure is
+/// memoized — the retry computes cleanly (200) and a further repeat is
+/// served from the LRU without another compute.
+#[test]
+fn injected_query_faults_shed_then_fail_retryably_without_poisoning_the_cache() {
+    let serve = ServeProcess::spawn("query-cache-admit:err:1,query-compute:err:1", &[]);
+    let addr = serve.addr.clone();
+    let path = "/query?workload=fft&node=7nm&lanes=2";
+
+    let shed = get(&addr, path);
+    assert_eq!(shed.status, 503, "body:\n{}", shed.body);
+    assert!(
+        shed.header("retry-after").is_some(),
+        "shed 503 lacks Retry-After:\n{}",
+        shed.headers
+    );
+
+    let failed = get(&addr, path);
+    assert_eq!(failed.status, 500, "body:\n{}", failed.body);
+    let doc = failed.json();
+    assert_eq!(doc.get("kind").and_then(Value::as_str), Some("injected"));
+    assert_eq!(doc.get("retryable").and_then(Value::as_bool), Some(true));
+    assert!(
+        failed.header("retry-after").is_some(),
+        "retryable 500 lacks Retry-After:\n{}",
+        failed.headers
+    );
+
+    // The failed attempt was never cached: the retry recomputes and
+    // answers 200, and the repeat after it is a pure LRU hit.
+    let recovered = get(&addr, path);
+    assert_eq!(recovered.status, 200, "body:\n{}", recovered.body);
+    let warm = get(&addr, path);
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.body, recovered.body, "warm repeat differs");
+
+    let metrics = get(&addr, "/metrics").body;
+    assert_eq!(metric(&metrics, "accelwall_query_shed_total"), 1.0);
+    assert_eq!(metric(&metrics, "accelwall_query_computes_total"), 2.0);
+    assert_eq!(metric(&metrics, "accelwall_query_cache_hits_total"), 1.0);
+    assert!(
+        metrics.contains(
+            "accelwall_fault_injections_total{site=\"query-cache-admit\",kind=\"err\"} 1"
+        ) && metrics
+            .contains("accelwall_fault_injections_total{site=\"query-compute\",kind=\"err\"} 1"),
+        "missing injection counters:\n{metrics}"
+    );
+    // Both faults stayed inside the engine: no worker died, and the
+    // artifact cache never saw a failure.
+    assert_eq!(metric(&metrics, "accelwall_worker_panics_total"), 0.0);
     assert_eq!(
         metric(&metrics, "accelwall_artifact_cache_retries_total"),
         0.0
