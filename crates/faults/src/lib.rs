@@ -400,15 +400,17 @@ impl ArmedPlan {
             return Ok(());
         };
         // Claim one unit of budget; losers of the race (or exhausted
-        // rules) pass through untouched.
+        // rules) pass through untouched. AcqRel on the winning claim
+        // orders each firing after the previous one; Acquire on failure
+        // is enough to observe exhaustion.
         if armed
             .remaining
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
             .is_err()
         {
             return Ok(());
         }
-        armed.fired.fetch_add(1, Ordering::SeqCst);
+        armed.fired.fetch_add(1, Ordering::Relaxed);
         match &armed.rule.kind {
             FaultKind::Err { .. } => Err(InjectedFault {
                 site: site.to_string(),
@@ -433,7 +435,7 @@ impl ArmedPlan {
                 site: r.rule.site.clone(),
                 kind: r.rule.kind.label(),
                 budget: r.rule.kind.budget(),
-                fired: r.fired.load(Ordering::SeqCst),
+                fired: r.fired.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -456,7 +458,10 @@ pub fn arm(plan: FaultPlan) -> Result<&'static ArmedPlan, SpecError> {
     if !fresh {
         return Err(SpecError::AlreadyArmed);
     }
-    ACTIVE.store(true, Ordering::SeqCst);
+    // Relaxed: ACTIVE is only a fast-path gate — the plan itself is
+    // published by (and re-read through) the ARMED OnceLock, whose
+    // get()/get_or_init() pair carries the acquire/release edge.
+    ACTIVE.store(true, Ordering::Relaxed);
     Ok(armed)
 }
 

@@ -12,11 +12,21 @@
 //! * [`lexer`] — a hand-rolled, line/column-tracking Rust tokenizer that
 //!   understands strings, raw strings, comments, and (via [`source`])
 //!   `#[cfg(test)]` / `mod tests` scopes;
+//! * [`parser`] + [`ast`] — a recursive-descent parser over the code
+//!   tokens producing a lightweight item tree (fns, impls, consts,
+//!   use-paths) plus call/method-chain extraction, so semantic rules
+//!   reason about *which* function and *which* receiver, not just which
+//!   token;
+//! * [`symbols`] — a per-crate symbol index (struct-field and
+//!   const/static types, per-file `use` maps) distilled from the trees;
 //! * [`workspace`] — loads every `.rs` file, `Cargo.toml`, and
 //!   `EXPERIMENTS.md` under the workspace root;
 //! * [`Lint`] + [`LintRegistry`] — a pluggable rule trait and the
 //!   standard roster, exactly like `Experiment` + `Registry::paper()`;
-//! * [`rules`] — the seven shipped rules (see [`LintRegistry::standard`]).
+//! * [`rules`] — the eleven shipped rules (see
+//!   [`LintRegistry::standard`]), from token-level policy checks to the
+//!   parser-backed `atomic-ordering`, `lock-order`, `determinism`, and
+//!   `bounded-channel` concurrency rules.
 //!
 //! Findings can be silenced, one site at a time, with a justified
 //! escape hatch: `// lint:allow(<rule>): <why this site is safe>`.
@@ -28,9 +38,12 @@
 //! subcommand, the `tests/lint.rs` integration test asserting the tree
 //! is clean, and the CI `lint` job.
 
+pub mod ast;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod source;
+pub mod symbols;
 pub mod workspace;
 
 use accelerator_wall::json::Value;
@@ -86,9 +99,19 @@ pub trait Lint {
 /// The rule a lint-allow audit finding is reported under.
 pub const ALLOW_AUDIT_RULE: &str = "lint-allow";
 
+/// The allow-audit rule's description, for the roster listing.
+pub const ALLOW_AUDIT_DESCRIPTION: &str =
+    "every lint:allow names a known rule, carries a justification, and suppresses something";
+
 /// An ordered collection of lints — the analyzer's `Registry::paper()`.
 pub struct LintRegistry {
     lints: Vec<Box<dyn Lint>>,
+    /// Every rule name ever registered here, surviving [`select`]
+    /// filtering — so allow-comment auditing still recognizes allows
+    /// for rules that exist but were not asked to run.
+    ///
+    /// [`select`]: LintRegistry::select
+    recognized: Vec<&'static str>,
 }
 
 impl fmt::Debug for LintRegistry {
@@ -98,6 +121,7 @@ impl fmt::Debug for LintRegistry {
                 "rules",
                 &self.lints.iter().map(|l| l.name()).collect::<Vec<_>>(),
             )
+            .field("recognized", &self.recognized)
             .finish()
     }
 }
@@ -111,7 +135,10 @@ impl Default for LintRegistry {
 impl LintRegistry {
     /// An empty registry, for composing a custom rule set.
     pub fn new() -> LintRegistry {
-        LintRegistry { lints: Vec::new() }
+        LintRegistry {
+            lints: Vec::new(),
+            recognized: Vec::new(),
+        }
     }
 
     /// Every shipped rule, in reporting order.
@@ -124,12 +151,34 @@ impl LintRegistry {
         r.register(Box::new(rules::no_exit::NoExitInLib));
         r.register(Box::new(rules::doc_sync::DocSync));
         r.register(Box::new(rules::fault_sites::FaultSites));
+        r.register(Box::new(rules::atomic_ordering::AtomicOrdering));
+        r.register(Box::new(rules::lock_order::LockOrder));
+        r.register(Box::new(rules::determinism::Determinism));
+        r.register(Box::new(rules::bounded_channel::BoundedChannel));
         r
     }
 
     /// Adds a rule to the roster.
     pub fn register(&mut self, lint: Box<dyn Lint>) {
+        self.recognized.push(lint.name());
         self.lints.push(lint);
+    }
+
+    /// Restricts the roster to the named rules (the CLI's `--rule`),
+    /// preserving reporting order and the full-roster knowledge used by
+    /// allow auditing. Rejects unknown names with the known roster.
+    pub fn select(mut self, rules: &[String]) -> Result<LintRegistry, String> {
+        for rule in rules {
+            if !self.knows(rule) {
+                return Err(format!(
+                    "unknown rule {:?}; known rules: {}",
+                    rule,
+                    self.recognized.join(" ")
+                ));
+            }
+        }
+        self.lints.retain(|l| rules.iter().any(|r| r == l.name()));
+        Ok(self)
     }
 
     /// Iterates the registered rules.
@@ -137,9 +186,11 @@ impl LintRegistry {
         self.lints.iter().map(Box::as_ref)
     }
 
-    /// Whether `rule` names a registered lint (or the allow-audit rule).
+    /// Whether `rule` names a recognized lint (or the allow-audit
+    /// rule). Rules filtered out by [`select`](LintRegistry::select)
+    /// stay recognized.
     pub fn knows(&self, rule: &str) -> bool {
-        rule == ALLOW_AUDIT_RULE || self.lints.iter().any(|l| l.name() == rule)
+        rule == ALLOW_AUDIT_RULE || self.recognized.contains(&rule)
     }
 
     /// Runs every rule over the workspace, applies justified
@@ -176,7 +227,7 @@ impl LintRegistry {
                         message: format!(
                             "lint:allow names unknown rule {:?}; known rules: {}",
                             a.rule,
-                            self.lints().map(Lint::name).collect::<Vec<_>>().join(" ")
+                            self.recognized.join(" ")
                         ),
                     });
                 } else if a.justification.is_empty() {
@@ -191,10 +242,14 @@ impl LintRegistry {
                             a.rule, a.rule
                         ),
                     });
-                } else if !used
-                    .iter()
-                    .any(|(p, l, r)| *p == f.rel_path && *l == a.line && *r == a.rule)
+                } else if self.lints.iter().any(|l| l.name() == a.rule)
+                    && !used
+                        .iter()
+                        .any(|(p, l, r)| *p == f.rel_path && *l == a.line && *r == a.rule)
                 {
+                    // Only rules that actually ran can prove an allow
+                    // unused — a `select()`-filtered run stays quiet
+                    // about allows for the rules it skipped.
                     findings.push(Finding {
                         rule: ALLOW_AUDIT_RULE,
                         path: f.rel_path.clone(),
@@ -213,7 +268,11 @@ impl LintRegistry {
         });
         Report {
             findings,
-            rules: self.lints().map(|l| (l.name(), l.description())).collect(),
+            rules: self
+                .lints()
+                .map(|l| (l.name(), l.description()))
+                .chain(std::iter::once((ALLOW_AUDIT_RULE, ALLOW_AUDIT_DESCRIPTION)))
+                .collect(),
             files_scanned: ws.files.len() + ws.manifests.len(),
         }
     }
@@ -299,7 +358,7 @@ mod tests {
     fn standard_registry_rule_names_are_unique_and_kebab() {
         let r = LintRegistry::standard();
         let names: Vec<&str> = r.lints().map(Lint::name).collect();
-        assert_eq!(names.len(), 7);
+        assert_eq!(names.len(), 11);
         let mut unique = names.clone();
         unique.sort_unstable();
         unique.dedup();
@@ -312,8 +371,28 @@ mod tests {
             assert!(!lint.description().is_empty(), "{name} lacks a description");
         }
         assert!(r.knows("no-panic-paths"));
+        assert!(r.knows("atomic-ordering"));
         assert!(r.knows(ALLOW_AUDIT_RULE));
         assert!(!r.knows("no-such-rule"));
+    }
+
+    #[test]
+    fn select_filters_but_still_recognizes_the_full_roster() {
+        let r = LintRegistry::standard()
+            .select(&["determinism".to_string(), "lock-order".to_string()])
+            .unwrap();
+        let names: Vec<&str> = r.lints().map(Lint::name).collect();
+        assert_eq!(names, ["lock-order", "determinism"], "reporting order kept");
+        assert!(r.knows("float-hygiene"), "filtered rules stay recognized");
+    }
+
+    #[test]
+    fn select_rejects_unknown_rules_with_the_roster() {
+        let err = LintRegistry::standard()
+            .select(&["no-such-rule".to_string()])
+            .unwrap_err();
+        assert!(err.contains("unknown rule \"no-such-rule\""), "{err}");
+        assert!(err.contains("atomic-ordering"), "{err}");
     }
 
     #[test]

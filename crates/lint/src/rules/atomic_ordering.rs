@@ -1,0 +1,392 @@
+//! `atomic-ordering` — every atomic memory ordering in the workspace is
+//! deliberate.
+//!
+//! The parallel runtime's work-stealing cursor, the server's shutdown
+//! latch, and the query engine's admission CAS all encode their
+//! happens-before edges in `Ordering` arguments; a wrong one is a data
+//! race that no test reliably catches. This rule audits every
+//! `load`/`store`/`swap`/`compare_exchange*`/`fetch_*` call that names
+//! an `Ordering` and flags three hazards:
+//!
+//! * **`SeqCst`** — the workspace publishes exclusively through
+//!   acquire/release pairs; `SeqCst` either hides a missing pairing or
+//!   taxes the fast path for a global order nothing relies on. Use
+//!   `Relaxed` for counters, `Release`/`Acquire`/`AcqRel` for
+//!   publication, or justify the global order with an allow.
+//! * **`Relaxed` CAS success** — a `compare_exchange`/`fetch_update`
+//!   that publishes data must succeed with at least `Release`
+//!   (`AcqRel` when the loop also reads the published value);
+//!   deliberately relaxed counters take a justified allow.
+//! * **Unpaired release/acquire sides** — per crate, sites are grouped
+//!   by the atomic field they touch: an `Acquire` load whose field is
+//!   only ever written `Relaxed` acquires nothing, and a `Release`
+//!   write nobody `Acquire`-loads releases to nobody. Either the other
+//!   side upgrades or this side downgrades.
+
+use crate::ast::{Call, Span};
+use crate::parser::calls_in;
+use crate::symbols::crate_of;
+use crate::workspace::Workspace;
+use crate::{Finding, Lint};
+use std::collections::BTreeMap;
+
+/// See the module docs.
+pub struct AtomicOrdering;
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Atomic methods that take at least one `Ordering`.
+const ATOMIC_METHODS: [&str; 15] = [
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_update",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_not",
+];
+
+/// How one call reads/writes its atomic.
+#[derive(Clone, Copy, PartialEq)]
+enum OpKind {
+    /// `load`: read only.
+    Read,
+    /// `store`: write only.
+    Write,
+    /// `swap`/`fetch_*`: one ordering covering both sides.
+    Rmw,
+    /// `compare_exchange*`/`fetch_update`: separate success (write) and
+    /// failure (read) orderings.
+    Cas,
+}
+
+struct Site {
+    path: String,
+    span: Span,
+    op: OpKind,
+    /// `(ordering name, ordering token span)` in argument order.
+    orderings: Vec<(String, Span)>,
+    method: String,
+}
+
+impl Lint for AtomicOrdering {
+    fn name(&self) -> &'static str {
+        "atomic-ordering"
+    }
+
+    fn description(&self) -> &'static str {
+        "atomic orderings are deliberate: no SeqCst, no Relaxed CAS success, \
+         and release/acquire sides pair up per field"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        // (crate, field) -> sites touching that atomic.
+        let mut fields: BTreeMap<(String, String), Vec<Site>> = BTreeMap::new();
+
+        for file in &ws.files {
+            if file.test_file {
+                continue;
+            }
+            let code = file.code_tokens();
+            let krate = crate_of(&file.rel_path);
+            for f in file.parsed.fns_with_bodies() {
+                let (open, close) = f.body.unwrap_or((0, 0));
+                for call in calls_in(&code, open, close) {
+                    if !call.is_method || !ATOMIC_METHODS.contains(&call.method.as_str()) {
+                        continue;
+                    }
+                    if file.is_test_line(call.span.line) {
+                        continue;
+                    }
+                    let orderings = call_orderings(&code, &call);
+                    if orderings.is_empty() {
+                        // `Vec::swap`, `io::Read::read` and friends: same
+                        // method names, no `Ordering` argument.
+                        continue;
+                    }
+                    let op = match call.method.as_str() {
+                        "load" => OpKind::Read,
+                        "store" => OpKind::Write,
+                        "compare_exchange" | "compare_exchange_weak" | "fetch_update" => {
+                            OpKind::Cas
+                        }
+                        _ => OpKind::Rmw,
+                    };
+                    let key = call
+                        .chain
+                        .last()
+                        .map(|s| s.trim_end_matches("()").trim_end_matches("[]").to_string())
+                        .unwrap_or_default();
+                    let site = Site {
+                        path: file.rel_path.clone(),
+                        span: call.span,
+                        op,
+                        orderings,
+                        method: call.method.clone(),
+                    };
+
+                    // Hazard 1: any SeqCst.
+                    for (name, at) in &site.orderings {
+                        if name == "SeqCst" {
+                            findings.push(Finding {
+                                rule: self.name(),
+                                path: file.rel_path.clone(),
+                                line: at.line,
+                                col: at.col,
+                                message: format!(
+                                    "SeqCst ordering on `{key}.{}`: this workspace \
+                                     synchronizes through release/acquire pairs; use \
+                                     Relaxed for counters, Release/Acquire/AcqRel for \
+                                     publication, or justify the global order with \
+                                     `// lint:allow(atomic-ordering): <why>`",
+                                    site.method
+                                ),
+                            });
+                        }
+                    }
+                    // Hazard 2: Relaxed CAS success ordering.
+                    if site.op == OpKind::Cas
+                        && site.orderings.first().is_some_and(|(n, _)| n == "Relaxed")
+                    {
+                        findings.push(Finding {
+                            rule: self.name(),
+                            path: file.rel_path.clone(),
+                            line: site.span.line,
+                            col: site.span.col,
+                            message: format!(
+                                "`{}` on `{key}` succeeds with Relaxed: a CAS that \
+                                 publishes data needs Release (or AcqRel) on success; \
+                                 a deliberately relaxed counter takes \
+                                 `// lint:allow(atomic-ordering): <why>`",
+                                site.method
+                            ),
+                        });
+                    }
+                    if !key.is_empty() {
+                        fields.entry((krate.clone(), key)).or_default().push(site);
+                    }
+                }
+            }
+        }
+
+        // Hazard 3: unpaired release/acquire sides, per (crate, field).
+        for ((krate, key), sites) in &fields {
+            let read_orders: Vec<&str> = sites.iter().flat_map(Site::read_orderings).collect();
+            let write_orders: Vec<&str> = sites.iter().flat_map(Site::write_orderings).collect();
+            let has_acquire_read = read_orders
+                .iter()
+                .any(|o| matches!(*o, "Acquire" | "AcqRel" | "SeqCst"));
+            let has_release_write = write_orders
+                .iter()
+                .any(|o| matches!(*o, "Release" | "AcqRel" | "SeqCst"));
+            if has_acquire_read && !write_orders.is_empty() && !has_release_write {
+                for site in sites {
+                    if site.write_orderings().next().is_some() {
+                        findings.push(Finding {
+                            rule: self.name(),
+                            path: site.path.clone(),
+                            line: site.span.line,
+                            col: site.span.col,
+                            message: format!(
+                                "`{key}` is Acquire-loaded in crate `{krate}` but every \
+                                 write (like this `{}`) is Relaxed: the load acquires \
+                                 nothing — publish with Release, or downgrade the loads",
+                                site.method
+                            ),
+                        });
+                    }
+                }
+            }
+            if has_release_write && !read_orders.is_empty() && !has_acquire_read {
+                for site in sites {
+                    if site
+                        .write_orderings()
+                        .any(|o| matches!(o, "Release" | "AcqRel" | "SeqCst"))
+                    {
+                        findings.push(Finding {
+                            rule: self.name(),
+                            path: site.path.clone(),
+                            line: site.span.line,
+                            col: site.span.col,
+                            message: format!(
+                                "Release-ordered `{}` of `{key}` is never \
+                                 Acquire-loaded in crate `{krate}`: nothing pairs with \
+                                 the release — upgrade a load or relax this write",
+                                site.method
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        findings
+    }
+}
+
+impl Site {
+    /// Orderings governing this site's read side.
+    fn read_orderings(&self) -> impl Iterator<Item = &str> {
+        let picks: Vec<&str> = match self.op {
+            OpKind::Read | OpKind::Rmw => self.orderings.iter().map(|(n, _)| n.as_str()).collect(),
+            // CAS: the failure/fetch ordering is the second one.
+            OpKind::Cas => self
+                .orderings
+                .get(1)
+                .map(|(n, _)| n.as_str())
+                .into_iter()
+                .collect(),
+            OpKind::Write => Vec::new(),
+        };
+        picks.into_iter()
+    }
+
+    /// Orderings governing this site's write side.
+    fn write_orderings(&self) -> impl Iterator<Item = &str> {
+        let picks: Vec<&str> = match self.op {
+            OpKind::Write | OpKind::Rmw => self.orderings.iter().map(|(n, _)| n.as_str()).collect(),
+            // CAS: the success/set ordering comes first.
+            OpKind::Cas => self
+                .orderings
+                .first()
+                .map(|(n, _)| n.as_str())
+                .into_iter()
+                .collect(),
+            OpKind::Read => Vec::new(),
+        };
+        picks.into_iter()
+    }
+}
+
+/// The `Ordering` idents among a call's arguments, in argument order.
+fn call_orderings(code: &[&crate::lexer::Token], call: &Call) -> Vec<(String, Span)> {
+    let mut found = Vec::new();
+    for &(start, end) in &call.args {
+        for i in start..end.min(code.len()) {
+            let t = code[i];
+            if t.kind == crate::lexer::TokenKind::Ident
+                && ORDERINGS.contains(&t.text.as_str())
+                && code.get(i.wrapping_sub(1)).is_none_or(|p| !p.is_punct("."))
+            {
+                found.push((
+                    t.text.clone(),
+                    Span {
+                        line: t.line,
+                        col: t.col,
+                    },
+                ));
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::workspace;
+
+    fn check_at(path: &str, src: &str) -> Vec<Finding> {
+        AtomicOrdering.check(&workspace(&[(path, src)]))
+    }
+
+    const PRELUDE: &str = "use std::sync::atomic::{AtomicUsize, Ordering};\n";
+
+    #[test]
+    fn flags_seqcst() {
+        let src =
+            format!("{PRELUDE}pub fn f(a: &AtomicUsize) {{ a.store(1, Ordering::SeqCst); }}\n");
+        let found = check_at("crates/x/src/lib.rs", &src);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("SeqCst"));
+        assert_eq!(found[0].line, 2);
+    }
+
+    #[test]
+    fn flags_relaxed_cas_success() {
+        let src = format!(
+            "{PRELUDE}pub fn f(a: &AtomicUsize) {{\n\
+             let _ = a.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed);\n\
+             }}\n"
+        );
+        let found = check_at("crates/x/src/lib.rs", &src);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("Relaxed"));
+    }
+
+    #[test]
+    fn flags_acquire_load_of_relaxed_only_writes() {
+        let src = format!(
+            "{PRELUDE}pub fn w(a: &AtomicUsize) {{ a.store(1, Ordering::Relaxed); }}\n\
+             pub fn r(a: &AtomicUsize) -> usize {{ a.load(Ordering::Acquire) }}\n"
+        );
+        let found = check_at("crates/x/src/lib.rs", &src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("acquires nothing"));
+    }
+
+    #[test]
+    fn flags_release_store_nobody_acquires() {
+        let src = format!(
+            "{PRELUDE}pub fn w(a: &AtomicUsize) {{ a.store(1, Ordering::Release); }}\n\
+             pub fn r(a: &AtomicUsize) -> usize {{ a.load(Ordering::Relaxed) }}\n"
+        );
+        let found = check_at("crates/x/src/lib.rs", &src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("never"));
+    }
+
+    #[test]
+    fn paired_and_relaxed_counters_pass() {
+        let src = format!(
+            "{PRELUDE}pub fn publish(a: &AtomicUsize) {{ a.store(1, Ordering::Release); }}\n\
+             pub fn consume(a: &AtomicUsize) -> usize {{ a.load(Ordering::Acquire) }}\n\
+             pub fn count(c: &AtomicUsize) {{ c.fetch_add(1, Ordering::Relaxed); }}\n\
+             pub fn peek(c: &AtomicUsize) -> usize {{ c.load(Ordering::Relaxed) }}\n\
+             pub fn claim(a: &AtomicUsize) {{\n\
+             let _ = a.fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| Some(n + 1));\n\
+             let _ = a.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire);\n\
+             }}\n"
+        );
+        assert!(check_at("crates/x/src/lib.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn non_atomic_swap_and_test_scope_are_exempt() {
+        let src = "pub fn f(v: &mut Vec<u32>) { v.swap(0, 1); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       use std::sync::atomic::{AtomicUsize, Ordering};\n\
+                       fn t(a: &AtomicUsize) { a.store(1, Ordering::SeqCst); }\n\
+                   }\n";
+        assert!(check_at("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fields_are_grouped_per_crate_not_globally() {
+        // Same field name in two crates: each crate pairs on its own.
+        let ws = workspace(&[
+            (
+                "crates/a/src/lib.rs",
+                "use std::sync::atomic::{AtomicUsize, Ordering};\n\
+                 pub fn w(a: &AtomicUsize) { a.store(1, Ordering::Release); }\n\
+                 pub fn r(a: &AtomicUsize) -> usize { a.load(Ordering::Acquire) }\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "use std::sync::atomic::{AtomicUsize, Ordering};\n\
+                 pub fn w(a: &AtomicUsize) { a.fetch_add(1, Ordering::Relaxed); }\n\
+                 pub fn r(a: &AtomicUsize) -> usize { a.load(Ordering::Relaxed) }\n",
+            ),
+        ]);
+        assert!(AtomicOrdering.check(&ws).is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! `bounded-channel` — serving paths apply backpressure.
+//!
+//! An unbounded `mpsc::channel()` between a producer that accepts
+//! external work and a consumer that drains it turns overload into
+//! unbounded memory growth: the queue absorbs everything until the
+//! allocator gives out, long after latency targets are blown. On the
+//! serving crates every channel must be an `mpsc::sync_channel(bound)`
+//! with an explicit capacity so overload surfaces as send backpressure
+//! (or a `try_send` error the admission layer can shed). Deliberate
+//! unbounded channels — e.g. a bounded-by-construction handoff — take
+//! a justified `// lint:allow(bounded-channel): <why>`.
+
+use crate::parser::calls_in;
+use crate::symbols::use_map;
+use crate::workspace::Workspace;
+use crate::{Finding, Lint};
+
+/// See the module docs.
+pub struct BoundedChannel;
+
+/// Serving-path scopes: crates on the request path plus the CLI's
+/// server plumbing. Offline analysis crates may queue freely.
+const SCOPES: [&str; 5] = [
+    "crates/server/",
+    "crates/query/",
+    "crates/core/",
+    "crates/par/",
+    "src/",
+];
+
+impl Lint for BoundedChannel {
+    fn name(&self) -> &'static str {
+        "bounded-channel"
+    }
+
+    fn description(&self) -> &'static str {
+        "mpsc channels on serving paths are sync_channel with an explicit \
+         bound so overload becomes backpressure, not memory growth"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for file in &ws.files {
+            if file.test_file || !SCOPES.iter().any(|s| file.rel_path.starts_with(s)) {
+                continue;
+            }
+            let imports = use_map(file);
+            let code = file.code_tokens();
+            for f in file.parsed.fns_with_bodies() {
+                let (open, close) = f.body.unwrap_or((0, 0));
+                for call in calls_in(&code, open, close) {
+                    if call.is_method || file.is_test_line(call.span.line) {
+                        continue;
+                    }
+                    let is_mpsc = match call.method.as_str() {
+                        "channel" | "sync_channel" => {
+                            call.chain.first().is_some_and(|c| c == "mpsc")
+                                || (call.chain.is_empty()
+                                    && imports
+                                        .get(&call.method)
+                                        .is_some_and(|p| p.contains("mpsc")))
+                        }
+                        _ => false,
+                    };
+                    if !is_mpsc {
+                        continue;
+                    }
+                    if call.method == "channel" {
+                        findings.push(Finding {
+                            rule: "bounded-channel",
+                            path: file.rel_path.clone(),
+                            line: call.span.line,
+                            col: call.span.col,
+                            message: "unbounded `mpsc::channel()` on a serving path: \
+                                use `mpsc::sync_channel(bound)` with an explicit \
+                                capacity so overload becomes backpressure, or justify \
+                                with `// lint:allow(bounded-channel): <why>`"
+                                .to_string(),
+                        });
+                    } else if call.args.is_empty() {
+                        findings.push(Finding {
+                            rule: "bounded-channel",
+                            path: file.rel_path.clone(),
+                            line: call.span.line,
+                            col: call.span.col,
+                            message: "`mpsc::sync_channel()` without an explicit bound".to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::workspace;
+
+    fn check_at(path: &str, src: &str) -> Vec<Finding> {
+        BoundedChannel.check(&workspace(&[(path, src)]))
+    }
+
+    #[test]
+    fn flags_unbounded_channel_via_chain() {
+        let src = "use std::sync::mpsc;\n\
+            pub fn wire() {\n\
+                let (tx, rx) = mpsc::channel::<u64>();\n\
+                let _ = (tx, rx);\n\
+            }\n";
+        let found = check_at("crates/server/src/lib.rs", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("sync_channel"));
+    }
+
+    #[test]
+    fn flags_unbounded_channel_via_use_leaf() {
+        let src = "use std::sync::mpsc::channel;\n\
+            pub fn wire() {\n\
+                let (tx, rx) = channel::<u64>();\n\
+                let _ = (tx, rx);\n\
+            }\n";
+        assert_eq!(check_at("crates/query/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn sync_channel_with_bound_passes() {
+        let src = "use std::sync::mpsc;\n\
+            pub fn wire(depth: usize) {\n\
+                let (tx, rx) = mpsc::sync_channel::<u64>(depth);\n\
+                let _ = (tx, rx);\n\
+            }\n";
+        assert!(check_at("crates/server/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unrelated_channel_fns_pass() {
+        // A local fn named `channel` that is not std mpsc.
+        let src = "fn channel(width: u32) -> u32 { width }\n\
+            pub fn f() -> u32 { channel(3) }\n";
+        assert!(check_at("crates/server/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn offline_crates_are_out_of_scope() {
+        let src = "use std::sync::mpsc;\n\
+            pub fn wire() {\n\
+                let (tx, rx) = mpsc::channel::<u64>();\n\
+                let _ = (tx, rx);\n\
+            }\n";
+        assert!(check_at("crates/stats/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_scope_is_exempt() {
+        let src = "use std::sync::mpsc;\n\
+            #[cfg(test)]\n\
+            mod tests {\n\
+                #[test]\n\
+                fn t() {\n\
+                    let (tx, rx) = super::mpsc_pair();\n\
+                    let _ = (tx, rx);\n\
+                }\n\
+            }\n\
+            pub fn mpsc_pair() -> (mpsc::Sender<u8>, mpsc::Receiver<u8>) {\n\
+                mpsc::channel()\n\
+            }\n";
+        // The shipping fn is still flagged; the test mod is not.
+        assert_eq!(check_at("crates/server/src/lib.rs", src).len(), 1);
+    }
+}

@@ -1,0 +1,743 @@
+//! `determinism` — the compute paths that back `all --json`'s
+//! byte-identical-at-any-thread-count guarantee stay deterministic.
+//!
+//! Three hazards, each of which has historically produced results that
+//! depend on process randomness rather than inputs:
+//!
+//! * **Hash-order iteration** — `std::collections::HashMap`/`HashSet`
+//!   iterate in a per-process random order (SipHash keying). Iterating
+//!   one into anything order-sensitive — serialized JSON, a float fold,
+//!   a `Vec` that feeds one — makes output depend on the hash seed.
+//!   Iterations that end in an order-insensitive sink (`collect` into a
+//!   `BTreeMap`/`BTreeSet`, `count`, `any`, `all`, `max`, `min`) pass.
+//! * **Float accumulation in loops** — `x += …` over floats is
+//!   order-sensitive; the blessed path for reductions is the pairwise
+//!   tree fold in `accelwall-par` (`par_map_reduce`) or an exact
+//!   mergeable summary (`RegressionSums`). A sequential accumulation
+//!   that can never be re-chunked takes a justified allow.
+//! * **Wall-clock and thread identity** — `Instant::now`,
+//!   `SystemTime`, and `thread::current` inside experiment compute
+//!   paths leak the machine into the model; timing belongs in the
+//!   bench/server layers.
+
+use crate::lexer::{Token, TokenKind};
+use crate::parser::calls_in;
+use crate::source::SourceFile;
+use crate::symbols::{crate_of, SymbolIndex};
+use crate::workspace::Workspace;
+use crate::{Finding, Lint};
+use std::collections::BTreeSet;
+
+/// See the module docs.
+pub struct Determinism;
+
+/// Crates whose shipping code feeds deterministic artifacts: hash-order
+/// iteration is policed everywhere here.
+const HASH_SCOPES: [&str; 15] = [
+    "crates/accelsim",
+    "crates/chipdb",
+    "crates/cmos",
+    "crates/core",
+    "crates/csr",
+    "crates/dfg",
+    "crates/lint",
+    "crates/par",
+    "crates/potential",
+    "crates/projection",
+    "crates/query",
+    "crates/server",
+    "crates/stats",
+    "crates/studies",
+    "crates/workloads",
+];
+
+/// Crates with float reduction kernels: loop accumulation is policed.
+const FLOAT_SCOPES: [&str; 3] = ["crates/stats", "crates/chipdb", "crates/projection"];
+
+/// Experiment compute paths: wall-clock and thread identity are banned.
+const CLOCK_SCOPES: [&str; 11] = [
+    "crates/accelsim",
+    "crates/chipdb",
+    "crates/cmos",
+    "crates/core/src/experiments",
+    "crates/csr",
+    "crates/dfg",
+    "crates/potential",
+    "crates/projection",
+    "crates/stats",
+    "crates/studies",
+    "crates/workloads",
+];
+
+/// Iterator-producing methods on hash containers.
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Chained sinks whose result does not depend on iteration order.
+const ORDER_FREE_SINKS: [&str; 5] = ["count", "any", "all", "max", "min"];
+
+impl Lint for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn description(&self) -> &'static str {
+        "compute paths stay deterministic: no hash-order iteration, no loop \
+         float accumulation outside the tree-fold helpers, no wall-clock reads"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let symbols = SymbolIndex::build(ws);
+        for file in &ws.files {
+            if file.test_file {
+                continue;
+            }
+            let in_scope = |scopes: &[&str]| {
+                scopes
+                    .iter()
+                    .any(|s| file.rel_path.starts_with(&format!("{s}/")))
+            };
+            if in_scope(&HASH_SCOPES) {
+                check_hash_iteration(file, &symbols, &mut findings);
+            }
+            if in_scope(&FLOAT_SCOPES) {
+                check_float_accumulation(file, &symbols, &mut findings);
+            }
+            if in_scope(&CLOCK_SCOPES) {
+                check_clock_reads(file, &mut findings);
+            }
+        }
+        findings
+    }
+}
+
+/// Names known to be hash-typed in one function's view: parameters and
+/// locals whose declaration mentions `HashMap`/`HashSet`, plus the
+/// crate's hash-typed struct fields and statics.
+fn hash_names(
+    code: &[&Token],
+    open: usize,
+    close: usize,
+    params: &[crate::ast::Field],
+    symbols: &SymbolIndex,
+    krate: &str,
+) -> BTreeSet<String> {
+    let is_hash_ty = |ty: &str| ty.contains("HashMap") || ty.contains("HashSet");
+    let mut names: BTreeSet<String> = params
+        .iter()
+        .filter(|p| is_hash_ty(&p.ty))
+        .map(|p| p.name.clone())
+        .collect();
+    if let Some(index) = symbols.of(krate) {
+        for (name, ty) in index.field_types.iter().chain(&index.static_types) {
+            if is_hash_ty(ty) {
+                names.insert(name.clone());
+            }
+        }
+    }
+    // `let [mut] name … = …;` whose statement mentions a hash type.
+    let mut i = open;
+    while i < close {
+        if code[i].is_ident("let") {
+            let mut j = i + 1;
+            if code.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(name) = code.get(j).filter(|t| t.kind == TokenKind::Ident) {
+                let end = statement_end(code, j, close);
+                if (j..end).any(|k| code[k].is_ident("HashMap") || code[k].is_ident("HashSet")) {
+                    names.insert(name.text.clone());
+                }
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    names
+}
+
+fn check_hash_iteration(file: &SourceFile, symbols: &SymbolIndex, findings: &mut Vec<Finding>) {
+    let code = file.code_tokens();
+    let krate = crate_of(&file.rel_path);
+    for f in file.parsed.fns_with_bodies() {
+        let (open, close) = f.body.unwrap_or((0, 0));
+        let names = hash_names(&code, open, close, &f.fields, symbols, &krate);
+        if names.is_empty() {
+            continue;
+        }
+        // `.iter()`-family calls on a known hash container.
+        for call in calls_in(&code, open, close) {
+            if !call.is_method
+                || !ITER_METHODS.contains(&call.method.as_str())
+                || !call.args.is_empty()
+            {
+                continue;
+            }
+            let Some(recv) = call.chain.last() else {
+                continue;
+            };
+            let recv = recv.trim_end_matches("()").trim_end_matches("[]");
+            if !names.contains(recv) || file.is_test_line(call.span.line) {
+                continue;
+            }
+            if order_free_sink(&code, call.close, close) {
+                continue;
+            }
+            findings.push(hash_finding(file, call.span.line, call.span.col, recv));
+        }
+        // `for x in [&[mut]] name { … }` without an iterator method.
+        let mut i = open;
+        while i < close {
+            if code[i].is_ident("for") {
+                if let Some((name_at, name)) = for_loop_over(&code, i, close) {
+                    if names.contains(&name) && !file.is_test_line(code[name_at].line) {
+                        findings.push(hash_finding(
+                            file,
+                            code[name_at].line,
+                            code[name_at].col,
+                            &name,
+                        ));
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+fn hash_finding(file: &SourceFile, line: usize, col: usize, name: &str) -> Finding {
+    Finding {
+        rule: "determinism",
+        path: file.rel_path.clone(),
+        line,
+        col,
+        message: format!(
+            "iteration over hash container `{name}`: HashMap/HashSet order is \
+             per-process random; collect into a BTreeMap/sorted Vec before \
+             folding or serializing, or justify an order-insensitive use with \
+             `// lint:allow(determinism): <why>`"
+        ),
+    }
+}
+
+/// If the `for` at `at` iterates a bare (possibly borrowed) identifier,
+/// that identifier's code index and text.
+fn for_loop_over(code: &[&Token], at: usize, close: usize) -> Option<(usize, String)> {
+    // Find `in` at bracket depth 0 within the header.
+    let mut nest = 0usize;
+    let mut i = at + 1;
+    let in_at = loop {
+        if i >= close {
+            return None;
+        }
+        let t = code[i];
+        if t.is_punct("(") || t.is_punct("[") {
+            nest += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            nest = nest.saturating_sub(1);
+        } else if t.is_punct("{") {
+            return None;
+        } else if nest == 0 && t.is_ident("in") {
+            break i;
+        }
+        i += 1;
+    };
+    let mut j = in_at + 1;
+    while code
+        .get(j)
+        .is_some_and(|t| t.is_punct("&") || t.is_ident("mut"))
+    {
+        j += 1;
+    }
+    let name = code.get(j).filter(|t| t.kind == TokenKind::Ident)?;
+    // The expression must end right there: `for x in map {`.
+    if code.get(j + 1).is_some_and(|t| t.is_punct("{")) {
+        Some((j, name.text.clone()))
+    } else {
+        None
+    }
+}
+
+/// Whether the postfix chain after an iterator call ends in an
+/// order-insensitive sink.
+fn order_free_sink(code: &[&Token], mut close: usize, limit: usize) -> bool {
+    loop {
+        let Some(dot) = code.get(close + 1).filter(|t| t.is_punct(".")) else {
+            return false;
+        };
+        let _ = dot;
+        let Some(method) = code.get(close + 2).filter(|t| t.kind == TokenKind::Ident) else {
+            return false;
+        };
+        // Locate the call parens (turbofish allowed).
+        let mut open = close + 3;
+        let mut turbofish_btree = false;
+        if code.get(open).is_some_and(|t| t.is_punct("::"))
+            && code.get(open + 1).is_some_and(|t| t.is_punct("<"))
+        {
+            let angle_end = angle_close(code, open + 1);
+            turbofish_btree = (open..=angle_end)
+                .any(|k| code[k].is_ident("BTreeMap") || code[k].is_ident("BTreeSet"));
+            open = angle_end + 1;
+        }
+        if !code.get(open).is_some_and(|t| t.is_punct("(")) {
+            return false;
+        }
+        if ORDER_FREE_SINKS.contains(&method.text.as_str())
+            || (method.is_ident("collect") && turbofish_btree)
+        {
+            return true;
+        }
+        close = match_close(code, open, limit);
+    }
+}
+
+fn check_float_accumulation(file: &SourceFile, symbols: &SymbolIndex, findings: &mut Vec<Finding>) {
+    let code = file.code_tokens();
+    let krate = crate_of(&file.rel_path);
+    for f in file.parsed.fns_with_bodies() {
+        let (open, close) = f.body.unwrap_or((0, 0));
+        let floats = float_names(&code, open, close, &f.fields);
+        let loops = loop_ranges(&code, open, close);
+        if loops.is_empty() {
+            continue;
+        }
+        let mut i = open;
+        while i < close {
+            let t = code[i];
+            let compound = (t.is_punct("+") || t.is_punct("-"))
+                && code.get(i + 1).is_some_and(|n| n.is_punct("="))
+                && !code
+                    .get(i.wrapping_sub(1))
+                    .is_some_and(|p| p.is_punct("+") || p.is_punct("-"));
+            if compound && loops.iter().any(|&(s, e)| s < i && i < e) {
+                let target = assign_target(&code, i);
+                let is_float = target.as_ref().is_some_and(|name| {
+                    floats.contains(name)
+                        || symbols
+                            .type_of(&krate, name)
+                            .is_some_and(|ty| ty.contains("f64") || ty.contains("f32"))
+                }) || rhs_has_float_literal(&code, i + 2, close);
+                if is_float && !file.is_test_line(t.line) {
+                    findings.push(Finding {
+                        rule: "determinism",
+                        path: file.rel_path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "float accumulation `{} {}=` inside a loop: reduction \
+                             order must not depend on chunking — route through the \
+                             pairwise tree fold (`par_map_reduce`) or an exact \
+                             mergeable summary, or justify fixed-order accumulation \
+                             with `// lint:allow(determinism): <why>`",
+                            target.as_deref().unwrap_or("<expr>"),
+                            t.text
+                        ),
+                    });
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Float-typed names visible in one function: `f32`/`f64` parameters
+/// and let-bindings whose statement carries a float literal, a float
+/// type annotation, or an already-known float name (fixpoint).
+fn float_names(
+    code: &[&Token],
+    open: usize,
+    close: usize,
+    params: &[crate::ast::Field],
+) -> BTreeSet<String> {
+    let is_float_ty = |ty: &str| ty.contains("f64") || ty.contains("f32");
+    let mut floats: BTreeSet<String> = params
+        .iter()
+        .filter(|p| is_float_ty(&p.ty))
+        .map(|p| p.name.clone())
+        .collect();
+    // Collect (binding, statement range) pairs once, then iterate to a
+    // fixpoint so `let a = 0.0; let b = a;` marks both.
+    let mut bindings: Vec<(String, usize, usize)> = Vec::new();
+    let mut i = open;
+    while i < close {
+        let t = code[i];
+        if t.is_ident("let") || t.is_ident("for") {
+            let is_for = t.is_ident("for");
+            let mut j = i + 1;
+            if code.get(j).is_some_and(|n| n.is_ident("mut")) {
+                j += 1;
+            }
+            // Single ident, or the last ident of a small tuple pattern
+            // (`for (i, slot) in xs.iter_mut().enumerate()` binds the
+            // payload last).
+            let mut name = code
+                .get(j)
+                .filter(|n| n.kind == TokenKind::Ident)
+                .map(|n| n.text.clone());
+            if name.is_none() && code.get(j).is_some_and(|n| n.is_punct("(")) {
+                let close_paren = match_close(code, j, close);
+                name = (j..close_paren)
+                    .rev()
+                    .map(|k| code[k])
+                    .find(|n| n.kind == TokenKind::Ident && !n.is_ident("mut"))
+                    .map(|n| n.text.clone());
+                j = close_paren;
+            }
+            if let Some(name) = name {
+                let end = if is_for {
+                    // The iterated expression runs to the body `{`.
+                    let mut k = j + 1;
+                    let mut nest = 0usize;
+                    while k < close {
+                        let t = code[k];
+                        if t.is_punct("(") || t.is_punct("[") {
+                            nest += 1;
+                        } else if t.is_punct(")") || t.is_punct("]") {
+                            nest = nest.saturating_sub(1);
+                        } else if nest == 0 && t.is_punct("{") {
+                            break;
+                        }
+                        k += 1;
+                    }
+                    k
+                } else {
+                    statement_end(code, j, close)
+                };
+                bindings.push((name, j, end));
+                i = j;
+            }
+        }
+        i += 1;
+    }
+    loop {
+        let mut grew = false;
+        for (name, start, end) in &bindings {
+            if floats.contains(name) {
+                continue;
+            }
+            let floaty = (*start..*end).any(|k| {
+                let t = code[k];
+                t.kind == TokenKind::Float
+                    || t.is_ident("f64")
+                    || t.is_ident("f32")
+                    || (t.kind == TokenKind::Ident && floats.contains(&t.text))
+            });
+            if floaty {
+                floats.insert(name.clone());
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    floats
+}
+
+/// The base name of a compound-assignment target: `*sum` → `sum`,
+/// `self.total` → `total`, `acc[i]` → `acc`.
+fn assign_target(code: &[&Token], op_at: usize) -> Option<String> {
+    let mut i = op_at.checked_sub(1)?;
+    if code[i].is_punct("]") {
+        // `name[index] += …`: skip the index.
+        let mut depth = 0usize;
+        loop {
+            if code[i].is_punct("]") {
+                depth += 1;
+            } else if code[i].is_punct("[") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            i = i.checked_sub(1)?;
+        }
+        i = i.checked_sub(1)?;
+    }
+    code.get(i)
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.clone())
+}
+
+/// Whether the statement's right-hand side carries a float literal.
+fn rhs_has_float_literal(code: &[&Token], from: usize, close: usize) -> bool {
+    let end = statement_end(code, from, close);
+    (from..end).any(|k| code[k].kind == TokenKind::Float)
+}
+
+/// The body ranges of every `for`/`while` loop in `[open, close)`.
+fn loop_ranges(code: &[&Token], open: usize, close: usize) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = open;
+    while i < close {
+        if code[i].is_ident("for") || code[i].is_ident("while") {
+            // The body `{` at bracket depth 0 after the header.
+            let mut nest = 0usize;
+            let mut j = i + 1;
+            while j < close {
+                let t = code[j];
+                if t.is_punct("(") || t.is_punct("[") {
+                    nest += 1;
+                } else if t.is_punct(")") || t.is_punct("]") {
+                    nest = nest.saturating_sub(1);
+                } else if nest == 0 && t.is_punct("{") {
+                    ranges.push((j, match_close_brace(code, j, close)));
+                    break;
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+fn check_clock_reads(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let code = file.code_tokens();
+    for (i, t) in code.iter().enumerate() {
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        let hazard = if t.is_ident("Instant") || t.is_ident("SystemTime") {
+            Some(t.text.as_str())
+        } else if t.is_ident("thread")
+            && code.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && code.get(i + 2).is_some_and(|n| n.is_ident("current"))
+        {
+            Some("thread::current")
+        } else {
+            None
+        };
+        if let Some(what) = hazard {
+            findings.push(Finding {
+                rule: "determinism",
+                path: file.rel_path.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{what}` inside an experiment compute path: model outputs must \
+                     depend only on inputs — timing and thread identity belong in \
+                     the bench/server layers, or justify with \
+                     `// lint:allow(determinism): <why>`"
+                ),
+            });
+        }
+    }
+}
+
+fn statement_end(code: &[&Token], from: usize, close: usize) -> usize {
+    let mut nest = 0usize;
+    let mut i = from;
+    while i < close {
+        let t = code[i];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            nest += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            if nest == 0 {
+                return i;
+            }
+            nest = nest.saturating_sub(1);
+        } else if nest == 0 && t.is_punct(";") {
+            return i;
+        }
+        i += 1;
+    }
+    close
+}
+
+fn match_close(code: &[&Token], open: usize, limit: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < limit.min(code.len()) {
+        if code[i].is_punct("(") {
+            depth += 1;
+        } else if code[i].is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    limit.min(code.len()).saturating_sub(1)
+}
+
+fn match_close_brace(code: &[&Token], open: usize, limit: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < limit.min(code.len()) {
+        if code[i].is_punct("{") {
+            depth += 1;
+        } else if code[i].is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    limit.min(code.len()).saturating_sub(1)
+}
+
+fn angle_close(code: &[&Token], from: usize) -> usize {
+    let mut angle = 0usize;
+    let mut nest = 0usize;
+    let mut i = from;
+    while i < code.len() {
+        let t = code[i];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            nest += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            nest = nest.saturating_sub(1);
+        } else if nest == 0 && t.is_punct("<") {
+            angle += 1;
+        } else if nest == 0 && t.is_punct(">") {
+            angle -= 1;
+            if angle == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::workspace;
+
+    fn check_at(path: &str, src: &str) -> Vec<Finding> {
+        Determinism.check(&workspace(&[(path, src)]))
+    }
+
+    #[test]
+    fn flags_hash_map_iteration() {
+        let src = "use std::collections::HashMap;\n\
+            pub fn render(map: &HashMap<String, f64>) -> String {\n\
+                let mut out = String::new();\n\
+                for (k, v) in map.iter() {\n\
+                    out.push_str(&format!(\"{k}={v}\"));\n\
+                }\n\
+                out\n\
+            }\n";
+        let found = check_at("crates/dfg/src/lib.rs", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("hash container"));
+    }
+
+    #[test]
+    fn flags_bare_for_over_hash_set() {
+        let src = "use std::collections::HashSet;\n\
+            pub fn dump(seen: &HashSet<u32>, set: HashSet<u32>) {\n\
+                let _ = seen;\n\
+                for v in set { println!(\"{v}\"); }\n\
+            }\n";
+        let found = check_at("crates/stats/src/lib.rs", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+    }
+
+    #[test]
+    fn order_free_sinks_pass() {
+        let src = "use std::collections::{BTreeMap, HashMap};\n\
+            pub fn f(map: &HashMap<String, u32>) -> (usize, bool, BTreeMap<String, u32>) {\n\
+                let n = map.keys().count();\n\
+                let any = map.values().any(|v| *v > 3);\n\
+                let sorted = map.iter().map(|(k, v)| (k.clone(), *v)).collect::<BTreeMap<_, _>>();\n\
+                (n, any, sorted)\n\
+            }\n";
+        assert!(check_at("crates/dfg/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lookups_and_inserts_pass() {
+        let src = "use std::collections::HashMap;\n\
+            pub fn f(map: &mut HashMap<String, u32>) -> Option<u32> {\n\
+                map.insert(\"x\".into(), 1);\n\
+                map.get(\"x\").copied()\n\
+            }\n";
+        assert!(check_at("crates/dfg/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_float_accumulation_in_loop() {
+        let src = "pub fn total(xs: &[f64]) -> f64 {\n\
+                let mut sum = 0.0;\n\
+                for &x in xs { sum += x; }\n\
+                sum\n\
+            }\n";
+        let found = check_at("crates/stats/src/lib.rs", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("tree fold"));
+    }
+
+    #[test]
+    fn flags_deref_accumulator_via_vec_binding() {
+        let src = "pub fn powers(xs: &[f64]) -> Vec<f64> {\n\
+                let mut sums = vec![0.0; 4];\n\
+                for &x in xs {\n\
+                    for (i, slot) in sums.iter_mut().enumerate() {\n\
+                        *slot += x + i as f64;\n\
+                    }\n\
+                }\n\
+                sums\n\
+            }\n";
+        let found = check_at("crates/stats/src/lib.rs", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+    }
+
+    #[test]
+    fn integer_accumulation_and_non_loop_float_pass() {
+        let src = "pub fn f(xs: &[u32], a: f64, b: f64) -> (u32, f64) {\n\
+                let mut n = 0u32;\n\
+                for &x in xs { n += x; }\n\
+                let mut acc = a;\n\
+                acc += b;\n\
+                (n, acc)\n\
+            }\n";
+        assert!(check_at("crates/stats/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_scope_is_limited() {
+        let src = "pub fn f(xs: &[f64]) -> f64 {\n\
+                let mut s = 0.0;\n\
+                for &x in xs { s += x; }\n\
+                s\n\
+            }\n";
+        assert!(check_at("crates/server/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_clock_reads_in_compute_paths_only() {
+        let src = "use std::time::Instant;\n\
+            pub fn f() -> u64 { Instant::now().elapsed().as_nanos() as u64 }\n";
+        assert_eq!(check_at("crates/accelsim/src/lib.rs", src).len(), 2);
+        assert!(check_at("crates/server/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_scope_is_exempt() {
+        let src = "use std::collections::HashMap;\n\
+            #[cfg(test)]\n\
+            mod tests {\n\
+                use super::*;\n\
+                fn t(map: &HashMap<u32, u32>) {\n\
+                    for (k, v) in map.iter() { let _ = (k, v); }\n\
+                }\n\
+            }\n";
+        assert!(check_at("crates/dfg/src/lib.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,474 @@
+//! `lock-order` — the per-crate lock-acquisition graph is cycle-free,
+//! and no lock is held across a fault-injection probe.
+//!
+//! Deadlock freedom in this workspace is an ordering argument: every
+//! crate's locks form a hierarchy (pool queue before job state, cache
+//! gate before nothing), and as long as every function acquires nested
+//! locks in one global order per crate, no interleaving can deadlock.
+//! This rule recovers that order statically: inside each function body
+//! it tracks `.lock()` / `.read()` / `.write()` guards (and the
+//! workspace's `lock(&mutex)` poison-riding helper), scoping let-bound
+//! guards to their enclosing block (or an explicit `drop(guard)`) and
+//! temporaries to their statement. Every acquisition made while another
+//! guard is live contributes an edge `held → acquired` to the crate's
+//! graph; a cycle is a potential deadlock and is reported once, at its
+//! first edge site.
+//!
+//! It also flags a `probe(...)` fault site reached while any guard is
+//! held: an injected `hang` there would pin the lock and stall every
+//! contender, turning a contained fault into a stuck process.
+
+use crate::ast::Span;
+use crate::lexer::{Token, TokenKind};
+use crate::parser::calls_in;
+use crate::symbols::crate_of;
+use crate::workspace::Workspace;
+use crate::{Finding, Lint};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// See the module docs.
+pub struct LockOrder;
+
+/// One `held → acquired` observation.
+struct Edge {
+    from: String,
+    to: String,
+    path: String,
+    span: Span,
+    func: String,
+}
+
+struct Guard {
+    /// The lock identity (receiver field / helper argument).
+    id: String,
+    /// The binding name for let-bound guards (`drop(name)` releases).
+    name: Option<String>,
+    /// Brace depth at acquisition; a let-bound guard dies when the
+    /// depth drops below it.
+    depth: usize,
+    /// For temporaries: the code-token index of the statement's `;`,
+    /// past which the guard is gone.
+    ends_at: Option<usize>,
+}
+
+impl Lint for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn description(&self) -> &'static str {
+        "per-crate lock acquisition order is cycle-free and no lock is held \
+         across a fault-injection probe"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let mut edges: BTreeMap<String, Vec<Edge>> = BTreeMap::new();
+
+        for file in &ws.files {
+            if file.test_file {
+                continue;
+            }
+            let code = file.code_tokens();
+            let krate = crate_of(&file.rel_path);
+            for f in file.parsed.fns_with_bodies() {
+                let (open, close) = f.body.unwrap_or((0, 0));
+                scan_fn(
+                    &code,
+                    open,
+                    close,
+                    &f.name,
+                    file,
+                    edges.entry(krate.clone()).or_default(),
+                    &mut findings,
+                );
+            }
+        }
+
+        // Cycle detection per crate: report each strongly connected
+        // knot once, anchored at its first edge site.
+        for (krate, crate_edges) in &edges {
+            findings.extend(cycle_findings(krate, crate_edges));
+        }
+        findings
+    }
+}
+
+/// Walks one function body, tracking live guards and emitting
+/// nested-acquisition edges plus probe-under-lock findings.
+fn scan_fn(
+    code: &[&Token],
+    open: usize,
+    close: usize,
+    func: &str,
+    file: &crate::source::SourceFile,
+    edges: &mut Vec<Edge>,
+    findings: &mut Vec<Finding>,
+) {
+    let calls = calls_in(code, open, close);
+    let mut call_at: BTreeMap<usize, &crate::ast::Call> = BTreeMap::new();
+    for c in &calls {
+        call_at.insert(c.open, c);
+    }
+
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut current_let: Option<String> = None;
+    let mut i = open + 1;
+    while i < close {
+        let t = code[i];
+        if t.is_punct("{") {
+            depth += 1;
+            current_let = None;
+        } else if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            guards.retain(|g| g.name.is_none() || g.depth <= depth);
+        } else if t.is_punct(";") {
+            current_let = None;
+            guards.retain(|g| g.ends_at.is_none_or(|e| e > i));
+        } else if t.is_ident("let") {
+            // `let [mut] name =` — tuple/struct patterns yield no name.
+            let mut j = i + 1;
+            if code.get(j).is_some_and(|n| n.is_ident("mut")) {
+                j += 1;
+            }
+            current_let = code
+                .get(j)
+                .filter(|n| n.kind == TokenKind::Ident)
+                .map(|n| n.text.clone());
+        } else if t.is_ident("drop")
+            && code.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && code.get(i + 3).is_some_and(|n| n.is_punct(")"))
+        {
+            if let Some(name) = code.get(i + 2).filter(|n| n.kind == TokenKind::Ident) {
+                guards.retain(|g| g.name.as_deref() != Some(name.text.as_str()));
+            }
+        }
+        if let Some(call) = call_at.get(&(i + 1)).filter(|c| c.span.line == t.line) {
+            if let Some(id) = acquisition_id(code, call) {
+                if !file.is_test_line(call.span.line) {
+                    for g in &guards {
+                        edges.push(Edge {
+                            from: g.id.clone(),
+                            to: id.clone(),
+                            path: file.rel_path.clone(),
+                            span: call.span,
+                            func: func.to_string(),
+                        });
+                    }
+                }
+                guards.push(Guard {
+                    id,
+                    name: current_let.clone(),
+                    depth,
+                    ends_at: if current_let.is_some() {
+                        None
+                    } else {
+                        Some(statement_end(code, call.close, close))
+                    },
+                });
+            } else if call.method == "probe"
+                && !guards.is_empty()
+                && !file.is_test_line(call.span.line)
+            {
+                let held: Vec<&str> = guards.iter().map(|g| g.id.as_str()).collect();
+                findings.push(Finding {
+                    rule: "lock-order",
+                    path: file.rel_path.clone(),
+                    line: call.span.line,
+                    col: call.span.col,
+                    message: format!(
+                        "fault probe reached while holding lock(s) `{}`: an injected \
+                         hang here would pin the lock and stall every contender; \
+                         release before probing or justify with \
+                         `// lint:allow(lock-order): <why>`",
+                        held.join("`, `")
+                    ),
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+/// If `call` acquires a lock, the identity of the lock it acquires.
+///
+/// Method forms: `recv.lock()`, and zero-argument `recv.read()` /
+/// `recv.write()` (the argument requirement keeps `io::Read::read`
+/// lookalikes out). Helper form: the workspace's free `lock(&mutex)`,
+/// whose identity is the argument's final field segment.
+fn acquisition_id(code: &[&Token], call: &crate::ast::Call) -> Option<String> {
+    let strip = |s: &str| s.trim_end_matches("()").trim_end_matches("[]").to_string();
+    if call.is_method {
+        match call.method.as_str() {
+            "lock" => return call.chain.last().map(|s| strip(s)),
+            "read" | "write" if call.args.is_empty() => {
+                return call.chain.last().map(|s| strip(s));
+            }
+            _ => return None,
+        }
+    }
+    if call.method == "lock" && call.args.len() == 1 {
+        let (start, end) = call.args[0];
+        let last_ident = (start..end.min(code.len()))
+            .rev()
+            .map(|j| code[j])
+            .find(|t| t.kind == TokenKind::Ident)?;
+        return Some(last_ident.text.clone());
+    }
+    None
+}
+
+/// The code-token index of the `;` ending the statement containing a
+/// call that closed at `from` (brackets nest), capped at `close`.
+fn statement_end(code: &[&Token], from: usize, close: usize) -> usize {
+    let mut nest = 0usize;
+    let mut i = from + 1;
+    while i < close {
+        let t = code[i];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            nest += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            if nest == 0 {
+                return i;
+            }
+            nest -= 1;
+        } else if nest == 0 && t.is_punct(";") {
+            return i;
+        }
+        i += 1;
+    }
+    close
+}
+
+/// Finds strongly connected knots in one crate's edge list and reports
+/// each once, at the lexicographically first member edge.
+fn cycle_findings(krate: &str, edges: &[Edge]) -> Vec<Finding> {
+    let mut adjacency: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        adjacency.entry(&e.from).or_default().insert(&e.to);
+    }
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if seen.insert(n) {
+                if let Some(next) = adjacency.get(n) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        false
+    };
+
+    // An edge is "cyclic" when its target reaches back to its source
+    // (self-edges included). Group cyclic edges by the knot (the sorted
+    // set of nodes involved) and report one finding per knot.
+    let mut knots: BTreeMap<Vec<String>, Vec<&Edge>> = BTreeMap::new();
+    for e in edges {
+        if e.from == e.to || reaches(&e.to, &e.from) {
+            let mut members: BTreeSet<String> = [e.from.clone(), e.to.clone()].into();
+            // Pull in every node on some return path for the label.
+            for other in edges {
+                if reaches(&e.to, &other.from)
+                    && reaches(&other.to, &e.from)
+                    && (other.from != other.to || other.from == e.from)
+                {
+                    members.insert(other.from.clone());
+                    members.insert(other.to.clone());
+                }
+            }
+            knots
+                .entry(members.into_iter().collect())
+                .or_default()
+                .push(e);
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (members, mut knot_edges) in knots {
+        knot_edges.sort_by(|a, b| {
+            (a.path.as_str(), a.span.line, a.span.col).cmp(&(
+                b.path.as_str(),
+                b.span.line,
+                b.span.col,
+            ))
+        });
+        let first = knot_edges[0];
+        let order = knot_edges
+            .iter()
+            .map(|e| format!("{} → {} ({})", e.from, e.to, e.func))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let message = if members.len() == 1 {
+            format!(
+                "lock `{}` re-acquired while already held in crate `{krate}` \
+                 ({}): a second acquisition on the same thread deadlocks",
+                members[0], first.func
+            )
+        } else {
+            format!(
+                "lock-order cycle among `{}` in crate `{krate}`: {order}; pick one \
+                 acquisition order and make every function follow it",
+                members.join("`, `")
+            )
+        };
+        findings.push(Finding {
+            rule: "lock-order",
+            path: first.path.clone(),
+            line: first.span.line,
+            col: first.span.col,
+            message,
+        });
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::workspace;
+
+    fn check_at(path: &str, src: &str) -> Vec<Finding> {
+        LockOrder.check(&workspace(&[(path, src)]))
+    }
+
+    #[test]
+    fn opposite_nesting_orders_are_a_cycle() {
+        let src = "use std::sync::Mutex;\n\
+            pub fn ab(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                let ga = a.lock().unwrap();\n\
+                let gb = b.lock().unwrap();\n\
+                let _ = (*ga, *gb);\n\
+            }\n\
+            pub fn ba(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                let gb = b.lock().unwrap();\n\
+                let ga = a.lock().unwrap();\n\
+                let _ = (*ga, *gb);\n\
+            }\n";
+        let found = check_at("crates/x/src/lib.rs", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("cycle"));
+        assert!(found[0].message.contains('a'));
+    }
+
+    #[test]
+    fn consistent_nesting_is_clean() {
+        let src = "use std::sync::Mutex;\n\
+            pub fn one(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                let ga = a.lock().unwrap();\n\
+                let gb = b.lock().unwrap();\n\
+                let _ = (*ga, *gb);\n\
+            }\n\
+            pub fn two(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                let ga = a.lock().unwrap();\n\
+                let gb = b.lock().unwrap();\n\
+                let _ = (*ga, *gb);\n\
+            }\n";
+        assert!(check_at("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sequential_scopes_do_not_overlap() {
+        // Same-loop reacquisition in disjoint block scopes: no edge.
+        let src = "use std::sync::Mutex;\n\
+            pub fn seq(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                { let ga = a.lock().unwrap(); let _ = *ga; }\n\
+                { let gb = b.lock().unwrap(); let _ = *gb; }\n\
+            }\n\
+            pub fn rev(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                { let gb = b.lock().unwrap(); let _ = *gb; }\n\
+                { let ga = a.lock().unwrap(); let _ = *ga; }\n\
+            }\n";
+        assert!(check_at("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn explicit_drop_releases_the_guard() {
+        let src = "use std::sync::Mutex;\n\
+            pub fn f(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                let ga = a.lock().unwrap();\n\
+                drop(ga);\n\
+                let gb = b.lock().unwrap();\n\
+                let _ = *gb;\n\
+            }\n\
+            pub fn g(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                let gb = b.lock().unwrap();\n\
+                drop(gb);\n\
+                let ga = a.lock().unwrap();\n\
+                let _ = *ga;\n\
+            }\n";
+        assert!(check_at("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn helper_lock_and_self_reacquire_are_detected() {
+        let src = "use std::sync::{Mutex, MutexGuard, PoisonError};\n\
+            fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {\n\
+                m.lock().unwrap_or_else(PoisonError::into_inner)\n\
+            }\n\
+            pub struct P { queue: Mutex<Vec<u32>> }\n\
+            pub fn f(p: &P) {\n\
+                let q = lock(&p.queue);\n\
+                let q2 = lock(&p.queue);\n\
+                let _ = (q.len(), q2.len());\n\
+            }\n";
+        let found = check_at("crates/x/src/lib.rs", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("re-acquired"));
+    }
+
+    #[test]
+    fn probe_under_lock_is_flagged() {
+        let src = "use std::sync::Mutex;\n\
+            pub fn f(m: &Mutex<u32>) {\n\
+                let g = m.lock().unwrap();\n\
+                accelwall_faults::probe(\"site\").ok();\n\
+                let _ = *g;\n\
+            }\n";
+        let found = check_at("crates/x/src/lib.rs", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("probe"));
+    }
+
+    #[test]
+    fn probe_after_scope_close_is_clean() {
+        let src = "use std::sync::Mutex;\n\
+            pub fn f(m: &Mutex<u32>) {\n\
+                { let g = m.lock().unwrap(); let _ = *g; }\n\
+                accelwall_faults::probe(\"site\").ok();\n\
+            }\n";
+        assert!(check_at("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rwlock_read_write_nesting_counts() {
+        let src = "use std::sync::RwLock;\n\
+            pub fn f(a: &RwLock<u32>, b: &RwLock<u32>) {\n\
+                let ga = a.read().unwrap();\n\
+                let gb = b.write().unwrap();\n\
+                let _ = (*ga, *gb);\n\
+            }\n\
+            pub fn g(a: &RwLock<u32>, b: &RwLock<u32>) {\n\
+                let gb = b.read().unwrap();\n\
+                let ga = a.write().unwrap();\n\
+                let _ = (*ga, *gb);\n\
+            }\n";
+        assert_eq!(check_at("crates/x/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn io_read_with_buffer_is_not_a_lock() {
+        let src = "use std::io::Read;\n\
+            pub fn f(mut s: impl Read, m: &std::sync::Mutex<u32>) {\n\
+                let g = m.lock().unwrap();\n\
+                let mut buf = [0u8; 4];\n\
+                let _ = s.read(&mut buf);\n\
+                let _ = *g;\n\
+            }\n";
+        assert!(check_at("crates/x/src/lib.rs", src).is_empty());
+    }
+}

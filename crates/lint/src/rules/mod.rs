@@ -5,10 +5,14 @@
 //! [`crate::LintRegistry::standard`]; to add a rule, follow the
 //! "Static analysis" section of `DESIGN.md`.
 
+pub mod atomic_ordering;
+pub mod bounded_channel;
 pub mod dep_free;
+pub mod determinism;
 pub mod doc_sync;
 pub mod fault_sites;
 pub mod float_hygiene;
+pub mod lock_order;
 pub mod no_exit;
 pub mod panic_paths;
 pub mod registry_sync;

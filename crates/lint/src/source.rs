@@ -14,7 +14,9 @@
 //! A bare `// lint:allow(rule)` is itself a finding, so suppressions
 //! stay reviewable instead of accreting silently.
 
+use crate::ast::ParsedFile;
 use crate::lexer::{tokenize, Token, TokenKind};
+use crate::parser;
 use std::path::PathBuf;
 
 /// One `// lint:allow(rule): justification` comment.
@@ -39,6 +41,9 @@ pub struct SourceFile {
     pub text: String,
     /// The token stream, comments included.
     pub tokens: Vec<Token>,
+    /// The item tree over the code-token view (see
+    /// [`SourceFile::code_tokens`]); token ranges in it index that view.
+    pub parsed: ParsedFile,
     /// `test_lines[line - 1]` is true when that line is test-only code.
     pub test_lines: Vec<bool>,
     /// Every `lint:allow` comment in the file.
@@ -64,11 +69,16 @@ impl SourceFile {
             mark_test_spans(&tokens, &mut test_lines);
         }
         let allows = collect_allows(&tokens);
+        let parsed = {
+            let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+            parser::parse(&code)
+        };
         SourceFile {
             rel_path,
             abs_path,
             text,
             tokens,
+            parsed,
             test_lines,
             allows,
             test_file,

@@ -147,7 +147,10 @@ impl ServerHandle {
     /// queued and in-flight requests finish, then [`Server::run`]
     /// returns.
     pub fn shutdown(&self) {
-        if !self.shutdown.swap(true, Ordering::SeqCst) {
+        // AcqRel: the release side publishes "draining" to the
+        // acceptor's Acquire load; the acquire side orders this thread
+        // after any earlier shutdown call it lost the race to.
+        if !self.shutdown.swap(true, Ordering::AcqRel) {
             // Wake the acceptor if it is parked in `accept()`.
             let _ = TcpStream::connect(self.addr);
         }
@@ -233,7 +236,7 @@ impl Server {
             )
         };
         for stream in self.listener.incoming() {
-            if self.shutdown.load(Ordering::SeqCst) {
+            if self.shutdown.load(Ordering::Acquire) {
                 break;
             }
             let Ok(stream) = stream else {

@@ -146,7 +146,7 @@ impl Metrics {
 
     /// Pool workers that died panicking (each one was respawned).
     pub fn worker_panics(&self) -> u64 {
-        self.worker_panics.load(Ordering::SeqCst)
+        self.worker_panics.load(Ordering::Relaxed)
     }
 
     /// Raises the in-flight gauge for the lifetime of the returned guard.
@@ -268,7 +268,7 @@ impl Metrics {
         let _ = writeln!(
             out,
             "accelwall_worker_panics_total {}",
-            self.worker_panics.load(Ordering::SeqCst)
+            self.worker_panics.load(Ordering::Relaxed)
         );
         out.push_str("# TYPE accelwall_faults_armed gauge\n");
         let _ = writeln!(

@@ -119,7 +119,7 @@ impl<T: Send + 'static> ThreadPool<T> {
 
     /// Worker panics observed (and healed) so far.
     pub fn panics(&self) -> u64 {
-        self.shared.panics.load(Ordering::SeqCst)
+        self.shared.panics.load(Ordering::Relaxed)
     }
 
     /// Enqueues an item without blocking.
@@ -228,8 +228,10 @@ impl<T: Send + 'static> Drop for Sentinel<T> {
         if !self.armed || !std::thread::panicking() {
             return;
         }
-        self.shared.panics.fetch_add(1, Ordering::SeqCst);
-        let seq = self.shared.respawn_seq.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: both are monotonic telemetry counters — nothing is
+        // published through them, readers only want an eventual count.
+        self.shared.panics.fetch_add(1, Ordering::Relaxed);
+        let seq = self.shared.respawn_seq.fetch_add(1, Ordering::Relaxed);
         let shared = Arc::clone(&self.shared);
         let spawned = std::thread::Builder::new()
             .name(format!("accelwall-worker-respawn-{seq}"))

@@ -125,6 +125,7 @@ impl Matrix {
                 for k in col..n {
                     a[row * n + k] -= factor * a[col * n + k];
                 }
+                // lint:allow(determinism): Gaussian elimination is inherently sequential; row order is fixed by the algorithm, never by thread count
                 b[row] -= factor * b[col];
             }
         }
@@ -134,6 +135,7 @@ impl Matrix {
         for row in (0..n).rev() {
             let mut acc = b[row];
             for k in (row + 1)..n {
+                // lint:allow(determinism): back substitution walks columns in a fixed order; the accumulation is never chunked
                 acc -= a[row * n + k] * x[k];
             }
             x[row] = acc / a[row * n + row];

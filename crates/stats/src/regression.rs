@@ -372,6 +372,7 @@ impl Polynomial {
         for &x in xs {
             let mut p = 1.0;
             for sum in &mut power_sums {
+                // lint:allow(determinism): power sums accumulate over xs in slice order on one thread; the fit is never chunked
                 *sum += p;
                 p *= x;
             }
@@ -384,6 +385,7 @@ impl Polynomial {
         for (&x, &y) in xs.iter().zip(ys) {
             let mut p = 1.0;
             for xty_i in &mut xty {
+                // lint:allow(determinism): same fixed slice-order accumulation as the power sums above
                 *xty_i += p * y;
                 p *= x;
             }

@@ -10,7 +10,7 @@
 //! accelwall list [--json]
 //! accelwall query [--schema] [--field value ...]
 //! accelwall serve [--addr HOST:PORT] [--workers N] [--deadline-ms N] [--threads N]
-//! accelwall lint [--json]
+//! accelwall lint [--json] [--rule NAME ...] [--list-rules]
 //! ```
 //!
 //! The target roster is owned by [`Registry::paper`]; this binary is a
@@ -25,6 +25,9 @@
 //! computed at most once, `POST /shutdown` for a graceful drain.
 //! `lint` runs the workspace invariant checker (`accelwall-lint`) over
 //! the enclosing checkout and exits non-zero on any finding.
+//! `--list-rules` prints the rule roster; `--rule NAME` (repeatable)
+//! restricts the run to the named rules, rejecting unknown names with
+//! the full roster — the same strictness as an unknown target.
 //!
 //! `serve` also reads the `ACCELWALL_FAULTS` environment variable: a
 //! fault-plan spec (`fig3b:err:2,table5:hang:500ms`, see the
@@ -65,6 +68,11 @@ const KNOWN_FLAGS: &[(&str, &str)] = &[
     ("--workers", "worker thread count (serve only)"),
     ("--deadline-ms", "compute deadline before 504 (serve only)"),
     ("--threads", "compute-pool thread count (all and serve)"),
+    (
+        "--rule",
+        "run only the named lint rule, repeatable (lint only)",
+    ),
+    ("--list-rules", "print the lint rule roster (lint only)"),
 ];
 
 /// Parsed command line: positionals plus validated flags.
@@ -77,6 +85,8 @@ struct Args {
     workers: Option<usize>,
     deadline_ms: Option<u64>,
     threads: Option<usize>,
+    rules: Vec<String>,
+    list_rules: bool,
 }
 
 fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -123,6 +133,13 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
                     }
                     args.threads = Some(threads);
                 }
+                "rule" => args.rules.push(value_for("a rule name")?),
+                "list-rules" => {
+                    if inline.is_some() {
+                        return Err("flag --list-rules takes no value".to_string());
+                    }
+                    args.list_rules = true;
+                }
                 "deadline-ms" => {
                     let value = value_for("milliseconds")?;
                     let ms: u64 = value.parse().map_err(|_| {
@@ -166,6 +183,13 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
     let computes = matches!(args.target.as_deref(), Some("serve" | "all"));
     if args.threads.is_some() && !computes {
         return Err("--threads only applies to `accelwall all` and `accelwall serve`".to_string());
+    }
+    let is_lint = args.target.as_deref() == Some("lint");
+    if !is_lint && (!args.rules.is_empty() || args.list_rules) {
+        return Err("--rule and --list-rules only apply to `accelwall lint`".to_string());
+    }
+    if args.list_rules && !args.rules.is_empty() {
+        return Err("--list-rules and --rule are mutually exclusive".to_string());
     }
     if args.operand.is_some() && !matches!(args.target.as_deref(), Some("dot")) {
         return Err(format!(
@@ -215,7 +239,7 @@ fn main() -> ExitCode {
         }
         Some("all") => run_all(&registry, args.json),
         Some("serve") => serve(registry, &args),
-        Some("lint") => lint(args.json),
+        Some("lint") => lint(&args),
         Some("dot") => {
             // `dot` keeps its positional operand: any Table IV
             // abbreviation, defaulting to the Fig. 11 example graph.
@@ -327,13 +351,51 @@ fn query(raw: &[String]) -> ExitCode {
 /// The workspace root is discovered by walking upward from the current
 /// directory, so `accelwall lint` works from any subdirectory of the
 /// repo; a run outside any checkout fails with the discovery error.
-fn lint(json: bool) -> ExitCode {
+/// `--list-rules` prints the roster instead; `--rule NAME` restricts
+/// the run, rejecting unknown names with the known roster.
+fn lint(args: &Args) -> ExitCode {
+    use accelwall_lint::{LintRegistry, ALLOW_AUDIT_DESCRIPTION, ALLOW_AUDIT_RULE};
+    let registry = LintRegistry::standard();
+    if args.list_rules {
+        let roster: Vec<(&str, &str)> = registry
+            .lints()
+            .map(|l| (l.name(), l.description()))
+            .chain(std::iter::once((ALLOW_AUDIT_RULE, ALLOW_AUDIT_DESCRIPTION)))
+            .collect();
+        if args.json {
+            let doc = Value::array(roster.iter().map(|(name, description)| {
+                Value::object([
+                    ("name", Value::from(*name)),
+                    ("description", Value::from(*description)),
+                ])
+            }));
+            println!("{}", doc.pretty());
+        } else {
+            println!("lint rules:");
+            for (name, description) in roster {
+                println!("  {name:<16} {description}");
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    let registry = if args.rules.is_empty() {
+        registry
+    } else {
+        match registry.select(&args.rules) {
+            Ok(registry) => registry,
+            Err(message) => {
+                eprintln!("{message}");
+                eprintln!("run `accelwall lint --list-rules` for descriptions");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
     let report = std::env::current_dir()
         .and_then(|dir| accelwall_lint::Workspace::discover(&dir))
-        .map(|ws| accelwall_lint::LintRegistry::standard().run(&ws));
+        .map(|ws| registry.run(&ws));
     match report {
         Ok(report) => {
-            if json {
+            if args.json {
                 println!("{}", report.to_json().pretty());
             } else {
                 print!("{report}");

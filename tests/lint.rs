@@ -1,8 +1,11 @@
 //! End-to-end tests of `accelwall lint`: the shipped workspace must be
 //! clean (this is the same gate CI runs), `--json` must round-trip
 //! through `core::json` with the documented keys and the full rule
-//! roster, and a seeded fixture workspace with one violation per rule
-//! must fail with editor-clickable `file:line` findings.
+//! roster, seeded fixture workspaces must fail with editor-clickable
+//! `file:line` findings (one failing and one justified-allow scenario
+//! per semantic rule), `--rule`/`--list-rules` must select strictly,
+//! and the item-tree parser must round-trip every shipped source file
+//! without a single error recovery.
 
 use accelerator_wall::json::Value;
 use std::fs;
@@ -70,6 +73,11 @@ fn json_report_round_trips_with_the_rule_roster() {
             "no-exit-in-lib",
             "doc-sync",
             "fault-sites",
+            "atomic-ordering",
+            "lock-order",
+            "determinism",
+            "bounded-channel",
+            "lint-allow",
         ]
     );
     for rule in doc.get("rules").and_then(Value::as_array).unwrap() {
@@ -205,4 +213,230 @@ fn lint_rejects_flags_of_other_subcommands() {
     let (ok, _, stderr) = run_in(&repo_root(), &["lint", "extra"]);
     assert!(!ok);
     assert!(stderr.contains("no operand"), "{stderr}");
+}
+
+// ---- semantic rules: one failing + one justified-allow fixture each ----
+
+/// The shared fixture scaffolding for one semantic-rule scenario.
+fn semantic_fixture(name: &str, krate: &str, src: &str) -> Fixture {
+    let fix = Fixture::new(name);
+    fix.write("Cargo.toml", "[workspace]\nmembers = [\"crates/*\"]\n");
+    fix.write(
+        &format!("crates/{krate}/Cargo.toml"),
+        &format!("[package]\nname = \"{krate}\"\n"),
+    );
+    fix.write(&format!("crates/{krate}/src/lib.rs"), src);
+    fix
+}
+
+#[test]
+fn atomic_ordering_flags_seqcst_and_honors_allows() {
+    let violating = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+        pub fn bump(n: &AtomicU64) -> u64 {\n\
+        \x20   n.fetch_add(1, Ordering::SeqCst)\n\
+        }\n";
+    let fix = semantic_fixture("atomic-bad", "par", violating);
+    let (ok, stdout, _) = run_in(&fix.root, &["lint"]);
+    assert!(!ok, "expected a finding:\n{stdout}");
+    assert!(stdout.contains("[atomic-ordering]"), "{stdout}");
+    assert!(stdout.contains("crates/par/src/lib.rs:3:"), "{stdout}");
+    drop(fix);
+
+    let allowed = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+        pub fn bump(n: &AtomicU64) -> u64 {\n\
+        \x20   // lint:allow(atomic-ordering): this counter seeds the global epoch and must totally order with every reader\n\
+        \x20   n.fetch_add(1, Ordering::SeqCst)\n\
+        }\n";
+    let fix = semantic_fixture("atomic-ok", "par", allowed);
+    let (ok, stdout, stderr) = run_in(&fix.root, &["lint"]);
+    assert!(ok, "expected clean:\n{stdout}{stderr}");
+}
+
+#[test]
+fn lock_order_flags_cycles_and_honors_allows() {
+    let violating = "use std::sync::Mutex;\n\
+        pub struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+        pub fn one(s: &S) -> u32 {\n\
+        \x20   let ga = s.a.lock().unwrap();\n\
+        \x20   let gb = s.b.lock().unwrap();\n\
+        \x20   *ga + *gb\n\
+        }\n\
+        pub fn two(s: &S) -> u32 {\n\
+        \x20   let gb = s.b.lock().unwrap();\n\
+        \x20   let ga = s.a.lock().unwrap();\n\
+        \x20   *ga + *gb\n\
+        }\n";
+    let fix = semantic_fixture("lock-bad", "query", violating);
+    let (ok, stdout, _) = run_in(&fix.root, &["lint"]);
+    assert!(!ok, "expected a cycle finding:\n{stdout}");
+    assert!(stdout.contains("[lock-order]"), "{stdout}");
+    drop(fix);
+
+    // Same shape, fully clean: guards extracted without unwrap and the
+    // cycle justified at its reported anchor (the first edge's site).
+    let allowed = "use std::sync::Mutex;\n\
+        pub struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+        pub fn one(s: &S) -> u32 {\n\
+        \x20   let ga = match s.a.lock() { Ok(g) => g, Err(e) => e.into_inner() };\n\
+        \x20   // lint:allow(lock-order): `two` runs only during single-threaded teardown, after every caller of `one` has joined\n\
+        \x20   let gb = match s.b.lock() { Ok(g) => g, Err(e) => e.into_inner() };\n\
+        \x20   *ga + *gb\n\
+        }\n\
+        pub fn two(s: &S) -> u32 {\n\
+        \x20   let gb = match s.b.lock() { Ok(g) => g, Err(e) => e.into_inner() };\n\
+        \x20   let ga = match s.a.lock() { Ok(g) => g, Err(e) => e.into_inner() };\n\
+        \x20   *ga + *gb\n\
+        }\n";
+    let fix = semantic_fixture("lock-ok", "query", allowed);
+    let (ok, stdout, stderr) = run_in(&fix.root, &["lint"]);
+    assert!(ok, "expected clean:\n{stdout}{stderr}");
+}
+
+#[test]
+fn determinism_flags_hash_iteration_and_honors_allows() {
+    let violating = "use std::collections::HashMap;\n\
+        pub fn render(map: &HashMap<String, u32>) -> String {\n\
+        \x20   let mut out = String::new();\n\
+        \x20   for (k, v) in map.iter() {\n\
+        \x20       out.push_str(&format!(\"{k}={v}\\n\"));\n\
+        \x20   }\n\
+        \x20   out\n\
+        }\n";
+    let fix = semantic_fixture("det-bad", "stats", violating);
+    let (ok, stdout, _) = run_in(&fix.root, &["lint"]);
+    assert!(!ok, "expected a finding:\n{stdout}");
+    assert!(stdout.contains("[determinism]"), "{stdout}");
+    assert!(stdout.contains("crates/stats/src/lib.rs:4:"), "{stdout}");
+    drop(fix);
+
+    let allowed = "use std::collections::HashMap;\n\
+        pub fn total(map: &HashMap<String, u32>) -> u64 {\n\
+        \x20   let mut sum = 0u64;\n\
+        \x20   // lint:allow(determinism): integer summation is order-insensitive; only the total leaves this fn\n\
+        \x20   for (_k, v) in map.iter() {\n\
+        \x20       sum += u64::from(*v);\n\
+        \x20   }\n\
+        \x20   sum\n\
+        }\n";
+    let fix = semantic_fixture("det-ok", "stats", allowed);
+    let (ok, stdout, stderr) = run_in(&fix.root, &["lint"]);
+    assert!(ok, "expected clean:\n{stdout}{stderr}");
+}
+
+#[test]
+fn bounded_channel_flags_unbounded_and_honors_allows() {
+    let violating = "use std::sync::mpsc;\n\
+        pub fn wire() -> (mpsc::Sender<u64>, mpsc::Receiver<u64>) {\n\
+        \x20   mpsc::channel()\n\
+        }\n";
+    let fix = semantic_fixture("chan-bad", "core", violating);
+    let (ok, stdout, _) = run_in(&fix.root, &["lint"]);
+    assert!(!ok, "expected a finding:\n{stdout}");
+    assert!(stdout.contains("[bounded-channel]"), "{stdout}");
+    drop(fix);
+
+    let allowed = "use std::sync::mpsc;\n\
+        pub fn wire() -> (mpsc::Sender<u64>, mpsc::Receiver<u64>) {\n\
+        \x20   // lint:allow(bounded-channel): at most one message per caller by construction; a bound would add a park/unpark to the hot path\n\
+        \x20   mpsc::channel()\n\
+        }\n";
+    let fix = semantic_fixture("chan-ok", "core", allowed);
+    let (ok, stdout, stderr) = run_in(&fix.root, &["lint"]);
+    assert!(ok, "expected clean:\n{stdout}{stderr}");
+}
+
+#[test]
+fn float_hygiene_catches_comparator_closures_outside_numeric_crates() {
+    let violating = "pub fn rank(v: &mut Vec<(String, f64)>) {\n\
+        \x20   v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());\n\
+        }\n";
+    let fix = semantic_fixture("cmp-bad", "query", violating);
+    let (ok, stdout, _) = run_in(&fix.root, &["lint"]);
+    assert!(!ok, "expected a finding:\n{stdout}");
+    assert!(stdout.contains("[float-hygiene]"), "{stdout}");
+    assert!(stdout.contains("total_cmp"), "{stdout}");
+}
+
+// ---- rule selection ----
+
+#[test]
+fn list_rules_prints_the_full_roster() {
+    let (ok, stdout, _) = run_in(&repo_root(), &["lint", "--list-rules"]);
+    assert!(ok);
+    for rule in [
+        "no-panic-paths",
+        "atomic-ordering",
+        "lock-order",
+        "determinism",
+        "bounded-channel",
+        "lint-allow",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule}:\n{stdout}");
+    }
+}
+
+#[test]
+fn rule_flag_restricts_the_run() {
+    let (ok, stdout, _) = run_in(
+        &repo_root(),
+        &[
+            "lint",
+            "--rule",
+            "determinism",
+            "--rule",
+            "lock-order",
+            "--json",
+        ],
+    );
+    assert!(ok, "{stdout}");
+    let doc = Value::parse(&stdout).unwrap_or_else(|e| panic!("{e}\n{stdout}"));
+    let rules: Vec<&str> = doc
+        .get("rules")
+        .and_then(Value::as_array)
+        .expect("rules array")
+        .iter()
+        .map(|r| r.get("name").and_then(Value::as_str).expect("rule name"))
+        .collect();
+    assert_eq!(rules, ["lock-order", "determinism", "lint-allow"]);
+}
+
+#[test]
+fn unknown_rule_fails_with_the_roster() {
+    let (ok, _, stderr) = run_in(&repo_root(), &["lint", "--rule", "no-such-rule"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown rule \"no-such-rule\""), "{stderr}");
+    assert!(stderr.contains("atomic-ordering"), "{stderr}");
+    assert!(stderr.contains("--list-rules"), "{stderr}");
+}
+
+#[test]
+fn rule_flags_only_apply_to_lint() {
+    let (ok, _, stderr) = run_in(&repo_root(), &["list", "--rule", "determinism"]);
+    assert!(!ok);
+    assert!(stderr.contains("--rule"), "{stderr}");
+    let (ok, _, stderr) = run_in(&repo_root(), &["list", "--list-rules"]);
+    assert!(!ok);
+    assert!(stderr.contains("--list-rules"), "{stderr}");
+}
+
+// ---- parser round-trip ----
+
+#[test]
+fn parser_round_trips_the_whole_workspace_without_recoveries() {
+    // Every shipped source file must parse into the item tree without a
+    // single error recovery — the semantic rules are only as good as
+    // the tree under them.
+    let ws = accelwall_lint::Workspace::load(&repo_root()).expect("workspace loads");
+    assert!(ws.files.len() > 100, "suspiciously small workspace");
+    let mut fns = 0usize;
+    for file in &ws.files {
+        assert!(
+            file.parsed.recoveries.is_empty(),
+            "{}: parser recovered at {:?}",
+            file.rel_path,
+            file.parsed.recoveries
+        );
+        fns += file.parsed.fns_with_bodies().len();
+    }
+    assert!(fns > 500, "suspiciously few parsed fn bodies: {fns}");
 }
