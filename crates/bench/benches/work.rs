@@ -1,0 +1,115 @@
+//! Wall-clock baseline for the distributed work tier.
+//!
+//! Runs the coarse S3D sweep grid three ways and compares wall time:
+//!
+//! 1. **local** — `run_local` over the in-process `accelwall-par` pool,
+//!    the single-machine baseline and the zero-worker fallback path;
+//! 2. **1 worker** — a coordinator plus one in-process worker speaking
+//!    the `/work/*` HTTP protocol over loopback;
+//! 3. **2 workers** — the same with two workers splitting the units.
+//!
+//! Workers compute their units serially (parallelism in the work tier
+//! comes from fleet width, not from each worker's pool), so on one
+//! machine the distributed runs measure protocol and coordination
+//! overhead rather than a speedup — the number that matters is how
+//! little the lease/heartbeat/fold machinery costs when nothing fails.
+//! Every distributed run is asserted byte-identical to the local fold,
+//! and the reissue/hedge counters are reported (both 0 on a healthy
+//! fleet).
+//!
+//! The output is one JSON document; `BENCH_work.json` at the repo root
+//! records a baseline run (`cargo bench -p accelwall-bench --bench
+//! work > BENCH_work.json`).
+
+use accelerator_wall::grids::{run_local, Grid, GridRegistry};
+use accelerator_wall::prelude::{ArtifactCache, Ctx, Registry, SweepSpace};
+use accelwall_server::{Server, ServerConfig};
+use accelwall_work::{run_worker, Coordinator, WorkConfig, WorkStats, WorkerConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The grid every mode runs: the coarse-space S3D sweep.
+fn sweep_grid() -> Arc<dyn Grid> {
+    GridRegistry::standard().get("sweep").expect("sweep grid")
+}
+
+fn coarse_ctx() -> Arc<Ctx> {
+    Arc::new(Ctx::with_space(SweepSpace::coarse()))
+}
+
+/// One coordinated run with `workers` in-process workers over loopback.
+/// Returns the wall time, the folded document, and the coordinator's
+/// counters.
+fn distributed(workers: usize) -> (Duration, String, WorkStats) {
+    let config = WorkConfig {
+        expect_workers: workers,
+        ..WorkConfig::default()
+    };
+    let coordinator = Arc::new(Coordinator::new(
+        sweep_grid(),
+        coarse_ctx(),
+        "coarse",
+        config,
+    ));
+    let cache = ArtifactCache::new(Registry::paper(), Ctx::new());
+    let server_config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::bind_with_work(server_config, cache, Some(Arc::clone(&coordinator))).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let serving = std::thread::spawn(move || server.run());
+    let fleet: Vec<_> = (0..workers)
+        .map(|i| {
+            let config = WorkerConfig {
+                name: format!("bench-{i}"),
+                ..WorkerConfig::new(addr.to_string())
+            };
+            std::thread::spawn(move || run_worker(&config))
+        })
+        .collect();
+    let start = Instant::now();
+    let doc = coordinator.run().expect("coordinated run");
+    let elapsed = start.elapsed();
+    handle.shutdown();
+    for worker in fleet {
+        worker.join().expect("worker thread").expect("worker run");
+    }
+    serving.join().expect("server thread").expect("server run");
+    (elapsed, doc.pretty(), coordinator.stats())
+}
+
+fn ms(d: Duration) -> f64 {
+    (d.as_secs_f64() * 1e5).round() / 100.0
+}
+
+fn main() {
+    // Local baseline (also warms nothing: each mode builds its own Ctx).
+    let grid = sweep_grid();
+    let ctx = coarse_ctx();
+    let local_start = Instant::now();
+    let local_doc = run_local(&grid, &ctx).expect("local run").pretty();
+    let local = local_start.elapsed();
+
+    let (one, one_doc, one_stats) = distributed(1);
+    let (two, two_doc, two_stats) = distributed(2);
+    assert_eq!(local_doc, one_doc, "1-worker fold diverged");
+    assert_eq!(local_doc, two_doc, "2-worker fold diverged");
+
+    println!("{{");
+    println!("  \"bench\": \"work\",");
+    println!("  \"grid\": \"sweep\",");
+    println!("  \"space\": \"coarse\",");
+    println!("  \"units\": {},", one_stats.units_total);
+    println!("  \"local_ms\": {},", ms(local));
+    println!("  \"one_worker_ms\": {},", ms(one));
+    println!("  \"two_worker_ms\": {},", ms(two));
+    println!("  \"one_worker_reissues\": {},", one_stats.reissues_total);
+    println!("  \"one_worker_hedges\": {},", one_stats.hedges_total);
+    println!("  \"two_worker_reissues\": {},", two_stats.reissues_total);
+    println!("  \"two_worker_hedges\": {},", two_stats.hedges_total);
+    println!("  \"byte_identical\": true");
+    println!("}}");
+}

@@ -66,21 +66,41 @@ impl CorpusSpec {
         let total = self.cpus + self.gpus;
         let spec = self.clone();
         accelwall_par::par_chunks(total, GENERATE_CHUNK, move |range| {
-            let chunk = range.start / GENERATE_CHUNK;
-            let mut rng = Rng::seed(chunk_stream_seed(spec.seed, chunk as u64));
-            range
-                .map(|i| {
-                    if i < spec.cpus {
-                        synthesize(&mut rng, ChipKind::Cpu, i, spec.log_noise_sigma)
-                    } else {
-                        synthesize(&mut rng, ChipKind::Gpu, i - spec.cpus, spec.log_noise_sigma)
-                    }
-                })
-                .collect::<Vec<ChipRecord>>()
+            spec.generate_chunk(range.start / GENERATE_CHUNK)
         })
         .into_iter()
         .flatten()
         .collect()
+    }
+
+    /// Number of generation chunks ([`GENERATE_CHUNK`] records each, the
+    /// last possibly partial).
+    pub fn chunk_count(&self) -> usize {
+        (self.cpus + self.gpus).div_ceil(GENERATE_CHUNK)
+    }
+
+    /// Generates one chunk of the corpus: the records at positions
+    /// `[chunk · GENERATE_CHUNK, (chunk + 1) · GENERATE_CHUNK)` (clamped
+    /// to the corpus size), drawn from that chunk's own RNG stream.
+    ///
+    /// [`generate`](CorpusSpec::generate) is exactly the concatenation of
+    /// every chunk in index order, so shards computed on different
+    /// machines reassemble into the bit-identical corpus. The distributed
+    /// `corpus` work grid leases these chunks as its units.
+    pub fn generate_chunk(&self, chunk: usize) -> Vec<ChipRecord> {
+        let total = self.cpus + self.gpus;
+        let start = (chunk * GENERATE_CHUNK).min(total);
+        let end = ((chunk + 1) * GENERATE_CHUNK).min(total);
+        let mut rng = Rng::seed(chunk_stream_seed(self.seed, chunk as u64));
+        (start..end)
+            .map(|i| {
+                if i < self.cpus {
+                    synthesize(&mut rng, ChipKind::Cpu, i, self.log_noise_sigma)
+                } else {
+                    synthesize(&mut rng, ChipKind::Gpu, i - self.cpus, self.log_noise_sigma)
+                }
+            })
+            .collect()
     }
 }
 
@@ -202,6 +222,17 @@ mod tests {
         let a = CorpusSpec::small().generate();
         let b = CorpusSpec::small().generate();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generate_is_the_concatenation_of_chunks() {
+        let spec = CorpusSpec::small();
+        let chunked: Vec<ChipRecord> = (0..spec.chunk_count())
+            .flat_map(|c| spec.generate_chunk(c))
+            .collect();
+        assert_eq!(chunked, spec.generate());
+        // Past-the-end chunks are empty, not a panic.
+        assert!(spec.generate_chunk(spec.chunk_count()).is_empty());
     }
 
     #[test]

@@ -17,9 +17,9 @@
 //!   └── retry after backoff ────┴──► Failed { attempts, last_error }
 //! ```
 //!
-//! — where a failed attempt parks the slot in `Failed` with an
-//! exponential-backoff stamp instead of memoizing the error forever. A
-//! later request after the backoff window retries (bounded by
+//! — where a failed attempt parks the slot in `Failed` with a
+//! decorrelated-jitter backoff stamp instead of memoizing the error
+//! forever. A later request after the backoff window retries (bounded by
 //! [`RetryPolicy::max_attempts`]); inside the window, and once the budget
 //! is spent, requests answer the stored error immediately. Panicking
 //! experiments are caught (`catch_unwind`) on a dedicated compute thread
@@ -49,6 +49,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
+use accelwall_stats::rng::{decorrelated_backoff, Rng};
+
 use crate::cache::Ctx;
 use crate::error::{Error, Result};
 use crate::experiment::{Artifact, Experiment};
@@ -56,15 +58,21 @@ use crate::registry::Registry;
 
 /// Bounds on how failure retries behave.
 ///
-/// After the `n`-th consecutive failure a slot waits
-/// `backoff_base * 2^(n-1)` (capped at `backoff_cap`) before a request
-/// may retry it; after `max_attempts` failures the error is permanent
-/// for the cache's lifetime.
+/// The first failure of a slot waits exactly `backoff_base`; each later
+/// failure draws a decorrelated-jitter window
+/// ([`accelwall_stats::rng::decorrelated_backoff`]) — uniform in
+/// `[backoff_base, 3 × previous]`, clamped to `backoff_cap` — so
+/// concurrently failing targets spread their retries instead of
+/// thundering back in lockstep. After `max_attempts` failures the error
+/// is permanent for the cache's lifetime. The `Retry-After` a server
+/// reports always comes from the actual stamped instant
+/// ([`FailedTarget::retry_in`]), never from re-deriving the schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts (first try + retries) before a failure sticks.
     pub max_attempts: u32,
-    /// Backoff after the first failure; doubles per failure.
+    /// Floor of every backoff window; the first failure waits exactly
+    /// this long.
     pub backoff_base: Duration,
     /// Upper bound on any single backoff window.
     pub backoff_cap: Duration,
@@ -80,14 +88,16 @@ impl Default for RetryPolicy {
     }
 }
 
-impl RetryPolicy {
-    /// The backoff window after `attempts` consecutive failures.
-    fn backoff_after(&self, attempts: u32) -> Duration {
-        let doublings = attempts.saturating_sub(1).min(20);
-        self.backoff_base
-            .saturating_mul(1 << doublings)
-            .min(self.backoff_cap)
-    }
+/// Distinguishes jitter streams across attempts within one process;
+/// Relaxed: a pure uniqueness counter, no ordering with other state.
+static JITTER_NONCE: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh jitter stream for one backoff draw, seeded from the process
+/// id and a global nonce — never the clock, so arming a fault plan in a
+/// test cannot make the schedule depend on wall time.
+fn jitter_rng() -> Rng {
+    let nonce = JITTER_NONCE.fetch_add(1, Ordering::Relaxed) as u64;
+    Rng::seed(u64::from(std::process::id()).wrapping_shl(32) ^ nonce)
 }
 
 /// One target currently (or permanently) in the `Failed` state.
@@ -146,6 +156,9 @@ enum Gate {
         attempts: u32,
         last_error: Error,
         retry_at: Instant,
+        /// The window just served, fed back as the `previous` term of
+        /// the next decorrelated-jitter draw.
+        backoff: Duration,
     },
 }
 
@@ -281,6 +294,7 @@ impl ArtifactCache {
             attempts,
             last_error,
             retry_at,
+            ..
         } = &*gate
         {
             if *attempts >= self.inner.policy.max_attempts || Instant::now() < *retry_at {
@@ -308,21 +322,22 @@ impl ArtifactCache {
                     attempts,
                     last_error,
                     retry_at,
+                    backoff,
                 } => {
                     if *attempts >= self.inner.policy.max_attempts || Instant::now() < *retry_at {
                         return Err(last_error.clone());
                     }
-                    let prior = *attempts;
+                    let (prior, prior_backoff) = (*attempts, *backoff);
                     self.inner.retries.fetch_add(1, Ordering::Relaxed);
                     *gate = Gate::Computing;
                     drop(gate);
-                    self.spawn_attempt(index, prior);
+                    self.spawn_attempt(index, prior, prior_backoff);
                     gate = lock(&slot.gate);
                 }
                 Gate::Empty => {
                     *gate = Gate::Computing;
                     drop(gate);
-                    self.spawn_attempt(index, 0);
+                    self.spawn_attempt(index, 0, Duration::ZERO);
                     gate = lock(&slot.gate);
                 }
                 Gate::Computing => match wait_until {
@@ -359,11 +374,11 @@ impl ArtifactCache {
     /// fresh OS thread each attempt. If no carrier can be obtained the
     /// helper runs the attempt inline; containment still holds
     /// (`catch_unwind`), only the deadline degrades to best-effort.
-    fn spawn_attempt(&self, index: usize, prior_failures: u32) {
+    fn spawn_attempt(&self, index: usize, prior_failures: u32, prior_backoff: Duration) {
         self.inner.computes.fetch_add(1, Ordering::Relaxed);
         let inner = Arc::clone(&self.inner);
         accelwall_par::spawn_detached(&format!("accelwall-compute-{index}"), move || {
-            run_attempt(&inner, index, prior_failures);
+            run_attempt(&inner, index, prior_failures, prior_backoff);
         });
     }
 
@@ -398,6 +413,7 @@ impl ArtifactCache {
             attempts,
             last_error,
             retry_at,
+            ..
         } = &*gate
         {
             let retry_in = if *attempts >= self.inner.policy.max_attempts {
@@ -489,7 +505,7 @@ impl ArtifactCache {
 /// One compute attempt, run on its own thread: probe the fault plan,
 /// run the experiment under `catch_unwind`, settle the gate, wake the
 /// waiters.
-fn run_attempt(inner: &Arc<Inner>, index: usize, prior_failures: u32) {
+fn run_attempt(inner: &Arc<Inner>, index: usize, prior_failures: u32, prior_backoff: Duration) {
     let outcome = catch_unwind(AssertUnwindSafe(|| attempt(inner, index)));
     let result = outcome.unwrap_or_else(|_| {
         inner.panics_contained.fetch_add(1, Ordering::Relaxed);
@@ -512,11 +528,17 @@ fn run_attempt(inner: &Arc<Inner>, index: usize, prior_failures: u32) {
         }
         Err(error) => {
             let attempts = prior_failures + 1;
-            let retry_at = Instant::now() + inner.policy.backoff_after(attempts);
+            let backoff = decorrelated_backoff(
+                &mut jitter_rng(),
+                inner.policy.backoff_base,
+                inner.policy.backoff_cap,
+                prior_backoff,
+            );
             *gate = Gate::Failed {
                 attempts,
                 last_error: error,
-                retry_at,
+                retry_at: Instant::now() + backoff,
+                backoff,
             };
         }
     }
@@ -723,6 +745,9 @@ mod tests {
         assert_eq!(degraded[0].id, "flaky");
         assert_eq!(degraded[0].attempts, 1);
         assert!(degraded[0].retry_in.is_some(), "budget not yet spent");
+        // Decorrelated jitter with a zero previous window degenerates to
+        // the floor, so the first retry window is exactly the base.
+        assert!(degraded[0].retry_in.unwrap() <= eager_policy().backoff_base);
         std::thread::sleep(Duration::from_millis(10));
         assert!(cache.get("flaky").is_err(), "attempt 2 fails");
         std::thread::sleep(Duration::from_millis(25));

@@ -1,0 +1,581 @@
+//! Shardable work grids: the unit-addressable jobs the distributed
+//! work tier executes.
+//!
+//! A [`Grid`] names a computation that decomposes into independently
+//! computable, numbered **units** whose JSON results reassemble into one
+//! document. The decomposition is the contract the fault-tolerant
+//! coordinator in `accelwall-work` leans on: units are *idempotent*
+//! (unit `i` yields the same bytes no matter which worker computes it,
+//! or how many times), so lease expiry, re-issue after a worker death,
+//! and straggler hedging all reduce to "compute unit `i` again
+//! somewhere else" with no cross-unit coordination.
+//!
+//! [`run_local`] is both the zero-worker fallback and the byte-identity
+//! baseline: it fans the same units across the in-process
+//! `accelwall-par` pool and assembles them with the same index-ordered
+//! fold, so a distributed run and a local run of one grid produce the
+//! same bytes (asserted by the chaos suite in `tests/work.rs`).
+//!
+//! The standard grids ([`GridRegistry::standard`]):
+//!
+//! | id | unit | units |
+//! |---|---|---|
+//! | `all` | one registry experiment | 31 |
+//! | `sweep` | one (node, simplification) S3D sweep slice | nodes × degrees |
+//! | `corpus` | one 64-record corpus generation chunk | ⌈2613 / 64⌉ |
+//! | `sensitivity` | one (domain, metric) wall sensitivity | 8 |
+//! | `studies` | one empirical case-study experiment | 6 |
+
+use std::sync::Arc;
+
+use accelwall_accelsim::{simulate_lowered, DesignConfig};
+use accelwall_chipdb::CorpusSpec;
+use accelwall_projection::{wall_sensitivity, Domain, TargetMetric};
+use accelwall_workloads::Workload;
+
+use crate::cache::Ctx;
+use crate::error::{Error, Result};
+use crate::json::Value;
+use crate::registry::Registry;
+
+/// One shardable computation: numbered units plus a deterministic
+/// assembly of their results.
+///
+/// Implementations must make `compute(ctx, i)` a pure function of
+/// `(grid, sweep space, i)` — never of wall time, worker identity, or
+/// the order units run in — and `assemble` a pure function of the
+/// index-ordered unit results. Those two properties are what let the
+/// work tier re-issue and hedge units freely while still folding a
+/// byte-identical document.
+pub trait Grid: Send + Sync {
+    /// The name a `--grid` flag or lease request uses.
+    fn id(&self) -> &'static str;
+
+    /// One-line description shown in grid rosters and errors.
+    fn description(&self) -> &'static str;
+
+    /// Number of units the grid decomposes into under `ctx`'s sweep
+    /// space. Unit indices are `0..len`.
+    fn len(&self, ctx: &Ctx) -> usize;
+
+    /// Computes one unit. Must be deterministic and independent of every
+    /// other unit.
+    ///
+    /// # Errors
+    ///
+    /// Layer failures; a distributed worker reports these back as unit
+    /// failures for the coordinator to re-issue.
+    fn compute(&self, ctx: &Ctx, unit: usize) -> Result<Value>;
+
+    /// Folds the index-ordered unit results into the grid's document.
+    fn assemble(&self, units: Vec<Value>) -> Value;
+}
+
+/// Runs every unit of `grid` on the in-process `accelwall-par` pool and
+/// assembles the result — the single-machine path the distributed fold
+/// must match byte for byte, and the fallback the coordinator cuts over
+/// to when no workers are alive.
+///
+/// # Errors
+///
+/// The first failing unit in index order.
+pub fn run_local(grid: &Arc<dyn Grid>, ctx: &Arc<Ctx>) -> Result<Value> {
+    let len = grid.len(ctx);
+    let shared = Arc::clone(grid);
+    let shared_ctx = Arc::clone(ctx);
+    let units: Result<Vec<Value>> =
+        accelwall_par::par_map(len, move |unit| shared.compute(&shared_ctx, unit))
+            .into_iter()
+            .collect();
+    Ok(grid.assemble(units?))
+}
+
+/// The roster of shardable grids, analogous to [`Registry::paper`] for
+/// experiments: the CLI's `--grid` values, the coordinator's grid
+/// lookup, and the unknown-grid error all derive from one list.
+pub struct GridRegistry {
+    grids: Vec<Arc<dyn Grid>>,
+}
+
+impl std::fmt::Debug for GridRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GridRegistry")
+            .field("ids", &self.ids())
+            .finish()
+    }
+}
+
+impl GridRegistry {
+    /// Every standard grid, in presentation order.
+    pub fn standard() -> GridRegistry {
+        GridRegistry {
+            grids: vec![
+                Arc::new(AllGrid::new()),
+                Arc::new(SweepGrid),
+                Arc::new(CorpusGrid::paper_scale()),
+                Arc::new(SensitivityGrid),
+                Arc::new(StudiesGrid::new()),
+            ],
+        }
+    }
+
+    /// Number of registered grids.
+    pub fn len(&self) -> usize {
+        self.grids.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.grids.is_empty()
+    }
+
+    /// Iterates the grids in registry order.
+    pub fn grids(&self) -> impl Iterator<Item = &Arc<dyn Grid>> {
+        self.grids.iter()
+    }
+
+    /// Every grid id, in registry order.
+    pub fn ids(&self) -> Vec<&'static str> {
+        self.grids.iter().map(|g| g.id()).collect()
+    }
+
+    /// Looks up one grid by id.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownGrid`] carrying the full known-id list.
+    pub fn get(&self, id: &str) -> Result<Arc<dyn Grid>> {
+        self.grids
+            .iter()
+            .find(|g| g.id() == id)
+            .cloned()
+            .ok_or_else(|| Error::UnknownGrid {
+                id: id.to_string(),
+                known: self.ids(),
+            })
+    }
+}
+
+impl Default for GridRegistry {
+    fn default() -> GridRegistry {
+        GridRegistry::standard()
+    }
+}
+
+/// Every registry experiment as one unit each; assembles the same
+/// id-keyed document `accelwall all --json` prints.
+struct AllGrid {
+    registry: Registry,
+}
+
+impl AllGrid {
+    fn new() -> AllGrid {
+        AllGrid {
+            registry: Registry::paper(),
+        }
+    }
+}
+
+impl Grid for AllGrid {
+    fn id(&self) -> &'static str {
+        "all"
+    }
+
+    fn description(&self) -> &'static str {
+        "every paper target, one experiment per unit"
+    }
+
+    fn len(&self, _ctx: &Ctx) -> usize {
+        self.registry.len()
+    }
+
+    fn compute(&self, ctx: &Ctx, unit: usize) -> Result<Value> {
+        let id = self.registry.ids()[unit];
+        // Per-experiment failures are part of the document (exactly as
+        // `accelwall all --json` reports them in place), not unit
+        // failures: a deterministic experiment error would otherwise be
+        // re-issued forever.
+        Ok(match self.registry.run(id, ctx) {
+            Ok(artifact) => artifact.json,
+            Err(e) => Value::object([("error", Value::from(e.to_string()))]),
+        })
+    }
+
+    fn assemble(&self, units: Vec<Value>) -> Value {
+        Value::object(self.registry.ids().into_iter().zip(units))
+    }
+}
+
+/// The S3D design-space sweep sharded along the hoisted kernel axis:
+/// one unit per (node, simplification) combination, each simulating
+/// every partitioning factor of that combination.
+struct SweepGrid;
+
+impl SweepGrid {
+    /// The (node, simplification) combination of `unit` under `ctx`'s
+    /// sweep space, in the same nesting order `SweepSpace::configs`
+    /// enumerates.
+    fn combo(ctx: &Ctx, unit: usize) -> DesignConfig {
+        let space = ctx.sweep_space();
+        let degrees = space.simplification_degrees.len();
+        DesignConfig::new(
+            space.nodes[unit / degrees],
+            1,
+            space.simplification_degrees[unit % degrees],
+            space.heterogeneity,
+        )
+    }
+}
+
+impl Grid for SweepGrid {
+    fn id(&self) -> &'static str {
+        "sweep"
+    }
+
+    fn description(&self) -> &'static str {
+        "S3D design-space sweep, one (node, simplification) slice per unit"
+    }
+
+    fn len(&self, ctx: &Ctx) -> usize {
+        let space = ctx.sweep_space();
+        space.nodes.len() * space.simplification_degrees.len()
+    }
+
+    fn compute(&self, ctx: &Ctx, unit: usize) -> Result<Value> {
+        let combo = Self::combo(ctx, unit);
+        let program = ctx.program(Workload::S3d)?;
+        let mut points = Vec::with_capacity(ctx.sweep_space().partition_factors.len());
+        for &partition in &ctx.sweep_space().partition_factors {
+            let config = DesignConfig::new(
+                combo.node,
+                partition,
+                combo.simplification_degree,
+                combo.heterogeneity,
+            );
+            let report = simulate_lowered(&program, &config)?;
+            points.push(Value::object([
+                ("node", Value::from(config.node.to_string())),
+                ("partition", Value::from(config.partition_factor)),
+                ("simplification", Value::from(config.simplification_degree)),
+                ("runtime_s", Value::from(report.runtime_s)),
+                ("power_w", Value::from(report.power_w())),
+            ]));
+        }
+        Ok(Value::array(points))
+    }
+
+    fn assemble(&self, units: Vec<Value>) -> Value {
+        let parts: Vec<Vec<Value>> = units
+            .into_iter()
+            .map(|u| match u {
+                Value::Array(points) => points,
+                other => vec![other],
+            })
+            .collect();
+        let points = accelwall_par::tree_fold(parts, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        })
+        .unwrap_or_default();
+        Value::object([
+            ("points", Value::from(points.len())),
+            ("series", Value::array(points)),
+        ])
+    }
+}
+
+/// The synthetic datasheet corpus sharded by generation chunk; each
+/// unit summarizes its 64 records, and the summaries fold into
+/// corpus-wide totals with the same pairwise tree `par_map_reduce`
+/// uses.
+struct CorpusGrid {
+    spec: CorpusSpec,
+}
+
+impl CorpusGrid {
+    fn paper_scale() -> CorpusGrid {
+        CorpusGrid {
+            spec: CorpusSpec::paper_scale(),
+        }
+    }
+}
+
+impl Grid for CorpusGrid {
+    fn id(&self) -> &'static str {
+        "corpus"
+    }
+
+    fn description(&self) -> &'static str {
+        "datasheet corpus generation, one 64-record chunk per unit"
+    }
+
+    fn len(&self, _ctx: &Ctx) -> usize {
+        self.spec.chunk_count()
+    }
+
+    fn compute(&self, _ctx: &Ctx, unit: usize) -> Result<Value> {
+        let records = self.spec.generate_chunk(unit);
+        let cpus = records
+            .iter()
+            .filter(|r| r.kind == accelwall_chipdb::ChipKind::Cpu)
+            .count();
+        let transistors: f64 = records.iter().map(|r| r.transistors).sum();
+        let tdp_w: f64 = records.iter().map(|r| r.tdp_w).sum();
+        Ok(Value::object([
+            ("chips", Value::from(records.len())),
+            ("cpus", Value::from(cpus)),
+            ("transistors", Value::from(transistors)),
+            ("tdp_w", Value::from(tdp_w)),
+        ]))
+    }
+
+    fn assemble(&self, units: Vec<Value>) -> Value {
+        let field = |v: &Value, key: &str| v.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+        let folded = accelwall_par::tree_fold(units, |a, b| {
+            Value::object([
+                (
+                    "chips",
+                    Value::from(field(&a, "chips") + field(&b, "chips")),
+                ),
+                ("cpus", Value::from(field(&a, "cpus") + field(&b, "cpus"))),
+                (
+                    "transistors",
+                    Value::from(field(&a, "transistors") + field(&b, "transistors")),
+                ),
+                (
+                    "tdp_w",
+                    Value::from(field(&a, "tdp_w") + field(&b, "tdp_w")),
+                ),
+            ])
+        });
+        folded.unwrap_or_else(|| Value::object(Vec::<(&str, Value)>::new()))
+    }
+}
+
+/// The wall-sensitivity grid: one unit per (domain, metric) cell of the
+/// Table V perturbation study.
+struct SensitivityGrid;
+
+impl SensitivityGrid {
+    fn cell(unit: usize) -> (Domain, TargetMetric) {
+        let domain = Domain::all()[unit / 2];
+        let metric = if unit.is_multiple_of(2) {
+            TargetMetric::Performance
+        } else {
+            TargetMetric::EnergyEfficiency
+        };
+        (domain, metric)
+    }
+}
+
+impl Grid for SensitivityGrid {
+    fn id(&self) -> &'static str {
+        "sensitivity"
+    }
+
+    fn description(&self) -> &'static str {
+        "wall sensitivity, one (domain, metric) cell per unit"
+    }
+
+    fn len(&self, _ctx: &Ctx) -> usize {
+        Domain::all().len() * 2
+    }
+
+    fn compute(&self, _ctx: &Ctx, unit: usize) -> Result<Value> {
+        let (domain, metric) = Self::cell(unit);
+        let rows = wall_sensitivity(domain, metric)?;
+        Ok(Value::object([
+            ("domain", Value::from(domain.to_string())),
+            (
+                "metric",
+                Value::from(match metric {
+                    TargetMetric::Performance => "performance",
+                    TargetMetric::EnergyEfficiency => "energy_efficiency",
+                }),
+            ),
+            (
+                "rows",
+                Value::array(rows.iter().map(|s| {
+                    Value::object([
+                        ("parameter", Value::from(s.parameter.to_string())),
+                        ("wall_minus", Value::from(s.wall_minus)),
+                        ("wall_base", Value::from(s.wall_base)),
+                        ("wall_plus", Value::from(s.wall_plus)),
+                        ("elasticity", Value::from(s.elasticity)),
+                    ])
+                })),
+            ),
+        ]))
+    }
+
+    fn assemble(&self, units: Vec<Value>) -> Value {
+        Value::object([
+            ("cells", Value::from(units.len())),
+            ("grid", Value::array(units)),
+        ])
+    }
+}
+
+/// The empirical case-study family as one experiment per unit.
+struct StudiesGrid {
+    registry: Registry,
+    ids: Vec<&'static str>,
+}
+
+impl StudiesGrid {
+    fn new() -> StudiesGrid {
+        let registry = Registry::paper();
+        let ids = ["fig1", "fig4", "fig5", "fig8", "fig9", "insights"]
+            .into_iter()
+            .collect();
+        StudiesGrid { registry, ids }
+    }
+}
+
+impl Grid for StudiesGrid {
+    fn id(&self) -> &'static str {
+        "studies"
+    }
+
+    fn description(&self) -> &'static str {
+        "the empirical case-study targets, one experiment per unit"
+    }
+
+    fn len(&self, _ctx: &Ctx) -> usize {
+        self.ids.len()
+    }
+
+    fn compute(&self, ctx: &Ctx, unit: usize) -> Result<Value> {
+        Ok(self.registry.run(self.ids[unit], ctx)?.json)
+    }
+
+    fn assemble(&self, units: Vec<Value>) -> Value {
+        Value::object(self.ids.iter().copied().zip(units))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelwall_accelsim::SweepSpace;
+
+    fn coarse_ctx() -> Arc<Ctx> {
+        Arc::new(Ctx::with_space(SweepSpace::coarse()))
+    }
+
+    #[test]
+    fn registry_ids_are_unique_and_lookups_resolve() {
+        let grids = GridRegistry::standard();
+        let ids = grids.ids();
+        assert_eq!(
+            ids,
+            vec!["all", "sweep", "corpus", "sensitivity", "studies"]
+        );
+        for id in &ids {
+            assert_eq!(grids.get(id).unwrap().id(), *id);
+        }
+        for grid in grids.grids() {
+            assert!(!grid.description().is_empty(), "{} undescribed", grid.id());
+        }
+    }
+
+    #[test]
+    fn unknown_grid_error_carries_the_roster() {
+        let grids = GridRegistry::standard();
+        let error = grids.get("nope").map(|_| ()).unwrap_err();
+        match error {
+            Error::UnknownGrid { id, known } => {
+                assert_eq!(id, "nope");
+                assert_eq!(known, grids.ids());
+            }
+            other => panic!("expected UnknownGrid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_grid_units_cover_the_space_and_match_the_cached_sweep() {
+        let ctx = coarse_ctx();
+        let grid = GridRegistry::standard().get("sweep").unwrap();
+        let space = ctx.sweep_space().clone();
+        assert_eq!(
+            grid.len(&ctx),
+            space.nodes.len() * space.simplification_degrees.len()
+        );
+        let doc = run_local(&grid, &ctx).unwrap();
+        assert_eq!(
+            doc.get("points").and_then(Value::as_f64),
+            Some(space.len() as f64)
+        );
+        // Spot-check one unit against the memoized full sweep: the slice
+        // decomposition must not perturb a single float.
+        let points = ctx.sweep(Workload::S3d).unwrap();
+        let series = doc.get("series").and_then(Value::as_array).unwrap();
+        assert_eq!(series.len(), points.len());
+        for (rendered, point) in series.iter().zip(points) {
+            assert_eq!(
+                rendered.get("runtime_s").and_then(Value::as_f64),
+                Some(point.report.runtime_s)
+            );
+        }
+    }
+
+    #[test]
+    fn unit_recompute_is_idempotent() {
+        let ctx = coarse_ctx();
+        let grid = GridRegistry::standard().get("sweep").unwrap();
+        let a = grid.compute(&ctx, 3).unwrap();
+        let b = grid.compute(&ctx, 3).unwrap();
+        assert_eq!(a.pretty(), b.pretty(), "re-issued unit changed bytes");
+    }
+
+    #[test]
+    fn corpus_grid_totals_match_the_generated_corpus() {
+        let ctx = coarse_ctx();
+        let grid = GridRegistry::standard().get("corpus").unwrap();
+        let doc = run_local(&grid, &ctx).unwrap();
+        let corpus = CorpusSpec::paper_scale().generate();
+        assert_eq!(
+            doc.get("chips").and_then(Value::as_f64),
+            Some(corpus.len() as f64)
+        );
+        assert_eq!(
+            doc.get("cpus").and_then(Value::as_f64),
+            Some(
+                corpus
+                    .iter()
+                    .filter(|r| r.kind == accelwall_chipdb::ChipKind::Cpu)
+                    .count() as f64
+            )
+        );
+    }
+
+    #[test]
+    fn sensitivity_grid_enumerates_every_domain_metric_cell() {
+        let ctx = coarse_ctx();
+        let grid = GridRegistry::standard().get("sensitivity").unwrap();
+        let doc = run_local(&grid, &ctx).unwrap();
+        let cells = doc.get("grid").and_then(Value::as_array).unwrap();
+        assert_eq!(cells.len(), 8);
+        let mut labels: Vec<String> = cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "{}/{}",
+                    c.get("domain").and_then(Value::as_str).unwrap(),
+                    c.get("metric").and_then(Value::as_str).unwrap()
+                )
+            })
+            .collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 8, "duplicate cells");
+    }
+
+    #[test]
+    fn run_local_is_deterministic_across_runs() {
+        let grid = GridRegistry::standard().get("studies").unwrap();
+        let a = run_local(&grid, &coarse_ctx()).unwrap().pretty();
+        let b = run_local(&grid, &coarse_ctx()).unwrap().pretty();
+        assert_eq!(a, b);
+    }
+}

@@ -21,7 +21,7 @@
 //! |---|---|---|
 //! | `err:N` | first `N` hits | returns [`InjectedFault`] (a transient error) |
 //! | `panic:N` | first `N` hits | panics (containment must catch it) |
-//! | `hang:DUR` | first hit | sleeps `DUR` (`500ms`, `2s`), then passes |
+//! | `hang:DUR` | first hit | sleeps `DUR` (`500ms`, `2s`, `0.5s`), then passes |
 //!
 //! Sites are either the static probe points in [`sites::ROSTER`] or
 //! dynamic per-experiment sites (the artifact cache probes with the
@@ -177,7 +177,8 @@ impl fmt::Display for SpecError {
             ),
             SpecError::BadDuration { entry, value } => write!(
                 f,
-                "hang duration {value:?} in {entry:?} must be <n>ms or <n>s (e.g. 500ms)"
+                "hang duration {value:?} in {entry:?} must be <n>ms or <n>s, \
+                 integer or fractional (e.g. 500ms, 0.5s)"
             ),
             SpecError::DuplicateSite { site } => {
                 write!(f, "site {site:?} appears in more than one fault entry")
@@ -310,18 +311,34 @@ fn parse_count(entry: &str, value: &str) -> Result<u32, SpecError> {
     }
 }
 
+/// Parses a `hang` duration: a non-negative number — integer or
+/// fractional, like `500ms`, `2s`, or `0.5s` — followed by its unit.
+/// A bare number, a negative value, or anything else (`500`, `fast`,
+/// `1.2.3s`) is rejected with the entry pinpointed.
 fn parse_duration(entry: &str, value: &str) -> Result<Duration, SpecError> {
     let bad = || SpecError::BadDuration {
         entry: entry.to_string(),
         value: value.to_string(),
     };
-    let (digits, unit) = value.split_at(value.find(|c: char| !c.is_ascii_digit()).ok_or_else(bad)?);
-    let n: u64 = digits.parse().map_err(|_| bad())?;
-    match unit {
-        "ms" => Ok(Duration::from_millis(n)),
-        "s" => Ok(Duration::from_secs(n)),
-        _ => Err(bad()),
+    let split = value
+        .find(|c: char| !c.is_ascii_digit() && c != '.')
+        .ok_or_else(bad)?;
+    let (number, unit) = value.split_at(split);
+    // `f64::parse` would also take exponents, signs, `inf`, and `nan`;
+    // the digits-and-one-dot shape keeps the spec grammar strict.
+    if number.is_empty() || number.matches('.').count() > 1 {
+        return Err(bad());
     }
+    let n: f64 = number.parse().map_err(|_| bad())?;
+    let seconds = match unit {
+        "ms" => n / 1e3,
+        "s" => n,
+        _ => return Err(bad()),
+    };
+    if !seconds.is_finite() {
+        return Err(bad());
+    }
+    Ok(Duration::from_secs_f64(seconds))
 }
 
 /// The error an `err`-kind probe returns — a transient, retryable
@@ -530,6 +547,31 @@ mod tests {
     }
 
     #[test]
+    fn fractional_second_hang_durations_parse() {
+        let plan = FaultPlan::parse("work-heartbeat:hang:0.5s").unwrap();
+        assert_eq!(
+            plan.rules[0].kind,
+            FaultKind::Hang {
+                duration: Duration::from_millis(500)
+            }
+        );
+        assert_eq!(plan.summary(), "work-heartbeat:hang:500ms");
+        let plan = FaultPlan::parse("a:hang:2.5s,b:hang:1.5ms").unwrap();
+        assert_eq!(
+            plan.rules[0].kind,
+            FaultKind::Hang {
+                duration: Duration::from_millis(2500)
+            }
+        );
+        assert_eq!(
+            plan.rules[1].kind,
+            FaultKind::Hang {
+                duration: Duration::from_micros(1500)
+            }
+        );
+    }
+
+    #[test]
     fn rejects_malformed_specs_with_precise_errors() {
         assert_eq!(FaultPlan::parse(""), Err(SpecError::Empty));
         assert_eq!(FaultPlan::parse("a:err:1,"), Err(SpecError::Empty));
@@ -561,6 +603,25 @@ mod tests {
             FaultPlan::parse("fig3b:hang:fast"),
             Err(SpecError::BadDuration { .. })
         ));
+        // Fractional durations are accepted, but only in the strict
+        // digits-and-one-dot shape: no double dots, bare dots, signs,
+        // exponents, or missing units.
+        for rejected in [
+            "fig3b:hang:1.2.3s",
+            "fig3b:hang:.s",
+            "fig3b:hang:.ms",
+            "fig3b:hang:0.5",
+            "fig3b:hang:-1s",
+            "fig3b:hang:1e3ms",
+        ] {
+            assert!(
+                matches!(
+                    FaultPlan::parse(rejected),
+                    Err(SpecError::BadDuration { .. })
+                ),
+                "{rejected} should be rejected"
+            );
+        }
         assert_eq!(
             FaultPlan::parse("a:err:1,a:panic:1"),
             Err(SpecError::DuplicateSite { site: "a".into() })

@@ -385,12 +385,19 @@ where
     M: Fn(Range<usize>) -> T + Send + Sync + 'static,
     R: Fn(T, T) -> T,
 {
-    tree_reduce(par_chunks(len, chunk_size, map), reduce)
+    tree_fold(par_chunks(len, chunk_size, map), reduce)
 }
 
 /// Pairwise tree fold: rounds of merging adjacent elements until one
-/// remains. The merge order is a pure function of the input length.
-fn tree_reduce<T>(mut parts: Vec<T>, reduce: impl Fn(T, T) -> T) -> Option<T> {
+/// remains. The merge order is a pure function of the input length, so
+/// the result is deterministic even when `reduce` is not associative
+/// (float sums). Returns `None` for an empty input.
+///
+/// This is the fold [`par_map_reduce`] applies to its chunk results,
+/// exposed so callers that gather parts through other means — the
+/// distributed work tier folds worker-computed units by index — merge
+/// byte-identically to the single-process path.
+pub fn tree_fold<T>(mut parts: Vec<T>, reduce: impl Fn(T, T) -> T) -> Option<T> {
     while parts.len() > 1 {
         let mut next = Vec::with_capacity(parts.len().div_ceil(2));
         let mut items = parts.into_iter();
@@ -522,9 +529,18 @@ mod tests {
     }
 
     #[test]
-    fn tree_reduce_folds_every_element() {
-        let total = tree_reduce((1..=100).collect(), |a: u64, b| a + b);
+    fn tree_fold_folds_every_element() {
+        let total = tree_fold((1..=100).collect(), |a: u64, b| a + b);
         assert_eq!(total, Some(5050));
+    }
+
+    #[test]
+    fn tree_fold_merge_order_is_a_pure_function_of_length() {
+        // A non-associative reduce (string bracketing) pins the pairwise
+        // merge tree: the distributed fold relies on this exact shape.
+        let parts: Vec<String> = (0..5).map(|i| i.to_string()).collect();
+        let folded = tree_fold(parts, |a, b| format!("({a}+{b})"));
+        assert_eq!(folded.as_deref(), Some("(((0+1)+(2+3))+4)"));
     }
 
     #[test]

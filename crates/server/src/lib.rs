@@ -31,6 +31,14 @@
 //! | `GET /healthz` | `{"status": "ready"\|"degraded", "failed": [...]}` — degraded lists targets in `Failed` state |
 //! | `GET /metrics` | Prometheus-style counters (requests, latency, cache, query engine, `Ctx`, containment) |
 //! | `POST /shutdown` | begins the graceful drain |
+//! | `POST /work/lease` | lease a batch of grid units (coordinator mode only; see DESIGN.md, "Distributed execution") |
+//! | `POST /work/complete` | return one unit's result (or failure) to the coordinator |
+//! | `POST /work/heartbeat` | extend the caller's leases; replies with units to abandon |
+//!
+//! The `/work/*` routes exist only when the server was bound with
+//! [`Server::bind_with_work`] and a [`Coordinator`] attached (the
+//! `accelwall work` coordinator mode); otherwise they answer `404` and
+//! `/healthz` + `/metrics` are byte-identical to a plain server.
 //!
 //! Unknown `{id}`s answer `404` with the same roster-carrying message as
 //! the CLI — both derive from [`Registry`](accelerator_wall::registry::Registry),
@@ -74,6 +82,8 @@ use accelerator_wall::error::Error;
 use accelerator_wall::json::Value;
 use accelwall_query::spec::{pairs_from_json, pairs_from_query};
 use accelwall_query::{QueryEngine, QueryError, QuerySpec};
+use accelwall_work::protocol::parse_lease_request;
+use accelwall_work::{CompleteRequest, Coordinator, HeartbeatRequest};
 
 use http::{read_request, Request, RequestError, Response};
 use metrics::{Metrics, Route};
@@ -122,6 +132,7 @@ pub struct Server {
     engine: Arc<QueryEngine>,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
+    work: Option<Arc<Coordinator>>,
 }
 
 /// A cheap handle for observing and stopping a running [`Server`].
@@ -164,6 +175,24 @@ impl Server {
     ///
     /// Propagates bind failures (bad address, port in use).
     pub fn bind(config: ServerConfig, cache: ArtifactCache) -> std::io::Result<Server> {
+        Server::bind_with_work(config, cache, None)
+    }
+
+    /// Like [`Server::bind`], with an optional distributed-work
+    /// [`Coordinator`] attached. When `Some`, the `/work/*` routes serve
+    /// leases, completions, and heartbeats against it, `/metrics` grows
+    /// the `accelwall_work_*` series, and `/healthz` reports worker and
+    /// unit health; when `None` the server is byte-identical to
+    /// [`Server::bind`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures (bad address, port in use).
+    pub fn bind_with_work(
+        config: ServerConfig,
+        cache: ArtifactCache,
+        work: Option<Arc<Coordinator>>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let cache = Arc::new(cache);
@@ -182,6 +211,7 @@ impl Server {
             engine,
             metrics: Arc::new(Metrics::new()),
             shutdown: Arc::new(AtomicBool::new(false)),
+            work,
         })
     }
 
@@ -213,6 +243,7 @@ impl Server {
             let engine = Arc::clone(&self.engine);
             let metrics = Arc::clone(&self.metrics);
             let handle = handle.clone();
+            let work = self.work.clone();
             let io_timeout = self.config.io_timeout;
             let compute_deadline = self.config.compute_deadline;
             // The metrics' panic counter is shared with the pool, so a
@@ -223,15 +254,14 @@ impl Server {
                 self.config.backlog,
                 self.metrics.worker_panics_counter(),
                 move |stream: TcpStream| {
-                    handle_connection(
-                        stream,
-                        &cache,
-                        &engine,
-                        &metrics,
-                        &handle,
-                        io_timeout,
-                        compute_deadline,
-                    );
+                    let serve = ServeState {
+                        cache: &cache,
+                        engine: &engine,
+                        metrics: &metrics,
+                        handle: &handle,
+                        work: work.as_ref(),
+                    };
+                    handle_connection(stream, &serve, io_timeout, compute_deadline);
                 },
             )
         };
@@ -263,16 +293,26 @@ impl Server {
     }
 }
 
+/// The shared serving state every connection handler borrows: the
+/// artifact cache, query engine, counters, drain handle, and (in
+/// coordinator mode) the work tier.
+#[derive(Clone, Copy)]
+struct ServeState<'a> {
+    cache: &'a ArtifactCache,
+    engine: &'a QueryEngine,
+    metrics: &'a Metrics,
+    handle: &'a ServerHandle,
+    work: Option<&'a Arc<Coordinator>>,
+}
+
 /// Serves one connection: parse under limits, route, respond, close.
 fn handle_connection(
     mut stream: TcpStream,
-    cache: &ArtifactCache,
-    engine: &QueryEngine,
-    metrics: &Metrics,
-    handle: &ServerHandle,
+    serve: &ServeState<'_>,
     io_timeout: Duration,
     compute_deadline: Duration,
 ) {
+    let metrics = serve.metrics;
     let _in_flight = metrics.track_in_flight();
     let start = Instant::now();
     let _ = stream.set_read_timeout(Some(io_timeout));
@@ -288,7 +328,7 @@ fn handle_connection(
         return;
     }
     let (route, response) = match read_request(&mut stream) {
-        Ok(request) => route_request(&request, cache, engine, metrics, handle, compute_deadline),
+        Ok(request) => route_request(&request, serve, compute_deadline),
         Err(RequestError::TooLarge) => (
             Route::Other,
             Response::text(431, "request head too large\n"),
@@ -313,12 +353,16 @@ fn handle_connection(
 /// Maps one parsed request onto a route and a response.
 fn route_request(
     request: &Request,
-    cache: &ArtifactCache,
-    engine: &QueryEngine,
-    metrics: &Metrics,
-    handle: &ServerHandle,
+    serve: &ServeState<'_>,
     compute_deadline: Duration,
 ) -> (Route, Response) {
+    let ServeState {
+        cache,
+        engine,
+        metrics,
+        handle,
+        work,
+    } = *serve;
     let get_only = |route: Route, response: Response| {
         if request.method == "GET" {
             (route, response)
@@ -327,7 +371,10 @@ fn route_request(
         }
     };
     match request.path.as_str() {
-        "/healthz" => get_only(Route::Healthz, Response::json(200, healthz_body(cache))),
+        "/healthz" => get_only(
+            Route::Healthz,
+            Response::json(200, healthz_body(cache, work)),
+        ),
         "/experiments" => get_only(
             Route::Experiments,
             Response::json(200, roster_body(cache)),
@@ -345,7 +392,12 @@ fn route_request(
             Route::Metrics,
             Response::text(
                 200,
-                metrics.render(cache.stats(), cache.ctx().counters(), &engine.stats()),
+                metrics.render(
+                    cache.stats(),
+                    cache.ctx().counters(),
+                    &engine.stats(),
+                    work.map(|c| c.stats()).as_ref(),
+                ),
             ),
         ),
         "/shutdown" => {
@@ -356,6 +408,9 @@ fn route_request(
                 (Route::Shutdown, Response::method_not_allowed("POST"))
             }
         }
+        "/work/lease" => work_route(request, work, Route::WorkLease),
+        "/work/complete" => work_route(request, work, Route::WorkComplete),
+        "/work/heartbeat" => work_route(request, work, Route::WorkHeartbeat),
         path => match path.strip_prefix("/experiments/") {
             Some(id) => {
                 if request.method != "GET" {
@@ -370,7 +425,7 @@ fn route_request(
                 Route::Other,
                 Response::text(
                     404,
-                    "no such route; routes: /healthz /experiments /experiments/{id} /query /query/schema /metrics /shutdown\n",
+                    "no such route; routes: /healthz /experiments /experiments/{id} /query /query/schema /metrics /shutdown /work/lease /work/complete /work/heartbeat\n",
                 ),
             ),
         },
@@ -389,14 +444,18 @@ fn roster_body(cache: &ArtifactCache) -> Vec<u8> {
 /// `degraded` with the failed-target list otherwise. Always `200` — the
 /// process itself is serving either way; load balancers key on
 /// `"status"`.
-fn healthz_body(cache: &ArtifactCache) -> Vec<u8> {
+///
+/// With a coordinator attached, two extra keys report the work tier:
+/// `"workers"` (alive and quarantined counts) and `"units"` (outstanding
+/// count). Without one the body is byte-identical to a plain server's.
+fn healthz_body(cache: &ArtifactCache, work: Option<&Arc<Coordinator>>) -> Vec<u8> {
     let failed = cache.failed_targets();
     let status = if failed.is_empty() {
         "ready"
     } else {
         "degraded"
     };
-    let doc = Value::object([
+    let mut fields = vec![
         ("status", Value::from(status)),
         (
             "failed",
@@ -409,10 +468,91 @@ fn healthz_body(cache: &ArtifactCache) -> Vec<u8> {
                 ])
             })),
         ),
-    ]);
-    let mut body = doc.pretty();
+    ];
+    if let Some(coordinator) = work {
+        let stats = coordinator.stats();
+        fields.push((
+            "workers",
+            Value::object([
+                ("alive", Value::from(stats.workers_alive)),
+                ("quarantined", Value::from(stats.workers_quarantined)),
+            ]),
+        ));
+        fields.push((
+            "units",
+            Value::object([("outstanding", Value::from(stats.units_outstanding))]),
+        ));
+    }
+    let mut body = Value::object(fields).pretty();
     body.push('\n');
     body.into_bytes()
+}
+
+/// Routes one `/work/*` request: `POST`-only, `404` without an attached
+/// coordinator, otherwise dispatched by [`work_response`].
+fn work_route(
+    request: &Request,
+    work: Option<&Arc<Coordinator>>,
+    route: Route,
+) -> (Route, Response) {
+    if request.method != "POST" {
+        return (route, Response::method_not_allowed("POST"));
+    }
+    let Some(coordinator) = work else {
+        return (
+            route,
+            Response::text(
+                404,
+                "no work tier active; start a coordinator with `accelwall work --grid <id>`\n",
+            ),
+        );
+    };
+    (route, work_response(request, coordinator, route))
+}
+
+/// Answers one `/work/*` POST against the active coordinator.
+///
+/// * a malformed body (bad JSON, missing field) — `400` with the
+///   protocol error;
+/// * an injected coordinator fault (`work-lease` / `work-complete`
+///   sites) — `500` with a typed `"kind": "injected"` body and a
+///   `Retry-After` hint, so workers retry instead of giving up;
+/// * otherwise `200` with the typed reply.
+fn work_response(request: &Request, coordinator: &Coordinator, route: Route) -> Response {
+    let Some(body) = std::str::from_utf8(&request.body)
+        .ok()
+        .and_then(|text| Value::parse(text).ok())
+    else {
+        return Response::text(400, "request body is not valid JSON\n");
+    };
+    let outcome = match route {
+        Route::WorkLease => parse_lease_request(&body)
+            .map(|(worker, max)| coordinator.lease(&worker, max).map(|r| r.to_value())),
+        Route::WorkComplete => CompleteRequest::parse(&body)
+            .map(|req| coordinator.complete(&req).map(|r| r.to_value())),
+        Route::WorkHeartbeat => {
+            HeartbeatRequest::parse(&body).map(|req| Ok(coordinator.heartbeat(&req).to_value()))
+        }
+        _ => return Response::text(404, "not a work route\n"),
+    };
+    match outcome {
+        Err(e) => Response::text(400, format!("{e}\n")),
+        Ok(Err(fault)) => {
+            let mut body = Value::object([
+                ("error", Value::from(fault.to_string())),
+                ("kind", Value::from("injected")),
+                ("retryable", Value::from(true)),
+            ])
+            .pretty();
+            body.push('\n');
+            Response::json(500, body).with_retry_after(1)
+        }
+        Ok(Ok(reply)) => {
+            let mut body = reply.pretty();
+            body.push('\n');
+            Response::json(200, body)
+        }
+    }
 }
 
 /// The `GET /experiments/{id}` body, honoring `Accept: text/plain`.
@@ -618,6 +758,11 @@ mod tests {
                 .map(<[Value]>::len),
             Some(0)
         );
+        // No coordinator attached: no work-tier keys, and /work routes 404.
+        assert!(health.get("workers").is_none());
+        let (status, body) = post(addr, "/work/lease", r#"{"worker": "w", "max": 1}"#);
+        assert_eq!(status, 404);
+        assert!(body.contains("no work tier active"), "{body}");
 
         // /experiments mirrors the registry roster.
         let (status, body) = get(addr, "/experiments");
@@ -774,6 +919,114 @@ mod tests {
             metric(&text, "accelwall_query_cache_bytes")
                 <= metric(&text, "accelwall_query_cache_capacity_bytes"),
             "cache exceeded its byte cap:\n{text}"
+        );
+
+        handle.shutdown();
+        join.join().expect("server thread").expect("clean exit");
+    }
+
+    #[test]
+    fn work_routes_lease_complete_and_report_health() {
+        use accelerator_wall::grids::GridRegistry;
+        use accelwall_work::{LeaseReply, WorkConfig};
+
+        let ctx = Arc::new(Ctx::with_space(SweepSpace::coarse()));
+        let grid = GridRegistry::standard().get("sensitivity").expect("grid");
+        let coordinator = Arc::new(Coordinator::new(grid, ctx, "coarse", WorkConfig::default()));
+        let cache = ArtifactCache::new(Registry::paper(), Ctx::with_space(SweepSpace::coarse()));
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            backlog: 8,
+            io_timeout: Duration::from_secs(10),
+            compute_deadline: Duration::from_mins(2),
+            query_cache_bytes: accelwall_query::engine::DEFAULT_CACHE_BYTES,
+        };
+        let server =
+            Server::bind_with_work(config, cache, Some(Arc::clone(&coordinator))).expect("bind");
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+        let addr = handle.addr();
+
+        // Method and body validation.
+        let (status, _) = get(addr, "/work/lease");
+        assert_eq!(status, 405);
+        let (status, _) = post(addr, "/work/lease", "not json");
+        assert_eq!(status, 400);
+        let (status, body) = post(addr, "/work/lease", r#"{"worker": "w1"}"#);
+        assert_eq!(status, 400);
+        assert!(body.contains("\"max\""), "{body}");
+
+        // A lease hands out real unit indices for the attached grid.
+        let (status, body) = post(addr, "/work/lease", r#"{"worker": "w1", "max": 2}"#);
+        assert_eq!(status, 200, "{body}");
+        let reply = LeaseReply::parse(&Value::parse(&body).expect("lease JSON")).expect("reply");
+        let units = match reply {
+            LeaseReply::Units {
+                grid, space, units, ..
+            } => {
+                assert_eq!(grid, "sensitivity");
+                assert_eq!(space, "coarse");
+                units
+            }
+            other => panic!("expected a unit batch, got {other:?}"),
+        };
+        assert!(!units.is_empty());
+
+        // Heartbeats on held units have nothing to abandon.
+        let (status, body) = post(
+            addr,
+            "/work/heartbeat",
+            &format!(r#"{{"worker": "w1", "units": [{}]}}"#, units[0]),
+        );
+        assert_eq!(status, 200);
+        let beat = Value::parse(&body).expect("heartbeat JSON");
+        assert_eq!(
+            beat.get("abandon")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(0)
+        );
+
+        // Completing a unit is recorded once; the repeat is a duplicate.
+        let complete = format!(
+            r#"{{"worker": "w1", "unit": {}, "result": {{"x": 1.5}}}}"#,
+            units[0]
+        );
+        let (status, body) = post(addr, "/work/complete", &complete);
+        assert_eq!(status, 200);
+        let reply = Value::parse(&body).expect("complete JSON");
+        assert_eq!(reply.get("accepted").and_then(Value::as_bool), Some(true));
+        assert_eq!(reply.get("duplicate").and_then(Value::as_bool), Some(false));
+        let (_, body) = post(addr, "/work/complete", &complete);
+        let reply = Value::parse(&body).expect("complete JSON");
+        assert_eq!(reply.get("duplicate").and_then(Value::as_bool), Some(true));
+
+        // /healthz grows the work-tier keys when a coordinator is attached.
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        let health = Value::parse(&body).expect("healthz JSON");
+        assert!(health.get("workers").is_some(), "{body}");
+        assert!(
+            health
+                .get("units")
+                .and_then(|u| u.get("outstanding"))
+                .and_then(Value::as_f64)
+                .is_some(),
+            "{body}"
+        );
+
+        // /metrics exposes the accelwall_work_* series.
+        let (_, text) = get(addr, "/metrics");
+        assert!(metric(&text, "accelwall_work_leases_total") >= 1);
+        assert_eq!(metric(&text, "accelwall_work_completions_total"), 1);
+        assert_eq!(
+            metric(&text, "accelwall_work_duplicate_completions_total"),
+            1
+        );
+        assert_eq!(
+            metric(&text, "accelwall_work_units_total"),
+            coordinator.total_units() as u64
         );
 
         handle.shutdown();

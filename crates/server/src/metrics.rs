@@ -25,7 +25,11 @@
 //!    (live pool threads), `accelwall_par_jobs_total` (parallel jobs
 //!    run), and `accelwall_par_steals_total` (chunk batches taken by a
 //!    worker rather than the submitting thread) — how much intra-
-//!    experiment parallelism the serving process is actually getting.
+//!    experiment parallelism the serving process is actually getting;
+//! 6. when a distributed-work coordinator is attached
+//!    ([`accelwall_work::WorkStats`]), the `accelwall_work_*` series:
+//!    unit progress gauges plus the lease / completion / re-issue /
+//!    hedge / quarantine counters chaos tests assert on.
 //!
 //! Route labels are normalized (`/experiments/fig14` reports as
 //! `/experiments/{id}`) so label cardinality stays bounded no matter
@@ -38,6 +42,7 @@ use std::time::Duration;
 use accelerator_wall::artifacts::CacheStats;
 use accelerator_wall::cache::CtxCounters;
 use accelwall_query::QueryStats;
+use accelwall_work::WorkStats;
 
 /// The server's route space, used as the bounded metrics label set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,13 +61,19 @@ pub enum Route {
     Metrics,
     /// `POST /shutdown`.
     Shutdown,
+    /// `POST /work/lease` (worker asks the coordinator for units).
+    WorkLease,
+    /// `POST /work/complete` (worker returns one unit's result).
+    WorkComplete,
+    /// `POST /work/heartbeat` (worker extends its leases).
+    WorkHeartbeat,
     /// Anything else, including unparseable requests.
     Other,
 }
 
 impl Route {
     /// Every route, in rendering order.
-    pub const ALL: [Route; 8] = [
+    pub const ALL: [Route; 11] = [
         Route::Healthz,
         Route::Experiments,
         Route::Experiment,
@@ -70,6 +81,9 @@ impl Route {
         Route::QuerySchema,
         Route::Metrics,
         Route::Shutdown,
+        Route::WorkLease,
+        Route::WorkComplete,
+        Route::WorkHeartbeat,
         Route::Other,
     ];
 
@@ -83,6 +97,9 @@ impl Route {
             Route::QuerySchema => "/query/schema",
             Route::Metrics => "/metrics",
             Route::Shutdown => "/shutdown",
+            Route::WorkLease => "/work/lease",
+            Route::WorkComplete => "/work/complete",
+            Route::WorkHeartbeat => "/work/heartbeat",
             Route::Other => "other",
         }
     }
@@ -162,8 +179,15 @@ impl Metrics {
 
     /// Renders every counter in Prometheus text exposition format,
     /// folding in the artifact-cache, shared-input, and query-engine
-    /// counters.
-    pub fn render(&self, cache: CacheStats, ctx: CtxCounters, query: &QueryStats) -> String {
+    /// counters plus — when a distributed-work coordinator is attached —
+    /// the `accelwall_work_*` series.
+    pub fn render(
+        &self,
+        cache: CacheStats,
+        ctx: CtxCounters,
+        query: &QueryStats,
+        work: Option<&WorkStats>,
+    ) -> String {
         use std::fmt::Write;
         let mut out = String::new();
         out.push_str("# TYPE accelwall_requests_total counter\n");
@@ -324,6 +348,34 @@ impl Metrics {
             "accelwall_par_steals_total {}",
             accelwall_par::steals_total()
         );
+        if let Some(work) = work {
+            out.push_str("# TYPE accelwall_work gauge\n");
+            for (name, value) in [
+                ("units_total", work.units_total),
+                ("units_done", work.units_done),
+                ("units_outstanding", work.units_outstanding),
+                ("workers_alive", work.workers_alive),
+                ("workers_quarantined", work.workers_quarantined),
+            ] {
+                let _ = writeln!(out, "accelwall_work_{name} {value}");
+            }
+            out.push_str("# TYPE accelwall_work counter\n");
+            for (name, value) in [
+                ("leases_total", work.leases_total),
+                ("completions_total", work.completions_total),
+                (
+                    "duplicate_completions_total",
+                    work.duplicate_completions_total,
+                ),
+                ("reissues_total", work.reissues_total),
+                ("hedges_total", work.hedges_total),
+                ("heartbeats_total", work.heartbeats_total),
+                ("unit_failures_total", work.unit_failures_total),
+                ("local_units_total", work.local_units_total),
+            ] {
+                let _ = writeln!(out, "accelwall_work_{name} {value}");
+            }
+        }
         out
     }
 }
@@ -381,7 +433,7 @@ mod tests {
         m.observe(Route::Healthz, 200, Duration::from_millis(2));
         m.observe(Route::Healthz, 200, Duration::from_millis(3));
         m.observe(Route::Experiment, 404, Duration::from_millis(1));
-        let text = m.render(empty_stats(), empty_ctx(), &QueryStats::default());
+        let text = m.render(empty_stats(), empty_ctx(), &QueryStats::default(), None);
         assert!(text.contains("accelwall_requests_total{route=\"/healthz\"} 2"));
         assert!(text.contains("accelwall_requests_total{route=\"/experiments/{id}\"} 1"));
         assert!(text.contains("accelwall_responses_total{status=\"200\"} 2"));
@@ -405,7 +457,7 @@ mod tests {
     fn render_folds_in_cache_and_ctx_counters() {
         let m = Metrics::new();
         m.record_rejected();
-        let text = m.render(empty_stats(), empty_ctx(), &QueryStats::default());
+        let text = m.render(empty_stats(), empty_ctx(), &QueryStats::default(), None);
         assert!(text.contains("accelwall_connections_rejected_total 1"));
         assert!(text.contains("accelwall_artifact_cache_hits_total 2"));
         assert!(text.contains("accelwall_artifact_cache_misses_total 1"));
@@ -424,7 +476,7 @@ mod tests {
 
     #[test]
     fn render_exposes_the_compute_pool_series() {
-        let text = Metrics::new().render(empty_stats(), empty_ctx(), &QueryStats::default());
+        let text = Metrics::new().render(empty_stats(), empty_ctx(), &QueryStats::default(), None);
         for series in [
             "accelwall_par_workers ",
             "accelwall_par_jobs_total ",
@@ -441,11 +493,45 @@ mod tests {
         // The pool holds a clone and increments it on respawn; simulate.
         m.worker_panics_counter().fetch_add(2, Ordering::SeqCst);
         assert_eq!(m.worker_panics(), 2);
-        let text = m.render(empty_stats(), empty_ctx(), &QueryStats::default());
+        let text = m.render(empty_stats(), empty_ctx(), &QueryStats::default(), None);
         assert!(text.contains("accelwall_worker_panics_total 2"));
         // No plan is armed in unit tests: the gauge says so and no
         // injection lines render.
         assert!(text.contains("accelwall_faults_armed 0"));
         assert!(!text.contains("accelwall_fault_injections_total"));
+    }
+
+    #[test]
+    fn work_series_render_only_when_a_coordinator_is_attached() {
+        let m = Metrics::new();
+        let without = m.render(empty_stats(), empty_ctx(), &QueryStats::default(), None);
+        assert!(!without.contains("accelwall_work_"));
+        let stats = WorkStats {
+            units_total: 8,
+            units_done: 5,
+            units_outstanding: 3,
+            workers_alive: 2,
+            workers_quarantined: 1,
+            leases_total: 9,
+            completions_total: 5,
+            duplicate_completions_total: 1,
+            reissues_total: 2,
+            hedges_total: 1,
+            heartbeats_total: 12,
+            unit_failures_total: 2,
+            local_units_total: 0,
+        };
+        let with = m.render(
+            empty_stats(),
+            empty_ctx(),
+            &QueryStats::default(),
+            Some(&stats),
+        );
+        assert!(with.contains("accelwall_work_units_total 8"));
+        assert!(with.contains("accelwall_work_units_outstanding 3"));
+        assert!(with.contains("accelwall_work_workers_quarantined 1"));
+        assert!(with.contains("accelwall_work_reissues_total 2"));
+        assert!(with.contains("accelwall_work_hedges_total 1"));
+        assert!(with.contains("accelwall_work_duplicate_completions_total 1"));
     }
 }

@@ -105,6 +105,27 @@ impl Rng {
     }
 }
 
+/// Decorrelated-jitter backoff (the "decorrelated jitter" scheme from
+/// the AWS architecture blog): the next sleep is drawn uniformly from
+/// `[base, 3 * previous]` and clamped to `[base, cap]`.
+///
+/// Unlike pure exponential backoff, retries of concurrent failed
+/// clients spread out instead of thundering back in lockstep, while the
+/// `3 * previous` upper edge keeps the expected window growing toward
+/// the cap. Both the artifact cache's retry schedule and the work
+/// coordinator's re-lease backoff draw from this one implementation.
+pub fn decorrelated_backoff(
+    rng: &mut Rng,
+    base: std::time::Duration,
+    cap: std::time::Duration,
+    previous: std::time::Duration,
+) -> std::time::Duration {
+    let base_s = base.as_secs_f64();
+    let high_s = (previous.as_secs_f64() * 3.0).max(base_s);
+    let drawn = rng.uniform(base_s, high_s);
+    std::time::Duration::from_secs_f64(drawn.clamp(base_s, cap.as_secs_f64()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,5 +179,41 @@ mod tests {
         let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn decorrelated_backoff_stays_in_bounds_and_grows_toward_the_cap() {
+        use std::time::Duration;
+        let base = Duration::from_millis(25);
+        let cap = Duration::from_secs(2);
+        let mut r = Rng::seed(11);
+        let mut sleep = base;
+        let mut seen_past_double = false;
+        for _ in 0..200 {
+            sleep = decorrelated_backoff(&mut r, base, cap, sleep);
+            assert!(sleep >= base, "undershot base: {sleep:?}");
+            assert!(sleep <= cap, "overshot cap: {sleep:?}");
+            seen_past_double |= sleep > base * 2;
+        }
+        assert!(seen_past_double, "jitter never grew past 2x base");
+    }
+
+    #[test]
+    fn decorrelated_backoff_actually_jitters() {
+        use std::time::Duration;
+        let base = Duration::from_millis(25);
+        let cap = Duration::from_secs(2);
+        let mut r = Rng::seed(12);
+        let prev = Duration::from_millis(100);
+        let draws: Vec<Duration> = (0..64)
+            .map(|_| decorrelated_backoff(&mut r, base, cap, prev))
+            .collect();
+        let mut distinct = draws.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() > 8, "draws collapsed: {draws:?}");
+        // A zero/short previous sleep still sleeps at least the base.
+        let floor = decorrelated_backoff(&mut r, base, cap, Duration::ZERO);
+        assert_eq!(floor, base);
     }
 }

@@ -1,0 +1,928 @@
+//! The lease coordinator: shards one grid into numbered units, leases
+//! them to workers, survives worker failure, and folds the results.
+//!
+//! One mutex guards the whole lease table ([`State`]); a condvar wakes
+//! the [`Coordinator::run`] driver on completions. Every unit walks the
+//! lease state machine:
+//!
+//! ```text
+//! pending ──lease──▶ leased ──complete(ok)──▶ done
+//!    ▲                  │ │
+//!    │◀─deadline miss───┘ └──complete(err)──▶ backoff ──elapsed──▶ pending
+//! ```
+//!
+//! Failure handling is split between the unit and the worker. A failed
+//! unit re-enters `pending` only after a capped decorrelated-jitter
+//! backoff ([`decorrelated_backoff`]), so a deterministic failure
+//! cannot hot-loop. A worker that fails
+//! [`WorkConfig::failure_threshold`] units in a row trips a circuit
+//! breaker and is quarantined — its lease requests answer `wait` until
+//! the quarantine lapses. Stragglers are hedged: an idle worker with
+//! nothing pending is handed a second copy of the slowest outstanding
+//! unit; whichever completion lands first wins and the other is counted
+//! as a duplicate.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use accelerator_wall::cache::Ctx;
+use accelerator_wall::grids::Grid;
+use accelerator_wall::json::Value;
+use accelwall_faults::InjectedFault;
+use accelwall_stats::rng::{decorrelated_backoff, Rng};
+
+use crate::protocol::{
+    CompleteReply, CompleteRequest, HeartbeatReply, HeartbeatRequest, LeaseReply,
+};
+use crate::WorkError;
+
+/// Tuning knobs for the coordinator's robustness machinery.
+#[derive(Debug, Clone)]
+pub struct WorkConfig {
+    /// How long a lease lasts without a heartbeat before it expires and
+    /// the unit is re-issued.
+    pub lease_ttl: Duration,
+    /// Most units granted per lease request.
+    pub batch: usize,
+    /// Consecutive unit failures that quarantine a worker.
+    pub failure_threshold: u32,
+    /// How long a quarantined worker sits out.
+    pub quarantine_for: Duration,
+    /// Base of the failed-unit re-lease backoff.
+    pub reissue_base: Duration,
+    /// Cap of the failed-unit re-lease backoff.
+    pub reissue_cap: Duration,
+    /// How long a unit must be outstanding before an idle worker may be
+    /// handed a hedge copy.
+    pub hedge_after: Duration,
+    /// Most simultaneous holders of one unit (primary + hedges).
+    pub max_holders: usize,
+    /// Failures after which a unit is declared deterministic-broken and
+    /// the whole run fails instead of re-issuing forever.
+    pub max_unit_failures: u32,
+    /// Workers the driver waits for before it may conclude the fleet is
+    /// absent; `0` means "don't wait — fall back to local compute as
+    /// soon as the startup grace lapses with nobody connected".
+    pub expect_workers: usize,
+    /// How long the driver gives the fleet to appear (or reappear)
+    /// before degrading to local compute.
+    pub startup_grace: Duration,
+    /// Hard wall-clock budget for the distributed phase; once elapsed
+    /// the driver finishes every remaining unit locally.
+    pub work_deadline: Option<Duration>,
+    /// Driver tick and the `wait` retry hint floor.
+    pub poll: Duration,
+}
+
+impl Default for WorkConfig {
+    fn default() -> WorkConfig {
+        WorkConfig {
+            lease_ttl: Duration::from_secs(10),
+            batch: 2,
+            failure_threshold: 3,
+            quarantine_for: Duration::from_secs(30),
+            reissue_base: Duration::from_millis(50),
+            reissue_cap: Duration::from_secs(2),
+            hedge_after: Duration::from_secs(3),
+            max_holders: 2,
+            max_unit_failures: 8,
+            expect_workers: 0,
+            startup_grace: Duration::from_secs(2),
+            work_deadline: None,
+            poll: Duration::from_millis(25),
+        }
+    }
+}
+
+/// One live lease on a unit.
+#[derive(Debug)]
+struct Holder {
+    worker: String,
+    issued: Instant,
+    deadline: Instant,
+}
+
+/// One unit's place in the lease state machine.
+#[derive(Debug, Default)]
+struct Unit {
+    done: bool,
+    holders: Vec<Holder>,
+    /// Re-lease embargo after a failure; `None` = leasable now.
+    not_before: Option<Instant>,
+    /// Previous backoff, the seed of the next decorrelated draw.
+    prev_backoff: Duration,
+    failures: u32,
+}
+
+/// Per-worker health the circuit breaker runs on.
+#[derive(Debug)]
+struct WorkerHealth {
+    last_seen: Instant,
+    consecutive_failures: u32,
+    quarantined_until: Option<Instant>,
+}
+
+struct State {
+    units: Vec<Unit>,
+    results: Vec<Option<Value>>,
+    workers: BTreeMap<String, WorkerHealth>,
+    done_count: usize,
+    fatal: Option<WorkError>,
+    /// Jitter stream for re-lease backoff draws. Seeded from the
+    /// process id, not the clock, so runs stay reproducible under a
+    /// pinned environment.
+    jitter: Rng,
+}
+
+/// A point-in-time snapshot of the work tier, rendered by `/metrics`
+/// and `/healthz`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkStats {
+    /// Units the grid decomposes into.
+    pub units_total: u64,
+    /// Units completed (by workers or local fallback).
+    pub units_done: u64,
+    /// Units not yet done.
+    pub units_outstanding: u64,
+    /// Workers seen within the liveness window and not quarantined.
+    pub workers_alive: u64,
+    /// Workers currently quarantined by the circuit breaker.
+    pub workers_quarantined: u64,
+    /// Leases granted, hedges included.
+    pub leases_total: u64,
+    /// First-wins unit completions recorded.
+    pub completions_total: u64,
+    /// Completions for already-done units (hedge or re-issue races).
+    pub duplicate_completions_total: u64,
+    /// Units returned to `pending` after lease expiry or failure.
+    pub reissues_total: u64,
+    /// Hedge copies handed to idle workers.
+    pub hedges_total: u64,
+    /// Heartbeats received.
+    pub heartbeats_total: u64,
+    /// Unit failures reported by workers.
+    pub unit_failures_total: u64,
+    /// Units the coordinator computed itself (fallback or deadline
+    /// cutover).
+    pub local_units_total: u64,
+}
+
+/// The lease coordinator for one grid run. Shared between the HTTP
+/// routes (lease/complete/heartbeat) and the [`Coordinator::run`]
+/// driver via an `Arc`.
+pub struct Coordinator {
+    grid: Arc<dyn Grid>,
+    ctx: Arc<Ctx>,
+    space: &'static str,
+    config: WorkConfig,
+    total: usize,
+    state: Mutex<State>,
+    progress: Condvar,
+    // All eight counters are monotonic telemetry read by /metrics;
+    // Relaxed everywhere — no other state is published through them.
+    leases: AtomicU64,
+    completions: AtomicU64,
+    duplicates: AtomicU64,
+    reissues: AtomicU64,
+    hedges: AtomicU64,
+    heartbeats: AtomicU64,
+    unit_failures: AtomicU64,
+    local_units: AtomicU64,
+}
+
+impl Coordinator {
+    /// Builds a coordinator for one grid under `ctx`'s sweep space.
+    /// `space` is the marker workers rebuild their `Ctx` from, so it
+    /// must describe `ctx` (`"coarse"` or `"table3"`).
+    pub fn new(
+        grid: Arc<dyn Grid>,
+        ctx: Arc<Ctx>,
+        space: &'static str,
+        config: WorkConfig,
+    ) -> Coordinator {
+        let total = grid.len(&ctx);
+        let mut units = Vec::with_capacity(total);
+        units.resize_with(total, Unit::default);
+        Coordinator {
+            grid,
+            ctx,
+            space,
+            config,
+            total,
+            state: Mutex::new(State {
+                units,
+                results: (0..total).map(|_| None).collect(),
+                workers: BTreeMap::new(),
+                done_count: 0,
+                fatal: None,
+                jitter: Rng::seed(u64::from(std::process::id()) ^ 0x9e37_79b9_7f4a_7c15),
+            }),
+            progress: Condvar::new(),
+            leases: AtomicU64::new(0),
+            completions: AtomicU64::new(0),
+            duplicates: AtomicU64::new(0),
+            reissues: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
+            heartbeats: AtomicU64::new(0),
+            unit_failures: AtomicU64::new(0),
+            local_units: AtomicU64::new(0),
+        }
+    }
+
+    /// The id of the grid being coordinated.
+    pub fn grid_id(&self) -> &'static str {
+        self.grid.id()
+    }
+
+    /// The sweep-space marker workers must build their `Ctx` with.
+    pub fn space(&self) -> &'static str {
+        self.space
+    }
+
+    /// Units the grid decomposes into.
+    pub fn total_units(&self) -> usize {
+        self.total
+    }
+
+    fn locked(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Drops every lease whose deadline has passed. A unit whose last
+    /// holder expires returns to `pending` and counts as a re-issue.
+    fn expire_leases(&self, state: &mut State, now: Instant) {
+        let mut expired_units = 0u64;
+        for unit in &mut state.units {
+            if unit.done || unit.holders.is_empty() {
+                continue;
+            }
+            let before = unit.holders.len();
+            unit.holders.retain(|h| h.deadline > now);
+            if before > unit.holders.len() && unit.holders.is_empty() {
+                expired_units += 1;
+            }
+        }
+        if expired_units > 0 {
+            // Relaxed: monotonic telemetry counter.
+            self.reissues.fetch_add(expired_units, Ordering::Relaxed);
+        }
+    }
+
+    fn touch(state: &mut State, worker: &str, now: Instant) {
+        state
+            .workers
+            .entry(worker.to_string())
+            .and_modify(|h| h.last_seen = now)
+            .or_insert(WorkerHealth {
+                last_seen: now,
+                consecutive_failures: 0,
+                quarantined_until: None,
+            });
+    }
+
+    /// Grants a batch of units to `worker`, hedging stragglers when
+    /// nothing is pending. Probes the `work-lease` fault site first.
+    ///
+    /// # Errors
+    ///
+    /// [`InjectedFault`] when an armed `work-lease:err` rule fires; the
+    /// server answers 500 and the worker retries with backoff.
+    pub fn lease(&self, worker: &str, max: usize) -> Result<LeaseReply, InjectedFault> {
+        accelwall_faults::probe(accelwall_faults::sites::WORK_LEASE)?;
+        let now = Instant::now();
+        let mut state = self.locked();
+        self.expire_leases(&mut state, now);
+        Self::touch(&mut state, worker, now);
+        if state.done_count == self.total {
+            return Ok(LeaseReply::Done);
+        }
+        if let Some(until) = state.workers[worker].quarantined_until {
+            if until > now {
+                return Ok(LeaseReply::Wait { retry: until - now });
+            }
+        }
+        let max = max.clamp(1, self.config.batch.max(1));
+        let deadline = now + self.config.lease_ttl;
+        let mut granted = Vec::new();
+        for (index, unit) in state.units.iter_mut().enumerate() {
+            if granted.len() == max {
+                break;
+            }
+            if unit.done || !unit.holders.is_empty() {
+                continue;
+            }
+            if unit.not_before.is_some_and(|t| t > now) {
+                continue;
+            }
+            unit.holders.push(Holder {
+                worker: worker.to_string(),
+                issued: now,
+                deadline,
+            });
+            granted.push(index);
+        }
+        if granted.is_empty() {
+            // Nothing pending: this worker is idle, so hedge the
+            // slowest outstanding units (oldest lease first).
+            let mut stragglers: Vec<(Instant, usize)> = state
+                .units
+                .iter()
+                .enumerate()
+                .filter(|(_, u)| {
+                    !u.done
+                        && !u.holders.is_empty()
+                        && u.holders.len() < self.config.max_holders
+                        && u.holders.iter().all(|h| h.worker != worker)
+                })
+                .filter_map(|(i, u)| {
+                    let oldest = u.holders.iter().map(|h| h.issued).min()?;
+                    (oldest + self.config.hedge_after <= now).then_some((oldest, i))
+                })
+                .collect();
+            stragglers.sort();
+            for (_, index) in stragglers.into_iter().take(max) {
+                state.units[index].holders.push(Holder {
+                    worker: worker.to_string(),
+                    issued: now,
+                    deadline,
+                });
+                granted.push(index);
+                // Relaxed: monotonic telemetry counter.
+                self.hedges.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if granted.is_empty() {
+            // Everything is leased out, embargoed, or hedged to the
+            // hilt; tell the worker when it is worth asking again.
+            let soonest = state
+                .units
+                .iter()
+                .filter(|u| !u.done)
+                .filter_map(|u| {
+                    u.not_before
+                        .filter(|t| *t > now)
+                        .or_else(|| u.holders.iter().map(|h| h.deadline).min())
+                })
+                .min();
+            let retry = soonest
+                .map_or(self.config.poll, |t| t.saturating_duration_since(now))
+                .clamp(self.config.poll, self.config.lease_ttl);
+            return Ok(LeaseReply::Wait { retry });
+        }
+        // Relaxed: monotonic telemetry counter.
+        self.leases
+            .fetch_add(granted.len() as u64, Ordering::Relaxed);
+        Ok(LeaseReply::Units {
+            grid: self.grid.id().to_string(),
+            space: self.space.to_string(),
+            ttl: self.config.lease_ttl,
+            units: granted,
+        })
+    }
+
+    /// Records one unit outcome. First completion wins; duplicates (from
+    /// hedges or re-issue races) are acknowledged and discarded, which
+    /// is sound because units are idempotent. Probes the
+    /// `work-complete` fault site first.
+    ///
+    /// # Errors
+    ///
+    /// [`InjectedFault`] when an armed `work-complete:err` rule fires —
+    /// the completion is dropped on the floor and the worker's
+    /// idempotent re-send must recover it.
+    pub fn complete(&self, request: &CompleteRequest) -> Result<CompleteReply, InjectedFault> {
+        accelwall_faults::probe(accelwall_faults::sites::WORK_COMPLETE)?;
+        let now = Instant::now();
+        let mut state = self.locked();
+        Self::touch(&mut state, &request.worker, now);
+        if request.unit >= self.total {
+            return Ok(CompleteReply {
+                accepted: false,
+                duplicate: false,
+                done: state.done_count == self.total,
+            });
+        }
+        if state.units[request.unit].done {
+            // Relaxed: monotonic telemetry counter.
+            self.duplicates.fetch_add(1, Ordering::Relaxed);
+            return Ok(CompleteReply {
+                accepted: true,
+                duplicate: true,
+                done: state.done_count == self.total,
+            });
+        }
+        match &request.outcome {
+            Ok(result) => {
+                state.results[request.unit] = Some(result.clone());
+                let unit = &mut state.units[request.unit];
+                unit.done = true;
+                unit.holders.clear();
+                state.done_count += 1;
+                if let Some(health) = state.workers.get_mut(&request.worker) {
+                    health.consecutive_failures = 0;
+                }
+                // Relaxed: monotonic telemetry counter.
+                self.completions.fetch_add(1, Ordering::Relaxed);
+                let done = state.done_count == self.total;
+                if done {
+                    self.progress.notify_all();
+                }
+                Ok(CompleteReply {
+                    accepted: true,
+                    duplicate: false,
+                    done,
+                })
+            }
+            Err(error) => {
+                // Relaxed: monotonic telemetry counters.
+                self.unit_failures.fetch_add(1, Ordering::Relaxed);
+                self.reissues.fetch_add(1, Ordering::Relaxed);
+                let base = self.config.reissue_base;
+                let cap = self.config.reissue_cap;
+                let unit = &mut state.units[request.unit];
+                unit.failures += 1;
+                unit.holders.retain(|h| h.worker != request.worker);
+                let failures = unit.failures;
+                let prev = unit.prev_backoff;
+                let backoff = decorrelated_backoff(&mut state.jitter, base, cap, prev);
+                let unit = &mut state.units[request.unit];
+                unit.prev_backoff = backoff;
+                unit.not_before = Some(now + backoff);
+                if let Some(health) = state.workers.get_mut(&request.worker) {
+                    health.consecutive_failures += 1;
+                    if health.consecutive_failures >= self.config.failure_threshold {
+                        health.quarantined_until = Some(now + self.config.quarantine_for);
+                    }
+                }
+                if failures >= self.config.max_unit_failures {
+                    state.fatal = Some(WorkError::Unit {
+                        unit: request.unit,
+                        error: error.clone(),
+                    });
+                    self.progress.notify_all();
+                }
+                Ok(CompleteReply {
+                    accepted: true,
+                    duplicate: false,
+                    done: false,
+                })
+            }
+        }
+    }
+
+    /// Extends the worker's leases and tells it which units to abandon
+    /// (completed elsewhere, or no longer held after an expiry).
+    pub fn heartbeat(&self, request: &HeartbeatRequest) -> HeartbeatReply {
+        // Relaxed: monotonic telemetry counter.
+        self.heartbeats.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        let mut state = self.locked();
+        Self::touch(&mut state, &request.worker, now);
+        let deadline = now + self.config.lease_ttl;
+        let mut abandon = Vec::new();
+        for &index in &request.units {
+            let Some(unit) = state.units.get_mut(index) else {
+                abandon.push(index);
+                continue;
+            };
+            if unit.done {
+                abandon.push(index);
+                continue;
+            }
+            match unit.holders.iter_mut().find(|h| h.worker == request.worker) {
+                Some(holder) => holder.deadline = deadline,
+                None => abandon.push(index),
+            }
+        }
+        HeartbeatReply {
+            abandon,
+            done: state.done_count == self.total,
+        }
+    }
+
+    /// A point-in-time snapshot for `/metrics` and `/healthz`.
+    pub fn stats(&self) -> WorkStats {
+        let now = Instant::now();
+        let state = self.locked();
+        let liveness = self.config.lease_ttl * 2;
+        let quarantined = state
+            .workers
+            .values()
+            .filter(|h| h.quarantined_until.is_some_and(|t| t > now))
+            .count() as u64;
+        let alive = state
+            .workers
+            .values()
+            .filter(|h| {
+                h.last_seen + liveness >= now && h.quarantined_until.is_none_or(|t| t <= now)
+            })
+            .count() as u64;
+        // Relaxed: monotonic telemetry counters.
+        WorkStats {
+            units_total: self.total as u64,
+            units_done: state.done_count as u64,
+            units_outstanding: (self.total - state.done_count) as u64,
+            workers_alive: alive,
+            workers_quarantined: quarantined,
+            leases_total: self.leases.load(Ordering::Relaxed),
+            completions_total: self.completions.load(Ordering::Relaxed),
+            duplicate_completions_total: self.duplicates.load(Ordering::Relaxed),
+            reissues_total: self.reissues.load(Ordering::Relaxed),
+            hedges_total: self.hedges.load(Ordering::Relaxed),
+            heartbeats_total: self.heartbeats.load(Ordering::Relaxed),
+            unit_failures_total: self.unit_failures.load(Ordering::Relaxed),
+            local_units_total: self.local_units.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether the driver should stop waiting on the fleet and finish
+    /// the rest locally.
+    fn should_cut_over(&self, state: &State, started: Instant, now: Instant) -> bool {
+        if self
+            .config
+            .work_deadline
+            .is_some_and(|d| now.saturating_duration_since(started) >= d)
+        {
+            return true;
+        }
+        if now.saturating_duration_since(started) < self.config.startup_grace {
+            return false;
+        }
+        let liveness = self.config.lease_ttl * 2;
+        let live = state
+            .workers
+            .values()
+            .filter(|h| h.last_seen + liveness >= now)
+            .count();
+        if live > 0 {
+            return false;
+        }
+        // Nobody is alive. With an expectation set, keep waiting until
+        // the expected fleet has at least shown up once; after that,
+        // a dead fleet degrades to local compute like an absent one.
+        self.config.expect_workers == 0 || state.workers.len() >= self.config.expect_workers
+    }
+
+    /// Computes every not-yet-done unit on the in-process pool and
+    /// stores the results first-wins against concurrent completions.
+    fn complete_locally(&self, todo: Vec<usize>) -> Result<(), WorkError> {
+        if todo.is_empty() {
+            return Ok(());
+        }
+        let grid = Arc::clone(&self.grid);
+        let ctx = Arc::clone(&self.ctx);
+        let indices = todo.clone();
+        let computed = accelwall_par::par_map(todo.len(), move |k| {
+            let index = indices[k];
+            (index, grid.compute(&ctx, index))
+        });
+        let mut state = self.locked();
+        for (index, outcome) in computed {
+            match outcome {
+                Ok(result) => {
+                    if state.units[index].done {
+                        // Relaxed: monotonic telemetry counter.
+                        self.duplicates.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    state.results[index] = Some(result);
+                    let unit = &mut state.units[index];
+                    unit.done = true;
+                    unit.holders.clear();
+                    state.done_count += 1;
+                    // Relaxed: monotonic telemetry counter.
+                    self.local_units.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(error) => {
+                    // The local pool is the path of last resort; a
+                    // failure here is deterministic, not transient.
+                    return Err(WorkError::Grid(error));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drives the run to completion: waits on worker progress, expires
+    /// leases, degrades to local compute when the fleet is absent or
+    /// the deadline lapses, and assembles the folded document.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkError::Unit`] when a unit exhausts its failure budget,
+    /// [`WorkError::Grid`] when the local fallback itself fails.
+    pub fn run(&self) -> Result<Value, WorkError> {
+        let started = Instant::now();
+        let mut state = self.locked();
+        loop {
+            if let Some(fatal) = &state.fatal {
+                return Err(fatal.clone());
+            }
+            if state.done_count == self.total {
+                break;
+            }
+            let now = Instant::now();
+            self.expire_leases(&mut state, now);
+            if self.should_cut_over(&state, started, now) {
+                let todo: Vec<usize> = state
+                    .units
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, u)| !u.done)
+                    .map(|(i, _)| i)
+                    .collect();
+                drop(state);
+                self.complete_locally(todo)?;
+                state = self.locked();
+                continue;
+            }
+            let (guard, _) = self
+                .progress
+                .wait_timeout(state, self.config.poll)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+        }
+        let mut ordered = Vec::with_capacity(self.total);
+        for (index, slot) in state.results.iter_mut().enumerate() {
+            match slot.take() {
+                Some(result) => ordered.push(result),
+                None => {
+                    return Err(WorkError::Protocol {
+                        what: format!("unit {index} marked done without a stored result"),
+                    })
+                }
+            }
+        }
+        drop(state);
+        Ok(self.grid.assemble(ordered))
+    }
+}
+
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("grid", &self.grid.id())
+            .field("space", &self.space)
+            .field("total", &self.total)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny deterministic grid: unit `i` computes `i * 10`, assembly
+    /// sums everything.
+    struct TestGrid {
+        units: usize,
+    }
+
+    impl Grid for TestGrid {
+        fn id(&self) -> &'static str {
+            "test"
+        }
+        fn description(&self) -> &'static str {
+            "test grid"
+        }
+        fn len(&self, _ctx: &Ctx) -> usize {
+            self.units
+        }
+        fn compute(&self, _ctx: &Ctx, unit: usize) -> accelerator_wall::error::Result<Value> {
+            Ok(Value::from(unit * 10))
+        }
+        fn assemble(&self, units: Vec<Value>) -> Value {
+            let sum: f64 = units.iter().filter_map(Value::as_f64).sum();
+            Value::object([
+                ("units", Value::from(units.len())),
+                ("sum", Value::from(sum)),
+            ])
+        }
+    }
+
+    fn coordinator(units: usize, config: WorkConfig) -> Coordinator {
+        let ctx = Arc::new(Ctx::with_space(
+            accelerator_wall::accelsim::SweepSpace::coarse(),
+        ));
+        Coordinator::new(Arc::new(TestGrid { units }), ctx, "coarse", config)
+    }
+
+    fn quick_config() -> WorkConfig {
+        WorkConfig {
+            lease_ttl: Duration::from_millis(60),
+            batch: 2,
+            reissue_base: Duration::from_millis(1),
+            reissue_cap: Duration::from_millis(4),
+            hedge_after: Duration::from_millis(20),
+            startup_grace: Duration::from_millis(40),
+            poll: Duration::from_millis(5),
+            ..WorkConfig::default()
+        }
+    }
+
+    fn units_of(reply: LeaseReply) -> Vec<usize> {
+        match reply {
+            LeaseReply::Units { units, .. } => units,
+            other => panic!("expected units, got {other:?}"),
+        }
+    }
+
+    fn complete_ok(c: &Coordinator, worker: &str, unit: usize) -> CompleteReply {
+        c.complete(&CompleteRequest {
+            worker: worker.into(),
+            unit,
+            outcome: Ok(Value::from(unit * 10)),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn leases_cover_the_grid_and_completions_finish_it() {
+        let c = coordinator(4, quick_config());
+        let first = units_of(c.lease("w1", 8).unwrap());
+        assert_eq!(first, vec![0, 1], "batch cap bounds the grant");
+        let second = units_of(c.lease("w2", 2).unwrap());
+        assert_eq!(second, vec![2, 3]);
+        for &u in first.iter().chain(&second) {
+            let reply = complete_ok(&c, "w", u);
+            assert!(reply.accepted && !reply.duplicate);
+        }
+        assert_eq!(c.lease("w1", 1).unwrap(), LeaseReply::Done);
+        let stats = c.stats();
+        assert_eq!(stats.units_done, 4);
+        assert_eq!(stats.completions_total, 4);
+        assert_eq!(stats.units_outstanding, 0);
+    }
+
+    #[test]
+    fn an_expired_lease_reissues_the_unit() {
+        let mut config = quick_config();
+        config.lease_ttl = Duration::from_millis(10);
+        let c = coordinator(1, config);
+        assert_eq!(units_of(c.lease("w1", 1).unwrap()), vec![0]);
+        std::thread::sleep(Duration::from_millis(25));
+        // w1 went silent past its deadline: the unit re-issues to w2.
+        assert_eq!(units_of(c.lease("w2", 1).unwrap()), vec![0]);
+        assert!(c.stats().reissues_total >= 1);
+        // The late w1 completion still wins nothing: w2 finished first.
+        complete_ok(&c, "w2", 0);
+        let late = complete_ok(&c, "w1", 0);
+        assert!(late.duplicate);
+        assert_eq!(c.stats().duplicate_completions_total, 1);
+    }
+
+    #[test]
+    fn heartbeats_extend_leases_and_flag_abandoned_units() {
+        let mut config = quick_config();
+        config.lease_ttl = Duration::from_millis(50);
+        let c = coordinator(2, config);
+        let units = units_of(c.lease("w1", 2).unwrap());
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(20));
+            let reply = c.heartbeat(&HeartbeatRequest {
+                worker: "w1".into(),
+                units: units.clone(),
+            });
+            assert!(reply.abandon.is_empty(), "live lease flagged abandoned");
+        }
+        // 80ms elapsed > ttl: without the heartbeats the lease would
+        // have expired. Now complete one unit elsewhere's-first to see
+        // it flagged.
+        complete_ok(&c, "w9", 0);
+        let reply = c.heartbeat(&HeartbeatRequest {
+            worker: "w1".into(),
+            units: units.clone(),
+        });
+        assert_eq!(reply.abandon, vec![0]);
+        assert_eq!(c.stats().reissues_total, 0, "no lease ever expired");
+    }
+
+    #[test]
+    fn consecutive_failures_quarantine_the_worker_and_backoff_embargoes_the_unit() {
+        let mut config = quick_config();
+        config.failure_threshold = 2;
+        config.quarantine_for = Duration::from_mins(1);
+        let c = coordinator(3, config);
+        let units = units_of(c.lease("w1", 2).unwrap());
+        for &u in &units {
+            let reply = c
+                .complete(&CompleteRequest {
+                    worker: "w1".into(),
+                    unit: u,
+                    outcome: Err("boom".into()),
+                })
+                .unwrap();
+            assert!(reply.accepted);
+        }
+        // Two consecutive failures at threshold 2: quarantined.
+        match c.lease("w1", 1).unwrap() {
+            LeaseReply::Wait { retry } => assert!(retry > Duration::from_secs(30)),
+            other => panic!("expected quarantine wait, got {other:?}"),
+        }
+        let stats = c.stats();
+        assert_eq!(stats.workers_quarantined, 1);
+        assert_eq!(stats.unit_failures_total, 2);
+        assert!(stats.reissues_total >= 2);
+        // A healthy worker still gets the untouched unit immediately,
+        // and the failed ones after their backoff embargo lapses.
+        let granted = units_of(c.lease("w2", 3).unwrap());
+        assert!(granted.contains(&2));
+        std::thread::sleep(Duration::from_millis(10));
+        let more = units_of(c.lease("w3", 3).unwrap());
+        assert!(!more.is_empty(), "embargoed units never came back");
+    }
+
+    #[test]
+    fn a_unit_exhausting_its_failure_budget_fails_the_run() {
+        let mut config = quick_config();
+        config.max_unit_failures = 1;
+        config.failure_threshold = 100;
+        let c = coordinator(1, config);
+        let _ = c.lease("w1", 1).unwrap();
+        let _ = c
+            .complete(&CompleteRequest {
+                worker: "w1".into(),
+                unit: 0,
+                outcome: Err("deterministic".into()),
+            })
+            .unwrap();
+        match c.run() {
+            Err(WorkError::Unit { unit, error }) => {
+                assert_eq!(unit, 0);
+                assert_eq!(error, "deterministic");
+            }
+            other => panic!("expected unit failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn an_idle_worker_hedges_the_slowest_outstanding_unit() {
+        let mut config = quick_config();
+        config.hedge_after = Duration::ZERO;
+        config.batch = 4;
+        let c = coordinator(1, config);
+        assert_eq!(units_of(c.lease("w1", 1).unwrap()), vec![0]);
+        // Nothing pending for w2: it is handed a hedge copy of w1's
+        // unit instead of idling.
+        assert_eq!(units_of(c.lease("w2", 1).unwrap()), vec![0]);
+        assert_eq!(c.stats().hedges_total, 1);
+        // A third worker cannot pile on: max_holders caps the copies.
+        match c.lease("w3", 1).unwrap() {
+            LeaseReply::Wait { .. } => {}
+            other => panic!("expected wait at holder cap, got {other:?}"),
+        }
+        // First completion wins; the loser is a duplicate.
+        assert!(!complete_ok(&c, "w2", 0).duplicate);
+        assert!(complete_ok(&c, "w1", 0).duplicate);
+    }
+
+    #[test]
+    fn run_falls_back_to_local_compute_with_no_workers() {
+        let mut config = quick_config();
+        config.startup_grace = Duration::from_millis(1);
+        let c = coordinator(5, config);
+        let doc = c.run().unwrap();
+        assert_eq!(doc.get("units").and_then(Value::as_f64), Some(5.0));
+        assert_eq!(doc.get("sum").and_then(Value::as_f64), Some(100.0));
+        let stats = c.stats();
+        assert_eq!(stats.local_units_total, 5);
+        assert_eq!(stats.workers_alive, 0);
+    }
+
+    #[test]
+    fn run_with_a_live_worker_thread_folds_worker_results() {
+        let mut config = quick_config();
+        config.expect_workers = 1;
+        config.batch = 3;
+        let c = Arc::new(coordinator(6, config));
+        let driver = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || c.run())
+        };
+        // A worker fleet of one, driven directly against the API.
+        loop {
+            match c.lease("w1", 3).unwrap() {
+                LeaseReply::Done => break,
+                LeaseReply::Wait { retry } => {
+                    std::thread::sleep(retry.min(Duration::from_millis(5)));
+                }
+                LeaseReply::Units { units, .. } => {
+                    for u in units {
+                        complete_ok(&c, "w1", u);
+                    }
+                }
+            }
+        }
+        let doc = driver.join().unwrap().unwrap();
+        assert_eq!(doc.get("sum").and_then(Value::as_f64), Some(150.0));
+        let stats = c.stats();
+        assert_eq!(stats.completions_total, 6);
+        assert_eq!(
+            stats.local_units_total, 0,
+            "fallback ran despite a live fleet"
+        );
+    }
+}

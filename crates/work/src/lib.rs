@@ -1,0 +1,126 @@
+//! # accelwall-work
+//!
+//! The fault-tolerant distributed work tier: a **coordinator** that
+//! shards any registered [`Grid`](accelerator_wall::grids::Grid) into
+//! numbered, leased work units, and a **worker** runner that pulls
+//! those leases over the `accelwall serve` HTTP surface, computes them
+//! with the same `Program`/`Ctx` machinery a local run uses, and sends
+//! index-placed results back for the coordinator to fold
+//! byte-identically to a single-machine run.
+//!
+//! The robustness model is built on one invariant the grids guarantee:
+//! units are idempotent. That reduces every failure mode to "compute
+//! unit `i` again somewhere else":
+//!
+//! * **Lease expiry** — a worker that dies or goes silent misses its
+//!   heartbeat; the lease deadline passes and the unit is re-issued.
+//! * **Worker health** — consecutive unit failures trip a circuit
+//!   breaker that quarantines the worker; failed units re-lease after a
+//!   capped decorrelated-jitter backoff.
+//! * **Straggler hedging** — idle workers are handed a second copy of
+//!   the slowest outstanding units; the first completion wins and the
+//!   loser is counted as a duplicate, never a conflict.
+//! * **Graceful degradation** — with no live fleet (or past
+//!   `--work-deadline`) the coordinator finishes the remaining units on
+//!   the in-process `accelwall-par` pool.
+//!
+//! | Module | Role |
+//! |---|---|
+//! | [`protocol`] | the JSON lease/complete/heartbeat wire messages |
+//! | [`coordinator`] | lease table, health tracking, hedging, the run loop |
+//! | [`worker`] | the `--join` client: lease, compute, heartbeat, report |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub mod coordinator;
+pub mod protocol;
+pub mod worker;
+
+pub use coordinator::{Coordinator, WorkConfig, WorkStats};
+pub use protocol::{
+    CompleteReply, CompleteRequest, HeartbeatReply, HeartbeatRequest, LeaseReply, COMPLETE_PATH,
+    HEARTBEAT_PATH, LEASE_PATH,
+};
+pub use worker::{run_worker, WorkerConfig, WorkerReport};
+
+/// Any failure the distributed work tier can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkError {
+    /// A worker could not reach the coordinator (connect, send, or
+    /// receive failed) and exhausted its retry budget.
+    Transport {
+        /// What failed on the wire.
+        what: String,
+    },
+    /// A peer answered with a message the protocol does not define.
+    Protocol {
+        /// What was malformed.
+        what: String,
+    },
+    /// A unit failed more times than the coordinator's per-unit budget
+    /// allows — the failure is deterministic, not transient, so
+    /// re-issuing it forever would never converge.
+    Unit {
+        /// The unit index that kept failing.
+        unit: usize,
+        /// The last error the unit produced.
+        error: String,
+    },
+    /// A grid-layer failure outside any single unit (local fallback
+    /// compute, grid lookup).
+    Grid(accelerator_wall::error::Error),
+}
+
+impl fmt::Display for WorkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkError::Transport { what } => write!(f, "work transport failed: {what}"),
+            WorkError::Protocol { what } => write!(f, "work protocol violation: {what}"),
+            WorkError::Unit { unit, error } => {
+                write!(f, "unit {unit} exhausted its failure budget: {error}")
+            }
+            WorkError::Grid(e) => write!(f, "grid computation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkError::Grid(e) => Some(e),
+            WorkError::Transport { .. } | WorkError::Protocol { .. } | WorkError::Unit { .. } => {
+                None
+            }
+        }
+    }
+}
+
+impl From<accelerator_wall::error::Error> for WorkError {
+    fn from(e: accelerator_wall::error::Error) -> WorkError {
+        WorkError::Grid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_failure_and_chain_sources() {
+        let t = WorkError::Transport {
+            what: "connect refused".into(),
+        };
+        assert!(t.to_string().contains("connect refused"));
+        assert!(std::error::Error::source(&t).is_none());
+
+        let g = WorkError::from(accelerator_wall::error::Error::UnknownGrid {
+            id: "nope".into(),
+            known: vec!["sweep"],
+        });
+        assert!(g.to_string().contains("unknown grid"));
+        assert!(std::error::Error::source(&g).is_some());
+    }
+}

@@ -1,0 +1,417 @@
+//! The JSON wire messages of the work tier.
+//!
+//! Three POST routes, served by `accelwall serve`'s router when a
+//! coordinator is active and spoken by [`run_worker`](crate::run_worker):
+//!
+//! | Route | Request | Reply |
+//! |---|---|---|
+//! | [`LEASE_PATH`] | `{"worker","max"}` | [`LeaseReply`] |
+//! | [`COMPLETE_PATH`] | [`CompleteRequest`] | [`CompleteReply`] |
+//! | [`HEARTBEAT_PATH`] | [`HeartbeatRequest`] | [`HeartbeatReply`] |
+//!
+//! Every message is a small JSON object built from and parsed back into
+//! the typed structs here, so the coordinator and the worker cannot
+//! drift on field names. Durations cross the wire as integer
+//! milliseconds.
+
+use std::time::Duration;
+
+use accelerator_wall::json::Value;
+
+use crate::WorkError;
+
+/// Route a worker POSTs to ask for a batch of units.
+pub const LEASE_PATH: &str = "/work/lease";
+
+/// Route a worker POSTs a finished (or failed) unit to.
+pub const COMPLETE_PATH: &str = "/work/complete";
+
+/// Route a worker POSTs liveness to while holding leases.
+pub const HEARTBEAT_PATH: &str = "/work/heartbeat";
+
+/// Builds the lease request body.
+pub fn lease_request(worker: &str, max: usize) -> Value {
+    Value::object([("worker", Value::from(worker)), ("max", Value::from(max))])
+}
+
+/// Parses a lease request; returns `(worker, max)`.
+///
+/// # Errors
+///
+/// [`WorkError::Protocol`] when a field is missing or mistyped.
+pub fn parse_lease_request(body: &Value) -> Result<(String, usize), WorkError> {
+    let worker = field_str(body, "worker", "lease request")?;
+    let max = field_usize(body, "max", "lease request")?;
+    Ok((worker, max))
+}
+
+/// What a lease request comes back with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseReply {
+    /// A batch of unit indices, leased until `ttl` from now.
+    Units {
+        /// The grid the units index into.
+        grid: String,
+        /// The sweep-space marker (`"coarse"` or `"table3"`) the worker
+        /// must build its `Ctx` with — anything else and unit results
+        /// would not be byte-identical to the coordinator's fold.
+        space: String,
+        /// How long the lease lasts without a heartbeat.
+        ttl: Duration,
+        /// The leased unit indices.
+        units: Vec<usize>,
+    },
+    /// Nothing leasable right now (everything outstanding elsewhere, or
+    /// the asking worker is quarantined); ask again after `retry`.
+    Wait {
+        /// How long to sit out before the next lease request.
+        retry: Duration,
+    },
+    /// Every unit is done; the worker should exit.
+    Done,
+}
+
+impl LeaseReply {
+    /// Renders the reply body.
+    pub fn to_value(&self) -> Value {
+        match self {
+            LeaseReply::Units {
+                grid,
+                space,
+                ttl,
+                units,
+            } => Value::object([
+                ("status", Value::from("units")),
+                ("grid", Value::from(grid.as_str())),
+                ("space", Value::from(space.as_str())),
+                ("ttl_ms", Value::from(ttl.as_millis() as u64)),
+                ("units", Value::array(units.iter().map(|&u| Value::from(u)))),
+            ]),
+            LeaseReply::Wait { retry } => Value::object([
+                ("status", Value::from("wait")),
+                ("retry_ms", Value::from(retry.as_millis() as u64)),
+            ]),
+            LeaseReply::Done => Value::object([("status", Value::from("done"))]),
+        }
+    }
+
+    /// Parses a reply body.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkError::Protocol`] on an unknown status or missing field.
+    pub fn parse(body: &Value) -> Result<LeaseReply, WorkError> {
+        match body.get("status").and_then(Value::as_str) {
+            Some("units") => Ok(LeaseReply::Units {
+                grid: field_str(body, "grid", "lease reply")?,
+                space: field_str(body, "space", "lease reply")?,
+                ttl: Duration::from_millis(field_u64(body, "ttl_ms", "lease reply")?),
+                units: field_indices(body, "units", "lease reply")?,
+            }),
+            Some("wait") => Ok(LeaseReply::Wait {
+                retry: Duration::from_millis(field_u64(body, "retry_ms", "lease reply")?),
+            }),
+            Some("done") => Ok(LeaseReply::Done),
+            other => Err(WorkError::Protocol {
+                what: format!("lease reply has status {other:?}"),
+            }),
+        }
+    }
+}
+
+/// A worker reporting one unit's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompleteRequest {
+    /// The reporting worker.
+    pub worker: String,
+    /// The unit index the outcome is for.
+    pub unit: usize,
+    /// The unit's JSON result, or the error message it failed with.
+    pub outcome: Result<Value, String>,
+}
+
+impl CompleteRequest {
+    /// Renders the request body.
+    pub fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            ("worker", Value::from(self.worker.as_str())),
+            ("unit", Value::from(self.unit)),
+        ];
+        match &self.outcome {
+            Ok(result) => pairs.push(("result", result.clone())),
+            Err(error) => pairs.push(("error", Value::from(error.as_str()))),
+        }
+        Value::object(pairs)
+    }
+
+    /// Parses a request body.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkError::Protocol`] when neither `result` nor `error` is
+    /// present, or a field is mistyped.
+    pub fn parse(body: &Value) -> Result<CompleteRequest, WorkError> {
+        let worker = field_str(body, "worker", "complete request")?;
+        let unit = field_usize(body, "unit", "complete request")?;
+        let outcome = if let Some(result) = body.get("result") {
+            Ok(result.clone())
+        } else if let Some(error) = body.get("error").and_then(Value::as_str) {
+            Err(error.to_string())
+        } else {
+            return Err(WorkError::Protocol {
+                what: "complete request carries neither \"result\" nor \"error\"".into(),
+            });
+        };
+        Ok(CompleteRequest {
+            worker,
+            unit,
+            outcome,
+        })
+    }
+}
+
+/// The coordinator's answer to a completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompleteReply {
+    /// Whether the outcome was recorded (false only for out-of-range
+    /// units).
+    pub accepted: bool,
+    /// Whether another worker already completed this unit (hedging or
+    /// re-issue race; the result was discarded, which is fine — units
+    /// are idempotent).
+    pub duplicate: bool,
+    /// Whether every unit of the grid is now done.
+    pub done: bool,
+}
+
+impl CompleteReply {
+    /// Renders the reply body.
+    pub fn to_value(&self) -> Value {
+        Value::object([
+            ("accepted", Value::from(self.accepted)),
+            ("duplicate", Value::from(self.duplicate)),
+            ("done", Value::from(self.done)),
+        ])
+    }
+
+    /// Parses a reply body.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkError::Protocol`] on missing fields.
+    pub fn parse(body: &Value) -> Result<CompleteReply, WorkError> {
+        Ok(CompleteReply {
+            accepted: field_bool(body, "accepted", "complete reply")?,
+            duplicate: field_bool(body, "duplicate", "complete reply")?,
+            done: field_bool(body, "done", "complete reply")?,
+        })
+    }
+}
+
+/// A worker's liveness ping, listing the units it still holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeartbeatRequest {
+    /// The pinging worker.
+    pub worker: String,
+    /// Unit indices the worker believes it holds.
+    pub units: Vec<usize>,
+}
+
+impl HeartbeatRequest {
+    /// Renders the request body.
+    pub fn to_value(&self) -> Value {
+        Value::object([
+            ("worker", Value::from(self.worker.as_str())),
+            (
+                "units",
+                Value::array(self.units.iter().map(|&u| Value::from(u))),
+            ),
+        ])
+    }
+
+    /// Parses a request body.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkError::Protocol`] on missing fields.
+    pub fn parse(body: &Value) -> Result<HeartbeatRequest, WorkError> {
+        Ok(HeartbeatRequest {
+            worker: field_str(body, "worker", "heartbeat request")?,
+            units: field_indices(body, "units", "heartbeat request")?,
+        })
+    }
+}
+
+/// The coordinator's answer to a heartbeat.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeartbeatReply {
+    /// Units the worker should stop computing: already completed
+    /// elsewhere, or no longer leased to this worker.
+    pub abandon: Vec<usize>,
+    /// Whether every unit of the grid is now done.
+    pub done: bool,
+}
+
+impl HeartbeatReply {
+    /// Renders the reply body.
+    pub fn to_value(&self) -> Value {
+        Value::object([
+            (
+                "abandon",
+                Value::array(self.abandon.iter().map(|&u| Value::from(u))),
+            ),
+            ("done", Value::from(self.done)),
+        ])
+    }
+
+    /// Parses a reply body.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkError::Protocol`] on missing fields.
+    pub fn parse(body: &Value) -> Result<HeartbeatReply, WorkError> {
+        Ok(HeartbeatReply {
+            abandon: field_indices(body, "abandon", "heartbeat reply")?,
+            done: field_bool(body, "done", "heartbeat reply")?,
+        })
+    }
+}
+
+fn missing(message: &str, key: &str) -> WorkError {
+    WorkError::Protocol {
+        what: format!("{message} is missing field {key:?}"),
+    }
+}
+
+fn field_str(body: &Value, key: &str, message: &str) -> Result<String, WorkError> {
+    body.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| missing(message, key))
+}
+
+fn field_u64(body: &Value, key: &str, message: &str) -> Result<u64, WorkError> {
+    body.get(key)
+        .and_then(Value::as_f64)
+        .filter(|n| n.is_finite() && *n >= 0.0)
+        .map(|n| n as u64)
+        .ok_or_else(|| missing(message, key))
+}
+
+fn field_usize(body: &Value, key: &str, message: &str) -> Result<usize, WorkError> {
+    field_u64(body, key, message).map(|n| n as usize)
+}
+
+fn field_bool(body: &Value, key: &str, message: &str) -> Result<bool, WorkError> {
+    body.get(key)
+        .and_then(Value::as_bool)
+        .ok_or_else(|| missing(message, key))
+}
+
+fn field_indices(body: &Value, key: &str, message: &str) -> Result<Vec<usize>, WorkError> {
+    let items = body
+        .get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| missing(message, key))?;
+    items
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .filter(|n| n.is_finite() && *n >= 0.0)
+                .map(|n| n as usize)
+                .ok_or_else(|| WorkError::Protocol {
+                    what: format!("{message} field {key:?} holds a non-index element"),
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) -> Value {
+        Value::parse(&v.pretty()).unwrap()
+    }
+
+    #[test]
+    fn lease_replies_round_trip() {
+        for reply in [
+            LeaseReply::Units {
+                grid: "sweep".into(),
+                space: "coarse".into(),
+                ttl: Duration::from_millis(1500),
+                units: vec![0, 7, 3],
+            },
+            LeaseReply::Wait {
+                retry: Duration::from_millis(40),
+            },
+            LeaseReply::Done,
+        ] {
+            let parsed = LeaseReply::parse(&round_trip(&reply.to_value())).unwrap();
+            assert_eq!(parsed, reply);
+        }
+    }
+
+    #[test]
+    fn complete_messages_round_trip_both_outcomes() {
+        for outcome in [
+            Ok(Value::object([("x", Value::from(1.5))])),
+            Err("unit exploded".to_string()),
+        ] {
+            let req = CompleteRequest {
+                worker: "w1".into(),
+                unit: 9,
+                outcome,
+            };
+            let parsed = CompleteRequest::parse(&round_trip(&req.to_value())).unwrap();
+            assert_eq!(parsed, req);
+        }
+        let reply = CompleteReply {
+            accepted: true,
+            duplicate: true,
+            done: false,
+        };
+        assert_eq!(
+            CompleteReply::parse(&round_trip(&reply.to_value())).unwrap(),
+            reply
+        );
+    }
+
+    #[test]
+    fn heartbeat_messages_round_trip() {
+        let req = HeartbeatRequest {
+            worker: "w2".into(),
+            units: vec![4, 5],
+        };
+        assert_eq!(
+            HeartbeatRequest::parse(&round_trip(&req.to_value())).unwrap(),
+            req
+        );
+        let reply = HeartbeatReply {
+            abandon: vec![5],
+            done: true,
+        };
+        assert_eq!(
+            HeartbeatReply::parse(&round_trip(&reply.to_value())).unwrap(),
+            reply
+        );
+    }
+
+    #[test]
+    fn malformed_messages_name_the_missing_field() {
+        let err =
+            LeaseReply::parse(&Value::object([("status", Value::from("units"))])).unwrap_err();
+        assert!(err.to_string().contains("\"grid\""), "{err}");
+
+        let err = CompleteRequest::parse(&Value::object([
+            ("worker", Value::from("w")),
+            ("unit", Value::from(1u64)),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("neither"), "{err}");
+
+        let err = LeaseReply::parse(&Value::object([("status", Value::from("nope"))])).unwrap_err();
+        assert!(err.to_string().contains("nope"), "{err}");
+    }
+}

@@ -1,0 +1,456 @@
+//! The worker runner: the `accelwall work --join URL` client.
+//!
+//! A worker is the same binary as the coordinator pointed at a
+//! coordinator's HTTP address. It loops lease → heartbeat → compute →
+//! complete until the coordinator answers `done`, building its `Ctx`
+//! once from the lease's sweep-space marker so every unit it computes
+//! is byte-identical to what a local run would have produced.
+//!
+//! Transport robustness mirrors the coordinator's: every POST retries
+//! with capped decorrelated-jitter backoff, 5xx answers (load shedding,
+//! injected `work-lease` faults) count as transient, and once the
+//! worker has successfully spoken to the coordinator, a permanently
+//! unreachable coordinator is treated as "run finished, coordinator
+//! exited" rather than an error — workers must outlive their
+//! coordinator gracefully.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use accelerator_wall::cache::Ctx;
+use accelerator_wall::grids::{Grid, GridRegistry};
+use accelerator_wall::json::Value;
+use accelerator_wall::prelude::SweepSpace;
+use accelwall_stats::rng::{decorrelated_backoff, Rng};
+
+use crate::protocol::{
+    lease_request, CompleteReply, CompleteRequest, HeartbeatReply, HeartbeatRequest, LeaseReply,
+    COMPLETE_PATH, HEARTBEAT_PATH, LEASE_PATH,
+};
+use crate::WorkError;
+
+/// Tuning knobs for one worker.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// The coordinator's address (`host:port`, an `http://` prefix is
+    /// tolerated).
+    pub coordinator: String,
+    /// The name this worker leases under; must be unique in the fleet.
+    pub name: String,
+    /// Units asked for per lease request.
+    pub batch: usize,
+    /// Read/write timeout on each coordinator connection.
+    pub io_timeout: Duration,
+    /// Base of the transport retry backoff.
+    pub backoff_base: Duration,
+    /// Cap of the transport retry backoff.
+    pub backoff_cap: Duration,
+    /// Consecutive transport failures tolerated before giving up on the
+    /// coordinator.
+    pub max_transport_failures: u32,
+}
+
+impl WorkerConfig {
+    /// A default-tuned worker pointed at `coordinator`, named after the
+    /// process id.
+    pub fn new(coordinator: impl Into<String>) -> WorkerConfig {
+        WorkerConfig {
+            coordinator: coordinator.into(),
+            name: format!("worker-{}", std::process::id()),
+            batch: 2,
+            io_timeout: Duration::from_secs(10),
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(1),
+            max_transport_failures: 5,
+        }
+    }
+}
+
+/// What one worker did over its lifetime, printed by the CLI on exit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Units leased to this worker.
+    pub leased: u64,
+    /// Units computed and completed successfully.
+    pub computed: u64,
+    /// Units whose compute failed (reported to the coordinator).
+    pub failed: u64,
+    /// Units abandoned because a heartbeat said they were done or
+    /// re-issued elsewhere.
+    pub abandoned: u64,
+}
+
+/// Runs one worker against `config.coordinator` until the coordinator
+/// reports the run done (or goes away after having been reachable).
+///
+/// # Errors
+///
+/// [`WorkError::Transport`] when the coordinator was never reachable,
+/// [`WorkError::Protocol`] on malformed replies, [`WorkError::Grid`]
+/// when the leased grid or space is unknown to this build.
+pub fn run_worker(config: &WorkerConfig) -> Result<WorkerReport, WorkError> {
+    WorkerRunner::new(config.clone()).drive()
+}
+
+/// Computes one leased unit. Probes the `work-compute` fault site
+/// first: an `err` fault becomes a reported unit failure, and a `panic`
+/// fault kills the worker mid-batch — exactly the crash the
+/// coordinator's lease expiry must absorb — so the probe's panic is
+/// deliberately left uncontained.
+fn compute_unit(grid: &Arc<dyn Grid>, ctx: &Arc<Ctx>, unit: usize) -> Result<Value, String> {
+    accelwall_faults::probe(accelwall_faults::sites::WORK_COMPUTE).map_err(|e| e.to_string())?;
+    grid.compute(ctx, unit).map_err(|e| e.to_string())
+}
+
+/// The state one worker loop carries: transport health, the cached
+/// grid + `Ctx`, and the lifetime report.
+struct WorkerRunner {
+    config: WorkerConfig,
+    /// Normalized `host:port` the HTTP client dials.
+    addr: String,
+    /// Whether any request has ever succeeded; gates the "coordinator
+    /// exited" interpretation of an unreachable peer.
+    connected: bool,
+    /// Jitter stream for transport backoff. Seeded from the process
+    /// id, not the clock.
+    jitter: Rng,
+    /// `(grid id, space)` the cached pair below was built for.
+    cached_for: Option<(String, String)>,
+    grid: Option<Arc<dyn Grid>>,
+    ctx: Option<Arc<Ctx>>,
+    report: WorkerReport,
+}
+
+impl WorkerRunner {
+    fn new(config: WorkerConfig) -> WorkerRunner {
+        let addr = normalize_addr(&config.coordinator);
+        WorkerRunner {
+            addr,
+            connected: false,
+            jitter: Rng::seed(
+                u64::from(std::process::id()).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+            ),
+            cached_for: None,
+            grid: None,
+            ctx: None,
+            report: WorkerReport::default(),
+            config,
+        }
+    }
+
+    fn drive(mut self) -> Result<WorkerReport, WorkError> {
+        loop {
+            let ask = lease_request(&self.config.name, self.config.batch.max(1));
+            let Some(reply) = self.post_with_retry(LEASE_PATH, &ask)? else {
+                break; // coordinator exited after we had spoken to it
+            };
+            match LeaseReply::parse(&reply)? {
+                LeaseReply::Done => break,
+                LeaseReply::Wait { retry } => {
+                    std::thread::sleep(
+                        retry.clamp(Duration::from_millis(5), Duration::from_secs(2)),
+                    );
+                }
+                LeaseReply::Units {
+                    grid,
+                    space,
+                    ttl: _,
+                    units,
+                } => {
+                    self.ensure_context(&grid, &space)?;
+                    self.report.leased += units.len() as u64;
+                    if self.work_batch(units)? {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(self.report)
+    }
+
+    /// Builds (or reuses) the grid + `Ctx` pair the lease names. The
+    /// space marker must match the coordinator's, or unit results would
+    /// not fold byte-identically.
+    fn ensure_context(&mut self, grid: &str, space: &str) -> Result<(), WorkError> {
+        if self
+            .cached_for
+            .as_ref()
+            .is_some_and(|(g, s)| g == grid && s == space)
+        {
+            return Ok(());
+        }
+        let resolved = GridRegistry::standard().get(grid)?;
+        let ctx = match space {
+            "coarse" => Ctx::with_space(SweepSpace::coarse()),
+            "table3" => Ctx::new(),
+            other => {
+                return Err(WorkError::Protocol {
+                    what: format!("lease names unknown sweep space {other:?}"),
+                })
+            }
+        };
+        self.cached_for = Some((grid.to_string(), space.to_string()));
+        self.grid = Some(resolved);
+        self.ctx = Some(Arc::new(ctx));
+        Ok(())
+    }
+
+    /// Heartbeats, computes, and completes one leased batch. Returns
+    /// `true` when the coordinator reported the whole run done.
+    fn work_batch(&mut self, units: Vec<usize>) -> Result<bool, WorkError> {
+        let (Some(grid), Some(ctx)) = (self.grid.clone(), self.ctx.clone()) else {
+            return Err(WorkError::Protocol {
+                what: "batch granted before any grid context".into(),
+            });
+        };
+        let mut remaining = units;
+        while !remaining.is_empty() {
+            let beat = self.heartbeat(&remaining)?;
+            if beat.done {
+                self.report.abandoned += remaining.len() as u64;
+                return Ok(true);
+            }
+            if !beat.abandon.is_empty() {
+                let before = remaining.len();
+                remaining.retain(|u| !beat.abandon.contains(u));
+                self.report.abandoned += (before - remaining.len()) as u64;
+            }
+            let Some(&unit) = remaining.first() else {
+                break;
+            };
+            let outcome = compute_unit(&grid, &ctx, unit);
+            match &outcome {
+                Ok(_) => self.report.computed += 1,
+                Err(_) => self.report.failed += 1,
+            }
+            let request = CompleteRequest {
+                worker: self.config.name.clone(),
+                unit,
+                outcome,
+            };
+            let Some(reply) = self.post_with_retry(COMPLETE_PATH, &request.to_value())? else {
+                return Ok(true); // coordinator exited; nothing left to report to
+            };
+            let reply = CompleteReply::parse(&reply)?;
+            remaining.retain(|u| *u != unit);
+            if reply.done {
+                self.report.abandoned += remaining.len() as u64;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Sends one liveness ping for the units still held. Probes the
+    /// `work-heartbeat` fault site first: a `hang` here silences the
+    /// worker past its lease deadline (the coordinator must expire and
+    /// re-issue), and an `err` models a ping lost on the wire — the
+    /// beat is skipped, not fatal. Transport failures are likewise
+    /// best-effort: the next lease or complete will surface them.
+    fn heartbeat(&mut self, units: &[usize]) -> Result<HeartbeatReply, WorkError> {
+        let silent = HeartbeatReply {
+            abandon: Vec::new(),
+            done: false,
+        };
+        if accelwall_faults::probe(accelwall_faults::sites::WORK_HEARTBEAT).is_err() {
+            return Ok(silent);
+        }
+        let request = HeartbeatRequest {
+            worker: self.config.name.clone(),
+            units: units.to_vec(),
+        };
+        match self.post(HEARTBEAT_PATH, &request.to_value()) {
+            Ok((200, body)) => HeartbeatReply::parse(&parse_json(HEARTBEAT_PATH, &body)?),
+            Ok(_) | Err(_) => Ok(silent),
+        }
+    }
+
+    /// POSTs `body`, retrying transport failures and 5xx answers with
+    /// capped decorrelated-jitter backoff. `Ok(None)` means the
+    /// coordinator has gone away after previously being reachable —
+    /// the worker's signal to exit cleanly.
+    fn post_with_retry(&mut self, path: &str, body: &Value) -> Result<Option<Value>, WorkError> {
+        let mut failures = 0u32;
+        let mut backoff = Duration::ZERO;
+        loop {
+            let soft = match self.post(path, body) {
+                Ok((200, text)) => {
+                    self.connected = true;
+                    return parse_json(path, &text).map(Some);
+                }
+                Ok((status, _)) if status >= 500 => WorkError::Transport {
+                    what: format!("{path} answered transient status {status}"),
+                },
+                Ok((status, text)) => {
+                    return Err(WorkError::Protocol {
+                        what: format!("{path} answered {status}: {}", text.trim()),
+                    })
+                }
+                Err(e) => e,
+            };
+            failures += 1;
+            if failures > self.config.max_transport_failures {
+                return if self.connected { Ok(None) } else { Err(soft) };
+            }
+            backoff = decorrelated_backoff(
+                &mut self.jitter,
+                self.config.backoff_base,
+                self.config.backoff_cap,
+                backoff,
+            );
+            std::thread::sleep(backoff);
+        }
+    }
+
+    /// One `POST path` round trip: connect, send, half-close, read the
+    /// full answer. Returns `(status, body)`.
+    fn post(&self, path: &str, body: &Value) -> Result<(u16, String), WorkError> {
+        let transport = |what: String| WorkError::Transport { what };
+        let payload = body.pretty();
+        let stream = TcpStream::connect(&self.addr)
+            .map_err(|e| transport(format!("connect {}: {e}", self.addr)))?;
+        stream
+            .set_read_timeout(Some(self.config.io_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.config.io_timeout)))
+            .map_err(|e| transport(format!("socket timeouts: {e}")))?;
+        let mut stream = stream;
+        let request = format!(
+            "POST {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+            self.addr,
+            payload.len(),
+        );
+        stream
+            .write_all(request.as_bytes())
+            .and_then(|()| stream.shutdown(Shutdown::Write))
+            .map_err(|e| transport(format!("send {path}: {e}")))?;
+        let mut raw = String::new();
+        stream
+            .read_to_string(&mut raw)
+            .map_err(|e| transport(format!("receive {path}: {e}")))?;
+        parse_response(&raw)
+    }
+}
+
+/// Strips an `http://` prefix and trailing slashes off a coordinator
+/// address, leaving the `host:port` the socket dials.
+fn normalize_addr(coordinator: &str) -> String {
+    coordinator
+        .trim()
+        .trim_start_matches("http://")
+        .trim_end_matches('/')
+        .to_string()
+}
+
+/// Splits a raw HTTP/1.1 response into `(status, body)`.
+fn parse_response(raw: &str) -> Result<(u16, String), WorkError> {
+    let violation = |what: String| WorkError::Protocol { what };
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| violation("response has no parsable status line".into()))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map_or("", |(_, body)| body)
+        .to_string();
+    Ok((status, body))
+}
+
+/// Parses a 200 body as JSON, labeling failures with the route.
+fn parse_json(path: &str, body: &str) -> Result<Value, WorkError> {
+    Value::parse(body).map_err(|e| WorkError::Protocol {
+        what: format!("{path} answered unparsable JSON: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+    use std::net::TcpListener;
+
+    #[test]
+    fn addresses_normalize_to_host_port() {
+        assert_eq!(normalize_addr("http://127.0.0.1:8390/"), "127.0.0.1:8390");
+        assert_eq!(normalize_addr(" 10.0.0.2:80 "), "10.0.0.2:80");
+        assert_eq!(normalize_addr("localhost:1"), "localhost:1");
+    }
+
+    #[test]
+    fn responses_split_into_status_and_body() {
+        let (status, body) =
+            parse_response("HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\n\r\nshed\n")
+                .unwrap();
+        assert_eq!(status, 503);
+        assert_eq!(body, "shed\n");
+        assert!(parse_response("garbage").is_err());
+    }
+
+    /// Accepts `hits` connections, answering each with `replies[i]`.
+    fn fake_coordinator(replies: Vec<String>) -> (String, std::thread::JoinHandle<Vec<String>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            for reply in replies {
+                let (stream, _) = listener.accept().unwrap();
+                let mut reader = std::io::BufReader::new(stream);
+                let mut request = String::new();
+                // Connection: close + client half-close means EOF marks
+                // the end of the request.
+                loop {
+                    let mut line = String::new();
+                    if reader.read_line(&mut line).unwrap() == 0 {
+                        break;
+                    }
+                    request.push_str(&line);
+                }
+                seen.push(request);
+                let mut stream = reader.into_inner();
+                let http = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{reply}",
+                    reply.len()
+                );
+                stream.write_all(http.as_bytes()).unwrap();
+            }
+            seen
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn a_worker_exits_cleanly_on_done() {
+        let (addr, server) = fake_coordinator(vec![LeaseReply::Done.to_value().pretty()]);
+        let mut config = WorkerConfig::new(addr);
+        config.name = "w-test".into();
+        let report = run_worker(&config).unwrap();
+        assert_eq!(report, WorkerReport::default());
+        let seen = server.join().unwrap();
+        assert!(
+            seen[0].starts_with("POST /work/lease HTTP/1.1\r\n"),
+            "{}",
+            seen[0]
+        );
+        assert!(seen[0].contains("\"worker\": \"w-test\""), "{}", seen[0]);
+    }
+
+    #[test]
+    fn an_unreachable_coordinator_is_a_transport_error() {
+        // Bind-then-drop guarantees a dead port.
+        let port = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().port()
+        };
+        let mut config = WorkerConfig::new(format!("127.0.0.1:{port}"));
+        config.max_transport_failures = 1;
+        config.backoff_base = Duration::from_millis(1);
+        config.backoff_cap = Duration::from_millis(2);
+        match run_worker(&config) {
+            Err(WorkError::Transport { what }) => assert!(what.contains("connect"), "{what}"),
+            other => panic!("expected transport error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Chaos tests of the distributed work tier (`accelwall work`): a
+//! coordinator process plus a worker fleet where one worker is killed
+//! mid-batch by an injected `work-compute` panic and another's
+//! heartbeat hangs past the lease TTL — the folded sweep document must
+//! still come out byte-identical to a single-machine run, with the
+//! lease re-issues visible in the coordinator's summary. Also covers
+//! the zero-worker local fallback, role-flag validation, and the
+//! unknown-grid roster error.
+
+use std::io::{BufRead, BufReader, Read};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+
+use accelerator_wall::cache::Ctx;
+use accelerator_wall::grids::{run_local, GridRegistry};
+use accelerator_wall::prelude::SweepSpace;
+
+/// What one grid's single-machine run prints: the document the
+/// coordinator's distributed fold must reproduce byte for byte.
+fn local_baseline(grid_id: &str) -> String {
+    let grid = GridRegistry::standard().get(grid_id).expect("known grid");
+    let ctx = Arc::new(Ctx::with_space(SweepSpace::coarse()));
+    let mut doc = run_local(&grid, &ctx).expect("local run").pretty();
+    doc.push('\n');
+    doc
+}
+
+/// Spawns the `accelwall` binary with piped stdout/stderr.
+fn accelwall(args: &[&str], faults: Option<&str>) -> Child {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_accelwall"));
+    command
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    if let Some(plan) = faults {
+        command.env("ACCELWALL_FAULTS", plan);
+    }
+    command.spawn().expect("accelwall spawns")
+}
+
+/// Pulls `key=value` off a coordinator summary line.
+fn summary_count(summary: &str, key: &str) -> u64 {
+    summary
+        .split_whitespace()
+        .find_map(|token| token.strip_prefix(&format!("{key}=")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no {key}= in summary {summary:?}"))
+}
+
+#[test]
+fn a_chaotic_fleet_still_folds_byte_identical_output() {
+    // Coordinator: coarse sweep grid, short leases so the dead and the
+    // hung worker both expire quickly, two workers expected so the
+    // local-fallback cutover never races the fleet.
+    let mut coordinator = accelwall(
+        &[
+            "work",
+            "--grid",
+            "sweep",
+            "--quick",
+            "--addr",
+            "127.0.0.1:0",
+            "--lease-ms",
+            "500",
+            "--expect-workers",
+            "2",
+        ],
+        None,
+    );
+    let stderr = coordinator.stderr.take().expect("stderr piped");
+    let mut stderr = BufReader::new(stderr);
+    let mut banner = String::new();
+    stderr
+        .read_line(&mut banner)
+        .expect("a coordinating banner");
+    let addr = banner
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in banner {banner:?}"))
+        .to_string();
+    // Drain the rest of the coordinator's stderr on a thread so a full
+    // stdout pipe can never deadlock against it.
+    let stderr_rest = std::thread::spawn(move || {
+        let mut rest = String::new();
+        stderr.read_to_string(&mut rest).ok();
+        rest
+    });
+
+    // Worker A dies mid-batch: its first unit compute panics, killing
+    // the process while it holds leases. Worker B's first heartbeat
+    // hangs for 2 s — four lease TTLs — so its units expire and
+    // re-issue while it is stalled, and its eventual completions land
+    // as duplicates.
+    let mut victim = accelwall(&["work", "--join", &addr], Some("work-compute:panic:1"));
+    let mut straggler = accelwall(&["work", "--join", &addr], Some("work-heartbeat:hang:2s"));
+
+    let output = coordinator.wait_with_output().expect("coordinator exits");
+    let summary = stderr_rest.join().expect("stderr drains");
+    assert!(
+        output.status.success(),
+        "coordinator failed: {banner}{summary}"
+    );
+
+    // The folded document is byte-identical to the single-machine run.
+    let document = String::from_utf8(output.stdout).expect("stdout is UTF-8");
+    assert_eq!(
+        document,
+        local_baseline("sweep"),
+        "distributed fold diverged from the local baseline"
+    );
+
+    // The victim's death (and the straggler's stall) forced at least
+    // one lease expiry and re-issue, and everything still finished.
+    let done = summary
+        .lines()
+        .find(|line| line.contains("accelwall work done"))
+        .unwrap_or_else(|| panic!("no summary line in {summary:?}"));
+    assert!(summary_count(done, "reissues") >= 1, "{done}");
+    assert_eq!(summary_count(done, "units"), 12, "{done}");
+
+    // The victim died panicking; the straggler finished and exited
+    // cleanly once the coordinator said done (or went away).
+    let victim_status = victim.wait().expect("victim exits");
+    assert!(!victim_status.success(), "the panic fault never fired");
+    let straggler_status = straggler.wait().expect("straggler exits");
+    assert!(straggler_status.success(), "straggler exited uncleanly");
+}
+
+#[test]
+fn a_coordinator_with_no_workers_falls_back_to_local_compute() {
+    let output = accelwall(
+        &[
+            "work",
+            "--grid",
+            "sensitivity",
+            "--quick",
+            "--addr",
+            "127.0.0.1:0",
+            "--work-deadline-ms",
+            "1",
+        ],
+        None,
+    )
+    .wait_with_output()
+    .expect("coordinator exits");
+    assert!(output.status.success());
+    let document = String::from_utf8(output.stdout).expect("stdout is UTF-8");
+    assert_eq!(document, local_baseline("sensitivity"));
+    let summary = String::from_utf8_lossy(&output.stderr).to_string();
+    let done = summary
+        .lines()
+        .find(|line| line.contains("accelwall work done"))
+        .unwrap_or_else(|| panic!("no summary line in {summary:?}"));
+    assert_eq!(summary_count(done, "local"), 8, "{done}");
+}
+
+#[test]
+fn work_requires_exactly_one_role_flag() {
+    for (args, expected) in [
+        (vec!["work"], "--grid ID"),
+        (
+            vec!["work", "--grid", "sweep", "--join", "127.0.0.1:1"],
+            "mutually exclusive",
+        ),
+        (
+            vec!["work", "--join", "127.0.0.1:1", "--quick"],
+            "only --join and --threads",
+        ),
+        (
+            vec!["all", "--grid", "sweep"],
+            "only apply to `accelwall work`",
+        ),
+    ] {
+        let output = accelwall(&args, None)
+            .wait_with_output()
+            .expect("accelwall exits");
+        assert!(!output.status.success(), "{args:?} unexpectedly succeeded");
+        let stderr = String::from_utf8_lossy(&output.stderr).to_string();
+        assert!(stderr.contains(expected), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn an_unknown_grid_fails_with_the_roster() {
+    let output = accelwall(&["work", "--grid", "nope"], None)
+        .wait_with_output()
+        .expect("accelwall exits");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr).to_string();
+    assert!(stderr.contains("unknown grid"), "{stderr}");
+    for id in GridRegistry::standard().ids() {
+        assert!(stderr.contains(id), "roster missing {id}: {stderr}");
+    }
+}
