@@ -25,11 +25,19 @@ pub struct Site {
     pub effect: &'static str,
 }
 
-/// `accelwall serve` probes this once per accepted connection, before
-/// routing: a `panic` here dies *on the pool worker thread* (exercising
-/// worker respawn), an `err` answers the connection with a 500, and a
-/// `hang` occupies the worker for the configured duration.
+/// `accelwall serve` probes this once per parsed request, at the top of
+/// the pool's compute handler: a `panic` here dies *on the pool worker
+/// thread* (exercising worker respawn — the reactor closes the client's
+/// connection), an `err` answers the request with a 500, and a `hang`
+/// occupies the worker for the configured duration.
 pub const SERVE_REQUEST: &str = "serve-request";
+
+/// The connection reactor probes this once per accepted connection,
+/// before registering it: an `err` here sheds the connection with an
+/// immediate `503` + close (the same shape as the concurrent-connection
+/// cap firing), and a `panic` is contained by the reactor — the
+/// connection is dropped, the event loop survives.
+pub const SERVE_CONN: &str = "serve-conn";
 
 /// The query engine probes this at admission, before reserving cost
 /// units: an `err` here sheds the query (503 on the wire) exactly as a
@@ -66,8 +74,13 @@ pub const WORK_HEARTBEAT: &str = "work-heartbeat";
 pub const ROSTER: &[Site] = &[
     Site {
         name: SERVE_REQUEST,
-        location: "crates/server/src/lib.rs::handle_connection",
+        location: "crates/server/src/lib.rs::compute_response",
         effect: "a request handler failing on the worker thread itself",
+    },
+    Site {
+        name: SERVE_CONN,
+        location: "crates/server/src/reactor.rs::Reactor::accept_burst",
+        effect: "connection-level chaos at accept (shed or dropped, reactor survives)",
     },
     Site {
         name: QUERY_CACHE_ADMIT,

@@ -250,16 +250,24 @@ mod tests {
 
     #[test]
     fn a_probe_via_sites_const_counts_for_the_roster() {
-        let sites_src = "pub const SERVE_REQUEST: &str = \"serve-request\";\n\
-                         pub const QUERY_CACHE_ADMIT: &str = \"query-cache-admit\";\n\
-                         pub const QUERY_COMPUTE: &str = \"query-compute\";\n";
-        let server_src = "fn f() {\n\
-                          \x20   let _ = accelwall_faults::probe(sites::SERVE_REQUEST);\n\
-                          \x20   let _ = accelwall_faults::probe(sites::QUERY_CACHE_ADMIT);\n\
-                          \x20   let _ = accelwall_faults::probe(sites::QUERY_COMPUTE);\n}\n";
+        // Build the fixture from the real roster, so adding a site to
+        // `sites::ROSTER` cannot silently invalidate this test: every
+        // rostered site gets a const declaration and a probe through it.
+        use std::fmt::Write as _;
+        let mut sites_src = String::new();
+        let mut server_src = String::from("fn f() {\n");
+        for site in sites::ROSTER {
+            let ident = site.name.replace('-', "_").to_uppercase();
+            let _ = writeln!(sites_src, "pub const {ident}: &str = \"{}\";", site.name);
+            let _ = writeln!(
+                server_src,
+                "    let _ = accelwall_faults::probe(sites::{ident});"
+            );
+        }
+        server_src.push_str("}\n");
         let ws = workspace(&[
-            ("crates/faults/src/sites.rs", sites_src),
-            ("crates/server/src/lib.rs", server_src),
+            ("crates/faults/src/sites.rs", sites_src.as_str()),
+            ("crates/server/src/lib.rs", server_src.as_str()),
         ]);
         assert!(FaultSites.check(&ws).is_empty());
     }

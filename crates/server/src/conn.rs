@@ -1,0 +1,427 @@
+//! Per-connection state for the reactor: buffered reads, pipelined
+//! sequencing, and vectored write-out.
+//!
+//! A [`Conn`] owns one nonblocking [`TcpStream`] and the pure state
+//! machine around it; all *policy* (routing, fast-path lookups, pool
+//! dispatch, timeouts, metrics) lives in the reactor. The lifecycle:
+//!
+//! ```text
+//!            fill()                parse_next()
+//! socket ──► read_buf ──► Request(seq=0,1,2,...) ──► reactor
+//!                                                      │ compute (inline or pool)
+//!            flush()               enqueue(seq)        ▼
+//! socket ◄── write_queue ◄── (in seq order) ◄── parked out-of-order
+//! ```
+//!
+//! Responses may complete out of order (a pipelined cache hit behind a
+//! slow compute); `enqueue` parks them until their sequence number is
+//! next, so write-out order always equals request order — the HTTP/1.1
+//! pipelining contract. `flush` gathers several queued responses into
+//! one `write_vectored` call, so a pipelined burst costs ~one syscall,
+//! not two per response.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, IoSlice, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metrics::Route;
+use crate::respcache::CachedResponse;
+
+/// Outstanding responses (in flight, parked, or queued) one connection
+/// may accumulate before the reactor stops parsing more of its
+/// pipeline; the read buffer then backs TCP flow control up to the
+/// client.
+pub(crate) const PIPELINE_CAP: usize = 64;
+
+/// Read-buffer high-water mark: past this the reactor stops draining
+/// the socket until the parser catches up.
+pub(crate) const READ_BUF_CAP: usize = 256 * 1024;
+
+/// Queued responses gathered into a single `write_vectored` call.
+const WRITEV_BATCH: usize = 16;
+
+/// The bytes of one response: rendered fresh, or shared out of the
+/// pre-serialized response cache (zero copies on the warm path).
+pub(crate) enum Payload {
+    /// A response rendered for this request alone.
+    Owned {
+        /// Header block ending in `\r\n\r\n`.
+        head: Vec<u8>,
+        /// Body bytes.
+        body: Vec<u8>,
+    },
+    /// A shared cache entry; `keep_alive` picks the header variant.
+    Cached {
+        /// The shared pre-serialized entry.
+        entry: Arc<CachedResponse>,
+        /// Which precomputed header block to send.
+        keep_alive: bool,
+    },
+}
+
+impl Payload {
+    fn head(&self) -> &[u8] {
+        match self {
+            Payload::Owned { head, .. } => head,
+            Payload::Cached { entry, keep_alive } => {
+                if *keep_alive {
+                    &entry.head_keep
+                } else {
+                    &entry.head_close
+                }
+            }
+        }
+    }
+
+    fn body(&self) -> &[u8] {
+        match self {
+            Payload::Owned { body, .. } => body,
+            Payload::Cached { entry, .. } => &entry.body,
+        }
+    }
+}
+
+/// One response staged for write-out.
+pub(crate) struct Outgoing {
+    pub payload: Payload,
+    /// Close the connection once this response is fully flushed.
+    pub close_after: bool,
+    pub route: Route,
+    pub status: u16,
+    /// When the request was parsed; latency is observed at flush.
+    pub started: Instant,
+    head_off: usize,
+    body_off: usize,
+}
+
+impl Outgoing {
+    pub fn new(
+        payload: Payload,
+        close_after: bool,
+        route: Route,
+        status: u16,
+        started: Instant,
+    ) -> Outgoing {
+        Outgoing {
+            payload,
+            close_after,
+            route,
+            status,
+            started,
+            head_off: 0,
+            body_off: 0,
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        (self.payload.head().len() - self.head_off) + (self.payload.body().len() - self.body_off)
+    }
+}
+
+/// Metadata of a fully-flushed response, drained by the reactor for
+/// metrics observation.
+pub(crate) struct Flushed {
+    pub route: Route,
+    pub status: u16,
+    pub started: Instant,
+    pub close_after: bool,
+}
+
+/// What one `fill` pass over the socket did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FillOutcome {
+    /// New bytes landed in the read buffer.
+    Progress,
+    /// Nothing available right now (`WouldBlock`) or buffer at cap.
+    Idle,
+}
+
+/// One client connection's full state; see the module docs.
+pub(crate) struct Conn {
+    pub stream: TcpStream,
+    pub read_buf: Vec<u8>,
+    /// Requests parsed off this connection so far (keep-alive reuse is
+    /// `requests_parsed > 1`).
+    pub requests_parsed: u64,
+    /// Requests handed to the pool and not yet completed.
+    pub in_flight: usize,
+    /// Advanced by any read or write progress; the reactor's idle and
+    /// stall timeouts measure from here.
+    pub last_activity: Instant,
+    /// No further requests will be parsed (close requested or parse
+    /// error); pending responses still flush.
+    pub stop_parsing: bool,
+    /// The sequence number whose response closes the connection
+    /// (`Connection: close` honored in pipeline order).
+    pub close_at: Option<u64>,
+    /// The client half-closed; finish flushing, then close.
+    pub read_closed: bool,
+    /// Fatal socket error or abort: reap without further I/O.
+    pub dead: bool,
+    /// Sequence number assigned to the next parsed request.
+    next_seq: u64,
+    /// Sequence number the write queue admits next.
+    next_write: u64,
+    /// Completed responses waiting for earlier sequence numbers.
+    parked: Vec<(u64, Outgoing)>,
+    /// In-order responses being flushed.
+    write_queue: VecDeque<Outgoing>,
+    /// Fully-flushed response metadata awaiting metrics observation.
+    flushed: Vec<Flushed>,
+}
+
+impl Conn {
+    /// Adopts an accepted stream: nonblocking (the reactor never waits
+    /// on one socket) and `TCP_NODELAY` (keep-alive round trips must
+    /// not sit out a Nagle delay).
+    pub fn new(stream: TcpStream, now: Instant) -> std::io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            stream,
+            read_buf: Vec::new(),
+            requests_parsed: 0,
+            in_flight: 0,
+            last_activity: now,
+            stop_parsing: false,
+            close_at: None,
+            read_closed: false,
+            dead: false,
+            next_seq: 0,
+            next_write: 0,
+            parked: Vec::new(),
+            write_queue: VecDeque::new(),
+            flushed: Vec::new(),
+        })
+    }
+
+    /// Responses not yet fully flushed (pool, parked, or queued).
+    pub fn outstanding(&self) -> usize {
+        self.in_flight + self.parked.len() + self.write_queue.len()
+    }
+
+    /// Whether nothing is buffered or pending: the connection is parked
+    /// between requests (the idle-timeout state).
+    pub fn is_idle(&self) -> bool {
+        self.outstanding() == 0 && self.read_buf.is_empty()
+    }
+
+    /// Reserves the next request sequence number (also used for
+    /// synthesized error responses, which consume a slot in the
+    /// pipeline order like any request).
+    pub fn reserve_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Drains the socket into the read buffer until `WouldBlock`, EOF,
+    /// or the buffer cap.
+    pub fn fill(&mut self, scratch: &mut [u8], now: Instant) -> FillOutcome {
+        let mut outcome = FillOutcome::Idle;
+        while !self.read_closed && !self.dead && self.read_buf.len() < READ_BUF_CAP {
+            match self.stream.read(scratch) {
+                Ok(0) => self.read_closed = true,
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&scratch[..n]);
+                    self.last_activity = now;
+                    outcome = FillOutcome::Progress;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => self.dead = true,
+            }
+        }
+        outcome
+    }
+
+    /// Stages one completed response. If `seq` is the next in pipeline
+    /// order it enters the write queue (pulling any parked successors
+    /// in behind it); otherwise it parks.
+    pub fn enqueue(&mut self, seq: u64, outgoing: Outgoing) {
+        if seq == self.next_write {
+            self.write_queue.push_back(outgoing);
+            self.next_write += 1;
+            while let Some(i) = self.parked.iter().position(|(s, _)| *s == self.next_write) {
+                let (_, next) = self.parked.swap_remove(i);
+                self.write_queue.push_back(next);
+                self.next_write += 1;
+            }
+        } else {
+            self.parked.push((seq, outgoing));
+        }
+    }
+
+    /// Flushes the write queue with gathered vectored writes until it
+    /// empties or the socket stops accepting. Returns whether any bytes
+    /// moved; fully-written responses land in the [`Flushed`] drain.
+    pub fn flush(&mut self, now: Instant) -> bool {
+        let mut progress = false;
+        while !self.write_queue.is_empty() && !self.dead {
+            let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(8);
+            for out in self.write_queue.iter().take(WRITEV_BATCH) {
+                let head = &out.payload.head()[out.head_off..];
+                if !head.is_empty() {
+                    slices.push(IoSlice::new(head));
+                }
+                let body = &out.payload.body()[out.body_off..];
+                if !body.is_empty() {
+                    slices.push(IoSlice::new(body));
+                }
+            }
+            let written = if slices.is_empty() {
+                0 // zero-remaining fronts: just pop them below
+            } else {
+                match self.stream.write_vectored(&slices) {
+                    Ok(0) => {
+                        self.dead = true;
+                        break;
+                    }
+                    Ok(n) => n,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.dead = true;
+                        break;
+                    }
+                }
+            };
+            if written > 0 {
+                progress = true;
+                self.last_activity = now;
+            }
+            self.advance(written);
+        }
+        progress
+    }
+
+    /// Distributes `n` written bytes across the queue front, retiring
+    /// fully-flushed responses into the `Flushed` drain.
+    fn advance(&mut self, mut n: usize) {
+        while let Some(front) = self.write_queue.front_mut() {
+            let head_left = front.payload.head().len() - front.head_off;
+            let take = head_left.min(n);
+            front.head_off += take;
+            n -= take;
+            let body_left = front.payload.body().len() - front.body_off;
+            let take = body_left.min(n);
+            front.body_off += take;
+            n -= take;
+            if front.remaining() > 0 {
+                break;
+            }
+            // lint:allow(no-panic-paths): front_mut above proved the queue is non-empty
+            let done = self.write_queue.pop_front().unwrap();
+            self.flushed.push(Flushed {
+                route: done.route,
+                status: done.status,
+                started: done.started,
+                close_after: done.close_after,
+            });
+        }
+    }
+
+    /// Drains the fully-flushed response metadata (for metrics, and for
+    /// the reactor's close-after-flush decision).
+    pub fn take_flushed(&mut self) -> Vec<Flushed> {
+        std::mem::take(&mut self.flushed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    fn owned(tag: &str, close_after: bool) -> Outgoing {
+        Outgoing::new(
+            Payload::Owned {
+                head: format!("H{tag}|").into_bytes(),
+                body: format!("B{tag};").into_bytes(),
+            },
+            close_after,
+            Route::Other,
+            200,
+            Instant::now(),
+        )
+    }
+
+    #[test]
+    fn out_of_order_completions_flush_in_request_order() {
+        let (client, server) = pair();
+        let mut conn = Conn::new(server, Instant::now()).unwrap();
+        let s0 = conn.reserve_seq();
+        let s1 = conn.reserve_seq();
+        let s2 = conn.reserve_seq();
+        // Completions arrive 2, 0, 1: nothing can flush until 0 lands,
+        // and the wire order must still be 0, 1, 2.
+        conn.enqueue(s2, owned("2", false));
+        assert!(!conn.flush(Instant::now()), "seq 2 must wait for 0 and 1");
+        conn.enqueue(s0, owned("0", false));
+        conn.enqueue(s1, owned("1", false));
+        assert!(conn.flush(Instant::now()));
+        assert_eq!(conn.take_flushed().len(), 3);
+        drop(conn);
+        let mut client = client;
+        let mut got = String::new();
+        client.read_to_string(&mut got).unwrap();
+        assert_eq!(got, "H0|B0;H1|B1;H2|B2;");
+    }
+
+    #[test]
+    fn fill_buffers_bytes_and_sees_eof() {
+        let (mut client, server) = pair();
+        let mut conn = Conn::new(server, Instant::now()).unwrap();
+        let mut scratch = [0u8; 1024];
+        assert_eq!(
+            conn.fill(&mut scratch, Instant::now()),
+            FillOutcome::Idle,
+            "nothing sent yet"
+        );
+        client.write_all(b"GET /").unwrap();
+        // Nonblocking read races the loopback; poll briefly.
+        let mut got = FillOutcome::Idle;
+        for _ in 0..200 {
+            got = conn.fill(&mut scratch, Instant::now());
+            if got == FillOutcome::Progress {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(got, FillOutcome::Progress);
+        assert_eq!(conn.read_buf, b"GET /");
+        drop(client);
+        for _ in 0..200 {
+            conn.fill(&mut scratch, Instant::now());
+            if conn.read_closed {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(conn.read_closed, "client FIN must be observed");
+        assert!(!conn.dead, "EOF is not an error");
+    }
+
+    #[test]
+    fn close_after_is_reported_through_the_flush_drain() {
+        let (_client, server) = pair();
+        let mut conn = Conn::new(server, Instant::now()).unwrap();
+        let seq = conn.reserve_seq();
+        conn.enqueue(seq, owned("x", true));
+        assert!(conn.flush(Instant::now()));
+        let flushed = conn.take_flushed();
+        assert_eq!(flushed.len(), 1);
+        assert!(flushed[0].close_after);
+        assert!(conn.is_idle());
+    }
+}

@@ -1,16 +1,27 @@
-//! Minimal HTTP/1.1 request parsing and response writing.
+//! Minimal HTTP/1.1 request parsing and response serialization.
 //!
-//! The server speaks just enough HTTP for its routes: it reads one
-//! request head (request line + headers) under strict size limits, then
-//! a `Content-Length`-delimited body under its own cap, answers, and
-//! closes the connection (`Connection: close` on every response).
-//! Socket read/write timeouts — set by the caller before parsing —
-//! bound slow-loris clients; the size limits below bound memory.
-//! Anything that fails these checks gets a precise 4xx rather than a
-//! hang or a panic: the parser never indexes unchecked and never
-//! allocates proportionally to attacker input beyond the caps.
+//! The server speaks just enough HTTP for its routes. Parsing is
+//! incremental: [`parse_bytes`] inspects a byte buffer and either yields
+//! one complete request (plus how many bytes it consumed, so pipelined
+//! requests behind it stay in the buffer) or reports that more bytes are
+//! needed. The reactor feeds it from nonblocking sockets;
+//! [`read_request`] wraps the same parser in a blocking read loop for
+//! plain `Read` streams (tests, tools).
+//!
+//! Requests are HTTP/1.1 keep-alive by default: a connection stays open
+//! after a response unless the request was HTTP/1.0 (without
+//! `Connection: keep-alive`), carried `Connection: close`, or failed to
+//! parse. [`Response::head_bytes`] renders the header block for either
+//! persistence mode with `Content-Length` always present, so responses
+//! can be framed without sender-side close; [`Response::write_to`]
+//! remains the one-shot close-mode serializer.
+//!
+//! Strict size limits bound memory: anything that fails them gets a
+//! precise 4xx rather than a hang or a panic — the parser never indexes
+//! unchecked and never allocates proportionally to attacker input
+//! beyond the caps.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{Read, Write};
 
 /// Upper bound on the request head (request line + all headers).
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
@@ -35,6 +46,10 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Whether the connection should persist after the response:
+    /// HTTP/1.1 defaults to `true`, HTTP/1.0 to `false`, and a
+    /// `Connection: close` / `keep-alive` header overrides either way.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -66,21 +81,52 @@ pub enum RequestError {
     Io(std::io::Error),
 }
 
-/// Reads and parses one request (head and, when `Content-Length` is
-/// present, body) from `stream`.
+/// What [`parse_bytes`] found at the front of the buffer.
+#[derive(Debug)]
+pub enum ParseOutcome {
+    /// One complete request; `consumed` bytes belong to it and should be
+    /// drained off the buffer before the next parse.
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer this request occupied (head + body).
+        consumed: usize,
+    },
+    /// The buffer holds only a prefix of a request so far.
+    Partial {
+        /// Whether the head is already complete (the parser is waiting
+        /// on body bytes) — distinguishes "closed mid-head" from
+        /// "closed mid-body" for callers that see EOF.
+        head_done: bool,
+    },
+}
+
+/// Incrementally parses the front of `buf` as one HTTP/1.x request.
 ///
-/// The body must be read here: the internal `BufReader` may already
-/// hold body bytes after the head, and they are lost once the reader
-/// is dropped.
+/// The buffer may hold a partial request, exactly one, or several
+/// pipelined back to back; only the first is parsed and `consumed`
+/// reports where it ends. Re-invoking on a grown buffer is cheap: the
+/// head is scanned for its terminating blank line first, and nothing is
+/// allocated until the head is complete.
 ///
 /// # Errors
 ///
 /// See [`RequestError`]; the caller maps the variants onto 431/413/400
-/// responses or drops the connection on I/O failure.
-pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
-    let mut reader = BufReader::with_capacity(MAX_HEAD_BYTES, stream);
-    let mut budget = 0usize;
-    let request_line = read_line(&mut reader, &mut budget)?;
+/// responses. [`RequestError::Io`] is never returned from here.
+pub fn parse_bytes(buf: &[u8]) -> Result<ParseOutcome, RequestError> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(RequestError::TooLarge);
+        }
+        return Ok(ParseOutcome::Partial { head_done: false });
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(RequestError::TooLarge);
+    }
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| RequestError::Malformed("non-UTF-8 in head"))?;
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split(' ');
     let method = parts.next().unwrap_or("").to_string();
     let target = parts.next().unwrap_or("");
@@ -99,10 +145,9 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
         None => (target.to_string(), String::new()),
     };
     let mut headers = Vec::new();
-    loop {
-        let line = read_line(&mut reader, &mut budget)?;
+    for line in lines {
         if line.is_empty() {
-            break;
+            break; // the blank line terminating the head
         }
         if headers.len() == MAX_HEADERS {
             return Err(RequestError::TooLarge);
@@ -116,12 +161,25 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
         headers.push((name.to_string(), value.trim().to_string()));
     }
     let mut request = Request {
+        keep_alive: version != "HTTP/1.0",
         method,
         path,
         query,
         headers,
         body: Vec::new(),
     };
+    if let Some(connection) = request.header("connection") {
+        let mut tokens = connection.split(',').map(str::trim);
+        if tokens.any(|t| t.eq_ignore_ascii_case("close")) {
+            request.keep_alive = false;
+        } else if connection
+            .split(',')
+            .any(|t| t.trim().eq_ignore_ascii_case("keep-alive"))
+        {
+            request.keep_alive = true;
+        }
+    }
+    let mut consumed = head_end;
     if let Some(value) = request.header("content-length") {
         let length: usize = value
             .parse()
@@ -129,41 +187,77 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
         if length > MAX_BODY_BYTES {
             return Err(RequestError::BodyTooLarge);
         }
-        let mut body = vec![0u8; length];
-        reader.read_exact(&mut body).map_err(RequestError::Io)?;
-        request.body = body;
+        if buf.len() < head_end + length {
+            return Ok(ParseOutcome::Partial { head_done: true });
+        }
+        request.body = buf[head_end..head_end + length].to_vec();
+        consumed += length;
     }
-    Ok(request)
+    Ok(ParseOutcome::Complete { request, consumed })
 }
 
-/// Reads one CRLF- (or LF-) terminated line, charging its length against
-/// the shared head budget.
-fn read_line(reader: &mut impl BufRead, consumed: &mut usize) -> Result<String, RequestError> {
-    let mut line = Vec::new();
+/// Finds the byte offset just past the head's terminating blank line
+/// (`\r\n\r\n`, or the bare-LF forms the parser tolerates). `None` when
+/// the head is still incomplete.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    // An immediately-empty first line ("\r\n..." / "\n...") still counts
+    // as a complete (malformed) head, matching the line-based parser.
+    if buf.starts_with(b"\r\n") {
+        return Some(2);
+    }
+    if buf.starts_with(b"\n") {
+        return Some(1);
+    }
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            let rest = &buf[i + 1..];
+            if rest.starts_with(b"\r\n") {
+                return Some(i + 3);
+            }
+            if rest.starts_with(b"\n") {
+                return Some(i + 2);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Reads and parses one request (head and, when `Content-Length` is
+/// present, body) from a blocking `stream`, looping [`parse_bytes`]
+/// over accumulated bytes.
+///
+/// # Errors
+///
+/// See [`RequestError`]; the caller maps the variants onto 431/413/400
+/// responses or drops the connection on I/O failure.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4 * 1024];
     loop {
-        let available = reader.fill_buf().map_err(RequestError::Io)?;
-        if available.is_empty() {
-            return Err(RequestError::Malformed("connection closed mid-head"));
+        let head_done = match parse_bytes(&buf)? {
+            ParseOutcome::Complete { request, .. } => return Ok(request),
+            ParseOutcome::Partial { head_done } => head_done,
+        };
+        let n = stream.read(&mut chunk).map_err(RequestError::Io)?;
+        if n == 0 {
+            // EOF mid-head means the client never sent a request worth
+            // answering; EOF mid-body is an I/O-level truncation.
+            return Err(if head_done {
+                RequestError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ))
+            } else {
+                RequestError::Malformed("connection closed mid-head")
+            });
         }
-        let newline = available.iter().position(|&b| b == b'\n');
-        let take = newline.map_or(available.len(), |i| i + 1);
-        if *consumed + line.len() + take > MAX_HEAD_BYTES {
-            return Err(RequestError::TooLarge);
-        }
-        line.extend_from_slice(&available[..take]);
-        reader.consume(take);
-        if newline.is_some() {
-            break;
-        }
+        buf.extend_from_slice(&chunk[..n]);
     }
-    *consumed += line.len();
-    while matches!(line.last(), Some(b'\n' | b'\r')) {
-        line.pop();
-    }
-    String::from_utf8(line).map_err(|_| RequestError::Malformed("non-UTF-8 in head"))
 }
 
-/// One response, always sent with `Connection: close`.
+/// One response; the persistence mode is chosen at serialization time.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
@@ -221,18 +315,18 @@ impl Response {
         self
     }
 
-    /// Serializes status line, headers, and body onto `out`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates socket write failures (the connection is closed anyway).
-    pub fn write_to(&self, out: &mut impl Write) -> std::io::Result<()> {
+    /// Renders the full header block — status line through the blank
+    /// line — for the given persistence mode. `Content-Length` is always
+    /// present, so the body that follows is self-framing either way.
+    pub fn head_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len(),
+            connection,
         );
         if let Some(allow) = self.allow {
             head.push_str("Allow: ");
@@ -245,7 +339,17 @@ impl Response {
             head.push_str("\r\n");
         }
         head.push_str("\r\n");
-        out.write_all(head.as_bytes())?;
+        head.into_bytes()
+    }
+
+    /// Serializes status line, headers, and body onto `out` in one-shot
+    /// close mode (`Connection: close`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures (the connection is closed anyway).
+    pub fn write_to(&self, out: &mut impl Write) -> std::io::Result<()> {
+        out.write_all(&self.head_bytes(false))?;
         out.write_all(&self.body)?;
         out.flush()
     }
@@ -361,6 +465,98 @@ mod tests {
     }
 
     #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        // HTTP/1.1 defaults to keep-alive; 1.0 defaults to close.
+        assert!(parse("GET / HTTP/1.1\r\n\r\n").unwrap().keep_alive);
+        assert!(!parse("GET / HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        // Connection header overrides either default, case-insensitively
+        // and inside token lists.
+        assert!(
+            !parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        assert!(
+            !parse("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        assert!(
+            parse("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        assert!(
+            !parse("GET / HTTP/1.1\r\nConnection: close, upgrade\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+    }
+
+    #[test]
+    fn parse_bytes_reports_partial_and_pipelined_requests() {
+        // Partial head, then partial body, then complete + leftover.
+        assert!(matches!(
+            parse_bytes(b"GET / HTT").unwrap(),
+            ParseOutcome::Partial { head_done: false }
+        ));
+        assert!(matches!(
+            parse_bytes(b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab").unwrap(),
+            ParseOutcome::Partial { head_done: true }
+        ));
+        let two = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let ParseOutcome::Complete { request, consumed } = parse_bytes(two).unwrap() else {
+            panic!("first request should be complete");
+        };
+        assert_eq!(request.path, "/a");
+        assert_eq!(consumed, 19);
+        let ParseOutcome::Complete { request, .. } = parse_bytes(&two[consumed..]).unwrap() else {
+            panic!("second request should be complete");
+        };
+        assert_eq!(request.path, "/b");
+    }
+
+    /// Drains every complete request off the front of `buf`.
+    fn drain_complete(buf: &mut Vec<u8>) -> Vec<Request> {
+        let mut requests = Vec::new();
+        loop {
+            match parse_bytes(buf).unwrap() {
+                ParseOutcome::Complete { request, consumed } => {
+                    requests.push(request);
+                    buf.drain(..consumed);
+                }
+                ParseOutcome::Partial { .. } => return requests,
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_parse_is_identical_at_every_split_boundary() {
+        // A pipelined stream of three requests — query string, POST with
+        // body, and a plain-text GET — split at every byte boundary; the
+        // parsed sequence must match the single-buffer parse exactly.
+        let stream: Vec<u8> = [
+            &b"GET /query?workload=fft&lanes=4 HTTP/1.1\r\nHost: t\r\n\r\n"[..],
+            &b"POST /query HTTP/1.1\r\nContent-Length: 19\r\n\r\n{\"workload\": \"fft\"}"[..],
+            &b"GET /experiments/fig3a HTTP/1.1\r\nAccept: text/plain\r\nConnection: close\r\n\r\n"
+                [..],
+        ]
+        .concat();
+        let mut whole = stream.clone();
+        let reference = drain_complete(&mut whole);
+        assert_eq!(reference.len(), 3);
+        assert!(whole.is_empty());
+        for split in 1..stream.len() {
+            let mut buf = stream[..split].to_vec();
+            let mut requests = drain_complete(&mut buf);
+            buf.extend_from_slice(&stream[split..]);
+            requests.extend(drain_complete(&mut buf));
+            assert_eq!(requests, reference, "split at byte {split} diverged");
+            assert!(buf.is_empty(), "split at byte {split} left residue");
+        }
+    }
+
+    #[test]
     fn responses_serialize_with_length_and_close() {
         let mut out = Vec::new();
         Response::text(200, "ok\n").write_to(&mut out).unwrap();
@@ -386,5 +582,16 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 504 Gateway Timeout\r\n"));
         assert!(text.contains("Retry-After: 2\r\n"));
+    }
+
+    #[test]
+    fn head_bytes_renders_both_persistence_modes() {
+        let response = Response::json(200, "{}");
+        let keep = String::from_utf8(response.head_bytes(true)).unwrap();
+        assert!(keep.contains("Connection: keep-alive\r\n"));
+        assert!(keep.contains("Content-Length: 2\r\n"));
+        assert!(keep.ends_with("\r\n\r\n"));
+        let close = String::from_utf8(response.head_bytes(false)).unwrap();
+        assert!(close.contains("Connection: close\r\n"));
     }
 }

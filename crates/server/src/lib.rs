@@ -11,13 +11,29 @@
 //! process run" to "per server lifetime", and `/metrics` exposes the
 //! counters that prove it.
 //!
-//! Everything is `std`-only: a [`TcpListener`] acceptor thread feeding a
-//! fixed-size worker pool ([`pool::ThreadPool`]) over a bounded `mpsc`
-//! channel. The bounded channel doubles as the backpressure cap — a full
-//! backlog answers `503` instead of queueing unboundedly. Shutdown is a
-//! drain: `POST /shutdown` (or [`ServerHandle::shutdown`]) stops the
-//! acceptor, in-flight and already-queued requests finish, then the
-//! listener closes and [`Server::run`] returns.
+//! Everything is `std`-only, split into two tiers (see DESIGN.md,
+//! "Connection reactor"):
+//!
+//! * an **I/O tier** — one nonblocking event-loop thread (the reactor)
+//!   owns the listener and every client socket: it accepts, buffers
+//!   partial reads, parses pipelined HTTP/1.1 incrementally, keeps
+//!   connections alive by default (closing only on error,
+//!   `Connection: close`, or the idle timeout), answers warm `GET`s
+//!   straight from a pre-serialized [`respcache::ResponseCache`], and
+//!   writes responses out in request order with gathered vectored
+//!   writes;
+//! * a **compute tier** — the fixed-size worker pool
+//!   ([`pool::ThreadPool`]) over a bounded `mpsc` channel, fed one
+//!   parsed request at a time. The bounded backlog doubles as the
+//!   backpressure cap: a saturated pool answers that request `503` in
+//!   pipeline order instead of queueing unboundedly, and a hard
+//!   concurrent-connection cap ([`ServerConfig::max_connections`])
+//!   sheds whole connections the same way.
+//!
+//! Shutdown is a drain: `POST /shutdown` (or [`ServerHandle::shutdown`])
+//! stops accepting, requests already buffered or in flight finish, each
+//! connection closes as it goes quiet, then the listener closes and
+//! [`Server::run`] returns.
 //!
 //! # Routes
 //!
@@ -63,7 +79,12 @@
 //!
 //! Every path above can be provoked deterministically by arming
 //! `ACCELWALL_FAULTS` (see the `accelwall-faults` crate); the
-//! `serve-request` static site fires in the connection handler itself.
+//! `serve-request` static site fires per parsed request at the top of
+//! the pool's compute handler, and `serve-conn` fires per accepted
+//! connection inside the reactor. While a fault plan is armed the
+//! reactor bypasses its inline fast path entirely, so every request
+//! flows through the pool and its probes — chaos semantics are
+//! identical to the old thread-per-connection front end.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -71,11 +92,16 @@
 pub mod http;
 pub mod metrics;
 pub mod pool;
+pub mod respcache;
+
+mod conn;
+mod reactor;
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::SyncSender;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use accelerator_wall::artifacts::ArtifactCache;
 use accelerator_wall::error::Error;
@@ -85,9 +111,11 @@ use accelwall_query::{QueryEngine, QueryError, QuerySpec};
 use accelwall_work::protocol::parse_lease_request;
 use accelwall_work::{CompleteRequest, Coordinator, HeartbeatRequest};
 
-use http::{read_request, Request, RequestError, Response};
+use http::{Request, Response};
 use metrics::{Metrics, Route};
-use pool::{PoolError, ThreadPool};
+use pool::ThreadPool;
+use reactor::{Completion, ComputeJob, Reactor, ReactorLimits};
+use respcache::ResponseCache;
 
 /// Tunables for one [`Server`].
 #[derive(Debug, Clone)]
@@ -107,6 +135,15 @@ pub struct ServerConfig {
     pub compute_deadline: Duration,
     /// Byte cap on the query engine's response LRU (`/query` routes).
     pub query_cache_bytes: usize,
+    /// Hard cap on concurrently open connections; excess accepts are
+    /// shed with an immediate `503` + close.
+    pub max_connections: usize,
+    /// How long a connection may sit idle between requests before the
+    /// reactor closes it (keep-alive harvest; slowloris protection).
+    pub idle_timeout: Duration,
+    /// Byte cap on the pre-serialized response cache (the reactor's
+    /// inline fast path for warm `GET`s).
+    pub response_cache_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -118,6 +155,9 @@ impl Default for ServerConfig {
             io_timeout: Duration::from_secs(5),
             compute_deadline: Duration::from_secs(30),
             query_cache_bytes: accelwall_query::engine::DEFAULT_CACHE_BYTES,
+            max_connections: 1024,
+            idle_timeout: Duration::from_secs(5),
+            response_cache_bytes: 4 * 1024 * 1024,
         }
     }
 }
@@ -230,7 +270,8 @@ impl Server {
     }
 
     /// Serves until a drain is requested, then finishes queued work and
-    /// returns. This call owns the calling thread.
+    /// returns. This call owns the calling thread (it becomes the
+    /// reactor's event loop).
     ///
     /// # Errors
     ///
@@ -238,13 +279,20 @@ impl Server {
     /// on the wire (4xx/5xx) or dropped, never escalated.
     pub fn run(self) -> std::io::Result<()> {
         let handle = self.handle();
+        let respcache = Arc::new(ResponseCache::new(self.config.response_cache_bytes));
+        // Completions flow pool → reactor over a bounded channel; the
+        // generous slack keeps workers from blocking on the hand-back
+        // even when the reactor is mid-pass through a busy slab.
+        let (completions_tx, completions_rx) = std::sync::mpsc::sync_channel::<Completion>(
+            self.config.workers + self.config.backlog + 256,
+        );
         let pool = {
             let cache = Arc::clone(&self.cache);
             let engine = Arc::clone(&self.engine);
             let metrics = Arc::clone(&self.metrics);
+            let respcache = Arc::clone(&respcache);
             let handle = handle.clone();
             let work = self.work.clone();
-            let io_timeout = self.config.io_timeout;
             let compute_deadline = self.config.compute_deadline;
             // The metrics' panic counter is shared with the pool, so a
             // worker that dies panicking (and respawns) is visible as
@@ -253,49 +301,42 @@ impl Server {
                 self.config.workers,
                 self.config.backlog,
                 self.metrics.worker_panics_counter(),
-                move |stream: TcpStream| {
+                move |job: ComputeJob| {
                     let serve = ServeState {
                         cache: &cache,
                         engine: &engine,
                         metrics: &metrics,
                         handle: &handle,
                         work: work.as_ref(),
+                        respcache: &respcache,
                     };
-                    handle_connection(stream, &serve, io_timeout, compute_deadline);
+                    compute_response(job, &serve, &completions_tx, compute_deadline);
                 },
             )
         };
-        for stream in self.listener.incoming() {
-            if self.shutdown.load(Ordering::Acquire) {
-                break;
-            }
-            let Ok(stream) = stream else {
-                continue; // transient accept failure
-            };
-            match pool.try_execute(stream) {
-                Ok(()) => {}
-                Err(rejected) if rejected.reason == PoolError::Saturated => {
-                    // Backpressure: answer 503 on the acceptor thread
-                    // (bounded by a short write timeout) and move on.
-                    self.metrics.record_rejected();
-                    let mut stream = rejected.item;
-                    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
-                    let _ = Response::text(503, "server saturated, retry later\n")
-                        .write_to(&mut stream);
-                }
-                Err(_) => break,
-            }
-        }
+        let reactor = Reactor::new(
+            self.listener,
+            Arc::clone(&self.metrics),
+            respcache,
+            Arc::clone(&self.shutdown),
+            completions_rx,
+            ReactorLimits {
+                max_connections: self.config.max_connections,
+                idle_timeout: self.config.idle_timeout,
+                io_timeout: self.config.io_timeout,
+            },
+        );
+        let outcome = reactor.run(&pool);
         // Drain: close the queue, let workers finish, then drop the
         // listener so the port frees only after the last response.
         pool.join();
-        Ok(())
+        outcome
     }
 }
 
-/// The shared serving state every connection handler borrows: the
-/// artifact cache, query engine, counters, drain handle, and (in
-/// coordinator mode) the work tier.
+/// The shared serving state every compute handler borrows: the artifact
+/// cache, query engine, counters, drain handle, the pre-serialized
+/// response cache, and (in coordinator mode) the work tier.
 #[derive(Clone, Copy)]
 struct ServeState<'a> {
     cache: &'a ArtifactCache,
@@ -303,51 +344,86 @@ struct ServeState<'a> {
     metrics: &'a Metrics,
     handle: &'a ServerHandle,
     work: Option<&'a Arc<Coordinator>>,
+    respcache: &'a ResponseCache,
 }
 
-/// Serves one connection: parse under limits, route, respond, close.
-fn handle_connection(
-    mut stream: TcpStream,
+/// Sends [`Completion::Abort`] if the compute handler unwinds before
+/// disarming: the reactor then drops the whole connection, exactly as
+/// the old thread-per-connection worker dying did. The pool's sentinel
+/// respawns the worker either way.
+struct AbortGuard<'a> {
+    tx: &'a SyncSender<Completion>,
+    slot: u32,
+    generation: u32,
+    armed: bool,
+}
+
+impl AbortGuard<'_> {
+    fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for AbortGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = self.tx.send(Completion::Abort {
+                slot: self.slot,
+                generation: self.generation,
+            });
+        }
+    }
+}
+
+/// The pool's compute handler: serves one parsed request and hands the
+/// response back to the reactor in pipeline order.
+fn compute_response(
+    job: ComputeJob,
     serve: &ServeState<'_>,
-    io_timeout: Duration,
+    completions: &SyncSender<Completion>,
     compute_deadline: Duration,
 ) {
+    let ComputeJob {
+        slot,
+        generation,
+        seq,
+        request,
+        started,
+        cache_key,
+    } = job;
+    let mut guard = AbortGuard {
+        tx: completions,
+        slot,
+        generation,
+        armed: true,
+    };
     let metrics = serve.metrics;
     let _in_flight = metrics.track_in_flight();
-    let start = Instant::now();
-    let _ = stream.set_read_timeout(Some(io_timeout));
-    let _ = stream.set_write_timeout(Some(io_timeout));
     // The `serve-request` fault site: a `panic` rule fires on this very
-    // worker thread (exercising pool respawn — the client sees the
-    // connection drop), an `err` rule answers 500, a `hang` rule holds
-    // the worker for its duration.
-    if let Err(fault) = accelwall_faults::probe(accelwall_faults::sites::SERVE_REQUEST) {
-        let response = Response::text(500, format!("{fault}\n"));
-        let _ = response.write_to(&mut stream);
-        metrics.observe(Route::Other, response.status, start.elapsed());
-        return;
-    }
-    let (route, response) = match read_request(&mut stream) {
-        Ok(request) => route_request(&request, serve, compute_deadline),
-        Err(RequestError::TooLarge) => (
-            Route::Other,
-            Response::text(431, "request head too large\n"),
-        ),
-        Err(RequestError::BodyTooLarge) => (
-            Route::Query,
-            Response::text(
-                413,
-                format!("request body exceeds {} bytes\n", http::MAX_BODY_BYTES),
-            ),
-        ),
-        Err(RequestError::Malformed(what)) => (
-            Route::Other,
-            Response::text(400, format!("malformed request: {what}\n")),
-        ),
-        Err(RequestError::Io(_)) => return, // nothing to answer
+    // worker thread (exercising pool respawn — the abort guard makes
+    // the reactor drop the client's connection), an `err` rule answers
+    // 500, a `hang` rule holds the worker for its duration.
+    let (route, response) = match accelwall_faults::probe(accelwall_faults::sites::SERVE_REQUEST) {
+        Err(fault) => (Route::Other, Response::text(500, format!("{fault}\n"))),
+        Ok(()) => route_request(&request, serve, compute_deadline),
     };
-    let _ = response.write_to(&mut stream);
-    metrics.observe(route, response.status, start.elapsed());
+    // Populate the reactor's fast path: only `200`s for cacheable
+    // request shapes (the reactor computed `cache_key` under the same
+    // admission rules), and never while a fault plan is armed.
+    if let Some(key) = &cache_key {
+        if response.status == 200 && !accelwall_faults::is_armed() {
+            serve.respcache.insert(key, route, &response);
+        }
+    }
+    let _ = completions.send(Completion::Done {
+        slot,
+        generation,
+        seq,
+        route,
+        response,
+        started,
+    });
+    guard.disarm();
 }
 
 /// Maps one parsed request onto a route and a response.
@@ -362,6 +438,7 @@ fn route_request(
         metrics,
         handle,
         work,
+        respcache,
     } = *serve;
     let get_only = |route: Route, response: Response| {
         if request.method == "GET" {
@@ -396,6 +473,7 @@ fn route_request(
                     cache.stats(),
                     cache.ctx().counters(),
                     &engine.stats(),
+                    &respcache.stats(),
                     work.map(|c| c.stats()).as_ref(),
                 ),
             ),
@@ -694,7 +772,7 @@ mod tests {
             backlog: 8,
             io_timeout: Duration::from_secs(10),
             compute_deadline: Duration::from_mins(2),
-            query_cache_bytes: accelwall_query::engine::DEFAULT_CACHE_BYTES,
+            ..ServerConfig::default()
         };
         let server = Server::bind(config, cache).expect("bind");
         let handle = server.handle();
@@ -720,14 +798,17 @@ mod tests {
     }
 
     fn get(addr: SocketAddr, path: &str) -> (u16, String) {
-        raw_request(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+        raw_request(
+            addr,
+            &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+        )
     }
 
     fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
         raw_request(
             addr,
             &format!(
-                "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
                 body.len()
             ),
         )
@@ -783,7 +864,7 @@ mod tests {
         // Accept: text/plain returns the rendered text.
         let (status, text) = raw_request(
             addr,
-            "GET /experiments/fig3a HTTP/1.1\r\nHost: t\r\nAccept: text/plain\r\n\r\n",
+            "GET /experiments/fig3a HTTP/1.1\r\nHost: t\r\nAccept: text/plain\r\nConnection: close\r\n\r\n",
         );
         assert_eq!(status, 200);
         assert!(text.contains("Fig. 3a"), "plain text rendering:\n{text}");
@@ -795,7 +876,10 @@ mod tests {
         assert!(body.contains("fig3a"));
 
         // Wrong method and unknown path.
-        let (status, _) = raw_request(addr, "POST /experiments HTTP/1.1\r\nHost: t\r\n\r\n");
+        let (status, _) = raw_request(
+            addr,
+            "POST /experiments HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
         assert_eq!(status, 405);
         let (status, _) = get(addr, "/nope");
         assert_eq!(status, 404);
@@ -811,7 +895,10 @@ mod tests {
         assert!(text.contains("accelwall_ctx_corpus_computes 0"));
 
         // Graceful drain via POST /shutdown.
-        let (status, body) = raw_request(addr, "POST /shutdown HTTP/1.1\r\nHost: t\r\n\r\n");
+        let (status, body) = raw_request(
+            addr,
+            "POST /shutdown HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
         assert_eq!((status, body.as_str()), (200, "draining\n"));
         join.join().expect("server thread").expect("clean exit");
         assert!(
@@ -865,12 +952,15 @@ mod tests {
         assert_eq!(status, 400);
         assert!(body.contains("unknown field"), "roster error: {body}");
         assert!(body.contains("known fields:"), "roster error: {body}");
-        let (status, _) = raw_request(addr, "PUT /query HTTP/1.1\r\nHost: t\r\n\r\n");
+        let (status, _) = raw_request(
+            addr,
+            "PUT /query HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
         assert_eq!(status, 405);
         let (status, body) = raw_request(
             addr,
             &format!(
-                "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+                "POST /query HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
                 http::MAX_BODY_BYTES + 1
             ),
         );
@@ -892,6 +982,7 @@ mod tests {
             io_timeout: Duration::from_secs(10),
             compute_deadline: Duration::from_mins(2),
             query_cache_bytes: 16 * 1024,
+            ..ServerConfig::default()
         };
         let server = Server::bind(config, cache).expect("bind");
         let handle = server.handle();
@@ -940,7 +1031,7 @@ mod tests {
             backlog: 8,
             io_timeout: Duration::from_secs(10),
             compute_deadline: Duration::from_mins(2),
-            query_cache_bytes: accelwall_query::engine::DEFAULT_CACHE_BYTES,
+            ..ServerConfig::default()
         };
         let server =
             Server::bind_with_work(config, cache, Some(Arc::clone(&coordinator))).expect("bind");
@@ -1028,6 +1119,213 @@ mod tests {
             metric(&text, "accelwall_work_units_total"),
             coordinator.total_units() as u64
         );
+
+        handle.shutdown();
+        join.join().expect("server thread").expect("clean exit");
+    }
+
+    /// Reads exactly one `Content-Length`-framed response off a
+    /// keep-alive connection (no EOF to lean on). `carry` holds bytes of
+    /// later pipelined responses over-read by a previous call.
+    fn read_framed(stream: &mut TcpStream, carry: &mut Vec<u8>) -> (u16, String) {
+        let mut chunk = [0u8; 4096];
+        let (head_end, content_length, status) = loop {
+            if let Some(pos) = carry.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = std::str::from_utf8(&carry[..pos]).expect("head is utf-8");
+                let status = head
+                    .split(' ')
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0);
+                let len = head
+                    .lines()
+                    .find_map(|line| {
+                        let (name, value) = line.split_once(':')?;
+                        name.eq_ignore_ascii_case("content-length")
+                            .then(|| value.trim().parse::<usize>().ok())?
+                    })
+                    .unwrap_or(0);
+                break (pos + 4, len, status);
+            }
+            let n = stream.read(&mut chunk).expect("read head");
+            assert!(n > 0, "connection closed mid-head");
+            carry.extend_from_slice(&chunk[..n]);
+        };
+        while carry.len() < head_end + content_length {
+            let n = stream.read(&mut chunk).expect("read body");
+            assert!(n > 0, "connection closed mid-body");
+            carry.extend_from_slice(&chunk[..n]);
+        }
+        let body =
+            String::from_utf8(carry[head_end..head_end + content_length].to_vec()).expect("utf-8");
+        carry.drain(..head_end + content_length);
+        (status, body)
+    }
+
+    #[test]
+    fn keep_alive_and_pipelining_serve_in_order_on_one_connection() {
+        let (handle, join) = coarse_server();
+        let addr = handle.addr();
+        // Baselines over two close-mode connections.
+        let (_, roster) = get(addr, "/experiments");
+        let (_, schema) = get(addr, "/query/schema");
+
+        // Three sequential requests reuse ONE connection...
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut carry = Vec::new();
+        for _ in 0..3 {
+            stream
+                .write_all(b"GET /experiments HTTP/1.1\r\nHost: t\r\n\r\n")
+                .expect("send");
+            let (status, body) = read_framed(&mut stream, &mut carry);
+            assert_eq!(status, 200);
+            assert_eq!(body, roster, "keep-alive repeats must be byte-identical");
+        }
+        // ...and a pipelined burst written in one shot flushes strictly
+        // in request order, closing after the final response.
+        stream
+            .write_all(
+                b"GET /query/schema HTTP/1.1\r\nHost: t\r\n\r\n\
+                  GET /experiments HTTP/1.1\r\nHost: t\r\n\r\n\
+                  GET /query/schema HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+            )
+            .expect("send pipeline");
+        let (s1, b1) = read_framed(&mut stream, &mut carry);
+        let (s2, b2) = read_framed(&mut stream, &mut carry);
+        let (s3, b3) = read_framed(&mut stream, &mut carry);
+        assert_eq!((s1, s2, s3), (200, 200, 200));
+        assert_eq!(b1, schema, "pipelined response 1 out of order");
+        assert_eq!(b2, roster, "pipelined response 2 out of order");
+        assert_eq!(b3, schema, "pipelined response 3 out of order");
+        let mut rest = String::new();
+        stream.read_to_string(&mut rest).expect("eof after close");
+        assert!(rest.is_empty(), "bytes after Connection: close: {rest:?}");
+
+        // 9 requests so far over 3 connections; the 4th fetches proof.
+        let (_, text) = get(addr, "/metrics");
+        assert_eq!(metric(&text, "accelwall_connections_total"), 4);
+        assert!(
+            metric(&text, "accelwall_keepalive_reuses_total") >= 5,
+            "{text}"
+        );
+        assert!(
+            metric(&text, "accelwall_pipelined_requests_total") >= 1,
+            "{text}"
+        );
+        assert!(
+            metric(&text, "accelwall_response_cache_hits_total") >= 2,
+            "{text}"
+        );
+
+        handle.shutdown();
+        join.join().expect("server thread").expect("clean exit");
+    }
+
+    #[test]
+    fn idle_timeout_reaps_and_the_connection_cap_sheds() {
+        let cache = ArtifactCache::new(Registry::paper(), Ctx::with_space(SweepSpace::coarse()));
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            backlog: 8,
+            io_timeout: Duration::from_secs(10),
+            compute_deadline: Duration::from_mins(2),
+            max_connections: 2,
+            idle_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        };
+        let server = Server::bind(config, cache).expect("bind");
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+        let addr = handle.addr();
+
+        let mut first = TcpStream::connect(addr).expect("connect");
+        let second = TcpStream::connect(addr).expect("connect");
+        // Serve one request on the first so both admits are processed.
+        first
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("send");
+        let (status, _) = read_framed(&mut first, &mut Vec::new());
+        assert_eq!(status, 200);
+
+        // The third connection is over the cap: immediate 503 + close.
+        let mut third = TcpStream::connect(addr).expect("connect");
+        let mut shed = String::new();
+        third.read_to_string(&mut shed).expect("read shed");
+        assert!(shed.starts_with("HTTP/1.1 503"), "over-cap reply: {shed}");
+        assert!(shed.contains("connection limit reached"), "{shed}");
+
+        // Both idle connections are reaped by the timeout (EOF, no bytes).
+        let mut eof = String::new();
+        first.read_to_string(&mut eof).expect("idle eof");
+        assert!(eof.is_empty());
+        let mut second = second;
+        let mut eof = String::new();
+        second.read_to_string(&mut eof).expect("idle eof");
+        assert!(eof.is_empty());
+
+        // With the slots free again, a fresh connection is served.
+        let (status, text) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(metric(&text, "accelwall_connections_over_cap_total") >= 1);
+        assert!(metric(&text, "accelwall_idle_timeouts_total") >= 2);
+        assert_eq!(metric(&text, "accelwall_open_connections"), 1);
+
+        handle.shutdown();
+        join.join().expect("server thread").expect("clean exit");
+    }
+
+    /// SplitMix64 — the repo's standard dependency-free PRNG idiom.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn socket_writes_split_at_arbitrary_boundaries_are_byte_identical() {
+        let (handle, join) = coarse_server();
+        let addr = handle.addr();
+        let pipeline: &[u8] = b"GET /experiments HTTP/1.1\r\nHost: t\r\n\r\n\
+                                GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+                                GET /experiments HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+        let run = |chunks: &[&[u8]]| -> Vec<u8> {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            for chunk in chunks {
+                stream.write_all(chunk).expect("send chunk");
+                stream.flush().expect("flush");
+                // Let the reactor observe a genuinely partial buffer.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let mut out = Vec::new();
+            stream.read_to_end(&mut out).expect("read responses");
+            out
+        };
+        let reference = run(&[pipeline]);
+        assert!(!reference.is_empty());
+        let mut state = 0xACCE_1E2A_7012_u64;
+        for _ in 0..5 {
+            // Split the stream at 3 PRNG-chosen interior boundaries.
+            let mut cuts: Vec<usize> = (0..3)
+                .map(|_| 1 + (splitmix64(&mut state) as usize) % (pipeline.len() - 1))
+                .collect();
+            cuts.sort_unstable();
+            cuts.dedup();
+            let mut chunks: Vec<&[u8]> = Vec::new();
+            let mut prev = 0;
+            for &cut in &cuts {
+                chunks.push(&pipeline[prev..cut]);
+                prev = cut;
+            }
+            chunks.push(&pipeline[prev..]);
+            let split = run(&chunks);
+            assert_eq!(
+                split, reference,
+                "split at {cuts:?} changed the response bytes"
+            );
+        }
 
         handle.shutdown();
         join.join().expect("server thread").expect("clean exit");

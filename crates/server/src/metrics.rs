@@ -31,6 +31,13 @@
 //!    unit progress gauges plus the lease / completion / re-issue /
 //!    hedge / quarantine counters chaos tests assert on.
 //!
+//! 7. connection-reactor counters: connections admitted / open,
+//!    keep-alive reuses, pipelined requests, idle-timeout reaps,
+//!    over-cap sheds, event-loop iterations, and the pre-serialized
+//!    response cache's hit/miss/eviction/byte series
+//!    ([`RespCacheStats`]) — the numbers the serve bench and the CI
+//!    keep-alive smoke assert on.
+//!
 //! Route labels are normalized (`/experiments/fig14` reports as
 //! `/experiments/{id}`) so label cardinality stays bounded no matter
 //! what paths clients probe.
@@ -43,6 +50,8 @@ use accelerator_wall::artifacts::CacheStats;
 use accelerator_wall::cache::CtxCounters;
 use accelwall_query::QueryStats;
 use accelwall_work::WorkStats;
+
+use crate::respcache::RespCacheStats;
 
 /// The server's route space, used as the bounded metrics label set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +127,13 @@ pub struct Metrics {
     responses: Mutex<Vec<(u16, u64)>>,
     in_flight: AtomicUsize,
     rejected: AtomicU64,
+    connections: AtomicU64,
+    open_connections: AtomicUsize,
+    keepalive_reuses: AtomicU64,
+    pipelined: AtomicU64,
+    idle_timeouts: AtomicU64,
+    over_cap: AtomicU64,
+    reactor_polls: AtomicU64,
     /// Shared with the worker pool (see
     /// [`ThreadPool::with_panic_counter`](crate::pool::ThreadPool::with_panic_counter)),
     /// which increments it when a worker dies panicking and is respawned.
@@ -155,6 +171,55 @@ impl Metrics {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one connection admitted by the reactor.
+    pub fn record_connection_opened(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+        self.open_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one admitted connection closing (any reason).
+    pub fn record_connection_closed(&self) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records a request served on an already-used connection — the
+    /// keep-alive payoff the serve bench and CI smoke assert on.
+    pub fn record_keepalive_reuse(&self) {
+        self.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request parsed while earlier ones on the same
+    /// connection were still outstanding (true pipelining).
+    pub fn record_pipelined(&self) {
+        self.pipelined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection reaped by the idle/stall timeout.
+    pub fn record_idle_timeout(&self) {
+        self.idle_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection shed by the concurrent-connection cap.
+    pub fn record_over_cap(&self) {
+        self.over_cap.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one reactor event-loop iteration.
+    pub fn record_reactor_poll(&self) {
+        self.reactor_polls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections admitted so far (the CI smoke compares this against
+    /// requests served to prove keep-alive reuse).
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Keep-alive reuses recorded so far.
+    pub fn keepalive_reuses(&self) -> u64 {
+        self.keepalive_reuses.load(Ordering::Relaxed)
+    }
+
     /// The worker-panic counter, cloned into the pool at construction so
     /// respawns show up here without a callback.
     pub fn worker_panics_counter(&self) -> Arc<AtomicU64> {
@@ -186,6 +251,7 @@ impl Metrics {
         cache: CacheStats,
         ctx: CtxCounters,
         query: &QueryStats,
+        resp: &RespCacheStats,
         work: Option<&WorkStats>,
     ) -> String {
         use std::fmt::Write;
@@ -231,6 +297,60 @@ impl Metrics {
             out,
             "accelwall_connections_rejected_total {}",
             self.rejected.load(Ordering::Relaxed)
+        );
+        out.push_str("# TYPE accelwall_connections counter\n");
+        for (name, value) in [
+            (
+                "connections_total",
+                self.connections.load(Ordering::Relaxed),
+            ),
+            (
+                "keepalive_reuses_total",
+                self.keepalive_reuses.load(Ordering::Relaxed),
+            ),
+            (
+                "pipelined_requests_total",
+                self.pipelined.load(Ordering::Relaxed),
+            ),
+            (
+                "idle_timeouts_total",
+                self.idle_timeouts.load(Ordering::Relaxed),
+            ),
+            (
+                "connections_over_cap_total",
+                self.over_cap.load(Ordering::Relaxed),
+            ),
+            (
+                "reactor_polls_total",
+                self.reactor_polls.load(Ordering::Relaxed),
+            ),
+        ] {
+            let _ = writeln!(out, "accelwall_{name} {value}");
+        }
+        out.push_str("# TYPE accelwall_open_connections gauge\n");
+        let _ = writeln!(
+            out,
+            "accelwall_open_connections {}",
+            self.open_connections.load(Ordering::Relaxed)
+        );
+        out.push_str("# TYPE accelwall_response_cache counter\n");
+        for (name, value) in [
+            ("hits_total", resp.hits),
+            ("misses_total", resp.misses),
+            ("insertions_total", resp.insertions),
+            ("evictions_total", resp.evictions),
+        ] {
+            let _ = writeln!(out, "accelwall_response_cache_{name} {value}");
+        }
+        out.push_str("# TYPE accelwall_response_cache_bytes gauge\n");
+        let _ = writeln!(out, "accelwall_response_cache_bytes {}", resp.bytes);
+        out.push_str("# TYPE accelwall_response_cache_entries gauge\n");
+        let _ = writeln!(out, "accelwall_response_cache_entries {}", resp.entries);
+        out.push_str("# TYPE accelwall_response_cache_capacity_bytes gauge\n");
+        let _ = writeln!(
+            out,
+            "accelwall_response_cache_capacity_bytes {}",
+            resp.capacity_bytes
         );
         out.push_str("# TYPE accelwall_artifact_cache counter\n");
         let _ = writeln!(
@@ -433,7 +553,13 @@ mod tests {
         m.observe(Route::Healthz, 200, Duration::from_millis(2));
         m.observe(Route::Healthz, 200, Duration::from_millis(3));
         m.observe(Route::Experiment, 404, Duration::from_millis(1));
-        let text = m.render(empty_stats(), empty_ctx(), &QueryStats::default(), None);
+        let text = m.render(
+            empty_stats(),
+            empty_ctx(),
+            &QueryStats::default(),
+            &RespCacheStats::default(),
+            None,
+        );
         assert!(text.contains("accelwall_requests_total{route=\"/healthz\"} 2"));
         assert!(text.contains("accelwall_requests_total{route=\"/experiments/{id}\"} 1"));
         assert!(text.contains("accelwall_responses_total{status=\"200\"} 2"));
@@ -457,7 +583,13 @@ mod tests {
     fn render_folds_in_cache_and_ctx_counters() {
         let m = Metrics::new();
         m.record_rejected();
-        let text = m.render(empty_stats(), empty_ctx(), &QueryStats::default(), None);
+        let text = m.render(
+            empty_stats(),
+            empty_ctx(),
+            &QueryStats::default(),
+            &RespCacheStats::default(),
+            None,
+        );
         assert!(text.contains("accelwall_connections_rejected_total 1"));
         assert!(text.contains("accelwall_artifact_cache_hits_total 2"));
         assert!(text.contains("accelwall_artifact_cache_misses_total 1"));
@@ -476,7 +608,13 @@ mod tests {
 
     #[test]
     fn render_exposes_the_compute_pool_series() {
-        let text = Metrics::new().render(empty_stats(), empty_ctx(), &QueryStats::default(), None);
+        let text = Metrics::new().render(
+            empty_stats(),
+            empty_ctx(),
+            &QueryStats::default(),
+            &RespCacheStats::default(),
+            None,
+        );
         for series in [
             "accelwall_par_workers ",
             "accelwall_par_jobs_total ",
@@ -493,7 +631,13 @@ mod tests {
         // The pool holds a clone and increments it on respawn; simulate.
         m.worker_panics_counter().fetch_add(2, Ordering::SeqCst);
         assert_eq!(m.worker_panics(), 2);
-        let text = m.render(empty_stats(), empty_ctx(), &QueryStats::default(), None);
+        let text = m.render(
+            empty_stats(),
+            empty_ctx(),
+            &QueryStats::default(),
+            &RespCacheStats::default(),
+            None,
+        );
         assert!(text.contains("accelwall_worker_panics_total 2"));
         // No plan is armed in unit tests: the gauge says so and no
         // injection lines render.
@@ -502,9 +646,58 @@ mod tests {
     }
 
     #[test]
+    fn reactor_and_response_cache_series_render() {
+        let m = Metrics::new();
+        m.record_connection_opened();
+        m.record_connection_opened();
+        m.record_connection_closed();
+        m.record_keepalive_reuse();
+        m.record_pipelined();
+        m.record_idle_timeout();
+        m.record_over_cap();
+        m.record_reactor_poll();
+        assert_eq!(m.connections(), 2);
+        assert_eq!(m.keepalive_reuses(), 1);
+        let resp = RespCacheStats {
+            hits: 9,
+            misses: 3,
+            insertions: 3,
+            evictions: 1,
+            entries: 2,
+            bytes: 4096,
+            capacity_bytes: 65536,
+        };
+        let text = m.render(
+            empty_stats(),
+            empty_ctx(),
+            &QueryStats::default(),
+            &resp,
+            None,
+        );
+        assert!(text.contains("accelwall_connections_total 2"));
+        assert!(text.contains("accelwall_open_connections 1"));
+        assert!(text.contains("accelwall_keepalive_reuses_total 1"));
+        assert!(text.contains("accelwall_pipelined_requests_total 1"));
+        assert!(text.contains("accelwall_idle_timeouts_total 1"));
+        assert!(text.contains("accelwall_connections_over_cap_total 1"));
+        assert!(text.contains("accelwall_reactor_polls_total 1"));
+        assert!(text.contains("accelwall_response_cache_hits_total 9"));
+        assert!(text.contains("accelwall_response_cache_misses_total 3"));
+        assert!(text.contains("accelwall_response_cache_evictions_total 1"));
+        assert!(text.contains("accelwall_response_cache_bytes 4096"));
+        assert!(text.contains("accelwall_response_cache_capacity_bytes 65536"));
+    }
+
+    #[test]
     fn work_series_render_only_when_a_coordinator_is_attached() {
         let m = Metrics::new();
-        let without = m.render(empty_stats(), empty_ctx(), &QueryStats::default(), None);
+        let without = m.render(
+            empty_stats(),
+            empty_ctx(),
+            &QueryStats::default(),
+            &RespCacheStats::default(),
+            None,
+        );
         assert!(!without.contains("accelwall_work_"));
         let stats = WorkStats {
             units_total: 8,
@@ -525,6 +718,7 @@ mod tests {
             empty_stats(),
             empty_ctx(),
             &QueryStats::default(),
+            &RespCacheStats::default(),
             Some(&stats),
         );
         assert!(with.contains("accelwall_work_units_total 8"));

@@ -1,13 +1,14 @@
 //! A fixed-size, self-healing worker thread pool over an [`mpsc`]
 //! channel.
 //!
-//! The server accepts connections on one thread and hands each one to
-//! this pool. The channel is a [`mpsc::sync_channel`] with a bounded
-//! backlog, which is the server's backpressure mechanism: when every
-//! worker is busy and the backlog is full, [`ThreadPool::try_execute`]
-//! fails immediately and *returns the work item*, so the acceptor can
-//! answer `503 Service Unavailable` on the rejected connection instead
-//! of queueing unboundedly or dropping it silently.
+//! The server's reactor thread owns all connection I/O and hands each
+//! parsed request to this pool as one compute job. The channel is a
+//! [`mpsc::sync_channel`] with a bounded backlog, which is the server's
+//! backpressure mechanism: when every worker is busy and the backlog is
+//! full, [`ThreadPool::try_execute`] fails immediately and *returns the
+//! work item*, so the reactor can answer `503 Service Unavailable` for
+//! the rejected request — in pipeline order, on a connection that stays
+//! open — instead of queueing unboundedly or dropping it silently.
 //!
 //! Workers are self-healing: a handler that panics kills its thread, but
 //! a sentinel guard notices the unwind, counts it, and spawns a

@@ -6,6 +6,16 @@
 //! once from the lease's sweep-space marker so every unit it computes
 //! is byte-identical to what a local run would have produced.
 //!
+//! The HTTP client keeps **one keep-alive connection** to the
+//! coordinator and reuses it for every POST (lease, heartbeat,
+//! complete), reading each answer by its `Content-Length` frame instead
+//! of half-closing and waiting for EOF — against the server's
+//! connection reactor a whole worker lifetime costs one connection, not
+//! one per request. A pooled connection that has died in the meantime
+//! (idle timeout, coordinator restart) is replaced by exactly one fresh
+//! dial before the failure is surfaced, and a reply carrying
+//! `Connection: close` retires the connection after the body.
+//!
 //! Transport robustness mirrors the coordinator's: every POST retries
 //! with capped decorrelated-jitter backoff, 5xx answers (load shedding,
 //! injected `work-lease` faults) count as transient, and once the
@@ -15,7 +25,7 @@
 //! coordinator gracefully.
 
 use std::io::{Read, Write};
-use std::net::{Shutdown, TcpStream};
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -121,6 +131,10 @@ struct WorkerRunner {
     grid: Option<Arc<dyn Grid>>,
     ctx: Option<Arc<Ctx>>,
     report: WorkerReport,
+    /// The pooled keep-alive connection to the coordinator; `None`
+    /// until the first POST dials, or after an error/`Connection:
+    /// close` retires it.
+    conn: Option<TcpStream>,
 }
 
 impl WorkerRunner {
@@ -136,6 +150,7 @@ impl WorkerRunner {
             grid: None,
             ctx: None,
             report: WorkerReport::default(),
+            conn: None,
             config,
         }
     }
@@ -304,34 +319,124 @@ impl WorkerRunner {
         }
     }
 
-    /// One `POST path` round trip: connect, send, half-close, read the
-    /// full answer. Returns `(status, body)`.
-    fn post(&self, path: &str, body: &Value) -> Result<(u16, String), WorkError> {
-        let transport = |what: String| WorkError::Transport { what };
+    /// One `POST path` round trip over the pooled keep-alive
+    /// connection. A pooled connection that errors (the coordinator may
+    /// have idle-timed it out between batches) is retired and the POST
+    /// retried once on a fresh dial before the failure surfaces.
+    fn post(&mut self, path: &str, body: &Value) -> Result<(u16, String), WorkError> {
         let payload = body.pretty();
-        let stream = TcpStream::connect(&self.addr)
-            .map_err(|e| transport(format!("connect {}: {e}", self.addr)))?;
-        stream
-            .set_read_timeout(Some(self.config.io_timeout))
-            .and_then(|()| stream.set_write_timeout(Some(self.config.io_timeout)))
-            .map_err(|e| transport(format!("socket timeouts: {e}")))?;
-        let mut stream = stream;
+        if self.conn.is_some() {
+            match self.post_once(path, &payload) {
+                Ok(answer) => return Ok(answer),
+                Err(_) => self.conn = None, // stale pooled conn; re-dial
+            }
+        }
+        self.post_once(path, &payload)
+    }
+
+    /// Sends one POST on the current connection (dialing if none is
+    /// pooled) and reads one `Content-Length`-framed answer. Any error
+    /// retires the connection so the next attempt dials fresh.
+    fn post_once(&mut self, path: &str, payload: &str) -> Result<(u16, String), WorkError> {
+        let transport = |what: String| WorkError::Transport { what };
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)
+                .map_err(|e| transport(format!("connect {}: {e}", self.addr)))?;
+            stream
+                .set_read_timeout(Some(self.config.io_timeout))
+                .and_then(|()| stream.set_write_timeout(Some(self.config.io_timeout)))
+                .and_then(|()| stream.set_nodelay(true))
+                .map_err(|e| transport(format!("socket setup: {e}")))?;
+            self.conn = Some(stream);
+        }
+        let Some(stream) = self.conn.as_mut() else {
+            return Err(transport("no connection".into()));
+        };
         let request = format!(
             "POST {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
-             Content-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+             Content-Length: {}\r\n\r\n{payload}",
             self.addr,
             payload.len(),
         );
-        stream
-            .write_all(request.as_bytes())
-            .and_then(|()| stream.shutdown(Shutdown::Write))
-            .map_err(|e| transport(format!("send {path}: {e}")))?;
-        let mut raw = String::new();
-        stream
-            .read_to_string(&mut raw)
-            .map_err(|e| transport(format!("receive {path}: {e}")))?;
-        parse_response(&raw)
+        if let Err(e) = stream.write_all(request.as_bytes()) {
+            self.conn = None;
+            return Err(transport(format!("send {path}: {e}")));
+        }
+        match read_framed_response(stream) {
+            Ok((status, body, close)) => {
+                if close {
+                    self.conn = None; // the peer asked; honor it
+                }
+                Ok((status, body))
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
     }
+}
+
+/// Reads one `Content-Length`-framed HTTP response off `stream`,
+/// returning `(status, body, close)` where `close` reports whether the
+/// peer retired the connection (`Connection: close`, or an HTTP/1.0
+/// status line).
+fn read_framed_response(stream: &mut TcpStream) -> Result<(u16, String, bool), WorkError> {
+    let transport = |what: String| WorkError::Transport { what };
+    let violation = |what: String| WorkError::Protocol { what };
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if buf.len() > 64 * 1024 {
+            return Err(violation("response head exceeds 64 KiB".into()));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| transport(format!("receive: {e}")))?;
+        if n == 0 {
+            return Err(transport("connection closed mid-response".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| violation("response head is not utf-8".into()))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| violation("response has no parsable status line".into()))?;
+    let mut content_length = 0usize;
+    let mut close = head.starts_with("HTTP/1.0");
+    for line in head.lines().skip(1) {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| violation(format!("bad Content-Length {:?}", value.trim())))?;
+        } else if name.eq_ignore_ascii_case("connection")
+            && value.trim().eq_ignore_ascii_case("close")
+        {
+            close = true;
+        }
+    }
+    while buf.len() < head_end + content_length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| transport(format!("receive body: {e}")))?;
+        if n == 0 {
+            return Err(transport("connection closed mid-body".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let body = String::from_utf8(buf[head_end..head_end + content_length].to_vec())
+        .map_err(|_| violation("response body is not utf-8".into()))?;
+    Ok((status, body, close))
 }
 
 /// Strips an `http://` prefix and trailing slashes off a coordinator
@@ -344,21 +449,6 @@ fn normalize_addr(coordinator: &str) -> String {
         .to_string()
 }
 
-/// Splits a raw HTTP/1.1 response into `(status, body)`.
-fn parse_response(raw: &str) -> Result<(u16, String), WorkError> {
-    let violation = |what: String| WorkError::Protocol { what };
-    let status = raw
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse::<u16>().ok())
-        .ok_or_else(|| violation("response has no parsable status line".into()))?;
-    let body = raw
-        .split_once("\r\n\r\n")
-        .map_or("", |(_, body)| body)
-        .to_string();
-    Ok((status, body))
-}
-
 /// Parses a 200 body as JSON, labeling failures with the route.
 fn parse_json(path: &str, body: &str) -> Result<Value, WorkError> {
     Value::parse(body).map_err(|e| WorkError::Protocol {
@@ -369,7 +459,6 @@ fn parse_json(path: &str, body: &str) -> Result<Value, WorkError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::BufRead;
     use std::net::TcpListener;
 
     #[test]
@@ -380,43 +469,82 @@ mod tests {
     }
 
     #[test]
-    fn responses_split_into_status_and_body() {
-        let (status, body) =
-            parse_response("HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\n\r\nshed\n")
-                .unwrap();
-        assert_eq!(status, 503);
-        assert_eq!(body, "shed\n");
-        assert!(parse_response("garbage").is_err());
+    fn framed_responses_split_into_status_body_and_persistence() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let serve = |raw: &'static str| {
+            let client = std::thread::spawn(move || TcpStream::connect(addr).unwrap());
+            let (mut peer, _) = listener.accept().unwrap();
+            peer.write_all(raw.as_bytes()).unwrap();
+            client.join().unwrap()
+        };
+        let mut stream = serve(
+            "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 5\r\n\r\nshed\n",
+        );
+        let (status, body, close) = read_framed_response(&mut stream).unwrap();
+        assert_eq!((status, body.as_str(), close), (503, "shed\n", false));
+        let mut stream =
+            serve("HTTP/1.1 200 OK\r\nContent-Length: 3\r\nConnection: close\r\n\r\nok\n");
+        let (status, body, close) = read_framed_response(&mut stream).unwrap();
+        assert_eq!((status, body.as_str(), close), (200, "ok\n", true));
+        let mut stream = serve("garbage\r\n\r\n");
+        assert!(read_framed_response(&mut stream).is_err());
     }
 
-    /// Accepts `hits` connections, answering each with `replies[i]`.
-    fn fake_coordinator(replies: Vec<String>) -> (String, std::thread::JoinHandle<Vec<String>>) {
+    /// A keep-alive fake coordinator: answers `Content-Length`-framed
+    /// requests in order on whatever connection the client holds open,
+    /// re-accepting if the client re-dials. Returns the requests it saw
+    /// and how many connections the client used.
+    fn fake_coordinator(
+        replies: Vec<String>,
+    ) -> (String, std::thread::JoinHandle<(Vec<String>, usize)>) {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap().to_string();
         let handle = std::thread::spawn(move || {
             let mut seen = Vec::new();
-            for reply in replies {
-                let (stream, _) = listener.accept().unwrap();
-                let mut reader = std::io::BufReader::new(stream);
-                let mut request = String::new();
-                // Connection: close + client half-close means EOF marks
-                // the end of the request.
-                loop {
-                    let mut line = String::new();
-                    if reader.read_line(&mut line).unwrap() == 0 {
-                        break;
+            let mut connections = 0usize;
+            let mut pending = replies.into_iter();
+            let mut next = pending.next();
+            'accepting: while next.is_some() {
+                let (mut stream, _) = listener.accept().unwrap();
+                connections += 1;
+                let mut buf: Vec<u8> = Vec::new();
+                let mut chunk = [0u8; 4096];
+                while let Some(reply) = next.as_ref() {
+                    let (head_end, content_length) = loop {
+                        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                            let head = std::str::from_utf8(&buf[..pos]).unwrap();
+                            let len = head
+                                .lines()
+                                .find_map(|line| {
+                                    let (name, value) = line.split_once(':')?;
+                                    name.eq_ignore_ascii_case("content-length")
+                                        .then(|| value.trim().parse::<usize>().ok())?
+                                })
+                                .unwrap_or(0);
+                            break (pos + 4, len);
+                        }
+                        match stream.read(&mut chunk) {
+                            Ok(0) | Err(_) => continue 'accepting, // client re-dials
+                            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                        }
+                    };
+                    while buf.len() < head_end + content_length {
+                        let n = stream.read(&mut chunk).unwrap();
+                        assert!(n > 0, "client closed mid-body");
+                        buf.extend_from_slice(&chunk[..n]);
                     }
-                    request.push_str(&line);
+                    let request: Vec<u8> = buf.drain(..head_end + content_length).collect();
+                    seen.push(String::from_utf8(request).unwrap());
+                    let http = format!(
+                        "HTTP/1.1 200 OK\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{reply}",
+                        reply.len()
+                    );
+                    stream.write_all(http.as_bytes()).unwrap();
+                    next = pending.next();
                 }
-                seen.push(request);
-                let mut stream = reader.into_inner();
-                let http = format!(
-                    "HTTP/1.1 200 OK\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{reply}",
-                    reply.len()
-                );
-                stream.write_all(http.as_bytes()).unwrap();
             }
-            seen
+            (seen, connections)
         });
         (addr, handle)
     }
@@ -428,13 +556,31 @@ mod tests {
         config.name = "w-test".into();
         let report = run_worker(&config).unwrap();
         assert_eq!(report, WorkerReport::default());
-        let seen = server.join().unwrap();
+        let (seen, _) = server.join().unwrap();
         assert!(
             seen[0].starts_with("POST /work/lease HTTP/1.1\r\n"),
             "{}",
             seen[0]
         );
         assert!(seen[0].contains("\"worker\": \"w-test\""), "{}", seen[0]);
+    }
+
+    #[test]
+    fn sequential_posts_reuse_one_keep_alive_connection() {
+        // Two lease round trips (a wait, then done) must ride the same
+        // pooled connection — the whole point of the keep-alive client.
+        let wait = LeaseReply::Wait {
+            retry: Duration::from_millis(5),
+        };
+        let (addr, server) = fake_coordinator(vec![
+            wait.to_value().pretty(),
+            LeaseReply::Done.to_value().pretty(),
+        ]);
+        let report = run_worker(&WorkerConfig::new(addr)).unwrap();
+        assert_eq!(report, WorkerReport::default());
+        let (seen, connections) = server.join().unwrap();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(connections, 1, "worker re-dialed instead of reusing");
     }
 
     #[test]

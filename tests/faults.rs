@@ -120,7 +120,9 @@ fn try_request(addr: &str, method: &str, path: &str) -> Option<Resp> {
         .set_read_timeout(Some(Duration::from_mins(2)))
         .unwrap();
     stream
-        .write_all(format!("{method} {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .write_all(
+            format!("{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
         .expect("send");
     let mut raw = String::new();
     match stream.read_to_string(&mut raw) {
@@ -431,6 +433,59 @@ fn injected_query_faults_shed_then_fail_retryably_without_poisoning_the_cache() 
         0.0
     );
 
+    serve.shutdown_and_wait();
+}
+
+/// The `serve-conn` site fires in the reactor's accept path, before any
+/// request is parsed: an `err` sheds the brand-new connection with a
+/// 503 + close, and a `panic` is contained on the reactor thread — the
+/// connection drops, but the reactor keeps accepting afterwards.
+#[test]
+fn injected_connection_faults_shed_or_drop_without_killing_the_reactor() {
+    // err: the connection is answered 503 and closed, never reaching
+    // the parser or the pool.
+    let serve = ServeProcess::spawn("serve-conn:err:1", &[]);
+    let addr = serve.addr.clone();
+    let shed = get(&addr, "/healthz");
+    assert_eq!(shed.status, 503, "body:\n{}", shed.body);
+    assert!(
+        shed.body
+            .contains("injected transient fault at site \"serve-conn\""),
+        "body:\n{}",
+        shed.body
+    );
+    let ok = get(&addr, "/healthz");
+    assert_eq!(ok.status, 200);
+    let metrics = get(&addr, "/metrics").body;
+    assert!(
+        metrics.contains("accelwall_fault_injections_total{site=\"serve-conn\",kind=\"err\"} 1"),
+        "missing injection counter:\n{metrics}"
+    );
+    serve.shutdown_and_wait();
+
+    // panic: the connection drops with no bytes, the reactor survives
+    // and keeps serving.
+    let serve = ServeProcess::spawn("serve-conn:panic:2", &[]);
+    let addr = serve.addr.clone();
+    for i in 0..2 {
+        assert!(
+            try_request(&addr, "GET", "/healthz").is_none(),
+            "connection {i} should have been dropped by the injected accept panic"
+        );
+    }
+    let resp = get(&addr, "/healthz");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.json().get("status").and_then(Value::as_str),
+        Some("ready")
+    );
+    let metrics = get(&addr, "/metrics").body;
+    assert!(
+        metrics.contains("accelwall_fault_injections_total{site=\"serve-conn\",kind=\"panic\"} 2"),
+        "missing injection counter:\n{metrics}"
+    );
+    // The contained panics never touched the worker pool.
+    assert_eq!(metric(&metrics, "accelwall_worker_panics_total"), 0.0);
     serve.shutdown_and_wait();
 }
 

@@ -91,7 +91,10 @@ fn request(addr: &str, method: &str, path: &str, accept: Option<&str>) -> (u16, 
         .unwrap();
     let accept = accept.map_or(String::new(), |a| format!("Accept: {a}\r\n"));
     stream
-        .write_all(format!("{method} {path} HTTP/1.1\r\nHost: t\r\n{accept}\r\n").as_bytes())
+        .write_all(
+            format!("{method} {path} HTTP/1.1\r\nHost: t\r\n{accept}Connection: close\r\n\r\n")
+                .as_bytes(),
+        )
         .expect("send");
     read_response(&mut stream)
 }

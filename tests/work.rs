@@ -156,6 +156,57 @@ fn a_coordinator_with_no_workers_falls_back_to_local_compute() {
 }
 
 #[test]
+fn a_worker_reuses_one_keep_alive_connection_for_its_whole_run() {
+    use accelerator_wall::artifacts::ArtifactCache;
+    use accelerator_wall::prelude::Registry;
+    use accelwall_server::{Server, ServerConfig};
+    use accelwall_work::{run_worker, Coordinator, WorkConfig, WorkerConfig};
+
+    // An in-process coordinator behind the real connection reactor.
+    let ctx = Arc::new(Ctx::with_space(SweepSpace::coarse()));
+    let grid = GridRegistry::standard().get("sensitivity").expect("grid");
+    let coordinator = Arc::new(Coordinator::new(grid, ctx, "coarse", WorkConfig::default()));
+    let cache = ArtifactCache::new(Registry::paper(), Ctx::with_space(SweepSpace::coarse()));
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        backlog: 8,
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::bind_with_work(config, cache, Some(Arc::clone(&coordinator))).expect("bind");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+
+    let mut worker = WorkerConfig::new(handle.addr().to_string());
+    worker.name = "reuse-probe".into();
+    let report = run_worker(&worker).expect("worker run");
+    assert_eq!(
+        report.computed,
+        coordinator.total_units() as u64,
+        "the lone worker computes every unit"
+    );
+
+    // The whole run — leases, heartbeats, completions — rode ONE
+    // pooled keep-alive connection.
+    let metrics = handle.metrics();
+    assert_eq!(
+        metrics.connections(),
+        1,
+        "worker re-dialed instead of reusing its connection"
+    );
+    assert!(
+        metrics.keepalive_reuses() >= 2 * report.computed,
+        "expected ≥{} keep-alive reuses, saw {}",
+        2 * report.computed,
+        metrics.keepalive_reuses()
+    );
+
+    handle.shutdown();
+    join.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
 fn work_requires_exactly_one_role_flag() {
     for (args, expected) in [
         (vec!["work"], "--grid ID"),
